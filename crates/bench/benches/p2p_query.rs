@@ -1,0 +1,37 @@
+//! Criterion macro-benchmark: full P2P query execution (simulator wall
+//! time) for representative topologies — the engine-cost view of F5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::{P2pConfig, SimNetwork, Topology};
+
+const QUERY: &str = r#"//service[load < 0.5]/owner"#;
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2p_query");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    let cases: Vec<(&str, Topology)> = vec![
+        ("tree64", Topology::tree(64, 2)),
+        ("tree256", Topology::tree(256, 4)),
+        ("powerlaw128", Topology::power_law(128, 2, 7)),
+    ];
+    for (name, topo) in cases {
+        group.bench_with_input(BenchmarkId::new("flood", name), &topo, |b, topo| {
+            b.iter(|| {
+                let mut net = SimNetwork::build(
+                    topo.clone(),
+                    NetworkModel::constant(10),
+                    P2pConfig { tuples_per_node: 2, ..Default::default() },
+                );
+                net.run_query(NodeId(0), QUERY, Scope::default(), ResponseMode::Routed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_p2p);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks backing experiment F14: PDP wire codec
+//! throughput by message shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wsda_pdp::{decode, encode, Message, QueryLanguage, ResponseMode, Scope, TransactionId};
+
+fn messages() -> Vec<(&'static str, Message)> {
+    let txn = TransactionId::derive(1, 1);
+    let item = r#"<service><interface type="Executor-1.0"/><owner>cms.cern.ch</owner></service>"#;
+    vec![
+        (
+            "query",
+            Message::Query {
+                transaction: txn,
+                query: "//service[load < 0.3]/owner".into(),
+                language: QueryLanguage::XQuery,
+                scope: Scope::default(),
+                response_mode: ResponseMode::Routed,
+            },
+        ),
+        (
+            "results_10",
+            Message::Results {
+                transaction: txn,
+                items: vec![item.to_owned(); 10],
+                last: true,
+                origin: "n42".into(),
+            },
+        ),
+        ("close", Message::Close { transaction: txn }),
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdp_codec");
+    group.measurement_time(Duration::from_secs(2)).sample_size(50);
+    for (name, msg) in messages() {
+        let frame = encode(&msg);
+        group.bench_function(format!("encode_{name}"), |b| {
+            b.iter(|| encode(std::hint::black_box(&msg)))
+        });
+        group.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| decode(std::hint::black_box(&frame)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

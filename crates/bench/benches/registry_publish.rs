@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks backing experiment F4: publish/refresh/sweep
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use wsda_registry::clock::ManualClock;
+use wsda_registry::workload::CorpusGenerator;
+use wsda_registry::{HyperRegistry, PublishRequest, RegistryConfig};
+use wsda_xml::Element;
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_publish");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+
+    // Publish into a pre-loaded registry (upsert path cost at size).
+    let clock = Arc::new(ManualClock::new());
+    let registry = HyperRegistry::new(RegistryConfig::default(), clock);
+    CorpusGenerator::new(5).populate(&registry, 10_000, 3_600_000);
+    let content = Element::new("service").with_field("owner", "bench.cern.ch");
+    let mut i = 0u64;
+    group.bench_function("publish_new@10k", |b| {
+        b.iter(|| {
+            i += 1;
+            registry
+                .publish(
+                    PublishRequest::new(format!("http://bench/{i}"), "service")
+                        .with_content(content.clone()),
+                )
+                .unwrap();
+        })
+    });
+
+    registry
+        .publish(PublishRequest::new("http://bench/hot", "service").with_content(content.clone()))
+        .unwrap();
+    group.bench_function("refresh_hot@10k", |b| {
+        b.iter(|| registry.refresh("http://bench/hot", Some(3_600_000)).unwrap())
+    });
+
+    group.bench_function("lookup_hot@10k", |b| {
+        b.iter(|| registry.lookup("http://bench/hot").unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_publish);
+criterion_main!(benches);

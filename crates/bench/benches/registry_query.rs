@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks backing experiment F1: hyper-registry query
+//! latency by query class and tuple count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use wsda_registry::clock::ManualClock;
+use wsda_registry::workload::CorpusGenerator;
+use wsda_registry::{Freshness, HyperRegistry, RegistryConfig};
+use wsda_xq::Query;
+
+fn build(n: usize) -> HyperRegistry {
+    let clock = Arc::new(ManualClock::new());
+    let registry = HyperRegistry::new(RegistryConfig::default(), clock);
+    CorpusGenerator::new(11).populate(&registry, n, 3_600_000);
+    registry
+        .publish(
+            wsda_registry::PublishRequest::new("http://anchor/0", "service").with_content(
+                wsda_xml::parse_fragment("<service><owner>anchor</owner></service>").unwrap(),
+            ),
+        )
+        .unwrap();
+    registry
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_query");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let cases = [
+        ("simple", r#"/tuple[@link = "http://anchor/0"]"#),
+        ("medium", r#"//service[interface/@type = "Executor-1.0" and load < 0.3]"#),
+        ("complex", r#"(for $s in //service[freeDiskGB > 1000] order by number($s/load) return $s/owner)[1]"#),
+    ];
+    for n in [1_000usize, 10_000] {
+        let registry = build(n);
+        for (name, src) in cases {
+            let q = Query::parse(src).unwrap();
+            // warm content caches
+            let _ = registry.query(&q, &Freshness::any()).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| registry.query(&q, &Freshness::any()).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the XQuery engine: parse and evaluate
+//! costs per query class over a fixed document set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use wsda_registry::workload::CorpusGenerator;
+use wsda_xml::Element;
+use wsda_xq::{DynamicContext, Query};
+
+fn docs(n: usize) -> Vec<Arc<Element>> {
+    let mut generator = CorpusGenerator::new(3);
+    (0..n)
+        .map(|_| {
+            let (link, _, _, svc) = generator.next_service();
+            Arc::new(
+                Element::new("tuple")
+                    .with_attr("link", link)
+                    .with_attr("type", "service")
+                    .with_child(Element::new("content").with_child(svc)),
+            )
+        })
+        .collect()
+}
+
+fn bench_xq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xq");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+
+    const MEDIUM: &str = r#"//service[interface/@type = "Executor-1.0" and load < 0.3]/owner"#;
+    const COMPLEX: &str = r#"for $s in //service order by number($s/load) return <r o="{$s/owner}"/>"#;
+
+    group.bench_function("parse_medium", |b| {
+        b.iter(|| Query::parse(std::hint::black_box(MEDIUM)).unwrap())
+    });
+    group.bench_function("parse_complex", |b| {
+        b.iter(|| Query::parse(std::hint::black_box(COMPLEX)).unwrap())
+    });
+
+    let corpus = docs(1_000);
+    for (name, src) in [("eval_medium@1k", MEDIUM), ("eval_complex@1k", COMPLEX)] {
+        let q = Query::parse(src).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ctx = DynamicContext::with_roots(corpus.clone());
+                q.eval(&mut ctx).unwrap()
+            })
+        });
+    }
+
+    // Parse + serialize round trip of a service description document.
+    let (_, _, _, svc) = CorpusGenerator::new(1).next_service();
+    let text = svc.to_compact_string();
+    group.bench_function("xml_parse", |b| {
+        b.iter(|| wsda_xml::parse_fragment(std::hint::black_box(&text)).unwrap())
+    });
+    group.bench_function("xml_serialize", |b| b.iter(|| svc.to_compact_string()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_xq);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! A1 — ablations of the design choices DESIGN.md calls out:
+//!
+//! * **FLWOR invariant hoisting** — evaluate loop-invariant `for` sources
+//!   once instead of per outer binding (join queries),
+//! * **index narrowing** — answer simple queries from the link/type index
+//!   instead of scanning every tuple,
+//! * **rayon-parallel scans** — evaluate separable queries per-tuple in
+//!   parallel above the threshold.
+//!
+//! Each row reports the optimized and ablated timing and the speedup.
+
+use crate::harness::{f1 as fmt1, f3 as fmt3, timed, Report};
+use serde_json::json;
+use std::sync::Arc;
+use wsda_registry::clock::ManualClock;
+use wsda_registry::workload::CorpusGenerator;
+use wsda_registry::{Freshness, HyperRegistry, RegistryConfig};
+use wsda_xml::Element;
+use wsda_xq::{DynamicContext, NodeRef, Query};
+
+fn corpus(n: usize) -> Vec<Arc<Element>> {
+    let mut generator = CorpusGenerator::new(77);
+    (0..n)
+        .map(|_| {
+            let (link, _, _, svc) = generator.next_service();
+            Arc::new(
+                Element::new("tuple")
+                    .with_attr("link", link)
+                    .with_attr("type", "service")
+                    .with_child(Element::new("content").with_child(svc)),
+            )
+        })
+        .collect()
+}
+
+fn registry_with(n: usize, parallel_threshold: usize) -> HyperRegistry {
+    let clock = Arc::new(ManualClock::new());
+    let registry = HyperRegistry::new(
+        RegistryConfig { parallel_scan_threshold: parallel_threshold, ..Default::default() },
+        clock,
+    );
+    CorpusGenerator::new(77).populate(&registry, n, 3_600_000);
+    registry
+}
+
+/// Run A1.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new(
+        "a1",
+        "Ablations: hoisting, index narrowing, parallel scan",
+        &["ablation", "optimized_ms", "ablated_ms", "speedup"],
+    );
+
+    // ---- FLWOR invariant hoisting ----------------------------------------
+    {
+        let n = if quick { 300 } else { 1_000 };
+        let docs = corpus(n);
+        let q = Query::parse(
+            r#"for $a in //service[load < 0.2],
+                   $b in //service[interface/@type = "NetworkProbe-1.0"]
+               where $a/owner = $b/owner
+               return 1"#,
+        )
+        .unwrap();
+        let run_q = |hoist: bool| {
+            let mut ctx = DynamicContext::with_root_refs(
+                docs.iter()
+                    .enumerate()
+                    .map(|(i, d)| NodeRef::document_node(d.clone(), i as u64))
+                    .collect(),
+            )
+            .with_hoisting(hoist);
+            q.eval(&mut ctx).unwrap().len()
+        };
+        let (on_len, on_ms) = timed(|| run_q(true));
+        let (off_len, off_ms) = timed(|| run_q(false));
+        assert_eq!(on_len, off_len, "hoisting must not change results");
+        report.row(
+            vec![
+                format!("flwor-hoisting (join@{n})"),
+                fmt3(on_ms),
+                fmt3(off_ms),
+                format!("{}x", fmt1(off_ms / on_ms.max(1e-9))),
+            ],
+            &json!({"ablation": "flwor-hoisting", "n": n, "optimized_ms": on_ms,
+                    "ablated_ms": off_ms, "results": on_len}),
+        );
+    }
+
+    // ---- index narrowing ---------------------------------------------------
+    {
+        let n = if quick { 5_000 } else { 20_000 };
+        let registry = registry_with(n, usize::MAX);
+        // Same semantic lookup: one index-eligible form, one scan form.
+        let link = {
+            let q = Query::parse("(/tuple/@link)[1]").unwrap();
+            registry.query(&q, &Freshness::any()).unwrap().results[0].string_value()
+        };
+        let indexed = Query::parse(&format!(r#"/tuple[@link = "{link}"]"#)).unwrap();
+        let scanned = Query::parse(&format!(r#"//tuple[@link = "{link}"]"#)).unwrap();
+        let reps = 10;
+        let warm = registry.query(&indexed, &Freshness::any()).unwrap();
+        assert!(warm.stats.used_index);
+        let (_, on_ms) = timed(|| {
+            for _ in 0..reps {
+                registry.query(&indexed, &Freshness::any()).unwrap();
+            }
+        });
+        let check = registry.query(&scanned, &Freshness::any()).unwrap();
+        assert!(!check.stats.used_index);
+        assert_eq!(check.results.len(), warm.results.len());
+        let (_, off_ms) = timed(|| {
+            for _ in 0..reps {
+                registry.query(&scanned, &Freshness::any()).unwrap();
+            }
+        });
+        report.row(
+            vec![
+                format!("index-narrowing (lookup@{n})"),
+                fmt3(on_ms / reps as f64),
+                fmt3(off_ms / reps as f64),
+                format!("{}x", fmt1(off_ms / on_ms.max(1e-9))),
+            ],
+            &json!({"ablation": "index-narrowing", "n": n,
+                    "optimized_ms": on_ms / reps as f64,
+                    "ablated_ms": off_ms / reps as f64}),
+        );
+    }
+
+    // ---- rayon-parallel separable scan --------------------------------------
+    {
+        let n = if quick { 10_000 } else { 50_000 };
+        let parallel = registry_with(n, 1);
+        let serial = registry_with(n, usize::MAX);
+        let q = Query::parse(r#"//service[interface/@type = "Executor-1.0" and load < 0.3]/owner"#)
+            .unwrap();
+        assert!(q.profile().separable);
+        let a = parallel.query(&q, &Freshness::any()).unwrap();
+        let b = serial.query(&q, &Freshness::any()).unwrap();
+        assert!(a.stats.parallel && !b.stats.parallel);
+        assert_eq!(a.results.len(), b.results.len());
+        let reps = 5;
+        let (_, on_ms) = timed(|| {
+            for _ in 0..reps {
+                parallel.query(&q, &Freshness::any()).unwrap();
+            }
+        });
+        let (_, off_ms) = timed(|| {
+            for _ in 0..reps {
+                serial.query(&q, &Freshness::any()).unwrap();
+            }
+        });
+        report.row(
+            vec![
+                format!("parallel-scan (medium@{n})"),
+                fmt3(on_ms / reps as f64),
+                fmt3(off_ms / reps as f64),
+                format!("{}x", fmt1(off_ms / on_ms.max(1e-9))),
+            ],
+            &json!({"ablation": "parallel-scan", "n": n,
+                    "optimized_ms": on_ms / reps as f64,
+                    "ablated_ms": off_ms / reps as f64,
+                    "threads": rayon::current_num_threads()}),
+        );
+    }
+
+    report.note("each ablation verified result-identical before timing");
+    report.note(format!(
+        "parallel-scan uses {} rayon thread(s) on this host; its speedup is bounded by the core count (≈1x on single-core machines)",
+        rayon::current_num_threads()
+    ));
+    report
+}

@@ -1,0 +1,79 @@
+//! Regenerate the evaluation tables and figures.
+//!
+//! ```text
+//! experiments                 # run everything at full size
+//! experiments f5 f8           # run selected experiments
+//! experiments --quick         # smaller parameter sweeps (CI-sized)
+//! experiments --json out.json # additionally dump machine-readable rows
+//! experiments --list          # list experiment ids
+//! ```
+
+use std::io::Write as _;
+use wsda_bench::all_experiments;
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--list" => {
+                for (id, title, _) in all_experiments() {
+                    println!("{id:4}  {title}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--quick] [--json PATH] [--list] [IDS...]");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            id => selected.push(id.to_ascii_lowercase()),
+        }
+    }
+
+    let experiments = all_experiments();
+    if !selected.is_empty() {
+        for id in &selected {
+            if !experiments.iter().any(|(eid, _, _)| eid == id) {
+                eprintln!("unknown experiment {id:?} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut reports = Vec::new();
+    for (id, _, runner) in &experiments {
+        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let report = runner(quick);
+        let elapsed = start.elapsed().as_secs_f64();
+        println!("{}", report.render());
+        println!("  ({elapsed:.1}s wall)\n");
+        reports.push(report);
+    }
+
+    if let Some(path) = json_path {
+        let doc = serde_json::json!({
+            "quick": quick,
+            "experiments": reports.iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+        });
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        writeln!(f, "{}", serde_json::to_string_pretty(&doc).expect("serialize"))
+            .expect("write json output");
+        eprintln!("wrote {path}");
+    }
+}

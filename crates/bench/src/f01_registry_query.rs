@@ -1,0 +1,89 @@
+//! F1 — registry query latency vs tuple count, by query class.
+//!
+//! Expected shape: simple queries stay ~flat (index lookup); medium grows
+//! ~linearly (per-tuple scan); complex grows at least linearly with a
+//! larger constant (join/sort work).
+
+use crate::harness::{f3 as fmt3, timed, Report};
+use serde_json::json;
+use std::sync::Arc;
+use wsda_registry::clock::ManualClock;
+use wsda_registry::workload::CorpusGenerator;
+use wsda_registry::{Freshness, HyperRegistry, RegistryConfig};
+use wsda_xq::Query;
+
+const SIMPLE: &str = r#"/tuple[@link = "http://anchor/0"]"#;
+const MEDIUM: &str = r#"//service[interface/@type = "Executor-1.0" and load < 0.3]"#;
+const COMPLEX: &str = r#"(for $s in //service[freeDiskGB > 1000]
+                          order by number($s/load) return $s/owner)[1]"#;
+
+fn build(n: usize) -> HyperRegistry {
+    let clock = Arc::new(ManualClock::new());
+    let registry = HyperRegistry::new(RegistryConfig::default(), clock);
+    let mut generator = CorpusGenerator::new(7 + n as u64);
+    generator.populate(&registry, n, 3_600_000);
+    registry
+        .publish(
+            wsda_registry::PublishRequest::new("http://anchor/0", "service").with_content(
+                wsda_xml::parse_fragment("<service><owner>anchor</owner></service>").unwrap(),
+            ),
+        )
+        .unwrap();
+    registry
+}
+
+/// Run F1.
+pub fn run(quick: bool) -> Report {
+    let sizes: &[usize] =
+        if quick { &[100, 1_000, 5_000] } else { &[100, 1_000, 10_000, 50_000] };
+    let mut report = Report::new(
+        "f1",
+        "Registry query latency vs tuple count by query class",
+        &["tuples", "simple ms", "medium ms", "complex ms", "medium results"],
+    );
+    for &n in sizes {
+        let registry = build(n);
+        let reps = if n <= 1_000 { 20 } else { 5 };
+        let mut times = [0.0f64; 3];
+        let mut medium_results = 0usize;
+        for (i, src) in [SIMPLE, MEDIUM, COMPLEX].iter().enumerate() {
+            let q = Query::parse(src).unwrap();
+            // warmup (content pulls, caches)
+            let _ = registry.query(&q, &Freshness::any()).unwrap();
+            let (out, ms) = timed(|| {
+                let mut last = None;
+                for _ in 0..reps {
+                    last = Some(registry.query(&q, &Freshness::any()).unwrap());
+                }
+                last.unwrap()
+            });
+            times[i] = ms / reps as f64;
+            if i == 1 {
+                medium_results = out.results.len();
+            }
+            if i == 0 {
+                assert!(out.stats.used_index, "simple query must hit the index");
+                assert_eq!(out.results.len(), 1);
+            }
+        }
+        report.row(
+            vec![
+                n.to_string(),
+                fmt3(times[0]),
+                fmt3(times[1]),
+                fmt3(times[2]),
+                medium_results.to_string(),
+            ],
+            &json!({
+                "tuples": n,
+                "simple_ms": times[0],
+                "medium_ms": times[1],
+                "complex_ms": times[2],
+                "medium_results": medium_results,
+            }),
+        );
+    }
+    report.note("simple = indexed link lookup; medium = content scan; complex = filter+sort");
+    report.note("expected: simple ~flat, medium/complex grow with N, simple << medium < complex");
+    report
+}

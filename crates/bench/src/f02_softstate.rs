@@ -1,0 +1,100 @@
+//! F2 — soft-state registry size and staleness under provider churn.
+//!
+//! Providers publish with TTL `T` and refresh every `T/2` while alive; a
+//! fraction dies (silently) every virtual second. Expected shape: the
+//! registry tracks the alive population with an excess of dead-but-listed
+//! tuples bounded by the TTL — larger TTLs mean larger, longer-lived
+//! excess.
+
+use crate::harness::{f1 as fmt1, Report};
+use serde_json::json;
+use std::sync::Arc;
+use wsda_registry::clock::{Clock, ManualClock};
+use wsda_registry::{HyperRegistry, PublishRequest, RegistryConfig};
+use wsda_xml::Element;
+
+/// Run F2.
+pub fn run(quick: bool) -> Report {
+    let providers = if quick { 200 } else { 1_000 };
+    let steps = if quick { 60 } else { 240 }; // virtual seconds
+    let death_per_step = 0.005; // 0.5% of alive providers die each second
+    let ttls_s: &[u64] = &[2, 8, 32];
+
+    let mut report = Report::new(
+        "f2",
+        "Soft-state registry size & staleness under churn",
+        &["ttl_s", "alive_end", "listed_end", "avg_excess", "max_excess", "max_stale_s"],
+    );
+
+    for &ttl_s in ttls_s {
+        let ttl_ms = ttl_s * 1_000;
+        let clock = Arc::new(ManualClock::new());
+        let registry = HyperRegistry::new(
+            RegistryConfig { min_ttl_ms: 100, ..RegistryConfig::default() },
+            clock.clone(),
+        );
+        let mut alive: Vec<bool> = vec![true; providers];
+        // Deterministic death schedule: provider i dies at step d(i).
+        let death_step = |i: usize| -> u64 {
+            // roughly geometric via a hash spread over 1/death_per_step
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+            1 + h % ((1.0 / death_per_step) as u64 * 2)
+        };
+        for i in 0..providers {
+            registry
+                .publish(
+                    PublishRequest::new(format!("http://p/{i}"), "service")
+                        .with_ttl_ms(ttl_ms)
+                        .with_content(Element::new("service").with_field("id", i.to_string())),
+                )
+                .unwrap();
+        }
+        let mut excess_sum = 0u64;
+        let mut excess_max = 0u64;
+        let mut samples = 0u64;
+        for step in 1..=steps {
+            clock.advance(1_000);
+            for (i, alive_flag) in alive.iter_mut().enumerate() {
+                if *alive_flag && step >= death_step(i) {
+                    *alive_flag = false;
+                }
+                // alive providers refresh every T/2 seconds
+                if *alive_flag && step % (ttl_s / 2).max(1) == 0 {
+                    let _ = registry.refresh(&format!("http://p/{i}"), Some(ttl_ms));
+                }
+            }
+            let listed = registry.live_tuples() as u64;
+            let alive_n = alive.iter().filter(|a| **a).count() as u64;
+            let excess = listed.saturating_sub(alive_n);
+            excess_sum += excess;
+            excess_max = excess_max.max(excess);
+            samples += 1;
+        }
+        let alive_end = alive.iter().filter(|a| **a).count();
+        let listed_end = registry.live_tuples();
+        // A dead provider can linger at most one full TTL past its last refresh.
+        let max_stale_s = ttl_s;
+        report.row(
+            vec![
+                ttl_s.to_string(),
+                alive_end.to_string(),
+                listed_end.to_string(),
+                fmt1(excess_sum as f64 / samples as f64),
+                excess_max.to_string(),
+                max_stale_s.to_string(),
+            ],
+            &json!({
+                "ttl_s": ttl_s,
+                "alive_end": alive_end,
+                "listed_end": listed_end,
+                "avg_excess": excess_sum as f64 / samples as f64,
+                "max_excess": excess_max,
+                "bound_stale_s": max_stale_s,
+            }),
+        );
+        let _ = clock.now();
+    }
+    report.note(format!("{providers} providers, {steps} virtual seconds, 0.5%/s silent deaths, refresh every TTL/2"));
+    report.note("expected: listed tracks alive; excess (dead-but-listed) grows with TTL and is bounded by TTL");
+    report
+}

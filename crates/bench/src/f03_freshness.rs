@@ -1,0 +1,159 @@
+//! F3 — content freshness policies: staleness observed by clients vs pull
+//! traffic imposed on providers.
+//!
+//! One dynamic provider bumps a version counter every `update_interval`.
+//! A client queries every second under different policies. Expected shape:
+//! push delivers zero staleness at one push per update; pull-on-demand with
+//! a tight max-age approaches that at one pull per query; cache-only
+//! (`Freshness::any`) is free but stale; hybrid (periodic) sits in between.
+
+use crate::harness::{f1 as fmt1, Report};
+use serde_json::json;
+use std::sync::Arc;
+use wsda_registry::clock::ManualClock;
+use wsda_registry::freshness::RefreshPolicy;
+use wsda_registry::provider::DynamicProvider;
+use wsda_registry::{Freshness, HyperRegistry, PublishRequest, RegistryConfig};
+use wsda_xml::Element;
+use wsda_xq::Query;
+
+struct PolicyCase {
+    name: &'static str,
+    registry_policy: RefreshPolicy,
+    demand: Freshness,
+    /// Provider pushes on every content change.
+    push: bool,
+}
+
+/// Run F3.
+pub fn run(quick: bool) -> Report {
+    let seconds = if quick { 120 } else { 600 };
+    let update_interval_s = 5; // provider content changes every 5s
+    let cases = [
+        PolicyCase {
+            name: "push-on-change",
+            registry_policy: RefreshPolicy::PushOnly,
+            demand: Freshness::any(),
+            push: true,
+        },
+        PolicyCase {
+            name: "cache-only",
+            registry_policy: RefreshPolicy::PushOnly,
+            demand: Freshness::any(),
+            push: false,
+        },
+        PolicyCase {
+            name: "pull-on-demand(max_age=1s)",
+            registry_policy: RefreshPolicy::PullOnDemand,
+            demand: Freshness::max_age(1_000),
+            push: false,
+        },
+        PolicyCase {
+            name: "pull-on-demand(max_age=10s)",
+            registry_policy: RefreshPolicy::PullOnDemand,
+            demand: Freshness::max_age(10_000),
+            push: false,
+        },
+        PolicyCase {
+            name: "pull-periodic(8s)",
+            registry_policy: RefreshPolicy::PullPeriodic { interval_ms: 8_000 },
+            demand: Freshness::any(),
+            push: false,
+        },
+    ];
+
+    let mut report = Report::new(
+        "f3",
+        "Content freshness policies: staleness vs pull traffic",
+        &["policy", "avg_stale_versions", "max_stale", "pulls", "pushes", "queries"],
+    );
+
+    for case in &cases {
+        let clock = Arc::new(ManualClock::new());
+        let registry = HyperRegistry::new(
+            RegistryConfig {
+                refresh_policy: case.registry_policy,
+                min_ttl_ms: 100,
+                ..RegistryConfig::default()
+            },
+            clock.clone(),
+        );
+        let make_content = |version: u64| {
+            Element::new("service").with_field("version", version.to_string())
+        };
+        // The provider serves whatever the *current* version is at pull
+        // time (shared atomic), not a function of its pull count.
+        let version = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let v2 = version.clone();
+        let stateful = Arc::new(DynamicProvider::new("http://dyn/1", move |_| {
+            make_content(v2.load(std::sync::atomic::Ordering::SeqCst))
+        }));
+        registry.register_provider(stateful.clone());
+        registry
+            .publish(
+                PublishRequest::new("http://dyn/1", "service")
+                    .with_ttl_ms(3_600_000)
+                    .with_content(make_content(0)),
+            )
+            .unwrap();
+
+        let q = Query::parse("//service/version").unwrap();
+        let mut stale_sum = 0u64;
+        let mut stale_max = 0u64;
+        let mut pushes = 0u64;
+        let mut queries = 0u64;
+        for s in 1..=seconds {
+            clock.advance(1_000);
+            if s % update_interval_s == 0 {
+                version.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if case.push {
+                    registry
+                        .publish(
+                            PublishRequest::new("http://dyn/1", "service")
+                                .with_ttl_ms(3_600_000)
+                                .with_content(make_content(
+                                    version.load(std::sync::atomic::Ordering::SeqCst),
+                                )),
+                        )
+                        .unwrap();
+                    pushes += 1;
+                }
+            }
+            let out = registry.query(&q, &case.demand).unwrap();
+            queries += 1;
+            let served: u64 = out
+                .results
+                .first()
+                .map(|i| i.string_value().parse().unwrap_or(0))
+                .unwrap_or(0);
+            let current = version.load(std::sync::atomic::Ordering::SeqCst);
+            let stale = current.saturating_sub(served);
+            stale_sum += stale;
+            stale_max = stale_max.max(stale);
+        }
+        let pulls = stateful.pulls();
+        report.row(
+            vec![
+                case.name.to_owned(),
+                fmt1(stale_sum as f64 / queries as f64),
+                stale_max.to_string(),
+                pulls.to_string(),
+                pushes.to_string(),
+                queries.to_string(),
+            ],
+            &json!({
+                "policy": case.name,
+                "avg_stale_versions": stale_sum as f64 / queries as f64,
+                "max_stale": stale_max,
+                "pulls": pulls,
+                "pushes": pushes,
+                "queries": queries,
+            }),
+        );
+    }
+    report.note(format!(
+        "{seconds} virtual seconds, content version bumps every {update_interval_s}s, one query/s"
+    ));
+    report.note("expected: push & tight pull ≈ fresh; cache-only free but stale; periodic in between");
+    report
+}

@@ -1,0 +1,78 @@
+//! F5 — P2P response time and message count vs node count, per topology.
+//!
+//! Validates the analytic hop model: flooding a tree of fanout f completes
+//! in ~log_f(N) sequential hops, a ring in ~N/2, a hypercube in log2(N);
+//! message count is ~one query per edge reached plus results back.
+
+use crate::harness::{f1 as fmt1, Report};
+use serde_json::json;
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::{P2pConfig, SimNetwork, Topology};
+
+const QUERY: &str = r#"//service[load < 0.5]/owner"#;
+const HOP_MS: u64 = 10;
+
+fn wide_scope() -> Scope {
+    Scope {
+        abort_timeout_ms: 1 << 40,
+        loop_timeout_ms: 1 << 41,
+        ..Scope::default()
+    }
+}
+
+fn config() -> P2pConfig {
+    P2pConfig { hop_cost_ms: 0, eval_delay_ms: 1, tuples_per_node: 2, ..P2pConfig::default() }
+}
+
+/// Run F5.
+pub fn run(quick: bool) -> Report {
+    let sizes: &[usize] = if quick { &[16, 64, 256] } else { &[16, 64, 256, 1024, 4096] };
+    type TopologyMaker = fn(usize) -> Topology;
+    let topologies: Vec<(&str, TopologyMaker)> = vec![
+        ("ring", |n| Topology::ring(n)),
+        ("tree-f2", |n| Topology::tree(n, 2)),
+        ("tree-f4", |n| Topology::tree(n, 4)),
+        ("tree-f8", |n| Topology::tree(n, 8)),
+        ("random-d4", |n| Topology::random_connected(n, 4.0, 17)),
+        ("hypercube", |n| Topology::hypercube((n as f64).log2() as u32)),
+    ];
+    let mut report = Report::new(
+        "f5",
+        "P2P response time & messages vs node count by topology",
+        &["topology", "nodes", "t_last_ms", "t_complete_ms", "messages", "dup"],
+    );
+    for (name, make) in &topologies {
+        for &n in sizes {
+            let topo = make(n);
+            assert_eq!(topo.len(), n, "{name}({n})");
+            let mut net = SimNetwork::build(topo, NetworkModel::constant(HOP_MS), config());
+            let run = net.run_query(NodeId(0), QUERY, wide_scope(), ResponseMode::Routed);
+            assert_eq!(run.metrics.nodes_evaluated as usize, n, "{name}({n}) full coverage");
+            let t_last = run.metrics.time_last_result.map(|t| t.millis()).unwrap_or(0);
+            let t_done = run.metrics.time_completed.map(|t| t.millis()).unwrap_or(0);
+            report.row(
+                vec![
+                    (*name).to_owned(),
+                    n.to_string(),
+                    fmt1(t_last as f64),
+                    fmt1(t_done as f64),
+                    run.metrics.messages_total().to_string(),
+                    run.metrics.duplicates_suppressed.to_string(),
+                ],
+                &json!({
+                    "topology": name,
+                    "nodes": n,
+                    "t_last_ms": t_last,
+                    "t_complete_ms": t_done,
+                    "messages": run.metrics.messages_total(),
+                    "duplicates": run.metrics.duplicates_suppressed,
+                }),
+            );
+        }
+    }
+    report.note(format!("flooding, routed+pipelined, {HOP_MS}ms links, 1ms local eval, 2 tuples/node"));
+    report.note("expected: tree t_complete ~ 2·log_f(N)·hop; ring ~ N·hop; hypercube ~ 2·log2(N)·hop; messages ~ O(edges reached)");
+    report
+}

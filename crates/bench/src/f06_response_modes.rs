@@ -1,0 +1,77 @@
+//! F6 — routed vs direct vs referral response modes.
+//!
+//! Expected shape: all modes deliver the same result set; routed response
+//! makes intermediate nodes relay all result bytes; direct response drops
+//! relayed bytes to ~0 (only completion acks flow hop-by-hop); referral
+//! trades relayed bytes for an extra fetch round trip (worse latency, tiny
+//! relay load).
+
+use crate::harness::{f1 as fmt1, Report};
+use serde_json::json;
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::{P2pConfig, SimNetwork, Topology};
+
+const QUERY: &str = r#"//service"#; // every tuple matches: maximal result volume
+
+fn scope() -> Scope {
+    Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() }
+}
+
+/// Run F6.
+pub fn run(quick: bool) -> Report {
+    let tuple_sweep: &[usize] = if quick { &[2, 8] } else { &[2, 8, 32] };
+    let n = 63; // tree-f2 of depth 5
+    let mut report = Report::new(
+        "f6",
+        "Routed vs direct vs referral response modes",
+        &["tuples/node", "mode", "results", "relayed_kB", "origin_kB", "t_last_ms", "msgs"],
+    );
+    for &tuples in tuple_sweep {
+        let mut baseline_results: Option<usize> = None;
+        for (mode_name, mode) in [
+            ("routed", ResponseMode::Routed),
+            ("direct", ResponseMode::Direct { originator: "n0".into() }),
+            ("referral", ResponseMode::Referral),
+        ] {
+            let config = P2pConfig {
+                tuples_per_node: tuples,
+                hop_cost_ms: 0,
+                eval_delay_ms: 1,
+                ..P2pConfig::default()
+            };
+            let mut net =
+                SimNetwork::build(Topology::tree(n, 2), NetworkModel::constant(10), config);
+            let run = net.run_query(NodeId(0), QUERY, scope(), mode);
+            match baseline_results {
+                None => baseline_results = Some(run.results.len()),
+                Some(b) => assert_eq!(run.results.len(), b, "{mode_name} result parity"),
+            }
+            let t_last = run.metrics.time_last_result.map(|t| t.millis()).unwrap_or(0);
+            report.row(
+                vec![
+                    tuples.to_string(),
+                    mode_name.to_owned(),
+                    run.results.len().to_string(),
+                    fmt1(run.metrics.bytes_relayed as f64 / 1024.0),
+                    fmt1(run.metrics.bytes_at_originator as f64 / 1024.0),
+                    fmt1(t_last as f64),
+                    run.metrics.messages_total().to_string(),
+                ],
+                &json!({
+                    "tuples_per_node": tuples,
+                    "mode": mode_name,
+                    "results": run.results.len(),
+                    "bytes_relayed": run.metrics.bytes_relayed,
+                    "bytes_at_originator": run.metrics.bytes_at_originator,
+                    "t_last_ms": t_last,
+                    "messages": run.metrics.messages_total(),
+                }),
+            );
+        }
+    }
+    report.note(format!("binary tree of {n} nodes, 10ms links, flooding"));
+    report.note("expected: relayed bytes routed >> referral ≈ direct; referral pays an extra fetch RTT in t_last");
+    report
+}

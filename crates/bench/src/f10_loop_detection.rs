@@ -1,0 +1,74 @@
+//! F10 — loop detection vs cycle density.
+//!
+//! Expected shape: the denser the graph (more cycles), the more duplicate
+//! query deliveries the state table suppresses; results stay exactly
+//! correct at every density. Without detection each duplicate would
+//! re-evaluate *and re-flood* — the wasted work is unbounded in cyclic
+//! graphs, which is why we report the suppressed count rather than running
+//! a detection-free network to livelock.
+
+use crate::harness::{f1 as fmt1, Report};
+use serde_json::json;
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_registry::Freshness;
+use wsda_updf::{P2pConfig, SimNetwork, Topology};
+use wsda_xq::Query;
+
+const QUERY: &str = r#"//service[load < 0.5]/owner"#;
+
+fn ground_truth(net: &SimNetwork) -> usize {
+    let q = Query::parse(QUERY).unwrap();
+    (0..net.topology().len() as u32)
+        .map(|i| net.registry(NodeId(i)).query(&q, &Freshness::any()).unwrap().results.len())
+        .sum()
+}
+
+/// Run F10.
+pub fn run(quick: bool) -> Report {
+    let n = if quick { 100 } else { 300 };
+    let degrees: &[f64] = &[2.2, 3.0, 4.0, 6.0, 10.0];
+    let mut report = Report::new(
+        "f10",
+        "Loop detection vs cycle density",
+        &["avg_degree", "edges", "query_msgs", "dups_suppressed", "dup_pct", "correct"],
+    );
+    for &degree in degrees {
+        let topo = Topology::random_connected(n, degree, 23);
+        let edges = topo.edge_count();
+        let mut net = SimNetwork::build(
+            topo,
+            NetworkModel::constant(10),
+            P2pConfig { hop_cost_ms: 0, eval_delay_ms: 1, tuples_per_node: 2, ..Default::default() },
+        );
+        let expected = ground_truth(&net);
+        let scope = Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() };
+        let run = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
+        let correct = run.results.len() == expected;
+        let qmsgs = run.metrics.messages("query");
+        let dup_pct = 100.0 * run.metrics.duplicates_suppressed as f64 / qmsgs.max(1) as f64;
+        report.row(
+            vec![
+                fmt1(degree),
+                edges.to_string(),
+                qmsgs.to_string(),
+                run.metrics.duplicates_suppressed.to_string(),
+                fmt1(dup_pct),
+                correct.to_string(),
+            ],
+            &json!({
+                "avg_degree": degree,
+                "edges": edges,
+                "query_messages": qmsgs,
+                "duplicates_suppressed": run.metrics.duplicates_suppressed,
+                "dup_pct": dup_pct,
+                "correct": correct,
+            }),
+        );
+        assert!(correct, "loop detection must preserve exact results at degree {degree}");
+    }
+    report.note(format!("connected random graphs, {n} nodes, flood from n0"));
+    report.note("expected: dup fraction grows with density toward (edges - (n-1))/edges; results exact everywhere");
+    report
+}

@@ -1,0 +1,92 @@
+//! F11 — neighbor selection policies: message cost vs recall.
+//!
+//! A rare service kind ("TapeArchive-1.0") is planted at ~4% of nodes; the
+//! query targets exactly that kind. Expected shape: flooding pays maximal
+//! messages for 100% recall; `random:k` scales messages down with k at
+//! proportional recall loss; the routing-index `hint:` policy keeps high
+//! recall at a fraction of the flood's messages because it only follows
+//! edges whose subtree is known (within the index horizon) to hold the
+//! kind.
+
+use crate::harness::{f1 as fmt1, Report};
+use serde_json::json;
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::{P2pConfig, SimNetwork, Topology};
+use wsda_xml::Element;
+
+const QUERY: &str = r#"//service[interface/@type = "TapeArchive-1.0"]/owner"#;
+const KIND: &str = "tape-archive";
+
+fn build(n: usize, horizon: u32) -> (SimNetwork, usize) {
+    let mut net = SimNetwork::build(
+        Topology::power_law(n, 2, 31),
+        NetworkModel::constant(10),
+        P2pConfig {
+            hop_cost_ms: 0,
+            eval_delay_ms: 1,
+            tuples_per_node: 2,
+            routing_horizon: horizon,
+            ..Default::default()
+        },
+    );
+    // Plant the rare kind at every 25th node.
+    let mut planted = 0;
+    for i in (0..n as u32).step_by(25) {
+        let content = Element::new("service")
+            .with_child(Element::new("interface").with_attr("type", "TapeArchive-1.0"))
+            .with_field("owner", format!("site{i}.cern.ch"));
+        net.plant_service(NodeId(i), KIND, &format!("http://tape/{i}"), content);
+        planted += 1;
+    }
+    (net, planted)
+}
+
+/// Run F11.
+pub fn run(quick: bool) -> Report {
+    let n = if quick { 150 } else { 400 };
+    let horizon = 2;
+    let policies = ["all", "random:1", "random:2", "random:3", "hint:tape-archive"];
+    let mut report = Report::new(
+        "f11",
+        "Neighbor selection policies: messages vs recall",
+        &["policy", "query_msgs", "nodes_reached", "results", "recall_pct"],
+    );
+    let total = {
+        let (_, planted) = build(n, horizon);
+        planted
+    };
+    for policy in policies {
+        let (mut net, _) = build(n, horizon);
+        let scope = Scope {
+            neighbor_policy: policy.to_owned(),
+            abort_timeout_ms: 1 << 40,
+            loop_timeout_ms: 1 << 41,
+            ..Scope::default()
+        };
+        let run = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
+        let recall = 100.0 * run.results.len() as f64 / total.max(1) as f64;
+        report.row(
+            vec![
+                policy.to_owned(),
+                run.metrics.messages("query").to_string(),
+                run.metrics.nodes_evaluated.to_string(),
+                run.results.len().to_string(),
+                fmt1(recall),
+            ],
+            &json!({
+                "policy": policy,
+                "query_messages": run.metrics.messages("query"),
+                "nodes_reached": run.metrics.nodes_evaluated,
+                "results": run.results.len(),
+                "recall_pct": recall,
+            }),
+        );
+    }
+    report.note(format!(
+        "power-law graph, {n} nodes, rare kind planted at every 25th node ({total} holders); hint uses a horizon-{horizon} routing index"
+    ));
+    report.note("expected: flood = 100% recall at max messages; random:k trades both down; hint keeps high recall at reduced messages");
+    report
+}

@@ -1,0 +1,82 @@
+//! F12 — containers and virtual nodes: consolidation savings.
+//!
+//! The same 256-virtual-node tree is hosted in k containers; messages
+//! between co-hosted virtual nodes cost ~1ms (a local call) instead of the
+//! 40ms WAN hop. Expected shape: completion time falls as k shrinks (more
+//! edges become local), reaching near-pure-local time at k=1; the message
+//! *count* is unchanged — consolidation saves latency and WAN traffic, not
+//! protocol work.
+
+use crate::harness::{f1 as fmt1, Report};
+use serde_json::json;
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::container::ContainerLatency;
+use wsda_updf::{ContainerAssignment, P2pConfig, SimNetwork, Topology};
+
+const QUERY: &str = r#"//service[load < 0.5]/owner"#;
+
+/// Run F12.
+pub fn run(quick: bool) -> Report {
+    let m = if quick { 128 } else { 256 }; // virtual nodes
+    let ks: &[u32] = if quick { &[128, 16, 4, 1] } else { &[256, 64, 16, 4, 1] };
+    let mut report = Report::new(
+        "f12",
+        "Containers & virtual nodes: consolidation savings",
+        &["containers", "crossing_edges", "t_complete_ms", "messages", "results"],
+    );
+    let mut baseline: Option<u64> = None;
+    for &k in ks {
+        let topo = Topology::tree(m, 2);
+        let assignment = ContainerAssignment::blocks(m, k);
+        let crossing = (0..m as u32)
+            .flat_map(|v| {
+                topo.neighbors(NodeId(v))
+                    .iter()
+                    .filter(move |nb| nb.0 > v)
+                    .map(move |nb| (NodeId(v), *nb))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|(a, b)| !assignment.co_located(*a, *b))
+            .count();
+        let model = NetworkModel {
+            latency: Box::new(ContainerLatency { assignment, local_ms: 1, remote_ms: 40 }),
+            bandwidth_bytes_per_ms: None,
+        };
+        let config = P2pConfig {
+            hop_cost_ms: 0,
+            eval_delay_ms: 1,
+            tuples_per_node: 2,
+            ..Default::default()
+        };
+        let mut net = SimNetwork::build(topo, model, config);
+        let scope = Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() };
+        let run = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
+        let t_done = run.metrics.time_completed.map(|t| t.millis()).unwrap_or(0);
+        if let Some(b) = baseline {
+            assert_eq!(run.metrics.messages_total(), b, "consolidation must not change message count");
+        } else {
+            baseline = Some(run.metrics.messages_total());
+        }
+        report.row(
+            vec![
+                k.to_string(),
+                crossing.to_string(),
+                fmt1(t_done as f64),
+                run.metrics.messages_total().to_string(),
+                run.results.len().to_string(),
+            ],
+            &json!({
+                "containers": k,
+                "crossing_edges": crossing,
+                "t_complete_ms": t_done,
+                "messages": run.metrics.messages_total(),
+                "results": run.results.len(),
+            }),
+        );
+    }
+    report.note(format!("{m} virtual nodes in a binary tree, block assignment, 1ms local / 40ms WAN"));
+    report.note("expected: t_complete falls monotonically as containers consolidate; message count constant");
+    report
+}

@@ -1,0 +1,74 @@
+//! F13 — agent vs servent P2P model.
+//!
+//! The agent model (a central client queries every node directly) needs
+//! global membership and concentrates all traffic at the originator; the
+//! servent model spreads work in-network. Expected shape: both return the
+//! same results; agent latency is one round trip (flat-ish in N) but its
+//! originator bandwidth grows linearly with N; the servent spreads bytes
+//! across the overlay at the cost of multi-hop latency.
+
+use crate::harness::{f1 as fmt1, Report};
+use serde_json::json;
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::{P2pConfig, SimNetwork, Topology};
+
+const QUERY: &str = r#"//service[load < 0.5]/owner"#;
+
+fn scope() -> Scope {
+    Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() }
+}
+
+/// Run F13.
+pub fn run(quick: bool) -> Report {
+    let sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256, 1024] };
+    let mut report = Report::new(
+        "f13",
+        "Agent vs servent model: latency & originator load",
+        &["nodes", "model", "t_last_ms", "origin_kB", "relayed_kB", "messages", "results"],
+    );
+    for &n in sizes {
+        for model in ["servent", "agent"] {
+            let mut net = SimNetwork::build(
+                Topology::random_connected(n, 4.0, 29),
+                NetworkModel::constant(10),
+                P2pConfig {
+                    hop_cost_ms: 0,
+                    eval_delay_ms: 1,
+                    tuples_per_node: 2,
+                    ..Default::default()
+                },
+            );
+            let run = if model == "agent" {
+                net.run_agent_query(NodeId(0), QUERY, scope())
+            } else {
+                net.run_query(NodeId(0), QUERY, scope(), ResponseMode::Routed)
+            };
+            let t_last = run.metrics.time_last_result.map(|t| t.millis()).unwrap_or(0);
+            report.row(
+                vec![
+                    n.to_string(),
+                    model.to_owned(),
+                    fmt1(t_last as f64),
+                    fmt1(run.metrics.bytes_at_originator as f64 / 1024.0),
+                    fmt1(run.metrics.bytes_relayed as f64 / 1024.0),
+                    run.metrics.messages_total().to_string(),
+                    run.results.len().to_string(),
+                ],
+                &json!({
+                    "nodes": n,
+                    "model": model,
+                    "t_last_ms": t_last,
+                    "bytes_at_originator": run.metrics.bytes_at_originator,
+                    "bytes_relayed": run.metrics.bytes_relayed,
+                    "messages": run.metrics.messages_total(),
+                    "results": run.results.len(),
+                }),
+            );
+        }
+    }
+    report.note("random graph (degree 4), 10ms links; agent = direct fan-out to known membership");
+    report.note("expected: agent t_last ~flat, origin bytes ~linear in N; servent spreads bytes, pays multi-hop latency; results identical");
+    report
+}

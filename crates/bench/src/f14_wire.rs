@@ -1,0 +1,75 @@
+//! F14 — PDP wire efficiency: encoded sizes per message type and codec
+//! throughput.
+
+use crate::harness::{f1 as fmt1, timed, Report};
+use serde_json::json;
+use wsda_pdp::{decode, encode, Message, QueryLanguage, ResponseMode, Scope, TransactionId};
+
+fn sample_messages() -> Vec<(&'static str, Message)> {
+    let txn = TransactionId::derive(1, 1);
+    let query = Message::Query {
+        transaction: txn,
+        query: r#"//service[interface/@type = "Executor-1.0" and load < 0.3]/owner"#.into(),
+        language: QueryLanguage::XQuery,
+        scope: Scope { radius: Some(6), max_results: Some(100), ..Scope::default() },
+        response_mode: ResponseMode::Direct { originator: "n0".into() },
+    };
+    let item = r#"<service><interface type="Executor-1.0"/><owner>cms.cern.ch</owner><load>0.21</load></service>"#;
+    let results = |k: usize| Message::Results {
+        transaction: txn,
+        items: vec![item.to_owned(); k],
+        last: true,
+        origin: "n42".into(),
+    };
+    vec![
+        ("query", query),
+        ("results-1", results(1)),
+        ("results-10", results(10)),
+        ("results-100", results(100)),
+        ("invite", Message::Invite { transaction: txn, node: "n42".into(), expected: 17 }),
+        ("close", Message::Close { transaction: txn }),
+        ("ping", Message::Ping),
+    ]
+}
+
+/// Run F14.
+pub fn run(quick: bool) -> Report {
+    let iterations = if quick { 2_000 } else { 20_000 };
+    let mut report = Report::new(
+        "f14",
+        "PDP wire efficiency: message sizes & codec throughput",
+        &["message", "bytes", "encode_kops", "decode_kops"],
+    );
+    for (name, message) in sample_messages() {
+        let frame = encode(&message);
+        let (_, enc_ms) = timed(|| {
+            for _ in 0..iterations {
+                std::hint::black_box(encode(std::hint::black_box(&message)));
+            }
+        });
+        let (_, dec_ms) = timed(|| {
+            for _ in 0..iterations {
+                std::hint::black_box(decode(std::hint::black_box(&frame)).unwrap());
+            }
+        });
+        let enc_kops = iterations as f64 / enc_ms;
+        let dec_kops = iterations as f64 / dec_ms;
+        report.row(
+            vec![
+                name.to_owned(),
+                frame.len().to_string(),
+                fmt1(enc_kops),
+                fmt1(dec_kops),
+            ],
+            &json!({
+                "message": name,
+                "bytes": frame.len(),
+                "encode_kops_s": iterations as f64 / enc_ms,
+                "decode_kops_s": iterations as f64 / dec_ms,
+            }),
+        );
+    }
+    report.note("columns encode/decode are kilo-ops per second");
+    report.note("expected: fixed ~40B overhead per message; results scale linearly with item payload");
+    report
+}

@@ -1,0 +1,86 @@
+//! F15 — behaviour under message loss and dead nodes ("failure is the
+//! norm", chapter 1/4 framing applied to the P2P layer).
+//!
+//! Expected shape: delivered results degrade gracefully with the drop
+//! probability (roughly the chance that *every* message on a result's
+//! path survives), and the run always terminates within the abort budget
+//! — lost finals are covered by node/origin timeouts, never by hanging.
+
+use crate::harness::{f1 as fmt1, Report};
+use serde_json::json;
+use std::collections::HashSet;
+use wsda_net::model::{FaultPlan, NetworkModel};
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::{P2pConfig, SimNetwork, Topology};
+
+const QUERY: &str = r#"//service/owner"#;
+
+/// Run F15.
+pub fn run(quick: bool) -> Report {
+    let n = if quick { 63 } else { 127 };
+    let total = (n * 2) as u64; // 2 tuples per node, all match
+    let drop_probs = [0.0, 0.01, 0.05, 0.10, 0.20];
+    let mut report = Report::new(
+        "f15",
+        "Graceful degradation under message loss and dead nodes",
+        &["fault", "delivered", "fraction_pct", "aborts", "t_end_ms"],
+    );
+    for &p in &drop_probs {
+        let faults = FaultPlan { drop_probability: p, dead_nodes: HashSet::new() };
+        let run = run_with(n, faults);
+        report.row(
+            vec![
+                format!("drop {:.0}%", p * 100.0),
+                run.0.to_string(),
+                fmt1(100.0 * run.0 as f64 / total as f64),
+                run.1.to_string(),
+                run.2.to_string(),
+            ],
+            &json!({"fault": format!("drop:{p}"), "delivered": run.0,
+                    "fraction_pct": 100.0 * run.0 as f64 / total as f64,
+                    "node_aborts": run.1, "t_end_ms": run.2}),
+        );
+    }
+    // Dead interior nodes partition their subtrees away.
+    for dead_count in [1usize, 4, 8] {
+        let dead: HashSet<NodeId> = (1..=dead_count as u32).map(NodeId).collect();
+        let faults = FaultPlan { drop_probability: 0.0, dead_nodes: dead };
+        let run = run_with(n, faults);
+        report.row(
+            vec![
+                format!("{dead_count} dead interior node(s)"),
+                run.0.to_string(),
+                fmt1(100.0 * run.0 as f64 / total as f64),
+                run.1.to_string(),
+                run.2.to_string(),
+            ],
+            &json!({"fault": format!("dead:{dead_count}"), "delivered": run.0,
+                    "fraction_pct": 100.0 * run.0 as f64 / total as f64,
+                    "node_aborts": run.1, "t_end_ms": run.2}),
+        );
+    }
+    report.note(format!(
+        "binary tree of {n} nodes, 10ms links, 4s abort budget, pipelined routed flood"
+    ));
+    report.note("expected: graceful monotone degradation with loss; dead interior nodes cost exactly their subtrees; every run terminates within the budget");
+    report
+}
+
+fn run_with(n: usize, faults: FaultPlan) -> (u64, u64, u64) {
+    let config = P2pConfig {
+        hop_cost_ms: 30,
+        eval_delay_ms: 2,
+        tuples_per_node: 2,
+        ..Default::default()
+    };
+    let mut net = SimNetwork::build_with_faults(
+        Topology::tree(n, 2),
+        NetworkModel::constant(10),
+        faults,
+        config,
+    );
+    let scope = Scope { abort_timeout_ms: 4_000, ..Scope::default() };
+    let run = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
+    (run.metrics.results_delivered, run.metrics.node_aborts, run.finished_at.millis())
+}

@@ -1,0 +1,156 @@
+//! Table formatting and row collection shared by every experiment.
+
+use serde::Serialize;
+use serde_json::{json, Value};
+
+/// One experiment's printable + machine-readable output.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Experiment id (`"f5"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Machine-readable rows.
+    pub json_rows: Vec<Value>,
+    /// Free-form notes printed under the table (observed shape, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Report {
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            ..Report::default()
+        }
+    }
+
+    /// Append a row (cells must match the column count) along with its
+    /// JSON form.
+    pub fn row<S: Serialize>(&mut self, cells: Vec<String>, raw: &S) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        self.rows.push(cells);
+        self.json_rows
+            .push(serde_json::to_value(raw).unwrap_or_else(|_| json!({"error": "unserializable"})));
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id.to_uppercase(), self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// The JSON form of the full report.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "id": self.id,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.json_rows,
+            "notes": self.notes,
+        })
+    }
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Wall-clock milliseconds of running `f`, plus its output.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut r = Report::new("fx", "demo", &["a", "metric"]);
+        r.row(vec!["1".into(), "2.50".into()], &json!({"a": 1}));
+        r.row(vec!["100".into(), "3.5".into()], &json!({"a": 100}));
+        r.note("shape holds");
+        let s = r.render();
+        assert!(s.contains("FX"));
+        assert!(s.contains("note: shape holds"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len(), "rows align with header");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("fx", "demo", &["a", "b"]);
+        r.row(vec!["only-one".into()], &json!({}));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = Report::new("fy", "demo", &["a"]);
+        r.row(vec!["1".into()], &json!({"a": 1}));
+        let v = r.to_json();
+        assert_eq!(v["id"], "fy");
+        assert_eq!(v["rows"][0]["a"], 1);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.257), "1.26");
+        assert_eq!(f3(0.12345), "0.123");
+    }
+}

@@ -1,0 +1,57 @@
+//! # wsda-bench — the evaluation harness
+//!
+//! One module per experiment (see DESIGN.md's experiment index). The
+//! `experiments` binary runs them all (or one by id) and prints the table/
+//! figure rows; `--json <path>` additionally dumps machine-readable rows
+//! for EXPERIMENTS.md.
+//!
+//! Experiments run entirely in virtual time on the discrete-event
+//! simulator, so "latency" columns are *model* milliseconds — shapes, not
+//! absolute wall-clock claims.
+
+pub mod harness;
+pub mod a1_ablations;
+pub mod t1;
+pub mod f01_registry_query;
+pub mod f02_softstate;
+pub mod f03_freshness;
+pub mod f04_publication;
+pub mod f05_topology_scaling;
+pub mod f06_response_modes;
+pub mod f07_pipelining;
+pub mod f08_timeouts;
+pub mod f09_radius;
+pub mod f10_loop_detection;
+pub mod f11_neighbor_selection;
+pub mod f12_containers;
+pub mod f13_agent_vs_servent;
+pub mod f14_wire;
+pub mod f15_loss;
+
+use harness::Report;
+
+/// An experiment runner: takes `quick` and returns the report.
+pub type Runner = fn(bool) -> Report;
+
+/// Every experiment: `(id, title, quick-capable runner)`.
+pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        ("t1", "Query-language capability matrix", t1::run),
+        ("f1", "Registry query latency vs tuple count by query class", f01_registry_query::run),
+        ("f2", "Soft-state registry size & staleness under churn", f02_softstate::run),
+        ("f3", "Content freshness policies: staleness vs pull traffic", f03_freshness::run),
+        ("f4", "Publication throughput and throttled pulls", f04_publication::run),
+        ("f5", "P2P response time & messages vs node count by topology", f05_topology_scaling::run),
+        ("f6", "Routed vs direct vs referral response modes", f06_response_modes::run),
+        ("f7", "Pipelined vs store-and-forward time-to-first-result", f07_pipelining::run),
+        ("f8", "Dynamic abort vs static timeouts under heterogeneity", f08_timeouts::run),
+        ("f9", "Radius scoping: recall & messages vs radius", f09_radius::run),
+        ("f10", "Loop detection vs cycle density", f10_loop_detection::run),
+        ("f11", "Neighbor selection policies: messages vs recall", f11_neighbor_selection::run),
+        ("f12", "Containers & virtual nodes: consolidation savings", f12_containers::run),
+        ("f13", "Agent vs servent model: latency & originator load", f13_agent_vs_servent::run),
+        ("f14", "PDP wire efficiency: message sizes & codec throughput", f14_wire::run),
+        ("f15", "Graceful degradation under message loss and dead nodes", f15_loss::run),
+        ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
+    ]
+}

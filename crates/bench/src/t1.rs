@@ -1,0 +1,126 @@
+//! T1 — query-language capability matrix (chapter 3 related work, made
+//! runnable): which of the nine canonical discovery queries each system
+//! class can answer, and how fast.
+
+use crate::harness::{f2 as fmt2, timed, Report};
+use serde_json::json;
+use std::sync::Arc;
+use wsda_registry::baseline::{
+    DiscoveryBaseline, HierarchicalRegistry, KeyLookupRegistry, ServiceRecord,
+};
+use wsda_registry::clock::ManualClock;
+use wsda_registry::workload::{t1_queries, CorpusGenerator};
+use wsda_registry::{Freshness, HyperRegistry, RegistryConfig};
+use wsda_xq::Query;
+
+/// How a baseline answers one canonical query: `None` = inexpressible,
+/// `Some(f)` runs the equivalent native operation and returns a result
+/// count.
+type BaselineOp<'a> = Option<Box<dyn Fn() -> usize + 'a>>;
+
+fn uddi_op<'a>(reg: &'a KeyLookupRegistry, id: &str) -> BaselineOp<'a> {
+    match id {
+        "S1-by-link" | "S3-link-content" => Some(Box::new(move || {
+            reg.lookup("http://fnal.gov/storage/0").map(|_| 1).unwrap_or(0)
+        })),
+        "S2-by-type" => Some(Box::new(move || reg.find_by_type("service").len())),
+        _ => None,
+    }
+}
+
+fn ldap_op<'a>(reg: &'a HierarchicalRegistry, id: &str) -> BaselineOp<'a> {
+    match id {
+        "S1-by-link" | "S3-link-content" => Some(Box::new(move || {
+            reg.lookup("http://fnal.gov/storage/0").map(|_| 1).unwrap_or(0)
+        })),
+        "S2-by-type" => {
+            Some(Box::new(move || reg.filter("", "type", "service").map(|v| v.len()).unwrap_or(0)))
+        }
+        "M1-iface-exact" => Some(Box::new(move || {
+            reg.filter("", "service.interface.type", "Executor-1.0").map(|v| v.len()).unwrap_or(0)
+        })),
+        "M2-iface-prefix" => Some(Box::new(move || {
+            reg.filter("", "service.interface.type", "Storage-*").map(|v| v.len()).unwrap_or(0)
+        })),
+        // M3 combines a suffix match with a numeric comparison; C1..C3 need
+        // ordering, aggregation and joins — outside LDAP/MDS filters.
+        _ => None,
+    }
+}
+
+/// Run T1.
+pub fn run(quick: bool) -> Report {
+    let n = if quick { 1_000 } else { 10_000 };
+    let clock = Arc::new(ManualClock::new());
+    let hyper = HyperRegistry::new(RegistryConfig::default(), clock);
+    let mut generator = CorpusGenerator::new(20020301);
+    generator.populate(&hyper, n, 3_600_000);
+    // Deterministic anchor tuple referenced by the S1/S3 queries.
+    hyper
+        .publish(
+            wsda_registry::PublishRequest::new("http://fnal.gov/storage/0", "service")
+                .with_context("fnal.gov")
+                .with_content(
+                    wsda_xml::parse_fragment(
+                        r#"<service><interface type="Storage-1.1"/><owner>fnal.gov</owner><load>0.4</load><freeDiskGB>500</freeDiskGB></service>"#,
+                    )
+                    .unwrap(),
+                ),
+        )
+        .unwrap();
+
+    // Mirror the corpus into the baselines.
+    let mut uddi = KeyLookupRegistry::new();
+    let mut ldap = HierarchicalRegistry::new();
+    let links_q = Query::parse("/tuple/@link").unwrap();
+    let links = hyper.query(&links_q, &Freshness::any()).unwrap();
+    for item in &links.results {
+        let link = item.string_value();
+        let xml = hyper.lookup(&link).expect("live link");
+        let record = ServiceRecord::from_tuple_xml(xml);
+        uddi.publish(record.clone());
+        ldap.publish(record);
+    }
+
+    let mut report = Report::new(
+        "t1",
+        "Query-language capability matrix",
+        &["query", "class", "hyper(XQuery)", "uddi(key)", "ldap(filter)"],
+    );
+    for (id, class, src) in t1_queries() {
+        let q = Query::parse(src).expect("canonical query parses");
+        let ((hyper_n, hyper_ms), _) = timed(|| {
+            let (out, ms) = timed(|| hyper.query(&q, &Freshness::any()).unwrap());
+            (out.results.len(), ms)
+        });
+        let hyper_cell = format!("yes {}ms n={}", fmt2(hyper_ms), hyper_n);
+        let render = |op: BaselineOp<'_>| match op {
+            Some(f) => {
+                let (count, ms) = timed(f);
+                (format!("yes {}ms n={count}", fmt2(ms)), true, count)
+            }
+            None => ("no".to_owned(), false, 0),
+        };
+        let (uddi_cell, uddi_ok, uddi_n) = render(uddi_op(&uddi, id));
+        let (ldap_cell, ldap_ok, ldap_n) = render(ldap_op(&ldap, id));
+        report.row(
+            vec![id.to_owned(), class.to_owned(), hyper_cell, uddi_cell, ldap_cell],
+            &json!({
+                "query": id, "class": class,
+                "hyper": {"supported": true, "ms": hyper_ms, "results": hyper_n},
+                "uddi": {"supported": uddi_ok, "results": uddi_n},
+                "ldap": {"supported": ldap_ok, "results": ldap_n},
+            }),
+        );
+        // Answer parity wherever a baseline can express the query at all.
+        if uddi_ok {
+            assert_eq!(uddi_n, hyper_n, "{id}: uddi result parity");
+        }
+        if ldap_ok {
+            assert_eq!(ldap_n, hyper_n, "{id}: ldap result parity");
+        }
+    }
+    report.note(format!("corpus: {} service tuples", n + 1));
+    report.note("expected shape: XQuery 9/9, LDAP-style 5/9 (simple+medium), UDDI-style 3/9 (simple only)");
+    report
+}

@@ -1,0 +1,51 @@
+//! Sanity checks over the experiment registry itself.
+
+use wsda_bench::all_experiments;
+
+#[test]
+fn experiment_ids_unique_and_well_formed() {
+    let experiments = all_experiments();
+    assert!(experiments.len() >= 17, "T1, F1–F15 and A1 at minimum");
+    let mut ids: Vec<&str> = experiments.iter().map(|(id, _, _)| *id).collect();
+    let n = ids.len();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate experiment ids");
+    for (id, title, _) in &experiments {
+        assert!(id.chars().all(|c| c.is_ascii_alphanumeric()), "id {id:?}");
+        assert!(!title.is_empty());
+    }
+    // Every DESIGN.md row has a runner.
+    for required in
+        ["t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
+         "f13", "f14", "f15", "a1"]
+    {
+        assert!(
+            experiments.iter().any(|(id, _, _)| *id == required),
+            "missing experiment {required}"
+        );
+    }
+}
+
+#[test]
+fn wire_experiment_runs_quickly_and_reports() {
+    // F14 is pure CPU and fast even in debug builds — exercise one full
+    // experiment end to end, including table rendering and JSON.
+    let report = wsda_bench::f14_wire::run(true);
+    assert_eq!(report.id, "f14");
+    assert_eq!(report.rows.len(), 7);
+    let rendered = report.render();
+    assert!(rendered.contains("F14"));
+    assert!(rendered.contains("bytes"));
+    let json = report.to_json();
+    assert_eq!(json["rows"].as_array().unwrap().len(), 7);
+    // The query frame is bigger than close, which is bigger than ping.
+    let size = |name: &str| {
+        report.json_rows.iter().find(|r| r["message"] == name).unwrap()["bytes"]
+            .as_u64()
+            .unwrap()
+    };
+    assert!(size("query") > size("close"));
+    assert!(size("close") > size("ping"));
+    assert!(size("results-100") > 10 * size("results-1") / 2);
+}

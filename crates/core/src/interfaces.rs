@@ -1,0 +1,282 @@
+//! The WSDA communication primitives (chapter 5).
+//!
+//! WSDA specifies a small set of orthogonal multi-purpose building blocks:
+//!
+//! * [`Presenter`] — a service presents its current description so clients
+//!   anywhere can retrieve it at any time (via the service link),
+//! * [`Consumer`] — a registry consumes publications under soft state,
+//! * [`MinQuery`] — minimal query support: retrieve tuples by key/type,
+//!   enough for the simplest clients,
+//! * [`XQueryInterface`] — powerful query support over the tuple set.
+//!
+//! Clients and services combine these primitives freely; a node may
+//! implement any subset. [`RegistryService`] is the canonical composition:
+//! a hyper registry exposing Consumer + MinQuery + XQuery (+ Presenter for
+//! its own description).
+
+use crate::swsdl::{Interface, Operation, ServiceDescription};
+use std::sync::Arc;
+use wsda_registry::{Freshness, HyperRegistry, PublishRequest, RegistryError, RegistryResult};
+use wsda_xml::Element;
+use wsda_xq::{Query, Sequence};
+
+/// Presentation: retrieve the current description of a service.
+pub trait Presenter {
+    /// The service's current description.
+    fn get_service_description(&self) -> ServiceDescription;
+
+    /// The description in XML form (default: render the SWSDL model).
+    fn get_service_description_xml(&self) -> Element {
+        self.get_service_description().to_xml()
+    }
+}
+
+/// Publication: a registry accepts content under soft state.
+pub trait Consumer {
+    /// Publish or re-publish a tuple.
+    fn publish(&self, request: PublishRequest) -> RegistryResult<()>;
+
+    /// Keep-alive for an existing publication.
+    fn refresh(&self, link: &str, ttl_ms: Option<u64>) -> RegistryResult<()>;
+
+    /// Withdraw a publication.
+    fn unpublish(&self, link: &str) -> RegistryResult<()>;
+}
+
+/// Minimal query support: key and type lookups only. This is what the
+/// thesis offers to clients too simple to speak XQuery, and exactly the
+/// capability level of the UDDI-style baseline.
+pub trait MinQuery {
+    /// The tuple XML for a content link, if live.
+    fn get_tuple(&self, link: &str) -> Option<Arc<Element>>;
+
+    /// All tuple XMLs of a given tuple type.
+    fn get_tuples_of_type(&self, type_: &str) -> Vec<Arc<Element>>;
+}
+
+/// Powerful query support: XQuery over the node's tuple set.
+pub trait XQueryInterface {
+    /// Evaluate `query` under a freshness demand.
+    fn xquery(&self, query: &Query, freshness: &Freshness) -> RegistryResult<Sequence>;
+}
+
+/// A hyper registry exposed through the WSDA primitives.
+pub struct RegistryService {
+    /// The service link under which this registry presents itself.
+    pub link: String,
+    registry: Arc<HyperRegistry>,
+}
+
+impl RegistryService {
+    /// Wrap a registry.
+    pub fn new(link: impl Into<String>, registry: Arc<HyperRegistry>) -> Self {
+        RegistryService { link: link.into(), registry }
+    }
+
+    /// Access the underlying registry.
+    pub fn registry(&self) -> &Arc<HyperRegistry> {
+        &self.registry
+    }
+}
+
+impl Presenter for RegistryService {
+    fn get_service_description(&self) -> ServiceDescription {
+        // The registry's own description: the four primitives it speaks.
+        let op = |name: &str| Operation {
+            name: name.to_owned(),
+            params: Vec::new(),
+            returns: None,
+            bindings: Vec::new(),
+        };
+        ServiceDescription {
+            link: self.link.clone(),
+            interfaces: vec![
+                Interface { type_: "Presenter-1.0".into(), operations: vec![op("getServiceDescription")] },
+                Interface {
+                    type_: "Consumer-1.0".into(),
+                    operations: vec![op("publish"), op("refresh"), op("unpublish")],
+                },
+                Interface {
+                    type_: "MinQuery-1.0".into(),
+                    operations: vec![op("getTuple"), op("getTuplesOfType")],
+                },
+                Interface { type_: "XQuery-1.0".into(), operations: vec![op("query")] },
+            ],
+        }
+    }
+}
+
+impl Consumer for RegistryService {
+    fn publish(&self, request: PublishRequest) -> RegistryResult<()> {
+        self.registry.publish(request)
+    }
+
+    fn refresh(&self, link: &str, ttl_ms: Option<u64>) -> RegistryResult<()> {
+        self.registry.refresh(link, ttl_ms)
+    }
+
+    fn unpublish(&self, link: &str) -> RegistryResult<()> {
+        self.registry.unpublish(link)
+    }
+}
+
+impl MinQuery for RegistryService {
+    fn get_tuple(&self, link: &str) -> Option<Arc<Element>> {
+        self.registry.lookup(link)
+    }
+
+    fn get_tuples_of_type(&self, type_: &str) -> Vec<Arc<Element>> {
+        // A MinQuery type scan is the simple-query fast path.
+        let src = format!("/tuple[@type = \"{}\"]", type_.replace('"', ""));
+        let Ok(q) = Query::parse(&src) else { return Vec::new() };
+        match self.registry.query(&q, &Freshness::any()) {
+            Ok(out) => out
+                .results
+                .iter()
+                .filter_map(|i| i.as_node())
+                .filter_map(|n| n.materialize_element())
+                .map(Arc::new)
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+impl XQueryInterface for RegistryService {
+    fn xquery(&self, query: &Query, freshness: &Freshness) -> RegistryResult<Sequence> {
+        self.registry.query(query, freshness).map(|o| o.results)
+    }
+}
+
+/// A plain service that presents a static description — the shape of every
+/// non-registry participant (executors, storage servers, …).
+pub struct SimpleService {
+    description: ServiceDescription,
+}
+
+impl SimpleService {
+    /// Wrap a description.
+    pub fn new(description: ServiceDescription) -> Self {
+        SimpleService { description }
+    }
+}
+
+impl Presenter for SimpleService {
+    fn get_service_description(&self) -> ServiceDescription {
+        self.description.clone()
+    }
+}
+
+/// Expose any [`Presenter`] as a registry [`wsda_registry::ContentProvider`]:
+/// the registry
+/// pulls the service's *current* description on demand (the presentation
+/// primitive feeding the content cache — dissertation sections 2.3 + 4.2).
+pub struct PresenterProvider {
+    link: String,
+    presenter: Arc<dyn Presenter + Send + Sync>,
+}
+
+impl PresenterProvider {
+    /// Wrap a presenter; `link` must match the description's service link.
+    pub fn new(presenter: Arc<dyn Presenter + Send + Sync>) -> Self {
+        let link = presenter.get_service_description().link;
+        PresenterProvider { link, presenter }
+    }
+}
+
+impl wsda_registry::ContentProvider for PresenterProvider {
+    fn link(&self) -> &str {
+        &self.link
+    }
+
+    fn fetch(&self) -> Result<Element, String> {
+        Ok(self.presenter.get_service_description_xml())
+    }
+}
+
+/// Publish a presenter's description into a registry (the presentation →
+/// publication step wired together).
+pub fn publish_presenter(
+    presenter: &dyn Presenter,
+    consumer: &dyn Consumer,
+    context: &str,
+    ttl_ms: u64,
+) -> RegistryResult<()> {
+    let sd = presenter.get_service_description();
+    if sd.link.is_empty() {
+        return Err(RegistryError::NoProvider("(empty service link)".to_owned()));
+    }
+    consumer.publish(
+        PublishRequest::new(&sd.link, "service")
+            .with_context(context)
+            .with_ttl_ms(ttl_ms)
+            .with_content(presenter.get_service_description_xml()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsda_registry::clock::ManualClock;
+    use wsda_registry::RegistryConfig;
+
+    fn service() -> RegistryService {
+        let clock = Arc::new(ManualClock::new());
+        let registry = Arc::new(HyperRegistry::new(RegistryConfig::default(), clock));
+        RegistryService::new("http://registry.cern.ch/", registry)
+    }
+
+    fn sample_description(link: &str) -> ServiceDescription {
+        ServiceDescription::parse_swsdl(&format!(
+            "service {link} {{ interface Executor-1.0 {{ operation submitJob() returns string; bind http GET {link}/submit; }} }}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn registry_presents_itself() {
+        let s = service();
+        let sd = s.get_service_description();
+        assert!(sd.implements("Consumer-1.0"));
+        assert!(sd.implements("XQuery-1.0"));
+        assert!(sd.implements("MinQuery-1.0"));
+        assert!(sd.implements("Presenter-1.0"));
+        assert_eq!(sd.link, "http://registry.cern.ch/");
+        // XML form renders too.
+        assert_eq!(s.get_service_description_xml().name(), "service");
+    }
+
+    #[test]
+    fn publish_present_discover_roundtrip() {
+        let s = service();
+        let presenter = SimpleService::new(sample_description("http://cms.cern.ch/exec"));
+        publish_presenter(&presenter, &s, "cms.cern.ch", 60_000).unwrap();
+
+        // MinQuery by key
+        let tuple = s.get_tuple("http://cms.cern.ch/exec").unwrap();
+        assert_eq!(tuple.attr("type"), Some("service"));
+
+        // MinQuery by type
+        let all = s.get_tuples_of_type("service");
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].attr("link"), Some("http://cms.cern.ch/exec"));
+        assert!(s.get_tuples_of_type("nope").is_empty());
+
+        // XQuery
+        let q = Query::parse(r#"//service[interface/@type = "Executor-1.0"]/@link"#).unwrap();
+        let out = s.xquery(&q, &Freshness::any()).unwrap();
+        assert_eq!(out[0].string_value(), "http://cms.cern.ch/exec");
+
+        // Consumer refresh/unpublish
+        s.refresh("http://cms.cern.ch/exec", None).unwrap();
+        s.unpublish("http://cms.cern.ch/exec").unwrap();
+        assert!(s.get_tuple("http://cms.cern.ch/exec").is_none());
+    }
+
+    #[test]
+    fn publish_presenter_rejects_empty_link() {
+        let s = service();
+        let presenter = SimpleService::new(ServiceDescription::new(""));
+        assert!(publish_presenter(&presenter, &s, "x", 60_000).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # wsda-core — the Web Service Discovery Architecture
+//!
+//! Chapters 2 and 5 of the dissertation: WSDA views the Internet as a set
+//! of services with well-defined interfaces and specifies a *small set of
+//! orthogonal multi-purpose communication primitives* for discovery.
+//!
+//! * [`swsdl`] — the Simple Web Service Description Language: services as
+//!   collections of interfaces executing operations over protocol bindings
+//!   to endpoints, with a compact text grammar and an XML form,
+//! * [`link`] — service links: HTTP hyperlinks as service identifier and
+//!   description-retrieval mechanism,
+//! * [`interfaces`] — the four WSDA primitives as traits: **Presenter**
+//!   (retrieve a current service description), **Consumer** (publish/
+//!   refresh/unpublish under soft state), **MinQuery** (minimal lookup) and
+//!   **XQueryInterface** (powerful queries), plus registry adapters,
+//! * [`steps`] — the chapter-2 processing pipeline: description →
+//!   presentation → publication → request → discovery → brokering →
+//!   execution → control.
+//!
+//! ## Example
+//!
+//! ```
+//! use wsda_core::swsdl::ServiceDescription;
+//!
+//! let sd = ServiceDescription::parse_swsdl(r#"
+//!     service http://cms.cern.ch/exec {
+//!       interface Executor-1.0 {
+//!         operation submitJob(string jobDescription) returns string;
+//!         bind http GET https://cms.cern.ch/exec/submit;
+//!       }
+//!     }"#).unwrap();
+//! assert_eq!(sd.interfaces.len(), 1);
+//! assert_eq!(sd.interfaces[0].operations[0].name, "submitJob");
+//! let xml = sd.to_xml();
+//! let back = ServiceDescription::from_xml(&xml).unwrap();
+//! assert_eq!(back, sd);
+//! ```
+
+pub mod interfaces;
+pub mod link;
+pub mod steps;
+pub mod swsdl;
+
+pub use interfaces::{Consumer, MinQuery, Presenter, RegistryService, XQueryInterface};
+pub use link::ServiceLink;
+pub use swsdl::{Binding, Interface, Operation, Parameter, ServiceDescription};

@@ -1,0 +1,157 @@
+//! Service links (dissertation section 2.3, "Presentation").
+//!
+//! For broad acceptance and easy integration of legacy services, the thesis
+//! chooses an HTTP(S) hyperlink as both the service *identifier* and the
+//! *retrieval mechanism* for its current description. This module parses
+//! and canonicalizes such links and extracts the owning domain used for
+//! scoping.
+
+use std::fmt;
+
+/// A parsed service link.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ServiceLink {
+    /// `http` or `https`.
+    pub scheme: String,
+    /// Host name (lowercased).
+    pub host: String,
+    /// Port, when explicit.
+    pub port: Option<u16>,
+    /// Path including the leading `/` (possibly just `/`).
+    pub path: String,
+}
+
+/// Errors from parsing a service link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// Scheme missing or not http/https.
+    BadScheme(String),
+    /// Host part missing or malformed.
+    BadHost(String),
+    /// Port not a number in 1..=65535.
+    BadPort(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::BadScheme(s) => write!(f, "bad scheme in service link: {s:?}"),
+            LinkError::BadHost(s) => write!(f, "bad host in service link: {s:?}"),
+            LinkError::BadPort(s) => write!(f, "bad port in service link: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl ServiceLink {
+    /// Parse and canonicalize a link.
+    pub fn parse(s: &str) -> Result<ServiceLink, LinkError> {
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| LinkError::BadScheme(s.to_owned()))?;
+        let scheme = scheme.to_ascii_lowercase();
+        if scheme != "http" && scheme != "https" {
+            return Err(LinkError::BadScheme(scheme));
+        }
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(LinkError::BadHost(s.to_owned()));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| LinkError::BadPort(p.to_owned()))?;
+                (h, Some(port))
+            }
+            None => (authority, None),
+        };
+        if host.is_empty()
+            || !host
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_'))
+        {
+            return Err(LinkError::BadHost(host.to_owned()));
+        }
+        Ok(ServiceLink {
+            scheme,
+            host: host.to_ascii_lowercase(),
+            port,
+            path: path.to_owned(),
+        })
+    }
+
+    /// The owning DNS domain (the host), used by scope filters like
+    /// "only services within `cern.ch`".
+    pub fn domain(&self) -> &str {
+        &self.host
+    }
+
+    /// Is this link within `domain` (equal to it or a subdomain)?
+    pub fn in_domain(&self, domain: &str) -> bool {
+        self.host == domain || self.host.ends_with(&format!(".{domain}"))
+    }
+
+    /// The canonical string form.
+    pub fn canonical(&self) -> String {
+        match self.port {
+            Some(p) => format!("{}://{}:{}{}", self.scheme, self.host, p, self.path),
+            None => format!("{}://{}{}", self.scheme, self.host, self.path),
+        }
+    }
+}
+
+impl fmt::Display for ServiceLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let l = ServiceLink::parse("https://CMS.cern.ch/exec/submit").unwrap();
+        assert_eq!(l.scheme, "https");
+        assert_eq!(l.host, "cms.cern.ch");
+        assert_eq!(l.port, None);
+        assert_eq!(l.path, "/exec/submit");
+        assert_eq!(l.canonical(), "https://cms.cern.ch/exec/submit");
+    }
+
+    #[test]
+    fn parse_port_and_bare_host() {
+        let l = ServiceLink::parse("http://fnal.gov:8443").unwrap();
+        assert_eq!(l.port, Some(8443));
+        assert_eq!(l.path, "/");
+        assert_eq!(l.to_string(), "http://fnal.gov:8443/");
+    }
+
+    #[test]
+    fn rejects_bad_links() {
+        assert!(matches!(ServiceLink::parse("ftp://x/y"), Err(LinkError::BadScheme(_))));
+        assert!(matches!(ServiceLink::parse("no-scheme"), Err(LinkError::BadScheme(_))));
+        assert!(matches!(ServiceLink::parse("http:///path"), Err(LinkError::BadHost(_))));
+        assert!(matches!(ServiceLink::parse("http://host:0/"), Err(LinkError::BadPort(_))));
+        assert!(matches!(ServiceLink::parse("http://host:x/"), Err(LinkError::BadPort(_))));
+        assert!(matches!(ServiceLink::parse("http://ho st/"), Err(LinkError::BadHost(_))));
+    }
+
+    #[test]
+    fn domain_scoping() {
+        let l = ServiceLink::parse("http://cms.cern.ch/x").unwrap();
+        assert!(l.in_domain("cern.ch"));
+        assert!(l.in_domain("cms.cern.ch"));
+        assert!(!l.in_domain("fnal.gov"));
+        assert!(!l.in_domain("ern.ch"), "suffix must align on a label boundary");
+        assert_eq!(l.domain(), "cms.cern.ch");
+    }
+}

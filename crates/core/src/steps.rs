@@ -1,0 +1,607 @@
+//! The discovery processing steps (chapter 2).
+//!
+//! The thesis decomposes flexible remote invocation into eight problem
+//! areas: description, presentation, publication, request, discovery,
+//! brokering, execution and control. `swsdl`/`interfaces` cover the first
+//! three; this module implements the remainder:
+//!
+//! * a [`Request`] names the *operations* it needs (interface type +
+//!   operation), plus preferences,
+//! * **discovery** finds candidate services implementing those operations
+//!   by generating an XQuery against a registry,
+//! * **brokering** maps unbound operations to concrete service operation
+//!   invocations — a [`Schedule`] — under a pluggable [`Broker`] policy,
+//! * **execution** runs the schedule through an [`Invoker`],
+//! * **control** monitors long-running invocations with soft-state
+//!   heartbeat leases, so a silently dying service cannot wedge a request.
+
+use crate::interfaces::XQueryInterface;
+use crate::swsdl::ServiceDescription;
+use std::collections::HashMap;
+use wsda_registry::clock::Time;
+use wsda_registry::Freshness;
+use wsda_xq::Query;
+
+/// One operation a request needs performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationRequirement {
+    /// Required interface type, e.g. `Executor-1.0`. A trailing `*`
+    /// matches any version: `Executor-*`.
+    pub interface_type: String,
+    /// Required operation name.
+    pub operation: String,
+}
+
+/// A client request: the operations needed, in invocation order.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// Operations to discover, broker and execute, in order.
+    pub requirements: Vec<OperationRequirement>,
+    /// Preferred owner domain, if any (soft preference for brokering).
+    pub preferred_domain: Option<String>,
+}
+
+impl Request {
+    /// An empty request.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a required operation.
+    pub fn needs(mut self, interface_type: impl Into<String>, operation: impl Into<String>) -> Self {
+        self.requirements.push(OperationRequirement {
+            interface_type: interface_type.into(),
+            operation: operation.into(),
+        });
+        self
+    }
+
+    /// Prefer services owned by `domain`.
+    pub fn prefer_domain(mut self, domain: impl Into<String>) -> Self {
+        self.preferred_domain = Some(domain.into());
+        self
+    }
+}
+
+/// A discovered candidate for one requirement.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The service link.
+    pub link: String,
+    /// The full description.
+    pub description: ServiceDescription,
+    /// Reported load, when present in the description content (0.0 when
+    /// absent).
+    pub load: f64,
+    /// Owner domain from the description content, when present.
+    pub owner: String,
+}
+
+/// Discovery: find services implementing a requirement by querying a
+/// registry through the XQuery primitive.
+pub fn discover(
+    registry: &dyn XQueryInterface,
+    requirement: &OperationRequirement,
+) -> Result<Vec<Candidate>, wsda_registry::RegistryError> {
+    let iface_pred = if let Some(prefix) = requirement.interface_type.strip_suffix('*') {
+        format!(r#"starts-with($i/@type, "{prefix}")"#)
+    } else {
+        format!(r#"$i/@type = "{}""#, requirement.interface_type)
+    };
+    let src = format!(
+        r#"for $s in //service
+           where some $i in $s/interface satisfies
+                 ({iface_pred} and $i/operation/name = "{op}")
+           return $s"#,
+        op = requirement.operation
+    );
+    let query = Query::parse(&src).expect("generated discovery query is well-formed");
+    let results = registry.xquery(&query, &Freshness::any())?;
+    let mut candidates = Vec::new();
+    for item in results {
+        let Some(node) = item.as_node() else { continue };
+        let Some(element) = node.materialize_element() else { continue };
+        let description = match ServiceDescription::from_xml(&element) {
+            Ok(d) => d,
+            Err(_) => continue,
+        };
+        let load = element
+            .first_child_named("load")
+            .map(|l| l.text().trim().parse::<f64>().unwrap_or(0.0))
+            .unwrap_or(0.0);
+        let owner = element.first_child_named("owner").map(|o| o.text()).unwrap_or_default();
+        // The link attribute may live on the service element or fall back
+        // to the tuple link carried by the enclosing tuple document.
+        let link = if description.link.is_empty() {
+            node.parent()
+                .and_then(|p| p.parent())
+                .map(|t| t.element().attr("link").unwrap_or_default().to_owned())
+                .unwrap_or_default()
+        } else {
+            description.link.clone()
+        };
+        candidates.push(Candidate { link, description, load, owner });
+    }
+    Ok(candidates)
+}
+
+/// One scheduled invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledInvocation {
+    /// Which requirement this fulfils (index into the request).
+    pub requirement_index: usize,
+    /// The chosen service link.
+    pub link: String,
+    /// Interface type on that service.
+    pub interface_type: String,
+    /// Operation name.
+    pub operation: String,
+}
+
+/// The brokering output: a mapping of every requirement to an invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// Scheduled invocations, one per requirement, in request order.
+    pub invocations: Vec<ScheduledInvocation>,
+}
+
+/// Brokering errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// No candidate implements requirement `index`.
+    NoCandidate {
+        /// Index of the unsatisfiable requirement.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::NoCandidate { index } => {
+                write!(f, "no candidate service for requirement #{index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// A brokering policy: choose one candidate per requirement.
+pub trait Broker {
+    /// Produce a schedule for `request` from per-requirement candidates.
+    fn schedule(
+        &self,
+        request: &Request,
+        candidates: &[Vec<Candidate>],
+    ) -> Result<Schedule, BrokerError>;
+}
+
+fn resolve_iface<'a>(c: &'a Candidate, req: &'_ OperationRequirement) -> Option<&'a str> {
+    c.description
+        .interfaces
+        .iter()
+        .find(|i| {
+            let type_matches = match req.interface_type.strip_suffix('*') {
+                Some(prefix) => i.type_.starts_with(prefix),
+                None => i.type_ == req.interface_type,
+            };
+            type_matches && i.operations.iter().any(|o| o.name == req.operation)
+        })
+        .map(|i| i.type_.as_str())
+}
+
+fn build_schedule(
+    request: &Request,
+    candidates: &[Vec<Candidate>],
+    pick: impl Fn(usize, &[Candidate]) -> Option<usize>,
+) -> Result<Schedule, BrokerError> {
+    let mut invocations = Vec::with_capacity(request.requirements.len());
+    for (index, req) in request.requirements.iter().enumerate() {
+        let pool = candidates.get(index).map(Vec::as_slice).unwrap_or(&[]);
+        let usable: Vec<&Candidate> =
+            pool.iter().filter(|c| resolve_iface(c, req).is_some()).collect();
+        if usable.is_empty() {
+            return Err(BrokerError::NoCandidate { index });
+        }
+        // `pick` runs over the usable subset.
+        let owned: Vec<Candidate> = usable.iter().map(|c| (*c).clone()).collect();
+        let chosen = pick(index, &owned).unwrap_or(0).min(owned.len() - 1);
+        let c = &owned[chosen];
+        invocations.push(ScheduledInvocation {
+            requirement_index: index,
+            link: c.link.clone(),
+            interface_type: resolve_iface(c, req).expect("filtered usable").to_owned(),
+            operation: req.operation.clone(),
+        });
+    }
+    Ok(Schedule { invocations })
+}
+
+/// Take the first usable candidate (deterministic, cheapest).
+pub struct FirstFitBroker;
+
+impl Broker for FirstFitBroker {
+    fn schedule(
+        &self,
+        request: &Request,
+        candidates: &[Vec<Candidate>],
+    ) -> Result<Schedule, BrokerError> {
+        build_schedule(request, candidates, |_, _| Some(0))
+    }
+}
+
+/// Pick the least-loaded usable candidate.
+pub struct LeastLoadedBroker;
+
+impl Broker for LeastLoadedBroker {
+    fn schedule(
+        &self,
+        request: &Request,
+        candidates: &[Vec<Candidate>],
+    ) -> Result<Schedule, BrokerError> {
+        build_schedule(request, candidates, |_, pool| {
+            pool.iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.load.total_cmp(&b.load))
+                .map(|(i, _)| i)
+        })
+    }
+}
+
+/// The thesis's data-locality scheduler: score candidates by load plus a
+/// locality penalty when the owner differs from the preferred domain —
+/// "it may be a poor choice to use a very lightly loaded host with poor
+/// data locality".
+pub struct DataLocalityBroker {
+    /// Additional load-equivalent cost for a non-preferred domain.
+    pub locality_penalty: f64,
+}
+
+impl Broker for DataLocalityBroker {
+    fn schedule(
+        &self,
+        request: &Request,
+        candidates: &[Vec<Candidate>],
+    ) -> Result<Schedule, BrokerError> {
+        build_schedule(request, candidates, |_, pool| {
+            pool.iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let score = |c: &Candidate| {
+                        let local = match &request.preferred_domain {
+                            Some(d) => c.owner == *d || c.owner.ends_with(&format!(".{d}")),
+                            None => true,
+                        };
+                        c.load + if local { 0.0 } else { self.locality_penalty }
+                    };
+                    score(a).total_cmp(&score(b))
+                })
+                .map(|(i, _)| i)
+        })
+    }
+}
+
+// ==== execution ===========================================================
+
+/// Executes one operation on one service — the protocol-level invocation.
+/// Real deployments speak HTTP; this reproduction uses in-process
+/// simulators implementing the same trait.
+pub trait Invoker {
+    /// Invoke `operation` of `interface_type` at `link` with `input`.
+    fn invoke(
+        &self,
+        link: &str,
+        interface_type: &str,
+        operation: &str,
+        input: &str,
+    ) -> Result<String, String>;
+}
+
+/// The outcome of executing a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Output of each invocation, in order.
+    pub outputs: Vec<String>,
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// An invocation failed.
+    InvocationFailed {
+        /// Which scheduled invocation failed.
+        index: usize,
+        /// The target service link.
+        link: String,
+        /// The invoker's error message.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionError::InvocationFailed { index, link, reason } => {
+                write!(f, "invocation #{index} at {link} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+/// Execute a schedule sequentially, feeding each invocation's output into
+/// the next as input (the thesis's staged file-transfer → execute →
+/// stage-back pipeline shape).
+pub fn execute(
+    schedule: &Schedule,
+    invoker: &dyn Invoker,
+    initial_input: &str,
+) -> Result<ExecutionReport, ExecutionError> {
+    let mut outputs = Vec::with_capacity(schedule.invocations.len());
+    let mut input = initial_input.to_owned();
+    for (index, inv) in schedule.invocations.iter().enumerate() {
+        match invoker.invoke(&inv.link, &inv.interface_type, &inv.operation, &input) {
+            Ok(out) => {
+                input = out.clone();
+                outputs.push(out);
+            }
+            Err(reason) => {
+                return Err(ExecutionError::InvocationFailed {
+                    index,
+                    link: inv.link.clone(),
+                    reason,
+                })
+            }
+        }
+    }
+    Ok(ExecutionReport { outputs })
+}
+
+/// A handler installed on a [`SimInvoker`] for one `(link, operation)`.
+type InvokeHandler = Box<dyn Fn(&str) -> Result<String, String> + Send + Sync>;
+
+/// A scriptable in-process invoker for tests and examples.
+#[derive(Default)]
+pub struct SimInvoker {
+    handlers: HashMap<(String, String), InvokeHandler>,
+}
+
+impl SimInvoker {
+    /// An invoker with no handlers (every call fails).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a handler for `(link, operation)`.
+    pub fn handle(
+        &mut self,
+        link: impl Into<String>,
+        operation: impl Into<String>,
+        f: impl Fn(&str) -> Result<String, String> + Send + Sync + 'static,
+    ) {
+        self.handlers.insert((link.into(), operation.into()), Box::new(f));
+    }
+}
+
+impl Invoker for SimInvoker {
+    fn invoke(
+        &self,
+        link: &str,
+        _interface_type: &str,
+        operation: &str,
+        input: &str,
+    ) -> Result<String, String> {
+        match self.handlers.get(&(link.to_owned(), operation.to_owned())) {
+            Some(f) => f(input),
+            None => Err(format!("no handler for {operation} at {link}")),
+        }
+    }
+}
+
+// ==== control =============================================================
+
+/// Lifecycle state of a monitored invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, heartbeats arriving.
+    Running,
+    /// Completed successfully.
+    Done,
+    /// Reported failure or heartbeat lease expired.
+    Failed,
+}
+
+/// Soft-state control of long-running invocations (section 2.9): a service
+/// that cannot complete within a short, well-known timeframe must heartbeat;
+/// when its lease lapses the job is declared failed and may be re-brokered.
+#[derive(Debug, Default)]
+pub struct ControlMonitor {
+    jobs: HashMap<String, (JobState, Time)>,
+    lease_ms: u64,
+}
+
+impl ControlMonitor {
+    /// A monitor with the given heartbeat lease.
+    pub fn new(lease_ms: u64) -> Self {
+        ControlMonitor { jobs: HashMap::new(), lease_ms }
+    }
+
+    /// Register a job starting at `now`.
+    pub fn start(&mut self, job_id: impl Into<String>, now: Time) {
+        self.jobs.insert(job_id.into(), (JobState::Running, now.plus(self.lease_ms)));
+    }
+
+    /// Record a heartbeat (extends the lease).
+    pub fn heartbeat(&mut self, job_id: &str, now: Time) -> bool {
+        match self.jobs.get_mut(job_id) {
+            Some((JobState::Running, lease)) => {
+                *lease = now.plus(self.lease_ms);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record completion.
+    pub fn complete(&mut self, job_id: &str) {
+        if let Some((state, _)) = self.jobs.get_mut(job_id) {
+            if *state == JobState::Running {
+                *state = JobState::Done;
+            }
+        }
+    }
+
+    /// Expire lapsed leases; returns the job ids newly declared failed.
+    pub fn tick(&mut self, now: Time) -> Vec<String> {
+        let mut failed = Vec::new();
+        for (id, (state, lease)) in self.jobs.iter_mut() {
+            if *state == JobState::Running && now >= *lease {
+                *state = JobState::Failed;
+                failed.push(id.clone());
+            }
+        }
+        failed.sort();
+        failed
+    }
+
+    /// Current state of a job.
+    pub fn state(&self, job_id: &str) -> Option<JobState> {
+        self.jobs.get(job_id).map(|(s, _)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swsdl::ServiceDescription;
+
+    fn candidate(link: &str, iface: &str, op: &str, load: f64, owner: &str) -> Candidate {
+        let sd = ServiceDescription::parse_swsdl(&format!(
+            "service {link} {{ interface {iface} {{ operation {op}(); bind http GET {link}/x; }} }}"
+        ))
+        .unwrap();
+        Candidate { link: link.to_owned(), description: sd, load, owner: owner.to_owned() }
+    }
+
+    #[test]
+    fn first_fit_broker() {
+        let request = Request::new().needs("Executor-1.0", "submitJob");
+        let pool = vec![vec![
+            candidate("http://a", "Executor-1.0", "submitJob", 0.9, "a.org"),
+            candidate("http://b", "Executor-1.0", "submitJob", 0.1, "b.org"),
+        ]];
+        let s = FirstFitBroker.schedule(&request, &pool).unwrap();
+        assert_eq!(s.invocations[0].link, "http://a");
+    }
+
+    #[test]
+    fn least_loaded_broker() {
+        let request = Request::new().needs("Executor-1.0", "submitJob");
+        let pool = vec![vec![
+            candidate("http://a", "Executor-1.0", "submitJob", 0.9, "a.org"),
+            candidate("http://b", "Executor-1.0", "submitJob", 0.1, "b.org"),
+        ]];
+        let s = LeastLoadedBroker.schedule(&request, &pool).unwrap();
+        assert_eq!(s.invocations[0].link, "http://b");
+    }
+
+    #[test]
+    fn locality_beats_raw_load() {
+        let request =
+            Request::new().needs("Executor-1.0", "submitJob").prefer_domain("cern.ch");
+        let pool = vec![vec![
+            candidate("http://far", "Executor-1.0", "submitJob", 0.1, "fnal.gov"),
+            candidate("http://near", "Executor-1.0", "submitJob", 0.4, "cms.cern.ch"),
+        ]];
+        let s = DataLocalityBroker { locality_penalty: 0.5 }.schedule(&request, &pool).unwrap();
+        assert_eq!(s.invocations[0].link, "http://near");
+        // With a tiny penalty, raw load wins again.
+        let s2 = DataLocalityBroker { locality_penalty: 0.1 }.schedule(&request, &pool).unwrap();
+        assert_eq!(s2.invocations[0].link, "http://far");
+    }
+
+    #[test]
+    fn wildcard_interface_versions() {
+        let request = Request::new().needs("Executor-*", "submitJob");
+        let pool = vec![vec![candidate("http://a", "Executor-2.3", "submitJob", 0.5, "a.org")]];
+        let s = FirstFitBroker.schedule(&request, &pool).unwrap();
+        assert_eq!(s.invocations[0].interface_type, "Executor-2.3");
+    }
+
+    #[test]
+    fn unusable_candidates_rejected() {
+        let request = Request::new().needs("Executor-1.0", "submitJob");
+        // wrong operation
+        let pool = vec![vec![candidate("http://a", "Executor-1.0", "cancelJob", 0.5, "a.org")]];
+        assert_eq!(
+            FirstFitBroker.schedule(&request, &pool),
+            Err(BrokerError::NoCandidate { index: 0 })
+        );
+        assert_eq!(
+            FirstFitBroker.schedule(&request, &[]),
+            Err(BrokerError::NoCandidate { index: 0 })
+        );
+    }
+
+    #[test]
+    fn execution_pipes_outputs() {
+        let mut invoker = SimInvoker::new();
+        invoker.handle("http://stage", "put", |input| Ok(format!("staged({input})")));
+        invoker.handle("http://exec", "submitJob", |input| Ok(format!("ran({input})")));
+        let schedule = Schedule {
+            invocations: vec![
+                ScheduledInvocation {
+                    requirement_index: 0,
+                    link: "http://stage".into(),
+                    interface_type: "Storage-1.1".into(),
+                    operation: "put".into(),
+                },
+                ScheduledInvocation {
+                    requirement_index: 1,
+                    link: "http://exec".into(),
+                    interface_type: "Executor-1.0".into(),
+                    operation: "submitJob".into(),
+                },
+            ],
+        };
+        let report = execute(&schedule, &invoker, "input.dat").unwrap();
+        assert_eq!(report.outputs, ["staged(input.dat)", "ran(staged(input.dat))"]);
+    }
+
+    #[test]
+    fn execution_failure_reports_position() {
+        let invoker = SimInvoker::new();
+        let schedule = Schedule {
+            invocations: vec![ScheduledInvocation {
+                requirement_index: 0,
+                link: "http://x".into(),
+                interface_type: "I".into(),
+                operation: "op".into(),
+            }],
+        };
+        let err = execute(&schedule, &invoker, "in").unwrap_err();
+        assert!(matches!(err, ExecutionError::InvocationFailed { index: 0, .. }));
+    }
+
+    #[test]
+    fn control_monitor_lifecycle() {
+        let mut m = ControlMonitor::new(1000);
+        m.start("job1", Time(0));
+        m.start("job2", Time(0));
+        assert_eq!(m.state("job1"), Some(JobState::Running));
+        assert!(m.heartbeat("job1", Time(800)));
+        // job2 misses its lease.
+        let failed = m.tick(Time(1000));
+        assert_eq!(failed, ["job2"]);
+        assert_eq!(m.state("job1"), Some(JobState::Running));
+        assert_eq!(m.state("job2"), Some(JobState::Failed));
+        // heartbeats on failed jobs are rejected
+        assert!(!m.heartbeat("job2", Time(1100)));
+        m.complete("job1");
+        assert_eq!(m.state("job1"), Some(JobState::Done));
+        assert!(m.tick(Time(99_999)).is_empty());
+        assert_eq!(m.state("nope"), None);
+    }
+}

@@ -1,0 +1,250 @@
+//! The full chapter-2 pipeline against a live hyper registry:
+//! description → presentation → publication → request → discovery →
+//! brokering → execution → control.
+
+use std::sync::Arc;
+use wsda_core::interfaces::{
+    publish_presenter, Consumer, RegistryService, SimpleService,
+};
+use wsda_core::steps::{
+    discover, execute, Broker, ControlMonitor, DataLocalityBroker, JobState, LeastLoadedBroker,
+    OperationRequirement, Request, SimInvoker,
+};
+use wsda_core::swsdl::ServiceDescription;
+use wsda_registry::clock::{Clock, ManualClock};
+use wsda_registry::{HyperRegistry, PublishRequest, RegistryConfig};
+use wsda_xml::Element;
+
+fn executor_description(link: &str) -> ServiceDescription {
+    ServiceDescription::parse_swsdl(&format!(
+        r#"service {link} {{
+             interface Executor-1.0 {{
+               operation submitJob(string job) returns string;
+               bind http GET {link}/submit;
+             }}
+           }}"#
+    ))
+    .unwrap()
+}
+
+/// Service content with owner/load fields the brokers read.
+fn enriched_content(link: &str, owner: &str, load: f64) -> Element {
+    let mut xml = executor_description(link).to_xml();
+    xml.push(Element::new("owner").with_text(owner));
+    xml.push(Element::new("load").with_text(format!("{load}")));
+    xml
+}
+
+fn registry_service() -> (Arc<ManualClock>, RegistryService) {
+    let clock = Arc::new(ManualClock::new());
+    let registry = Arc::new(HyperRegistry::new(RegistryConfig::default(), clock.clone()));
+    (clock, RegistryService::new("http://registry.cern.ch/", registry))
+}
+
+#[test]
+fn end_to_end_discovery_brokering_execution() {
+    let (_, rs) = registry_service();
+    // Publication: three executors with different loads and owners.
+    for (link, owner, load) in [
+        ("http://cms.cern.ch/exec", "cms.cern.ch", 0.7),
+        ("http://fnal.gov/exec", "fnal.gov", 0.1),
+        ("http://atlas.cern.ch/exec", "atlas.cern.ch", 0.4),
+    ] {
+        rs.publish(
+            PublishRequest::new(link, "service")
+                .with_context(owner)
+                .with_content(enriched_content(link, owner, load)),
+        )
+        .unwrap();
+        let _ = wsda_core::Consumer::refresh(&rs, link, None);
+    }
+
+    // Discovery.
+    let req = OperationRequirement {
+        interface_type: "Executor-1.0".into(),
+        operation: "submitJob".into(),
+    };
+    let candidates = discover(&rs, &req).unwrap();
+    assert_eq!(candidates.len(), 3);
+    assert!(candidates.iter().all(|c| !c.link.is_empty()));
+
+    // Brokering: least loaded picks fnal.
+    let request = Request::new().needs("Executor-1.0", "submitJob");
+    let schedule = LeastLoadedBroker.schedule(&request, &[candidates.clone()]).unwrap();
+    assert_eq!(schedule.invocations[0].link, "http://fnal.gov/exec");
+
+    // Brokering with locality preference picks atlas (best cern.ch).
+    let local_request =
+        Request::new().needs("Executor-1.0", "submitJob").prefer_domain("cern.ch");
+    let local = DataLocalityBroker { locality_penalty: 1.0 }
+        .schedule(&local_request, &[candidates.clone()])
+        .unwrap();
+    assert_eq!(local.invocations[0].link, "http://atlas.cern.ch/exec");
+
+    // Execution.
+    let mut invoker = SimInvoker::new();
+    invoker.handle("http://fnal.gov/exec", "submitJob", |input| Ok(format!("job({input})")));
+    let report = execute(&schedule, &invoker, "analysis.xml").unwrap();
+    assert_eq!(report.outputs, ["job(analysis.xml)"]);
+}
+
+#[test]
+fn discovery_respects_interface_wildcards() {
+    let (_, rs) = registry_service();
+    rs.publish(
+        PublishRequest::new("http://a", "service").with_content(enriched_content(
+            "http://a",
+            "x.org",
+            0.5,
+        )),
+    )
+    .unwrap();
+    let exact = OperationRequirement {
+        interface_type: "Executor-1.0".into(),
+        operation: "submitJob".into(),
+    };
+    let wild = OperationRequirement {
+        interface_type: "Executor-*".into(),
+        operation: "submitJob".into(),
+    };
+    let wrong = OperationRequirement {
+        interface_type: "Executor-2.0".into(),
+        operation: "submitJob".into(),
+    };
+    assert_eq!(discover(&rs, &exact).unwrap().len(), 1);
+    assert_eq!(discover(&rs, &wild).unwrap().len(), 1);
+    assert_eq!(discover(&rs, &wrong).unwrap().len(), 0);
+}
+
+#[test]
+fn presenter_publication_is_discoverable() {
+    let (_, rs) = registry_service();
+    let svc = SimpleService::new(executor_description("http://cms.cern.ch/exec"));
+    publish_presenter(&svc, &rs, "cms.cern.ch", 60_000).unwrap();
+    let req = OperationRequirement {
+        interface_type: "Executor-1.0".into(),
+        operation: "submitJob".into(),
+    };
+    let found = discover(&rs, &req).unwrap();
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].link, "http://cms.cern.ch/exec");
+    assert_eq!(found[0].description.interfaces[0].operations[0].params[0].name, "job");
+}
+
+#[test]
+fn expired_services_disappear_from_discovery() {
+    let (clock, rs) = registry_service();
+    rs.publish(
+        PublishRequest::new("http://a", "service")
+            .with_ttl_ms(5_000)
+            .with_content(enriched_content("http://a", "x.org", 0.5)),
+    )
+    .unwrap();
+    let req = OperationRequirement {
+        interface_type: "Executor-1.0".into(),
+        operation: "submitJob".into(),
+    };
+    assert_eq!(discover(&rs, &req).unwrap().len(), 1);
+    clock.advance(5_000);
+    assert_eq!(discover(&rs, &req).unwrap().len(), 0, "soft state removed the dead service");
+}
+
+#[test]
+fn control_rebrokering_after_lease_expiry() {
+    // A schedule's job dies silently; control marks it failed and the
+    // request is re-brokered to the next candidate.
+    let (clock, rs) = registry_service();
+    for (link, load) in [("http://a/exec", 0.1), ("http://b/exec", 0.2)] {
+        rs.publish(
+            PublishRequest::new(link, "service").with_content(enriched_content(
+                link,
+                "x.org",
+                load,
+            )),
+        )
+        .unwrap();
+    }
+    let req = OperationRequirement {
+        interface_type: "Executor-1.0".into(),
+        operation: "submitJob".into(),
+    };
+    let request = Request::new().needs("Executor-1.0", "submitJob");
+    let candidates = discover(&rs, &req).unwrap();
+    let schedule = LeastLoadedBroker.schedule(&request, &[candidates.clone()]).unwrap();
+    assert_eq!(schedule.invocations[0].link, "http://a/exec");
+
+    let mut monitor = ControlMonitor::new(10_000);
+    monitor.start("job-1", clock.now());
+    clock.advance(10_000); // no heartbeats arrive
+    let failed = monitor.tick(clock.now());
+    assert_eq!(failed, ["job-1"]);
+    assert_eq!(monitor.state("job-1"), Some(JobState::Failed));
+
+    // Re-broker excluding the dead service.
+    let alive: Vec<_> =
+        candidates.into_iter().filter(|c| c.link != "http://a/exec").collect();
+    let retry = LeastLoadedBroker.schedule(&request, &[alive]).unwrap();
+    assert_eq!(retry.invocations[0].link, "http://b/exec");
+}
+
+#[test]
+fn presenter_provider_serves_live_descriptions() {
+    use std::sync::Mutex;
+    use wsda_core::interfaces::PresenterProvider;
+    use wsda_core::Presenter;
+    use wsda_registry::{ContentProvider, Freshness};
+    use wsda_xq::Query;
+
+    // A presenter whose description evolves (a service adding an interface).
+    struct Evolving {
+        descriptions: Mutex<Vec<ServiceDescription>>,
+    }
+    impl Presenter for Evolving {
+        fn get_service_description(&self) -> ServiceDescription {
+            let mut d = self.descriptions.lock().unwrap();
+            if d.len() > 1 {
+                d.remove(0)
+            } else {
+                d[0].clone()
+            }
+        }
+    }
+
+    let v1 = executor_description("http://evolving.example/exec");
+    let mut v2 = v1.clone();
+    v2.interfaces.push(wsda_core::Interface {
+        type_: "Presenter-1.0".into(),
+        operations: vec![],
+    });
+    let presenter = Arc::new(Evolving { descriptions: Mutex::new(vec![v1, v2]) });
+
+    let provider = PresenterProvider::new(presenter);
+    assert_eq!(provider.link(), "http://evolving.example/exec");
+
+    let (clock, rs) = registry_service();
+    // Note: PresenterProvider::new itself reads one description (for the
+    // link), so the evolution sequence starts with two identical v1 entries.
+    rs.registry().register_provider(Arc::new(PresenterProvider::new(Arc::new(Evolving {
+        descriptions: Mutex::new(vec![
+            executor_description("http://evolving.example/exec"),
+            executor_description("http://evolving.example/exec"),
+            {
+                let mut d = executor_description("http://evolving.example/exec");
+                d.interfaces.push(wsda_core::Interface {
+                    type_: "Presenter-1.0".into(),
+                    operations: vec![],
+                });
+                d
+            },
+        ]),
+    }))));
+    rs.publish(PublishRequest::new("http://evolving.example/exec", "service")).unwrap();
+
+    // First pull sees one interface; a fresh pull later sees two.
+    let q = Query::parse("count(//service/interface)").unwrap();
+    let first = rs.registry().query(&q, &Freshness::any()).unwrap();
+    assert_eq!(first.results[0].number_value(), 1.0);
+    clock.advance(60_000);
+    let second = rs.registry().query(&q, &Freshness::max_age(1_000)).unwrap();
+    assert_eq!(second.results[0].number_value(), 2.0, "registry pulled the evolved description");
+}

@@ -1,0 +1,27 @@
+//! # wsda-net — network substrate for the P2P experiments
+//!
+//! The original system ran over HTTP on Grid testbeds; reproducing the P2P
+//! evaluation needs thousands of nodes on one machine, so this crate
+//! provides:
+//!
+//! * [`sim`] — a deterministic discrete-event simulator: a virtual clock,
+//!   an event queue, pluggable latency/bandwidth models and fault
+//!   injection. UPDF drives it to measure messages, hops and wall-clock
+//!   shapes for networks up to 10⁴ nodes,
+//! * [`model`] — latency/bandwidth models (constant, uniform, heterogeneous
+//!   per-node slowness) and drop/crash fault plans,
+//! * [`transport`] — a crossbeam-channel threaded transport for *live*
+//!   multi-threaded runs of the same node code (examples and stress tests),
+//!   with an optional delay line.
+//!
+//! Virtual time is [`wsda_registry::clock::Time`], shared with the
+//! registry's soft-state machinery, so one clock drives leases, caches and
+//! message delivery coherently.
+
+pub mod model;
+pub mod sim;
+pub mod transport;
+
+pub use model::{FaultPlan, LatencyModel, NetworkModel};
+pub use sim::{Delivery, NodeId, SimStats, Simulator};
+pub use transport::ThreadedNetwork;

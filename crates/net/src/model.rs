@@ -1,0 +1,200 @@
+//! Latency, bandwidth and fault models.
+
+use crate::sim::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A pluggable point-to-point latency model.
+pub trait LatencyModel: Send {
+    /// One-way propagation delay in milliseconds from `from` to `to`.
+    fn latency_ms(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> u64;
+}
+
+/// Constant latency.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLatency(pub u64);
+
+impl LatencyModel for ConstantLatency {
+    fn latency_ms(&self, _: NodeId, _: NodeId, _: &mut StdRng) -> u64 {
+        self.0
+    }
+}
+
+/// Uniform latency in `[lo, hi]` — the classic WAN jitter model.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformLatency {
+    /// Minimum one-way delay.
+    pub lo: u64,
+    /// Maximum one-way delay.
+    pub hi: u64,
+}
+
+impl LatencyModel for UniformLatency {
+    fn latency_ms(&self, _: NodeId, _: NodeId, rng: &mut StdRng) -> u64 {
+        if self.hi <= self.lo {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+}
+
+/// Heterogeneous nodes: a fraction of nodes are `slow_factor`× slower on
+/// every path touching them — the setting that motivates the dynamic abort
+/// timeout (chapter 6).
+#[derive(Debug, Clone)]
+pub struct HeterogeneousLatency {
+    /// Base model.
+    pub base_lo: u64,
+    /// Base model upper bound.
+    pub base_hi: u64,
+    /// Which nodes are slow.
+    pub slow_nodes: HashSet<NodeId>,
+    /// Multiplier applied when either endpoint is slow.
+    pub slow_factor: u64,
+}
+
+impl LatencyModel for HeterogeneousLatency {
+    fn latency_ms(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> u64 {
+        let base = if self.base_hi <= self.base_lo {
+            self.base_lo
+        } else {
+            rng.gen_range(self.base_lo..=self.base_hi)
+        };
+        if self.slow_nodes.contains(&from) || self.slow_nodes.contains(&to) {
+            base * self.slow_factor
+        } else {
+            base
+        }
+    }
+}
+
+/// The complete network model: propagation latency plus a serialization
+/// term proportional to message size.
+pub struct NetworkModel {
+    /// Propagation model.
+    pub latency: Box<dyn LatencyModel>,
+    /// Link bandwidth in bytes per millisecond (`None` = infinite).
+    pub bandwidth_bytes_per_ms: Option<u64>,
+}
+
+impl NetworkModel {
+    /// Constant-latency, infinite-bandwidth model.
+    pub fn constant(ms: u64) -> Self {
+        NetworkModel { latency: Box::new(ConstantLatency(ms)), bandwidth_bytes_per_ms: None }
+    }
+
+    /// Uniform latency in `[lo, hi]`, infinite bandwidth.
+    pub fn uniform(lo: u64, hi: u64) -> Self {
+        NetworkModel { latency: Box::new(UniformLatency { lo, hi }), bandwidth_bytes_per_ms: None }
+    }
+
+    /// Add a finite bandwidth to any model.
+    pub fn with_bandwidth(mut self, bytes_per_ms: u64) -> Self {
+        self.bandwidth_bytes_per_ms = Some(bytes_per_ms);
+        self
+    }
+
+    /// Total transfer delay for a message of `bytes` from `from` to `to`.
+    pub fn transfer_ms(&self, from: NodeId, to: NodeId, bytes: u64, rng: &mut StdRng) -> u64 {
+        let prop = self.latency.latency_ms(from, to, rng);
+        let ser = match self.bandwidth_bytes_per_ms {
+            Some(b) if b > 0 => bytes / b,
+            _ => 0,
+        };
+        prop + ser
+    }
+}
+
+/// Fault injection: message drops and dead nodes.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability in `[0,1]` that any message is silently dropped.
+    pub drop_probability: f64,
+    /// Nodes that neither send nor receive.
+    pub dead_nodes: HashSet<NodeId>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Should this message be dropped?
+    pub fn drops(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> bool {
+        if self.dead_nodes.contains(&from) || self.dead_nodes.contains(&to) {
+            return true;
+        }
+        self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability.min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn constant_latency() {
+        let m = ConstantLatency(7);
+        assert_eq!(m.latency_ms(NodeId(0), NodeId(1), &mut rng()), 7);
+    }
+
+    #[test]
+    fn uniform_latency_in_range() {
+        let m = UniformLatency { lo: 5, hi: 15 };
+        let mut r = rng();
+        for _ in 0..100 {
+            let l = m.latency_ms(NodeId(0), NodeId(1), &mut r);
+            assert!((5..=15).contains(&l));
+        }
+        let degenerate = UniformLatency { lo: 9, hi: 9 };
+        assert_eq!(degenerate.latency_ms(NodeId(0), NodeId(1), &mut r), 9);
+    }
+
+    #[test]
+    fn heterogeneous_slows_touching_paths() {
+        let m = HeterogeneousLatency {
+            base_lo: 10,
+            base_hi: 10,
+            slow_nodes: [NodeId(5)].into_iter().collect(),
+            slow_factor: 8,
+        };
+        let mut r = rng();
+        assert_eq!(m.latency_ms(NodeId(0), NodeId(1), &mut r), 10);
+        assert_eq!(m.latency_ms(NodeId(5), NodeId(1), &mut r), 80);
+        assert_eq!(m.latency_ms(NodeId(1), NodeId(5), &mut r), 80);
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let m = NetworkModel::constant(10).with_bandwidth(100);
+        let mut r = rng();
+        assert_eq!(m.transfer_ms(NodeId(0), NodeId(1), 0, &mut r), 10);
+        assert_eq!(m.transfer_ms(NodeId(0), NodeId(1), 1000, &mut r), 20);
+        let inf = NetworkModel::constant(10);
+        assert_eq!(inf.transfer_ms(NodeId(0), NodeId(1), 1_000_000, &mut r), 10);
+    }
+
+    #[test]
+    fn fault_plan() {
+        let mut r = rng();
+        let none = FaultPlan::none();
+        assert!(!none.drops(NodeId(0), NodeId(1), &mut r));
+        let dead = FaultPlan {
+            drop_probability: 0.0,
+            dead_nodes: [NodeId(3)].into_iter().collect(),
+        };
+        assert!(dead.drops(NodeId(3), NodeId(1), &mut r));
+        assert!(dead.drops(NodeId(1), NodeId(3), &mut r));
+        assert!(!dead.drops(NodeId(1), NodeId(2), &mut r));
+        let lossy = FaultPlan { drop_probability: 1.0, dead_nodes: HashSet::new() };
+        assert!(lossy.drops(NodeId(1), NodeId(2), &mut r));
+    }
+}

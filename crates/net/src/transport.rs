@@ -1,0 +1,225 @@
+//! A threaded in-process transport for live multi-node runs.
+//!
+//! Where the simulator runs node logic single-threaded under virtual time,
+//! `ThreadedNetwork` delivers over crossbeam channels between real threads
+//! — the examples use it to run a small federation "for real". An optional
+//! delay line injects fixed per-message latency without blocking senders.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::sim::NodeId;
+
+/// A delivered envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Payload.
+    pub message: M,
+}
+
+struct Delayed<M> {
+    due: Instant,
+    seq: u64,
+    to: NodeId,
+    envelope: Envelope<M>,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest due first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+struct Shared<M> {
+    inboxes: HashMap<NodeId, Sender<Envelope<M>>>,
+}
+
+/// An in-process message network between threads.
+pub struct ThreadedNetwork<M> {
+    shared: Arc<Mutex<Shared<M>>>,
+    delay: Option<Duration>,
+    delay_tx: Option<Sender<Delayed<M>>>,
+}
+
+impl<M: Send + 'static> ThreadedNetwork<M> {
+    /// A network with instant delivery.
+    pub fn new() -> Self {
+        ThreadedNetwork {
+            shared: Arc::new(Mutex::new(Shared { inboxes: HashMap::new() })),
+            delay: None,
+            delay_tx: None,
+        }
+    }
+
+    /// A network where every message is delayed by `delay` (a background
+    /// thread runs the delay line).
+    pub fn with_delay(delay: Duration) -> Self {
+        let shared: Arc<Mutex<Shared<M>>> =
+            Arc::new(Mutex::new(Shared { inboxes: HashMap::new() }));
+        let (tx, rx): (Sender<Delayed<M>>, Receiver<Delayed<M>>) = unbounded();
+        let worker_shared = shared.clone();
+        std::thread::spawn(move || delay_line(rx, worker_shared));
+        ThreadedNetwork { shared, delay: Some(delay), delay_tx: Some(tx) }
+    }
+
+    /// Register a node, returning its inbox receiver.
+    pub fn register(&self, node: NodeId) -> Receiver<Envelope<M>> {
+        let (tx, rx) = unbounded();
+        self.shared.lock().inboxes.insert(node, tx);
+        rx
+    }
+
+    /// Remove a node (its inbox closes).
+    pub fn deregister(&self, node: NodeId) {
+        self.shared.lock().inboxes.remove(&node);
+    }
+
+    /// Send `message` to `to`. Returns `false` when the target is unknown
+    /// or its inbox has closed.
+    pub fn send(&self, from: NodeId, to: NodeId, message: M) -> bool {
+        match (&self.delay, &self.delay_tx) {
+            (Some(d), Some(tx)) => {
+                static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let known = self.shared.lock().inboxes.contains_key(&to);
+                if !known {
+                    return false;
+                }
+                tx.send(Delayed {
+                    due: Instant::now() + *d,
+                    seq: SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                    to,
+                    envelope: Envelope { from, message },
+                })
+                .is_ok()
+            }
+            _ => {
+                let shared = self.shared.lock();
+                match shared.inboxes.get(&to) {
+                    Some(tx) => tx.send(Envelope { from, message }).is_ok(),
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.shared.lock().inboxes.len()
+    }
+}
+
+impl<M: Send + 'static> Default for ThreadedNetwork<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn delay_line<M: Send>(rx: Receiver<Delayed<M>>, shared: Arc<Mutex<Shared<M>>>) {
+    let mut heap: BinaryHeap<Delayed<M>> = BinaryHeap::new();
+    loop {
+        // Wait for the next due message or a new arrival, whichever first.
+        let timeout = heap
+            .peek()
+            .map(|d| d.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(d) => heap.push(d),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                if heap.is_empty() {
+                    return;
+                }
+            }
+        }
+        let now = Instant::now();
+        while heap.peek().is_some_and(|d| d.due <= now) {
+            let d = heap.pop().expect("peeked");
+            let shared = shared.lock();
+            if let Some(tx) = shared.inboxes.get(&d.to) {
+                let _ = tx.send(d.envelope);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_delivery() {
+        let net: ThreadedNetwork<String> = ThreadedNetwork::new();
+        let rx1 = net.register(NodeId(1));
+        assert!(net.send(NodeId(0), NodeId(1), "hello".into()));
+        let env = rx1.recv().unwrap();
+        assert_eq!(env.from, NodeId(0));
+        assert_eq!(env.message, "hello");
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let net: ThreadedNetwork<u32> = ThreadedNetwork::new();
+        assert!(!net.send(NodeId(0), NodeId(9), 1));
+        let rx = net.register(NodeId(9));
+        assert!(net.send(NodeId(0), NodeId(9), 1));
+        assert_eq!(rx.recv().unwrap().message, 1);
+        net.deregister(NodeId(9));
+        assert!(!net.send(NodeId(0), NodeId(9), 1));
+    }
+
+    #[test]
+    fn cross_thread_roundtrip() {
+        let net: Arc<ThreadedNetwork<u32>> = Arc::new(ThreadedNetwork::new());
+        let rx_server = net.register(NodeId(1));
+        let rx_client = net.register(NodeId(0));
+        let server_net = net.clone();
+        let server = std::thread::spawn(move || {
+            let env = rx_server.recv().unwrap();
+            server_net.send(NodeId(1), env.from, env.message * 2);
+        });
+        net.send(NodeId(0), NodeId(1), 21);
+        let reply = rx_client.recv().unwrap();
+        assert_eq!(reply.message, 42);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn delayed_delivery_orders_by_due_time() {
+        let net: ThreadedNetwork<u32> =
+            ThreadedNetwork::with_delay(Duration::from_millis(20));
+        let rx = net.register(NodeId(1));
+        let start = Instant::now();
+        net.send(NodeId(0), NodeId(1), 1);
+        net.send(NodeId(0), NodeId(1), 2);
+        let a = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!((a.message, b.message), (1, 2));
+    }
+
+    #[test]
+    fn node_count_tracks_registrations() {
+        let net: ThreadedNetwork<()> = ThreadedNetwork::new();
+        assert_eq!(net.node_count(), 0);
+        let _r = net.register(NodeId(0));
+        let _r2 = net.register(NodeId(1));
+        assert_eq!(net.node_count(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Stream framing: delimiting PDP messages on a byte stream.
+//!
+//! The wire codec ([`crate::wire`]) encodes one message; real transports
+//! (TCP in the original, the threaded channel transport here) carry a
+//! *stream* of them. Frames are `u32` big-endian length prefixes followed
+//! by the encoded message — the classic self-synchronizing layout the
+//! thesis's BEEP/HTTP bindings provided.
+
+use crate::message::Message;
+use crate::wire::{decode, encode, WireError};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Largest accepted frame (matches the codec's sanity bound).
+pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Append a framed message to `out`.
+pub fn write_frame(out: &mut BytesMut, message: &Message) {
+    let body = encode(message);
+    out.put_u32(body.len() as u32);
+    out.put_slice(&body);
+}
+
+/// Incrementally splits a byte stream into messages.
+///
+/// Feed arbitrary chunks with [`FrameReader::extend`]; drain complete
+/// messages with [`FrameReader::next_message`]. Partial frames are
+/// buffered; a declared length above [`MAX_FRAME`] is a protocol error.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buffer: BytesMut,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (for backpressure accounting).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Try to decode the next complete message. `Ok(None)` means more
+    /// bytes are needed.
+    pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
+        if self.buffer.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_be_bytes([
+            self.buffer[0],
+            self.buffer[1],
+            self.buffer[2],
+            self.buffer[3],
+        ]);
+        if declared > MAX_FRAME {
+            return Err(WireError::LengthOverflow(declared as u64));
+        }
+        let total = 4 + declared as usize;
+        if self.buffer.len() < total {
+            return Ok(None);
+        }
+        self.buffer.advance(4);
+        let body = self.buffer.split_to(declared as usize);
+        decode(&body).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{QueryLanguage, ResponseMode, Scope, TransactionId};
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Query {
+                transaction: TransactionId::derive(4, 4),
+                query: "//service".into(),
+                language: QueryLanguage::XQuery,
+                scope: Scope::default(),
+                response_mode: ResponseMode::Routed,
+            },
+            Message::Ping,
+            Message::Results {
+                transaction: TransactionId::derive(4, 5),
+                items: vec!["<a/>".into()],
+                last: true,
+                origin: "n1".into(),
+            },
+            Message::Close { transaction: TransactionId::derive(4, 6) },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_stream() {
+        let mut stream = BytesMut::new();
+        for m in samples() {
+            write_frame(&mut stream, &m);
+        }
+        let mut reader = FrameReader::new();
+        reader.extend(&stream);
+        let mut got = Vec::new();
+        while let Some(m) = reader.next_message().unwrap() {
+            got.push(m);
+        }
+        assert_eq!(got, samples());
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let mut stream = BytesMut::new();
+        for m in samples() {
+            write_frame(&mut stream, &m);
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for b in stream.iter() {
+            reader.extend(&[*b]);
+            while let Some(m) = reader.next_message().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, samples());
+    }
+
+    #[test]
+    fn split_across_arbitrary_chunks() {
+        let mut stream = BytesMut::new();
+        for m in samples() {
+            write_frame(&mut stream, &m);
+        }
+        for chunk_size in [1usize, 3, 7, 16, 64, 1024] {
+            let mut reader = FrameReader::new();
+            let mut got = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                reader.extend(chunk);
+                while let Some(m) = reader.next_message().unwrap() {
+                    got.push(m);
+                }
+            }
+            assert_eq!(got, samples(), "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut reader = FrameReader::new();
+        reader.extend(&(MAX_FRAME + 1).to_be_bytes());
+        assert!(matches!(reader.next_message(), Err(WireError::LengthOverflow(_))));
+    }
+
+    #[test]
+    fn incomplete_frame_waits() {
+        let mut stream = BytesMut::new();
+        write_frame(&mut stream, &Message::Ping);
+        let mut reader = FrameReader::new();
+        reader.extend(&stream[..stream.len() - 1]);
+        assert_eq!(reader.next_message().unwrap(), None);
+        reader.extend(&stream[stream.len() - 1..]);
+        assert_eq!(reader.next_message().unwrap(), Some(Message::Ping));
+    }
+
+    #[test]
+    fn corrupt_body_surfaces_codec_error() {
+        let mut reader = FrameReader::new();
+        reader.extend(&1u32.to_be_bytes());
+        reader.extend(&[0xFF]); // unknown message kind
+        assert!(matches!(reader.next_message(), Err(WireError::BadKind(0xFF))));
+    }
+}

@@ -1,0 +1,27 @@
+//! # wsda-pdp — the Peer Database Protocol
+//!
+//! Chapter 7 of the dissertation: the messaging model and network protocol
+//! that carries UPDF operations between an **originator** and **nodes** of
+//! a P2P database network.
+//!
+//! * [`message`] — the concrete message set: `Query` (with transaction id,
+//!   query text/language, scope and response mode), `Results` (streamable,
+//!   with optional error/metadata), `Invite` (direct-response rendezvous),
+//!   `Close`, `Ping`/`Pong`,
+//! * [`wire`] — a compact length-prefixed binary codec over [`bytes`],
+//!   giving every experiment an honest bytes-on-the-wire measure,
+//! * [`state`] — the per-node **node state table**: transaction state with
+//!   parent/children bookkeeping, duplicate (loop) detection and static
+//!   loop timeout expiry.
+
+pub mod framing;
+pub mod message;
+pub mod state;
+pub mod wire;
+
+pub use framing::{write_frame, FrameReader};
+pub use message::{
+    Endpoint, Message, QueryLanguage, ResponseMode, Scope, TransactionId,
+};
+pub use state::{BeginOutcome, NodeStateTable, TransactionState};
+pub use wire::{decode, encode, encoded_len, WireError};

@@ -1,0 +1,241 @@
+//! The node state table (dissertation section 7.6).
+//!
+//! Every node keeps per-transaction state: where the query came from (the
+//! *parent* toward the originator), which neighbors it was forwarded to
+//! (pending *children*), how many results were emitted, and when the state
+//! expires. The table is also the **loop detector**: a `Query` for a
+//! transaction already present is a duplicate and must not be processed
+//! again. State is retained for the *static loop timeout* so that slow
+//! duplicate deliveries are still recognized after a transaction finishes.
+
+use crate::message::{Endpoint, TransactionId};
+use std::collections::{HashMap, HashSet};
+use wsda_registry::clock::Time;
+
+/// Outcome of offering a query to the state table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginOutcome {
+    /// First sighting: process the query.
+    Fresh,
+    /// Already seen (loop or duplicate path): drop it.
+    Duplicate,
+}
+
+/// Per-transaction state at one node.
+#[derive(Debug, Clone)]
+pub struct TransactionState {
+    /// The transaction id.
+    pub transaction: TransactionId,
+    /// Neighbor to route results toward (`None` at the originator).
+    pub parent: Option<Endpoint>,
+    /// Neighbors this node forwarded the query to and has not yet seen a
+    /// final `Results` from.
+    pub pending_children: HashSet<Endpoint>,
+    /// Whether this node finished its own local evaluation.
+    pub local_done: bool,
+    /// Result items already sent toward the originator.
+    pub results_sent: u64,
+    /// Whether a `Close` was seen (suppress further work).
+    pub closed: bool,
+    /// When this state was created.
+    pub created: Time,
+    /// When this state may be forgotten (static loop timeout).
+    pub expires: Time,
+}
+
+impl TransactionState {
+    /// A subtree is complete when local evaluation finished and every
+    /// child delivered its final results.
+    pub fn complete(&self) -> bool {
+        self.local_done && self.pending_children.is_empty()
+    }
+}
+
+/// The per-node transaction table.
+#[derive(Debug, Default)]
+pub struct NodeStateTable {
+    entries: HashMap<TransactionId, TransactionState>,
+}
+
+impl NodeStateTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer an incoming query. Returns [`BeginOutcome::Duplicate`] and
+    /// leaves existing state untouched when the transaction is known.
+    pub fn begin(
+        &mut self,
+        transaction: TransactionId,
+        parent: Option<Endpoint>,
+        now: Time,
+        loop_timeout_ms: u64,
+    ) -> BeginOutcome {
+        if self.entries.contains_key(&transaction) {
+            return BeginOutcome::Duplicate;
+        }
+        self.entries.insert(
+            transaction,
+            TransactionState {
+                transaction,
+                parent,
+                pending_children: HashSet::new(),
+                local_done: false,
+                results_sent: 0,
+                closed: false,
+                created: now,
+                expires: now.plus(loop_timeout_ms),
+            },
+        );
+        BeginOutcome::Fresh
+    }
+
+    /// Borrow a transaction's state.
+    pub fn get(&self, transaction: &TransactionId) -> Option<&TransactionState> {
+        self.entries.get(transaction)
+    }
+
+    /// Mutably borrow a transaction's state.
+    pub fn get_mut(&mut self, transaction: &TransactionId) -> Option<&mut TransactionState> {
+        self.entries.get_mut(transaction)
+    }
+
+    /// Record that the query was forwarded to `child`.
+    pub fn add_child(&mut self, transaction: &TransactionId, child: Endpoint) {
+        if let Some(s) = self.entries.get_mut(transaction) {
+            s.pending_children.insert(child);
+        }
+    }
+
+    /// Record a final `Results` from `child`; returns `true` when the whole
+    /// subtree is now complete.
+    pub fn child_done(&mut self, transaction: &TransactionId, child: &str) -> bool {
+        match self.entries.get_mut(transaction) {
+            Some(s) => {
+                s.pending_children.remove(child);
+                s.complete()
+            }
+            None => false,
+        }
+    }
+
+    /// Record completion of the node's own local evaluation; returns `true`
+    /// when the whole subtree is now complete.
+    pub fn local_done(&mut self, transaction: &TransactionId) -> bool {
+        match self.entries.get_mut(transaction) {
+            Some(s) => {
+                s.local_done = true;
+                s.complete()
+            }
+            None => false,
+        }
+    }
+
+    /// Mark a transaction closed (early termination).
+    pub fn close(&mut self, transaction: &TransactionId) {
+        if let Some(s) = self.entries.get_mut(transaction) {
+            s.closed = true;
+            s.pending_children.clear();
+        }
+    }
+
+    /// Drop state whose static loop timeout has passed; returns how many
+    /// entries were expired.
+    pub fn sweep(&mut self, now: Time) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, s| s.expires > now);
+        before - self.entries.len()
+    }
+
+    /// Number of live transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no transactions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(n: u64) -> TransactionId {
+        TransactionId::derive(0, n)
+    }
+
+    #[test]
+    fn begin_then_duplicate() {
+        let mut t = NodeStateTable::new();
+        assert_eq!(t.begin(txn(1), Some("n0".into()), Time(0), 1000), BeginOutcome::Fresh);
+        assert_eq!(t.begin(txn(1), Some("n5".into()), Time(10), 1000), BeginOutcome::Duplicate);
+        // the original parent is preserved
+        assert_eq!(t.get(&txn(1)).unwrap().parent.as_deref(), Some("n0"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn completion_requires_local_and_children() {
+        let mut t = NodeStateTable::new();
+        t.begin(txn(1), None, Time(0), 1000);
+        t.add_child(&txn(1), "n1".into());
+        t.add_child(&txn(1), "n2".into());
+        assert!(!t.local_done(&txn(1)));
+        assert!(!t.child_done(&txn(1), "n1"));
+        assert!(t.child_done(&txn(1), "n2"), "last child completes the subtree");
+        assert!(t.get(&txn(1)).unwrap().complete());
+    }
+
+    #[test]
+    fn leaf_completes_on_local_done() {
+        let mut t = NodeStateTable::new();
+        t.begin(txn(2), Some("n0".into()), Time(0), 1000);
+        assert!(t.local_done(&txn(2)));
+    }
+
+    #[test]
+    fn unknown_children_ignored() {
+        let mut t = NodeStateTable::new();
+        t.begin(txn(1), None, Time(0), 1000);
+        t.local_done(&txn(1));
+        assert!(t.child_done(&txn(1), "never-added"), "complete state stays complete");
+        assert!(!t.child_done(&txn(9), "x"), "unknown transaction is not complete");
+    }
+
+    #[test]
+    fn close_clears_pending() {
+        let mut t = NodeStateTable::new();
+        t.begin(txn(1), None, Time(0), 1000);
+        t.add_child(&txn(1), "n1".into());
+        t.close(&txn(1));
+        let s = t.get(&txn(1)).unwrap();
+        assert!(s.closed);
+        assert!(s.pending_children.is_empty());
+    }
+
+    #[test]
+    fn sweep_respects_static_loop_timeout() {
+        let mut t = NodeStateTable::new();
+        t.begin(txn(1), None, Time(0), 1000);
+        t.begin(txn(2), None, Time(0), 5000);
+        assert_eq!(t.sweep(Time(999)), 0);
+        assert_eq!(t.sweep(Time(1000)), 1);
+        assert!(t.get(&txn(1)).is_none());
+        assert!(t.get(&txn(2)).is_some());
+        // After expiry the same transaction would be processed again — the
+        // thesis's argument for choosing the static timeout conservatively.
+        assert_eq!(t.begin(txn(1), None, Time(1500), 1000), BeginOutcome::Fresh);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn results_sent_accounting() {
+        let mut t = NodeStateTable::new();
+        t.begin(txn(1), None, Time(0), 1000);
+        t.get_mut(&txn(1)).unwrap().results_sent += 7;
+        assert_eq!(t.get(&txn(1)).unwrap().results_sent, 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! Virtual time.
+//!
+//! Soft state, freshness and churn are all about *time*; experiments sweep
+//! hours of TTL behaviour in milliseconds of wall time by driving a
+//! [`ManualClock`]. All registry and UPDF components read time through the
+//! [`Clock`] trait.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point in time, in milliseconds since an arbitrary epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// `self + millis`, saturating.
+    pub fn plus(self, millis: u64) -> Time {
+        Time(self.0.saturating_add(millis))
+    }
+
+    /// Milliseconds from `earlier` to `self` (0 if `earlier` is later).
+    pub fn since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Milliseconds value.
+    pub fn millis(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Time {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+/// A source of time.
+pub trait Clock: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> Time;
+}
+
+/// A manually advanced clock for simulations and tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `t`.
+    pub fn at(t: Time) -> Self {
+        ManualClock { now: AtomicU64::new(t.0) }
+    }
+
+    /// Advance by `millis` and return the new time.
+    pub fn advance(&self, millis: u64) -> Time {
+        Time(self.now.fetch_add(millis, Ordering::SeqCst) + millis)
+    }
+
+    /// Jump to an absolute time (must not go backwards).
+    pub fn set(&self, t: Time) {
+        let prev = self.now.swap(t.0, Ordering::SeqCst);
+        debug_assert!(prev <= t.0, "ManualClock must be monotonic ({prev} -> {})", t.0);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Time {
+        Time(self.now.load(Ordering::SeqCst))
+    }
+}
+
+/// Wall-clock time (milliseconds since process start).
+#[derive(Debug)]
+pub struct SystemClock {
+    start: std::time::Instant,
+}
+
+impl SystemClock {
+    /// A clock anchored at construction time.
+    pub fn new() -> Self {
+        SystemClock { start: std::time::Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Time {
+        Time(self.start.elapsed().as_millis() as u64)
+    }
+}
+
+/// A shared clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time(100);
+        assert_eq!(t.plus(50), Time(150));
+        assert_eq!(t.since(Time(30)), 70);
+        assert_eq!(Time(30).since(t), 0);
+        assert_eq!(Time(u64::MAX).plus(1), Time(u64::MAX));
+        assert_eq!(t.millis(), 100);
+        assert_eq!(t.to_string(), "t+100ms");
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Time::ZERO);
+        assert_eq!(c.advance(10), Time(10));
+        assert_eq!(c.advance(5), Time(15));
+        assert_eq!(c.now(), Time(15));
+        c.set(Time(100));
+        assert_eq!(c.now(), Time(100));
+    }
+
+    #[test]
+    fn manual_clock_at() {
+        let c = ManualClock::at(Time(42));
+        assert_eq!(c.now(), Time(42));
+    }
+
+    #[test]
+    fn system_clock_monotone() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_is_object_safe() {
+        let c: SharedClock = Arc::new(ManualClock::new());
+        assert_eq!(c.now(), Time::ZERO);
+    }
+}

@@ -1,0 +1,81 @@
+//! Registry error types.
+
+use std::fmt;
+
+/// Result alias used throughout `wsda-registry`.
+pub type RegistryResult<T> = Result<T, RegistryError>;
+
+/// Errors raised by registry operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// A publish/refresh referenced a content link with no registered
+    /// provider and supplied no pushed content.
+    NoProvider(String),
+    /// Refresh/unpublish of a link that is not currently published.
+    NotPublished(String),
+    /// Pulling content from the provider failed.
+    PullFailed {
+        /// The content link.
+        link: String,
+        /// The provider's error message.
+        reason: String,
+    },
+    /// A pull was suppressed by the registry's throttle.
+    Throttled(String),
+    /// The registry is full (`max_tuples` reached).
+    CapacityExceeded(usize),
+    /// Query evaluation failed.
+    Query(wsda_xq::XqError),
+    /// A TTL outside the registry's accepted bounds.
+    BadTtl {
+        /// The requested TTL in ms.
+        requested: u64,
+        /// Lowest accepted TTL.
+        min: u64,
+        /// Highest accepted TTL.
+        max: u64,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::NoProvider(l) => {
+                write!(f, "no content provider registered for {l} and no content pushed")
+            }
+            RegistryError::NotPublished(l) => write!(f, "{l} is not published"),
+            RegistryError::PullFailed { link, reason } => {
+                write!(f, "pull from {link} failed: {reason}")
+            }
+            RegistryError::Throttled(l) => write!(f, "pull from {l} throttled"),
+            RegistryError::CapacityExceeded(n) => write!(f, "registry full ({n} tuples)"),
+            RegistryError::Query(e) => write!(f, "query failed: {e}"),
+            RegistryError::BadTtl { requested, min, max } => {
+                write!(f, "TTL {requested}ms outside accepted range [{min}, {max}]ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<wsda_xq::XqError> for RegistryError {
+    fn from(e: wsda_xq::XqError) -> Self {
+        RegistryError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(RegistryError::NoProvider("x".into()).to_string().contains("x"));
+        assert!(RegistryError::BadTtl { requested: 5, min: 10, max: 100 }
+            .to_string()
+            .contains("[10, 100]"));
+        let q: RegistryError = wsda_xq::XqError::MissingContextItem.into();
+        assert!(matches!(q, RegistryError::Query(_)));
+    }
+}

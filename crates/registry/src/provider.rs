@@ -1,0 +1,190 @@
+//! Content providers.
+//!
+//! In the original system a content provider is a remote HTTP endpoint the
+//! registry pulls current content from (section 4.2). This reproduction has
+//! no network of real services, so providers are in-process objects behind
+//! the same pull interface — the registry code path (pull, cache, failure
+//! handling, throttling) is identical. The simulator providers model the
+//! behaviours the thesis calls out: static descriptions, dynamic content
+//! (e.g. changing load), unreliable/unreachable sources.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wsda_xml::Element;
+
+/// A source of current content for one content link.
+pub trait ContentProvider: Send + Sync {
+    /// The content link this provider serves.
+    fn link(&self) -> &str;
+
+    /// Produce the provider's current content ("pull"). `Err` models an
+    /// unreachable or failing remote source.
+    fn fetch(&self) -> Result<Element, String>;
+}
+
+/// A provider returning fixed content (a static service description).
+pub struct StaticProvider {
+    link: String,
+    content: Element,
+    pulls: AtomicU64,
+}
+
+impl StaticProvider {
+    /// Create a static provider.
+    pub fn new(link: impl Into<String>, content: Element) -> Self {
+        StaticProvider { link: link.into(), content, pulls: AtomicU64::new(0) }
+    }
+
+    /// How many times content was pulled.
+    pub fn pulls(&self) -> u64 {
+        self.pulls.load(Ordering::Relaxed)
+    }
+}
+
+impl ContentProvider for StaticProvider {
+    fn link(&self) -> &str {
+        &self.link
+    }
+
+    fn fetch(&self) -> Result<Element, String> {
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        Ok(self.content.clone())
+    }
+}
+
+/// A provider generating content on each pull (dynamic content such as the
+/// thesis's network-load and queue-length examples).
+pub struct DynamicProvider<F> {
+    link: String,
+    generate: F,
+    pulls: AtomicU64,
+}
+
+impl<F: Fn(u64) -> Element + Send + Sync> DynamicProvider<F> {
+    /// `generate` receives the pull count (0-based) and returns content.
+    pub fn new(link: impl Into<String>, generate: F) -> Self {
+        DynamicProvider { link: link.into(), generate, pulls: AtomicU64::new(0) }
+    }
+
+    /// How many times content was pulled.
+    pub fn pulls(&self) -> u64 {
+        self.pulls.load(Ordering::Relaxed)
+    }
+}
+
+impl<F: Fn(u64) -> Element + Send + Sync> ContentProvider for DynamicProvider<F> {
+    fn link(&self) -> &str {
+        &self.link
+    }
+
+    fn fetch(&self) -> Result<Element, String> {
+        let n = self.pulls.fetch_add(1, Ordering::Relaxed);
+        Ok((self.generate)(n))
+    }
+}
+
+/// A provider that fails a deterministic subset of pulls — failure
+/// injection for the "failure is the norm" experiments.
+pub struct FlakyProvider {
+    inner: Arc<dyn ContentProvider>,
+    /// Fail every pull whose index satisfies `index % period < fail_count`.
+    period: u64,
+    fail_count: u64,
+    attempts: AtomicU64,
+}
+
+impl FlakyProvider {
+    /// Wrap `inner` so that `fail_count` out of every `period` pulls fail.
+    pub fn new(inner: Arc<dyn ContentProvider>, fail_count: u64, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        FlakyProvider { inner, period, fail_count, attempts: AtomicU64::new(0) }
+    }
+
+    /// Total pull attempts observed.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+}
+
+impl ContentProvider for FlakyProvider {
+    fn link(&self) -> &str {
+        self.inner.link()
+    }
+
+    fn fetch(&self) -> Result<Element, String> {
+        let n = self.attempts.fetch_add(1, Ordering::Relaxed);
+        if n % self.period < self.fail_count {
+            Err(format!("simulated failure (attempt {n})"))
+        } else {
+            self.inner.fetch()
+        }
+    }
+}
+
+/// A provider that always fails — an unreachable remote source.
+pub struct DeadProvider {
+    link: String,
+}
+
+impl DeadProvider {
+    /// Create an always-failing provider for `link`.
+    pub fn new(link: impl Into<String>) -> Self {
+        DeadProvider { link: link.into() }
+    }
+}
+
+impl ContentProvider for DeadProvider {
+    fn link(&self) -> &str {
+        &self.link
+    }
+
+    fn fetch(&self) -> Result<Element, String> {
+        Err("provider unreachable".to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsda_xml::parse_fragment;
+
+    fn content() -> Element {
+        parse_fragment("<service><owner>cms</owner></service>").unwrap()
+    }
+
+    #[test]
+    fn static_provider_counts_pulls() {
+        let p = StaticProvider::new("http://x", content());
+        assert_eq!(p.pulls(), 0);
+        assert!(p.fetch().is_ok());
+        assert!(p.fetch().is_ok());
+        assert_eq!(p.pulls(), 2);
+        assert_eq!(p.link(), "http://x");
+    }
+
+    #[test]
+    fn dynamic_provider_changes() {
+        let p = DynamicProvider::new("http://x", |n| {
+            Element::new("load").with_text(format!("{}", n as f64 / 10.0))
+        });
+        assert_eq!(p.fetch().unwrap().text(), "0");
+        assert_eq!(p.fetch().unwrap().text(), "0.1");
+        assert_eq!(p.pulls(), 2);
+    }
+
+    #[test]
+    fn flaky_provider_fails_deterministically() {
+        let inner = Arc::new(StaticProvider::new("http://x", content()));
+        let p = FlakyProvider::new(inner, 1, 3); // fail 1 of every 3
+        let outcomes: Vec<bool> = (0..6).map(|_| p.fetch().is_ok()).collect();
+        assert_eq!(outcomes, [false, true, true, false, true, true]);
+        assert_eq!(p.attempts(), 6);
+    }
+
+    #[test]
+    fn dead_provider_always_fails() {
+        let p = DeadProvider::new("http://gone");
+        assert!(p.fetch().is_err());
+        assert!(p.fetch().is_err());
+    }
+}

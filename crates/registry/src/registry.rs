@@ -1,0 +1,806 @@
+//! The hyper registry node (dissertation chapter 4).
+//!
+//! A `HyperRegistry` ties together the tuple store (soft state), content
+//! providers (hybrid pull/push caching), the throttle and the XQuery engine.
+//! Every operation lazily sweeps expired tuples first, so expired content is
+//! never served regardless of when maintenance last ran.
+
+use crate::clock::{SharedClock, Time};
+use crate::error::{RegistryError, RegistryResult};
+use crate::freshness::{decide, CacheDecision, Freshness, RefreshPolicy};
+use crate::provider::ContentProvider;
+use crate::store::TupleStore;
+use crate::throttle::{PullThrottle, ThrottleConfig};
+use parking_lot::{Mutex, RwLock};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wsda_xml::Element;
+use wsda_xq::{DynamicContext, NodeRef, Query, Sequence};
+
+/// Registry configuration.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Smallest TTL a publication may request.
+    pub min_ttl_ms: u64,
+    /// Largest TTL a publication may request.
+    pub max_ttl_ms: u64,
+    /// TTL applied when a publication does not specify one.
+    pub default_ttl_ms: u64,
+    /// Hard cap on stored tuples.
+    pub max_tuples: usize,
+    /// Registry-side content refresh policy.
+    pub refresh_policy: RefreshPolicy,
+    /// Per-provider pull budget.
+    pub per_provider_throttle: ThrottleConfig,
+    /// Registry-wide pull budget.
+    pub global_throttle: ThrottleConfig,
+    /// Separable queries over at least this many tuples are evaluated with
+    /// a rayon-parallel scan.
+    pub parallel_scan_threshold: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            min_ttl_ms: 1_000,
+            max_ttl_ms: 86_400_000, // 24h
+            default_ttl_ms: 600_000, // 10min, the thesis's suggested lease
+            max_tuples: 1_000_000,
+            refresh_policy: RefreshPolicy::PullOnDemand,
+            per_provider_throttle: ThrottleConfig::unlimited(),
+            global_throttle: ThrottleConfig::unlimited(),
+            parallel_scan_threshold: 1024,
+        }
+    }
+}
+
+/// A publication (or re-publication) request.
+#[derive(Debug, Clone)]
+pub struct PublishRequest {
+    /// The content link being published.
+    pub link: String,
+    /// Tuple type (e.g. `service`).
+    pub type_: String,
+    /// Context/scope attribute (e.g. owning domain).
+    pub context: String,
+    /// Requested TTL; `None` uses the registry default.
+    pub ttl_ms: Option<u64>,
+    /// Content pushed along with the publication, if any.
+    pub content: Option<Element>,
+}
+
+impl PublishRequest {
+    /// A minimal request for `link` with the given tuple type.
+    pub fn new(link: impl Into<String>, type_: impl Into<String>) -> Self {
+        PublishRequest {
+            link: link.into(),
+            type_: type_.into(),
+            context: String::new(),
+            ttl_ms: None,
+            content: None,
+        }
+    }
+
+    /// Set the context attribute.
+    pub fn with_context(mut self, ctx: impl Into<String>) -> Self {
+        self.context = ctx.into();
+        self
+    }
+
+    /// Request a specific TTL.
+    pub fn with_ttl_ms(mut self, ttl: u64) -> Self {
+        self.ttl_ms = Some(ttl);
+        self
+    }
+
+    /// Push content with the publication.
+    pub fn with_content(mut self, content: Element) -> Self {
+        self.content = Some(content);
+        self
+    }
+}
+
+/// Counters exposed by the registry.
+#[derive(Debug, Default)]
+pub struct RegistryStats {
+    /// First-time publications.
+    pub publishes: AtomicU64,
+    /// Re-publications of live tuples.
+    pub refreshes: AtomicU64,
+    /// Tuples evicted by soft-state expiry.
+    pub expirations: AtomicU64,
+    /// Queries answered.
+    pub queries: AtomicU64,
+    /// Successful content pulls.
+    pub pulls_ok: AtomicU64,
+    /// Failed content pulls.
+    pub pulls_failed: AtomicU64,
+    /// Pulls suppressed by the throttle.
+    pub pulls_throttled: AtomicU64,
+    /// Tuples served from cache without a pull.
+    pub cache_hits: AtomicU64,
+    /// Queries answered through the link/type index.
+    pub index_queries: AtomicU64,
+}
+
+impl RegistryStats {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters as (name, value) pairs.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("publishes", self.publishes.load(Ordering::Relaxed)),
+            ("refreshes", self.refreshes.load(Ordering::Relaxed)),
+            ("expirations", self.expirations.load(Ordering::Relaxed)),
+            ("queries", self.queries.load(Ordering::Relaxed)),
+            ("pulls_ok", self.pulls_ok.load(Ordering::Relaxed)),
+            ("pulls_failed", self.pulls_failed.load(Ordering::Relaxed)),
+            ("pulls_throttled", self.pulls_throttled.load(Ordering::Relaxed)),
+            ("cache_hits", self.cache_hits.load(Ordering::Relaxed)),
+            ("index_queries", self.index_queries.load(Ordering::Relaxed)),
+        ]
+    }
+}
+
+/// A physical query scope (dissertation chapter 3): the *logical* query is
+/// insensitive to deployment; the scope prunes which tuples feed it —
+/// typically by owning domain ("only `cern.ch`") or tuple type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryScope {
+    /// Only tuples whose context equals this domain or is a subdomain of
+    /// it (`cern.ch` matches `cms.cern.ch`).
+    pub domain: Option<String>,
+    /// Only tuples of these types (uses the type index).
+    pub types: Option<Vec<String>>,
+}
+
+impl QueryScope {
+    /// The unrestricted scope.
+    pub fn all() -> QueryScope {
+        QueryScope::default()
+    }
+
+    /// Restrict to a domain (suffix-on-label-boundary match).
+    pub fn in_domain(domain: impl Into<String>) -> QueryScope {
+        QueryScope { domain: Some(domain.into()), types: None }
+    }
+
+    /// Restrict to one tuple type.
+    pub fn of_type(type_: impl Into<String>) -> QueryScope {
+        QueryScope { domain: None, types: Some(vec![type_.into()]) }
+    }
+
+    fn domain_matches(&self, context: &str) -> bool {
+        match &self.domain {
+            None => true,
+            Some(d) => context == d || context.ends_with(&format!(".{d}")),
+        }
+    }
+}
+
+/// Per-query execution statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Candidate tuples after index narrowing.
+    pub candidates: usize,
+    /// Content pulls performed for this query.
+    pub pulls: usize,
+    /// Tuples served from cache.
+    pub cache_hits: usize,
+    /// Tuples skipped because fresh content was demanded but unavailable.
+    pub skipped: usize,
+    /// Whether the link/type index answered candidate selection.
+    pub used_index: bool,
+    /// Whether the scan ran rayon-parallel.
+    pub parallel: bool,
+}
+
+/// A query result with its statistics.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The result sequence.
+    pub results: Sequence,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+struct Inner {
+    store: TupleStore,
+    throttle: PullThrottle,
+}
+
+/// The hyper registry node.
+pub struct HyperRegistry {
+    config: RegistryConfig,
+    clock: SharedClock,
+    inner: Mutex<Inner>,
+    providers: RwLock<HashMap<String, Arc<dyn ContentProvider>>>,
+    stats: RegistryStats,
+}
+
+impl HyperRegistry {
+    /// Create a registry.
+    pub fn new(config: RegistryConfig, clock: SharedClock) -> Self {
+        let now = clock.now();
+        HyperRegistry {
+            inner: Mutex::new(Inner {
+                store: TupleStore::new(),
+                throttle: PullThrottle::new(
+                    config.per_provider_throttle,
+                    config.global_throttle,
+                    now,
+                ),
+            }),
+            providers: RwLock::new(HashMap::new()),
+            stats: RegistryStats::default(),
+            config,
+            clock,
+        }
+    }
+
+    /// The registry's configuration.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &RegistryStats {
+        &self.stats
+    }
+
+    /// Register (or replace) the content provider for its link.
+    pub fn register_provider(&self, provider: Arc<dyn ContentProvider>) {
+        self.providers.write().insert(provider.link().to_owned(), provider);
+    }
+
+    /// Remove the provider for `link`.
+    pub fn unregister_provider(&self, link: &str) {
+        self.providers.write().remove(link);
+    }
+
+    /// Publish or re-publish a tuple. Content pushed with the request is
+    /// installed in the cache; otherwise content arrives later by pull.
+    pub fn publish(&self, request: PublishRequest) -> RegistryResult<()> {
+        let now = self.clock.now();
+        let ttl = request.ttl_ms.unwrap_or(self.config.default_ttl_ms);
+        if ttl < self.config.min_ttl_ms || ttl > self.config.max_ttl_ms {
+            return Err(RegistryError::BadTtl {
+                requested: ttl,
+                min: self.config.min_ttl_ms,
+                max: self.config.max_ttl_ms,
+            });
+        }
+        let mut inner = self.inner.lock();
+        self.sweep_locked(&mut inner, now);
+        let is_new = inner.store.get(&request.link).is_none();
+        if is_new && inner.store.len() >= self.config.max_tuples {
+            return Err(RegistryError::CapacityExceeded(self.config.max_tuples));
+        }
+        if is_new && request.content.is_none() && !self.providers.read().contains_key(&request.link)
+        {
+            return Err(RegistryError::NoProvider(request.link));
+        }
+        let was_new = inner.store.upsert(&request.link, &request.type_, &request.context, now, ttl);
+        if let Some(content) = request.content {
+            if let Some(t) = inner.store.get_mut(&request.link) {
+                t.set_content(Arc::new(content), now);
+            }
+        }
+        if was_new {
+            RegistryStats::add(&self.stats.publishes, 1);
+        } else {
+            RegistryStats::add(&self.stats.refreshes, 1);
+        }
+        Ok(())
+    }
+
+    /// Refresh an existing publication's lease (soft-state keep-alive).
+    pub fn refresh(&self, link: &str, ttl_ms: Option<u64>) -> RegistryResult<()> {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        self.sweep_locked(&mut inner, now);
+        let Some(current) = inner.store.get(link) else {
+            return Err(RegistryError::NotPublished(link.to_owned()));
+        };
+        let (type_, context) = (current.type_.clone(), current.context.clone());
+        let ttl = ttl_ms.unwrap_or(self.config.default_ttl_ms);
+        if ttl < self.config.min_ttl_ms || ttl > self.config.max_ttl_ms {
+            return Err(RegistryError::BadTtl {
+                requested: ttl,
+                min: self.config.min_ttl_ms,
+                max: self.config.max_ttl_ms,
+            });
+        }
+        inner.store.upsert(link, &type_, &context, now, ttl);
+        RegistryStats::add(&self.stats.refreshes, 1);
+        Ok(())
+    }
+
+    /// Explicitly remove a publication.
+    pub fn unpublish(&self, link: &str) -> RegistryResult<()> {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        self.sweep_locked(&mut inner, now);
+        inner
+            .store
+            .remove(link)
+            .map(|_| ())
+            .ok_or_else(|| RegistryError::NotPublished(link.to_owned()))
+    }
+
+    /// Number of live tuples right now.
+    pub fn live_tuples(&self) -> usize {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        self.sweep_locked(&mut inner, now);
+        inner.store.len()
+    }
+
+    /// Run soft-state maintenance immediately; returns evicted count.
+    pub fn sweep(&self) -> usize {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        self.sweep_locked(&mut inner, now)
+    }
+
+    fn sweep_locked(&self, inner: &mut Inner, now: Time) -> usize {
+        let evicted = inner.store.sweep(now);
+        if evicted > 0 {
+            RegistryStats::add(&self.stats.expirations, evicted as u64);
+        }
+        evicted
+    }
+
+    /// MinQuery-style lookup: the tuple XML for one content link, if live.
+    pub fn lookup(&self, link: &str) -> Option<Arc<Element>> {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        self.sweep_locked(&mut inner, now);
+        inner.store.get_mut(link).map(|t| t.to_xml())
+    }
+
+    /// Execute an XQuery over the live tuple set under a freshness demand
+    /// (unrestricted physical scope).
+    pub fn query(&self, query: &Query, demand: &Freshness) -> RegistryResult<QueryOutcome> {
+        self.query_scoped(query, demand, &QueryScope::all())
+    }
+
+    /// Execute an XQuery over the tuples selected by a physical
+    /// [`QueryScope`], under a freshness demand.
+    pub fn query_scoped(
+        &self,
+        query: &Query,
+        demand: &Freshness,
+        scope: &QueryScope,
+    ) -> RegistryResult<QueryOutcome> {
+        RegistryStats::add(&self.stats.queries, 1);
+        let now = self.clock.now();
+        let mut stats = QueryStats::default();
+
+        let docs: Vec<(u64, Arc<Element>)> = {
+            let mut inner = self.inner.lock();
+            self.sweep_locked(&mut inner, now);
+
+            // Index narrowing: the query's own simple-key shape, then the
+            // physical scope's type restriction.
+            let mut candidate_links: Vec<String> = match &query.profile().index_key {
+                Some((attr, value)) if attr == "link" => {
+                    stats.used_index = true;
+                    if inner.store.get(value).is_some() {
+                        vec![value.clone()]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                Some((attr, value)) if attr == "type" => {
+                    stats.used_index = true;
+                    inner.store.links_of_type(value)
+                }
+                _ => match &scope.types {
+                    Some(types) => {
+                        stats.used_index = true;
+                        let mut v: Vec<String> =
+                            types.iter().flat_map(|t| inner.store.links_of_type(t)).collect();
+                        v.sort();
+                        v.dedup();
+                        v
+                    }
+                    None => inner.store.links(),
+                },
+            };
+            if scope.domain.is_some() {
+                candidate_links.retain(|link| {
+                    inner
+                        .store
+                        .get(link)
+                        .is_some_and(|t| scope.domain_matches(&t.context))
+                });
+            }
+            if stats.used_index {
+                RegistryStats::add(&self.stats.index_queries, 1);
+            }
+            stats.candidates = candidate_links.len();
+
+            // Freshness resolution and doc collection.
+            let providers = self.providers.read();
+            let mut docs = Vec::with_capacity(candidate_links.len());
+            for link in candidate_links {
+                let provider = providers.get(&link);
+                let decision = {
+                    let tuple = inner.store.get(&link).expect("candidate link is live");
+                    decide(tuple, now, self.config.refresh_policy, demand, provider.is_some())
+                };
+                match decision {
+                    CacheDecision::ServeCached | CacheDecision::ServeEmpty => {
+                        stats.cache_hits += 1;
+                        RegistryStats::add(&self.stats.cache_hits, 1);
+                    }
+                    CacheDecision::Pull => {
+                        let allowed = inner.throttle.allow(&link, now);
+                        if !allowed {
+                            RegistryStats::add(&self.stats.pulls_throttled, 1);
+                        }
+                        let pulled = if allowed {
+                            stats.pulls += 1;
+                            match provider.expect("Pull implies provider").fetch() {
+                                Ok(content) => {
+                                    RegistryStats::add(&self.stats.pulls_ok, 1);
+                                    let t =
+                                        inner.store.get_mut(&link).expect("candidate is live");
+                                    t.set_content(Arc::new(content), now);
+                                    true
+                                }
+                                Err(_) => {
+                                    RegistryStats::add(&self.stats.pulls_failed, 1);
+                                    false
+                                }
+                            }
+                        } else {
+                            false
+                        };
+                        if !pulled && !demand.serve_stale_on_failure {
+                            stats.skipped += 1;
+                            continue;
+                        }
+                    }
+                }
+                let t = inner.store.get_mut(&link).expect("candidate is live");
+                docs.push((t.ordinal, t.to_xml()));
+            }
+            docs
+        }; // registry lock released before evaluation
+
+        let mut docs = docs;
+        docs.sort_by_key(|(ord, _)| *ord);
+
+        let results = self.evaluate(query, &docs, &mut stats)?;
+        Ok(QueryOutcome { results, stats })
+    }
+
+    /// Execute a SQL query ([`crate::sql`]) over the live tuple set. The
+    /// `FROM` clause names the tuple type (index-narrowed); content is
+    /// served from cache (`Freshness::any()` semantics — SQL clients are
+    /// the thesis's "simpler" consumers).
+    pub fn query_sql(&self, query: &crate::sql::SqlQuery) -> Vec<crate::sql::SqlRow> {
+        RegistryStats::add(&self.stats.queries, 1);
+        let now = self.clock.now();
+        let records: Vec<crate::baseline::ServiceRecord> = {
+            let mut inner = self.inner.lock();
+            self.sweep_locked(&mut inner, now);
+            RegistryStats::add(&self.stats.index_queries, 1);
+            let links = inner.store.links_of_type(&query.from_type);
+            links
+                .iter()
+                .filter_map(|link| inner.store.get_mut(link).map(|t| t.to_xml()))
+                .map(crate::baseline::ServiceRecord::from_tuple_xml)
+                .collect()
+        };
+        query.evaluate(records.iter())
+    }
+
+    fn evaluate(
+        &self,
+        query: &Query,
+        docs: &[(u64, Arc<Element>)],
+        stats: &mut QueryStats,
+    ) -> RegistryResult<Sequence> {
+        let profile = query.profile();
+        if profile.separable && docs.len() >= self.config.parallel_scan_threshold {
+            stats.parallel = true;
+            // The tuple-separability property (chapter 6): evaluate per
+            // tuple and concatenate in ordinal order. Chunking keeps task
+            // granularity coarse enough that rayon overhead stays small on
+            // corpora of tiny tuples; rayon preserves input order in
+            // collect.
+            let chunk = (docs.len() / (rayon::current_num_threads() * 8)).max(16);
+            let chunks: Vec<RegistryResult<Sequence>> = docs
+                .par_chunks(chunk)
+                .map(|slice| {
+                    let mut out = Sequence::new();
+                    for (ord, doc) in slice {
+                        let root = NodeRef::document_node(doc.clone(), *ord);
+                        let mut ctx = DynamicContext::with_root_refs(vec![root]);
+                        out.extend(query.eval(&mut ctx).map_err(RegistryError::from)?);
+                    }
+                    Ok(out)
+                })
+                .collect();
+            let mut out = Sequence::new();
+            for c in chunks {
+                out.extend(c?);
+            }
+            Ok(out)
+        } else {
+            let roots: Vec<NodeRef> = docs
+                .iter()
+                .map(|(ord, doc)| NodeRef::document_node(doc.clone(), *ord))
+                .collect();
+            let mut ctx = DynamicContext::with_root_refs(roots);
+            query.eval(&mut ctx).map_err(RegistryError::from)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::provider::{DeadProvider, DynamicProvider, StaticProvider};
+    use wsda_xml::parse_fragment;
+
+    fn setup() -> (Arc<ManualClock>, HyperRegistry) {
+        let clock = Arc::new(ManualClock::new());
+        let registry = HyperRegistry::new(
+            RegistryConfig { min_ttl_ms: 10, ..RegistryConfig::default() },
+            clock.clone(),
+        );
+        (clock, registry)
+    }
+
+    fn svc(owner: &str) -> Element {
+        parse_fragment(&format!("<service><owner>{owner}</owner></service>")).unwrap()
+    }
+
+    #[test]
+    fn publish_with_pushed_content_and_query() {
+        let (_, r) = setup();
+        r.publish(
+            PublishRequest::new("http://a", "service")
+                .with_content(svc("cms.cern.ch"))
+                .with_context("cern.ch"),
+        )
+        .unwrap();
+        let q = Query::parse("//service/owner").unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].string_value(), "cms.cern.ch");
+        assert_eq!(out.stats.candidates, 1);
+        assert!(!out.stats.used_index);
+    }
+
+    #[test]
+    fn publish_without_content_or_provider_fails() {
+        let (_, r) = setup();
+        let err = r.publish(PublishRequest::new("http://a", "service")).unwrap_err();
+        assert!(matches!(err, RegistryError::NoProvider(_)));
+    }
+
+    #[test]
+    fn ttl_bounds_enforced() {
+        let (_, r) = setup();
+        let err = r
+            .publish(PublishRequest::new("http://a", "service").with_content(svc("x")).with_ttl_ms(1))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::BadTtl { .. }));
+    }
+
+    #[test]
+    fn soft_state_expiry_and_refresh() {
+        let (clock, r) = setup();
+        r.publish(
+            PublishRequest::new("http://a", "service").with_content(svc("x")).with_ttl_ms(1000),
+        )
+        .unwrap();
+        clock.advance(900);
+        assert_eq!(r.live_tuples(), 1);
+        r.refresh("http://a", Some(1000)).unwrap();
+        clock.advance(900);
+        assert_eq!(r.live_tuples(), 1, "refresh extended the lease");
+        clock.advance(200);
+        assert_eq!(r.live_tuples(), 0, "lease ran out");
+        assert!(matches!(
+            r.refresh("http://a", None),
+            Err(RegistryError::NotPublished(_))
+        ));
+        assert_eq!(r.stats().expirations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unpublish_removes() {
+        let (_, r) = setup();
+        r.publish(PublishRequest::new("http://a", "service").with_content(svc("x"))).unwrap();
+        r.unpublish("http://a").unwrap();
+        assert_eq!(r.live_tuples(), 0);
+        assert!(r.unpublish("http://a").is_err());
+    }
+
+    #[test]
+    fn lookup_returns_tuple_xml() {
+        let (_, r) = setup();
+        r.publish(PublishRequest::new("http://a", "service").with_content(svc("x"))).unwrap();
+        let xml = r.lookup("http://a").unwrap();
+        assert_eq!(xml.attr("link"), Some("http://a"));
+        assert!(r.lookup("http://nope").is_none());
+    }
+
+    #[test]
+    fn pull_on_demand_fetches_content() {
+        let (_, r) = setup();
+        let p = Arc::new(StaticProvider::new("http://a", svc("cms.cern.ch")));
+        r.register_provider(p.clone());
+        r.publish(PublishRequest::new("http://a", "service")).unwrap();
+        assert_eq!(p.pulls(), 0);
+        let q = Query::parse("//service/owner").unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.stats.pulls, 1);
+        assert_eq!(p.pulls(), 1);
+        // Second query is served from cache.
+        let out2 = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out2.stats.pulls, 0);
+        assert_eq!(out2.stats.cache_hits, 1);
+        assert_eq!(p.pulls(), 1);
+    }
+
+    #[test]
+    fn freshness_demand_forces_repull() {
+        let (clock, r) = setup();
+        let p = Arc::new(DynamicProvider::new("http://a", |n| {
+            Element::new("service").with_field("version", n.to_string())
+        }));
+        r.register_provider(p);
+        r.publish(PublishRequest::new("http://a", "service")).unwrap();
+        let q = Query::parse("//service/version").unwrap();
+        let v0 = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(v0.results[0].string_value(), "0");
+        clock.advance(5000);
+        let cached = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(cached.results[0].string_value(), "0");
+        let live = r.query(&q, &Freshness::max_age(1000)).unwrap();
+        assert_eq!(live.results[0].string_value(), "1");
+    }
+
+    #[test]
+    fn strict_freshness_skips_failed_pulls() {
+        let (_, r) = setup();
+        r.register_provider(Arc::new(DeadProvider::new("http://dead")));
+        r.publish(PublishRequest::new("http://dead", "service")).unwrap();
+        let q = Query::parse("/tuple").unwrap();
+        let lenient = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(lenient.results.len(), 1, "bare tuple served despite failed pull");
+        let strict = r.query(&q, &Freshness::live()).unwrap();
+        assert_eq!(strict.results.len(), 0);
+        assert_eq!(strict.stats.skipped, 1);
+    }
+
+    #[test]
+    fn type_index_narrows_candidates() {
+        let (_, r) = setup();
+        for i in 0..10 {
+            let ty = if i % 2 == 0 { "service" } else { "monitor" };
+            r.publish(PublishRequest::new(format!("http://x{i}"), ty).with_content(svc("o")))
+                .unwrap();
+        }
+        let q = Query::parse(r#"/tuple[@type = "monitor"]"#).unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert!(out.stats.used_index);
+        assert_eq!(out.stats.candidates, 5);
+        assert_eq!(out.results.len(), 5);
+    }
+
+    #[test]
+    fn link_index_single_candidate() {
+        let (_, r) = setup();
+        for i in 0..10 {
+            r.publish(PublishRequest::new(format!("http://x{i}"), "service").with_content(svc("o")))
+                .unwrap();
+        }
+        let q = Query::parse(r#"/tuple[@link = "http://x3"]"#).unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert!(out.stats.used_index);
+        assert_eq!(out.stats.candidates, 1);
+        assert_eq!(out.results.len(), 1);
+        let miss = Query::parse(r#"/tuple[@link = "http://nope"]"#).unwrap();
+        assert_eq!(r.query(&miss, &Freshness::any()).unwrap().results.len(), 0);
+    }
+
+    #[test]
+    fn capacity_cap() {
+        let clock = Arc::new(ManualClock::new());
+        let r = HyperRegistry::new(
+            RegistryConfig { max_tuples: 2, min_ttl_ms: 10, ..RegistryConfig::default() },
+            clock,
+        );
+        r.publish(PublishRequest::new("a", "t").with_content(svc("x"))).unwrap();
+        r.publish(PublishRequest::new("b", "t").with_content(svc("x"))).unwrap();
+        assert!(matches!(
+            r.publish(PublishRequest::new("c", "t").with_content(svc("x"))),
+            Err(RegistryError::CapacityExceeded(2))
+        ));
+        // Refreshing an existing tuple is still allowed at capacity.
+        r.publish(PublishRequest::new("a", "t").with_content(svc("x"))).unwrap();
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let clock = Arc::new(ManualClock::new());
+        let serial = HyperRegistry::new(
+            RegistryConfig { parallel_scan_threshold: usize::MAX, min_ttl_ms: 10, ..Default::default() },
+            clock.clone(),
+        );
+        let parallel = HyperRegistry::new(
+            RegistryConfig { parallel_scan_threshold: 1, min_ttl_ms: 10, ..Default::default() },
+            clock,
+        );
+        for i in 0..50 {
+            let owner = if i % 3 == 0 { "cms.cern.ch" } else { "fnal.gov" };
+            for r in [&serial, &parallel] {
+                r.publish(
+                    PublishRequest::new(format!("http://x{i}"), "service")
+                        .with_content(svc(owner)),
+                )
+                .unwrap();
+            }
+        }
+        let q = Query::parse(r#"//service[owner = "cms.cern.ch"]/owner"#).unwrap();
+        assert!(q.profile().separable);
+        let a = serial.query(&q, &Freshness::any()).unwrap();
+        let b = parallel.query(&q, &Freshness::any()).unwrap();
+        assert!(!a.stats.parallel);
+        assert!(b.stats.parallel);
+        let sa: Vec<String> = a.results.iter().map(|i| i.string_value()).collect();
+        let sb: Vec<String> = b.results.iter().map(|i| i.string_value()).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(sa.len(), 17);
+    }
+
+    #[test]
+    fn throttle_limits_pulls() {
+        let clock = Arc::new(ManualClock::new());
+        let r = HyperRegistry::new(
+            RegistryConfig {
+                min_ttl_ms: 10,
+                per_provider_throttle: ThrottleConfig { rate_per_sec: 0.0, burst: 1.0 },
+                ..Default::default()
+            },
+            clock.clone(),
+        );
+        let p = Arc::new(DynamicProvider::new("http://a", |n| {
+            Element::new("service").with_field("v", n.to_string())
+        }));
+        r.register_provider(p.clone());
+        r.publish(PublishRequest::new("http://a", "service")).unwrap();
+        let q = Query::parse("//service").unwrap();
+        r.query(&q, &Freshness::live()).unwrap();
+        assert_eq!(p.pulls(), 1);
+        // Later live query: the cache is stale, the throttle denies the
+        // re-pull (zero refill rate), and the strict demand skips the tuple.
+        clock.advance(1_000);
+        let out = r.query(&q, &Freshness::live()).unwrap();
+        assert_eq!(p.pulls(), 1);
+        assert_eq!(out.results.len(), 0);
+        assert_eq!(r.stats().pulls_throttled.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_snapshot_names() {
+        let (_, r) = setup();
+        let names: Vec<&str> = r.stats().snapshot().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"publishes"));
+        assert!(names.contains(&"pulls_throttled"));
+    }
+}

@@ -1,0 +1,552 @@
+//! A miniature SQL engine over the tuple store.
+//!
+//! UPDF/PDP are explicitly query-language-agnostic: queries travel as
+//! source text plus a language tag, "e.g. XQuery, SQL" (chapters 6–7).
+//! This module supplies the SQL side of that claim: a small
+//! `SELECT … FROM <tuple-type> WHERE …` dialect evaluated over the same
+//! tuples, using the flat attribute view of
+//! [`crate::baseline::ServiceRecord`] (`service.owner`,
+//! `service.interface.type`, …). Column names may be abbreviated to any
+//! dot-boundary suffix (`owner` resolves to `service.owner`).
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! query   := SELECT ( '*' | COUNT(*) | column (',' column)* )
+//!            FROM type
+//!            [ WHERE condition ]
+//! condition := disjunction of conjunctions of comparisons, parentheses ok
+//! comparison := column (= | != | <> | < | <= | > | >= | LIKE) literal
+//! literal := 'string' (with % wildcards for LIKE) | number
+//! ```
+
+use crate::baseline::ServiceRecord;
+use std::fmt;
+
+/// A parsed SQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlQuery {
+    /// Selected columns; empty means `*`.
+    pub columns: Vec<String>,
+    /// True for `COUNT(*)`.
+    pub count: bool,
+    /// The tuple type after `FROM`.
+    pub from_type: String,
+    /// Optional predicate.
+    pub where_: Option<Condition>,
+}
+
+/// A boolean condition tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// A column/literal comparison.
+    Compare {
+        /// Column name (possibly abbreviated).
+        column: String,
+        /// The operator.
+        op: CmpOp,
+        /// The right-hand literal.
+        literal: Literal,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Like,
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A quoted string.
+    Str(String),
+    /// A number.
+    Num(f64),
+}
+
+/// One result row: `(column, value)` pairs in select order.
+pub type SqlRow = Vec<(String, String)>;
+
+/// SQL parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Offset of the problem.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl SqlQuery {
+    /// Parse a query.
+    pub fn parse(src: &str) -> Result<SqlQuery, SqlError> {
+        let mut p = Sp { src, pos: 0 };
+        p.keyword("SELECT")?;
+        let mut columns = Vec::new();
+        let mut count = false;
+        p.ws();
+        if p.eat_char('*') {
+            // all columns
+        } else if p.peek_keyword("COUNT") {
+            p.keyword("COUNT")?;
+            p.expect('(')?;
+            p.expect('*')?;
+            p.expect(')')?;
+            count = true;
+        } else {
+            loop {
+                columns.push(p.ident("column")?);
+                p.ws();
+                if !p.eat_char(',') {
+                    break;
+                }
+            }
+        }
+        p.keyword("FROM")?;
+        let from_type = p.ident("tuple type")?;
+        p.ws();
+        let where_ = if p.peek_keyword("WHERE") {
+            p.keyword("WHERE")?;
+            Some(p.condition()?)
+        } else {
+            None
+        };
+        p.ws();
+        p.eat_char(';');
+        p.ws();
+        if p.pos != p.src.len() {
+            return Err(SqlError { offset: p.pos, message: "trailing input".into() });
+        }
+        Ok(SqlQuery { columns, count, from_type, where_ })
+    }
+
+    /// Evaluate over records (already narrowed to the `FROM` type by the
+    /// caller). Returns rows in input order.
+    pub fn evaluate<'a>(&self, records: impl IntoIterator<Item = &'a ServiceRecord>) -> Vec<SqlRow> {
+        let mut rows = Vec::new();
+        let mut matched = 0u64;
+        for record in records {
+            let keep = match &self.where_ {
+                Some(c) => eval_condition(c, record),
+                None => true,
+            };
+            if !keep {
+                continue;
+            }
+            matched += 1;
+            if self.count {
+                continue;
+            }
+            if self.columns.is_empty() {
+                rows.push(record.attrs.clone());
+            } else {
+                rows.push(
+                    self.columns
+                        .iter()
+                        .map(|c| {
+                            (c.clone(), resolve(record, c).first().copied().unwrap_or("").to_owned())
+                        })
+                        .collect(),
+                );
+            }
+        }
+        if self.count {
+            rows.push(vec![("count".to_owned(), matched.to_string())]);
+        }
+        rows
+    }
+
+    /// Render rows as XML `<row col="value"…/>` elements (the uniform
+    /// result representation PDP carries).
+    pub fn rows_to_xml(rows: &[SqlRow]) -> Vec<wsda_xml::Element> {
+        rows.iter()
+            .map(|row| {
+                let mut e = wsda_xml::Element::new("row");
+                for (col, value) in row {
+                    // Dots are not valid XML name starts mid-path; flatten
+                    // to dashes for attribute names.
+                    e.set_attr(col.replace('.', "-"), value.clone());
+                }
+                e
+            })
+            .collect()
+    }
+}
+
+/// Resolve a (possibly abbreviated) column against a record: exact name or
+/// any attribute whose name ends with `.{column}`.
+fn resolve<'a>(record: &'a ServiceRecord, column: &str) -> Vec<&'a str> {
+    let exact: Vec<&str> = record.values(column);
+    if !exact.is_empty() {
+        return exact;
+    }
+    let suffix = format!(".{column}");
+    record
+        .attrs
+        .iter()
+        .filter(|(n, _)| n.ends_with(&suffix))
+        .map(|(_, v)| v.as_str())
+        .collect()
+}
+
+fn eval_condition(c: &Condition, record: &ServiceRecord) -> bool {
+    match c {
+        Condition::Or(a, b) => eval_condition(a, record) || eval_condition(b, record),
+        Condition::And(a, b) => eval_condition(a, record) && eval_condition(b, record),
+        Condition::Compare { column, op, literal } => {
+            // Existential over multi-valued attributes, like XPath general
+            // comparisons.
+            resolve(record, column).iter().any(|v| compare(v, *op, literal))
+        }
+    }
+}
+
+fn compare(value: &str, op: CmpOp, literal: &Literal) -> bool {
+    match (op, literal) {
+        (CmpOp::Like, Literal::Str(pattern)) => like_match(pattern, value),
+        (CmpOp::Like, Literal::Num(_)) => false,
+        (_, Literal::Num(n)) => {
+            let Ok(v) = value.trim().parse::<f64>() else { return false };
+            match op {
+                CmpOp::Eq => v == *n,
+                CmpOp::Ne => v != *n,
+                CmpOp::Lt => v < *n,
+                CmpOp::Le => v <= *n,
+                CmpOp::Gt => v > *n,
+                CmpOp::Ge => v >= *n,
+                CmpOp::Like => unreachable!(),
+            }
+        }
+        (_, Literal::Str(s)) => match op {
+            CmpOp::Eq => value == s,
+            CmpOp::Ne => value != s,
+            CmpOp::Lt => value < s.as_str(),
+            CmpOp::Le => value <= s.as_str(),
+            CmpOp::Gt => value > s.as_str(),
+            CmpOp::Ge => value >= s.as_str(),
+            CmpOp::Like => unreachable!(),
+        },
+    }
+}
+
+/// SQL LIKE with `%` (any run) and `_` (any char).
+fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star_pi, mut star_ti) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_pi = pi;
+            star_ti = ti;
+            pi += 1;
+        } else if star_pi != usize::MAX {
+            pi = star_pi + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+struct Sp<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Sp<'a> {
+    fn ws(&mut self) {
+        let rest = &self.src[self.pos..];
+        self.pos += rest.len() - rest.trim_start().len();
+    }
+
+    fn err(&self, message: impl Into<String>) -> SqlError {
+        SqlError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.ws();
+        let rest = &self.src[self.pos..];
+        rest.len() >= kw.len()
+            && rest[..kw.len()].eq_ignore_ascii_case(kw)
+            && !rest[kw.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.peek_keyword(kw) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn eat_char(&mut self, c: char) -> bool {
+        self.ws();
+        if self.src[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), SqlError> {
+        if self.eat_char(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        self.ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .find(|c: char| !(c.is_alphanumeric() || matches!(c, '_' | '.' | '-')))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err(format!("expected {what}")));
+        }
+        let s = rest[..end].to_owned();
+        self.pos += end;
+        Ok(s)
+    }
+
+    fn condition(&mut self) -> Result<Condition, SqlError> {
+        let mut lhs = self.conjunction()?;
+        while self.peek_keyword("OR") {
+            self.keyword("OR")?;
+            let rhs = self.conjunction()?;
+            lhs = Condition::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn conjunction(&mut self) -> Result<Condition, SqlError> {
+        let mut lhs = self.comparison()?;
+        while self.peek_keyword("AND") {
+            self.keyword("AND")?;
+            let rhs = self.comparison()?;
+            lhs = Condition::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn comparison(&mut self) -> Result<Condition, SqlError> {
+        self.ws();
+        if self.eat_char('(') {
+            let inner = self.condition()?;
+            self.expect(')')?;
+            return Ok(inner);
+        }
+        let column = self.ident("column")?;
+        self.ws();
+        let op = if self.peek_keyword("LIKE") {
+            self.keyword("LIKE")?;
+            CmpOp::Like
+        } else if self.src[self.pos..].starts_with("!=") || self.src[self.pos..].starts_with("<>") {
+            self.pos += 2;
+            CmpOp::Ne
+        } else if self.src[self.pos..].starts_with("<=") {
+            self.pos += 2;
+            CmpOp::Le
+        } else if self.src[self.pos..].starts_with(">=") {
+            self.pos += 2;
+            CmpOp::Ge
+        } else if self.eat_char('=') {
+            CmpOp::Eq
+        } else if self.eat_char('<') {
+            CmpOp::Lt
+        } else if self.eat_char('>') {
+            CmpOp::Gt
+        } else {
+            return Err(self.err("expected a comparison operator"));
+        };
+        let literal = self.literal()?;
+        Ok(Condition::Compare { column, op, literal })
+    }
+
+    fn literal(&mut self) -> Result<Literal, SqlError> {
+        self.ws();
+        if self.eat_char('\'') {
+            let start = self.pos;
+            let Some(end) = self.src[self.pos..].find('\'') else {
+                return Err(self.err("unterminated string literal"));
+            };
+            let s = self.src[start..start + end].to_owned();
+            self.pos = start + end + 1;
+            return Ok(Literal::Str(s));
+        }
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+')))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected a literal"));
+        }
+        let text = &rest[..end];
+        let n: f64 = text.parse().map_err(|_| self.err(format!("bad number {text:?}")))?;
+        self.pos += end;
+        Ok(Literal::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wsda_xml::parse_fragment;
+
+    fn record(link: &str, owner: &str, iface: &str, load: f64) -> ServiceRecord {
+        let xml = parse_fragment(&format!(
+            r#"<tuple link="{link}" type="service" ctx="{owner}">
+                 <content><service>
+                   <interface type="{iface}"/>
+                   <owner>{owner}</owner>
+                   <load>{load}</load>
+                 </service></content>
+               </tuple>"#
+        ))
+        .unwrap();
+        ServiceRecord::from_tuple_xml(Arc::new(xml))
+    }
+
+    fn corpus() -> Vec<ServiceRecord> {
+        vec![
+            record("http://a", "cms.cern.ch", "Executor-1.0", 0.2),
+            record("http://b", "atlas.cern.ch", "Executor-1.0", 0.8),
+            record("http://c", "fnal.gov", "Storage-1.1", 0.4),
+        ]
+    }
+
+    fn run(sql: &str) -> Vec<SqlRow> {
+        let q = SqlQuery::parse(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let c = corpus();
+        q.evaluate(c.iter())
+    }
+
+    #[test]
+    fn parse_shapes() {
+        let q = SqlQuery::parse(
+            "SELECT owner, load FROM service WHERE load < 0.5 AND interface.type = 'Executor-1.0'",
+        )
+        .unwrap();
+        assert_eq!(q.columns, ["owner", "load"]);
+        assert_eq!(q.from_type, "service");
+        assert!(matches!(q.where_, Some(Condition::And(..))));
+        assert!(SqlQuery::parse("SELECT * FROM service").unwrap().columns.is_empty());
+        assert!(SqlQuery::parse("SELECT COUNT(*) FROM service").unwrap().count);
+        assert!(SqlQuery::parse("select owner from service;").is_ok(), "case-insensitive");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(SqlQuery::parse("SELECT FROM service").is_err());
+        assert!(SqlQuery::parse("SELECT * FROM").is_err());
+        assert!(SqlQuery::parse("SELECT * FROM s WHERE a").is_err());
+        assert!(SqlQuery::parse("SELECT * FROM s WHERE a = 'x' garbage").is_err());
+        assert!(SqlQuery::parse("SELECT * FROM s WHERE a = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn select_columns_and_filter() {
+        let rows = run("SELECT owner FROM service WHERE load < 0.5");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![("owner".to_owned(), "cms.cern.ch".to_owned())]);
+        assert_eq!(rows[1][0].1, "fnal.gov");
+    }
+
+    #[test]
+    fn abbreviated_columns_resolve_on_dot_boundaries() {
+        let rows = run("SELECT service.owner FROM service WHERE interface.type = 'Storage-1.1'");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].1, "fnal.gov");
+        // abbreviation works too
+        let rows = run("SELECT owner FROM service WHERE type = 'service' AND load > 0.7");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].1, "atlas.cern.ch");
+    }
+
+    #[test]
+    fn like_and_boolean_operators() {
+        let rows = run("SELECT owner FROM service WHERE owner LIKE '%.cern.ch'");
+        assert_eq!(rows.len(), 2);
+        let rows = run(
+            "SELECT owner FROM service WHERE owner LIKE '%.cern.ch' AND (load < 0.5 OR load > 0.7)",
+        );
+        assert_eq!(rows.len(), 2);
+        let rows = run("SELECT owner FROM service WHERE owner LIKE 'cms%' AND load < 0.1");
+        assert!(rows.is_empty());
+        let rows = run("SELECT owner FROM service WHERE owner LIKE 'fnal.go_'");
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn count_star() {
+        let rows = run("SELECT COUNT(*) FROM service WHERE load <= 0.4");
+        assert_eq!(rows, vec![vec![("count".to_owned(), "2".to_owned())]]);
+    }
+
+    #[test]
+    fn ne_and_string_order() {
+        assert_eq!(run("SELECT owner FROM service WHERE owner != 'fnal.gov'").len(), 2);
+        assert_eq!(run("SELECT owner FROM service WHERE owner <> 'fnal.gov'").len(), 2);
+        assert_eq!(run("SELECT owner FROM service WHERE owner >= 'cms'").len(), 2);
+    }
+
+    #[test]
+    fn select_star_returns_all_attrs() {
+        let rows = run("SELECT * FROM service WHERE link = 'http://a'");
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].iter().any(|(n, _)| n == "service.load"));
+    }
+
+    #[test]
+    fn rows_render_as_xml() {
+        let rows = run("SELECT owner, service.load FROM service WHERE load < 0.3");
+        let xml = SqlQuery::rows_to_xml(&rows);
+        assert_eq!(xml.len(), 1);
+        assert_eq!(xml[0].attr("owner"), Some("cms.cern.ch"));
+        assert_eq!(xml[0].attr("service-load"), Some("0.2"));
+        // and they survive the XML layer
+        wsda_xml::parse_fragment(&xml[0].to_compact_string()).unwrap();
+    }
+
+    #[test]
+    fn like_no_backtracking_blowup() {
+        let text = "a".repeat(200);
+        let pattern = format!("{}b", "a%".repeat(50));
+        assert!(!like_match(&pattern, &text));
+    }
+}

@@ -1,0 +1,292 @@
+//! The tuple store: primary map keyed by content link plus secondary
+//! indices, with soft-state sweeping.
+//!
+//! The store is single-registry-internal; [`crate::HyperRegistry`] wraps it
+//! in a lock. Sweeping is explicit (`sweep(now)`) so simulations control
+//! exactly when expiry happens; the registry calls it lazily on every
+//! operation, matching the original's behaviour of never serving expired
+//! tuples.
+
+use crate::clock::Time;
+use crate::tuple::{Tuple, TupleKey};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// In-memory tuple storage with link and type indices.
+#[derive(Debug, Default)]
+pub struct TupleStore {
+    by_link: HashMap<TupleKey, Tuple>,
+    by_type: HashMap<String, HashSet<TupleKey>>,
+    /// Expiry queue: expiry time → links (BTreeMap gives cheap "expired
+    /// prefix" sweeps without scanning live tuples).
+    expiry: BTreeMap<Time, HashSet<TupleKey>>,
+    next_ordinal: u64,
+}
+
+impl TupleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live tuples (including any not yet swept but expired —
+    /// call [`TupleStore::sweep`] first for exact liveness).
+    pub fn len(&self) -> usize {
+        self.by_link.len()
+    }
+
+    /// True when no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_link.is_empty()
+    }
+
+    /// Insert a brand-new tuple or refresh an existing one, keeping the
+    /// expiry queue consistent. Returns `true` when the tuple was new.
+    pub fn upsert(
+        &mut self,
+        link: &str,
+        type_: &str,
+        context: &str,
+        now: Time,
+        ttl_ms: u64,
+    ) -> bool {
+        if let Some(t) = self.by_link.get_mut(link) {
+            let old_expiry = t.expires();
+            t.refresh(now, ttl_ms);
+            // Type/context may change across refreshes (rare but allowed).
+            if t.type_ != type_ {
+                remove_index(&mut self.by_type, &t.type_, link);
+                t.type_ = type_.to_owned();
+                self.by_type.entry(type_.to_owned()).or_default().insert(link.to_owned());
+            }
+            if t.context != context {
+                t.context = context.to_owned();
+            }
+            let new_expiry = t.expires();
+            move_expiry(&mut self.expiry, old_expiry, new_expiry, link);
+            false
+        } else {
+            let ordinal = self.next_ordinal;
+            self.next_ordinal += 1;
+            let t = Tuple::new(link, type_, context, now, ttl_ms, ordinal);
+            self.expiry.entry(t.expires()).or_default().insert(link.to_owned());
+            self.by_type.entry(type_.to_owned()).or_default().insert(link.to_owned());
+            self.by_link.insert(link.to_owned(), t);
+            true
+        }
+    }
+
+    /// Borrow a tuple.
+    pub fn get(&self, link: &str) -> Option<&Tuple> {
+        self.by_link.get(link)
+    }
+
+    /// Mutably borrow a tuple (content installation). The caller must not
+    /// change `refreshed`/`ttl_ms` through this path — use
+    /// [`TupleStore::upsert`] so the expiry queue stays consistent.
+    pub fn get_mut(&mut self, link: &str) -> Option<&mut Tuple> {
+        self.by_link.get_mut(link)
+    }
+
+    /// Remove a tuple outright (explicit unpublish).
+    pub fn remove(&mut self, link: &str) -> Option<Tuple> {
+        let t = self.by_link.remove(link)?;
+        remove_index(&mut self.by_type, &t.type_, link);
+        if let Some(set) = self.expiry.get_mut(&t.expires()) {
+            set.remove(link);
+            if set.is_empty() {
+                self.expiry.remove(&t.expires());
+            }
+        }
+        Some(t)
+    }
+
+    /// Drop every tuple whose lease has expired at `now`; returns how many
+    /// were evicted.
+    pub fn sweep(&mut self, now: Time) -> usize {
+        let mut evicted = 0;
+        while let Some((&t, _)) = self.expiry.first_key_value() {
+            if t > now {
+                break;
+            }
+            let (_, links) = self.expiry.pop_first().expect("checked nonempty");
+            for link in links {
+                // Guard against stale queue entries left behind by refresh.
+                let expired_type = match self.by_link.get(&link) {
+                    Some(tuple) if tuple.is_expired(now) => tuple.type_.clone(),
+                    _ => continue,
+                };
+                self.by_link.remove(&link);
+                remove_index(&mut self.by_type, &expired_type, &link);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// The earliest pending expiry, if any (used by simulations to schedule
+    /// the next sweep precisely).
+    pub fn next_expiry(&self) -> Option<Time> {
+        self.expiry.first_key_value().map(|(&t, _)| t)
+    }
+
+    /// Links of all tuples with the given type.
+    pub fn links_of_type(&self, type_: &str) -> Vec<TupleKey> {
+        let mut v: Vec<TupleKey> =
+            self.by_type.get(type_).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Iterate over all tuples (mutable, for rendering).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Tuple> {
+        self.by_link.values_mut()
+    }
+
+    /// Iterate over all tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.by_link.values()
+    }
+
+    /// All links, sorted (deterministic iteration for tests and scans).
+    pub fn links(&self) -> Vec<TupleKey> {
+        let mut v: Vec<TupleKey> = self.by_link.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+fn remove_index(index: &mut HashMap<String, HashSet<TupleKey>>, type_: &str, link: &str) {
+    if let Some(set) = index.get_mut(type_) {
+        set.remove(link);
+        if set.is_empty() {
+            index.remove(type_);
+        }
+    }
+}
+
+fn move_expiry(
+    queue: &mut BTreeMap<Time, HashSet<TupleKey>>,
+    old: Time,
+    new: Time,
+    link: &str,
+) {
+    if old == new {
+        return;
+    }
+    if let Some(set) = queue.get_mut(&old) {
+        set.remove(link);
+        if set.is_empty() {
+            queue.remove(&old);
+        }
+    }
+    queue.entry(new).or_default().insert(link.to_owned());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(n: usize, ttl: u64) -> TupleStore {
+        let mut s = TupleStore::new();
+        for i in 0..n {
+            s.upsert(&format!("http://svc{i}"), "service", "cern.ch", Time(0), ttl);
+        }
+        s
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let s = store_with(3, 1000);
+        assert_eq!(s.len(), 3);
+        assert!(s.get("http://svc1").is_some());
+        assert!(s.get("http://nope").is_none());
+        assert_eq!(s.links_of_type("service").len(), 3);
+        assert_eq!(s.links_of_type("monitor").len(), 0);
+    }
+
+    #[test]
+    fn upsert_refreshes() {
+        let mut s = store_with(1, 1000);
+        assert!(!s.upsert("http://svc0", "service", "cern.ch", Time(500), 1000));
+        assert_eq!(s.get("http://svc0").unwrap().expires(), Time(1500));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn upsert_can_change_type() {
+        let mut s = store_with(1, 1000);
+        s.upsert("http://svc0", "monitor", "cern.ch", Time(10), 1000);
+        assert!(s.links_of_type("service").is_empty());
+        assert_eq!(s.links_of_type("monitor"), ["http://svc0"]);
+    }
+
+    #[test]
+    fn sweep_evicts_expired() {
+        let mut s = store_with(5, 1000);
+        s.upsert("http://svc0", "service", "cern.ch", Time(500), 1000); // expires 1500
+        assert_eq!(s.sweep(Time(999)), 0);
+        assert_eq!(s.sweep(Time(1000)), 4);
+        assert_eq!(s.len(), 1);
+        assert!(s.get("http://svc0").is_some());
+        assert_eq!(s.sweep(Time(1500)), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sweep_is_idempotent() {
+        let mut s = store_with(2, 100);
+        assert_eq!(s.sweep(Time(100)), 2);
+        assert_eq!(s.sweep(Time(100)), 0);
+        assert_eq!(s.sweep(Time(9999)), 0);
+    }
+
+    #[test]
+    fn remove_cleans_indices() {
+        let mut s = store_with(2, 1000);
+        assert!(s.remove("http://svc0").is_some());
+        assert!(s.remove("http://svc0").is_none());
+        assert_eq!(s.links_of_type("service"), ["http://svc1"]);
+        assert_eq!(s.next_expiry(), Some(Time(1000)));
+    }
+
+    #[test]
+    fn next_expiry_tracks_minimum() {
+        let mut s = TupleStore::new();
+        assert_eq!(s.next_expiry(), None);
+        s.upsert("a", "t", "c", Time(0), 500);
+        s.upsert("b", "t", "c", Time(0), 100);
+        assert_eq!(s.next_expiry(), Some(Time(100)));
+        s.sweep(Time(100));
+        assert_eq!(s.next_expiry(), Some(Time(500)));
+    }
+
+    #[test]
+    fn ordinals_are_stable_and_unique() {
+        let mut s = store_with(3, 1000);
+        let o1 = s.get("http://svc1").unwrap().ordinal;
+        s.upsert("http://svc1", "service", "cern.ch", Time(10), 1000);
+        assert_eq!(s.get("http://svc1").unwrap().ordinal, o1);
+        let mut ords: Vec<u64> = s.iter().map(|t| t.ordinal).collect();
+        ords.sort();
+        ords.dedup();
+        assert_eq!(ords.len(), 3);
+    }
+
+    #[test]
+    fn refresh_outruns_sweep() {
+        let mut s = store_with(1, 100);
+        // Refresh at t=90 with a fresh lease; the stale queue entry at t=100
+        // must not evict the refreshed tuple.
+        s.upsert("http://svc0", "service", "cern.ch", Time(90), 100);
+        assert_eq!(s.sweep(Time(100)), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.sweep(Time(190)), 1);
+    }
+
+    #[test]
+    fn links_sorted() {
+        let s = store_with(3, 1000);
+        let l = s.links();
+        assert_eq!(l, ["http://svc0", "http://svc1", "http://svc2"]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Pull throttling (dissertation section 4.8).
+//!
+//! A registry serving many clients must not stampede its content providers:
+//! pulls are rate-limited per provider and globally. Token buckets give
+//! bursts up to `burst` with a sustained `rate_per_sec` refill, evaluated in
+//! virtual time so experiments can sweep throttle parameters quickly.
+
+use crate::clock::Time;
+use std::collections::HashMap;
+
+/// Token-bucket parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleConfig {
+    /// Sustained pulls per second (may be fractional).
+    pub rate_per_sec: f64,
+    /// Maximum burst size (bucket capacity).
+    pub burst: f64,
+}
+
+impl ThrottleConfig {
+    /// Effectively unlimited.
+    pub fn unlimited() -> Self {
+        ThrottleConfig { rate_per_sec: f64::INFINITY, burst: f64::INFINITY }
+    }
+}
+
+impl Default for ThrottleConfig {
+    fn default() -> Self {
+        // Defaults sized for polite interaction with remote providers:
+        // a 1/s sustained pull rate with small bursts.
+        ThrottleConfig { rate_per_sec: 1.0, burst: 5.0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    tokens: f64,
+    last: Time,
+}
+
+impl Bucket {
+    fn try_take(&mut self, now: Time, config: ThrottleConfig) -> bool {
+        if config.rate_per_sec.is_infinite() {
+            return true;
+        }
+        let elapsed_s = now.since(self.last) as f64 / 1000.0;
+        self.tokens = (self.tokens + elapsed_s * config.rate_per_sec).min(config.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-provider plus global pull throttle.
+#[derive(Debug)]
+pub struct PullThrottle {
+    per_provider: ThrottleConfig,
+    global: ThrottleConfig,
+    buckets: HashMap<String, Bucket>,
+    global_bucket: Bucket,
+    /// Pulls denied so far (for the F4 experiment).
+    pub denied: u64,
+    /// Pulls granted so far.
+    pub granted: u64,
+}
+
+impl PullThrottle {
+    /// Create a throttle with the given per-provider and global budgets.
+    pub fn new(per_provider: ThrottleConfig, global: ThrottleConfig, now: Time) -> Self {
+        PullThrottle {
+            per_provider,
+            global,
+            buckets: HashMap::new(),
+            global_bucket: Bucket { tokens: global.burst.min(1e18), last: now },
+            denied: 0,
+            granted: 0,
+        }
+    }
+
+    /// An unthrottled instance.
+    pub fn unlimited(now: Time) -> Self {
+        Self::new(ThrottleConfig::unlimited(), ThrottleConfig::unlimited(), now)
+    }
+
+    /// May a pull from `link` proceed at `now`? Consumes tokens when
+    /// granted.
+    pub fn allow(&mut self, link: &str, now: Time) -> bool {
+        let per = self.per_provider;
+        let bucket = self.buckets.entry(link.to_owned()).or_insert_with(|| Bucket {
+            tokens: per.burst.min(1e18),
+            last: now,
+        });
+        // Check provider bucket first, then global; only commit when both
+        // grant (peek provider, then global, then take provider).
+        let provider_ok = bucket.try_take(now, per);
+        if !provider_ok {
+            self.denied += 1;
+            return false;
+        }
+        let global_ok = self.global_bucket.try_take(now, self.global);
+        if !global_ok {
+            // Return the provider token (no pull happened).
+            if !per.rate_per_sec.is_infinite() {
+                if let Some(b) = self.buckets.get_mut(link) {
+                    b.tokens = (b.tokens + 1.0).min(per.burst);
+                }
+            }
+            self.denied += 1;
+            return false;
+        }
+        self.granted += 1;
+        true
+    }
+
+    /// Drop state for providers not seen since `cutoff` (bound memory under
+    /// churn).
+    pub fn evict_idle(&mut self, cutoff: Time) {
+        self.buckets.retain(|_, b| b.last >= cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_allows() {
+        let mut t = PullThrottle::unlimited(Time(0));
+        for _ in 0..1000 {
+            assert!(t.allow("http://x", Time(0)));
+        }
+        assert_eq!(t.denied, 0);
+    }
+
+    #[test]
+    fn burst_then_denied() {
+        let cfg = ThrottleConfig { rate_per_sec: 1.0, burst: 3.0 };
+        let mut t = PullThrottle::new(cfg, ThrottleConfig::unlimited(), Time(0));
+        assert!(t.allow("a", Time(0)));
+        assert!(t.allow("a", Time(0)));
+        assert!(t.allow("a", Time(0)));
+        assert!(!t.allow("a", Time(0)), "burst exhausted");
+        assert_eq!(t.denied, 1);
+        assert_eq!(t.granted, 3);
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let cfg = ThrottleConfig { rate_per_sec: 1.0, burst: 1.0 };
+        let mut t = PullThrottle::new(cfg, ThrottleConfig::unlimited(), Time(0));
+        assert!(t.allow("a", Time(0)));
+        assert!(!t.allow("a", Time(500)));
+        assert!(t.allow("a", Time(1500)), "1s refill grants one token");
+    }
+
+    #[test]
+    fn per_provider_isolation() {
+        let cfg = ThrottleConfig { rate_per_sec: 1.0, burst: 1.0 };
+        let mut t = PullThrottle::new(cfg, ThrottleConfig::unlimited(), Time(0));
+        assert!(t.allow("a", Time(0)));
+        assert!(t.allow("b", Time(0)), "b has its own bucket");
+        assert!(!t.allow("a", Time(0)));
+    }
+
+    #[test]
+    fn global_budget_caps_total() {
+        let per = ThrottleConfig::unlimited();
+        let global = ThrottleConfig { rate_per_sec: 1.0, burst: 2.0 };
+        let mut t = PullThrottle::new(per, global, Time(0));
+        assert!(t.allow("a", Time(0)));
+        assert!(t.allow("b", Time(0)));
+        assert!(!t.allow("c", Time(0)), "global exhausted");
+    }
+
+    #[test]
+    fn global_denial_refunds_provider_token() {
+        let per = ThrottleConfig { rate_per_sec: 0.0, burst: 1.0 };
+        let global = ThrottleConfig { rate_per_sec: 0.0, burst: 1.0 };
+        let mut t = PullThrottle::new(per, global, Time(0));
+        assert!(t.allow("a", Time(0)));
+        // Global is now empty. b's provider token must be refunded so a
+        // later global refill can use it.
+        assert!(!t.allow("b", Time(0)));
+        let cfg_global_refilled =
+            PullThrottle::new(per, ThrottleConfig { rate_per_sec: 1000.0, burst: 1.0 }, Time(0));
+        drop(cfg_global_refilled);
+        // direct check: bucket for b still holds its token
+        assert_eq!(t.buckets.get("b").unwrap().tokens, 1.0);
+    }
+
+    #[test]
+    fn evict_idle_bounds_memory() {
+        let mut t = PullThrottle::new(
+            ThrottleConfig::default(),
+            ThrottleConfig::unlimited(),
+            Time(0),
+        );
+        t.allow("a", Time(0));
+        t.allow("b", Time(5000));
+        t.evict_idle(Time(1000));
+        assert!(!t.buckets.contains_key("a"));
+        assert!(t.buckets.contains_key("b"));
+    }
+}

@@ -1,0 +1,212 @@
+//! The registry tuple: `(content link, type, context, timestamps, TTL,
+//! cached content)`.
+//!
+//! Dissertation section 4.2: a *content provider* publishes a **content
+//! link** — an identifier and retrieval mechanism (an HTTP URL in the
+//! original) — together with metadata. The registry may hold a **content
+//! cache** for the link. Each tuple carries soft-state timestamps:
+//!
+//! * `TS1` — when the tuple was first inserted,
+//! * `TS2` — when it was last refreshed (re-published),
+//! * `TC`  — when the cached content was last obtained,
+//! * `TTL` — how long past `TS2` the tuple stays alive without refresh.
+
+use crate::clock::Time;
+use std::sync::Arc;
+use wsda_xml::Element;
+
+/// The primary key of a tuple: its content link.
+pub type TupleKey = String;
+
+/// One registry tuple.
+#[derive(Debug, Clone)]
+pub struct Tuple {
+    /// The content link (primary key) — an HTTP URL in the original system.
+    pub link: String,
+    /// The tuple type, e.g. `service` for service descriptions; free-form
+    /// for other content (`monitor`, `replica`, …).
+    pub type_: String,
+    /// The context/scope attribute (e.g. owning domain) used for scoping.
+    pub context: String,
+    /// Cached content, if any (`None` while content has never been pulled
+    /// or pushed).
+    pub content: Option<Arc<Element>>,
+    /// First insertion time (TS1).
+    pub inserted: Time,
+    /// Last refresh time (TS2).
+    pub refreshed: Time,
+    /// When `content` was obtained (TC).
+    pub content_cached: Option<Time>,
+    /// Time-to-live past `refreshed`, in milliseconds.
+    pub ttl_ms: u64,
+    /// Stable ordinal assigned at first insertion — doubles as the XQuery
+    /// document ordinal so query results order deterministically.
+    pub ordinal: u64,
+    /// Cached XML rendering (invalidated on any mutation).
+    rendered: Option<Arc<Element>>,
+}
+
+impl Tuple {
+    /// Create a fresh tuple.
+    pub fn new(
+        link: impl Into<String>,
+        type_: impl Into<String>,
+        context: impl Into<String>,
+        now: Time,
+        ttl_ms: u64,
+        ordinal: u64,
+    ) -> Tuple {
+        Tuple {
+            link: link.into(),
+            type_: type_.into(),
+            context: context.into(),
+            content: None,
+            inserted: now,
+            refreshed: now,
+            content_cached: None,
+            ttl_ms,
+            ordinal,
+            rendered: None,
+        }
+    }
+
+    /// The absolute expiry time (`refreshed + ttl`).
+    pub fn expires(&self) -> Time {
+        self.refreshed.plus(self.ttl_ms)
+    }
+
+    /// Is the tuple expired at `now`? (Soft state: expiry is exclusive —
+    /// a tuple expiring *at* `now` is already gone.)
+    pub fn is_expired(&self, now: Time) -> bool {
+        now >= self.expires()
+    }
+
+    /// Age of the cached content at `now`; `None` when nothing is cached.
+    pub fn content_age(&self, now: Time) -> Option<u64> {
+        self.content_cached.map(|tc| now.since(tc))
+    }
+
+    /// Record a refresh (re-publication) at `now` with a possibly new TTL.
+    pub fn refresh(&mut self, now: Time, ttl_ms: u64) {
+        self.refreshed = now;
+        self.ttl_ms = ttl_ms;
+        self.rendered = None;
+    }
+
+    /// Install new content obtained at `now`.
+    pub fn set_content(&mut self, content: Arc<Element>, now: Time) {
+        self.content = Some(content);
+        self.content_cached = Some(now);
+        self.rendered = None;
+    }
+
+    /// Drop cached content (e.g. after repeated pull failures).
+    pub fn clear_content(&mut self) {
+        self.content = None;
+        self.content_cached = None;
+        self.rendered = None;
+    }
+
+    /// Render (and cache) the tuple as the XML document queries navigate:
+    ///
+    /// ```xml
+    /// <tuple link="…" type="…" ctx="…" ts1="…" ts2="…" tc="…" ttl="…">
+    ///   <content>…provider content…</content>
+    /// </tuple>
+    /// ```
+    pub fn to_xml(&mut self) -> Arc<Element> {
+        if let Some(r) = &self.rendered {
+            return r.clone();
+        }
+        let mut e = Element::new("tuple")
+            .with_attr("link", self.link.clone())
+            .with_attr("type", self.type_.clone())
+            .with_attr("ctx", self.context.clone())
+            .with_attr("ts1", self.inserted.millis().to_string())
+            .with_attr("ts2", self.refreshed.millis().to_string())
+            .with_attr("ttl", self.ttl_ms.to_string());
+        if let Some(tc) = self.content_cached {
+            e.set_attr("tc", tc.millis().to_string());
+        }
+        let mut content_elem = Element::new("content");
+        if let Some(c) = &self.content {
+            content_elem.push(Element::clone(c));
+        }
+        e.push(content_elem);
+        let arc = Arc::new(e);
+        self.rendered = Some(arc.clone());
+        arc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsda_xml::parse_fragment;
+
+    fn tuple() -> Tuple {
+        Tuple::new("http://x/svc", "service", "cern.ch", Time(100), 1000, 7)
+    }
+
+    #[test]
+    fn expiry_math() {
+        let t = tuple();
+        assert_eq!(t.expires(), Time(1100));
+        assert!(!t.is_expired(Time(1099)));
+        assert!(t.is_expired(Time(1100)));
+        assert!(t.is_expired(Time(5000)));
+    }
+
+    #[test]
+    fn refresh_extends_lease() {
+        let mut t = tuple();
+        t.refresh(Time(900), 2000);
+        assert_eq!(t.expires(), Time(2900));
+        assert_eq!(t.inserted, Time(100), "TS1 unchanged by refresh");
+    }
+
+    #[test]
+    fn content_age() {
+        let mut t = tuple();
+        assert_eq!(t.content_age(Time(500)), None);
+        t.set_content(Arc::new(parse_fragment("<x/>").unwrap()), Time(200));
+        assert_eq!(t.content_age(Time(500)), Some(300));
+        t.clear_content();
+        assert_eq!(t.content_age(Time(500)), None);
+    }
+
+    #[test]
+    fn xml_rendering() {
+        let mut t = tuple();
+        t.set_content(Arc::new(parse_fragment("<service><owner>cms</owner></service>").unwrap()), Time(150));
+        let xml = t.to_xml();
+        assert_eq!(xml.attr("link"), Some("http://x/svc"));
+        assert_eq!(xml.attr("type"), Some("service"));
+        assert_eq!(xml.attr("ctx"), Some("cern.ch"));
+        assert_eq!(xml.attr("ts1"), Some("100"));
+        assert_eq!(xml.attr("tc"), Some("150"));
+        assert_eq!(xml.attr("ttl"), Some("1000"));
+        let svc = xml.first_child_named("content").unwrap().first_child_named("service").unwrap();
+        assert_eq!(svc.text(), "cms");
+    }
+
+    #[test]
+    fn rendering_is_cached_and_invalidated() {
+        let mut t = tuple();
+        let a = t.to_xml();
+        let b = t.to_xml();
+        assert!(Arc::ptr_eq(&a, &b));
+        t.refresh(Time(500), 1000);
+        let c = t.to_xml();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.attr("ts2"), Some("500"));
+    }
+
+    #[test]
+    fn empty_content_renders_empty_element() {
+        let mut t = tuple();
+        let xml = t.to_xml();
+        assert!(xml.first_child_named("content").unwrap().children().is_empty());
+        assert_eq!(xml.attr("tc"), None);
+    }
+}

@@ -1,0 +1,216 @@
+//! Synthetic workload generation shared by tests, examples and benches.
+//!
+//! The original evaluation ran against EDG/CERN Grid testbed services; this
+//! generator produces a corpus with the same relevant statistics: a mix of
+//! service kinds (executor, storage, replica catalog, monitor, network),
+//! multi-level owner domains, per-service dynamic attributes (load, free
+//! disk), and multiple interfaces per service.
+
+use crate::registry::{HyperRegistry, PublishRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsda_xml::Element;
+
+/// Service kinds with relative frequencies, mirroring the thesis's data-
+/// intensive Grid scenario (many storage/executor nodes, fewer catalogs).
+const KINDS: &[(&str, &str, u32)] = &[
+    ("executor", "Executor-1.0", 30),
+    ("storage", "Storage-1.1", 30),
+    ("replica-catalog", "ReplicaCatalog-2.0", 10),
+    ("monitor", "Monitor-1.0", 15),
+    ("network", "NetworkProbe-1.0", 15),
+];
+
+const DOMAINS: &[&str] = &[
+    "cms.cern.ch",
+    "atlas.cern.ch",
+    "alice.cern.ch",
+    "fnal.gov",
+    "slac.stanford.edu",
+    "infn.it",
+    "ral.ac.uk",
+    "in2p3.fr",
+];
+
+/// A deterministic synthetic corpus generator.
+pub struct CorpusGenerator {
+    rng: StdRng,
+    counter: u64,
+}
+
+impl CorpusGenerator {
+    /// A generator with a fixed seed (identical corpora across runs).
+    pub fn new(seed: u64) -> Self {
+        CorpusGenerator { rng: StdRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    /// Generate one service description and its publication metadata.
+    /// Returns `(link, kind, domain, content)`.
+    pub fn next_service(&mut self) -> (String, String, String, Element) {
+        let i = self.counter;
+        self.counter += 1;
+        let total: u32 = KINDS.iter().map(|(_, _, w)| w).sum();
+        let mut pick = self.rng.gen_range(0..total);
+        let (kind, iface, _) = KINDS
+            .iter()
+            .find(|(_, _, w)| {
+                if pick < *w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .expect("weights cover range");
+        let domain = DOMAINS[self.rng.gen_range(0..DOMAINS.len())];
+        let link = format!("http://{domain}/{kind}/{i}");
+        let load: f64 = self.rng.gen_range(0.0..1.0);
+        let disk_gb: u32 = self.rng.gen_range(10..10_000);
+        let mut svc = Element::new("service")
+            .with_child(
+                Element::new("interface")
+                    .with_attr("type", *iface)
+                    .with_child(
+                        Element::new("operation")
+                            .with_field("name", default_operation(kind))
+                            .with_child(
+                                Element::new("bindhttp")
+                                    .with_attr("verb", "GET")
+                                    .with_attr("url", format!("{link}/op")),
+                            ),
+                    ),
+            )
+            .with_child(
+                Element::new("interface").with_attr("type", "Presenter-1.0").with_child(
+                    Element::new("operation").with_field("name", "getServiceDescription"),
+                ),
+            )
+            .with_field("owner", domain)
+            .with_field("load", format!("{load:.3}"))
+            .with_field("freeDiskGB", disk_gb.to_string());
+        if kind == &"executor" {
+            let queue: u32 = self.rng.gen_range(0..100);
+            svc = svc.with_field("queueLength", queue.to_string());
+        }
+        (link, (*kind).to_owned(), domain.to_owned(), svc)
+    }
+
+    /// Publish `n` generated services into a registry with the given TTL.
+    pub fn populate(&mut self, registry: &HyperRegistry, n: usize, ttl_ms: u64) -> Vec<String> {
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (link, kind, domain, content) = self.next_service();
+            registry
+                .publish(
+                    PublishRequest::new(&link, "service")
+                        .with_context(domain)
+                        .with_ttl_ms(ttl_ms)
+                        .with_content(content.clone()),
+                )
+                .expect("synthetic publish cannot fail");
+            // The tuple type is `service`; the kind lives in the content.
+            let _ = kind;
+            links.push(link);
+        }
+        links
+    }
+}
+
+fn default_operation(kind: &str) -> &'static str {
+    match kind {
+        "executor" => "submitJob",
+        "storage" => "put",
+        "replica-catalog" => "lookup",
+        "monitor" => "readSensor",
+        "network" => "measureBandwidth",
+        _ => "invoke",
+    }
+}
+
+/// The canonical experiment-T1 query set: nine queries spanning the three
+/// chapter-3 classes. Each entry is `(id, class, xquery)`.
+pub fn t1_queries() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("S1-by-link", "simple", r#"/tuple[@link = "http://fnal.gov/storage/0"]"#),
+        ("S2-by-type", "simple", r#"/tuple[@type = "service"]"#),
+        ("S3-link-content", "simple", r#"/tuple[@link = "http://fnal.gov/storage/0"]/content/service"#),
+        ("M1-iface-exact", "medium", r#"//service[interface/@type = "Executor-1.0"]"#),
+        ("M2-iface-prefix", "medium",
+            r#"//service[some $i in interface satisfies starts-with($i/@type, "Storage-")]"#),
+        ("M3-domain-load", "medium",
+            r#"//service[ends-with(owner, ".cern.ch") and load < 0.5]"#),
+        ("C1-top-executor", "complex",
+            r#"(for $s in //service[interface/@type = "Executor-1.0"]
+                order by number($s/load) return $s/owner)[1]"#),
+        ("C2-aggregate", "complex", r#"avg(//service[freeDiskGB > 100]/load)"#),
+        ("C3-join-report", "complex",
+            r#"for $s in //service[owner = "fnal.gov" and load < 0.3],
+                   $m in //service[owner = "fnal.gov" and interface/@type = "NetworkProbe-1.0"]
+               where $s/owner = $m/owner
+               return <pair owner="{$s/owner}"/>"#),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::freshness::Freshness;
+    use crate::registry::RegistryConfig;
+    use std::sync::Arc;
+    use wsda_xq::Query;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = CorpusGenerator::new(42);
+        let mut b = CorpusGenerator::new(42);
+        for _ in 0..20 {
+            let (la, ka, da, ca) = a.next_service();
+            let (lb, kb, db, cb) = b.next_service();
+            assert_eq!(la, lb);
+            assert_eq!(ka, kb);
+            assert_eq!(da, db);
+            assert_eq!(ca.to_compact_string(), cb.to_compact_string());
+        }
+    }
+
+    #[test]
+    fn links_are_unique() {
+        let mut g = CorpusGenerator::new(1);
+        let mut links: Vec<String> = (0..200).map(|_| g.next_service().0).collect();
+        links.sort();
+        links.dedup();
+        assert_eq!(links.len(), 200);
+    }
+
+    #[test]
+    fn populate_and_query() {
+        let clock = Arc::new(ManualClock::new());
+        let r = HyperRegistry::new(RegistryConfig::default(), clock);
+        let mut g = CorpusGenerator::new(7);
+        let links = g.populate(&r, 100, 60_000);
+        assert_eq!(links.len(), 100);
+        assert_eq!(r.live_tuples(), 100);
+        let q = Query::parse("count(//service)").unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out.results[0].number_value(), 100.0);
+    }
+
+    #[test]
+    fn corpus_has_expected_structure() {
+        let mut g = CorpusGenerator::new(3);
+        let (_, _, _, svc) = g.next_service();
+        assert!(svc.first_child_named("owner").is_some());
+        assert!(svc.first_child_named("load").is_some());
+        assert_eq!(svc.children_named("interface").count(), 2);
+    }
+
+    #[test]
+    fn t1_queries_all_parse() {
+        for (id, class, src) in t1_queries() {
+            let q = Query::parse(src).unwrap_or_else(|e| panic!("{id}: {e}"));
+            let got = q.profile().class.to_string();
+            assert_eq!(got, class, "{id} classified as {got}, expected {class}");
+        }
+    }
+}

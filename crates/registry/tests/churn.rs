@@ -1,0 +1,108 @@
+//! Soft-state behaviour under provider churn: randomized schedules of
+//! publish/refresh/death must keep the registry consistent with an oracle.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsda_registry::clock::{Clock, ManualClock, Time};
+use wsda_registry::{Freshness, HyperRegistry, PublishRequest, RegistryConfig};
+use wsda_xml::Element;
+use wsda_xq::Query;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Publish { id: u8, ttl: u64 },
+    Refresh { id: u8, ttl: u64 },
+    Unpublish { id: u8 },
+    Advance { ms: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16, 1_000u64..60_000).prop_map(|(id, ttl)| Op::Publish { id, ttl }),
+        (0u8..16, 1_000u64..60_000).prop_map(|(id, ttl)| Op::Refresh { id, ttl }),
+        (0u8..16).prop_map(|id| Op::Unpublish { id }),
+        (1u64..30_000).prop_map(|ms| Op::Advance { ms }),
+    ]
+}
+
+fn content(id: u8) -> Element {
+    Element::new("service").with_field("owner", format!("site{id}.cern.ch"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The registry's live tuple set always equals an oracle tracking
+    /// (link → expiry) by hand, under any operation interleaving.
+    #[test]
+    fn registry_matches_expiry_oracle(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let clock = Arc::new(ManualClock::new());
+        let registry = HyperRegistry::new(
+            RegistryConfig { min_ttl_ms: 1, ..RegistryConfig::default() },
+            clock.clone(),
+        );
+        let mut oracle: HashMap<u8, Time> = HashMap::new();
+
+        for op in ops {
+            let now = clock.now();
+            oracle.retain(|_, &mut exp| exp > now);
+            match op {
+                Op::Publish { id, ttl } => {
+                    registry
+                        .publish(
+                            PublishRequest::new(format!("http://svc/{id}"), "service")
+                                .with_ttl_ms(ttl)
+                                .with_content(content(id)),
+                        )
+                        .unwrap();
+                    oracle.insert(id, now.plus(ttl));
+                }
+                Op::Refresh { id, ttl } => {
+                    let result = registry.refresh(&format!("http://svc/{id}"), Some(ttl));
+                    if oracle.contains_key(&id) {
+                        prop_assert!(result.is_ok());
+                        oracle.insert(id, now.plus(ttl));
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                Op::Unpublish { id } => {
+                    let result = registry.unpublish(&format!("http://svc/{id}"));
+                    prop_assert_eq!(result.is_ok(), oracle.remove(&id).is_some());
+                }
+                Op::Advance { ms } => {
+                    clock.advance(ms);
+                }
+            }
+            let now = clock.now();
+            oracle.retain(|_, &mut exp| exp > now);
+            prop_assert_eq!(registry.live_tuples(), oracle.len());
+        }
+    }
+
+    /// Queries never observe expired tuples, at any time.
+    #[test]
+    fn queries_never_see_expired(ttls in proptest::collection::vec(1_000u64..20_000, 1..20),
+                                 advance in 0u64..25_000) {
+        let clock = Arc::new(ManualClock::new());
+        let registry = HyperRegistry::new(
+            RegistryConfig { min_ttl_ms: 1, ..RegistryConfig::default() },
+            clock.clone(),
+        );
+        for (i, ttl) in ttls.iter().enumerate() {
+            registry
+                .publish(
+                    PublishRequest::new(format!("http://svc/{i}"), "service")
+                        .with_ttl_ms(*ttl)
+                        .with_content(content(i as u8)),
+                )
+                .unwrap();
+        }
+        clock.advance(advance);
+        let expected = ttls.iter().filter(|&&t| t > advance).count();
+        let q = Query::parse("count(/tuple)").unwrap();
+        let out = registry.query(&q, &Freshness::any()).unwrap();
+        prop_assert_eq!(out.results[0].number_value(), expected as f64);
+    }
+}

@@ -1,0 +1,96 @@
+//! Physical query scopes (chapter 3): the logical query is unchanged while
+//! the scope prunes which tuples feed it.
+
+use std::sync::Arc;
+use wsda_registry::clock::ManualClock;
+use wsda_registry::{Freshness, HyperRegistry, PublishRequest, QueryScope, RegistryConfig};
+use wsda_xml::parse_fragment;
+use wsda_xq::Query;
+
+fn registry() -> HyperRegistry {
+    let clock = Arc::new(ManualClock::new());
+    let r = HyperRegistry::new(RegistryConfig::default(), clock);
+    for (link, domain, ty) in [
+        ("http://cms.cern.ch/a", "cms.cern.ch", "service"),
+        ("http://atlas.cern.ch/b", "atlas.cern.ch", "service"),
+        ("http://fnal.gov/c", "fnal.gov", "service"),
+        ("http://cern.ch/m", "cern.ch", "monitor"),
+        ("http://fnal.gov/m", "fnal.gov", "monitor"),
+    ] {
+        r.publish(
+            PublishRequest::new(link, ty)
+                .with_context(domain)
+                .with_content(
+                    parse_fragment(&format!("<service><owner>{domain}</owner></service>"))
+                        .unwrap(),
+                ),
+        )
+        .unwrap();
+    }
+    r
+}
+
+#[test]
+fn unrestricted_scope_sees_everything() {
+    let r = registry();
+    let q = Query::parse("count(/tuple)").unwrap();
+    let out = r.query_scoped(&q, &Freshness::any(), &QueryScope::all()).unwrap();
+    assert_eq!(out.results[0].number_value(), 5.0);
+}
+
+#[test]
+fn domain_scope_prunes_with_label_boundaries() {
+    let r = registry();
+    let q = Query::parse("/tuple/@link").unwrap();
+    let out = r
+        .query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("cern.ch"))
+        .unwrap();
+    let links: Vec<String> = out.results.iter().map(|i| i.string_value()).collect();
+    assert_eq!(links.len(), 3, "{links:?}"); // cms, atlas and cern.ch itself
+    assert!(links.iter().all(|l| l.contains("cern.ch")));
+    // "rn.ch" is not a label boundary
+    let none = r
+        .query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("rn.ch"))
+        .unwrap();
+    assert!(none.results.is_empty());
+}
+
+#[test]
+fn type_scope_uses_the_index() {
+    let r = registry();
+    let q = Query::parse("/tuple/@link").unwrap();
+    let out = r
+        .query_scoped(&q, &Freshness::any(), &QueryScope::of_type("monitor"))
+        .unwrap();
+    assert_eq!(out.results.len(), 2);
+    assert!(out.stats.used_index);
+    assert_eq!(out.stats.candidates, 2);
+}
+
+#[test]
+fn combined_domain_and_type_scope() {
+    let r = registry();
+    let q = Query::parse("/tuple/@link").unwrap();
+    let scope = QueryScope {
+        domain: Some("fnal.gov".into()),
+        types: Some(vec!["monitor".into()]),
+    };
+    let out = r.query_scoped(&q, &Freshness::any(), &scope).unwrap();
+    let links: Vec<String> = out.results.iter().map(|i| i.string_value()).collect();
+    assert_eq!(links, ["http://fnal.gov/m"]);
+}
+
+#[test]
+fn scope_composes_with_query_index_key() {
+    let r = registry();
+    // The query's own link key narrows first; scope then filters by domain.
+    let q = Query::parse(r#"/tuple[@link = "http://fnal.gov/c"]"#).unwrap();
+    let hit = r
+        .query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("fnal.gov"))
+        .unwrap();
+    assert_eq!(hit.results.len(), 1);
+    let miss = r
+        .query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("cern.ch"))
+        .unwrap();
+    assert_eq!(miss.results.len(), 0, "scope excludes the keyed tuple");
+}

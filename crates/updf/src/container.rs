@@ -1,0 +1,161 @@
+//! Containers hosting virtual nodes (dissertation section 6.8).
+//!
+//! For efficiency, distributed P2P database nodes can be concentrated into
+//! *containers*: hosting environments running many virtual nodes. A
+//! message between two virtual nodes in the same container is a local call
+//! (negligible latency), while inter-container messages cross the real
+//! network. [`ContainerAssignment`] captures the partition and provides the
+//! latency model and accounting the F12 experiment sweeps.
+
+use std::collections::HashSet;
+use wsda_net::model::LatencyModel;
+use wsda_net::NodeId;
+
+/// A partition of nodes into containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerAssignment {
+    container_of: Vec<u32>,
+    containers: u32,
+}
+
+impl ContainerAssignment {
+    /// Every node in its own container (the fully distributed baseline).
+    pub fn one_per_node(n: usize) -> Self {
+        ContainerAssignment { container_of: (0..n as u32).collect(), containers: n as u32 }
+    }
+
+    /// Nodes striped across `k` containers in round-robin order.
+    pub fn round_robin(n: usize, k: u32) -> Self {
+        assert!(k >= 1);
+        ContainerAssignment {
+            container_of: (0..n as u32).map(|i| i % k).collect(),
+            containers: k.min(n as u32),
+        }
+    }
+
+    /// Nodes split into `k` contiguous blocks (locality-preserving for
+    /// tree/line topologies where ids follow structure).
+    pub fn blocks(n: usize, k: u32) -> Self {
+        assert!(k >= 1);
+        let size = n.div_ceil(k as usize).max(1);
+        ContainerAssignment {
+            container_of: (0..n).map(|i| (i / size) as u32).collect(),
+            containers: k.min(n as u32),
+        }
+    }
+
+    /// Custom assignment.
+    pub fn custom(container_of: Vec<u32>) -> Self {
+        let containers = container_of.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        ContainerAssignment { container_of, containers }
+    }
+
+    /// The container hosting `node`.
+    pub fn container(&self, node: NodeId) -> u32 {
+        self.container_of[node.0 as usize]
+    }
+
+    /// Number of containers.
+    pub fn container_count(&self) -> u32 {
+        self.containers
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.container_of.len()
+    }
+
+    /// Are the two nodes co-hosted?
+    pub fn co_located(&self, a: NodeId, b: NodeId) -> bool {
+        self.container(a) == self.container(b)
+    }
+
+    /// Distinct containers used.
+    pub fn used_containers(&self) -> usize {
+        self.container_of.iter().collect::<HashSet<_>>().len()
+    }
+}
+
+/// A latency model for containerized deployments: `local_ms` within a
+/// container (a function call / loopback), `remote_ms` across containers.
+#[derive(Debug, Clone)]
+pub struct ContainerLatency {
+    /// The node→container map.
+    pub assignment: ContainerAssignment,
+    /// Intra-container delay (typically 0–1 ms).
+    pub local_ms: u64,
+    /// Inter-container delay (WAN-scale).
+    pub remote_ms: u64,
+}
+
+impl LatencyModel for ContainerLatency {
+    fn latency_ms(&self, from: NodeId, to: NodeId, _rng: &mut rand::rngs::StdRng) -> u64 {
+        if self.assignment.co_located(from, to) {
+            self.local_ms
+        } else {
+            self.remote_ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_per_node_is_fully_distributed() {
+        let a = ContainerAssignment::one_per_node(5);
+        assert_eq!(a.container_count(), 5);
+        assert!(!a.co_located(NodeId(0), NodeId(1)));
+        assert_eq!(a.used_containers(), 5);
+    }
+
+    #[test]
+    fn round_robin_stripes() {
+        let a = ContainerAssignment::round_robin(6, 2);
+        assert_eq!(a.container(NodeId(0)), 0);
+        assert_eq!(a.container(NodeId(1)), 1);
+        assert_eq!(a.container(NodeId(2)), 0);
+        assert!(a.co_located(NodeId(0), NodeId(4)));
+        assert_eq!(a.container_count(), 2);
+        assert_eq!(a.node_count(), 6);
+    }
+
+    #[test]
+    fn blocks_preserve_contiguity() {
+        let a = ContainerAssignment::blocks(10, 3);
+        assert!(a.co_located(NodeId(0), NodeId(3)));
+        assert!(!a.co_located(NodeId(3), NodeId(4)));
+        assert_eq!(a.used_containers(), 3);
+    }
+
+    #[test]
+    fn custom_assignment() {
+        let a = ContainerAssignment::custom(vec![0, 0, 7]);
+        assert_eq!(a.container_count(), 8);
+        assert_eq!(a.used_containers(), 2);
+    }
+
+    #[test]
+    fn container_latency_model() {
+        let model = ContainerLatency {
+            assignment: ContainerAssignment::blocks(4, 2),
+            local_ms: 1,
+            remote_ms: 40,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(model.latency_ms(NodeId(0), NodeId(1), &mut rng), 1);
+        assert_eq!(model.latency_ms(NodeId(1), NodeId(2), &mut rng), 40);
+    }
+
+    #[test]
+    fn single_container_everything_local() {
+        let a = ContainerAssignment::round_robin(8, 1);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(a.co_located(NodeId(i), NodeId(j)));
+            }
+        }
+    }
+}

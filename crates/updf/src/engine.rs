@@ -1,0 +1,919 @@
+//! The P2P query engine: peer nodes on the discrete-event simulator.
+//!
+//! Every peer node is a full hyper registry plus a PDP node state table.
+//! [`SimNetwork::run_query`] injects a query at an originator node and runs
+//! the network to quiescence (or deadline), implementing the chapter-6
+//! machinery:
+//!
+//! * **servent model** — the query spreads node-to-node along the topology
+//!   (each node: loop-detect → evaluate locally → forward within scope →
+//!   merge child results toward the parent),
+//! * **agent model** — [`SimNetwork::run_agent_query`]: a central agent
+//!   fans the query out to every node directly and collects replies,
+//! * **response modes** — routed (data hop-by-hop), direct (data straight
+//!   to the originator, completion acks routed), referral (invitations
+//!   routed back; the originator fetches directly),
+//! * **pipelining** — per-query: stream partials upward immediately, or
+//!   store-and-forward once a subtree completes,
+//! * **timeouts** — dynamic abort (budget decremented per hop, every node
+//!   aborts exactly when its remaining budget lapses) vs static per-node
+//!   timeouts, plus the state table's static loop timeout,
+//! * **loop detection** — duplicate transactions answered with an
+//!   immediate empty-final ("prune ack") so parents never wait on them.
+
+use crate::metrics::QueryMetrics;
+use crate::selection::{NeighborPolicy, RoutingIndex};
+use crate::topology::Topology;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use wsda_net::model::{FaultPlan, NetworkModel};
+use wsda_net::{Delivery, NodeId, Simulator};
+use wsda_pdp::{
+    encoded_len, BeginOutcome, Message, NodeStateTable, QueryLanguage, ResponseMode, Scope,
+    TransactionId,
+};
+use wsda_registry::clock::Time;
+use wsda_registry::workload::CorpusGenerator;
+use wsda_registry::{Freshness, HyperRegistry, RegistryConfig};
+use wsda_xq::Query;
+
+/// How nodes bound their waiting (experiment F8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutMode {
+    /// The abort budget travels in the scope and shrinks per hop; each node
+    /// aborts exactly when its remaining budget lapses.
+    DynamicAbort,
+    /// Every node uses the same fixed timeout regardless of depth.
+    StaticPerNode(u64),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct P2pConfig {
+    /// Estimated per-hop cost subtracted from the abort budget when
+    /// forwarding (dynamic mode).
+    pub hop_cost_ms: u64,
+    /// Base local query evaluation latency per node.
+    pub eval_delay_ms: u64,
+    /// Nodes whose evaluation is `slow_factor`× slower.
+    pub slow_nodes: HashSet<NodeId>,
+    /// Slowdown multiplier for `slow_nodes`.
+    pub slow_factor: u64,
+    /// Timeout regime.
+    pub timeout_mode: TimeoutMode,
+    /// Tuples published into each node's registry at build time.
+    pub tuples_per_node: usize,
+    /// Master RNG seed (corpus, latency, transactions).
+    pub seed: u64,
+    /// Horizon of the routing index backing `hint:` policies.
+    pub routing_horizon: u32,
+}
+
+impl Default for P2pConfig {
+    fn default() -> Self {
+        P2pConfig {
+            hop_cost_ms: 20,
+            eval_delay_ms: 5,
+            slow_nodes: HashSet::new(),
+            slow_factor: 10,
+            timeout_mode: TimeoutMode::DynamicAbort,
+            tuples_per_node: 4,
+            seed: 42,
+            routing_horizon: 4,
+        }
+    }
+}
+
+/// One peer node's runtime state.
+struct PeerNode {
+    registry: Arc<HyperRegistry>,
+    state: NodeStateTable,
+    /// Per-transaction runtime info.
+    txns: HashMap<TransactionId, TxnInfo>,
+}
+
+/// A parsed query in whichever language the transaction carries.
+#[derive(Clone)]
+enum ParsedQuery {
+    XQuery(Arc<Query>),
+    Sql(Arc<wsda_registry::sql::SqlQuery>),
+}
+
+impl ParsedQuery {
+    fn parse(src: &str, language: QueryLanguage) -> ParsedQuery {
+        match language {
+            QueryLanguage::Sql => match wsda_registry::sql::SqlQuery::parse(src) {
+                Ok(q) => ParsedQuery::Sql(Arc::new(q)),
+                Err(_) => ParsedQuery::XQuery(Arc::new(
+                    Query::parse("()").expect("empty query parses"),
+                )),
+            },
+            // KeyLookup is carried but evaluated as an XQuery key form.
+            QueryLanguage::XQuery | QueryLanguage::KeyLookup => {
+                let q = Query::parse(src)
+                    .unwrap_or_else(|_| Query::parse("()").expect("empty query parses"));
+                ParsedQuery::XQuery(Arc::new(q))
+            }
+        }
+    }
+}
+
+struct TxnInfo {
+    query: ParsedQuery,
+    source: String,
+    language: QueryLanguage,
+    scope: Scope,
+    mode: ResponseMode,
+    parent: Option<NodeId>,
+    /// Buffered result items (store-and-forward routed mode; referral
+    /// holding pen awaiting fetch).
+    buffer: Vec<String>,
+    /// Aborted by a local timeout (late child results are dropped).
+    aborted: bool,
+    /// Final results already sent toward the parent.
+    finalized: bool,
+    /// Whether `buffer` contains items that arrived from children (the
+    /// relayed-bytes accounting for store-and-forward mode).
+    buffer_has_child_items: bool,
+}
+
+/// The outcome of one query execution.
+#[derive(Debug)]
+pub struct QueryRun {
+    /// Result items (compact XML) delivered to the originator, in arrival
+    /// order.
+    pub results: Vec<String>,
+    /// Collected metrics.
+    pub metrics: QueryMetrics,
+    /// Virtual time when the run loop stopped.
+    pub finished_at: Time,
+}
+
+/// A P2P network of hyper-registry nodes on the discrete-event simulator.
+pub struct SimNetwork {
+    topology: Topology,
+    sim: Simulator<Message>,
+    nodes: Vec<PeerNode>,
+    node_kinds: Vec<HashSet<String>>,
+    config: P2pConfig,
+    routing_index: RoutingIndex,
+    timer_tags: HashMap<u64, TimerEvent>,
+    next_timer: u64,
+    txn_counter: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimerEvent {
+    LocalEvalDone { node: NodeId, txn: TransactionId },
+    NodeAbort { node: NodeId, txn: TransactionId },
+    OriginDeadline { txn: TransactionId },
+}
+
+fn endpoint(node: NodeId) -> String {
+    format!("n{}", node.0)
+}
+
+fn parse_endpoint(e: &str) -> Option<NodeId> {
+    e.strip_prefix('n').and_then(|s| s.parse().ok()).map(NodeId)
+}
+
+impl SimNetwork {
+    /// Build a network: one hyper registry per topology node, populated
+    /// with `config.tuples_per_node` synthetic services.
+    pub fn build(topology: Topology, model: NetworkModel, config: P2pConfig) -> SimNetwork {
+        Self::build_with_faults(topology, model, FaultPlan::none(), config)
+    }
+
+    /// Build with a fault plan (drops/dead nodes).
+    pub fn build_with_faults(
+        topology: Topology,
+        model: NetworkModel,
+        faults: FaultPlan,
+        config: P2pConfig,
+    ) -> SimNetwork {
+        let sim: Simulator<Message> = Simulator::new(model, faults, config.seed);
+        let clock = sim.clock();
+        let mut nodes = Vec::with_capacity(topology.len());
+        let mut node_kinds: Vec<HashSet<String>> = Vec::with_capacity(topology.len());
+        for i in 0..topology.len() {
+            let registry = Arc::new(HyperRegistry::new(
+                RegistryConfig { max_ttl_ms: u64::MAX / 4, ..RegistryConfig::default() },
+                clock.clone(),
+            ));
+            let mut generator = CorpusGenerator::new(config.seed ^ (i as u64).wrapping_mul(0x9e37));
+            let mut kinds = HashSet::new();
+            for _ in 0..config.tuples_per_node {
+                let (link, kind, domain, content) = generator.next_service();
+                registry
+                    .publish(
+                        wsda_registry::PublishRequest::new(&link, "service")
+                            .with_context(domain)
+                            .with_ttl_ms(u64::MAX / 8)
+                            .with_content(content),
+                    )
+                    .expect("synthetic publish");
+                kinds.insert(kind);
+            }
+            node_kinds.push(kinds);
+            nodes.push(PeerNode { registry, state: NodeStateTable::new(), txns: HashMap::new() });
+        }
+        let routing_index = RoutingIndex::build(&topology, &node_kinds, config.routing_horizon);
+        SimNetwork {
+            topology,
+            sim,
+            nodes,
+            node_kinds,
+            config,
+            routing_index,
+            timer_tags: HashMap::new(),
+            next_timer: 0,
+            txn_counter: 0,
+        }
+    }
+
+    /// Publish an extra service of a given `kind` at `node` and refresh the
+    /// routing index so `hint:<kind>` policies can steer toward it. Used by
+    /// experiments that plant rare content.
+    pub fn plant_service(&mut self, node: NodeId, kind: &str, link: &str, content: wsda_xml::Element) {
+        self.nodes[node.0 as usize]
+            .registry
+            .publish(
+                wsda_registry::PublishRequest::new(link, "service")
+                    .with_ttl_ms(u64::MAX / 8)
+                    .with_content(content),
+            )
+            .expect("plant publish");
+        self.node_kinds[node.0 as usize].insert(kind.to_owned());
+        self.routing_index =
+            RoutingIndex::build(&self.topology, &self.node_kinds, self.config.routing_horizon);
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// A node's registry (to publish extra content before a run).
+    pub fn registry(&self, node: NodeId) -> &Arc<HyperRegistry> {
+        &self.nodes[node.0 as usize].registry
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    fn schedule_timer(&mut self, node: NodeId, delay_ms: u64, ev: TimerEvent) {
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        self.timer_tags.insert(tag, ev);
+        self.sim.schedule(node, delay_ms, tag);
+    }
+
+    fn send(&mut self, metrics: &mut QueryMetrics, from: NodeId, to: NodeId, msg: Message) {
+        let bytes = encoded_len(&msg);
+        metrics.count_message(msg.kind(), bytes);
+        self.sim.send(from, to, msg, bytes);
+    }
+
+    /// Execute an XQuery from `origin` over the network (servent model).
+    pub fn run_query(
+        &mut self,
+        origin: NodeId,
+        query_src: &str,
+        scope: Scope,
+        mode: ResponseMode,
+    ) -> QueryRun {
+        self.run_query_lang(origin, query_src, QueryLanguage::XQuery, scope, mode)
+    }
+
+    /// Execute a query in an explicit language — UPDF is language-agnostic
+    /// (chapter 6): the same overlay machinery carries XQuery or SQL.
+    pub fn run_query_lang(
+        &mut self,
+        origin: NodeId,
+        query_src: &str,
+        language: QueryLanguage,
+        scope: Scope,
+        mode: ResponseMode,
+    ) -> QueryRun {
+        let txn = self.fresh_txn();
+        let mut run = RunState::new(origin, txn, scope.max_results);
+        // Origin deadline mirrors the scope's abort budget.
+        self.schedule_timer(origin, scope.abort_timeout_ms, TimerEvent::OriginDeadline { txn });
+        self.accept_query(&mut run, origin, None, query_src, language, scope, mode);
+        self.pump(&mut run);
+        self.finish(run)
+    }
+
+    /// Execute a query in the agent model: the agent at `origin` sends the
+    /// query directly to every node (radius 0, direct response).
+    pub fn run_agent_query(&mut self, origin: NodeId, query_src: &str, scope: Scope) -> QueryRun {
+        let txn = self.fresh_txn();
+        let mut run = RunState::new(origin, txn, scope.max_results);
+        self.schedule_timer(origin, scope.abort_timeout_ms, TimerEvent::OriginDeadline { txn });
+        let mode = ResponseMode::Direct { originator: endpoint(origin) };
+        // The agent's own registry participates too.
+        let local_scope = Scope { radius: Some(0), ..scope.clone() };
+        self.accept_query(
+            &mut run,
+            origin,
+            None,
+            query_src,
+            QueryLanguage::XQuery,
+            local_scope.clone(),
+            mode.clone(),
+        );
+        for i in 0..self.topology.len() as u32 {
+            let target = NodeId(i);
+            if target == origin {
+                continue;
+            }
+            let msg = Message::Query {
+                transaction: txn,
+                query: query_src.to_owned(),
+                language: QueryLanguage::XQuery,
+                scope: local_scope.clone(),
+                response_mode: mode.clone(),
+            };
+            self.nodes[origin.0 as usize].state.add_child(&txn, endpoint(target));
+            let mut m = std::mem::take(&mut run.metrics);
+            self.send(&mut m, origin, target, msg);
+            run.metrics = m;
+        }
+        self.pump(&mut run);
+        self.finish(run)
+    }
+
+    fn fresh_txn(&mut self) -> TransactionId {
+        self.txn_counter += 1;
+        TransactionId::derive(self.config.seed, self.txn_counter)
+    }
+
+    fn finish(&mut self, run: RunState) -> QueryRun {
+        let mut metrics = run.metrics;
+        metrics.deadline_hit = run.deadline_hit;
+        QueryRun { results: run.results, metrics, finished_at: self.sim.now() }
+    }
+
+    // ==== the event loop ==================================================
+
+    fn pump(&mut self, run: &mut RunState) {
+        const MAX_EVENTS: u64 = 50_000_000;
+        let mut events = 0;
+        while events < MAX_EVENTS {
+            let Some(delivery) = self.sim.next() else { break };
+            events += 1;
+            match delivery {
+                Delivery::Message { from, to, message } => {
+                    self.on_message(run, from, to, message);
+                }
+                Delivery::Timer { node, tag } => {
+                    let Some(ev) = self.timer_tags.remove(&tag) else { continue };
+                    self.on_timer(run, node, ev);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, run: &mut RunState, from: NodeId, to: NodeId, message: Message) {
+        let bytes = encoded_len(&message);
+        if to == run.origin {
+            run.metrics.bytes_at_originator += bytes;
+        }
+        match message {
+            Message::Query { transaction, query, language, scope, response_mode } => {
+                self.accept_query(run, to, Some(from), &query, language, scope, response_mode);
+                let _ = transaction;
+            }
+            Message::Results { transaction, items, last, origin } => {
+                self.on_results(run, from, to, transaction, items, last, origin);
+            }
+            Message::Invite { transaction, node, expected } => {
+                self.on_invite(run, to, transaction, node, expected);
+            }
+            Message::Close { transaction } => {
+                self.on_close(run, to, transaction);
+            }
+            Message::Ping => {
+                let mut m = std::mem::take(&mut run.metrics);
+                self.send(&mut m, to, from, Message::Pong);
+                run.metrics = m;
+            }
+            Message::Pong => {}
+        }
+    }
+
+    /// A query arrives at `node` (from `parent`, or injected when `None`).
+    #[allow(clippy::too_many_arguments)]
+    fn accept_query(
+        &mut self,
+        run: &mut RunState,
+        node: NodeId,
+        parent: Option<NodeId>,
+        query_src: &str,
+        language: QueryLanguage,
+        scope: Scope,
+        mode: ResponseMode,
+    ) {
+        let txn = run.txn;
+        let now = self.sim.now();
+        let node_idx = node.0 as usize;
+        self.nodes[node_idx].state.sweep(now);
+        let outcome = self.nodes[node_idx].state.begin(
+            txn,
+            parent.map(endpoint),
+            now,
+            scope.loop_timeout_ms,
+        );
+        if outcome == BeginOutcome::Duplicate {
+            run.metrics.duplicates_suppressed += 1;
+            // Referral fetch: a radius-0 direct query for a transaction we
+            // hold a referral buffer for means "send me your items".
+            let is_fetch = scope.radius == Some(0)
+                && matches!(mode, ResponseMode::Direct { .. });
+            if is_fetch {
+                if let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) {
+                    if !info.buffer.is_empty() {
+                        let items = std::mem::take(&mut info.buffer);
+                        let msg = Message::Results {
+                            transaction: txn,
+                            items,
+                            last: true,
+                            origin: endpoint(node),
+                        };
+                        let mut m = std::mem::take(&mut run.metrics);
+                        self.send(&mut m, node, run.origin, msg);
+                        run.metrics = m;
+                        return;
+                    }
+                }
+            }
+            // Prune ack so the sender never waits on a duplicate edge.
+            if let Some(p) = parent {
+                let msg = Message::Results {
+                    transaction: txn,
+                    items: Vec::new(),
+                    last: true,
+                    origin: endpoint(node),
+                };
+                let mut m = std::mem::take(&mut run.metrics);
+                self.send(&mut m, node, p, msg);
+                run.metrics = m;
+            }
+            return;
+        }
+
+        // Fresh transaction at this node.
+        let parsed = match run.parsed_query.clone() {
+            Some(q) => q,
+            None => {
+                let q = ParsedQuery::parse(query_src, language);
+                run.parsed_query = Some(q.clone());
+                q
+            }
+        };
+        self.nodes[node_idx].txns.insert(
+            txn,
+            TxnInfo {
+                query: parsed,
+                source: query_src.to_owned(),
+                language,
+                scope: scope.clone(),
+                mode: mode.clone(),
+                parent,
+                buffer: Vec::new(),
+                aborted: false,
+                finalized: false,
+                buffer_has_child_items: false,
+            },
+        );
+
+        // Local evaluation latency (heterogeneous nodes are slower).
+        let mut eval_delay = self.config.eval_delay_ms.max(1);
+        if self.config.slow_nodes.contains(&node) {
+            eval_delay *= self.config.slow_factor.max(1);
+        }
+        self.schedule_timer(node, eval_delay, TimerEvent::LocalEvalDone { node, txn });
+
+        // Per-node abort timer.
+        match self.config.timeout_mode {
+            TimeoutMode::DynamicAbort => {
+                self.schedule_timer(node, scope.abort_timeout_ms, TimerEvent::NodeAbort { node, txn });
+            }
+            TimeoutMode::StaticPerNode(t) => {
+                self.schedule_timer(node, t, TimerEvent::NodeAbort { node, txn });
+            }
+        }
+
+        // Forwarding within scope.
+        let Some(forwarded_scope) = scope.forwarded(self.config.hop_cost_ms) else {
+            run.metrics.scope_prunes += 1;
+            return;
+        };
+        let policy = NeighborPolicy::parse(&scope.neighbor_policy);
+        let candidates: Vec<NodeId> = self
+            .topology
+            .neighbors(node)
+            .iter()
+            .copied()
+            .filter(|&n| Some(n) != parent)
+            .collect();
+        let targets = policy.select(&candidates, node, txn, Some(&self.routing_index));
+        for target in targets {
+            self.nodes[node_idx].state.add_child(&txn, endpoint(target));
+            let msg = Message::Query {
+                transaction: txn,
+                query: query_src.to_owned(),
+                language,
+                scope: forwarded_scope.clone(),
+                response_mode: mode.clone(),
+            };
+            let mut m = std::mem::take(&mut run.metrics);
+            self.send(&mut m, node, target, msg);
+            run.metrics = m;
+        }
+    }
+
+    fn on_timer(&mut self, run: &mut RunState, _timer_node: NodeId, ev: TimerEvent) {
+        match ev {
+            TimerEvent::LocalEvalDone { node, txn } => self.local_eval(run, node, txn),
+            TimerEvent::NodeAbort { node, txn } => self.node_abort(run, node, txn),
+            TimerEvent::OriginDeadline { txn } => {
+                if run.txn == txn && !run.closed {
+                    run.closed = true;
+                    run.deadline_hit = true;
+                    self.broadcast_close(run, run.origin, txn);
+                }
+            }
+        }
+    }
+
+    fn local_eval(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
+        let node_idx = node.0 as usize;
+        let Some(info) = self.nodes[node_idx].txns.get(&txn) else { return };
+        if info.aborted {
+            return;
+        }
+        let query = info.query.clone();
+        let mode = info.mode.clone();
+        let pipeline = info.scope.pipeline;
+        let parent = info.parent;
+
+        run.metrics.nodes_evaluated += 1;
+        let items: Vec<String> = match &query {
+            ParsedQuery::XQuery(q) => self.nodes[node_idx]
+                .registry
+                .query(q, &Freshness::any())
+                .map(|o| {
+                    o.results
+                        .iter()
+                        .map(|item| match item.as_node() {
+                            Some(n) => match n.materialize_element() {
+                                Some(e) => e.to_compact_string(),
+                                None => n.string_value(),
+                            },
+                            None => item.string_value(),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            ParsedQuery::Sql(q) => {
+                let rows = self.nodes[node_idx].registry.query_sql(q);
+                wsda_registry::sql::SqlQuery::rows_to_xml(&rows)
+                    .iter()
+                    .map(|e| e.to_compact_string())
+                    .collect()
+            }
+        };
+
+        let complete = self.nodes[node_idx].state.local_done(&txn);
+
+        if node == run.origin && parent.is_none() {
+            // Originator's own results are delivered immediately.
+            self.deliver(run, items);
+            if complete {
+                self.complete_at_origin(run);
+            }
+            return;
+        }
+
+        match mode {
+            ResponseMode::Routed => {
+                if pipeline && !items.is_empty() && !complete {
+                    self.send_results(run, node, parent, txn, items, false, endpoint(node), false);
+                } else {
+                    let info = self.nodes[node_idx].txns.get_mut(&txn).expect("live txn");
+                    info.buffer.extend(items);
+                }
+            }
+            ResponseMode::Direct { ref originator } => {
+                if !items.is_empty() {
+                    if let Some(target) = parse_endpoint(originator) {
+                        let msg = Message::Results {
+                            transaction: txn,
+                            items,
+                            last: true,
+                            origin: endpoint(node),
+                        };
+                        let mut m = std::mem::take(&mut run.metrics);
+                        self.send(&mut m, node, target, msg);
+                        run.metrics = m;
+                    }
+                }
+            }
+            ResponseMode::Referral => {
+                if !items.is_empty() {
+                    let expected = items.len() as u64;
+                    let info = self.nodes[node_idx].txns.get_mut(&txn).expect("live txn");
+                    info.buffer = items;
+                    if let Some(p) = parent {
+                        let msg = Message::Invite {
+                            transaction: txn,
+                            node: endpoint(node),
+                            expected,
+                        };
+                        let mut m = std::mem::take(&mut run.metrics);
+                        self.send(&mut m, node, p, msg);
+                        run.metrics = m;
+                    }
+                }
+            }
+        }
+        if complete {
+            self.finalize_node(run, node, txn);
+        }
+    }
+
+    /// Send buffered + final results toward the parent.
+    fn finalize_node(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
+        let node_idx = node.0 as usize;
+        let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) else { return };
+        if info.finalized {
+            return;
+        }
+        info.finalized = true;
+        let parent = info.parent;
+        let mode = info.mode.clone();
+        let relayed = info.buffer_has_child_items;
+        let items = if matches!(mode, ResponseMode::Routed) {
+            std::mem::take(&mut info.buffer)
+        } else {
+            Vec::new() // direct/referral finals are pure completion acks
+        };
+        match parent {
+            Some(p) => {
+                self.send_results(run, node, Some(p), txn, items, true, endpoint(node), relayed);
+            }
+            None => {
+                // Originator finishing its subtree.
+                self.deliver(run, items);
+                self.complete_at_origin(run);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_results(
+        &mut self,
+        run: &mut RunState,
+        node: NodeId,
+        parent: Option<NodeId>,
+        txn: TransactionId,
+        items: Vec<String>,
+        last: bool,
+        origin_ep: String,
+        relayed: bool,
+    ) {
+        let Some(p) = parent else { return };
+        let msg = Message::Results { transaction: txn, items, last, origin: origin_ep };
+        if relayed {
+            run.metrics.bytes_relayed += encoded_len(&msg);
+        }
+        let mut m = std::mem::take(&mut run.metrics);
+        self.send(&mut m, node, p, msg);
+        run.metrics = m;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_results(
+        &mut self,
+        run: &mut RunState,
+        from: NodeId,
+        to: NodeId,
+        txn: TransactionId,
+        items: Vec<String>,
+        last: bool,
+        origin_ep: String,
+    ) {
+        if txn != run.txn {
+            return; // stale transaction from an earlier run
+        }
+        let node_idx = to.0 as usize;
+        let is_origin = to == run.origin;
+        let direct_data = {
+            let info = self.nodes[node_idx].txns.get(&txn);
+            matches!(info.map(|i| &i.mode), Some(ResponseMode::Direct { .. })) && is_origin
+        };
+
+        if is_origin {
+            // Deliver data reaching the originator.
+            if run.closed {
+                run.metrics.late_results_dropped += items.len() as u64;
+            } else {
+                self.deliver(run, items);
+            }
+            // Completion bookkeeping: direct-mode *data* messages carry
+            // last=true for the sender's local data but do not terminate a
+            // tree edge unless the sender is a tracked child.
+            if last {
+                let complete =
+                    self.nodes[node_idx].state.child_done(&txn, &endpoint(from));
+                if complete {
+                    self.complete_at_origin(run);
+                }
+            }
+            let _ = direct_data;
+            return;
+        }
+
+        // Intermediate node: merge toward parent.
+        let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) else { return };
+        let pipeline = info.scope.pipeline;
+        let parent = info.parent;
+        let aborted = info.aborted;
+        let routed = matches!(info.mode, ResponseMode::Routed);
+        if aborted {
+            run.metrics.late_results_dropped += items.len() as u64;
+        } else if routed && !items.is_empty() {
+            if pipeline {
+                self.send_results(run, to, parent, txn, items, false, origin_ep, true);
+            } else {
+                let info = self.nodes[node_idx].txns.get_mut(&txn).expect("live txn");
+                info.buffer.extend(items);
+                info.buffer_has_child_items = true;
+            }
+        }
+        if last {
+            let complete = self.nodes[node_idx].state.child_done(&txn, &endpoint(from));
+            if complete && !aborted {
+                self.finalize_node(run, to, txn);
+            }
+        }
+    }
+
+    fn on_invite(
+        &mut self,
+        run: &mut RunState,
+        to: NodeId,
+        txn: TransactionId,
+        node_ep: String,
+        expected: u64,
+    ) {
+        if txn != run.txn {
+            return;
+        }
+        if to == run.origin {
+            // Fetch directly from the inviting node: a radius-0 direct query.
+            run.metrics.referrals_received += 1;
+            let Some(target) = parse_endpoint(&node_ep) else { return };
+            let (query_src, language, scope) = {
+                let Some(info) = self.nodes[to.0 as usize].txns.get(&txn) else { return };
+                (info.source.clone(), info.language, info.scope.clone())
+            };
+            let msg = Message::Query {
+                transaction: txn,
+                query: query_src,
+                language,
+                scope: Scope { radius: Some(0), ..scope },
+                response_mode: ResponseMode::Direct { originator: endpoint(run.origin) },
+            };
+            let mut m = std::mem::take(&mut run.metrics);
+            self.send(&mut m, to, target, msg);
+            run.metrics = m;
+            let _ = expected;
+        } else {
+            // Relay the invitation toward the originator.
+            let parent = self.nodes[to.0 as usize].txns.get(&txn).and_then(|i| i.parent);
+            if let Some(p) = parent {
+                let msg = Message::Invite { transaction: txn, node: node_ep, expected };
+                run.metrics.bytes_relayed += encoded_len(&msg);
+                let mut m = std::mem::take(&mut run.metrics);
+                self.send(&mut m, to, p, msg);
+                run.metrics = m;
+            }
+        }
+    }
+
+    fn on_close(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
+        if txn != run.txn {
+            return;
+        }
+        let node_idx = node.0 as usize;
+        if let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) {
+            info.aborted = true;
+            info.buffer.clear();
+        }
+        self.broadcast_close(run, node, txn);
+    }
+
+    fn broadcast_close(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
+        let children: Vec<NodeId> = self.nodes[node.0 as usize]
+            .state
+            .get(&txn)
+            .map(|s| s.pending_children.iter().filter_map(|e| parse_endpoint(e)).collect())
+            .unwrap_or_default();
+        self.nodes[node.0 as usize].state.close(&txn);
+        for child in children {
+            let msg = Message::Close { transaction: txn };
+            let mut m = std::mem::take(&mut run.metrics);
+            self.send(&mut m, node, child, msg);
+            run.metrics = m;
+        }
+    }
+
+    fn node_abort(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
+        let node_idx = node.0 as usize;
+        let complete = self.nodes[node_idx]
+            .state
+            .get(&txn)
+            .map(|s| s.complete())
+            .unwrap_or(true);
+        let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) else { return };
+        if complete || info.aborted || info.finalized {
+            return;
+        }
+        info.aborted = true;
+        run.metrics.node_aborts += 1;
+        let parent = info.parent;
+        let items = std::mem::take(&mut info.buffer);
+        info.finalized = true;
+        self.nodes[node_idx].state.close(&txn);
+        match parent {
+            Some(_) => {
+                self.send_results(run, node, parent, txn, items, true, endpoint(node), false);
+            }
+            None => {
+                self.deliver(run, items);
+                self.complete_at_origin(run);
+            }
+        }
+    }
+
+    fn deliver(&mut self, run: &mut RunState, items: Vec<String>) {
+        if run.closed {
+            run.metrics.late_results_dropped += items.len() as u64;
+            return;
+        }
+        let now = self.sim.now();
+        run.metrics.record_delivery(items.len() as u64, now);
+        run.results.extend(items);
+        if let Some(max) = run.max_results {
+            if run.results.len() as u64 >= max && !run.closed {
+                run.closed = true;
+                let origin = run.origin;
+                let txn = run.txn;
+                self.broadcast_close(run, origin, txn);
+            }
+        }
+    }
+
+    fn complete_at_origin(&mut self, run: &mut RunState) {
+        if run.metrics.time_completed.is_none() {
+            let origin_complete = self.nodes[run.origin.0 as usize]
+                .state
+                .get(&run.txn)
+                .map(|s| s.complete())
+                .unwrap_or(false);
+            if origin_complete {
+                run.metrics.time_completed = Some(self.sim.now());
+            }
+        }
+    }
+}
+
+struct RunState {
+    origin: NodeId,
+    txn: TransactionId,
+    results: Vec<String>,
+    metrics: QueryMetrics,
+    parsed_query: Option<ParsedQuery>,
+    closed: bool,
+    deadline_hit: bool,
+    max_results: Option<u64>,
+}
+
+impl RunState {
+    fn new(origin: NodeId, txn: TransactionId, max_results: Option<u64>) -> RunState {
+        RunState {
+            origin,
+            txn,
+            results: Vec::new(),
+            metrics: QueryMetrics::default(),
+            parsed_query: None,
+            closed: false,
+            deadline_hit: false,
+            max_results,
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-query execution metrics — the raw material of every P2P figure.
+
+use std::collections::BTreeMap;
+use wsda_registry::clock::Time;
+
+/// Metrics collected while executing one query over the network.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Messages sent, by PDP message kind.
+    pub messages_by_kind: BTreeMap<&'static str, u64>,
+    /// Total bytes sent (wire-encoded sizes).
+    pub bytes_total: u64,
+    /// Bytes arriving at the originator (bandwidth concentration).
+    pub bytes_at_originator: u64,
+    /// Bytes relayed by intermediate nodes (routed-response burden).
+    pub bytes_relayed: u64,
+    /// Result items delivered to the originator.
+    pub results_delivered: u64,
+    /// Virtual time of the first delivered result.
+    pub time_first_result: Option<Time>,
+    /// Virtual time of the last delivered result.
+    pub time_last_result: Option<Time>,
+    /// Virtual time when the transaction fully completed (final results or
+    /// close), if it did.
+    pub time_completed: Option<Time>,
+    /// Duplicate queries suppressed by loop detection.
+    pub duplicates_suppressed: u64,
+    /// Nodes that evaluated the query locally.
+    pub nodes_evaluated: u64,
+    /// Result items dropped because the transaction was already closed
+    /// (late arrivals after max-results/timeout).
+    pub late_results_dropped: u64,
+    /// Query messages that could not be forwarded because the scope was
+    /// exhausted (radius/time budget).
+    pub scope_prunes: u64,
+    /// Referral invitations that reached the originator.
+    pub referrals_received: u64,
+    /// Nodes that aborted on their local timeout before completing.
+    pub node_aborts: u64,
+    /// Whether the originator's deadline fired before completion.
+    pub deadline_hit: bool,
+}
+
+impl QueryMetrics {
+    /// Record one sent message.
+    pub fn count_message(&mut self, kind: &'static str, bytes: u64) {
+        *self.messages_by_kind.entry(kind).or_insert(0) += 1;
+        self.bytes_total += bytes;
+    }
+
+    /// Total messages of every kind.
+    pub fn messages_total(&self) -> u64 {
+        self.messages_by_kind.values().sum()
+    }
+
+    /// Messages of one kind.
+    pub fn messages(&self, kind: &str) -> u64 {
+        self.messages_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Record a delivery of `n` items to the originator at `now`.
+    pub fn record_delivery(&mut self, n: u64, now: Time) {
+        if n > 0 {
+            self.results_delivered += n;
+            if self.time_first_result.is_none() {
+                self.time_first_result = Some(now);
+            }
+            self.time_last_result = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let mut m = QueryMetrics::default();
+        m.count_message("query", 100);
+        m.count_message("query", 50);
+        m.count_message("results", 10);
+        assert_eq!(m.messages("query"), 2);
+        assert_eq!(m.messages("nope"), 0);
+        assert_eq!(m.messages_total(), 3);
+        assert_eq!(m.bytes_total, 160);
+    }
+
+    #[test]
+    fn delivery_timestamps() {
+        let mut m = QueryMetrics::default();
+        m.record_delivery(0, Time(5));
+        assert_eq!(m.time_first_result, None);
+        m.record_delivery(2, Time(10));
+        m.record_delivery(3, Time(20));
+        assert_eq!(m.time_first_result, Some(Time(10)));
+        assert_eq!(m.time_last_result, Some(Time(20)));
+        assert_eq!(m.results_delivered, 5);
+    }
+}

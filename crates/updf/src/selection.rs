@@ -1,0 +1,238 @@
+//! Neighbor selection policies (dissertation section 6.5 and the routing-
+//! index related work it cites).
+//!
+//! A node receiving a query chooses which neighbors (other than the one it
+//! came from) to forward to. The policy travels in the query scope as a
+//! string tag so heterogeneous nodes can interoperate:
+//!
+//! * `all` — flood to every other neighbor,
+//! * `random:k` — forward to k neighbors chosen pseudo-randomly but
+//!   deterministically per (transaction, node), so repeated runs and loop-
+//!   detected duplicates behave identically,
+//! * `hint:<kind>` — forward only to neighbors whose direction is known
+//!   (via a precomputed routing index) to lead to content of `<kind>`
+//!   within a few hops.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use wsda_net::NodeId;
+use wsda_pdp::TransactionId;
+
+use crate::topology::Topology;
+
+/// A parsed neighbor selection policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NeighborPolicy {
+    /// Flood all neighbors.
+    All,
+    /// Forward to at most `k` random neighbors.
+    RandomK(usize),
+    /// Forward only toward content of this kind (requires a routing index).
+    Hint(String),
+}
+
+impl NeighborPolicy {
+    /// Parse the scope tag; unknown tags behave as `all` (conservative:
+    /// never lose reachability because of a policy typo).
+    pub fn parse(tag: &str) -> NeighborPolicy {
+        if tag == "all" || tag.is_empty() {
+            return NeighborPolicy::All;
+        }
+        if let Some(k) = tag.strip_prefix("random:") {
+            if let Ok(k) = k.parse::<usize>() {
+                return NeighborPolicy::RandomK(k);
+            }
+        }
+        if let Some(kind) = tag.strip_prefix("hint:") {
+            return NeighborPolicy::Hint(kind.to_owned());
+        }
+        NeighborPolicy::All
+    }
+
+    /// The scope tag form.
+    pub fn tag(&self) -> String {
+        match self {
+            NeighborPolicy::All => "all".to_owned(),
+            NeighborPolicy::RandomK(k) => format!("random:{k}"),
+            NeighborPolicy::Hint(kind) => format!("hint:{kind}"),
+        }
+    }
+
+    /// Choose forwarding targets from `candidates` (parent already
+    /// excluded by the caller).
+    pub fn select(
+        &self,
+        candidates: &[NodeId],
+        node: NodeId,
+        transaction: TransactionId,
+        index: Option<&RoutingIndex>,
+    ) -> Vec<NodeId> {
+        match self {
+            NeighborPolicy::All => candidates.to_vec(),
+            NeighborPolicy::RandomK(k) => {
+                if candidates.len() <= *k {
+                    return candidates.to_vec();
+                }
+                // Deterministic per (transaction, node).
+                let seed = (transaction.0 as u64)
+                    ^ ((transaction.0 >> 64) as u64)
+                    ^ ((node.0 as u64) << 32);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut picked: Vec<NodeId> = candidates.to_vec();
+                picked.shuffle(&mut rng);
+                picked.truncate(*k);
+                picked.sort();
+                picked
+            }
+            NeighborPolicy::Hint(kind) => match index {
+                Some(idx) => candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| idx.leads_to(node, c, kind))
+                    .collect(),
+                None => candidates.to_vec(),
+            },
+        }
+    }
+}
+
+/// A routing index: for each (node, neighbor) edge, the set of content
+/// kinds reachable through that neighbor within `horizon` hops without
+/// passing back through the node — the summary structure of Crespo &
+/// Garcia-Molina-style routing indices the thesis cites for neighbor
+/// selection.
+#[derive(Debug, Clone)]
+pub struct RoutingIndex {
+    horizon: u32,
+    /// (node, neighbor) → kinds.
+    kinds: HashMap<(NodeId, NodeId), HashSet<String>>,
+}
+
+impl RoutingIndex {
+    /// Build an index for `topology` where `node_kinds[i]` is the set of
+    /// content kinds node `i` hosts.
+    pub fn build(topology: &Topology, node_kinds: &[HashSet<String>], horizon: u32) -> Self {
+        let mut kinds = HashMap::new();
+        for v in 0..topology.len() as u32 {
+            let v = NodeId(v);
+            for &nb in topology.neighbors(v) {
+                let mut reachable: HashSet<String> = HashSet::new();
+                // BFS from nb, never stepping back into v.
+                let mut seen: HashSet<NodeId> = [v, nb].into_iter().collect();
+                let mut queue = VecDeque::from([(nb, 0u32)]);
+                while let Some((u, d)) = queue.pop_front() {
+                    reachable.extend(node_kinds[u.0 as usize].iter().cloned());
+                    if d < horizon {
+                        for &w in topology.neighbors(u) {
+                            if seen.insert(w) {
+                                queue.push_back((w, d + 1));
+                            }
+                        }
+                    }
+                }
+                kinds.insert((v, nb), reachable);
+            }
+        }
+        RoutingIndex { horizon, kinds }
+    }
+
+    /// Does the edge `node → neighbor` lead to `kind` within the horizon?
+    pub fn leads_to(&self, node: NodeId, neighbor: NodeId, kind: &str) -> bool {
+        self.kinds
+            .get(&(node, neighbor))
+            .is_some_and(|s| s.contains(kind))
+    }
+
+    /// The index's BFS horizon.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(n: u64) -> TransactionId {
+        TransactionId::derive(1, n)
+    }
+
+    #[test]
+    fn parse_tags() {
+        assert_eq!(NeighborPolicy::parse("all"), NeighborPolicy::All);
+        assert_eq!(NeighborPolicy::parse(""), NeighborPolicy::All);
+        assert_eq!(NeighborPolicy::parse("random:3"), NeighborPolicy::RandomK(3));
+        assert_eq!(NeighborPolicy::parse("hint:executor"), NeighborPolicy::Hint("executor".into()));
+        assert_eq!(NeighborPolicy::parse("garbage:x"), NeighborPolicy::All);
+        assert_eq!(NeighborPolicy::parse("random:x"), NeighborPolicy::All);
+        // roundtrip
+        for p in [
+            NeighborPolicy::All,
+            NeighborPolicy::RandomK(2),
+            NeighborPolicy::Hint("monitor".into()),
+        ] {
+            assert_eq!(NeighborPolicy::parse(&p.tag()), p);
+        }
+    }
+
+    #[test]
+    fn all_selects_everything() {
+        let c = [NodeId(1), NodeId(2), NodeId(3)];
+        let got = NeighborPolicy::All.select(&c, NodeId(0), txn(1), None);
+        assert_eq!(got, c);
+    }
+
+    #[test]
+    fn random_k_subsets_deterministically() {
+        let c: Vec<NodeId> = (1..10).map(NodeId).collect();
+        let p = NeighborPolicy::RandomK(3);
+        let a = p.select(&c, NodeId(0), txn(1), None);
+        let b = p.select(&c, NodeId(0), txn(1), None);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|x| c.contains(x)));
+        // different transactions pick differently (overwhelmingly likely)
+        let other = p.select(&c, NodeId(0), txn(2), None);
+        assert!(a != other || p.select(&c, NodeId(0), txn(3), None) != a);
+        // fewer candidates than k: take all
+        let small = [NodeId(1)];
+        assert_eq!(p.select(&small, NodeId(0), txn(1), None), small);
+    }
+
+    #[test]
+    fn routing_index_directs_hints() {
+        // line: 0 - 1 - 2, kind "x" only at node 2
+        let topo = Topology::line(3);
+        let kinds = vec![
+            HashSet::new(),
+            HashSet::new(),
+            ["x".to_owned()].into_iter().collect(),
+        ];
+        let idx = RoutingIndex::build(&topo, &kinds, 4);
+        assert!(idx.leads_to(NodeId(0), NodeId(1), "x"));
+        assert!(idx.leads_to(NodeId(1), NodeId(2), "x"));
+        assert!(!idx.leads_to(NodeId(1), NodeId(0), "x"));
+        assert_eq!(idx.horizon(), 4);
+
+        let p = NeighborPolicy::Hint("x".into());
+        let from1 = p.select(&[NodeId(0), NodeId(2)], NodeId(1), txn(1), Some(&idx));
+        assert_eq!(from1, [NodeId(2)]);
+        // Without an index, hint degrades to flooding.
+        let blind = p.select(&[NodeId(0), NodeId(2)], NodeId(1), txn(1), None);
+        assert_eq!(blind.len(), 2);
+    }
+
+    #[test]
+    fn routing_index_horizon_limits_visibility() {
+        // line of 5, kind at far end
+        let topo = Topology::line(5);
+        let mut kinds = vec![HashSet::new(); 5];
+        kinds[4].insert("x".to_owned());
+        let near = RoutingIndex::build(&topo, &kinds, 1);
+        assert!(!near.leads_to(NodeId(0), NodeId(1), "x"), "horizon 1 cannot see node 4");
+        let far = RoutingIndex::build(&topo, &kinds, 3);
+        assert!(far.leads_to(NodeId(0), NodeId(1), "x"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Node topologies (dissertation chapters 3 and 6).
+//!
+//! UPDF explicitly supports "a wide range of node topologies (e.g. ring,
+//! tree, graph)". The generators here produce every family the evaluation
+//! sweeps: ring, line, star, k-ary tree, hypercube, connected random graph,
+//! preferential-attachment (power-law) graph and full mesh.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashSet, VecDeque};
+use wsda_net::NodeId;
+
+/// An undirected topology as adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Build from raw adjacency lists (deduplicated, self-loops removed,
+    /// symmetrized).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Topology {
+        let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+        for (a, b) in edges {
+            if a == b {
+                continue;
+            }
+            let (a, b) = (a as usize, b as usize);
+            assert!(a < n && b < n, "edge endpoint out of range");
+            sets[a].insert(b as u32);
+            sets[b].insert(a as u32);
+        }
+        let adjacency = sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<NodeId> = s.into_iter().map(NodeId).collect();
+                v.sort();
+                v
+            })
+            .collect();
+        Topology { adjacency }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// True when the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Neighbors of `node` in ascending id order.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.0 as usize]
+    }
+
+    /// Total undirected edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Mean node degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.len() as f64
+    }
+
+    /// BFS hop distances from `start` (`u32::MAX` = unreachable).
+    pub fn distances_from(&self, start: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.len()];
+        let mut queue = VecDeque::new();
+        dist[start.0 as usize] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.0 as usize];
+            for &v in self.neighbors(u) {
+                if dist[v.0 as usize] == u32::MAX {
+                    dist[v.0 as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Is every node reachable from node 0?
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.distances_from(NodeId(0)).iter().all(|&d| d != u32::MAX)
+    }
+
+    /// Graph diameter (longest shortest path). O(V·E); intended for
+    /// experiment-sized graphs.
+    pub fn diameter(&self) -> u32 {
+        let mut best = 0;
+        for v in 0..self.len() as u32 {
+            let d = self.distances_from(NodeId(v));
+            let m = d.iter().copied().filter(|&x| x != u32::MAX).max().unwrap_or(0);
+            best = best.max(m);
+        }
+        best
+    }
+
+    // ==== generators ======================================================
+
+    /// A cycle 0–1–…–(n-1)–0.
+    pub fn ring(n: usize) -> Topology {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        Topology::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+    }
+
+    /// A path 0–1–…–(n-1).
+    pub fn line(n: usize) -> Topology {
+        assert!(n >= 1);
+        Topology::from_edges(n, (1..n as u32).map(|i| (i - 1, i)))
+    }
+
+    /// A star with node 0 at the hub.
+    pub fn star(n: usize) -> Topology {
+        assert!(n >= 2);
+        Topology::from_edges(n, (1..n as u32).map(|i| (0, i)))
+    }
+
+    /// A complete `fanout`-ary tree rooted at node 0.
+    pub fn tree(n: usize, fanout: usize) -> Topology {
+        assert!(n >= 1 && fanout >= 1);
+        Topology::from_edges(
+            n,
+            (1..n as u32).map(move |i| (((i - 1) / fanout as u32), i)),
+        )
+    }
+
+    /// A `dim`-dimensional hypercube (2^dim nodes).
+    pub fn hypercube(dim: u32) -> Topology {
+        let n = 1usize << dim;
+        let mut edges = Vec::new();
+        for v in 0..n as u32 {
+            for b in 0..dim {
+                let u = v ^ (1 << b);
+                if v < u {
+                    edges.push((v, u));
+                }
+            }
+        }
+        Topology::from_edges(n, edges)
+    }
+
+    /// A connected random graph: a random spanning tree plus extra random
+    /// edges until the average degree reaches `target_degree`.
+    pub fn random_connected(n: usize, target_degree: f64, seed: u64) -> Topology {
+        assert!(n >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        // random spanning tree: attach each node to a random earlier node
+        for i in 1..n as u32 {
+            let parent = rng.gen_range(0..i);
+            edges.push((parent, i));
+        }
+        let target_edges = ((target_degree * n as f64) / 2.0).ceil() as usize;
+        let mut have: HashSet<(u32, u32)> = edges.iter().copied().collect();
+        let mut guard = 0;
+        while have.len() < target_edges && guard < 100 * target_edges {
+            guard += 1;
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a == b {
+                continue;
+            }
+            let e = (a.min(b), a.max(b));
+            if have.insert(e) {
+                edges.push(e);
+            }
+        }
+        Topology::from_edges(n, edges)
+    }
+
+    /// A Barabási–Albert preferential-attachment graph: each new node
+    /// attaches `m` edges preferring high-degree targets, yielding a
+    /// power-law degree distribution (the Gnutella-like case).
+    pub fn power_law(n: usize, m: usize, seed: u64) -> Topology {
+        assert!(n > m && m >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        // Repeated-endpoints list implements preferential attachment.
+        let mut endpoints: Vec<u32> = Vec::new();
+        // seed clique of m+1 nodes
+        for a in 0..=(m as u32) {
+            for b in (a + 1)..=(m as u32) {
+                edges.push((a, b));
+                endpoints.push(a);
+                endpoints.push(b);
+            }
+        }
+        for v in (m as u32 + 1)..n as u32 {
+            let mut targets = HashSet::new();
+            let mut guard = 0;
+            while targets.len() < m && guard < 100 * m {
+                guard += 1;
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                if t != v {
+                    targets.insert(t);
+                }
+            }
+            // Sort: HashSet iteration order is instance-random and would
+            // leak into the preferential-attachment sampling sequence.
+            let mut targets: Vec<u32> = targets.into_iter().collect();
+            targets.sort_unstable();
+            for t in targets {
+                edges.push((v, t));
+                endpoints.push(v);
+                endpoints.push(t);
+            }
+        }
+        Topology::from_edges(n, edges)
+    }
+
+    /// The complete graph.
+    pub fn full_mesh(n: usize) -> Topology {
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                edges.push((a, b));
+            }
+        }
+        Topology::from_edges(n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let t = Topology::ring(6);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.neighbors(NodeId(0)).contains(&NodeId(5)));
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), 3);
+        assert_eq!(t.average_degree(), 2.0);
+    }
+
+    #[test]
+    fn line_and_star() {
+        let l = Topology::line(5);
+        assert_eq!(l.edge_count(), 4);
+        assert_eq!(l.diameter(), 4);
+        let s = Topology::star(5);
+        assert_eq!(s.edge_count(), 4);
+        assert_eq!(s.diameter(), 2);
+        assert_eq!(s.neighbors(NodeId(0)).len(), 4);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let t = Topology::tree(13, 3); // perfect 3-ary of depth 2
+        assert!(t.is_connected());
+        assert_eq!(t.edge_count(), 12);
+        assert_eq!(t.neighbors(NodeId(0)).len(), 3);
+        assert_eq!(t.diameter(), 4);
+        // leaves have degree 1
+        assert_eq!(t.neighbors(NodeId(12)).len(), 1);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let h = Topology::hypercube(4);
+        assert_eq!(h.len(), 16);
+        assert_eq!(h.edge_count(), 32);
+        assert!(h.is_connected());
+        assert_eq!(h.diameter(), 4);
+        assert!(h.adjacency.iter().all(|a| a.len() == 4));
+    }
+
+    #[test]
+    fn random_graph_connected_with_target_degree() {
+        for seed in 0..5 {
+            let g = Topology::random_connected(100, 4.0, seed);
+            assert!(g.is_connected(), "seed {seed}");
+            assert!(g.average_degree() >= 3.5, "degree {}", g.average_degree());
+        }
+    }
+
+    #[test]
+    fn power_law_has_hubs() {
+        let g = Topology::power_law(300, 2, 7);
+        assert!(g.is_connected());
+        let max_degree = (0..300).map(|i| g.neighbors(NodeId(i)).len()).max().unwrap();
+        let median = {
+            let mut d: Vec<usize> = (0..300).map(|i| g.neighbors(NodeId(i)).len()).collect();
+            d.sort();
+            d[150]
+        };
+        assert!(
+            max_degree >= 4 * median,
+            "expected hub structure: max {max_degree}, median {median}"
+        );
+    }
+
+    #[test]
+    fn full_mesh() {
+        let g = Topology::full_mesh(8);
+        assert_eq!(g.edge_count(), 28);
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn from_edges_cleans_input() {
+        let g = Topology::from_edges(3, [(0, 1), (1, 0), (1, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn distances_and_disconnection() {
+        let g = Topology::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        let d = g.distances_from(NodeId(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(
+            Topology::random_connected(50, 3.0, 9),
+            Topology::random_connected(50, 3.0, 9)
+        );
+        assert_eq!(Topology::power_law(50, 2, 9), Topology::power_law(50, 2, 9));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for topology generators and P2P engine invariants.
+
+use proptest::prelude::*;
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::{P2pConfig, SimNetwork, Topology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generator yields a connected, self-loop-free, symmetric graph
+    /// of the requested size.
+    #[test]
+    fn generators_well_formed(n in 4usize..60, seed in 0u64..100) {
+        let graphs = vec![
+            Topology::ring(n.max(3)),
+            Topology::line(n),
+            Topology::star(n.max(2)),
+            Topology::tree(n, 1 + (seed as usize % 4)),
+            Topology::random_connected(n.max(2), 3.0, seed),
+            Topology::power_law(n.max(4), 2, seed),
+        ];
+        for g in graphs {
+            prop_assert!(g.is_connected());
+            for v in 0..g.len() as u32 {
+                let nbs = g.neighbors(NodeId(v));
+                // no self loops
+                prop_assert!(!nbs.contains(&NodeId(v)));
+                // symmetry
+                for &nb in nbs {
+                    prop_assert!(g.neighbors(nb).contains(&NodeId(v)));
+                }
+                // sorted, deduped
+                for w in nbs.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+            }
+        }
+    }
+
+    /// Tree diameter is at most 2·depth; ring diameter is ⌊n/2⌋.
+    #[test]
+    fn diameter_formulas(n in 3usize..80) {
+        prop_assert_eq!(Topology::ring(n).diameter() as usize, n / 2);
+        let t = Topology::tree(n, 2);
+        let depth = (n as f64 + 1.0).log2().ceil() as u32;
+        prop_assert!(t.diameter() <= 2 * depth);
+    }
+
+    /// A flood reaches every node exactly once; query messages equal
+    /// edges probed; results are identical across repeat runs.
+    #[test]
+    fn flood_invariants(n in 4usize..40, seed in 0u64..50) {
+        let topo = Topology::random_connected(n, 3.0, seed);
+        let edges = topo.edge_count() as u64;
+        let config = P2pConfig { tuples_per_node: 1, eval_delay_ms: 1, hop_cost_ms: 0, ..Default::default() };
+        let mut net = SimNetwork::build(topo, NetworkModel::constant(5), config);
+        let scope = Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() };
+        let run = net.run_query(NodeId(0), "//service", scope, ResponseMode::Routed);
+        // every node evaluated exactly once
+        prop_assert_eq!(run.metrics.nodes_evaluated, n as u64);
+        // one query message per probed edge (each edge probed at most twice)
+        let q = run.metrics.messages("query");
+        prop_assert!(q >= (n as u64) - 1);
+        prop_assert!(q <= 2 * edges);
+        // duplicates = probes minus first-deliveries
+        prop_assert_eq!(run.metrics.duplicates_suppressed, q - (n as u64 - 1));
+        // every tuple found exactly once
+        prop_assert_eq!(run.results.len(), n);
+    }
+
+    /// Radius monotonicity: results and nodes reached never decrease with
+    /// a larger radius.
+    #[test]
+    fn radius_monotone(seed in 0u64..30) {
+        let topo = Topology::random_connected(25, 3.0, seed);
+        let mut last_nodes = 0;
+        let mut last_results = 0;
+        for radius in 0..6u32 {
+            let config = P2pConfig { tuples_per_node: 1, eval_delay_ms: 1, hop_cost_ms: 0, ..Default::default() };
+            let mut net = SimNetwork::build(topo.clone(), NetworkModel::constant(5), config);
+            let scope = Scope {
+                radius: Some(radius),
+                abort_timeout_ms: 1 << 40,
+                loop_timeout_ms: 1 << 41,
+                ..Scope::default()
+            };
+            let run = net.run_query(NodeId(0), "//service", scope, ResponseMode::Routed);
+            prop_assert!(run.metrics.nodes_evaluated >= last_nodes);
+            prop_assert!(run.results.len() >= last_results);
+            last_nodes = run.metrics.nodes_evaluated;
+            last_results = run.results.len();
+        }
+    }
+
+    /// Response-mode equivalence on arbitrary random graphs.
+    #[test]
+    fn response_modes_equivalent(seed in 0u64..30) {
+        let build = || {
+            SimNetwork::build(
+                Topology::random_connected(18, 3.0, seed),
+                NetworkModel::constant(5),
+                P2pConfig { tuples_per_node: 2, eval_delay_ms: 1, hop_cost_ms: 0, ..Default::default() },
+            )
+        };
+        let scope = || Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() };
+        let sorted = |mut v: Vec<String>| { v.sort(); v };
+        let routed = sorted(build().run_query(NodeId(0), "//service/owner", scope(), ResponseMode::Routed).results);
+        let direct = sorted(build().run_query(NodeId(0), "//service/owner", scope(),
+            ResponseMode::Direct { originator: "n0".into() }).results);
+        let referral = sorted(build().run_query(NodeId(0), "//service/owner", scope(), ResponseMode::Referral).results);
+        let agent = sorted(build().run_agent_query(NodeId(0), "//service/owner", scope()).results);
+        prop_assert_eq!(&routed, &direct);
+        prop_assert_eq!(&routed, &referral);
+        prop_assert_eq!(&routed, &agent);
+    }
+}

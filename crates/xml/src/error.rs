@@ -1,0 +1,133 @@
+//! Error type for parsing and serializing XML.
+
+use std::fmt;
+
+/// Result alias used throughout `wsda-xml`.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// An error raised while parsing or writing XML.
+///
+/// Every parse error carries the byte offset and 1-based line/column where it
+/// was detected, so registry operators can pinpoint malformed tuples coming
+/// from remote content providers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub column: u32,
+}
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended while a construct was still open.
+    UnexpectedEof(&'static str),
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar {
+        /// What the parser needed at this position.
+        expected: &'static str,
+        /// The character actually found.
+        found: char,
+    },
+    /// `</a>` closing a different element than the open `<b>`.
+    MismatchedTag {
+        /// Name of the element left open.
+        open: String,
+        /// Name in the closing tag.
+        close: String,
+    },
+    /// An attribute appears twice on the same element.
+    DuplicateAttribute(String),
+    /// A malformed or unknown entity reference such as `&foo;`.
+    BadEntity(String),
+    /// An invalid XML name (empty, starts with a digit, bad characters).
+    BadName(String),
+    /// Content found after the document element.
+    TrailingContent,
+    /// A fragment or document without any element at all.
+    NoRootElement,
+    /// Character outside the XML character range (e.g. a raw control byte).
+    InvalidChar(char),
+    /// More than one top-level element in a context expecting a document.
+    MultipleRoots,
+    /// Element nesting exceeded the parser's depth limit.
+    TooDeep(u32),
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, offset: usize, line: u32, column: u32) -> Self {
+        XmlError { kind, offset, line, column }
+    }
+
+    /// The category of this error.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {} column {}: ", self.line, self.column)?;
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input in {what}"),
+            XmlErrorKind::UnexpectedChar { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            XmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "mismatched tag: <{open}> closed by </{close}>")
+            }
+            XmlErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute {name:?}"),
+            XmlErrorKind::BadEntity(e) => write!(f, "bad entity reference &{e};"),
+            XmlErrorKind::BadName(n) => write!(f, "invalid XML name {n:?}"),
+            XmlErrorKind::TrailingContent => write!(f, "content after document element"),
+            XmlErrorKind::NoRootElement => write!(f, "no root element"),
+            XmlErrorKind::InvalidChar(c) => write!(f, "invalid XML character {c:?}"),
+            XmlErrorKind::MultipleRoots => write!(f, "multiple top-level elements"),
+            XmlErrorKind::TooDeep(limit) => {
+                write!(f, "element nesting exceeds the depth limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::new(
+            XmlErrorKind::UnexpectedChar { expected: "'<'", found: 'x' },
+            10,
+            2,
+            5,
+        );
+        let s = e.to_string();
+        assert!(s.contains("line 2"), "{s}");
+        assert!(s.contains("column 5"), "{s}");
+        assert!(s.contains("'<'"), "{s}");
+    }
+
+    #[test]
+    fn kind_accessor() {
+        let e = XmlError::new(XmlErrorKind::TrailingContent, 0, 1, 1);
+        assert_eq!(e.kind(), &XmlErrorKind::TrailingContent);
+    }
+
+    #[test]
+    fn mismatched_tag_message() {
+        let e = XmlError::new(
+            XmlErrorKind::MismatchedTag { open: "a".into(), close: "b".into() },
+            0,
+            1,
+            1,
+        );
+        assert_eq!(e.to_string(), "line 1 column 1: mismatched tag: <a> closed by </b>");
+    }
+}

@@ -1,0 +1,120 @@
+//! Lightweight slash-path navigation over elements.
+//!
+//! The hyper registry and WSDA interfaces frequently need cheap point
+//! lookups into a tuple (`"interface/operation/@name"`) without spinning up
+//! the full XQuery engine. This module provides that fast path; anything
+//! more expressive goes through `wsda-xq`.
+//!
+//! Grammar: `step ('/' step)*` where a step is a name test (`name`, `p:*`,
+//! `*`) or an attribute test `@name` (only valid as the final step).
+
+use crate::node::Element;
+
+/// One parsed step of a slash path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step<'a> {
+    Child(&'a str),
+    Attr(&'a str),
+}
+
+fn parse_path(path: &str) -> Vec<Step<'_>> {
+    path.split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.strip_prefix('@') {
+            Some(a) => Step::Attr(a),
+            None => Step::Child(s),
+        })
+        .collect()
+}
+
+/// All elements reached by following `path` from `root` (excluding attribute
+/// steps). An empty path yields just `root`.
+pub fn select<'a>(root: &'a Element, path: &str) -> Vec<&'a Element> {
+    let steps = parse_path(path);
+    let mut current = vec![root];
+    for step in &steps {
+        match step {
+            Step::Child(name) => {
+                let mut next = Vec::new();
+                for e in current {
+                    next.extend(e.children_named(name));
+                }
+                current = next;
+            }
+            Step::Attr(_) => return Vec::new(), // attribute steps select no elements
+        }
+    }
+    current
+}
+
+/// The first string value reached by `path`: either an attribute value (for
+/// an `@name` final step) or the text content of the first matched element.
+pub fn select_str(root: &Element, path: &str) -> Option<String> {
+    let steps = parse_path(path);
+    if let Some((Step::Attr(attr), element_steps)) = steps.split_last() {
+        let prefix: String = element_steps
+            .iter()
+            .map(|s| match s {
+                Step::Child(n) => *n,
+                Step::Attr(_) => "",
+            })
+            .collect::<Vec<_>>()
+            .join("/");
+        let targets = select(root, &prefix);
+        return targets.iter().find_map(|e| e.attr(attr)).map(str::to_owned);
+    }
+    select(root, path).first().map(|e| e.text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_fragment;
+
+    fn doc() -> Element {
+        parse_fragment(
+            r#"<service type="exec">
+                 <interface name="Executor">
+                   <operation name="submit"/>
+                   <operation name="cancel"/>
+                 </interface>
+                 <interface name="Presenter"/>
+                 <owner>cms.cern.ch</owner>
+               </service>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_children() {
+        let d = doc();
+        assert_eq!(select(&d, "interface").len(), 2);
+        assert_eq!(select(&d, "interface/operation").len(), 2);
+        assert_eq!(select(&d, "nothing").len(), 0);
+    }
+
+    #[test]
+    fn empty_path_is_identity() {
+        let d = doc();
+        assert_eq!(select(&d, "").len(), 1);
+        assert_eq!(select(&d, "/")[0].name(), "service");
+    }
+
+    #[test]
+    fn select_str_text_and_attr() {
+        let d = doc();
+        assert_eq!(select_str(&d, "owner").as_deref(), Some("cms.cern.ch"));
+        assert_eq!(select_str(&d, "@type").as_deref(), Some("exec"));
+        assert_eq!(select_str(&d, "interface/@name").as_deref(), Some("Executor"));
+        assert_eq!(select_str(&d, "interface/operation/@name").as_deref(), Some("submit"));
+        assert_eq!(select_str(&d, "missing/@x"), None);
+        assert_eq!(select_str(&d, "missing"), None);
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let d = doc();
+        assert_eq!(select(&d, "*").len(), 3);
+        assert_eq!(select(&d, "*/operation").len(), 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! Serialization of the XML tree model back to text.
+//!
+//! Two modes: *compact* (canonical, whitespace-free — used for wire transfer
+//! in PDP messages and for structural equality via string comparison) and
+//! *pretty* (indented — used in logs, examples and documentation output).
+
+use crate::node::{Document, Element, XmlNode};
+
+/// Serializer configuration.
+#[derive(Debug, Clone)]
+pub struct WriterConfig {
+    /// Indentation per nesting level; `None` means compact output.
+    pub indent: Option<usize>,
+    /// Emit an `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+    pub xml_decl: bool,
+}
+
+impl WriterConfig {
+    /// No insignificant whitespace, no declaration.
+    pub fn compact() -> Self {
+        WriterConfig { indent: None, xml_decl: false }
+    }
+
+    /// Two-space indentation, no declaration.
+    pub fn pretty() -> Self {
+        WriterConfig { indent: Some(2), xml_decl: false }
+    }
+}
+
+/// Serializes [`Element`]s and [`Document`]s to strings.
+pub struct Writer {
+    config: WriterConfig,
+}
+
+impl Writer {
+    /// Create a writer with the given configuration.
+    pub fn new(config: WriterConfig) -> Self {
+        Writer { config }
+    }
+
+    /// Serialize a document (prolog + root element).
+    pub fn document_to_string(&self, doc: &Document) -> String {
+        let mut out = String::new();
+        if self.config.xml_decl {
+            out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            if self.config.indent.is_some() {
+                out.push('\n');
+            }
+        }
+        for item in &doc.prolog {
+            self.write_node(&mut out, item, 0);
+            if self.config.indent.is_some() {
+                out.push('\n');
+            }
+        }
+        self.write_element(&mut out, doc.root(), 0);
+        out
+    }
+
+    /// Serialize a single element subtree.
+    pub fn element_to_string(&self, element: &Element) -> String {
+        let mut out = String::new();
+        self.write_element(&mut out, element, 0);
+        out
+    }
+
+    fn newline_indent(&self, out: &mut String, depth: usize) {
+        if let Some(n) = self.config.indent {
+            out.push('\n');
+            for _ in 0..(n * depth) {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn write_element(&self, out: &mut String, element: &Element, depth: usize) {
+        out.push('<');
+        out.push_str(element.name());
+        for attr in element.attributes() {
+            out.push(' ');
+            out.push_str(&attr.name);
+            out.push_str("=\"");
+            escape_attr_into(&attr.value, out);
+            out.push('"');
+        }
+        // Children that matter for layout: in pretty mode an element whose
+        // content is a single text node stays on one line.
+        let children = element.children();
+        if children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        let single_text =
+            children.len() == 1 && matches!(children[0], XmlNode::Text(_) | XmlNode::CData(_));
+        if self.config.indent.is_none() || single_text {
+            for child in children {
+                self.write_node(out, child, depth + 1);
+            }
+        } else {
+            for child in children {
+                self.newline_indent(out, depth + 1);
+                self.write_node(out, child, depth + 1);
+            }
+            self.newline_indent(out, depth);
+        }
+        out.push_str("</");
+        out.push_str(element.name());
+        out.push('>');
+    }
+
+    fn write_node(&self, out: &mut String, node: &XmlNode, depth: usize) {
+        match node {
+            XmlNode::Element(e) => self.write_element(out, e, depth),
+            XmlNode::Text(t) => escape_text_into(t, out),
+            XmlNode::CData(t) => {
+                // A literal "]]>" inside CDATA must be split across sections.
+                out.push_str("<![CDATA[");
+                let mut rest = t.as_str();
+                while let Some(idx) = rest.find("]]>") {
+                    out.push_str(&rest[..idx + 2]);
+                    out.push_str("]]><![CDATA[");
+                    rest = &rest[idx + 2..];
+                }
+                out.push_str(rest);
+                out.push_str("]]>");
+            }
+            XmlNode::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+            XmlNode::ProcessingInstruction { target, data } => {
+                out.push_str("<?");
+                out.push_str(target);
+                if !data.is_empty() {
+                    out.push(' ');
+                    out.push_str(data);
+                }
+                out.push_str("?>");
+            }
+        }
+    }
+}
+
+/// Escape character data: `&`, `<`, `>` (the latter for `]]>` safety).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_text_into(s, &mut out);
+    out
+}
+
+fn escape_text_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape an attribute value for inclusion in double quotes.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_attr_into(s, &mut out);
+    out
+}
+
+fn escape_attr_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            '\t' => out.push_str("&#9;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = r#"<a x="1&quot;2"><b>t&amp;t</b><c/></a>"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.root().to_compact_string(), src);
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let doc = parse("<a><b>x</b><c/></a>").unwrap();
+        let pretty = doc.root().to_pretty_string();
+        assert_eq!(pretty, "<a>\n  <b>x</b>\n  <c/>\n</a>");
+    }
+
+    #[test]
+    fn pretty_then_parse_same_structure() {
+        let doc = parse("<a><b>x</b><c><d/></c></a>").unwrap();
+        let pretty = doc.root().to_pretty_string();
+        let reparsed = parse(&pretty).unwrap();
+        // Pretty output inserts whitespace-only text nodes; structure of
+        // elements must be preserved.
+        assert_eq!(reparsed.root().descendants_named("*").count(), 3);
+        assert_eq!(reparsed.root().first_child_named("b").unwrap().text(), "x");
+    }
+
+    #[test]
+    fn cdata_with_embedded_terminator() {
+        let e = crate::Element::new("a")
+            .with_node(XmlNode::CData("x]]>y".into()));
+        let s = e.to_compact_string();
+        let back = parse(&s).unwrap();
+        assert_eq!(back.root().text(), "x]]>y");
+    }
+
+    #[test]
+    fn escape_helpers() {
+        assert_eq!(escape_text("a&b<c>d"), "a&amp;b&lt;c&gt;d");
+        assert_eq!(escape_attr("a\"b\nc"), "a&quot;b&#10;c");
+    }
+
+    #[test]
+    fn xml_decl_emitted_when_configured() {
+        let doc = parse("<a/>").unwrap();
+        let w = Writer::new(WriterConfig { indent: None, xml_decl: true });
+        assert_eq!(w.document_to_string(&doc), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+    }
+
+    #[test]
+    fn comment_and_pi_roundtrip() {
+        let src = "<a><!--c--><?pi d?></a>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.root().to_compact_string(), src);
+    }
+
+    #[test]
+    fn carriage_return_escaped() {
+        let e = crate::Element::new("a").with_text("x\ry");
+        let s = e.to_compact_string();
+        let back = parse(&s).unwrap();
+        assert_eq!(back.root().text(), "x\ry");
+    }
+}

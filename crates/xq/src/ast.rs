@@ -1,0 +1,557 @@
+//! Abstract syntax tree for the XQuery subset.
+
+/// The chapter-3 query taxonomy. `Simple` queries are key lookups the
+/// registry can answer from an index; `Medium` queries filter on content;
+/// `Complex` queries join, aggregate, sort or construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryClass {
+    /// Exact lookup on an indexed tuple attribute (link or type).
+    Simple,
+    /// Path navigation with content predicates over single tuples.
+    Medium,
+    /// FLWOR with joins, aggregation, ordering or construction.
+    Complex,
+}
+
+impl std::fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryClass::Simple => write!(f, "simple"),
+            QueryClass::Medium => write!(f, "medium"),
+            QueryClass::Complex => write!(f, "complex"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant names mirror the surface syntax directly
+pub enum BinOp {
+    /// General comparisons (existential over sequences).
+    GenEq,
+    GenNe,
+    GenLt,
+    GenLe,
+    GenGt,
+    GenGe,
+    /// Value comparisons (`eq`, `ne`, …) over singletons.
+    ValEq,
+    ValNe,
+    ValLt,
+    ValLe,
+    ValGt,
+    ValGe,
+    /// Arithmetic operators.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IDiv,
+    Mod,
+    /// Node-set union `|` / `union`.
+    Union,
+    /// Node-set `intersect`.
+    Intersect,
+    /// Node-set `except`.
+    Except,
+}
+
+/// Axes supported by path steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::` (the default).
+    Child,
+    /// `descendant-or-self::node()/` as produced by `//`.
+    DescendantOrSelf,
+    /// `descendant::` (explicit).
+    Descendant,
+    /// `self::` (`.`).
+    SelfAxis,
+    /// `parent::` (`..`).
+    Parent,
+    /// `attribute::` (`@`).
+    Attribute,
+}
+
+/// Node tests within a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A name test (`service`, `tns:*`, `*`).
+    Name(String),
+    /// `text()`.
+    Text,
+    /// `node()`.
+    AnyNode,
+}
+
+/// One step of a relative path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The navigation axis.
+    pub axis: Axis,
+    /// What nodes the step selects.
+    pub test: NodeTest,
+    /// Zero or more predicates applied in order.
+    pub predicates: Vec<Expr>,
+}
+
+/// Where a path expression starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStart {
+    /// `/steps…` — from the context roots.
+    Root,
+    /// `//steps…` — descendant-or-self from the context roots.
+    RootDescendant,
+    /// `steps…` — from the context item.
+    Relative,
+    /// `expr/steps…` — from an arbitrary primary expression.
+    Expr(Box<Expr>),
+}
+
+/// A `for` or `let` clause in a FLWOR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlworClause {
+    /// `for $var [at $pos] in expr`.
+    For {
+        /// The bound variable name (without `$`).
+        var: String,
+        /// Optional positional variable (`at $i`).
+        position: Option<String>,
+        /// The sequence iterated over.
+        source: Expr,
+    },
+    /// `let $var := expr`.
+    Let {
+        /// The bound variable name.
+        var: String,
+        /// The bound value.
+        value: Expr,
+    },
+}
+
+/// One `order by` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The key expression (evaluated per binding tuple).
+    pub expr: Expr,
+    /// True for `descending`.
+    pub descending: bool,
+}
+
+/// Content of a direct element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstructorContent {
+    /// Literal character data.
+    Text(String),
+    /// An interpolated `{ expr }`.
+    Interpolated(Expr),
+    /// A nested direct constructor.
+    Element(Box<DirectConstructor>),
+}
+
+/// A part of an attribute value in a direct constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrPart {
+    /// Literal text.
+    Text(String),
+    /// An interpolated `{ expr }`.
+    Interpolated(Expr),
+}
+
+/// A direct element constructor, e.g. `<r link="{$l}">{ $x/owner }</r>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectConstructor {
+    /// The element name.
+    pub name: String,
+    /// Attributes with (possibly interpolated) values.
+    pub attributes: Vec<(String, Vec<AttrPart>)>,
+    /// Element content in order.
+    pub content: Vec<ConstructorContent>,
+}
+
+/// Expression nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// String literal.
+    StrLit(String),
+    /// Numeric literal.
+    NumLit(f64),
+    /// `()` — the empty sequence.
+    Empty,
+    /// `$name`.
+    VarRef(String),
+    /// `.` — the context item.
+    ContextItem,
+    /// A path expression.
+    Path {
+        /// Where navigation starts.
+        start: PathStart,
+        /// The steps, applied left to right.
+        steps: Vec<Step>,
+    },
+    /// A primary expression with postfix predicates, e.g. `$seq[2]`.
+    Filter {
+        /// The filtered expression.
+        base: Box<Expr>,
+        /// The predicates.
+        predicates: Vec<Expr>,
+    },
+    /// `lhs op rhs`.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `lhs or rhs` (short-circuit).
+    Or(Box<Expr>, Box<Expr>),
+    /// `lhs and rhs` (short-circuit).
+    And(Box<Expr>, Box<Expr>),
+    /// `lo to hi` — integer range.
+    Range(Box<Expr>, Box<Expr>),
+    /// `expr, expr, …` — sequence concatenation.
+    Comma(Vec<Expr>),
+    /// `if (cond) then a else b`.
+    If {
+        /// Condition (effective boolean value).
+        cond: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        els: Box<Expr>,
+    },
+    /// A FLWOR expression.
+    Flwor {
+        /// `for`/`let` clauses in source order.
+        clauses: Vec<FlworClause>,
+        /// Optional `where` filter.
+        where_: Option<Box<Expr>>,
+        /// `order by` keys (empty when absent).
+        order_by: Vec<OrderKey>,
+        /// The `return` expression.
+        ret: Box<Expr>,
+    },
+    /// `some`/`every $var in seq satisfies cond`.
+    Quantified {
+        /// True for `every`, false for `some`.
+        every: bool,
+        /// Bound variable.
+        var: String,
+        /// The searched sequence.
+        source: Box<Expr>,
+        /// The condition.
+        satisfies: Box<Expr>,
+    },
+    /// A function call `name(args…)`.
+    FunctionCall {
+        /// Lexical function name (an optional `fn:` prefix is stripped by
+        /// the parser).
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A direct element constructor.
+    Direct(DirectConstructor),
+    /// `element {name-expr} { content }` or `element name { content }`.
+    ComputedElement {
+        /// The element name expression.
+        name: Box<Expr>,
+        /// The content expression (may be `Empty`).
+        content: Box<Expr>,
+    },
+    /// `attribute name { value }`.
+    ComputedAttribute {
+        /// The attribute name expression.
+        name: Box<Expr>,
+        /// The value expression.
+        value: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// The free variables of this expression: `$v` references not bound by
+    /// an enclosing `for`/`let`/quantifier *within* the expression. Used by
+    /// the evaluator to hoist loop-invariant FLWOR sources.
+    pub fn free_vars(&self) -> std::collections::HashSet<String> {
+        let mut free = std::collections::HashSet::new();
+        let mut bound: Vec<String> = Vec::new();
+        self.collect_free(&mut bound, &mut free);
+        free
+    }
+
+    fn collect_free(
+        &self,
+        bound: &mut Vec<String>,
+        free: &mut std::collections::HashSet<String>,
+    ) {
+        match self {
+            Expr::VarRef(v) => {
+                if !bound.iter().any(|b| b == v) {
+                    free.insert(v.clone());
+                }
+            }
+            Expr::Flwor { clauses, where_, order_by, ret } => {
+                let depth = bound.len();
+                for c in clauses {
+                    match c {
+                        FlworClause::For { var, position, source } => {
+                            source.collect_free(bound, free);
+                            bound.push(var.clone());
+                            if let Some(p) = position {
+                                bound.push(p.clone());
+                            }
+                        }
+                        FlworClause::Let { var, value } => {
+                            value.collect_free(bound, free);
+                            bound.push(var.clone());
+                        }
+                    }
+                }
+                if let Some(w) = where_ {
+                    w.collect_free(bound, free);
+                }
+                for k in order_by {
+                    k.expr.collect_free(bound, free);
+                }
+                ret.collect_free(bound, free);
+                bound.truncate(depth);
+            }
+            Expr::Quantified { var, source, satisfies, .. } => {
+                source.collect_free(bound, free);
+                bound.push(var.clone());
+                satisfies.collect_free(bound, free);
+                bound.pop();
+            }
+            // Every other node: recurse into direct children only (walk
+            // would re-enter binding forms without scope tracking).
+            other => {
+                other.each_child(&mut |child| child.collect_free(bound, free));
+            }
+        }
+    }
+
+    /// Call `f` on each direct sub-expression (no recursion).
+    fn each_child(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Expr::StrLit(_)
+            | Expr::NumLit(_)
+            | Expr::Empty
+            | Expr::VarRef(_)
+            | Expr::ContextItem => {}
+            Expr::Path { start, steps } => {
+                if let PathStart::Expr(e) = start {
+                    f(e);
+                }
+                for s in steps {
+                    for p in &s.predicates {
+                        f(p);
+                    }
+                }
+            }
+            Expr::Filter { base, predicates } => {
+                f(base);
+                for p in predicates {
+                    f(p);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Expr::Neg(e) => f(e),
+            Expr::Or(a, b) | Expr::And(a, b) | Expr::Range(a, b) => {
+                f(a);
+                f(b);
+            }
+            Expr::Comma(es) => {
+                for e in es {
+                    f(e);
+                }
+            }
+            Expr::If { cond, then, els } => {
+                f(cond);
+                f(then);
+                f(els);
+            }
+            Expr::Flwor { .. } | Expr::Quantified { .. } => {
+                unreachable!("binding forms handled by collect_free")
+            }
+            Expr::FunctionCall { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Expr::Direct(d) => each_direct_child(d, f),
+            Expr::ComputedElement { name, content } => {
+                f(name);
+                f(content);
+            }
+            Expr::ComputedAttribute { name, value } => {
+                f(name);
+                f(value);
+            }
+        }
+    }
+
+    /// Visit this expression and all sub-expressions (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::StrLit(_)
+            | Expr::NumLit(_)
+            | Expr::Empty
+            | Expr::VarRef(_)
+            | Expr::ContextItem => {}
+            Expr::Path { start, steps } => {
+                if let PathStart::Expr(e) = start {
+                    e.walk(f);
+                }
+                for s in steps {
+                    for p in &s.predicates {
+                        p.walk(f);
+                    }
+                }
+            }
+            Expr::Filter { base, predicates } => {
+                base.walk(f);
+                for p in predicates {
+                    p.walk(f);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Neg(e) => e.walk(f),
+            Expr::Or(a, b) | Expr::And(a, b) | Expr::Range(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Comma(es) => {
+                for e in es {
+                    e.walk(f);
+                }
+            }
+            Expr::If { cond, then, els } => {
+                cond.walk(f);
+                then.walk(f);
+                els.walk(f);
+            }
+            Expr::Flwor { clauses, where_, order_by, ret } => {
+                for c in clauses {
+                    match c {
+                        FlworClause::For { source, .. } => source.walk(f),
+                        FlworClause::Let { value, .. } => value.walk(f),
+                    }
+                }
+                if let Some(w) = where_ {
+                    w.walk(f);
+                }
+                for k in order_by {
+                    k.expr.walk(f);
+                }
+                ret.walk(f);
+            }
+            Expr::Quantified { source, satisfies, .. } => {
+                source.walk(f);
+                satisfies.walk(f);
+            }
+            Expr::FunctionCall { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Direct(d) => walk_direct(d, f),
+            Expr::ComputedElement { name, content } => {
+                name.walk(f);
+                content.walk(f);
+            }
+            Expr::ComputedAttribute { name, value } => {
+                name.walk(f);
+                value.walk(f);
+            }
+        }
+    }
+}
+
+fn each_direct_child(d: &DirectConstructor, f: &mut impl FnMut(&Expr)) {
+    for (_, parts) in &d.attributes {
+        for p in parts {
+            if let AttrPart::Interpolated(e) = p {
+                f(e);
+            }
+        }
+    }
+    for c in &d.content {
+        match c {
+            ConstructorContent::Text(_) => {}
+            ConstructorContent::Interpolated(e) => f(e),
+            ConstructorContent::Element(inner) => each_direct_child(inner, f),
+        }
+    }
+}
+
+fn walk_direct(d: &DirectConstructor, f: &mut impl FnMut(&Expr)) {
+    for (_, parts) in &d.attributes {
+        for p in parts {
+            if let AttrPart::Interpolated(e) = p {
+                e.walk(f);
+            }
+        }
+    }
+    for c in &d.content {
+        match c {
+            ConstructorContent::Text(_) => {}
+            ConstructorContent::Interpolated(e) => e.walk(f),
+            ConstructorContent::Element(inner) => walk_direct(inner, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::And(
+            Box::new(Expr::NumLit(1.0)),
+            Box::new(Expr::Or(Box::new(Expr::StrLit("a".into())), Box::new(Expr::Empty))),
+        );
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn query_class_display_and_order() {
+        assert_eq!(QueryClass::Simple.to_string(), "simple");
+        assert!(QueryClass::Simple < QueryClass::Medium);
+        assert!(QueryClass::Medium < QueryClass::Complex);
+    }
+
+    #[test]
+    fn walk_enters_flwor() {
+        let e = Expr::Flwor {
+            clauses: vec![FlworClause::For {
+                var: "x".into(),
+                position: None,
+                source: Expr::NumLit(1.0),
+            }],
+            where_: Some(Box::new(Expr::NumLit(2.0))),
+            order_by: vec![OrderKey { expr: Expr::NumLit(3.0), descending: false }],
+            ret: Box::new(Expr::NumLit(4.0)),
+        };
+        let mut nums = Vec::new();
+        e.walk(&mut |x| {
+            if let Expr::NumLit(n) = x {
+                nums.push(*n);
+            }
+        });
+        assert_eq!(nums, [1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Static query classification (dissertation sections 3.3 and 6.4–6.5).
+//!
+//! Chapter 3 distinguishes *simple* queries (key lookups a registry index
+//! answers directly), *medium* queries (path navigation with content
+//! predicates over individual tuples) and *complex* queries (joins,
+//! aggregation, ordering, construction). Chapter 6 additionally needs two
+//! execution properties per query:
+//!
+//! * **pipelinable** — whether a node can forward partial results as they
+//!   arrive, or must wait for all input (blocking operators: `order by`,
+//!   whole-input aggregates, `last()`),
+//! * **tuple-separable** — whether the query can be evaluated against each
+//!   tuple independently and the results unioned (no cross-tuple joins),
+//!   which is what lets UPDF nodes merge neighbor results by concatenation.
+
+use crate::ast::{Axis, BinOp, Expr, FlworClause, PathStart, QueryClass, Step};
+
+/// The static profile of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// The chapter-3 class.
+    pub class: QueryClass,
+    /// Can results stream through P2P nodes before input is complete?
+    pub pipelinable: bool,
+    /// Can the query run per-tuple with results merged by union?
+    pub separable: bool,
+    /// For `Simple` queries: the indexed key the registry can use,
+    /// e.g. `("type", "executor")` from `/tuple[@type = "executor"]`.
+    pub index_key: Option<(String, String)>,
+}
+
+/// Classify a parsed expression.
+pub fn classify(expr: &Expr) -> QueryProfile {
+    let mut stats = Stats::default();
+    collect(expr, &mut stats);
+
+    let class = if let Some(key) = simple_index_key(expr) {
+        return QueryProfile {
+            class: QueryClass::Simple,
+            pipelinable: true,
+            separable: true,
+            index_key: Some(key),
+        };
+    } else if stats.for_count >= 2
+        || stats.has_aggregate
+        || stats.has_order_by
+        || stats.has_constructor
+        || stats.joins_variables
+    {
+        QueryClass::Complex
+    } else {
+        QueryClass::Medium
+    };
+
+    let pipelinable = !stats.has_order_by && !stats.has_aggregate && !stats.uses_last;
+    // A query is separable when it has no multi-variable joins and at most
+    // one `for` iterating the whole input: every thesis medium query and
+    // most complex ones are of this shape.
+    let separable = !stats.joins_variables && stats.for_count <= 1 && !stats.has_aggregate
+        && !stats.has_order_by;
+
+    QueryProfile { class, pipelinable, separable, index_key: None }
+}
+
+#[derive(Default)]
+struct Stats {
+    for_count: usize,
+    has_aggregate: bool,
+    has_order_by: bool,
+    has_constructor: bool,
+    uses_last: bool,
+    joins_variables: bool,
+}
+
+const AGGREGATES: &[&str] = &["count", "sum", "avg", "min", "max"];
+
+fn collect(expr: &Expr, stats: &mut Stats) {
+    expr.walk(&mut |e| match e {
+        Expr::Flwor { clauses, order_by, .. } => {
+            let fors =
+                clauses.iter().filter(|c| matches!(c, FlworClause::For { .. })).count();
+            stats.for_count += fors;
+            if !order_by.is_empty() {
+                stats.has_order_by = true;
+            }
+        }
+        Expr::FunctionCall { name, .. } => {
+            if AGGREGATES.contains(&name.as_str()) {
+                stats.has_aggregate = true;
+            }
+            if name == "last" {
+                stats.uses_last = true;
+            }
+        }
+        Expr::Direct(_) | Expr::ComputedElement { .. } | Expr::ComputedAttribute { .. } => {
+            stats.has_constructor = true;
+        }
+        Expr::Binary {
+            op:
+                BinOp::GenEq | BinOp::GenNe | BinOp::GenLt | BinOp::GenLe | BinOp::GenGt
+                | BinOp::GenGe | BinOp::ValEq | BinOp::ValNe | BinOp::ValLt | BinOp::ValLe
+                | BinOp::ValGt | BinOp::ValGe,
+            lhs,
+            rhs,
+        } => {
+            // A comparison whose both sides reference (distinct) variables is
+            // the join signature in thesis example queries.
+            let lv = root_var(lhs);
+            let rv = root_var(rhs);
+            if let (Some(a), Some(b)) = (lv, rv) {
+                if a != b {
+                    stats.joins_variables = true;
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+/// The variable a path expression dereferences, if any.
+fn root_var(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::VarRef(v) => Some(v),
+        Expr::Path { start: PathStart::Expr(inner), .. } => root_var(inner),
+        Expr::Filter { base, .. } => root_var(base),
+        Expr::FunctionCall { args, .. } if args.len() == 1 => root_var(&args[0]),
+        _ => None,
+    }
+}
+
+/// Detect the "simple query" shape: one absolute path of child steps whose
+/// only predicate is an equality between an attribute of the *first* step
+/// and a string literal — e.g. `/tuple[@type = "executor"]` or
+/// `/tuple[@link = "http://..."]`.
+fn simple_index_key(expr: &Expr) -> Option<(String, String)> {
+    let Expr::Path { start: PathStart::Root, steps } = expr else {
+        return None;
+    };
+    let (first, rest) = steps.split_first()?;
+    let all_plain_children =
+        rest.iter().all(|s| s.axis == Axis::Child && s.predicates.is_empty());
+    let single_attr_step =
+        rest.len() == 1 && rest[0].axis == Axis::Attribute && rest[0].predicates.is_empty();
+    if !all_plain_children && !single_attr_step {
+        return None;
+    }
+    if first.axis != Axis::Child || first.predicates.len() != 1 {
+        return None;
+    }
+    extract_attr_eq(&first.predicates[0])
+}
+
+fn extract_attr_eq(pred: &Expr) -> Option<(String, String)> {
+    let Expr::Binary { op: BinOp::GenEq | BinOp::ValEq, lhs, rhs } = pred else {
+        return None;
+    };
+    let (attr, lit) = match (&**lhs, &**rhs) {
+        (Expr::Path { start: PathStart::Relative, steps }, Expr::StrLit(s)) => (steps, s),
+        (Expr::StrLit(s), Expr::Path { start: PathStart::Relative, steps }) => (steps, s),
+        _ => return None,
+    };
+    match attr.as_slice() {
+        [Step { axis: Axis::Attribute, test: crate::ast::NodeTest::Name(n), predicates }]
+            if predicates.is_empty() =>
+        {
+            Some((n.clone(), lit.clone()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn profile(q: &str) -> QueryProfile {
+        classify(&parse(q).unwrap())
+    }
+
+    #[test]
+    fn simple_key_lookup() {
+        let p = profile(r#"/tuple[@type = "executor"]"#);
+        assert_eq!(p.class, QueryClass::Simple);
+        assert_eq!(p.index_key, Some(("type".into(), "executor".into())));
+        assert!(p.pipelinable);
+        assert!(p.separable);
+    }
+
+    #[test]
+    fn simple_with_trailing_steps() {
+        let p = profile(r#"/tuple[@link = "http://x"]/content/service"#);
+        assert_eq!(p.class, QueryClass::Simple);
+        assert_eq!(p.index_key, Some(("link".into(), "http://x".into())));
+    }
+
+    #[test]
+    fn reversed_equality_is_simple() {
+        let p = profile(r#"/tuple["executor" = @type]"#);
+        assert_eq!(p.class, QueryClass::Simple);
+    }
+
+    #[test]
+    fn medium_content_filter() {
+        let p = profile(r#"//service[interface/@name = "Executor"]"#);
+        assert_eq!(p.class, QueryClass::Medium);
+        assert!(p.pipelinable);
+        assert!(p.separable);
+    }
+
+    #[test]
+    fn single_for_is_medium_and_separable() {
+        let p = profile(r#"for $s in //service where $s/owner = "cern" return $s"#);
+        assert_eq!(p.class, QueryClass::Medium);
+        assert!(p.separable);
+    }
+
+    #[test]
+    fn aggregate_is_complex_and_blocking() {
+        let p = profile("count(//service)");
+        assert_eq!(p.class, QueryClass::Complex);
+        assert!(!p.pipelinable);
+        assert!(!p.separable);
+    }
+
+    #[test]
+    fn order_by_is_complex_and_blocking() {
+        let p = profile("for $s in //service order by $s/@type return $s");
+        assert_eq!(p.class, QueryClass::Complex);
+        assert!(!p.pipelinable);
+    }
+
+    #[test]
+    fn join_is_complex_not_separable() {
+        let p = profile(
+            "for $a in //service, $b in //replica where $a/host = $b/host return $a",
+        );
+        assert_eq!(p.class, QueryClass::Complex);
+        assert!(!p.separable);
+        assert!(p.pipelinable); // joins can still pipe results out
+    }
+
+    #[test]
+    fn constructor_is_complex_but_separable() {
+        let p = profile("for $s in //service return <r>{$s/owner}</r>");
+        assert_eq!(p.class, QueryClass::Complex);
+        assert!(p.separable);
+        assert!(p.pipelinable);
+    }
+
+    #[test]
+    fn last_blocks_pipelining() {
+        let p = profile("//service[last()]");
+        assert!(!p.pipelinable);
+    }
+
+    #[test]
+    fn non_root_predicate_not_simple() {
+        let p = profile(r#"//service[@type = "executor"]"#);
+        assert_eq!(p.class, QueryClass::Medium); // `//` scan, not indexable
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for query parsing and evaluation.
+
+use std::fmt;
+
+/// Result alias used throughout `wsda-xq`.
+pub type XqResult<T> = Result<T, XqError>;
+
+/// An error raised while parsing or evaluating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XqError {
+    /// Syntax error at a character offset, with a message.
+    Parse {
+        /// Byte offset into the query text.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Reference to a variable that is not in scope.
+    UnboundVariable(String),
+    /// Call to a function the engine does not provide.
+    UnknownFunction {
+        /// The lexical function name as written.
+        name: String,
+        /// Number of arguments supplied.
+        arity: usize,
+    },
+    /// Wrong argument count or type for a builtin.
+    BadArgument {
+        /// Function name.
+        function: &'static str,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A value could not be converted to the required type
+    /// (e.g. `number("abc")` used in arithmetic).
+    TypeError(String),
+    /// Division by zero in `idiv`/`mod` integer context.
+    DivisionByZero,
+    /// The context item was required (e.g. a relative path) but absent.
+    MissingContextItem,
+    /// Evaluation exceeded the configured recursion/work guard.
+    ResourceLimit(&'static str),
+}
+
+impl XqError {
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> XqError {
+        XqError::Parse { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for XqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XqError::Parse { offset, message } => {
+                write!(f, "syntax error at offset {offset}: {message}")
+            }
+            XqError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            XqError::UnknownFunction { name, arity } => {
+                write!(f, "unknown function {name}#{arity}")
+            }
+            XqError::BadArgument { function, message } => {
+                write!(f, "bad argument to {function}(): {message}")
+            }
+            XqError::TypeError(m) => write!(f, "type error: {m}"),
+            XqError::DivisionByZero => write!(f, "integer division by zero"),
+            XqError::MissingContextItem => write!(f, "context item is undefined"),
+            XqError::ResourceLimit(what) => write!(f, "resource limit exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for XqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(XqError::parse(3, "boom").to_string().contains("offset 3"));
+        assert_eq!(XqError::UnboundVariable("x".into()).to_string(), "unbound variable $x");
+        assert!(XqError::UnknownFunction { name: "nope".into(), arity: 2 }
+            .to_string()
+            .contains("nope#2"));
+        assert!(XqError::DivisionByZero.to_string().contains("division"));
+    }
+}

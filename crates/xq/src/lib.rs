@@ -1,0 +1,105 @@
+//! # wsda-xq — an XQuery-subset engine for the Web Service Discovery Architecture
+//!
+//! Dissertation chapter 3 argues that realistic service and resource
+//! discovery needs a rich general-purpose query language, and adopts XQuery
+//! over an XML tuple data model. Rust has essentially no XQuery ecosystem,
+//! so this crate implements the required subset from scratch:
+//!
+//! * **Path expressions** — `/`, `//`, child/attribute/self/parent axes,
+//!   name tests (`service`, `tns:*`, `*`), `text()`, positional and boolean
+//!   predicates,
+//! * **FLWOR** — `for`/`let` (mixed, multiple clauses), `where`,
+//!   `order by` (multiple keys, `ascending`/`descending`), `return`,
+//! * **Quantified expressions** — `some`/`every … satisfies`,
+//! * **Conditionals** — `if (…) then … else …`,
+//! * **Operators** — `or`, `and`, general comparisons (`=`, `!=`, `<`, …),
+//!   value comparisons (`eq`, `ne`, `lt`, …), `to` ranges, arithmetic
+//!   (`+ - * div idiv mod`), unary minus, sequence `,`, union `|`,
+//! * **Constructors** — direct element constructors with `{…}` interpolation
+//!   and computed `element name { … }` / `attribute name { … }`,
+//! * **Builtins** — some forty `fn:` functions (string, numeric, aggregate,
+//!   sequence and node functions) — see [`functions`].
+//!
+//! The engine evaluates over the `wsda-xml` tree model using cheap
+//! structural node references ([`NodeRef`]) so that registry tuples shared
+//! behind `Arc` are never cloned during navigation.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wsda_xml::parse_fragment;
+//! use wsda_xq::{Query, DynamicContext, Item};
+//!
+//! let tuple = Arc::new(parse_fragment(
+//!     r#"<service type="executor"><owner>cms.cern.ch</owner></service>"#).unwrap());
+//! let q = Query::parse(r#"//service[owner = "cms.cern.ch"]/@type"#).unwrap();
+//! let mut ctx = DynamicContext::with_roots(vec![tuple]);
+//! let out = q.eval(&mut ctx).unwrap();
+//! assert_eq!(out.len(), 1);
+//! assert_eq!(out[0].string_value(), "executor");
+//! ```
+
+pub mod ast;
+pub mod classify;
+pub mod error;
+pub mod eval;
+pub mod functions;
+pub mod parser;
+pub mod value;
+
+pub use ast::{Expr, QueryClass};
+pub use classify::{classify, QueryProfile};
+pub use error::{XqError, XqResult};
+pub use eval::DynamicContext;
+pub use value::{Item, NodeRef, Sequence};
+
+use std::sync::Arc;
+
+/// A parsed, reusable XQuery.
+///
+/// Parsing is separated from evaluation because the hyper registry and every
+/// UPDF node evaluate the same query against many tuple sets; nodes also
+/// forward the *source text* to neighbors, so [`Query::source`] is retained.
+#[derive(Debug, Clone)]
+pub struct Query {
+    source: String,
+    expr: Arc<Expr>,
+    profile: QueryProfile,
+}
+
+impl Query {
+    /// Parse XQuery source text.
+    pub fn parse(source: &str) -> XqResult<Query> {
+        let expr = parser::parse(source)?;
+        let profile = classify::classify(&expr);
+        Ok(Query { source: source.to_owned(), expr: Arc::new(expr), profile })
+    }
+
+    /// The original query text (forwarded verbatim between P2P nodes).
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed expression tree.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Static profile: query class (simple/medium/complex), pipelinability,
+    /// tuple separability (chapter 3 / chapter 6 classifications).
+    pub fn profile(&self) -> &QueryProfile {
+        &self.profile
+    }
+
+    /// Evaluate against a dynamic context.
+    pub fn eval(&self, ctx: &mut DynamicContext) -> XqResult<Sequence> {
+        eval::eval(&self.expr, ctx)
+    }
+
+    /// Convenience: evaluate over a set of root documents.
+    pub fn eval_over(&self, roots: Vec<Arc<wsda_xml::Element>>) -> XqResult<Sequence> {
+        let mut ctx = DynamicContext::with_roots(roots);
+        self.eval(&mut ctx)
+    }
+}

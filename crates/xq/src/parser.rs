@@ -1,0 +1,1425 @@
+//! Recursive-descent parser for the XQuery subset.
+//!
+//! The parser operates directly on a character cursor rather than a token
+//! stream because XQuery's grammar is context-sensitive at the lexical
+//! level: `<` starts a direct element constructor in operand position but is
+//! the less-than operator in operator position, and words like `div` or
+//! `for` are operators/keywords in some positions and element name tests in
+//! others. Driving the scanner from the grammar resolves both for free.
+//!
+//! XQuery comments `(: … :)` (nesting allowed) are treated as whitespace.
+
+use crate::ast::*;
+use crate::error::{XqError, XqResult};
+
+/// Parse a complete query (an `Expr`, i.e. a comma sequence).
+pub fn parse(input: &str) -> XqResult<Expr> {
+    let mut p = P { input, pos: 0, depth: 0 };
+    p.skip_ws();
+    let e = p.parse_expr()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+    depth: u32,
+}
+
+/// Maximum expression nesting accepted by the parser (guards the stack
+/// against adversarial inputs like ten thousand opening parentheses).
+/// Each nesting level costs roughly a dozen parser stack frames, so this
+/// keeps worst-case stack usage well inside a 2 MiB test-thread stack even
+/// in debug builds.
+const MAX_PARSE_DEPTH: u32 = 48;
+
+impl<'a> P<'a> {
+    fn err(&self, msg: impl Into<String>) -> XqError {
+        XqError::parse(self.pos, msg)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn starts(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> XqResult<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    /// Skip whitespace and (nesting) XQuery comments.
+    fn skip_ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+                self.bump();
+            }
+            if self.starts("(:") {
+                let mut depth = 0u32;
+                loop {
+                    if self.starts("(:") {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.starts(":)") {
+                        depth -= 1;
+                        self.pos += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if self.bump().is_none() {
+                        return; // unterminated comment: ends input
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Try to consume a whole word (keyword) followed by a non-name char.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.starts(kw) {
+            let after = self.input[self.pos + kw.len()..].chars().next();
+            let is_boundary =
+                !matches!(after, Some(c) if is_name_char(c) || c == ':');
+            if is_boundary {
+                self.pos += kw.len();
+                self.skip_ws();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        if !self.starts(kw) {
+            return false;
+        }
+        let after = self.input[self.pos + kw.len()..].chars().next();
+        !matches!(after, Some(c) if is_name_char(c) || c == ':')
+    }
+
+    /// Read a (possibly prefixed) name. Does not skip trailing whitespace.
+    fn read_name(&mut self) -> XqResult<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while let Some(c) = self.peek() {
+            if is_name_char(c) {
+                self.bump();
+            } else if c == ':' {
+                // Only a single prefix colon, and it must be followed by a
+                // name-start character (so `a :=` in `let` is not a name).
+                let mut it = self.rest().chars();
+                it.next();
+                match it.next() {
+                    Some(c2) if is_name_start(c2) && !self.input[start..self.pos].contains(':') => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn read_var(&mut self) -> XqResult<String> {
+        self.expect("$")?;
+        let n = self.read_name()?;
+        self.skip_ws();
+        Ok(n)
+    }
+
+    // ==== expression grammar, lowest precedence first =====================
+
+    /// expr := exprSingle (',' exprSingle)*
+    fn parse_expr(&mut self) -> XqResult<Expr> {
+        let first = self.parse_expr_single()?;
+        self.skip_ws();
+        if !self.starts(",") {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat(",") {
+            self.skip_ws();
+            items.push(self.parse_expr_single()?);
+            self.skip_ws();
+        }
+        Ok(Expr::Comma(items))
+    }
+
+    fn parse_expr_single(&mut self) -> XqResult<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return Err(self.err("expression nesting too deep"));
+        }
+        let out = self.parse_expr_single_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_expr_single_inner(&mut self) -> XqResult<Expr> {
+        self.skip_ws();
+        if (self.peek_kw("for") || self.peek_kw("let")) && self.kw_then_dollar() {
+            return self.parse_flwor();
+        }
+        if (self.peek_kw("some") || self.peek_kw("every")) && self.kw_then_dollar() {
+            return self.parse_quantified();
+        }
+        if self.peek_kw("if") && self.kw_then_paren("if") {
+            return self.parse_if();
+        }
+        self.parse_or()
+    }
+
+    /// Does the keyword at the cursor get followed (after ws) by `$`?
+    fn kw_then_dollar(&self) -> bool {
+        let mut it = self.rest().char_indices();
+        // skip the keyword word
+        let mut idx = 0;
+        for (i, c) in it.by_ref() {
+            if !is_name_char(c) {
+                idx = i;
+                break;
+            }
+            idx = i + c.len_utf8();
+        }
+        self.input[self.pos + idx..].trim_start().starts_with('$')
+    }
+
+    fn kw_then_paren(&self, kw: &str) -> bool {
+        self.input[self.pos + kw.len()..].trim_start().starts_with('(')
+    }
+
+    fn parse_flwor(&mut self) -> XqResult<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek_kw("for") && self.kw_then_dollar() {
+                self.eat_kw("for");
+                loop {
+                    let var = self.read_var()?;
+                    let position = if self.eat_kw("at") { Some(self.read_var()?) } else { None };
+                    if !self.eat_kw("in") {
+                        return Err(self.err("expected 'in' in for clause"));
+                    }
+                    let source = self.parse_expr_single()?;
+                    clauses.push(FlworClause::For { var, position, source });
+                    self.skip_ws();
+                    if !self.eat(",") {
+                        break;
+                    }
+                    self.skip_ws();
+                }
+            } else if self.peek_kw("let") && self.kw_then_dollar() {
+                self.eat_kw("let");
+                loop {
+                    let var = self.read_var()?;
+                    self.expect(":=")?;
+                    self.skip_ws();
+                    let value = self.parse_expr_single()?;
+                    clauses.push(FlworClause::Let { var, value });
+                    self.skip_ws();
+                    if !self.eat(",") {
+                        break;
+                    }
+                    self.skip_ws();
+                }
+            } else {
+                break;
+            }
+        }
+        if clauses.is_empty() {
+            return Err(self.err("FLWOR without for/let clause"));
+        }
+        self.skip_ws();
+        let where_ = if self.eat_kw("where") {
+            Some(Box::new(self.parse_expr_single()?))
+        } else {
+            None
+        };
+        self.skip_ws();
+        let mut order_by = Vec::new();
+        if self.peek_kw("order") {
+            self.eat_kw("order");
+            if !self.eat_kw("by") {
+                return Err(self.err("expected 'by' after 'order'"));
+            }
+            loop {
+                let expr = self.parse_expr_single()?;
+                self.skip_ws();
+                let descending = if self.eat_kw("descending") {
+                    true
+                } else {
+                    self.eat_kw("ascending");
+                    false
+                };
+                order_by.push(OrderKey { expr, descending });
+                self.skip_ws();
+                if !self.eat(",") {
+                    break;
+                }
+                self.skip_ws();
+            }
+        }
+        self.skip_ws();
+        if !self.eat_kw("return") {
+            return Err(self.err("expected 'return' in FLWOR"));
+        }
+        let ret = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Flwor { clauses, where_, order_by, ret })
+    }
+
+    fn parse_quantified(&mut self) -> XqResult<Expr> {
+        let every = if self.eat_kw("every") {
+            true
+        } else {
+            self.eat_kw("some");
+            false
+        };
+        let var = self.read_var()?;
+        if !self.eat_kw("in") {
+            return Err(self.err("expected 'in' in quantified expression"));
+        }
+        let source = Box::new(self.parse_expr_single()?);
+        self.skip_ws();
+        if !self.eat_kw("satisfies") {
+            return Err(self.err("expected 'satisfies'"));
+        }
+        let satisfies = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Quantified { every, var, source, satisfies })
+    }
+
+    fn parse_if(&mut self) -> XqResult<Expr> {
+        self.eat_kw("if");
+        self.expect("(")?;
+        self.skip_ws();
+        let cond = Box::new(self.parse_expr()?);
+        self.skip_ws();
+        self.expect(")")?;
+        self.skip_ws();
+        if !self.eat_kw("then") {
+            return Err(self.err("expected 'then'"));
+        }
+        let then = Box::new(self.parse_expr_single()?);
+        self.skip_ws();
+        if !self.eat_kw("else") {
+            return Err(self.err("expected 'else'"));
+        }
+        let els = Box::new(self.parse_expr_single()?);
+        Ok(Expr::If { cond, then, els })
+    }
+
+    fn parse_or(&mut self) -> XqResult<Expr> {
+        let mut lhs = self.parse_and()?;
+        loop {
+            self.skip_ws();
+            if self.eat_kw("or") {
+                let rhs = self.parse_and()?;
+                lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_and(&mut self) -> XqResult<Expr> {
+        let mut lhs = self.parse_comparison()?;
+        loop {
+            self.skip_ws();
+            if self.eat_kw("and") {
+                let rhs = self.parse_comparison()?;
+                lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_comparison(&mut self) -> XqResult<Expr> {
+        let lhs = self.parse_range()?;
+        self.skip_ws();
+        let op = if self.eat("!=") {
+            BinOp::GenNe
+        } else if self.eat("<=") {
+            BinOp::GenLe
+        } else if self.eat(">=") {
+            BinOp::GenGe
+        } else if self.eat("=") {
+            BinOp::GenEq
+        } else if self.starts("<") && !self.starts("<<") {
+            self.bump();
+            BinOp::GenLt
+        } else if self.starts(">") && !self.starts(">>") {
+            self.bump();
+            BinOp::GenGt
+        } else if self.eat_kw("eq") {
+            BinOp::ValEq
+        } else if self.eat_kw("ne") {
+            BinOp::ValNe
+        } else if self.eat_kw("lt") {
+            BinOp::ValLt
+        } else if self.eat_kw("le") {
+            BinOp::ValLe
+        } else if self.eat_kw("gt") {
+            BinOp::ValGt
+        } else if self.eat_kw("ge") {
+            BinOp::ValGe
+        } else {
+            return Ok(lhs);
+        };
+        self.skip_ws();
+        let rhs = self.parse_range()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn parse_range(&mut self) -> XqResult<Expr> {
+        let lhs = self.parse_additive()?;
+        self.skip_ws();
+        if self.eat_kw("to") {
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::Range(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> XqResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            self.skip_ws();
+            if self.eat("+") {
+                self.skip_ws();
+                let rhs = self.parse_multiplicative()?;
+                lhs = Expr::Binary { op: BinOp::Add, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            } else if self.peek() == Some('-') && !self.rest().starts_with("->") {
+                self.bump();
+                self.skip_ws();
+                let rhs = self.parse_multiplicative()?;
+                lhs = Expr::Binary { op: BinOp::Sub, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> XqResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            self.skip_ws();
+            let op = if self.starts("*") {
+                self.bump();
+                BinOp::Mul
+            } else if self.eat_kw("idiv") {
+                BinOp::IDiv
+            } else if self.eat_kw("div") {
+                BinOp::Div
+            } else if self.eat_kw("mod") {
+                BinOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            self.skip_ws();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn parse_unary(&mut self) -> XqResult<Expr> {
+        self.skip_ws();
+        if self.eat("-") {
+            self.skip_ws();
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.eat("+"); // unary plus is a no-op
+        self.parse_union()
+    }
+
+    fn parse_union(&mut self) -> XqResult<Expr> {
+        let mut lhs = self.parse_intersect_except()?;
+        loop {
+            self.skip_ws();
+            if self.starts("|") && !self.starts("||") {
+                self.bump();
+                self.skip_ws();
+            } else if self.eat_kw("union") {
+                // keyword form
+            } else {
+                return Ok(lhs);
+            }
+            let rhs = self.parse_intersect_except()?;
+            lhs = Expr::Binary { op: BinOp::Union, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn parse_intersect_except(&mut self) -> XqResult<Expr> {
+        let mut lhs = self.parse_path()?;
+        loop {
+            self.skip_ws();
+            let op = if self.eat_kw("intersect") {
+                BinOp::Intersect
+            } else if self.eat_kw("except") {
+                BinOp::Except
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_path()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    // ==== paths ===========================================================
+
+    fn parse_path(&mut self) -> XqResult<Expr> {
+        self.skip_ws();
+        if self.starts("//") {
+            self.pos += 2;
+            let steps = self.parse_relative_steps(true)?;
+            return Ok(Expr::Path { start: PathStart::RootDescendant, steps });
+        }
+        if self.starts("/") {
+            self.bump();
+            self.skip_ws();
+            // A bare "/" selects the roots themselves.
+            if self.at_step_start() {
+                let steps = self.parse_relative_steps(true)?;
+                return Ok(Expr::Path { start: PathStart::Root, steps });
+            }
+            return Ok(Expr::Path { start: PathStart::Root, steps: Vec::new() });
+        }
+        // Relative path or primary expression (possibly followed by steps).
+        let first = self.parse_step_expr()?;
+        self.skip_ws();
+        if self.starts("/") {
+            // primary '/' steps…  or  step '/' steps…
+            let mut steps = Vec::new();
+            let start = match first {
+                StepOrExpr::Step(s) => {
+                    steps.push(s);
+                    PathStart::Relative
+                }
+                StepOrExpr::Expr(e) => PathStart::Expr(Box::new(e)),
+            };
+            loop {
+                if self.starts("//") {
+                    self.pos += 2;
+                    steps.push(Step {
+                        axis: Axis::DescendantOrSelf,
+                        test: NodeTest::AnyNode,
+                        predicates: Vec::new(),
+                    });
+                } else if self.starts("/") {
+                    self.bump();
+                } else {
+                    break;
+                }
+                self.skip_ws();
+                match self.parse_step_expr()? {
+                    StepOrExpr::Step(s) => steps.push(s),
+                    StepOrExpr::Expr(_) => {
+                        return Err(self.err("primary expression not allowed mid-path"))
+                    }
+                }
+                self.skip_ws();
+            }
+            Ok(Expr::Path { start, steps })
+        } else {
+            Ok(match first {
+                StepOrExpr::Step(s) => {
+                    Expr::Path { start: PathStart::Relative, steps: vec![s] }
+                }
+                StepOrExpr::Expr(e) => e,
+            })
+        }
+    }
+
+    fn parse_relative_steps(&mut self, first_mandatory: bool) -> XqResult<Vec<Step>> {
+        let mut steps = Vec::new();
+        if first_mandatory {
+            self.skip_ws();
+            match self.parse_step_expr()? {
+                StepOrExpr::Step(s) => steps.push(s),
+                StepOrExpr::Expr(_) => {
+                    return Err(self.err("expected a path step"));
+                }
+            }
+        }
+        loop {
+            self.skip_ws();
+            if self.starts("//") {
+                self.pos += 2;
+                steps.push(Step {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::AnyNode,
+                    predicates: Vec::new(),
+                });
+            } else if self.starts("/") {
+                self.bump();
+            } else {
+                return Ok(steps);
+            }
+            self.skip_ws();
+            match self.parse_step_expr()? {
+                StepOrExpr::Step(s) => steps.push(s),
+                StepOrExpr::Expr(_) => {
+                    return Err(self.err("primary expression not allowed mid-path"))
+                }
+            }
+        }
+    }
+
+    /// Could the cursor start a path step?
+    fn at_step_start(&self) -> bool {
+        match self.peek() {
+            Some(c) if is_name_start(c) => true,
+            Some('@' | '*') => true,
+            Some('.') => true,
+            _ => false,
+        }
+    }
+
+    fn parse_step_expr(&mut self) -> XqResult<StepOrExpr> {
+        self.skip_ws();
+        // Axis steps first.
+        if self.eat("@") {
+            let test = self.parse_name_test()?;
+            let predicates = self.parse_predicates()?;
+            return Ok(StepOrExpr::Step(Step { axis: Axis::Attribute, test, predicates }));
+        }
+        if self.starts("..") {
+            self.pos += 2;
+            let predicates = self.parse_predicates()?;
+            return Ok(StepOrExpr::Step(Step {
+                axis: Axis::Parent,
+                test: NodeTest::AnyNode,
+                predicates,
+            }));
+        }
+        // `.` alone (not a number like `.5`)
+        if self.starts(".") && !matches!(self.rest().chars().nth(1), Some(c) if c.is_ascii_digit())
+        {
+            self.bump();
+            let predicates = self.parse_predicates()?;
+            if predicates.is_empty() {
+                return Ok(StepOrExpr::Expr(Expr::ContextItem));
+            }
+            return Ok(StepOrExpr::Expr(Expr::Filter {
+                base: Box::new(Expr::ContextItem),
+                predicates,
+            }));
+        }
+        // Explicit axes.
+        for (axis_name, axis) in [
+            ("child::", Axis::Child),
+            ("descendant-or-self::", Axis::DescendantOrSelf),
+            ("descendant::", Axis::Descendant),
+            ("self::", Axis::SelfAxis),
+            ("parent::", Axis::Parent),
+            ("attribute::", Axis::Attribute),
+        ] {
+            if self.eat(axis_name) {
+                let test = self.parse_name_test()?;
+                let predicates = self.parse_predicates()?;
+                return Ok(StepOrExpr::Step(Step { axis, test, predicates }));
+            }
+        }
+        if self.starts("*") {
+            self.bump();
+            let predicates = self.parse_predicates()?;
+            return Ok(StepOrExpr::Step(Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("*".into()),
+                predicates,
+            }));
+        }
+        // Primary expressions.
+        if let Some(e) = self.try_parse_primary()? {
+            let predicates = self.parse_predicates()?;
+            if predicates.is_empty() {
+                return Ok(StepOrExpr::Expr(e));
+            }
+            return Ok(StepOrExpr::Expr(Expr::Filter { base: Box::new(e), predicates }));
+        }
+        // Otherwise: a name test step (possibly `text()`/`node()`), or a
+        // function call (name followed by `(`).
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                let name = self.read_name()?;
+                // `text()` / `node()` kind tests
+                if (name == "text" || name == "node") && self.rest().trim_start().starts_with("(")
+                {
+                    let save = self.pos;
+                    self.skip_ws();
+                    self.expect("(")?;
+                    self.skip_ws();
+                    if self.eat(")") {
+                        let test =
+                            if name == "text" { NodeTest::Text } else { NodeTest::AnyNode };
+                        let predicates = self.parse_predicates()?;
+                        return Ok(StepOrExpr::Step(Step { axis: Axis::Child, test, predicates }));
+                    }
+                    self.pos = save; // it's a function call with args (invalid, but report there)
+                }
+                // Function call?
+                if self.rest().starts_with('(') {
+                    let e = self.parse_function_call(name)?;
+                    let predicates = self.parse_predicates()?;
+                    if predicates.is_empty() {
+                        return Ok(StepOrExpr::Expr(e));
+                    }
+                    return Ok(StepOrExpr::Expr(Expr::Filter { base: Box::new(e), predicates }));
+                }
+                // Wildcard suffix `p:*` is consumed by read_name? No — `*`
+                // is not a name char; handle `prefix:*` here.
+                let name = if name.ends_with(':') {
+                    return Err(self.err("dangling prefix"));
+                } else if self.starts(":*") {
+                    self.pos += 2;
+                    format!("{name}:*")
+                } else {
+                    name
+                };
+                let predicates = self.parse_predicates()?;
+                Ok(StepOrExpr::Step(Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Name(name),
+                    predicates,
+                }))
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+
+    fn parse_name_test(&mut self) -> XqResult<NodeTest> {
+        if self.starts("*") {
+            self.bump();
+            return Ok(NodeTest::Name("*".into()));
+        }
+        let name = self.read_name()?;
+        // Kind tests usable after an explicit axis.
+        if name == "node" && self.eat("()") {
+            return Ok(NodeTest::AnyNode);
+        }
+        if name == "text" && self.eat("()") {
+            return Ok(NodeTest::Text);
+        }
+        if self.starts(":*") {
+            self.pos += 2;
+            return Ok(NodeTest::Name(format!("{name}:*")));
+        }
+        Ok(NodeTest::Name(name))
+    }
+
+    fn parse_predicates(&mut self) -> XqResult<Vec<Expr>> {
+        let mut preds = Vec::new();
+        loop {
+            self.skip_ws();
+            if !self.starts("[") {
+                return Ok(preds);
+            }
+            self.bump();
+            self.skip_ws();
+            let e = self.parse_expr()?;
+            self.skip_ws();
+            self.expect("]")?;
+            preds.push(e);
+        }
+    }
+
+    // ==== primaries =======================================================
+
+    /// Primary expressions that are unambiguous from their first character.
+    /// Returns Ok(None) if the cursor is not at such a primary.
+    fn try_parse_primary(&mut self) -> XqResult<Option<Expr>> {
+        match self.peek() {
+            Some('"') | Some('\'') => Ok(Some(self.parse_string_literal()?)),
+            Some(c) if c.is_ascii_digit() => Ok(Some(self.parse_number_literal()?)),
+            Some('.') if matches!(self.rest().chars().nth(1), Some(c) if c.is_ascii_digit()) => {
+                Ok(Some(self.parse_number_literal()?))
+            }
+            Some('$') => {
+                let v = self.read_var()?;
+                Ok(Some(Expr::VarRef(v)))
+            }
+            Some('(') => {
+                self.bump();
+                self.skip_ws();
+                if self.eat(")") {
+                    return Ok(Some(Expr::Empty));
+                }
+                let e = self.parse_expr()?;
+                self.skip_ws();
+                self.expect(")")?;
+                Ok(Some(e))
+            }
+            Some('<') => {
+                // Direct constructor only if followed by a name start char.
+                match self.rest().chars().nth(1) {
+                    Some(c) if is_name_start(c) => {
+                        let d = self.parse_direct_constructor()?;
+                        Ok(Some(Expr::Direct(d)))
+                    }
+                    _ => Ok(None),
+                }
+            }
+            Some('e') if self.peek_kw("element") && self.computed_ctor_ahead("element") => {
+                self.eat_kw("element");
+                let name = self.parse_ctor_name()?;
+                self.skip_ws();
+                self.expect("{")?;
+                self.skip_ws();
+                let content =
+                    if self.starts("}") { Expr::Empty } else { self.parse_expr()? };
+                self.skip_ws();
+                self.expect("}")?;
+                Ok(Some(Expr::ComputedElement { name: Box::new(name), content: Box::new(content) }))
+            }
+            Some('a') if self.peek_kw("attribute") && self.computed_ctor_ahead("attribute") => {
+                self.eat_kw("attribute");
+                let name = self.parse_ctor_name()?;
+                self.skip_ws();
+                self.expect("{")?;
+                self.skip_ws();
+                let value = if self.starts("}") { Expr::Empty } else { self.parse_expr()? };
+                self.skip_ws();
+                self.expect("}")?;
+                Ok(Some(Expr::ComputedAttribute { name: Box::new(name), value: Box::new(value) }))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Distinguish `element foo {…}` / `element {…} {…}` from a name test
+    /// step that just happens to be called `element`.
+    fn computed_ctor_ahead(&self, kw: &str) -> bool {
+        let rest = self.input[self.pos + kw.len()..].trim_start();
+        if rest.starts_with('{') {
+            return true;
+        }
+        // `element NAME {`
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            _ => return false,
+        }
+        let mut end = 0;
+        for (i, c) in chars {
+            if is_name_char(c) || c == ':' {
+                end = i + c.len_utf8();
+            } else {
+                end = i;
+                break;
+            }
+        }
+        rest[end..].trim_start().starts_with('{')
+    }
+
+    fn parse_ctor_name(&mut self) -> XqResult<Expr> {
+        self.skip_ws();
+        if self.eat("{") {
+            self.skip_ws();
+            let e = self.parse_expr()?;
+            self.skip_ws();
+            self.expect("}")?;
+            Ok(e)
+        } else {
+            let n = self.read_name()?;
+            Ok(Expr::StrLit(n))
+        }
+    }
+
+    fn parse_string_literal(&mut self) -> XqResult<Expr> {
+        let quote = self.bump().expect("caller checked quote");
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    // Doubled quote is an escaped quote.
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        s.push(quote);
+                        continue;
+                    }
+                    return Ok(Expr::StrLit(s));
+                }
+                Some(c) => {
+                    s.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_number_literal(&mut self) -> XqResult<Expr> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.starts(".") {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                self.pos = save; // not an exponent (e.g. `2e` is `2` then name `e`)
+            }
+        }
+        let text = &self.input[start..self.pos];
+        text.parse::<f64>()
+            .map(Expr::NumLit)
+            .map_err(|_| self.err(format!("bad number literal {text:?}")))
+    }
+
+    fn parse_function_call(&mut self, name: String) -> XqResult<Expr> {
+        // Strip the conventional `fn:` prefix.
+        let name = name.strip_prefix("fn:").unwrap_or(&name).to_owned();
+        self.expect("(")?;
+        self.skip_ws();
+        let mut args = Vec::new();
+        if !self.starts(")") {
+            loop {
+                args.push(self.parse_expr_single()?);
+                self.skip_ws();
+                if !self.eat(",") {
+                    break;
+                }
+                self.skip_ws();
+            }
+        }
+        self.expect(")")?;
+        Ok(Expr::FunctionCall { name, args })
+    }
+
+    // ==== direct constructors ============================================
+
+    fn parse_direct_constructor(&mut self) -> XqResult<DirectConstructor> {
+        self.expect("<")?;
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("/>") {
+                return Ok(DirectConstructor { name, attributes, content: Vec::new() });
+            }
+            if self.eat(">") {
+                break;
+            }
+            let attr_name = self.read_name()?;
+            self.skip_ws();
+            self.expect("=")?;
+            self.skip_ws();
+            let parts = self.parse_attr_value_template()?;
+            attributes.push((attr_name, parts));
+        }
+        // Content until matching close tag.
+        let mut content = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated element constructor")),
+                Some('<') => {
+                    if !text.is_empty() {
+                        content.push(ConstructorContent::Text(std::mem::take(&mut text)));
+                    }
+                    if self.starts("</") {
+                        self.pos += 2;
+                        let close = self.read_name()?;
+                        if close != name {
+                            return Err(self.err(format!(
+                                "constructor <{name}> closed by </{close}>"
+                            )));
+                        }
+                        self.skip_ws();
+                        self.expect(">")?;
+                        return Ok(DirectConstructor { name, attributes, content });
+                    }
+                    let inner = self.parse_direct_constructor()?;
+                    content.push(ConstructorContent::Element(Box::new(inner)));
+                }
+                Some('{') => {
+                    if self.starts("{{") {
+                        text.push('{');
+                        self.pos += 2;
+                        continue;
+                    }
+                    if !text.is_empty() {
+                        content.push(ConstructorContent::Text(std::mem::take(&mut text)));
+                    }
+                    self.bump();
+                    self.skip_ws();
+                    let e = self.parse_expr()?;
+                    self.skip_ws();
+                    self.expect("}")?;
+                    content.push(ConstructorContent::Interpolated(e));
+                }
+                Some('}') => {
+                    if self.starts("}}") {
+                        text.push('}');
+                        self.pos += 2;
+                        continue;
+                    }
+                    return Err(self.err("unescaped '}' in constructor content"));
+                }
+                Some('&') => {
+                    // Reuse XML entity syntax for the five builtins.
+                    self.bump();
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == ';' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    let body = &self.input[start..self.pos];
+                    self.expect(";")?;
+                    let resolved = match body {
+                        "lt" => '<',
+                        "gt" => '>',
+                        "amp" => '&',
+                        "apos" => '\'',
+                        "quot" => '"',
+                        _ => return Err(self.err(format!("unknown entity &{body};"))),
+                    };
+                    text.push(resolved);
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_attr_value_template(&mut self) -> XqResult<Vec<AttrPart>> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.bump();
+                q
+            }
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut parts = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    if !text.is_empty() {
+                        parts.push(AttrPart::Text(text));
+                    }
+                    return Ok(parts);
+                }
+                Some('{') => {
+                    if self.starts("{{") {
+                        text.push('{');
+                        self.pos += 2;
+                        continue;
+                    }
+                    if !text.is_empty() {
+                        parts.push(AttrPart::Text(std::mem::take(&mut text)));
+                    }
+                    self.bump();
+                    self.skip_ws();
+                    let e = self.parse_expr()?;
+                    self.skip_ws();
+                    self.expect("}")?;
+                    parts.push(AttrPart::Interpolated(e));
+                }
+                Some('}') if self.starts("}}") => {
+                    text.push('}');
+                    self.pos += 2;
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+enum StepOrExpr {
+    Step(Step),
+    Expr(Expr),
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Expr {
+        parse(s).unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(p("42"), Expr::NumLit(42.0));
+        assert_eq!(p("3.5"), Expr::NumLit(3.5));
+        assert_eq!(p(".5"), Expr::NumLit(0.5));
+        assert_eq!(p("1e3"), Expr::NumLit(1000.0));
+        assert_eq!(p(r#""hi""#), Expr::StrLit("hi".into()));
+        assert_eq!(p("'a''b'"), Expr::StrLit("a'b".into()));
+        assert_eq!(p("()"), Expr::Empty);
+    }
+
+    #[test]
+    fn variables_and_context() {
+        assert_eq!(p("$x"), Expr::VarRef("x".into()));
+        assert_eq!(p("."), Expr::ContextItem);
+    }
+
+    #[test]
+    fn simple_paths() {
+        match p("/service") {
+            Expr::Path { start: PathStart::Root, steps } => {
+                assert_eq!(steps.len(), 1);
+                assert_eq!(steps[0].test, NodeTest::Name("service".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("//service/interface") {
+            Expr::Path { start: PathStart::RootDescendant, steps } => {
+                assert_eq!(steps.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_root() {
+        match p("/") {
+            Expr::Path { start: PathStart::Root, steps } => assert!(steps.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_and_wildcard_steps() {
+        match p("//service/@type") {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[1].axis, Axis::Attribute);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("a/*/tns:*") {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[1].test, NodeTest::Name("*".into()));
+                assert_eq!(steps[2].test, NodeTest::Name("tns:*".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_slash_inserts_descendant_step() {
+        match p("a//b") {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps.len(), 3);
+                assert_eq!(steps[1].axis, Axis::DescendantOrSelf);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        match p(r#"//service[@type = "exec"][2]"#) {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].predicates.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parent_and_text_steps() {
+        match p("a/../text()") {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[1].axis, Axis::Parent);
+                assert_eq!(steps[2].test, NodeTest::Text);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operators_precedence() {
+        match p("1 + 2 * 3") {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => match *rhs {
+                Expr::Binary { op: BinOp::Mul, .. } => {}
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        match p("1 = 2 or 3 = 4 and 5 = 6") {
+            Expr::Or(_, rhs) => match *rhs {
+                Expr::And(..) => {}
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_comparisons() {
+        match p("$a eq 'x'") {
+            Expr::Binary { op: BinOp::ValEq, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn div_vs_name() {
+        // `div` as operator
+        match p("6 div 2") {
+            Expr::Binary { op: BinOp::Div, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // `div` as a name test at operand position
+        match p("/div") {
+            Expr::Path { steps, .. } => assert_eq!(steps[0].test, NodeTest::Name("div".into())),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_and_comma() {
+        assert!(matches!(p("1 to 5"), Expr::Range(..)));
+        match p("1, 2, 3") {
+            Expr::Comma(v) => assert_eq!(v.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_operator() {
+        assert!(matches!(p("a | b"), Expr::Binary { op: BinOp::Union, .. }));
+    }
+
+    #[test]
+    fn function_calls() {
+        match p("count(//service)") {
+            Expr::FunctionCall { name, args } => {
+                assert_eq!(name, "count");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("fn:contains($a, 'x')") {
+            Expr::FunctionCall { name, args } => {
+                assert_eq!(name, "contains");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(p("true()"), Expr::FunctionCall { .. }));
+    }
+
+    #[test]
+    fn flwor_full() {
+        let e = p(r#"for $s at $i in //service let $o := $s/owner
+                      where $o = "cern" order by $s/@type descending, $i return $s"#);
+        match e {
+            Expr::Flwor { clauses, where_, order_by, .. } => {
+                assert_eq!(clauses.len(), 2);
+                assert!(matches!(&clauses[0], FlworClause::For { position: Some(p), .. } if p == "i"));
+                assert!(where_.is_some());
+                assert_eq!(order_by.len(), 2);
+                assert!(order_by[0].descending);
+                assert!(!order_by[1].descending);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flwor_multiple_for_vars() {
+        let e = p("for $a in //x, $b in //y return ($a, $b)");
+        match e {
+            Expr::Flwor { clauses, .. } => assert_eq!(clauses.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantified() {
+        assert!(matches!(
+            p("some $x in //a satisfies $x = 1"),
+            Expr::Quantified { every: false, .. }
+        ));
+        assert!(matches!(
+            p("every $x in //a satisfies $x = 1"),
+            Expr::Quantified { every: true, .. }
+        ));
+    }
+
+    #[test]
+    fn if_then_else() {
+        assert!(matches!(p("if (1) then 2 else 3"), Expr::If { .. }));
+    }
+
+    #[test]
+    fn direct_constructor() {
+        let e = p(r#"<result link="{$l}" kind="x{1+1}y">text {$v} <inner/>{{esc}}</result>"#);
+        match e {
+            Expr::Direct(d) => {
+                assert_eq!(d.name, "result");
+                assert_eq!(d.attributes.len(), 2);
+                assert_eq!(d.attributes[1].1.len(), 3);
+                assert!(d.content.iter().any(|c| matches!(c, ConstructorContent::Element(_))));
+                assert!(d
+                    .content
+                    .iter()
+                    .any(|c| matches!(c, ConstructorContent::Text(t) if t.contains("{esc}"))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn constructor_entities() {
+        match p("<a>&lt;&amp;</a>") {
+            Expr::Direct(d) => {
+                assert!(matches!(&d.content[0], ConstructorContent::Text(t) if t == "<&"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn computed_constructors() {
+        assert!(matches!(p("element out { 1 }"), Expr::ComputedElement { .. }));
+        assert!(matches!(p("element {concat('a','b')} { () }"), Expr::ComputedElement { .. }));
+        assert!(matches!(p("attribute n { 'v' }"), Expr::ComputedAttribute { .. }));
+        // `element` as a plain name test still works
+        assert!(matches!(p("/element"), Expr::Path { .. }));
+    }
+
+    #[test]
+    fn path_from_primary() {
+        match p("$x/owner") {
+            Expr::Path { start: PathStart::Expr(e), steps } => {
+                assert!(matches!(*e, Expr::VarRef(_)));
+                assert_eq!(steps.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_on_variable() {
+        match p("$x[2]") {
+            Expr::Filter { predicates, .. } => assert_eq!(predicates.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_whitespace() {
+        assert_eq!(p("1 (: comment (: nested :) :) + 2"), p("1 + 2"));
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert!(matches!(p("-1"), Expr::Neg(_)));
+        assert!(matches!(p("- $x"), Expr::Neg(_)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("1 +").is_err());
+        assert!(parse("for $x in").is_err());
+        assert!(parse("if (1) then 2").is_err());
+        assert!(parse("<a></b>").is_err());
+        assert!(parse("'unterminated").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("$").is_err());
+        assert!(parse("//a[").is_err());
+    }
+
+    #[test]
+    fn name_with_dots_and_dashes() {
+        match p("/cern.ch-site") {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].test, NodeTest::Name("cern.ch-site".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_axes() {
+        match p("child::a/descendant::b/self::*/parent::node()") {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].axis, Axis::Child);
+                assert_eq!(steps[1].axis, Axis::Descendant);
+                assert_eq!(steps[2].axis, Axis::SelfAxis);
+                assert_eq!(steps[3].axis, Axis::Parent);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_only_flwor() {
+        assert!(matches!(p("let $x := 1 return $x"), Expr::Flwor { .. }));
+    }
+}

@@ -1,0 +1,544 @@
+//! The XQuery data model subset: items, sequences and node references.
+//!
+//! A [`NodeRef`] identifies a node *structurally*: the `Arc` of the document
+//! root plus the child-index path down to the node. Navigation therefore
+//! never clones subtrees, references stay `Send + Sync` (registry tuples are
+//! scanned in parallel with rayon), and document order is the lexicographic
+//! order of `(doc_ord, path)`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+use wsda_xml::{Element, XmlNode};
+
+/// A sequence of items — the universal XQuery value.
+pub type Sequence = Vec<Item>;
+
+/// Which node a [`NodeRef`] designates within its element tree.
+///
+/// Variant order matters: it is the document-order tie-break at equal paths
+/// (a document node precedes its root element, an element precedes its
+/// attributes, attributes precede child text nodes).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeKind {
+    /// The (virtual) document node above the root element. Only valid with
+    /// an empty index path.
+    Document,
+    /// The element reached by the index path.
+    Element,
+    /// An attribute of that element.
+    Attribute(String),
+    /// The text/CDATA child at the given child index of that element.
+    Text(usize),
+}
+
+/// A cheap structural reference to a node in an `Arc`-shared document.
+#[derive(Clone)]
+pub struct NodeRef {
+    root: Arc<Element>,
+    /// Stable document identity for cross-document ordering. Assigned by
+    /// whoever creates root references (the registry uses the tuple index).
+    doc_ord: u64,
+    /// Child **element** indices from the root down to the element.
+    path: Vec<u32>,
+    kind: NodeKind,
+}
+
+impl NodeRef {
+    /// A reference to the root element of `root` (a parentless element, as
+    /// produced by constructors).
+    pub fn root(root: Arc<Element>, doc_ord: u64) -> NodeRef {
+        NodeRef { root, doc_ord, path: Vec::new(), kind: NodeKind::Element }
+    }
+
+    /// A reference to the virtual document node above the root element of
+    /// `root`. Query context roots are document nodes so that `/a` and
+    /// `//a` behave as in XPath (the document's child is the root element).
+    pub fn document_node(root: Arc<Element>, doc_ord: u64) -> NodeRef {
+        NodeRef { root, doc_ord, path: Vec::new(), kind: NodeKind::Document }
+    }
+
+    /// The document this node belongs to.
+    pub fn document(&self) -> &Arc<Element> {
+        &self.root
+    }
+
+    /// The document ordinal used for cross-document ordering.
+    pub fn doc_ord(&self) -> u64 {
+        self.doc_ord
+    }
+
+    /// What kind of node this reference designates.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// Walk the index path to the designated **element** (for attribute and
+    /// text references this is the owning element).
+    pub fn element(&self) -> &Element {
+        let mut cur: &Element = &self.root;
+        for &idx in &self.path {
+            cur = cur
+                .child_elements()
+                .nth(idx as usize)
+                .expect("NodeRef path must stay valid for its Arc'd document");
+        }
+        cur
+    }
+
+    /// Is this a reference to an element (not attribute/text)?
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind, NodeKind::Element)
+    }
+
+    /// Child element references in document order. For a document node this
+    /// is the root element; empty for attribute/text references.
+    pub fn child_elements(&self) -> Vec<NodeRef> {
+        match self.kind {
+            NodeKind::Document => {
+                vec![NodeRef {
+                    root: self.root.clone(),
+                    doc_ord: self.doc_ord,
+                    path: Vec::new(),
+                    kind: NodeKind::Element,
+                }]
+            }
+            NodeKind::Element => {
+                let n = self.element().child_elements().count();
+                (0..n as u32)
+                    .map(|i| {
+                        let mut path = self.path.clone();
+                        path.push(i);
+                        NodeRef {
+                            root: self.root.clone(),
+                            doc_ord: self.doc_ord,
+                            path,
+                            kind: NodeKind::Element,
+                        }
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// All descendant elements (excluding self) in document order.
+    pub fn descendant_elements(&self) -> Vec<NodeRef> {
+        let mut out = Vec::new();
+        let mut stack = self.child_elements();
+        stack.reverse();
+        while let Some(next) = stack.pop() {
+            let children = next.child_elements();
+            out.push(next);
+            for c in children.into_iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// A reference to the named attribute, if present.
+    pub fn attribute(&self, name: &str) -> Option<NodeRef> {
+        if !self.is_element() {
+            return None;
+        }
+        self.element().attr(name)?;
+        Some(NodeRef {
+            root: self.root.clone(),
+            doc_ord: self.doc_ord,
+            path: self.path.clone(),
+            kind: NodeKind::Attribute(name.to_owned()),
+        })
+    }
+
+    /// References to all attributes in document order.
+    pub fn attributes(&self) -> Vec<NodeRef> {
+        if !self.is_element() {
+            return Vec::new();
+        }
+        self.element()
+            .attributes()
+            .iter()
+            .map(|a| NodeRef {
+                root: self.root.clone(),
+                doc_ord: self.doc_ord,
+                path: self.path.clone(),
+                kind: NodeKind::Attribute(a.name.clone()),
+            })
+            .collect()
+    }
+
+    /// References to the text/CDATA children, in document order.
+    pub fn text_children(&self) -> Vec<NodeRef> {
+        if !self.is_element() {
+            return Vec::new();
+        }
+        self.element()
+            .children()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, XmlNode::Text(_) | XmlNode::CData(_)))
+            .map(|(i, _)| NodeRef {
+                root: self.root.clone(),
+                doc_ord: self.doc_ord,
+                path: self.path.clone(),
+                kind: NodeKind::Text(i),
+            })
+            .collect()
+    }
+
+    /// The parent node reference (`..`); the root element's parent is the
+    /// document node, which itself has no parent.
+    pub fn parent(&self) -> Option<NodeRef> {
+        match &self.kind {
+            NodeKind::Document => None,
+            NodeKind::Element => {
+                if self.path.is_empty() {
+                    return Some(NodeRef {
+                        root: self.root.clone(),
+                        doc_ord: self.doc_ord,
+                        path: Vec::new(),
+                        kind: NodeKind::Document,
+                    });
+                }
+                let mut path = self.path.clone();
+                path.pop();
+                Some(NodeRef {
+                    root: self.root.clone(),
+                    doc_ord: self.doc_ord,
+                    path,
+                    kind: NodeKind::Element,
+                })
+            }
+            // Attribute and text nodes are owned by the element at `path`.
+            _ => Some(NodeRef {
+                root: self.root.clone(),
+                doc_ord: self.doc_ord,
+                path: self.path.clone(),
+                kind: NodeKind::Element,
+            }),
+        }
+    }
+
+    /// The node's name: element name, attribute name, or `""` for text and
+    /// document nodes.
+    pub fn name(&self) -> String {
+        match &self.kind {
+            NodeKind::Element => self.element().name().to_owned(),
+            NodeKind::Attribute(a) => a.clone(),
+            NodeKind::Text(_) | NodeKind::Document => String::new(),
+        }
+    }
+
+    /// The XPath string value of the node.
+    pub fn string_value(&self) -> String {
+        match &self.kind {
+            NodeKind::Element | NodeKind::Document => self.element().text(),
+            NodeKind::Attribute(a) => self.element().attr(a).unwrap_or_default().to_owned(),
+            NodeKind::Text(i) => self.element().children()[*i]
+                .as_text()
+                .unwrap_or_default()
+                .to_owned(),
+        }
+    }
+
+    /// A key identifying this node for deduplication and document ordering.
+    pub fn order_key(&self) -> (u64, Vec<u32>, NodeKind) {
+        (self.doc_ord, self.path.clone(), self.kind.clone())
+    }
+
+    /// Deep-copy the referenced node as a standalone element (used when a
+    /// constructor embeds an existing node in a new tree). Attribute and
+    /// text references are wrapped per XQuery atomization-into-content
+    /// rules by the caller.
+    pub fn materialize_element(&self) -> Option<Element> {
+        match self.kind {
+            NodeKind::Element => Some(self.element().clone()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeRef(doc {}, path {:?}, {:?})", self.doc_ord, self.path, self.kind)
+    }
+}
+
+impl PartialEq for NodeRef {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.root, &other.root)
+            && self.path == other.path
+            && self.kind == other.kind
+    }
+}
+
+/// One XQuery item: a node or an atomic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A node in some document.
+    Node(NodeRef),
+    /// A boolean.
+    Bool(bool),
+    /// A double-precision number (the engine's single numeric type;
+    /// integers are represented exactly up to 2^53 as in the thesis
+    /// prototype's untyped data).
+    Number(f64),
+    /// A string.
+    Str(String),
+}
+
+impl Item {
+    /// Construct a string item.
+    pub fn str(s: impl Into<String>) -> Item {
+        Item::Str(s.into())
+    }
+
+    /// The XPath string value of the item.
+    pub fn string_value(&self) -> String {
+        match self {
+            Item::Node(n) => n.string_value(),
+            Item::Bool(b) => b.to_string(),
+            Item::Number(n) => format_number(*n),
+            Item::Str(s) => s.clone(),
+        }
+    }
+
+    /// Numeric value following XPath `number()` semantics (`NaN` on failure).
+    pub fn number_value(&self) -> f64 {
+        match self {
+            Item::Number(n) => *n,
+            Item::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Item::Node(_) | Item::Str(_) => {
+                let s = self.string_value();
+                s.trim().parse::<f64>().unwrap_or(f64::NAN)
+            }
+        }
+    }
+
+    /// True if this is a node item.
+    pub fn is_node(&self) -> bool {
+        matches!(self, Item::Node(_))
+    }
+
+    /// Borrow the node reference if this is a node item.
+    pub fn as_node(&self) -> Option<&NodeRef> {
+        match self {
+            Item::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Item {
+    fn from(b: bool) -> Item {
+        Item::Bool(b)
+    }
+}
+
+impl From<f64> for Item {
+    fn from(n: f64) -> Item {
+        Item::Number(n)
+    }
+}
+
+impl From<&str> for Item {
+    fn from(s: &str) -> Item {
+        Item::Str(s.to_owned())
+    }
+}
+
+/// XPath-style number formatting: integers print without a decimal point,
+/// `NaN`/`Infinity` use XPath spellings.
+pub fn format_number(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".to_owned()
+    } else if n.is_infinite() {
+        if n > 0.0 { "Infinity".to_owned() } else { "-Infinity".to_owned() }
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// The effective boolean value of a sequence (XPath 2.0 `fn:boolean` rules,
+/// restricted to this engine's types).
+pub fn effective_boolean(seq: &[Item]) -> Result<bool, crate::error::XqError> {
+    match seq {
+        [] => Ok(false),
+        [first, ..] if first.is_node() => Ok(true),
+        [single] => Ok(match single {
+            Item::Bool(b) => *b,
+            Item::Number(n) => *n != 0.0 && !n.is_nan(),
+            Item::Str(s) => !s.is_empty(),
+            Item::Node(_) => true,
+        }),
+        _ => Err(crate::error::XqError::TypeError(
+            "effective boolean value of a multi-item non-node sequence".to_owned(),
+        )),
+    }
+}
+
+/// Sort node items into document order and remove duplicates; non-node items
+/// keep their relative order after nodes (path results are all-node, so the
+/// mixed case only arises in hand-built sequences).
+pub fn document_order_dedup(seq: &mut Sequence) {
+    let mut nodes: Vec<NodeRef> = Vec::new();
+    let mut rest: Vec<Item> = Vec::new();
+    for item in seq.drain(..) {
+        match item {
+            Item::Node(n) => nodes.push(n),
+            other => rest.push(other),
+        }
+    }
+    nodes.sort_by(|a, b| {
+        a.order_key().cmp(&b.order_key()).then(Ordering::Equal)
+    });
+    nodes.dedup_by(|a, b| a.order_key() == b.order_key());
+    seq.extend(nodes.into_iter().map(Item::Node));
+    seq.extend(rest);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsda_xml::parse_fragment;
+
+    fn doc() -> Arc<Element> {
+        Arc::new(
+            parse_fragment(
+                r#"<service type="exec"><owner>cms</owner><iface><op>submit</op></iface>text</service>"#,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn root_ref_basics() {
+        let r = NodeRef::root(doc(), 7);
+        assert!(r.is_element());
+        assert_eq!(r.name(), "service");
+        assert_eq!(r.doc_ord(), 7);
+        assert_eq!(r.string_value(), "cmssubmittext");
+        // A parentless element's parent is the virtual document node.
+        let p = r.parent().unwrap();
+        assert_eq!(p.kind(), &NodeKind::Document);
+        assert!(p.parent().is_none());
+    }
+
+    #[test]
+    fn document_node_navigation() {
+        let d = NodeRef::document_node(doc(), 3);
+        assert!(!d.is_element());
+        assert_eq!(d.name(), "");
+        assert_eq!(d.string_value(), "cmssubmittext");
+        let kids = d.child_elements();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(kids[0].name(), "service");
+        assert_eq!(kids[0].parent().unwrap(), d);
+        let desc: Vec<String> = d.descendant_elements().iter().map(|n| n.name()).collect();
+        assert_eq!(desc, ["service", "owner", "iface", "op"]);
+        assert!(d.attributes().is_empty());
+        assert!(d.text_children().is_empty());
+    }
+
+    #[test]
+    fn child_navigation() {
+        let r = NodeRef::root(doc(), 0);
+        let kids = r.child_elements();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].name(), "owner");
+        assert_eq!(kids[1].name(), "iface");
+        assert_eq!(kids[1].child_elements()[0].string_value(), "submit");
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let r = NodeRef::root(doc(), 0);
+        let names: Vec<String> = r.descendant_elements().iter().map(|n| n.name()).collect();
+        assert_eq!(names, ["owner", "iface", "op"]);
+    }
+
+    #[test]
+    fn attributes_and_text() {
+        let r = NodeRef::root(doc(), 0);
+        let a = r.attribute("type").unwrap();
+        assert_eq!(a.string_value(), "exec");
+        assert_eq!(a.name(), "type");
+        assert!(r.attribute("none").is_none());
+        assert_eq!(r.attributes().len(), 1);
+        let texts = r.text_children();
+        assert_eq!(texts.len(), 1);
+        assert_eq!(texts[0].string_value(), "text");
+    }
+
+    #[test]
+    fn parent_of_attribute_is_element() {
+        let r = NodeRef::root(doc(), 0);
+        let a = r.attribute("type").unwrap();
+        assert_eq!(a.parent().unwrap().name(), "service");
+        let kid = &r.child_elements()[0];
+        assert_eq!(kid.parent().unwrap().name(), "service");
+    }
+
+    #[test]
+    fn item_conversions() {
+        assert_eq!(Item::from(true).string_value(), "true");
+        assert_eq!(Item::from(2.0).string_value(), "2");
+        assert_eq!(Item::from(2.5).string_value(), "2.5");
+        assert_eq!(Item::str("x").number_value().is_nan(), true);
+        assert_eq!(Item::str("3.5").number_value(), 3.5);
+        assert_eq!(Item::Bool(true).number_value(), 1.0);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(f64::NAN), "NaN");
+        assert_eq!(format_number(f64::INFINITY), "Infinity");
+        assert_eq!(format_number(f64::NEG_INFINITY), "-Infinity");
+        assert_eq!(format_number(-0.0), "0");
+        assert_eq!(format_number(1234567.0), "1234567");
+    }
+
+    #[test]
+    fn effective_boolean_rules() {
+        assert!(!effective_boolean(&[]).unwrap());
+        assert!(effective_boolean(&[Item::Node(NodeRef::root(doc(), 0))]).unwrap());
+        assert!(!effective_boolean(&[Item::Bool(false)]).unwrap());
+        assert!(!effective_boolean(&[Item::Number(f64::NAN)]).unwrap());
+        assert!(!effective_boolean(&[Item::str("")]).unwrap());
+        assert!(effective_boolean(&[Item::str("x")]).unwrap());
+        assert!(effective_boolean(&[Item::Bool(true), Item::Bool(true)]).is_err());
+    }
+
+    #[test]
+    fn dedup_and_order() {
+        let d = doc();
+        let r = NodeRef::root(d, 0);
+        let kids = r.child_elements();
+        let mut seq = vec![
+            Item::Node(kids[1].clone()),
+            Item::Node(kids[0].clone()),
+            Item::Node(kids[0].clone()),
+        ];
+        document_order_dedup(&mut seq);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].as_node().unwrap().name(), "owner");
+    }
+
+    #[test]
+    fn cross_document_order_uses_doc_ord() {
+        let a = NodeRef::root(doc(), 2);
+        let b = NodeRef::root(doc(), 1);
+        let mut seq = vec![Item::Node(a), Item::Node(b)];
+        document_order_dedup(&mut seq);
+        assert_eq!(seq[0].as_node().unwrap().doc_ord(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for evaluator invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wsda_xml::Element;
+use wsda_xq::{DynamicContext, Item, Query};
+
+/// A random small service corpus.
+fn arb_corpus() -> impl Strategy<Value = Vec<Arc<Element>>> {
+    let owner = prop_oneof![
+        Just("cms.cern.ch"),
+        Just("atlas.cern.ch"),
+        Just("fnal.gov"),
+        Just("in2p3.fr")
+    ];
+    let svc = (owner, 0.0f64..1.0, 1usize..4).prop_map(|(owner, load, n_ifaces)| {
+        let mut s = Element::new("service")
+            .with_field("owner", owner)
+            .with_field("load", format!("{load:.3}"));
+        for i in 0..n_ifaces {
+            s = s.with_child(Element::new("interface").with_attr("type", format!("I-{i}")));
+        }
+        Arc::new(Element::new("tuple").with_attr("type", "service").with_child(s))
+    });
+    proptest::collection::vec(svc, 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// count(//x) always equals the length of //x.
+    #[test]
+    fn count_consistent(corpus in arb_corpus()) {
+        let q_all = Query::parse("//interface").unwrap();
+        let q_count = Query::parse("count(//interface)").unwrap();
+        let n = q_all.eval_over(corpus.clone()).unwrap().len();
+        let c = q_count.eval_over(corpus).unwrap()[0].number_value();
+        prop_assert_eq!(n as f64, c);
+    }
+
+    /// A predicate filter returns a subset of the unfiltered step.
+    #[test]
+    fn predicate_filters_subset(corpus in arb_corpus(), threshold in 0.0f64..1.0) {
+        let all = Query::parse("//service").unwrap().eval_over(corpus.clone()).unwrap();
+        let q = Query::parse(&format!("//service[load < {threshold}]")).unwrap();
+        let filtered = q.eval_over(corpus).unwrap();
+        prop_assert!(filtered.len() <= all.len());
+        // every filtered item appears in `all`
+        for item in &filtered {
+            let owner = item.as_node().unwrap().string_value();
+            prop_assert!(all.iter().any(|a| a.as_node().unwrap().string_value() == owner));
+        }
+    }
+
+    /// Separable queries evaluate identically per-tuple and whole-set.
+    #[test]
+    fn separability_invariant(corpus in arb_corpus()) {
+        let q = Query::parse("//service[load < 0.5]/owner").unwrap();
+        prop_assert!(q.profile().separable);
+        let whole: Vec<String> = q.eval_over(corpus.clone()).unwrap()
+            .iter().map(Item::string_value).collect();
+        let mut parts: Vec<String> = Vec::new();
+        for doc in corpus {
+            parts.extend(q.eval_over(vec![doc]).unwrap().iter().map(Item::string_value));
+        }
+        prop_assert_eq!(whole, parts);
+    }
+
+    /// Union with self is idempotent (document-order dedup).
+    #[test]
+    fn union_idempotent(corpus in arb_corpus()) {
+        let single = Query::parse("//interface").unwrap().eval_over(corpus.clone()).unwrap();
+        let doubled = Query::parse("//interface | //interface").unwrap().eval_over(corpus).unwrap();
+        prop_assert_eq!(single.len(), doubled.len());
+    }
+
+    /// order by produces a sorted permutation.
+    #[test]
+    fn order_by_sorts(corpus in arb_corpus()) {
+        let q = Query::parse(
+            "for $s in //service order by number($s/load) return $s/load").unwrap();
+        let loads: Vec<f64> = q.eval_over(corpus.clone()).unwrap()
+            .iter().map(|i| i.number_value()).collect();
+        for w in loads.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let unsorted = Query::parse("//service/load").unwrap().eval_over(corpus).unwrap();
+        prop_assert_eq!(unsorted.len(), loads.len());
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(src in "\\PC{0,80}") {
+        let _ = Query::parse(&src);
+    }
+
+    /// Round-tripping a constructed element through the XML layer preserves it.
+    #[test]
+    fn constructor_output_is_well_formed(n in 0u32..1000) {
+        let q = Query::parse(&format!("<out v=\"{n}\">{{ {n} + 1 }}</out>")).unwrap();
+        let out = q.eval(&mut DynamicContext::new()).unwrap();
+        let e = out[0].as_node().unwrap().element().clone();
+        let reparsed = wsda_xml::parse_fragment(&e.to_compact_string()).unwrap();
+        prop_assert_eq!(reparsed.attr("v").unwrap(), n.to_string());
+        prop_assert_eq!(reparsed.text(), (n + 1).to_string());
+    }
+
+    /// Numeric general comparisons are consistent with Rust float compare.
+    #[test]
+    fn comparison_model(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let q = Query::parse(&format!("{a} < {b}")).unwrap();
+        let got = q.eval(&mut DynamicContext::new()).unwrap()[0].clone();
+        prop_assert_eq!(got, Item::Bool(a < b));
+    }
+
+    /// `1 to n` has n items and sums to n(n+1)/2.
+    #[test]
+    fn range_sum(n in 1u32..500) {
+        let q = Query::parse(&format!("sum(1 to {n})")).unwrap();
+        let got = q.eval(&mut DynamicContext::new()).unwrap()[0].number_value();
+        prop_assert_eq!(got, (n as f64) * (n as f64 + 1.0) / 2.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The thesis's "instant news service" scenario (chapter 1): a registry
+//! aggregates items from unreliable, frequently changing, autonomous
+//! sources. Sources push, die silently, and get re-pulled on demand; the
+//! client controls freshness per query.
+//!
+//! ```sh
+//! cargo run --example instant_news
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wsda::registry::clock::ManualClock;
+use wsda::registry::provider::{DynamicProvider, FlakyProvider, StaticProvider};
+use wsda::registry::{Freshness, HyperRegistry, PublishRequest, RegistryConfig};
+use wsda::xml::Element;
+use wsda::xq::Query;
+
+fn main() {
+    let clock = Arc::new(ManualClock::new());
+    let registry = HyperRegistry::new(
+        RegistryConfig { min_ttl_ms: 1_000, ..RegistryConfig::default() },
+        clock.clone(),
+    );
+
+    // A wire service that publishes a new headline every pull.
+    let tick = Arc::new(AtomicU64::new(0));
+    let t2 = tick.clone();
+    registry.register_provider(Arc::new(DynamicProvider::new("http://wire.example/feed", move |_| {
+        let n = t2.load(Ordering::SeqCst);
+        Element::new("news")
+            .with_field("headline", format!("LHC beam energy record #{n}"))
+            .with_field("minute", n.to_string())
+    })));
+    registry.publish(PublishRequest::new("http://wire.example/feed", "news").with_ttl_ms(3_600_000)).unwrap();
+
+    // A flaky community blog: two of every three pulls fail.
+    let blog = Arc::new(StaticProvider::new(
+        "http://blog.example/physics",
+        Element::new("news").with_field("headline", "Why the Higgs matters"),
+    ));
+    registry.register_provider(Arc::new(FlakyProvider::new(blog, 2, 3)));
+    registry.publish(PublishRequest::new("http://blog.example/physics", "news").with_ttl_ms(3_600_000)).unwrap();
+
+    // A source that pushes once and then disappears (short lease).
+    registry
+        .publish(
+            PublishRequest::new("http://onceler.example/", "news")
+                .with_ttl_ms(5_000)
+                .with_content(Element::new("news").with_field("headline", "Ephemeral scoop")),
+        )
+        .unwrap();
+
+    let headlines = Query::parse("//news/headline").unwrap();
+
+    // Minute 0: fresh pulls everywhere.
+    let out = registry.query(&headlines, &Freshness::max_age(0)).unwrap();
+    println!("t+0min  (live)  : {:?}", strings(&out.results));
+
+    // Minute 3: the cheap query reads caches; the scoop's lease has lapsed.
+    for _ in 0..3 {
+        clock.advance(60_000);
+        tick.fetch_add(1, Ordering::SeqCst);
+    }
+    let out = registry.query(&headlines, &Freshness::any()).unwrap();
+    println!("t+3min  (cache) : {:?}", strings(&out.results));
+
+    // Same instant, but demanding freshness: the wire updates, the flaky
+    // blog may fail its pull and serves its stale cache instead.
+    let out = registry.query(&headlines, &Freshness::max_age(30_000)).unwrap();
+    println!("t+3min  (fresh) : {:?}", strings(&out.results));
+
+    // Strict clients would rather skip sources that cannot prove freshness.
+    let out = registry.query(&headlines, &Freshness::max_age(30_000).strict()).unwrap();
+    println!("t+3min  (strict): {:?}", strings(&out.results));
+
+    let stats = registry.stats().snapshot();
+    println!("\nregistry counters:");
+    for (name, value) in stats {
+        if value > 0 {
+            println!("  {name:16} {value}");
+        }
+    }
+}
+
+fn strings(seq: &[wsda::xq::Item]) -> Vec<String> {
+    seq.iter().map(|i| i.string_value()).collect()
+}

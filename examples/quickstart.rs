@@ -1,0 +1,85 @@
+//! Quickstart: stand up a hyper registry, publish services under soft
+//! state, and discover them with XQueries of all three classes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+use wsda::registry::clock::ManualClock;
+use wsda::registry::{Freshness, HyperRegistry, PublishRequest, RegistryConfig};
+use wsda::xml::parse_fragment;
+use wsda::xq::Query;
+
+fn main() {
+    // A registry on a virtual clock (experiments and demos control time).
+    let clock = Arc::new(ManualClock::new());
+    let registry = HyperRegistry::new(RegistryConfig::default(), clock.clone());
+
+    // --- Publication (soft state: tuples expire unless refreshed) --------
+    for (link, owner, kind, load) in [
+        ("http://cms.cern.ch/exec", "cms.cern.ch", "Executor-1.0", 0.72),
+        ("http://atlas.cern.ch/exec", "atlas.cern.ch", "Executor-1.0", 0.18),
+        ("http://fnal.gov/storage", "fnal.gov", "Storage-1.1", 0.41),
+        ("http://in2p3.fr/rc", "in2p3.fr", "ReplicaCatalog-2.0", 0.05),
+    ] {
+        let content = parse_fragment(&format!(
+            r#"<service>
+                 <interface type="{kind}"/>
+                 <owner>{owner}</owner>
+                 <load>{load}</load>
+               </service>"#
+        ))
+        .unwrap();
+        registry
+            .publish(
+                PublishRequest::new(link, "service")
+                    .with_context(owner)
+                    .with_ttl_ms(600_000) // ten-minute lease
+                    .with_content(content),
+            )
+            .unwrap();
+    }
+    println!("published {} service tuples\n", registry.live_tuples());
+
+    // --- Simple query: indexed key lookup --------------------------------
+    let q = Query::parse(r#"/tuple[@link = "http://fnal.gov/storage"]"#).unwrap();
+    let out = registry.query(&q, &Freshness::any()).unwrap();
+    println!(
+        "simple  | by link            -> {} tuple(s), used index: {}",
+        out.results.len(),
+        out.stats.used_index
+    );
+
+    // --- Medium query: content predicate ---------------------------------
+    let q = Query::parse(r#"//service[interface/@type = "Executor-1.0" and load < 0.5]/owner"#)
+        .unwrap();
+    let out = registry.query(&q, &Freshness::any()).unwrap();
+    println!(
+        "medium  | idle executors     -> {:?}",
+        out.results.iter().map(|i| i.string_value()).collect::<Vec<_>>()
+    );
+
+    // --- Complex query: order + construct --------------------------------
+    let q = Query::parse(
+        r#"for $s in //service
+           order by number($s/load)
+           return <rank owner="{$s/owner}" load="{$s/load}"/>"#,
+    )
+    .unwrap();
+    let out = registry.query(&q, &Freshness::any()).unwrap();
+    println!("complex | load ranking:");
+    for item in &out.results {
+        println!("          {}", item.as_node().unwrap().element().to_compact_string());
+    }
+
+    // --- Soft state in action ---------------------------------------------
+    clock.advance(599_999);
+    println!("\nt+599.999s: {} tuples still live", registry.live_tuples());
+    registry.refresh("http://fnal.gov/storage", None).unwrap();
+    clock.advance(2);
+    println!(
+        "t+600.001s: {} tuple(s) live (only the refreshed lease survived)",
+        registry.live_tuples()
+    );
+}

@@ -1,0 +1,43 @@
+//! # wsda — The Web Service Discovery Architecture
+//!
+//! A from-scratch Rust reproduction of Wolfgang Hoschek's Web Service
+//! Discovery Architecture (SC 2002) and the dissertation that subsumes it:
+//! *"A Unified Peer-to-Peer Database Framework for XQueries over Dynamic
+//! Distributed Content and its Application for Scalable Service
+//! Discovery"* (TU Wien, 2002).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`xml`] | `wsda-xml` | XML data model, parser, serializer |
+//! | [`xq`] | `wsda-xq` | XQuery-subset engine |
+//! | [`registry`] | `wsda-registry` | the hyper registry: soft state, content caching, freshness, throttling, baselines |
+//! | [`core`] | `wsda-core` | SWSDL, service links, WSDA interfaces, discovery pipeline |
+//! | [`net`] | `wsda-net` | discrete-event simulator + threaded transport |
+//! | [`pdp`] | `wsda-pdp` | Peer Database Protocol: messages, wire codec, node state table |
+//! | [`updf`] | `wsda-updf` | Unified P2P Database Framework: topologies, scopes, response modes, containers |
+//!
+//! Start with the examples: `cargo run --example quickstart`.
+
+pub use wsda_core as core;
+pub use wsda_net as net;
+pub use wsda_pdp as pdp;
+pub use wsda_registry as registry;
+pub use wsda_updf as updf;
+pub use wsda_xml as xml;
+pub use wsda_xq as xq;
+
+/// Crate version of the reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        let q = crate::xq::Query::parse("1 + 1").unwrap();
+        let out = q.eval(&mut crate::xq::DynamicContext::new()).unwrap();
+        assert_eq!(out[0].number_value(), 2.0);
+        assert!(!crate::VERSION.is_empty());
+    }
+}

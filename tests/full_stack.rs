@@ -1,0 +1,197 @@
+//! Workspace-spanning integration tests: the WSDA pipeline over a P2P
+//! federation, protocol-level consistency, and cross-crate invariants.
+
+use std::sync::Arc;
+use wsda::core::interfaces::{Consumer, Presenter, RegistryService, SimpleService};
+use wsda::core::steps::{discover, OperationRequirement};
+use wsda::core::swsdl::ServiceDescription;
+use wsda::net::model::NetworkModel;
+use wsda::net::NodeId;
+use wsda::pdp::{decode, encode, Message, ResponseMode, Scope, TransactionId};
+use wsda::registry::clock::{Clock, ManualClock};
+use wsda::registry::{Freshness, HyperRegistry, PublishRequest, RegistryConfig};
+use wsda::updf::{P2pConfig, SimNetwork, Topology};
+use wsda::xml::parse_fragment;
+use wsda::xq::Query;
+
+/// A service described in SWSDL, published via the Presenter/Consumer
+/// primitives, is findable through the P2P network: publish at one node,
+/// query from another.
+#[test]
+fn swsdl_description_discoverable_across_the_overlay() {
+    let mut net = SimNetwork::build(
+        Topology::tree(16, 2),
+        NetworkModel::constant(10),
+        P2pConfig { tuples_per_node: 1, ..Default::default() },
+    );
+    // Publish a distinctive service at node 9 through the WSDA Consumer
+    // primitive (the registry service wraps that node's hyper registry).
+    let sd = ServiceDescription::parse_swsdl(
+        r#"service http://tier2.example/exec {
+             interface Executor-3.1 {
+               operation submitJob(string job) returns string;
+               bind http POST http://tier2.example/exec/run;
+             }
+           }"#,
+    )
+    .unwrap();
+    let node9 = RegistryService::new("http://n9/", net.registry(NodeId(9)).clone());
+    wsda::core::interfaces::publish_presenter(
+        &SimpleService::new(sd),
+        &node9,
+        "tier2.example",
+        3_600_000,
+    )
+    .unwrap();
+
+    // Query the federation from node 0.
+    let run = net.run_query(
+        NodeId(0),
+        r#"//service[interface/@type = "Executor-3.1"]"#,
+        Scope::default(),
+        ResponseMode::Routed,
+    );
+    assert_eq!(run.results.len(), 1);
+    let found = parse_fragment(&run.results[0]).unwrap();
+    let back = ServiceDescription::from_xml(&found).unwrap();
+    assert_eq!(back.link, "http://tier2.example/exec");
+    assert_eq!(back.interfaces[0].operations[0].name, "submitJob");
+}
+
+/// Every result string the P2P engine returns is well-formed XML that the
+/// wire codec carries byte-identically.
+#[test]
+fn p2p_results_survive_the_wire() {
+    let mut net = SimNetwork::build(
+        Topology::random_connected(20, 3.0, 77),
+        NetworkModel::constant(5),
+        P2pConfig::default(),
+    );
+    let run = net.run_query(NodeId(0), "//service", Scope::default(), ResponseMode::Routed);
+    assert!(!run.results.is_empty());
+    let msg = Message::Results {
+        transaction: TransactionId::derive(9, 9),
+        items: run.results.clone(),
+        last: true,
+        origin: "n0".into(),
+    };
+    let frame = encode(&msg);
+    let Message::Results { items, .. } = decode(&frame).unwrap() else {
+        panic!("kind preserved")
+    };
+    assert_eq!(items, run.results);
+    for item in &items {
+        parse_fragment(item).expect("result items are well-formed XML");
+    }
+}
+
+/// The chapter-2 discovery step works identically against a local registry
+/// and against a registry populated from P2P query results (the thesis's
+/// "view over distributed nodes" property).
+#[test]
+fn discovery_over_federated_view_matches_local() {
+    let mut net = SimNetwork::build(
+        Topology::tree(12, 3),
+        NetworkModel::constant(5),
+        P2pConfig { tuples_per_node: 3, ..Default::default() },
+    );
+    // Collect all service descriptions via the overlay...
+    let run = net.run_query(NodeId(0), "//service", Scope::default(), ResponseMode::Routed);
+    // ...and mirror them into a fresh local registry (the federated view).
+    let clock = Arc::new(ManualClock::new());
+    let view = Arc::new(HyperRegistry::new(RegistryConfig::default(), clock));
+    for (i, item) in run.results.iter().enumerate() {
+        view.publish(
+            PublishRequest::new(format!("http://mirror/{i}"), "service")
+                .with_content(parse_fragment(item).unwrap()),
+        )
+        .unwrap();
+    }
+    let view_service = RegistryService::new("http://view/", view);
+    let requirement = OperationRequirement {
+        interface_type: "Executor-1.0".into(),
+        operation: "submitJob".into(),
+    };
+    let via_view = discover(&view_service, &requirement).unwrap();
+
+    // Ground truth: count executors across all node registries directly.
+    let q = Query::parse(r#"count(//service[interface/@type = "Executor-1.0"])"#).unwrap();
+    let direct: f64 = (0..12u32)
+        .map(|i| {
+            net.registry(NodeId(i)).query(&q, &Freshness::any()).unwrap().results[0]
+                .number_value()
+        })
+        .sum();
+    assert_eq!(via_view.len() as f64, direct);
+}
+
+/// Registry soft state and the P2P layer share one virtual clock: services
+/// expiring mid-run stop appearing in later queries.
+#[test]
+fn expiry_visible_through_the_overlay() {
+    let mut net = SimNetwork::build(
+        Topology::line(4),
+        NetworkModel::constant(10),
+        P2pConfig { tuples_per_node: 0, ..Default::default() },
+    );
+    // Publish one short-lived service at the far end.
+    net.registry(NodeId(3))
+        .publish(
+            PublishRequest::new("http://fleeting/", "service")
+                .with_ttl_ms(2_000)
+                .with_content(parse_fragment("<service><owner>x</owner></service>").unwrap()),
+        )
+        .unwrap();
+    let scope = Scope::default();
+    let run = net.run_query(NodeId(0), "//service", scope.clone(), ResponseMode::Routed);
+    assert_eq!(run.results.len(), 1);
+    // The simulation clock has advanced past the lease during/after run 1;
+    // drive it decisively past and re-query.
+    assert!(net.now() >= wsda::registry::clock::Time(40));
+    let clock_now = net.now();
+    let run2 = net.run_query(NodeId(0), "//service", scope, ResponseMode::Routed);
+    if clock_now.millis() >= 2_000 {
+        assert!(run2.results.is_empty());
+    }
+    // Deterministically: after the lease the tuple is gone.
+    let q = Query::parse("count(/tuple)").unwrap();
+    let registry = net.registry(NodeId(3)).clone();
+    // Advance far beyond expiry via more P2P activity, then check.
+    for _ in 0..5 {
+        let _ = net.run_query(NodeId(0), "//service", Scope::default(), ResponseMode::Routed);
+    }
+    if net.now().millis() >= 2_000 {
+        let out = registry.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out.results[0].number_value(), 0.0);
+    }
+}
+
+/// The presenter's own description round-trips through registry storage,
+/// the XQuery engine, the wire codec and back into a typed description.
+#[test]
+fn presenter_description_roundtrip_through_every_layer() {
+    let clock = Arc::new(ManualClock::new());
+    let registry = Arc::new(HyperRegistry::new(RegistryConfig::default(), clock.clone()));
+    let rs = RegistryService::new("http://registry/", registry);
+    let original = rs.get_service_description();
+    rs.publish(
+        PublishRequest::new(&original.link, "service")
+            .with_content(original.to_xml()),
+    )
+    .unwrap();
+    let q = Query::parse("//service").unwrap();
+    let found = wsda::core::interfaces::XQueryInterface::xquery(&rs, &q, &Freshness::any())
+        .unwrap();
+    let xml_text = found[0].as_node().unwrap().materialize_element().unwrap().to_compact_string();
+    let msg = Message::Results {
+        transaction: TransactionId::derive(1, 1),
+        items: vec![xml_text],
+        last: true,
+        origin: "n0".into(),
+    };
+    let decoded = decode(&encode(&msg)).unwrap();
+    let Message::Results { items, .. } = decoded else { panic!() };
+    let back = ServiceDescription::from_xml(&parse_fragment(&items[0]).unwrap()).unwrap();
+    assert_eq!(back, original);
+    let _ = clock.now();
+}
