@@ -23,6 +23,7 @@ fn messages() -> Vec<(&'static str, Message)> {
             "results_10",
             Message::Results {
                 transaction: txn,
+                seq: 0,
                 items: vec![item.to_owned(); 10],
                 last: true,
                 origin: "n42".into(),

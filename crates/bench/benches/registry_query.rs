@@ -14,11 +14,9 @@ fn build(n: usize) -> HyperRegistry {
     let registry = HyperRegistry::new(RegistryConfig::default(), clock);
     CorpusGenerator::new(11).populate(&registry, n, 3_600_000);
     registry
-        .publish(
-            wsda_registry::PublishRequest::new("http://anchor/0", "service").with_content(
-                wsda_xml::parse_fragment("<service><owner>anchor</owner></service>").unwrap(),
-            ),
-        )
+        .publish(wsda_registry::PublishRequest::new("http://anchor/0", "service").with_content(
+            wsda_xml::parse_fragment("<service><owner>anchor</owner></service>").unwrap(),
+        ))
         .unwrap();
     registry
 }
@@ -29,7 +27,10 @@ fn bench_queries(c: &mut Criterion) {
     let cases = [
         ("simple", r#"/tuple[@link = "http://anchor/0"]"#),
         ("medium", r#"//service[interface/@type = "Executor-1.0" and load < 0.3]"#),
-        ("complex", r#"(for $s in //service[freeDiskGB > 1000] order by number($s/load) return $s/owner)[1]"#),
+        (
+            "complex",
+            r#"(for $s in //service[freeDiskGB > 1000] order by number($s/load) return $s/owner)[1]"#,
+        ),
     ];
     for n in [1_000usize, 10_000] {
         let registry = build(n);

@@ -28,7 +28,8 @@ fn bench_xq(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3)).sample_size(30);
 
     const MEDIUM: &str = r#"//service[interface/@type = "Executor-1.0" and load < 0.3]/owner"#;
-    const COMPLEX: &str = r#"for $s in //service order by number($s/load) return <r o="{$s/owner}"/>"#;
+    const COMPLEX: &str =
+        r#"for $s in //service order by number($s/load) return <r o="{$s/owner}"/>"#;
 
     group.bench_function("parse_medium", |b| {
         b.iter(|| Query::parse(std::hint::black_box(MEDIUM)).unwrap())

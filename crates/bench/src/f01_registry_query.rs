@@ -23,19 +23,16 @@ fn build(n: usize) -> HyperRegistry {
     let mut generator = CorpusGenerator::new(7 + n as u64);
     generator.populate(&registry, n, 3_600_000);
     registry
-        .publish(
-            wsda_registry::PublishRequest::new("http://anchor/0", "service").with_content(
-                wsda_xml::parse_fragment("<service><owner>anchor</owner></service>").unwrap(),
-            ),
-        )
+        .publish(wsda_registry::PublishRequest::new("http://anchor/0", "service").with_content(
+            wsda_xml::parse_fragment("<service><owner>anchor</owner></service>").unwrap(),
+        ))
         .unwrap();
     registry
 }
 
 /// Run F1.
 pub fn run(quick: bool) -> Report {
-    let sizes: &[usize] =
-        if quick { &[100, 1_000, 5_000] } else { &[100, 1_000, 10_000, 50_000] };
+    let sizes: &[usize] = if quick { &[100, 1_000, 5_000] } else { &[100, 1_000, 10_000, 50_000] };
     let mut report = Report::new(
         "f1",
         "Registry query latency vs tuple count by query class",

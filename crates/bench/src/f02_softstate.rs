@@ -94,7 +94,9 @@ pub fn run(quick: bool) -> Report {
         );
         let _ = clock.now();
     }
-    report.note(format!("{providers} providers, {steps} virtual seconds, 0.5%/s silent deaths, refresh every TTL/2"));
+    report.note(format!(
+        "{providers} providers, {steps} virtual seconds, 0.5%/s silent deaths, refresh every TTL/2"
+    ));
     report.note("expected: listed tracks alive; excess (dead-but-listed) grows with TTL and is bounded by TTL");
     report
 }

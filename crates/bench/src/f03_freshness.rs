@@ -78,9 +78,8 @@ pub fn run(quick: bool) -> Report {
             },
             clock.clone(),
         );
-        let make_content = |version: u64| {
-            Element::new("service").with_field("version", version.to_string())
-        };
+        let make_content =
+            |version: u64| Element::new("service").with_field("version", version.to_string());
         // The provider serves whatever the *current* version is at pull
         // time (shared atomic), not a function of its pull count.
         let version = Arc::new(std::sync::atomic::AtomicU64::new(0));
@@ -121,11 +120,8 @@ pub fn run(quick: bool) -> Report {
             }
             let out = registry.query(&q, &case.demand).unwrap();
             queries += 1;
-            let served: u64 = out
-                .results
-                .first()
-                .map(|i| i.string_value().parse().unwrap_or(0))
-                .unwrap_or(0);
+            let served: u64 =
+                out.results.first().map(|i| i.string_value().parse().unwrap_or(0)).unwrap_or(0);
             let current = version.load(std::sync::atomic::Ordering::SeqCst);
             let stale = current.saturating_sub(served);
             stale_sum += stale;
@@ -154,6 +150,8 @@ pub fn run(quick: bool) -> Report {
     report.note(format!(
         "{seconds} virtual seconds, content version bumps every {update_interval_s}s, one query/s"
     ));
-    report.note("expected: push & tight pull ≈ fresh; cache-only free but stale; periodic in between");
+    report.note(
+        "expected: push & tight pull ≈ fresh; cache-only free but stale; periodic in between",
+    );
     report
 }

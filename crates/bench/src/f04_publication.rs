@@ -51,12 +51,7 @@ pub fn run(quick: bool) -> Report {
         let publish_kops = batch as f64 / publish_ms;
         let refresh_kops = batch as f64 / refresh_ms;
         report.row(
-            vec![
-                n.to_string(),
-                fmt1(publish_kops),
-                fmt1(refresh_kops),
-                batch.to_string(),
-            ],
+            vec![n.to_string(), fmt1(publish_kops), fmt1(refresh_kops), batch.to_string()],
             &json!({
                 "preloaded": n,
                 "publish_kops_s": publish_kops,
@@ -87,10 +82,7 @@ pub fn run(quick: bool) -> Report {
         let out = registry.query(&q, &Freshness::max_age(0)).unwrap();
         granted += out.stats.pulls as u64;
     }
-    let denied = registry
-        .stats()
-        .pulls_throttled
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let denied = registry.stats().pulls_throttled.load(std::sync::atomic::Ordering::Relaxed);
     report.note(format!(
         "throttle storm: {storm} live-freshness queries in 10s against a 2/s+burst-5 budget -> {granted} pulls granted, {denied} suppressed (expected ≈ 25 granted)"
     ));

@@ -15,11 +15,7 @@ const QUERY: &str = r#"//service[load < 0.5]/owner"#;
 const HOP_MS: u64 = 10;
 
 fn wide_scope() -> Scope {
-    Scope {
-        abort_timeout_ms: 1 << 40,
-        loop_timeout_ms: 1 << 41,
-        ..Scope::default()
-    }
+    Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() }
 }
 
 fn config() -> P2pConfig {
@@ -72,7 +68,9 @@ pub fn run(quick: bool) -> Report {
             );
         }
     }
-    report.note(format!("flooding, routed+pipelined, {HOP_MS}ms links, 1ms local eval, 2 tuples/node"));
+    report.note(format!(
+        "flooding, routed+pipelined, {HOP_MS}ms links, 1ms local eval, 2 tuples/node"
+    ));
     report.note("expected: tree t_complete ~ 2·log_f(N)·hop; ring ~ N·hop; hypercube ~ 2·log2(N)·hop; messages ~ O(edges reached)");
     report
 }

@@ -50,11 +50,8 @@ pub fn run(quick: bool) -> Report {
                     tuples_per_node: 2,
                     ..P2pConfig::default()
                 };
-                let mut net = SimNetwork::build(
-                    Topology::line(depth),
-                    NetworkModel::constant(10),
-                    config,
-                );
+                let mut net =
+                    SimNetwork::build(Topology::line(depth), NetworkModel::constant(10), config);
                 drain_origin(&mut net);
                 let scope = Scope {
                     pipeline,

@@ -19,8 +19,7 @@ pub fn run(quick: bool) -> Report {
     let topo = Topology::power_law(n, 2, 13);
     let diameter = topo.diameter();
     let total = {
-        let mut net =
-            SimNetwork::build(topo.clone(), NetworkModel::constant(10), config());
+        let mut net = SimNetwork::build(topo.clone(), NetworkModel::constant(10), config());
         let run = net.run_query(NodeId(0), QUERY, wide(None), ResponseMode::Routed);
         run.metrics.results_delivered
     };

@@ -40,10 +40,16 @@ pub fn run(quick: bool) -> Report {
         let mut net = SimNetwork::build(
             topo,
             NetworkModel::constant(10),
-            P2pConfig { hop_cost_ms: 0, eval_delay_ms: 1, tuples_per_node: 2, ..Default::default() },
+            P2pConfig {
+                hop_cost_ms: 0,
+                eval_delay_ms: 1,
+                tuples_per_node: 2,
+                ..Default::default()
+            },
         );
         let expected = ground_truth(&net);
-        let scope = Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() };
+        let scope =
+            Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() };
         let run = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
         let correct = run.results.len() == expected;
         let qmsgs = run.metrics.messages("query");

@@ -51,11 +51,16 @@ pub fn run(quick: bool) -> Report {
             ..Default::default()
         };
         let mut net = SimNetwork::build(topo, model, config);
-        let scope = Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() };
+        let scope =
+            Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() };
         let run = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
         let t_done = run.metrics.time_completed.map(|t| t.millis()).unwrap_or(0);
         if let Some(b) = baseline {
-            assert_eq!(run.metrics.messages_total(), b, "consolidation must not change message count");
+            assert_eq!(
+                run.metrics.messages_total(),
+                b,
+                "consolidation must not change message count"
+            );
         } else {
             baseline = Some(run.metrics.messages_total());
         }
@@ -76,7 +81,9 @@ pub fn run(quick: bool) -> Report {
             }),
         );
     }
-    report.note(format!("{m} virtual nodes in a binary tree, block assignment, 1ms local / 40ms WAN"));
+    report.note(format!(
+        "{m} virtual nodes in a binary tree, block assignment, 1ms local / 40ms WAN"
+    ));
     report.note("expected: t_complete falls monotonically as containers consolidate; message count constant");
     report
 }

@@ -17,6 +17,7 @@ fn sample_messages() -> Vec<(&'static str, Message)> {
     let item = r#"<service><interface type="Executor-1.0"/><owner>cms.cern.ch</owner><load>0.21</load></service>"#;
     let results = |k: usize| Message::Results {
         transaction: txn,
+        seq: 0,
         items: vec![item.to_owned(); k],
         last: true,
         origin: "n42".into(),
@@ -55,12 +56,7 @@ pub fn run(quick: bool) -> Report {
         let enc_kops = iterations as f64 / enc_ms;
         let dec_kops = iterations as f64 / dec_ms;
         report.row(
-            vec![
-                name.to_owned(),
-                frame.len().to_string(),
-                fmt1(enc_kops),
-                fmt1(dec_kops),
-            ],
+            vec![name.to_owned(), frame.len().to_string(), fmt1(enc_kops), fmt1(dec_kops)],
             &json!({
                 "message": name,
                 "bytes": frame.len(),
@@ -70,6 +66,8 @@ pub fn run(quick: bool) -> Report {
         );
     }
     report.note("columns encode/decode are kilo-ops per second");
-    report.note("expected: fixed ~40B overhead per message; results scale linearly with item payload");
+    report.note(
+        "expected: fixed ~40B overhead per message; results scale linearly with item payload",
+    );
     report
 }

@@ -1,6 +1,5 @@
 //! Table formatting and row collection shared by every experiment.
 
-use serde::Serialize;
 use serde_json::{json, Value};
 
 /// One experiment's printable + machine-readable output.
@@ -33,11 +32,10 @@ impl Report {
 
     /// Append a row (cells must match the column count) along with its
     /// JSON form.
-    pub fn row<S: Serialize>(&mut self, cells: Vec<String>, raw: &S) {
+    pub fn row(&mut self, cells: Vec<String>, raw: &Value) {
         assert_eq!(cells.len(), self.columns.len(), "row width mismatch in {}", self.id);
         self.rows.push(cells);
-        self.json_rows
-            .push(serde_json::to_value(raw).unwrap_or_else(|_| json!({"error": "unserializable"})));
+        self.json_rows.push(raw.clone());
     }
 
     /// Append a note line.
@@ -66,11 +64,8 @@ impl Report {
         out.push_str(&"-".repeat(header.join("  ").len()));
         out.push('\n');
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
-                .collect();
+            let line: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }

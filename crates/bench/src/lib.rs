@@ -9,9 +9,7 @@
 //! simulator, so "latency" columns are *model* milliseconds — shapes, not
 //! absolute wall-clock claims.
 
-pub mod harness;
 pub mod a1_ablations;
-pub mod t1;
 pub mod f01_registry_query;
 pub mod f02_softstate;
 pub mod f03_freshness;
@@ -27,6 +25,8 @@ pub mod f12_containers;
 pub mod f13_agent_vs_servent;
 pub mod f14_wire;
 pub mod f15_loss;
+pub mod harness;
+pub mod t1;
 
 use harness::Report;
 
@@ -51,7 +51,7 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
         ("f12", "Containers & virtual nodes: consolidation savings", f12_containers::run),
         ("f13", "Agent vs servent model: latency & originator load", f13_agent_vs_servent::run),
         ("f14", "PDP wire efficiency: message sizes & codec throughput", f14_wire::run),
-        ("f15", "Graceful degradation under message loss and dead nodes", f15_loss::run),
+        ("f15", "Recovery vs bare protocol under message loss and dead nodes", f15_loss::run),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]
 }

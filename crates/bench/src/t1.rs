@@ -20,9 +20,9 @@ type BaselineOp<'a> = Option<Box<dyn Fn() -> usize + 'a>>;
 
 fn uddi_op<'a>(reg: &'a KeyLookupRegistry, id: &str) -> BaselineOp<'a> {
     match id {
-        "S1-by-link" | "S3-link-content" => Some(Box::new(move || {
-            reg.lookup("http://fnal.gov/storage/0").map(|_| 1).unwrap_or(0)
-        })),
+        "S1-by-link" | "S3-link-content" => {
+            Some(Box::new(move || reg.lookup("http://fnal.gov/storage/0").map(|_| 1).unwrap_or(0)))
+        }
         "S2-by-type" => Some(Box::new(move || reg.find_by_type("service").len())),
         _ => None,
     }
@@ -30,9 +30,9 @@ fn uddi_op<'a>(reg: &'a KeyLookupRegistry, id: &str) -> BaselineOp<'a> {
 
 fn ldap_op<'a>(reg: &'a HierarchicalRegistry, id: &str) -> BaselineOp<'a> {
     match id {
-        "S1-by-link" | "S3-link-content" => Some(Box::new(move || {
-            reg.lookup("http://fnal.gov/storage/0").map(|_| 1).unwrap_or(0)
-        })),
+        "S1-by-link" | "S3-link-content" => {
+            Some(Box::new(move || reg.lookup("http://fnal.gov/storage/0").map(|_| 1).unwrap_or(0)))
+        }
         "S2-by-type" => {
             Some(Box::new(move || reg.filter("", "type", "service").map(|v| v.len()).unwrap_or(0)))
         }
@@ -121,6 +121,8 @@ pub fn run(quick: bool) -> Report {
         }
     }
     report.note(format!("corpus: {} service tuples", n + 1));
-    report.note("expected shape: XQuery 9/9, LDAP-style 5/9 (simple+medium), UDDI-style 3/9 (simple only)");
+    report.note(
+        "expected shape: XQuery 9/9, LDAP-style 5/9 (simple+medium), UDDI-style 3/9 (simple only)",
+    );
     report
 }

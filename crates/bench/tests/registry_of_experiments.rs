@@ -16,10 +16,10 @@ fn experiment_ids_unique_and_well_formed() {
         assert!(!title.is_empty());
     }
     // Every DESIGN.md row has a runner.
-    for required in
-        ["t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
-         "f13", "f14", "f15", "a1"]
-    {
+    for required in [
+        "t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
+        "f14", "f15", "a1",
+    ] {
         assert!(
             experiments.iter().any(|(id, _, _)| *id == required),
             "missing experiment {required}"
@@ -41,9 +41,7 @@ fn wire_experiment_runs_quickly_and_reports() {
     assert_eq!(json["rows"].as_array().unwrap().len(), 7);
     // The query frame is bigger than close, which is bigger than ping.
     let size = |name: &str| {
-        report.json_rows.iter().find(|r| r["message"] == name).unwrap()["bytes"]
-            .as_u64()
-            .unwrap()
+        report.json_rows.iter().find(|r| r["message"] == name).unwrap()["bytes"].as_u64().unwrap()
     };
     assert!(size("query") > size("close"));
     assert!(size("close") > size("ping"));

@@ -91,7 +91,10 @@ impl Presenter for RegistryService {
         ServiceDescription {
             link: self.link.clone(),
             interfaces: vec![
-                Interface { type_: "Presenter-1.0".into(), operations: vec![op("getServiceDescription")] },
+                Interface {
+                    type_: "Presenter-1.0".into(),
+                    operations: vec![op("getServiceDescription")],
+                },
                 Interface {
                     type_: "Consumer-1.0".into(),
                     operations: vec![op("publish"), op("refresh"), op("unpublish")],

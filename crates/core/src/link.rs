@@ -47,9 +47,8 @@ impl std::error::Error for LinkError {}
 impl ServiceLink {
     /// Parse and canonicalize a link.
     pub fn parse(s: &str) -> Result<ServiceLink, LinkError> {
-        let (scheme, rest) = s
-            .split_once("://")
-            .ok_or_else(|| LinkError::BadScheme(s.to_owned()))?;
+        let (scheme, rest) =
+            s.split_once("://").ok_or_else(|| LinkError::BadScheme(s.to_owned()))?;
         let scheme = scheme.to_ascii_lowercase();
         if scheme != "http" && scheme != "https" {
             return Err(LinkError::BadScheme(scheme));
@@ -73,18 +72,11 @@ impl ServiceLink {
             None => (authority, None),
         };
         if host.is_empty()
-            || !host
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_'))
+            || !host.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_'))
         {
             return Err(LinkError::BadHost(host.to_owned()));
         }
-        Ok(ServiceLink {
-            scheme,
-            host: host.to_ascii_lowercase(),
-            port,
-            path: path.to_owned(),
-        })
+        Ok(ServiceLink { scheme, host: host.to_ascii_lowercase(), port, path: path.to_owned() })
     }
 
     /// The owning DNS domain (the host), used by scope filters like

@@ -48,7 +48,11 @@ impl Request {
     }
 
     /// Add a required operation.
-    pub fn needs(mut self, interface_type: impl Into<String>, operation: impl Into<String>) -> Self {
+    pub fn needs(
+        mut self,
+        interface_type: impl Into<String>,
+        operation: impl Into<String>,
+    ) -> Self {
         self.requirements.push(OperationRequirement {
             interface_type: interface_type.into(),
             operation: operation.into(),
@@ -509,8 +513,7 @@ mod tests {
 
     #[test]
     fn locality_beats_raw_load() {
-        let request =
-            Request::new().needs("Executor-1.0", "submitJob").prefer_domain("cern.ch");
+        let request = Request::new().needs("Executor-1.0", "submitJob").prefer_domain("cern.ch");
         let pool = vec![vec![
             candidate("http://far", "Executor-1.0", "submitJob", 0.1, "fnal.gov"),
             candidate("http://near", "Executor-1.0", "submitJob", 0.4, "cms.cern.ch"),

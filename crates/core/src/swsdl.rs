@@ -286,10 +286,7 @@ impl ServiceDescription {
             let type_ = ie.attr("type").unwrap_or_default().to_owned();
             let mut operations = Vec::new();
             for oe in ie.children_named("operation") {
-                let name = oe
-                    .first_child_named("name")
-                    .map(|n| n.text())
-                    .unwrap_or_default();
+                let name = oe.first_child_named("name").map(|n| n.text()).unwrap_or_default();
                 let params = oe
                     .children_named("param")
                     .map(|p| Parameter {
@@ -343,10 +340,7 @@ impl<'a> Sp<'a> {
         self.ws();
         let rest = &self.src[self.pos..];
         rest.starts_with(w)
-            && !rest[w.len()..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            && !rest[w.len()..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_')
     }
 
     fn keyword(&mut self, w: &str) -> Result<(), SwsdlError> {
@@ -487,10 +481,13 @@ mod tests {
     fn errors() {
         assert!(ServiceDescription::parse_swsdl("nope").is_err());
         assert!(ServiceDescription::parse_swsdl("service http://x {").is_err());
-        assert!(ServiceDescription::parse_swsdl(
-            "service http://x { interface I-1 { bind http GET http://x; } }"
-        )
-        .is_err(), "bind before operation");
+        assert!(
+            ServiceDescription::parse_swsdl(
+                "service http://x { interface I-1 { bind http GET http://x; } }"
+            )
+            .is_err(),
+            "bind before operation"
+        );
         assert!(ServiceDescription::parse_swsdl("service http://x { } trailing").is_err());
     }
 

@@ -3,9 +3,7 @@
 //! brokering → execution → control.
 
 use std::sync::Arc;
-use wsda_core::interfaces::{
-    publish_presenter, Consumer, RegistryService, SimpleService,
-};
+use wsda_core::interfaces::{publish_presenter, Consumer, RegistryService, SimpleService};
 use wsda_core::steps::{
     discover, execute, Broker, ControlMonitor, DataLocalityBroker, JobState, LeastLoadedBroker,
     OperationRequirement, Request, SimInvoker,
@@ -70,14 +68,13 @@ fn end_to_end_discovery_brokering_execution() {
 
     // Brokering: least loaded picks fnal.
     let request = Request::new().needs("Executor-1.0", "submitJob");
-    let schedule = LeastLoadedBroker.schedule(&request, &[candidates.clone()]).unwrap();
+    let schedule = LeastLoadedBroker.schedule(&request, std::slice::from_ref(&candidates)).unwrap();
     assert_eq!(schedule.invocations[0].link, "http://fnal.gov/exec");
 
     // Brokering with locality preference picks atlas (best cern.ch).
-    let local_request =
-        Request::new().needs("Executor-1.0", "submitJob").prefer_domain("cern.ch");
+    let local_request = Request::new().needs("Executor-1.0", "submitJob").prefer_domain("cern.ch");
     let local = DataLocalityBroker { locality_penalty: 1.0 }
-        .schedule(&local_request, &[candidates.clone()])
+        .schedule(&local_request, std::slice::from_ref(&candidates))
         .unwrap();
     assert_eq!(local.invocations[0].link, "http://atlas.cern.ch/exec");
 
@@ -92,21 +89,16 @@ fn end_to_end_discovery_brokering_execution() {
 fn discovery_respects_interface_wildcards() {
     let (_, rs) = registry_service();
     rs.publish(
-        PublishRequest::new("http://a", "service").with_content(enriched_content(
-            "http://a",
-            "x.org",
-            0.5,
-        )),
+        PublishRequest::new("http://a", "service")
+            .with_content(enriched_content("http://a", "x.org", 0.5)),
     )
     .unwrap();
     let exact = OperationRequirement {
         interface_type: "Executor-1.0".into(),
         operation: "submitJob".into(),
     };
-    let wild = OperationRequirement {
-        interface_type: "Executor-*".into(),
-        operation: "submitJob".into(),
-    };
+    let wild =
+        OperationRequirement { interface_type: "Executor-*".into(), operation: "submitJob".into() };
     let wrong = OperationRequirement {
         interface_type: "Executor-2.0".into(),
         operation: "submitJob".into(),
@@ -156,11 +148,8 @@ fn control_rebrokering_after_lease_expiry() {
     let (clock, rs) = registry_service();
     for (link, load) in [("http://a/exec", 0.1), ("http://b/exec", 0.2)] {
         rs.publish(
-            PublishRequest::new(link, "service").with_content(enriched_content(
-                link,
-                "x.org",
-                load,
-            )),
+            PublishRequest::new(link, "service")
+                .with_content(enriched_content(link, "x.org", load)),
         )
         .unwrap();
     }
@@ -170,7 +159,7 @@ fn control_rebrokering_after_lease_expiry() {
     };
     let request = Request::new().needs("Executor-1.0", "submitJob");
     let candidates = discover(&rs, &req).unwrap();
-    let schedule = LeastLoadedBroker.schedule(&request, &[candidates.clone()]).unwrap();
+    let schedule = LeastLoadedBroker.schedule(&request, std::slice::from_ref(&candidates)).unwrap();
     assert_eq!(schedule.invocations[0].link, "http://a/exec");
 
     let mut monitor = ControlMonitor::new(10_000);
@@ -181,8 +170,7 @@ fn control_rebrokering_after_lease_expiry() {
     assert_eq!(monitor.state("job-1"), Some(JobState::Failed));
 
     // Re-broker excluding the dead service.
-    let alive: Vec<_> =
-        candidates.into_iter().filter(|c| c.link != "http://a/exec").collect();
+    let alive: Vec<_> = candidates.into_iter().filter(|c| c.link != "http://a/exec").collect();
     let retry = LeastLoadedBroker.schedule(&request, &[alive]).unwrap();
     assert_eq!(retry.invocations[0].link, "http://b/exec");
 }
@@ -212,10 +200,7 @@ fn presenter_provider_serves_live_descriptions() {
 
     let v1 = executor_description("http://evolving.example/exec");
     let mut v2 = v1.clone();
-    v2.interfaces.push(wsda_core::Interface {
-        type_: "Presenter-1.0".into(),
-        operations: vec![],
-    });
+    v2.interfaces.push(wsda_core::Interface { type_: "Presenter-1.0".into(), operations: vec![] });
     let presenter = Arc::new(Evolving { descriptions: Mutex::new(vec![v1, v2]) });
 
     let provider = PresenterProvider::new(presenter);

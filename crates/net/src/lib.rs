@@ -22,6 +22,6 @@ pub mod model;
 pub mod sim;
 pub mod transport;
 
-pub use model::{FaultPlan, LatencyModel, NetworkModel};
+pub use model::{ChaosPlan, CrashWindow, FaultPlan, LatencyModel, NetworkModel};
 pub use sim::{Delivery, NodeId, SimStats, Simulator};
-pub use transport::ThreadedNetwork;
+pub use transport::{Envelope, ThreadedNetwork};

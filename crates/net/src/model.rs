@@ -108,6 +108,10 @@ impl NetworkModel {
 }
 
 /// Fault injection: message drops and dead nodes.
+///
+/// The simple plan kept for API compatibility; it converts into the
+/// richer [`ChaosPlan`] that the simulator and the threaded transport
+/// actually consume.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Probability in `[0,1]` that any message is silently dropped.
@@ -128,6 +132,137 @@ impl FaultPlan {
             return true;
         }
         self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability.min(1.0))
+    }
+}
+
+/// A scheduled crash (and optional restart) of one node.
+///
+/// The node is unreachable — neither sends nor receives — during
+/// `[down_at_ms, up_at_ms)` on the driving clock (virtual time in the
+/// simulator, wall time since start on the threaded transport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// When it goes down.
+    pub down_at_ms: u64,
+    /// When it comes back; `None` means it never restarts.
+    pub up_at_ms: Option<u64>,
+}
+
+impl CrashWindow {
+    /// Is `node` down at `now_ms` under this window?
+    pub fn covers(&self, node: NodeId, now_ms: u64) -> bool {
+        self.node == node && now_ms >= self.down_at_ms && self.up_at_ms.is_none_or(|up| now_ms < up)
+    }
+}
+
+/// Failure-is-the-norm fault injection for the P2P query plane.
+///
+/// Generalizes [`FaultPlan`] with the failure modes a wide-area
+/// deployment actually exhibits: probabilistic loss, duplicated
+/// deliveries, delay jitter, partitioned links, and peers that crash
+/// and later restart. One plan drives both the discrete-event
+/// simulator and the live [`crate::ThreadedNetwork`].
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// Probability in `[0,1]` that any message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability in `[0,1]` that a delivered message arrives twice.
+    pub duplicate_probability: f64,
+    /// Extra uniform delay in `[0, jitter_ms]` added to every delivery.
+    pub jitter_ms: u64,
+    /// Nodes that neither send nor receive, permanently.
+    pub dead_nodes: HashSet<NodeId>,
+    /// Directed links that deliver nothing. Use [`ChaosPlan::partition`]
+    /// to cut both directions at once.
+    pub cut_links: HashSet<(NodeId, NodeId)>,
+    /// Scheduled crashes and restarts.
+    pub crash_windows: Vec<CrashWindow>,
+}
+
+impl ChaosPlan {
+    /// No chaos.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Set the drop probability.
+    pub fn with_drops(mut self, p: f64) -> Self {
+        self.drop_probability = p;
+        self
+    }
+
+    /// Set the duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Set the delay jitter bound.
+    pub fn with_jitter(mut self, ms: u64) -> Self {
+        self.jitter_ms = ms;
+        self
+    }
+
+    /// Mark a node permanently dead.
+    pub fn with_dead(mut self, node: NodeId) -> Self {
+        self.dead_nodes.insert(node);
+        self
+    }
+
+    /// Cut the link between `a` and `b` in both directions.
+    pub fn partition(mut self, a: NodeId, b: NodeId) -> Self {
+        self.cut_links.insert((a, b));
+        self.cut_links.insert((b, a));
+        self
+    }
+
+    /// Schedule `node` to crash at `down_at_ms` and restart at
+    /// `up_at_ms` (`None` = never).
+    pub fn crash(mut self, node: NodeId, down_at_ms: u64, up_at_ms: Option<u64>) -> Self {
+        self.crash_windows.push(CrashWindow { node, down_at_ms, up_at_ms });
+        self
+    }
+
+    /// Is `node` dead or inside a crash window at `now_ms`?
+    pub fn node_down(&self, node: NodeId, now_ms: u64) -> bool {
+        self.dead_nodes.contains(&node) || self.crash_windows.iter().any(|w| w.covers(node, now_ms))
+    }
+
+    /// Should a message on `from -> to` at `now_ms` be dropped?
+    pub fn drops(&self, from: NodeId, to: NodeId, now_ms: u64, rng: &mut StdRng) -> bool {
+        if self.node_down(from, now_ms) || self.node_down(to, now_ms) {
+            return true;
+        }
+        if self.cut_links.contains(&(from, to)) {
+            return true;
+        }
+        self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability.min(1.0))
+    }
+
+    /// Should this delivery be duplicated?
+    pub fn duplicates(&self, rng: &mut StdRng) -> bool {
+        self.duplicate_probability > 0.0 && rng.gen_bool(self.duplicate_probability.min(1.0))
+    }
+
+    /// Extra delay to add to one delivery.
+    pub fn extra_delay_ms(&self, rng: &mut StdRng) -> u64 {
+        if self.jitter_ms == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.jitter_ms)
+        }
+    }
+}
+
+impl From<FaultPlan> for ChaosPlan {
+    fn from(plan: FaultPlan) -> ChaosPlan {
+        ChaosPlan {
+            drop_probability: plan.drop_probability,
+            dead_nodes: plan.dead_nodes,
+            ..ChaosPlan::default()
+        }
     }
 }
 
@@ -187,14 +322,60 @@ mod tests {
         let mut r = rng();
         let none = FaultPlan::none();
         assert!(!none.drops(NodeId(0), NodeId(1), &mut r));
-        let dead = FaultPlan {
-            drop_probability: 0.0,
-            dead_nodes: [NodeId(3)].into_iter().collect(),
-        };
+        let dead =
+            FaultPlan { drop_probability: 0.0, dead_nodes: [NodeId(3)].into_iter().collect() };
         assert!(dead.drops(NodeId(3), NodeId(1), &mut r));
         assert!(dead.drops(NodeId(1), NodeId(3), &mut r));
         assert!(!dead.drops(NodeId(1), NodeId(2), &mut r));
         let lossy = FaultPlan { drop_probability: 1.0, dead_nodes: HashSet::new() };
         assert!(lossy.drops(NodeId(1), NodeId(2), &mut r));
+    }
+
+    #[test]
+    fn chaos_partition_cuts_both_directions() {
+        let plan = ChaosPlan::none().partition(NodeId(1), NodeId(2));
+        let mut r = rng();
+        assert!(plan.drops(NodeId(1), NodeId(2), 0, &mut r));
+        assert!(plan.drops(NodeId(2), NodeId(1), 0, &mut r));
+        assert!(!plan.drops(NodeId(1), NodeId(3), 0, &mut r));
+    }
+
+    #[test]
+    fn chaos_crash_window_bounds() {
+        let plan = ChaosPlan::none().crash(NodeId(4), 100, Some(200));
+        assert!(!plan.node_down(NodeId(4), 99));
+        assert!(plan.node_down(NodeId(4), 100));
+        assert!(plan.node_down(NodeId(4), 199));
+        assert!(!plan.node_down(NodeId(4), 200));
+        let forever = ChaosPlan::none().crash(NodeId(4), 50, None);
+        assert!(forever.node_down(NodeId(4), u64::MAX));
+        let mut r = rng();
+        assert!(plan.drops(NodeId(4), NodeId(0), 150, &mut r));
+        assert!(plan.drops(NodeId(0), NodeId(4), 150, &mut r));
+        assert!(!plan.drops(NodeId(0), NodeId(4), 10, &mut r));
+    }
+
+    #[test]
+    fn chaos_duplication_and_jitter() {
+        let mut r = rng();
+        let plan = ChaosPlan::none().with_duplication(1.0).with_jitter(25);
+        assert!(plan.duplicates(&mut r));
+        for _ in 0..50 {
+            assert!(plan.extra_delay_ms(&mut r) <= 25);
+        }
+        let calm = ChaosPlan::none();
+        assert!(!calm.duplicates(&mut r));
+        assert_eq!(calm.extra_delay_ms(&mut r), 0);
+    }
+
+    #[test]
+    fn faultplan_converts_to_chaos() {
+        let fault =
+            FaultPlan { drop_probability: 0.25, dead_nodes: [NodeId(9)].into_iter().collect() };
+        let chaos: ChaosPlan = fault.into();
+        assert_eq!(chaos.drop_probability, 0.25);
+        assert!(chaos.node_down(NodeId(9), 0));
+        assert_eq!(chaos.duplicate_probability, 0.0);
+        assert_eq!(chaos.jitter_ms, 0);
     }
 }

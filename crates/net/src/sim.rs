@@ -8,7 +8,7 @@
 //! drives latency sampling and drops, and ties in delivery time break by
 //! sequence number.
 
-use crate::model::{FaultPlan, NetworkModel};
+use crate::model::{ChaosPlan, NetworkModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -81,6 +81,8 @@ pub struct SimStats {
     pub messages_sent: u64,
     /// Messages dropped by the fault plan.
     pub messages_dropped: u64,
+    /// Extra copies injected by chaos duplication.
+    pub messages_duplicated: u64,
     /// Total payload bytes accepted.
     pub bytes_sent: u64,
     /// Events delivered (messages + timers).
@@ -92,20 +94,21 @@ pub struct Simulator<M> {
     clock: Arc<ManualClock>,
     queue: BinaryHeap<Reverse<Scheduled<M>>>,
     model: NetworkModel,
-    faults: FaultPlan,
+    chaos: ChaosPlan,
     rng: StdRng,
     seq: u64,
     stats: SimStats,
 }
 
 impl<M> Simulator<M> {
-    /// A simulator over the given network model, fault plan and RNG seed.
-    pub fn new(model: NetworkModel, faults: FaultPlan, seed: u64) -> Self {
+    /// A simulator over the given network model, fault/chaos plan and RNG
+    /// seed. Accepts a plain [`crate::FaultPlan`] or a full [`ChaosPlan`].
+    pub fn new(model: NetworkModel, faults: impl Into<ChaosPlan>, seed: u64) -> Self {
         Simulator {
             clock: Arc::new(ManualClock::new()),
             queue: BinaryHeap::new(),
             model,
-            faults,
+            chaos: faults.into(),
             rng: StdRng::seed_from_u64(seed),
             seq: 0,
             stats: SimStats::default(),
@@ -127,22 +130,40 @@ impl<M> Simulator<M> {
         &self.stats
     }
 
-    /// Replace the fault plan mid-run (crash/heal nodes).
-    pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = faults;
+    /// Replace the fault/chaos plan mid-run (crash/heal nodes).
+    pub fn set_faults(&mut self, faults: impl Into<ChaosPlan>) {
+        self.chaos = faults.into();
+    }
+
+    /// The active chaos plan.
+    pub fn chaos(&self) -> &ChaosPlan {
+        &self.chaos
     }
 
     /// Send `message` of `bytes` payload size from `from` to `to`. Returns
-    /// the scheduled arrival time, or `None` when the fault plan dropped it.
-    pub fn send(&mut self, from: NodeId, to: NodeId, message: M, bytes: u64) -> Option<Time> {
-        if self.faults.drops(from, to, &mut self.rng) {
+    /// the scheduled arrival time, or `None` when the fault plan dropped
+    /// it. Chaos duplication may inject a second, later copy; jitter adds
+    /// to the modelled transfer delay.
+    pub fn send(&mut self, from: NodeId, to: NodeId, message: M, bytes: u64) -> Option<Time>
+    where
+        M: Clone,
+    {
+        let now_ms = self.now().0;
+        if self.chaos.drops(from, to, now_ms, &mut self.rng) {
             self.stats.messages_dropped += 1;
             return None;
         }
-        let delay = self.model.transfer_ms(from, to, bytes, &mut self.rng);
+        let delay = self.model.transfer_ms(from, to, bytes, &mut self.rng)
+            + self.chaos.extra_delay_ms(&mut self.rng);
         let at = self.now().plus(delay.max(1)); // delivery strictly after send
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes;
+        if self.chaos.duplicates(&mut self.rng) {
+            let extra = self.chaos.extra_delay_ms(&mut self.rng);
+            let dup_at = at.plus(extra.max(1));
+            self.stats.messages_duplicated += 1;
+            self.push(dup_at, Delivery::Message { from, to, message: message.clone() });
+        }
         self.push(at, Delivery::Message { from, to, message });
         Some(at)
     }
@@ -300,12 +321,62 @@ mod tests {
     }
 
     #[test]
+    fn chaos_duplication_delivers_twice() {
+        let mut s: Simulator<&str> = Simulator::new(
+            NetworkModel::constant(5),
+            crate::ChaosPlan::none().with_duplication(1.0),
+            3,
+        );
+        s.send(NodeId(0), NodeId(1), "dup", 0);
+        assert_eq!(s.stats().messages_duplicated, 1);
+        let mut seen = 0;
+        while let Some(Delivery::Message { message, .. }) = s.next() {
+            assert_eq!(message, "dup");
+            seen += 1;
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn chaos_crash_window_uses_virtual_time() {
+        let mut s: Simulator<&str> = Simulator::new(
+            NetworkModel::constant(10),
+            crate::ChaosPlan::none().crash(NodeId(1), 50, Some(100)),
+            3,
+        );
+        // Before the window: delivered.
+        assert!(s.send(NodeId(0), NodeId(1), "early", 0).is_some());
+        s.next().unwrap(); // now = 10
+        s.schedule(NodeId(0), 60, 0);
+        s.next().unwrap(); // now = 70, inside the window
+        assert!(s.send(NodeId(0), NodeId(1), "lost", 0).is_none());
+        s.schedule(NodeId(0), 40, 0);
+        s.next().unwrap(); // now = 110, after restart
+        assert!(s.send(NodeId(0), NodeId(1), "back", 0).is_some());
+    }
+
+    #[test]
+    fn chaos_jitter_stretches_delivery() {
+        let mut s: Simulator<&str> = Simulator::new(
+            NetworkModel::constant(10),
+            crate::ChaosPlan::none().with_jitter(100),
+            9,
+        );
+        let mut spread = std::collections::HashSet::new();
+        for _ in 0..20 {
+            spread.insert(s.send(NodeId(0), NodeId(1), "j", 0).unwrap().0);
+        }
+        assert!(spread.len() > 1, "jitter should vary arrival times");
+        assert!(spread.iter().all(|&t| (10..=110).contains(&t)));
+    }
+
+    #[test]
     fn determinism_across_runs() {
         let run = || {
             let mut s: Simulator<u32> =
                 Simulator::new(NetworkModel::uniform(1, 50), FaultPlan::none(), 7);
             for i in 0..20 {
-                s.send(NodeId(0), NodeId(i % 5), i as u32, 0);
+                s.send(NodeId(0), NodeId(i % 5), i, 0);
             }
             let mut order = Vec::new();
             while let Some(Delivery::Message { message, .. }) = s.next() {

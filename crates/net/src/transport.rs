@@ -7,10 +7,13 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::model::ChaosPlan;
 use crate::sim::NodeId;
 
 /// A delivered envelope.
@@ -51,11 +54,20 @@ struct Shared<M> {
     inboxes: HashMap<NodeId, Sender<Envelope<M>>>,
 }
 
+/// Chaos-injection state for a live network: the plan plus the RNG and
+/// wall-clock origin that drive it.
+struct ChaosState {
+    plan: Mutex<ChaosPlan>,
+    rng: Mutex<StdRng>,
+    start: Instant,
+}
+
 /// An in-process message network between threads.
 pub struct ThreadedNetwork<M> {
     shared: Arc<Mutex<Shared<M>>>,
     delay: Option<Duration>,
     delay_tx: Option<Sender<Delayed<M>>>,
+    chaos: Option<ChaosState>,
 }
 
 impl<M: Send + 'static> ThreadedNetwork<M> {
@@ -65,6 +77,7 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
             shared: Arc::new(Mutex::new(Shared { inboxes: HashMap::new() })),
             delay: None,
             delay_tx: None,
+            chaos: None,
         }
     }
 
@@ -76,7 +89,33 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
         let (tx, rx): (Sender<Delayed<M>>, Receiver<Delayed<M>>) = unbounded();
         let worker_shared = shared.clone();
         std::thread::spawn(move || delay_line(rx, worker_shared));
-        ThreadedNetwork { shared, delay: Some(delay), delay_tx: Some(tx) }
+        ThreadedNetwork { shared, delay: Some(delay), delay_tx: Some(tx), chaos: None }
+    }
+
+    /// A delayed network with chaos injection: drops, duplication, jitter,
+    /// partitions and crash windows from `plan` apply to every send.
+    /// Crash windows count wall-clock milliseconds from this call.
+    pub fn with_chaos(delay: Duration, plan: ChaosPlan, seed: u64) -> Self {
+        let mut net = Self::with_delay(delay);
+        net.chaos = Some(ChaosState {
+            plan: Mutex::new(plan),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            start: Instant::now(),
+        });
+        net
+    }
+
+    /// Replace the chaos plan mid-run (heal a partition, stop dropping).
+    /// No-op on networks built without chaos.
+    pub fn set_chaos(&self, plan: ChaosPlan) {
+        if let Some(state) = &self.chaos {
+            *state.plan.lock() = plan;
+        }
+    }
+
+    /// Milliseconds since the chaos clock started (0 without chaos).
+    pub fn chaos_now_ms(&self) -> u64 {
+        self.chaos.as_ref().map_or(0, |c| c.start.elapsed().as_millis() as u64)
     }
 
     /// Register a node, returning its inbox receiver.
@@ -92,27 +131,56 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
     }
 
     /// Send `message` to `to`. Returns `false` when the target is unknown
-    /// or its inbox has closed.
-    pub fn send(&self, from: NodeId, to: NodeId, message: M) -> bool {
+    /// or its inbox has closed. Chaos drops return `true`: a lossy
+    /// network looks exactly like a successful send to the sender.
+    pub fn send(&self, from: NodeId, to: NodeId, message: M) -> bool
+    where
+        M: Clone,
+    {
+        // Per-copy extra delays; one entry per delivered copy.
+        let mut extras: Vec<u64> = vec![0];
+        if let Some(state) = &self.chaos {
+            let now_ms = state.start.elapsed().as_millis() as u64;
+            let plan = state.plan.lock();
+            let mut rng = state.rng.lock();
+            if plan.drops(from, to, now_ms, &mut rng) {
+                return self.shared.lock().inboxes.contains_key(&to);
+            }
+            extras[0] = plan.extra_delay_ms(&mut rng);
+            if plan.duplicates(&mut rng) {
+                extras.push(plan.extra_delay_ms(&mut rng));
+            }
+        }
         match (&self.delay, &self.delay_tx) {
             (Some(d), Some(tx)) => {
                 static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-                let known = self.shared.lock().inboxes.contains_key(&to);
-                if !known {
+                if !self.shared.lock().inboxes.contains_key(&to) {
                     return false;
                 }
-                tx.send(Delayed {
-                    due: Instant::now() + *d,
-                    seq: SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-                    to,
-                    envelope: Envelope { from, message },
-                })
-                .is_ok()
+                let now = Instant::now();
+                let mut ok = true;
+                for extra in extras {
+                    ok &= tx
+                        .send(Delayed {
+                            due: now + *d + Duration::from_millis(extra),
+                            seq: SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                            to,
+                            envelope: Envelope { from, message: message.clone() },
+                        })
+                        .is_ok();
+                }
+                ok
             }
             _ => {
                 let shared = self.shared.lock();
                 match shared.inboxes.get(&to) {
-                    Some(tx) => tx.send(Envelope { from, message }).is_ok(),
+                    Some(tx) => {
+                        let mut ok = true;
+                        for _ in &extras {
+                            ok &= tx.send(Envelope { from, message: message.clone() }).is_ok();
+                        }
+                        ok
+                    }
                     None => false,
                 }
             }
@@ -145,6 +213,16 @@ fn delay_line<M: Send>(rx: Receiver<Delayed<M>>, shared: Arc<Mutex<Shared<M>>>) 
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                 if heap.is_empty() {
                     return;
+                }
+                // No sender will ever wake us again: recv_timeout returns
+                // Disconnected immediately, so looping would busy-spin.
+                // Sleep until the earliest due instead, then flush.
+                let wait = heap
+                    .peek()
+                    .map(|d| d.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or_default();
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
                 }
             }
         }
@@ -202,8 +280,7 @@ mod tests {
 
     #[test]
     fn delayed_delivery_orders_by_due_time() {
-        let net: ThreadedNetwork<u32> =
-            ThreadedNetwork::with_delay(Duration::from_millis(20));
+        let net: ThreadedNetwork<u32> = ThreadedNetwork::with_delay(Duration::from_millis(20));
         let rx = net.register(NodeId(1));
         let start = Instant::now();
         net.send(NodeId(0), NodeId(1), 1);
@@ -212,6 +289,58 @@ mod tests {
         let b = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(20));
         assert_eq!((a.message, b.message), (1, 2));
+    }
+
+    #[test]
+    fn delayed_messages_flush_after_network_drop() {
+        let net: ThreadedNetwork<u32> = ThreadedNetwork::with_delay(Duration::from_millis(40));
+        let rx = net.register(NodeId(1));
+        net.send(NodeId(0), NodeId(1), 7);
+        // Dropping the network closes the delay-line channel while the
+        // message is still pending; the worker must flush, not spin or die.
+        drop(net);
+        let env = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.message, 7);
+    }
+
+    #[test]
+    fn chaos_drops_lose_messages_silently() {
+        let plan = ChaosPlan::none().with_drops(1.0);
+        let net: ThreadedNetwork<u32> =
+            ThreadedNetwork::with_chaos(Duration::from_millis(1), plan, 42);
+        let rx = net.register(NodeId(1));
+        // Drop probability 1.0: the send "succeeds" but nothing arrives.
+        assert!(net.send(NodeId(0), NodeId(1), 1));
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        // Healing the plan restores delivery.
+        net.set_chaos(ChaosPlan::none());
+        assert!(net.send(NodeId(0), NodeId(1), 2));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().message, 2);
+    }
+
+    #[test]
+    fn chaos_duplication_delivers_extra_copies() {
+        let plan = ChaosPlan::none().with_duplication(1.0);
+        let net: ThreadedNetwork<u32> =
+            ThreadedNetwork::with_chaos(Duration::from_millis(1), plan, 7);
+        let rx = net.register(NodeId(1));
+        assert!(net.send(NodeId(0), NodeId(1), 9));
+        let a = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!((a.message, b.message), (9, 9));
+    }
+
+    #[test]
+    fn chaos_partition_blocks_one_pair_only() {
+        let plan = ChaosPlan::none().partition(NodeId(0), NodeId(1));
+        let net: ThreadedNetwork<u32> =
+            ThreadedNetwork::with_chaos(Duration::from_millis(1), plan, 3);
+        let rx1 = net.register(NodeId(1));
+        let rx2 = net.register(NodeId(2));
+        assert!(net.send(NodeId(0), NodeId(1), 1)); // cut: silently lost
+        assert!(net.send(NodeId(0), NodeId(2), 2)); // unaffected
+        assert_eq!(rx2.recv_timeout(Duration::from_secs(2)).unwrap().message, 2);
+        assert!(rx1.recv_timeout(Duration::from_millis(100)).is_err());
     }
 
     #[test]

@@ -52,12 +52,8 @@ impl FrameReader {
         if self.buffer.len() < 4 {
             return Ok(None);
         }
-        let declared = u32::from_be_bytes([
-            self.buffer[0],
-            self.buffer[1],
-            self.buffer[2],
-            self.buffer[3],
-        ]);
+        let declared =
+            u32::from_be_bytes([self.buffer[0], self.buffer[1], self.buffer[2], self.buffer[3]]);
         if declared > MAX_FRAME {
             return Err(WireError::LengthOverflow(declared as u64));
         }
@@ -88,6 +84,7 @@ mod tests {
             Message::Ping,
             Message::Results {
                 transaction: TransactionId::derive(4, 5),
+                seq: 0,
                 items: vec!["<a/>".into()],
                 last: true,
                 origin: "n1".into(),

@@ -20,8 +20,6 @@ pub mod state;
 pub mod wire;
 
 pub use framing::{write_frame, FrameReader};
-pub use message::{
-    Endpoint, Message, QueryLanguage, ResponseMode, Scope, TransactionId,
-};
-pub use state::{BeginOutcome, NodeStateTable, TransactionState};
+pub use message::{Endpoint, Message, QueryLanguage, ResponseMode, Scope, TransactionId};
+pub use state::{BeginOutcome, NodeStateTable, ResultLedger, TransactionState};
 pub use wire::{decode, encode, encoded_len, WireError};

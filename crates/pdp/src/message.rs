@@ -21,9 +21,7 @@ use serde::{Deserialize, Serialize};
 pub type Endpoint = String;
 
 /// A 128-bit transaction identifier, unique per query execution.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TransactionId(pub u128);
 
 impl TransactionId {
@@ -154,12 +152,36 @@ pub enum Message {
     Results {
         /// Transaction the results belong to.
         transaction: TransactionId,
+        /// Per-sender, per-transaction sequence number. Retransmissions
+        /// reuse the original `seq`, so receivers can suppress duplicates
+        /// and acknowledge idempotently.
+        seq: u64,
         /// The result items.
         items: Vec<ResultItem>,
         /// True when the sender's subtree is complete.
         last: bool,
         /// The node the items originate from (metadata response support).
         origin: Endpoint,
+    },
+    /// Acknowledge receipt of a `Results` frame (`transaction`, `seq`)
+    /// from the neighbor this ack is sent to. Unacked frames are
+    /// retransmitted; acks make retransmission terminate.
+    Ack {
+        /// Transaction the acknowledged frame belongs to.
+        transaction: TransactionId,
+        /// Sequence number of the acknowledged `Results` frame.
+        seq: u64,
+    },
+    /// A subtree failed: the sender could not complete `transaction`
+    /// (e.g. its children died). Lets parents stop waiting instead of
+    /// running the watchdog to exhaustion.
+    Error {
+        /// Transaction the failure belongs to.
+        transaction: TransactionId,
+        /// The node reporting the failure.
+        origin: Endpoint,
+        /// Human-readable cause (logs, diagnostics).
+        reason: String,
     },
     /// Direct-response invitation: "I have results for this transaction;
     /// fetch/receive them at `node`" (section 6.3).
@@ -188,6 +210,8 @@ impl Message {
         match self {
             Message::Query { transaction, .. }
             | Message::Results { transaction, .. }
+            | Message::Ack { transaction, .. }
+            | Message::Error { transaction, .. }
             | Message::Invite { transaction, .. }
             | Message::Close { transaction } => Some(*transaction),
             Message::Ping | Message::Pong => None,
@@ -199,6 +223,8 @@ impl Message {
         match self {
             Message::Query { .. } => "query",
             Message::Results { .. } => "results",
+            Message::Ack { .. } => "ack",
+            Message::Error { .. } => "error",
             Message::Invite { .. } => "invite",
             Message::Close { .. } => "close",
             Message::Ping => "ping",

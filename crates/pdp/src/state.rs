@@ -41,6 +41,9 @@ pub struct TransactionState {
     pub created: Time,
     /// When this state may be forgotten (static loop timeout).
     pub expires: Time,
+    /// Next `Results` sequence number this node will emit for the
+    /// transaction (each sender keeps its own sequence space).
+    pub next_seq: u64,
 }
 
 impl TransactionState {
@@ -48,6 +51,53 @@ impl TransactionState {
     /// child delivered its final results.
     pub fn complete(&self) -> bool {
         self.local_done && self.pending_children.is_empty()
+    }
+
+    /// Allocate the next outgoing `Results` sequence number.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+/// Receiver-side duplicate suppression for `Results` frames.
+///
+/// Retransmission makes duplicates the norm, not the exception: a frame
+/// may arrive twice because the ack was lost, or because the network
+/// itself duplicated it. The ledger remembers every `(transaction,
+/// sender, seq)` triple already applied so replays are acked but not
+/// re-merged.
+#[derive(Debug, Default)]
+pub struct ResultLedger {
+    seen: HashMap<(TransactionId, Endpoint), HashSet<u64>>,
+}
+
+impl ResultLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a received frame. Returns `true` when this is the first
+    /// sighting (apply it), `false` for a replay (ack but ignore).
+    pub fn record(&mut self, transaction: TransactionId, sender: &str, seq: u64) -> bool {
+        self.seen.entry((transaction, sender.to_owned())).or_default().insert(seq)
+    }
+
+    /// True when the frame has been seen before (without recording).
+    pub fn seen(&self, transaction: TransactionId, sender: &str, seq: u64) -> bool {
+        self.seen.get(&(transaction, sender.to_owned())).is_some_and(|s| s.contains(&seq))
+    }
+
+    /// Drop all memory of a finished transaction.
+    pub fn forget(&mut self, transaction: TransactionId) {
+        self.seen.retain(|(t, _), _| *t != transaction);
+    }
+
+    /// Number of (transaction, sender) streams tracked.
+    pub fn streams(&self) -> usize {
+        self.seen.len()
     }
 }
 
@@ -86,6 +136,7 @@ impl NodeStateTable {
                 closed: false,
                 created: now,
                 expires: now.plus(loop_timeout_ms),
+                next_seq: 0,
             },
         );
         BeginOutcome::Fresh
@@ -229,6 +280,31 @@ mod tests {
         // thesis's argument for choosing the static timeout conservatively.
         assert_eq!(t.begin(txn(1), None, Time(1500), 1000), BeginOutcome::Fresh);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn seq_allocation_is_monotonic_per_transaction() {
+        let mut t = NodeStateTable::new();
+        t.begin(txn(1), None, Time(0), 1000);
+        t.begin(txn(2), None, Time(0), 1000);
+        let s = t.get_mut(&txn(1)).unwrap();
+        assert_eq!((s.alloc_seq(), s.alloc_seq(), s.alloc_seq()), (0, 1, 2));
+        assert_eq!(t.get_mut(&txn(2)).unwrap().alloc_seq(), 0, "independent sequence spaces");
+    }
+
+    #[test]
+    fn ledger_suppresses_replays() {
+        let mut l = ResultLedger::new();
+        assert!(l.record(txn(1), "n1", 0), "first sighting is fresh");
+        assert!(!l.record(txn(1), "n1", 0), "replay suppressed");
+        assert!(l.record(txn(1), "n1", 1), "next seq is fresh");
+        assert!(l.record(txn(1), "n2", 0), "per-sender sequence spaces");
+        assert!(l.record(txn(2), "n1", 0), "per-transaction sequence spaces");
+        assert!(l.seen(txn(1), "n1", 0));
+        assert!(!l.seen(txn(1), "n1", 9));
+        l.forget(txn(1));
+        assert!(l.record(txn(1), "n1", 0), "forgotten transactions start over");
+        assert_eq!(l.streams(), 2, "txn1/n1 recreated, txn1/n2 gone, txn2/n1 kept");
     }
 
     #[test]

@@ -50,6 +50,8 @@ const KIND_INVITE: u8 = 3;
 const KIND_CLOSE: u8 = 4;
 const KIND_PING: u8 = 5;
 const KIND_PONG: u8 = 6;
+const KIND_ACK: u8 = 7;
+const KIND_ERROR: u8 = 8;
 
 /// Encode a message into a frame.
 pub fn encode(message: &Message) -> Bytes {
@@ -93,15 +95,27 @@ pub fn encode(message: &Message) -> Bytes {
                 ResponseMode::Referral => buf.put_u8(2),
             }
         }
-        Message::Results { transaction, items, last, origin } => {
+        Message::Results { transaction, seq, items, last, origin } => {
             buf.put_u8(KIND_RESULTS);
             buf.put_u128(transaction.0);
+            buf.put_u64(*seq);
             buf.put_u32(items.len() as u32);
             for item in items {
                 put_str(&mut buf, item);
             }
             buf.put_u8(*last as u8);
             put_str(&mut buf, origin);
+        }
+        Message::Ack { transaction, seq } => {
+            buf.put_u8(KIND_ACK);
+            buf.put_u128(transaction.0);
+            buf.put_u64(*seq);
+        }
+        Message::Error { transaction, origin, reason } => {
+            buf.put_u8(KIND_ERROR);
+            buf.put_u128(transaction.0);
+            put_str(&mut buf, origin);
+            put_str(&mut buf, reason);
         }
         Message::Invite { transaction, node, expected } => {
             buf.put_u8(KIND_INVITE);
@@ -137,11 +151,16 @@ pub fn encoded_len(message: &Message) -> u64 {
         }
         Message::Results { items, origin, .. } => {
             1 + 16
+                + 8
                 + 4
                 + items.iter().map(|i| 4 + i.len() as u64).sum::<u64>()
                 + 1
                 + 4
                 + origin.len() as u64
+        }
+        Message::Ack { .. } => 1 + 16 + 8,
+        Message::Error { origin, reason, .. } => {
+            1 + 16 + 4 + origin.len() as u64 + 4 + reason.len() as u64
         }
         Message::Invite { node, .. } => 1 + 16 + 4 + node.len() as u64 + 8,
         Message::Close { .. } => 1 + 16,
@@ -200,6 +219,7 @@ pub fn decode(mut frame: &[u8]) -> Result<Message, WireError> {
         }
         KIND_RESULTS => {
             let transaction = TransactionId(get_u128(buf)?);
+            let seq = get_u64(buf)?;
             let n = get_u32(buf)? as u64;
             if n > MAX_LEN {
                 return Err(WireError::LengthOverflow(n));
@@ -210,7 +230,18 @@ pub fn decode(mut frame: &[u8]) -> Result<Message, WireError> {
             }
             let last = get_u8(buf)? != 0;
             let origin = get_str(buf)?;
-            Ok(Message::Results { transaction, items, last, origin })
+            Ok(Message::Results { transaction, seq, items, last, origin })
+        }
+        KIND_ACK => {
+            let transaction = TransactionId(get_u128(buf)?);
+            let seq = get_u64(buf)?;
+            Ok(Message::Ack { transaction, seq })
+        }
+        KIND_ERROR => {
+            let transaction = TransactionId(get_u128(buf)?);
+            let origin = get_str(buf)?;
+            let reason = get_str(buf)?;
+            Ok(Message::Error { transaction, origin, reason })
         }
         KIND_INVITE => {
             let transaction = TransactionId(get_u128(buf)?);
@@ -298,9 +329,16 @@ mod tests {
             sample_query(),
             Message::Results {
                 transaction: TransactionId::derive(1, 1),
+                seq: 3,
                 items: vec!["<a/>".into(), "<b x=\"1\">t</b>".into()],
                 last: true,
                 origin: "n7".into(),
+            },
+            Message::Ack { transaction: TransactionId::derive(1, 4), seq: 3 },
+            Message::Error {
+                transaction: TransactionId::derive(1, 5),
+                origin: "n9".into(),
+                reason: "subtree lost".into(),
             },
             Message::Invite {
                 transaction: TransactionId::derive(1, 2),

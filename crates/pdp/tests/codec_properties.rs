@@ -2,7 +2,9 @@
 //! the size model is exact, and the decoder is total on arbitrary bytes.
 
 use proptest::prelude::*;
-use wsda_pdp::{decode, encode, encoded_len, Message, QueryLanguage, ResponseMode, Scope, TransactionId};
+use wsda_pdp::{
+    decode, encode, encoded_len, Message, QueryLanguage, ResponseMode, Scope, TransactionId,
+};
 
 fn arb_scope() -> impl Strategy<Value = Scope> {
     (
@@ -47,16 +49,23 @@ fn arb_message() -> impl Strategy<Value = Message> {
         ),
         (
             txn.clone(),
+            any::<u64>(),
             proptest::collection::vec("\\PC{0,32}", 0..8),
             any::<bool>(),
             "[a-z0-9]{1,8}"
         )
-            .prop_map(|(transaction, items, last, origin)| Message::Results {
+            .prop_map(|(transaction, seq, items, last, origin)| Message::Results {
                 transaction,
+                seq,
                 items,
                 last,
                 origin
             }),
+        (txn.clone(), any::<u64>())
+            .prop_map(|(transaction, seq)| Message::Ack { transaction, seq }),
+        (txn.clone(), "[a-z0-9]{1,8}", "\\PC{0,32}").prop_map(|(transaction, origin, reason)| {
+            Message::Error { transaction, origin, reason }
+        }),
         (txn.clone(), "[a-z0-9]{1,8}", any::<u64>()).prop_map(|(transaction, node, expected)| {
             Message::Invite { transaction, node, expected }
         }),

@@ -51,7 +51,8 @@ impl ServiceRecord {
 }
 
 fn flatten(e: &Element, prefix: &str, out: &mut Vec<(String, String)>) {
-    let path = if prefix.is_empty() { e.name().to_owned() } else { format!("{prefix}.{}", e.name()) };
+    let path =
+        if prefix.is_empty() { e.name().to_owned() } else { format!("{prefix}.{}", e.name()) };
     for a in e.attributes() {
         out.push((format!("{path}.{}", a.name), a.value.clone()));
     }

@@ -11,8 +11,7 @@ use crate::clock::Time;
 use crate::tuple::Tuple;
 
 /// The registry-side cache refresh policy for a tuple's content.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RefreshPolicy {
     /// Never pull; serve whatever providers pushed ("push only").
     PushOnly,
@@ -28,7 +27,6 @@ pub enum RefreshPolicy {
         interval_ms: u64,
     },
 }
-
 
 /// A client's freshness demand, attached to a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,7 +197,10 @@ mod tests {
     fn periodic_policy_repulls_after_interval() {
         let t = tuple_with_content(Time(0));
         let policy = RefreshPolicy::PullPeriodic { interval_ms: 1000 };
-        assert_eq!(decide(&t, Time(999), policy, &Freshness::any(), true), CacheDecision::ServeCached);
+        assert_eq!(
+            decide(&t, Time(999), policy, &Freshness::any(), true),
+            CacheDecision::ServeCached
+        );
         assert_eq!(decide(&t, Time(1000), policy, &Freshness::any(), true), CacheDecision::Pull);
     }
 

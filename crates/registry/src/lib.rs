@@ -62,7 +62,9 @@ pub use clock::{Clock, ManualClock, SystemClock, Time};
 pub use error::{RegistryError, RegistryResult};
 pub use freshness::{Freshness, RefreshPolicy};
 pub use provider::ContentProvider;
-pub use registry::{HyperRegistry, PublishRequest, QueryOutcome, QueryScope, RegistryConfig, RegistryStats};
+pub use registry::{
+    HyperRegistry, PublishRequest, QueryOutcome, QueryScope, RegistryConfig, RegistryStats,
+};
 pub use sql::{SqlQuery, SqlRow};
 pub use store::TupleStore;
 pub use tuple::{Tuple, TupleKey};

@@ -45,7 +45,7 @@ impl Default for RegistryConfig {
     fn default() -> Self {
         RegistryConfig {
             min_ttl_ms: 1_000,
-            max_ttl_ms: 86_400_000, // 24h
+            max_ttl_ms: 86_400_000,  // 24h
             default_ttl_ms: 600_000, // 10min, the thesis's suggested lease
             max_tuples: 1_000_000,
             refresh_policy: RefreshPolicy::PullOnDemand,
@@ -414,10 +414,7 @@ impl HyperRegistry {
             };
             if scope.domain.is_some() {
                 candidate_links.retain(|link| {
-                    inner
-                        .store
-                        .get(link)
-                        .is_some_and(|t| scope.domain_matches(&t.context))
+                    inner.store.get(link).is_some_and(|t| scope.domain_matches(&t.context))
                 });
             }
             if stats.used_index {
@@ -449,8 +446,7 @@ impl HyperRegistry {
                             match provider.expect("Pull implies provider").fetch() {
                                 Ok(content) => {
                                     RegistryStats::add(&self.stats.pulls_ok, 1);
-                                    let t =
-                                        inner.store.get_mut(&link).expect("candidate is live");
+                                    let t = inner.store.get_mut(&link).expect("candidate is live");
                                     t.set_content(Arc::new(content), now);
                                     true
                                 }
@@ -535,10 +531,8 @@ impl HyperRegistry {
             }
             Ok(out)
         } else {
-            let roots: Vec<NodeRef> = docs
-                .iter()
-                .map(|(ord, doc)| NodeRef::document_node(doc.clone(), *ord))
-                .collect();
+            let roots: Vec<NodeRef> =
+                docs.iter().map(|(ord, doc)| NodeRef::document_node(doc.clone(), *ord)).collect();
             let mut ctx = DynamicContext::with_root_refs(roots);
             query.eval(&mut ctx).map_err(RegistryError::from)
         }
@@ -593,7 +587,9 @@ mod tests {
     fn ttl_bounds_enforced() {
         let (_, r) = setup();
         let err = r
-            .publish(PublishRequest::new("http://a", "service").with_content(svc("x")).with_ttl_ms(1))
+            .publish(
+                PublishRequest::new("http://a", "service").with_content(svc("x")).with_ttl_ms(1),
+            )
             .unwrap_err();
         assert!(matches!(err, RegistryError::BadTtl { .. }));
     }
@@ -612,10 +608,7 @@ mod tests {
         assert_eq!(r.live_tuples(), 1, "refresh extended the lease");
         clock.advance(200);
         assert_eq!(r.live_tuples(), 0, "lease ran out");
-        assert!(matches!(
-            r.refresh("http://a", None),
-            Err(RegistryError::NotPublished(_))
-        ));
+        assert!(matches!(r.refresh("http://a", None), Err(RegistryError::NotPublished(_))));
         assert_eq!(r.stats().expirations.load(Ordering::Relaxed), 1);
     }
 
@@ -706,8 +699,10 @@ mod tests {
     fn link_index_single_candidate() {
         let (_, r) = setup();
         for i in 0..10 {
-            r.publish(PublishRequest::new(format!("http://x{i}"), "service").with_content(svc("o")))
-                .unwrap();
+            r.publish(
+                PublishRequest::new(format!("http://x{i}"), "service").with_content(svc("o")),
+            )
+            .unwrap();
         }
         let q = Query::parse(r#"/tuple[@link = "http://x3"]"#).unwrap();
         let out = r.query(&q, &Freshness::any()).unwrap();
@@ -739,7 +734,11 @@ mod tests {
     fn parallel_scan_matches_serial() {
         let clock = Arc::new(ManualClock::new());
         let serial = HyperRegistry::new(
-            RegistryConfig { parallel_scan_threshold: usize::MAX, min_ttl_ms: 10, ..Default::default() },
+            RegistryConfig {
+                parallel_scan_threshold: usize::MAX,
+                min_ttl_ms: 10,
+                ..Default::default()
+            },
             clock.clone(),
         );
         let parallel = HyperRegistry::new(
@@ -750,8 +749,7 @@ mod tests {
             let owner = if i % 3 == 0 { "cms.cern.ch" } else { "fnal.gov" };
             for r in [&serial, &parallel] {
                 r.publish(
-                    PublishRequest::new(format!("http://x{i}"), "service")
-                        .with_content(svc(owner)),
+                    PublishRequest::new(format!("http://x{i}"), "service").with_content(svc(owner)),
                 )
                 .unwrap();
             }

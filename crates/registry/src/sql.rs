@@ -141,7 +141,10 @@ impl SqlQuery {
 
     /// Evaluate over records (already narrowed to the `FROM` type by the
     /// caller). Returns rows in input order.
-    pub fn evaluate<'a>(&self, records: impl IntoIterator<Item = &'a ServiceRecord>) -> Vec<SqlRow> {
+    pub fn evaluate<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a ServiceRecord>,
+    ) -> Vec<SqlRow> {
         let mut rows = Vec::new();
         let mut matched = 0u64;
         for record in records {
@@ -163,7 +166,10 @@ impl SqlQuery {
                     self.columns
                         .iter()
                         .map(|c| {
-                            (c.clone(), resolve(record, c).first().copied().unwrap_or("").to_owned())
+                            (
+                                c.clone(),
+                                resolve(record, c).first().copied().unwrap_or("").to_owned(),
+                            )
                         })
                         .collect(),
                 );
@@ -200,12 +206,7 @@ fn resolve<'a>(record: &'a ServiceRecord, column: &str) -> Vec<&'a str> {
         return exact;
     }
     let suffix = format!(".{column}");
-    record
-        .attrs
-        .iter()
-        .filter(|(n, _)| n.ends_with(&suffix))
-        .map(|(_, v)| v.as_str())
-        .collect()
+    record.attrs.iter().filter(|(n, _)| n.ends_with(&suffix)).map(|(_, v)| v.as_str()).collect()
 }
 
 fn eval_condition(c: &Condition, record: &ServiceRecord) -> bool {
@@ -296,10 +297,7 @@ impl<'a> Sp<'a> {
         let rest = &self.src[self.pos..];
         rest.len() >= kw.len()
             && rest[..kw.len()].eq_ignore_ascii_case(kw)
-            && !rest[kw.len()..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            && !rest[kw.len()..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_')
     }
 
     fn keyword(&mut self, kw: &str) -> Result<(), SqlError> {

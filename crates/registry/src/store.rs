@@ -164,12 +164,7 @@ fn remove_index(index: &mut HashMap<String, HashSet<TupleKey>>, type_: &str, lin
     }
 }
 
-fn move_expiry(
-    queue: &mut BTreeMap<Time, HashSet<TupleKey>>,
-    old: Time,
-    new: Time,
-    link: &str,
-) {
+fn move_expiry(queue: &mut BTreeMap<Time, HashSet<TupleKey>>, old: Time, new: Time, link: &str) {
     if old == new {
         return;
     }

@@ -90,10 +90,10 @@ impl PullThrottle {
     /// granted.
     pub fn allow(&mut self, link: &str, now: Time) -> bool {
         let per = self.per_provider;
-        let bucket = self.buckets.entry(link.to_owned()).or_insert_with(|| Bucket {
-            tokens: per.burst.min(1e18),
-            last: now,
-        });
+        let bucket = self
+            .buckets
+            .entry(link.to_owned())
+            .or_insert_with(|| Bucket { tokens: per.burst.min(1e18), last: now });
         // Check provider bucket first, then global; only commit when both
         // grant (peek provider, then global, then take provider).
         let provider_ok = bucket.try_take(now, per);
@@ -194,11 +194,8 @@ mod tests {
 
     #[test]
     fn evict_idle_bounds_memory() {
-        let mut t = PullThrottle::new(
-            ThrottleConfig::default(),
-            ThrottleConfig::unlimited(),
-            Time(0),
-        );
+        let mut t =
+            PullThrottle::new(ThrottleConfig::default(), ThrottleConfig::unlimited(), Time(0));
         t.allow("a", Time(0));
         t.allow("b", Time(5000));
         t.evict_idle(Time(1000));

@@ -178,7 +178,10 @@ mod tests {
     #[test]
     fn xml_rendering() {
         let mut t = tuple();
-        t.set_content(Arc::new(parse_fragment("<service><owner>cms</owner></service>").unwrap()), Time(150));
+        t.set_content(
+            Arc::new(parse_fragment("<service><owner>cms</owner></service>").unwrap()),
+            Time(150),
+        );
         let xml = t.to_xml();
         assert_eq!(xml.attr("link"), Some("http://x/svc"));
         assert_eq!(xml.attr("type"), Some("service"));

@@ -68,17 +68,15 @@ impl CorpusGenerator {
         let disk_gb: u32 = self.rng.gen_range(10..10_000);
         let mut svc = Element::new("service")
             .with_child(
-                Element::new("interface")
-                    .with_attr("type", *iface)
-                    .with_child(
-                        Element::new("operation")
-                            .with_field("name", default_operation(kind))
-                            .with_child(
-                                Element::new("bindhttp")
-                                    .with_attr("verb", "GET")
-                                    .with_attr("url", format!("{link}/op")),
-                            ),
-                    ),
+                Element::new("interface").with_attr("type", *iface).with_child(
+                    Element::new("operation")
+                        .with_field("name", default_operation(kind))
+                        .with_child(
+                            Element::new("bindhttp")
+                                .with_attr("verb", "GET")
+                                .with_attr("url", format!("{link}/op")),
+                        ),
+                ),
             )
             .with_child(
                 Element::new("interface").with_attr("type", "Presenter-1.0").with_child(
@@ -133,21 +131,33 @@ pub fn t1_queries() -> Vec<(&'static str, &'static str, &'static str)> {
     vec![
         ("S1-by-link", "simple", r#"/tuple[@link = "http://fnal.gov/storage/0"]"#),
         ("S2-by-type", "simple", r#"/tuple[@type = "service"]"#),
-        ("S3-link-content", "simple", r#"/tuple[@link = "http://fnal.gov/storage/0"]/content/service"#),
+        (
+            "S3-link-content",
+            "simple",
+            r#"/tuple[@link = "http://fnal.gov/storage/0"]/content/service"#,
+        ),
         ("M1-iface-exact", "medium", r#"//service[interface/@type = "Executor-1.0"]"#),
-        ("M2-iface-prefix", "medium",
-            r#"//service[some $i in interface satisfies starts-with($i/@type, "Storage-")]"#),
-        ("M3-domain-load", "medium",
-            r#"//service[ends-with(owner, ".cern.ch") and load < 0.5]"#),
-        ("C1-top-executor", "complex",
+        (
+            "M2-iface-prefix",
+            "medium",
+            r#"//service[some $i in interface satisfies starts-with($i/@type, "Storage-")]"#,
+        ),
+        ("M3-domain-load", "medium", r#"//service[ends-with(owner, ".cern.ch") and load < 0.5]"#),
+        (
+            "C1-top-executor",
+            "complex",
             r#"(for $s in //service[interface/@type = "Executor-1.0"]
-                order by number($s/load) return $s/owner)[1]"#),
+                order by number($s/load) return $s/owner)[1]"#,
+        ),
         ("C2-aggregate", "complex", r#"avg(//service[freeDiskGB > 100]/load)"#),
-        ("C3-join-report", "complex",
+        (
+            "C3-join-report",
+            "complex",
             r#"for $s in //service[owner = "fnal.gov" and load < 0.3],
                    $m in //service[owner = "fnal.gov" and interface/@type = "NetworkProbe-1.0"]
                where $s/owner = $m/owner
-               return <pair owner="{$s/owner}"/>"#),
+               return <pair owner="{$s/owner}"/>"#,
+        ),
     ]
 }
 

@@ -60,9 +60,9 @@ proptest! {
                 }
                 Op::Refresh { id, ttl } => {
                     let result = registry.refresh(&format!("http://svc/{id}"), Some(ttl));
-                    if oracle.contains_key(&id) {
+                    if let std::collections::hash_map::Entry::Occupied(mut e) = oracle.entry(id) {
                         prop_assert!(result.is_ok());
-                        oracle.insert(id, now.plus(ttl));
+                        e.insert(now.plus(ttl));
                     } else {
                         prop_assert!(result.is_err());
                     }

@@ -17,14 +17,9 @@ fn registry() -> HyperRegistry {
         ("http://cern.ch/m", "cern.ch", "monitor"),
         ("http://fnal.gov/m", "fnal.gov", "monitor"),
     ] {
-        r.publish(
-            PublishRequest::new(link, ty)
-                .with_context(domain)
-                .with_content(
-                    parse_fragment(&format!("<service><owner>{domain}</owner></service>"))
-                        .unwrap(),
-                ),
-        )
+        r.publish(PublishRequest::new(link, ty).with_context(domain).with_content(
+            parse_fragment(&format!("<service><owner>{domain}</owner></service>")).unwrap(),
+        ))
         .unwrap();
     }
     r
@@ -42,16 +37,12 @@ fn unrestricted_scope_sees_everything() {
 fn domain_scope_prunes_with_label_boundaries() {
     let r = registry();
     let q = Query::parse("/tuple/@link").unwrap();
-    let out = r
-        .query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("cern.ch"))
-        .unwrap();
+    let out = r.query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("cern.ch")).unwrap();
     let links: Vec<String> = out.results.iter().map(|i| i.string_value()).collect();
     assert_eq!(links.len(), 3, "{links:?}"); // cms, atlas and cern.ch itself
     assert!(links.iter().all(|l| l.contains("cern.ch")));
     // "rn.ch" is not a label boundary
-    let none = r
-        .query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("rn.ch"))
-        .unwrap();
+    let none = r.query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("rn.ch")).unwrap();
     assert!(none.results.is_empty());
 }
 
@@ -59,9 +50,7 @@ fn domain_scope_prunes_with_label_boundaries() {
 fn type_scope_uses_the_index() {
     let r = registry();
     let q = Query::parse("/tuple/@link").unwrap();
-    let out = r
-        .query_scoped(&q, &Freshness::any(), &QueryScope::of_type("monitor"))
-        .unwrap();
+    let out = r.query_scoped(&q, &Freshness::any(), &QueryScope::of_type("monitor")).unwrap();
     assert_eq!(out.results.len(), 2);
     assert!(out.stats.used_index);
     assert_eq!(out.stats.candidates, 2);
@@ -71,10 +60,7 @@ fn type_scope_uses_the_index() {
 fn combined_domain_and_type_scope() {
     let r = registry();
     let q = Query::parse("/tuple/@link").unwrap();
-    let scope = QueryScope {
-        domain: Some("fnal.gov".into()),
-        types: Some(vec!["monitor".into()]),
-    };
+    let scope = QueryScope { domain: Some("fnal.gov".into()), types: Some(vec!["monitor".into()]) };
     let out = r.query_scoped(&q, &Freshness::any(), &scope).unwrap();
     let links: Vec<String> = out.results.iter().map(|i| i.string_value()).collect();
     assert_eq!(links, ["http://fnal.gov/m"]);
@@ -85,12 +71,8 @@ fn scope_composes_with_query_index_key() {
     let r = registry();
     // The query's own link key narrows first; scope then filters by domain.
     let q = Query::parse(r#"/tuple[@link = "http://fnal.gov/c"]"#).unwrap();
-    let hit = r
-        .query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("fnal.gov"))
-        .unwrap();
+    let hit = r.query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("fnal.gov")).unwrap();
     assert_eq!(hit.results.len(), 1);
-    let miss = r
-        .query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("cern.ch"))
-        .unwrap();
+    let miss = r.query_scoped(&q, &Freshness::any(), &QueryScope::in_domain("cern.ch")).unwrap();
     assert_eq!(miss.results.len(), 0, "scope excludes the keyed tuple");
 }

@@ -22,15 +22,16 @@
 //!   immediate empty-final ("prune ack") so parents never wait on them.
 
 use crate::metrics::QueryMetrics;
+use crate::recovery::{Completeness, RecoveryConfig};
 use crate::selection::{NeighborPolicy, RoutingIndex};
 use crate::topology::Topology;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use wsda_net::model::{FaultPlan, NetworkModel};
+use wsda_net::model::{ChaosPlan, FaultPlan, NetworkModel};
 use wsda_net::{Delivery, NodeId, Simulator};
 use wsda_pdp::{
-    encoded_len, BeginOutcome, Message, NodeStateTable, QueryLanguage, ResponseMode, Scope,
-    TransactionId,
+    encoded_len, BeginOutcome, Message, NodeStateTable, QueryLanguage, ResponseMode, ResultLedger,
+    Scope, TransactionId,
 };
 use wsda_registry::clock::Time;
 use wsda_registry::workload::CorpusGenerator;
@@ -67,6 +68,9 @@ pub struct P2pConfig {
     pub seed: u64,
     /// Horizon of the routing index backing `hint:` policies.
     pub routing_horizon: u32,
+    /// Ack/retransmission/watchdog recovery; disabled by default so the
+    /// bare-protocol message accounting stays the experiments' baseline.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for P2pConfig {
@@ -80,6 +84,7 @@ impl Default for P2pConfig {
             tuples_per_node: 4,
             seed: 42,
             routing_horizon: 4,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -90,6 +95,19 @@ struct PeerNode {
     state: NodeStateTable,
     /// Per-transaction runtime info.
     txns: HashMap<TransactionId, TxnInfo>,
+    /// Received-frame dedup (recovery): replays are acked but not merged.
+    ledger: ResultLedger,
+    /// Sent-but-unacked `Results` frames keyed by (txn, receiver, seq).
+    pending_acks: HashMap<(TransactionId, NodeId, u64), PendingFrame>,
+    /// Neighbors that exhausted a retry budget; skipped by later forwards.
+    suspected: HashSet<NodeId>,
+}
+
+/// A reliable `Results` frame awaiting its ack.
+struct PendingFrame {
+    message: Message,
+    retries_left: u32,
+    backoff_ms: u64,
 }
 
 /// A parsed query in whichever language the transaction carries.
@@ -104,9 +122,9 @@ impl ParsedQuery {
         match language {
             QueryLanguage::Sql => match wsda_registry::sql::SqlQuery::parse(src) {
                 Ok(q) => ParsedQuery::Sql(Arc::new(q)),
-                Err(_) => ParsedQuery::XQuery(Arc::new(
-                    Query::parse("()").expect("empty query parses"),
-                )),
+                Err(_) => {
+                    ParsedQuery::XQuery(Arc::new(Query::parse("()").expect("empty query parses")))
+                }
             },
             // KeyLookup is carried but evaluated as an XQuery key form.
             QueryLanguage::XQuery | QueryLanguage::KeyLookup => {
@@ -147,6 +165,8 @@ pub struct QueryRun {
     pub metrics: QueryMetrics,
     /// Virtual time when the run loop stopped.
     pub finished_at: Time,
+    /// Did every subtree answer, or were some given up on?
+    pub completeness: Completeness,
 }
 
 /// A P2P network of hyper-registry nodes on the discrete-event simulator.
@@ -164,9 +184,31 @@ pub struct SimNetwork {
 
 #[derive(Debug, Clone, Copy)]
 enum TimerEvent {
-    LocalEvalDone { node: NodeId, txn: TransactionId },
-    NodeAbort { node: NodeId, txn: TransactionId },
-    OriginDeadline { txn: TransactionId },
+    LocalEvalDone {
+        node: NodeId,
+        txn: TransactionId,
+    },
+    NodeAbort {
+        node: NodeId,
+        txn: TransactionId,
+    },
+    OriginDeadline {
+        txn: TransactionId,
+    },
+    /// Retransmit an unacked `Results` frame (recovery).
+    RetryResults {
+        node: NodeId,
+        txn: TransactionId,
+        to: NodeId,
+        seq: u64,
+    },
+    /// Check forwarded subtrees for liveness; `attempt` 0 re-queries,
+    /// later attempts abandon (recovery).
+    ChildWatchdog {
+        node: NodeId,
+        txn: TransactionId,
+        attempt: u32,
+    },
 }
 
 fn endpoint(node: NodeId) -> String {
@@ -184,11 +226,12 @@ impl SimNetwork {
         Self::build_with_faults(topology, model, FaultPlan::none(), config)
     }
 
-    /// Build with a fault plan (drops/dead nodes).
+    /// Build with a fault plan — a legacy [`FaultPlan`] or a full
+    /// [`ChaosPlan`] (drops, duplication, jitter, partitions, crashes).
     pub fn build_with_faults(
         topology: Topology,
         model: NetworkModel,
-        faults: FaultPlan,
+        faults: impl Into<ChaosPlan>,
         config: P2pConfig,
     ) -> SimNetwork {
         let sim: Simulator<Message> = Simulator::new(model, faults, config.seed);
@@ -215,7 +258,14 @@ impl SimNetwork {
                 kinds.insert(kind);
             }
             node_kinds.push(kinds);
-            nodes.push(PeerNode { registry, state: NodeStateTable::new(), txns: HashMap::new() });
+            nodes.push(PeerNode {
+                registry,
+                state: NodeStateTable::new(),
+                txns: HashMap::new(),
+                ledger: ResultLedger::new(),
+                pending_acks: HashMap::new(),
+                suspected: HashSet::new(),
+            });
         }
         let routing_index = RoutingIndex::build(&topology, &node_kinds, config.routing_horizon);
         SimNetwork {
@@ -234,7 +284,13 @@ impl SimNetwork {
     /// Publish an extra service of a given `kind` at `node` and refresh the
     /// routing index so `hint:<kind>` policies can steer toward it. Used by
     /// experiments that plant rare content.
-    pub fn plant_service(&mut self, node: NodeId, kind: &str, link: &str, content: wsda_xml::Element) {
+    pub fn plant_service(
+        &mut self,
+        node: NodeId,
+        kind: &str,
+        link: &str,
+        content: wsda_xml::Element,
+    ) {
         self.nodes[node.0 as usize]
             .registry
             .publish(
@@ -341,6 +397,14 @@ impl SimNetwork {
             self.send(&mut m, origin, target, msg);
             run.metrics = m;
         }
+        if self.config.recovery.enabled && self.topology.len() > 1 {
+            let delay = self.config.recovery.watchdog_timeout_ms + self.jitter_ms();
+            self.schedule_timer(
+                origin,
+                delay,
+                TimerEvent::ChildWatchdog { node: origin, txn, attempt: 0 },
+            );
+        }
         self.pump(&mut run);
         self.finish(run)
     }
@@ -353,7 +417,23 @@ impl SimNetwork {
     fn finish(&mut self, run: RunState) -> QueryRun {
         let mut metrics = run.metrics;
         metrics.deadline_hit = run.deadline_hit;
-        QueryRun { results: run.results, metrics, finished_at: self.sim.now() }
+        let lost = metrics.subtrees_abandoned + metrics.node_aborts;
+        let completeness = if lost > 0 || run.deadline_hit {
+            Completeness::Partial { subtrees_lost: lost }
+        } else {
+            Completeness::Complete
+        };
+        QueryRun { results: run.results, metrics, finished_at: self.sim.now(), completeness }
+    }
+
+    /// Deterministic timer jitter (decorrelates retransmission storms
+    /// without threading an RNG through the engine).
+    fn jitter_ms(&mut self) -> u64 {
+        let j = self.config.recovery.jitter_ms;
+        if j == 0 {
+            return 0;
+        }
+        (self.next_timer.wrapping_mul(0x9e3779b97f4a7c15) >> 33) % (j + 1)
     }
 
     // ==== the event loop ==================================================
@@ -386,8 +466,14 @@ impl SimNetwork {
                 self.accept_query(run, to, Some(from), &query, language, scope, response_mode);
                 let _ = transaction;
             }
-            Message::Results { transaction, items, last, origin } => {
-                self.on_results(run, from, to, transaction, items, last, origin);
+            Message::Results { transaction, seq, items, last, origin } => {
+                self.on_results(run, from, to, transaction, seq, items, last, origin);
+            }
+            Message::Ack { transaction, seq } => {
+                self.nodes[to.0 as usize].pending_acks.remove(&(transaction, from, seq));
+            }
+            Message::Error { transaction, origin, reason } => {
+                self.on_error(run, to, transaction, origin, reason);
             }
             Message::Invite { transaction, node, expected } => {
                 self.on_invite(run, to, transaction, node, expected);
@@ -420,46 +506,54 @@ impl SimNetwork {
         let now = self.sim.now();
         let node_idx = node.0 as usize;
         self.nodes[node_idx].state.sweep(now);
-        let outcome = self.nodes[node_idx].state.begin(
-            txn,
-            parent.map(endpoint),
-            now,
-            scope.loop_timeout_ms,
-        );
+        let outcome =
+            self.nodes[node_idx].state.begin(txn, parent.map(endpoint), now, scope.loop_timeout_ms);
         if outcome == BeginOutcome::Duplicate {
             run.metrics.duplicates_suppressed += 1;
             // Referral fetch: a radius-0 direct query for a transaction we
             // hold a referral buffer for means "send me your items".
-            let is_fetch = scope.radius == Some(0)
-                && matches!(mode, ResponseMode::Direct { .. });
+            let is_fetch = scope.radius == Some(0) && matches!(mode, ResponseMode::Direct { .. });
             if is_fetch {
                 if let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) {
                     if !info.buffer.is_empty() {
                         let items = std::mem::take(&mut info.buffer);
-                        let msg = Message::Results {
-                            transaction: txn,
+                        let origin = run.origin;
+                        self.send_results_to(
+                            run,
+                            node,
+                            origin,
+                            txn,
                             items,
-                            last: true,
-                            origin: endpoint(node),
-                        };
-                        let mut m = std::mem::take(&mut run.metrics);
-                        self.send(&mut m, node, run.origin, msg);
-                        run.metrics = m;
+                            true,
+                            endpoint(node),
+                            false,
+                        );
                         return;
                     }
                 }
             }
-            // Prune ack so the sender never waits on a duplicate edge.
+            // A replay from the recorded parent (network duplication, or a
+            // watchdog re-query while we are still working) must be dropped
+            // silently: a prune ack here would mark a live subtree as done.
+            // A duplicate from any other sender is a cross-path arrival and
+            // gets a prune ack so that forwarder never waits on us.
+            let from_recorded_parent = self.nodes[node_idx]
+                .state
+                .get(&txn)
+                .is_some_and(|s| s.parent.is_some() && s.parent == parent.map(endpoint));
             if let Some(p) = parent {
-                let msg = Message::Results {
-                    transaction: txn,
-                    items: Vec::new(),
-                    last: true,
-                    origin: endpoint(node),
-                };
-                let mut m = std::mem::take(&mut run.metrics);
-                self.send(&mut m, node, p, msg);
-                run.metrics = m;
+                if !from_recorded_parent {
+                    self.send_results_to(
+                        run,
+                        node,
+                        p,
+                        txn,
+                        Vec::new(),
+                        true,
+                        endpoint(node),
+                        false,
+                    );
+                }
             }
             return;
         }
@@ -499,7 +593,11 @@ impl SimNetwork {
         // Per-node abort timer.
         match self.config.timeout_mode {
             TimeoutMode::DynamicAbort => {
-                self.schedule_timer(node, scope.abort_timeout_ms, TimerEvent::NodeAbort { node, txn });
+                self.schedule_timer(
+                    node,
+                    scope.abort_timeout_ms,
+                    TimerEvent::NodeAbort { node, txn },
+                );
             }
             TimeoutMode::StaticPerNode(t) => {
                 self.schedule_timer(node, t, TimerEvent::NodeAbort { node, txn });
@@ -518,9 +616,12 @@ impl SimNetwork {
             .iter()
             .copied()
             .filter(|&n| Some(n) != parent)
+            .filter(|n| !self.nodes[node_idx].suspected.contains(n))
             .collect();
         let targets = policy.select(&candidates, node, txn, Some(&self.routing_index));
+        let mut forwarded_any = false;
         for target in targets {
+            forwarded_any = true;
             self.nodes[node_idx].state.add_child(&txn, endpoint(target));
             let msg = Message::Query {
                 transaction: txn,
@@ -533,6 +634,10 @@ impl SimNetwork {
             self.send(&mut m, node, target, msg);
             run.metrics = m;
         }
+        if forwarded_any && self.config.recovery.enabled {
+            let delay = self.config.recovery.watchdog_timeout_ms + self.jitter_ms();
+            self.schedule_timer(node, delay, TimerEvent::ChildWatchdog { node, txn, attempt: 0 });
+        }
     }
 
     fn on_timer(&mut self, run: &mut RunState, _timer_node: NodeId, ev: TimerEvent) {
@@ -540,11 +645,19 @@ impl SimNetwork {
             TimerEvent::LocalEvalDone { node, txn } => self.local_eval(run, node, txn),
             TimerEvent::NodeAbort { node, txn } => self.node_abort(run, node, txn),
             TimerEvent::OriginDeadline { txn } => {
-                if run.txn == txn && !run.closed {
+                // The timer always fires eventually (the queue drains);
+                // only a deadline *before* completion is a deadline hit.
+                if run.txn == txn && !run.closed && run.metrics.time_completed.is_none() {
                     run.closed = true;
                     run.deadline_hit = true;
                     self.broadcast_close(run, run.origin, txn);
                 }
+            }
+            TimerEvent::RetryResults { node, txn, to, seq } => {
+                self.retry_results(run, node, txn, to, seq);
+            }
+            TimerEvent::ChildWatchdog { node, txn, attempt } => {
+                self.child_watchdog(run, node, txn, attempt);
             }
         }
     }
@@ -610,15 +723,16 @@ impl SimNetwork {
             ResponseMode::Direct { ref originator } => {
                 if !items.is_empty() {
                     if let Some(target) = parse_endpoint(originator) {
-                        let msg = Message::Results {
-                            transaction: txn,
+                        self.send_results_to(
+                            run,
+                            node,
+                            target,
+                            txn,
                             items,
-                            last: true,
-                            origin: endpoint(node),
-                        };
-                        let mut m = std::mem::take(&mut run.metrics);
-                        self.send(&mut m, node, target, msg);
-                        run.metrics = m;
+                            true,
+                            endpoint(node),
+                            false,
+                        );
                     }
                 }
             }
@@ -628,11 +742,8 @@ impl SimNetwork {
                     let info = self.nodes[node_idx].txns.get_mut(&txn).expect("live txn");
                     info.buffer = items;
                     if let Some(p) = parent {
-                        let msg = Message::Invite {
-                            transaction: txn,
-                            node: endpoint(node),
-                            expected,
-                        };
+                        let msg =
+                            Message::Invite { transaction: txn, node: endpoint(node), expected };
                         let mut m = std::mem::take(&mut run.metrics);
                         self.send(&mut m, node, p, msg);
                         run.metrics = m;
@@ -686,12 +797,44 @@ impl SimNetwork {
         relayed: bool,
     ) {
         let Some(p) = parent else { return };
-        let msg = Message::Results { transaction: txn, items, last, origin: origin_ep };
+        self.send_results_to(run, node, p, txn, items, last, origin_ep, relayed);
+    }
+
+    /// Send a `Results` frame from `from` to `to`, allocating the
+    /// per-transaction sequence number; with recovery on, the frame is
+    /// tracked for retransmission until acked.
+    #[allow(clippy::too_many_arguments)]
+    fn send_results_to(
+        &mut self,
+        run: &mut RunState,
+        from: NodeId,
+        to: NodeId,
+        txn: TransactionId,
+        items: Vec<String>,
+        last: bool,
+        origin_ep: String,
+        relayed: bool,
+    ) {
+        let from_idx = from.0 as usize;
+        let seq = self.nodes[from_idx].state.get_mut(&txn).map(|s| s.alloc_seq()).unwrap_or(0);
+        let msg = Message::Results { transaction: txn, seq, items, last, origin: origin_ep };
         if relayed {
             run.metrics.bytes_relayed += encoded_len(&msg);
         }
+        if self.config.recovery.enabled {
+            self.nodes[from_idx].pending_acks.insert(
+                (txn, to, seq),
+                PendingFrame {
+                    message: msg.clone(),
+                    retries_left: self.config.recovery.max_retries,
+                    backoff_ms: self.config.recovery.backoff_ms(1),
+                },
+            );
+            let delay = self.config.recovery.ack_timeout_ms + self.jitter_ms();
+            self.schedule_timer(from, delay, TimerEvent::RetryResults { node: from, txn, to, seq });
+        }
         let mut m = std::mem::take(&mut run.metrics);
-        self.send(&mut m, node, p, msg);
+        self.send(&mut m, from, to, msg);
         run.metrics = m;
     }
 
@@ -702,6 +845,7 @@ impl SimNetwork {
         from: NodeId,
         to: NodeId,
         txn: TransactionId,
+        seq: u64,
         items: Vec<String>,
         last: bool,
         origin_ep: String,
@@ -710,6 +854,17 @@ impl SimNetwork {
             return; // stale transaction from an earlier run
         }
         let node_idx = to.0 as usize;
+        if self.config.recovery.enabled {
+            // Ack every arrival (fresh or replay — the sender may have
+            // missed an earlier ack), then suppress replays.
+            let mut m = std::mem::take(&mut run.metrics);
+            self.send(&mut m, to, from, Message::Ack { transaction: txn, seq });
+            run.metrics = m;
+            if !self.nodes[node_idx].ledger.record(txn, &endpoint(from), seq) {
+                run.metrics.replays_suppressed += 1;
+                return;
+            }
+        }
         let is_origin = to == run.origin;
         let direct_data = {
             let info = self.nodes[node_idx].txns.get(&txn);
@@ -727,8 +882,7 @@ impl SimNetwork {
             // last=true for the sender's local data but do not terminate a
             // tree edge unless the sender is a tracked child.
             if last {
-                let complete =
-                    self.nodes[node_idx].state.child_done(&txn, &endpoint(from));
+                let complete = self.nodes[node_idx].state.child_done(&txn, &endpoint(from));
                 if complete {
                     self.complete_at_origin(run);
                 }
@@ -834,11 +988,7 @@ impl SimNetwork {
 
     fn node_abort(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
         let node_idx = node.0 as usize;
-        let complete = self.nodes[node_idx]
-            .state
-            .get(&txn)
-            .map(|s| s.complete())
-            .unwrap_or(true);
+        let complete = self.nodes[node_idx].state.get(&txn).map(|s| s.complete()).unwrap_or(true);
         let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) else { return };
         if complete || info.aborted || info.finalized {
             return;
@@ -857,6 +1007,159 @@ impl SimNetwork {
                 self.deliver(run, items);
                 self.complete_at_origin(run);
             }
+        }
+    }
+
+    /// A retry timer fired: if the frame is still unacked, retransmit
+    /// with exponential backoff, or give up and suspect the neighbor.
+    fn retry_results(
+        &mut self,
+        run: &mut RunState,
+        node: NodeId,
+        txn: TransactionId,
+        to: NodeId,
+        seq: u64,
+    ) {
+        let node_idx = node.0 as usize;
+        let (message, backoff) = {
+            let Some(p) = self.nodes[node_idx].pending_acks.get_mut(&(txn, to, seq)) else {
+                return; // acked in time
+            };
+            if p.retries_left == 0 {
+                self.nodes[node_idx].pending_acks.remove(&(txn, to, seq));
+                self.nodes[node_idx].suspected.insert(to);
+                run.metrics.acks_timed_out += 1;
+                return;
+            }
+            p.retries_left -= 1;
+            let backoff = p.backoff_ms;
+            p.backoff_ms = backoff.saturating_mul(self.config.recovery.backoff_factor.max(1));
+            (p.message.clone(), backoff)
+        };
+        run.metrics.retries_sent += 1;
+        let mut m = std::mem::take(&mut run.metrics);
+        self.send(&mut m, node, to, message);
+        run.metrics = m;
+        let delay = backoff + self.jitter_ms();
+        self.schedule_timer(node, delay, TimerEvent::RetryResults { node, txn, to, seq });
+    }
+
+    /// The child-liveness watchdog fired. Attempt 0 re-sends the query to
+    /// still-silent children (covers lost `Query` frames) and re-arms;
+    /// later attempts abandon them so the subtree finishes Partial
+    /// instead of hanging until the abort budget lapses.
+    fn child_watchdog(
+        &mut self,
+        run: &mut RunState,
+        node: NodeId,
+        txn: TransactionId,
+        attempt: u32,
+    ) {
+        if txn != run.txn {
+            return;
+        }
+        let node_idx = node.0 as usize;
+        let mut pending: Vec<String> = self.nodes[node_idx]
+            .state
+            .get(&txn)
+            .map(|s| s.pending_children.iter().cloned().collect())
+            .unwrap_or_default();
+        if pending.is_empty() {
+            return;
+        }
+        // HashSet order is process-random; sort so the chaos RNG is
+        // consumed in a fixed order and runs stay reproducible.
+        pending.sort();
+        let (parent, source, language, mode, fscope) = {
+            let Some(info) = self.nodes[node_idx].txns.get(&txn) else { return };
+            if info.aborted || info.finalized {
+                return;
+            }
+            (
+                info.parent,
+                info.source.clone(),
+                info.language,
+                info.mode.clone(),
+                info.scope.forwarded(self.config.hop_cost_ms),
+            )
+        };
+        if attempt == 0 {
+            if let Some(fscope) = fscope {
+                for child_ep in &pending {
+                    let Some(child) = parse_endpoint(child_ep) else { continue };
+                    run.metrics.retries_sent += 1;
+                    let msg = Message::Query {
+                        transaction: txn,
+                        query: source.clone(),
+                        language,
+                        scope: fscope.clone(),
+                        response_mode: mode.clone(),
+                    };
+                    let mut m = std::mem::take(&mut run.metrics);
+                    self.send(&mut m, node, child, msg);
+                    run.metrics = m;
+                }
+            }
+            let delay = self.config.recovery.watchdog_timeout_ms + self.jitter_ms();
+            self.schedule_timer(node, delay, TimerEvent::ChildWatchdog { node, txn, attempt: 1 });
+            return;
+        }
+        // Abandon: the silent subtrees are lost; degrade instead of hang.
+        run.metrics.subtrees_abandoned += pending.len() as u64;
+        for child_ep in &pending {
+            if let Some(child) = parse_endpoint(child_ep) {
+                self.nodes[node_idx].suspected.insert(child);
+            }
+            self.nodes[node_idx].state.child_done(&txn, child_ep);
+        }
+        match parent {
+            Some(p) => {
+                for _ in &pending {
+                    let msg = Message::Error {
+                        transaction: txn,
+                        origin: endpoint(node),
+                        reason: "watchdog: subtree lost".to_owned(),
+                    };
+                    let mut m = std::mem::take(&mut run.metrics);
+                    self.send(&mut m, node, p, msg);
+                    run.metrics = m;
+                }
+            }
+            None => run.metrics.errors_received += pending.len() as u64,
+        }
+        let complete = self.nodes[node_idx].state.get(&txn).map(|s| s.complete()).unwrap_or(false);
+        if complete {
+            if parent.is_none() {
+                self.complete_at_origin(run);
+            } else {
+                self.finalize_node(run, node, txn);
+            }
+        }
+    }
+
+    /// A lost-subtree notification: count it at the originator, forward
+    /// it toward the originator elsewhere.
+    fn on_error(
+        &mut self,
+        run: &mut RunState,
+        to: NodeId,
+        txn: TransactionId,
+        origin_ep: String,
+        reason: String,
+    ) {
+        if txn != run.txn {
+            return;
+        }
+        if to == run.origin {
+            run.metrics.errors_received += 1;
+            return;
+        }
+        let parent = self.nodes[to.0 as usize].txns.get(&txn).and_then(|i| i.parent);
+        if let Some(p) = parent {
+            let msg = Message::Error { transaction: txn, origin: origin_ep, reason };
+            let mut m = std::mem::take(&mut run.metrics);
+            self.send(&mut m, to, p, msg);
+            run.metrics = m;
         }
     }
 

@@ -33,12 +33,14 @@ pub mod container;
 pub mod engine;
 pub mod live;
 pub mod metrics;
+pub mod recovery;
 pub mod selection;
 pub mod topology;
 
 pub use container::ContainerAssignment;
 pub use engine::{P2pConfig, QueryRun, SimNetwork, TimeoutMode};
-pub use live::LiveNetwork;
+pub use live::{LiveNetwork, LiveQueryReport};
 pub use metrics::QueryMetrics;
+pub use recovery::{Completeness, RecoveryConfig};
 pub use selection::NeighborPolicy;
 pub use topology::Topology;

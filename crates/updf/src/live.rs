@@ -8,23 +8,34 @@
 //! for loop detection, routed pipelined responses, completion by final
 //! acks, and scope radius.
 //!
+//! Failure is the norm here too: peers can be [`LiveNetwork::kill`]ed
+//! (they stop processing but their inbox stays open, like a hung
+//! process), and the transport can run under a [`ChaosPlan`]. Recovery —
+//! acked `Results` with bounded retransmission, sequence-number dedup,
+//! and a child-liveness watchdog that re-queries then abandons silent
+//! subtrees — is ON by default ([`RecoveryConfig::live_default`]), so a
+//! lost subtree yields a `Partial` answer instead of a hang.
+//!
 //! The implementation is intentionally a *subset* of the simulator engine
 //! (routed + pipelined responses only); its purpose is to prove the
 //! protocol works under real concurrency, which the deterministic
 //! simulator cannot show.
 
+use crate::recovery::{Completeness, RecoveryConfig};
 use crate::topology::Topology;
 use bytes::BytesMut;
 use crossbeam::channel::RecvTimeoutError;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wsda_net::model::ChaosPlan;
 use wsda_net::transport::ThreadedNetwork;
 use wsda_net::NodeId;
 use wsda_pdp::framing::{write_frame, FrameReader};
 use wsda_pdp::{
-    BeginOutcome, Message, NodeStateTable, QueryLanguage, ResponseMode, Scope, TransactionId,
+    BeginOutcome, Message, NodeStateTable, QueryLanguage, ResponseMode, ResultLedger, Scope,
+    TransactionId,
 };
 use wsda_registry::clock::SystemClock;
 use wsda_registry::workload::CorpusGenerator;
@@ -33,27 +44,79 @@ use wsda_xq::Query;
 
 type Frame = Vec<u8>;
 
+/// What a live query returned, and how much of the tree answered.
+#[derive(Debug)]
+pub struct LiveQueryReport {
+    /// Result items (compact XML strings) in arrival order, deduplicated
+    /// by sequence number.
+    pub results: Vec<String>,
+    /// Whether every subtree answered.
+    pub completeness: Completeness,
+    /// Lost-subtree `Error` frames that reached the client.
+    pub errors_received: u64,
+    /// Replayed `Results` frames the client suppressed.
+    pub replays_suppressed: u64,
+}
+
 /// A running live network. Dropping it shuts every peer down.
 pub struct LiveNetwork {
     transport: Arc<ThreadedNetwork<Frame>>,
     registries: Vec<Arc<HyperRegistry>>,
     shutdown: Arc<AtomicBool>,
+    peer_dead: Vec<Arc<AtomicBool>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     topology: Topology,
     client_id: NodeId,
     txn_counter: u64,
     seed: u64,
+    recovery: RecoveryConfig,
 }
 
 impl LiveNetwork {
     /// Start one peer thread per topology node, each with a registry
-    /// populated with `tuples_per_node` synthetic services.
+    /// populated with `tuples_per_node` synthetic services. Recovery is
+    /// on with live defaults.
     pub fn start(topology: Topology, tuples_per_node: usize, seed: u64) -> LiveNetwork {
+        Self::start_with(topology, tuples_per_node, seed, RecoveryConfig::live_default())
+    }
+
+    /// Start with an explicit recovery configuration.
+    pub fn start_with(
+        topology: Topology,
+        tuples_per_node: usize,
+        seed: u64,
+        recovery: RecoveryConfig,
+    ) -> LiveNetwork {
         let transport: Arc<ThreadedNetwork<Frame>> = Arc::new(ThreadedNetwork::new());
+        Self::start_on(transport, topology, tuples_per_node, seed, recovery)
+    }
+
+    /// Start on a chaos-injecting transport: every frame is subject to
+    /// `plan` (drops, duplication, jitter, partitions, crash windows).
+    pub fn start_chaos(
+        topology: Topology,
+        tuples_per_node: usize,
+        seed: u64,
+        recovery: RecoveryConfig,
+        plan: ChaosPlan,
+    ) -> LiveNetwork {
+        let transport: Arc<ThreadedNetwork<Frame>> =
+            Arc::new(ThreadedNetwork::with_chaos(Duration::from_millis(1), plan, seed));
+        Self::start_on(transport, topology, tuples_per_node, seed, recovery)
+    }
+
+    fn start_on(
+        transport: Arc<ThreadedNetwork<Frame>>,
+        topology: Topology,
+        tuples_per_node: usize,
+        seed: u64,
+        recovery: RecoveryConfig,
+    ) -> LiveNetwork {
         let shutdown = Arc::new(AtomicBool::new(false));
         let clock = Arc::new(SystemClock::new());
         let mut registries = Vec::with_capacity(topology.len());
         let mut handles = Vec::with_capacity(topology.len());
+        let mut peer_dead = Vec::with_capacity(topology.len());
         for i in 0..topology.len() as u32 {
             let id = NodeId(i);
             let registry = Arc::new(HyperRegistry::new(
@@ -73,6 +136,8 @@ impl LiveNetwork {
                     .expect("synthetic publish");
             }
             registries.push(registry.clone());
+            let dead = Arc::new(AtomicBool::new(false));
+            peer_dead.push(dead.clone());
             let inbox = transport.register(id);
             let peer = PeerThread {
                 id,
@@ -80,6 +145,8 @@ impl LiveNetwork {
                 registry,
                 transport: transport.clone(),
                 shutdown: shutdown.clone(),
+                dead,
+                recovery,
             };
             handles.push(std::thread::spawn(move || peer.run(inbox)));
         }
@@ -88,11 +155,13 @@ impl LiveNetwork {
             transport,
             registries,
             shutdown,
+            peer_dead,
             handles,
             topology,
             client_id,
             txn_counter: 0,
             seed,
+            recovery,
         }
     }
 
@@ -106,6 +175,15 @@ impl LiveNetwork {
         &self.topology
     }
 
+    /// Crash a peer: it stops processing messages but its inbox stays
+    /// open, so senders cannot tell — the live analogue of a hung
+    /// process. Only the watchdog machinery can detect it.
+    pub fn kill(&self, node: NodeId) {
+        if let Some(flag) = self.peer_dead.get(node.0 as usize) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
     /// Flood `query_src` into the network at `entry` and collect routed
     /// results until the entry node reports completion or `timeout`
     /// elapses. Returns the result items (compact XML strings).
@@ -116,6 +194,18 @@ impl LiveNetwork {
         radius: Option<u32>,
         timeout: Duration,
     ) -> Vec<String> {
+        self.query_full(entry, query_src, radius, timeout).results
+    }
+
+    /// Like [`LiveNetwork::query`], but also reports completeness, lost
+    /// subtrees and suppressed replays.
+    pub fn query_full(
+        &mut self,
+        entry: NodeId,
+        query_src: &str,
+        radius: Option<u32>,
+        timeout: Duration,
+    ) -> LiveQueryReport {
         self.txn_counter += 1;
         let txn = TransactionId::derive(self.seed ^ 0xC11E47, self.txn_counter);
         let inbox = self.transport.register(self.client_id);
@@ -129,6 +219,10 @@ impl LiveNetwork {
         send(&self.transport, self.client_id, entry, &msg);
         let mut results = Vec::new();
         let mut reader = FrameReader::new();
+        let mut ledger = ResultLedger::new();
+        let mut errors: u64 = 0;
+        let mut replays: u64 = 0;
+        let mut done = false;
         let deadline = Instant::now() + timeout;
         'outer: loop {
             let now = Instant::now();
@@ -139,14 +233,30 @@ impl LiveNetwork {
                 Ok(envelope) => {
                     reader.extend(&envelope.message);
                     while let Ok(Some(message)) = reader.next_message() {
-                        if let Message::Results { transaction, items, last, .. } = message {
-                            if transaction != txn {
-                                continue;
+                        match message {
+                            Message::Results { transaction, seq, items, last, .. } => {
+                                if transaction != txn {
+                                    continue;
+                                }
+                                if self.recovery.enabled {
+                                    let ack = Message::Ack { transaction, seq };
+                                    send(&self.transport, self.client_id, envelope.from, &ack);
+                                    let sender = format!("n{}", envelope.from.0);
+                                    if !ledger.record(transaction, &sender, seq) {
+                                        replays += 1;
+                                        continue;
+                                    }
+                                }
+                                results.extend(items);
+                                if last {
+                                    done = true;
+                                    break 'outer;
+                                }
                             }
-                            results.extend(items);
-                            if last {
-                                break 'outer;
+                            Message::Error { transaction, .. } if transaction == txn => {
+                                errors += 1;
                             }
+                            _ => {}
                         }
                     }
                 }
@@ -154,7 +264,17 @@ impl LiveNetwork {
             }
         }
         self.transport.deregister(self.client_id);
-        results
+        let completeness = if done && errors == 0 {
+            Completeness::Complete
+        } else {
+            Completeness::Partial { subtrees_lost: errors.max(u64::from(!done)) }
+        };
+        LiveQueryReport {
+            results,
+            completeness,
+            errors_received: errors,
+            replays_suppressed: replays,
+        }
     }
 }
 
@@ -168,9 +288,13 @@ impl Drop for LiveNetwork {
 }
 
 fn send(transport: &ThreadedNetwork<Frame>, from: NodeId, to: NodeId, message: &Message) {
+    transport.send(from, to, encode_frame(message));
+}
+
+fn encode_frame(message: &Message) -> Frame {
     let mut buf = BytesMut::new();
     write_frame(&mut buf, message);
-    transport.send(from, to, buf.to_vec());
+    buf.to_vec()
 }
 
 struct PeerThread {
@@ -179,63 +303,111 @@ struct PeerThread {
     registry: Arc<HyperRegistry>,
     transport: Arc<ThreadedNetwork<Frame>>,
     shutdown: Arc<AtomicBool>,
+    /// Crash switch: when set the peer stops processing (inbox stays
+    /// open), simulating a hung process.
+    dead: Arc<AtomicBool>,
+    recovery: RecoveryConfig,
 }
 
-#[derive(Default)]
 struct LiveTxn {
     parent: Option<NodeId>,
-    pending_children: usize,
+    pending_children: HashSet<NodeId>,
     local_done: bool,
+    next_seq: u64,
+    /// Query source kept for watchdog re-queries.
+    query: String,
+    /// Scope to forward with on a re-query (None = scope exhausted).
+    fscope: Option<Scope>,
+    /// When the child watchdog next fires.
+    watchdog_at: Instant,
+    /// One re-query round already spent.
+    requeried: bool,
+}
+
+/// A sent-but-unacked `Results` frame.
+struct PendingLive {
+    frame: Frame,
+    to: NodeId,
+    due: Instant,
+    retries_left: u32,
+    backoff: Duration,
+}
+
+/// Mutable per-peer runtime state (single-threaded within the peer).
+#[derive(Default)]
+struct PeerRt {
+    state: NodeStateTable,
+    live: HashMap<TransactionId, LiveTxn>,
+    ledger: ResultLedger,
+    pending: HashMap<(TransactionId, NodeId, u64), PendingLive>,
+    suspected: HashSet<NodeId>,
 }
 
 impl PeerThread {
     fn run(self, inbox: crossbeam::channel::Receiver<wsda_net::transport::Envelope<Frame>>) {
-        let mut state = NodeStateTable::new();
-        let mut live: HashMap<TransactionId, LiveTxn> = HashMap::new();
+        let mut rt = PeerRt { state: NodeStateTable::new(), ..Default::default() };
         let mut reader = FrameReader::new();
         let clock = SystemClock::new();
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let envelope = match inbox.recv_timeout(Duration::from_millis(20)) {
-                Ok(e) => e,
-                Err(RecvTimeoutError::Timeout) => continue,
+            if self.dead.load(Ordering::SeqCst) {
+                // Crashed: keep the inbox receiver alive but never read it,
+                // so senders see a silent peer, not a closed channel.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            match inbox.recv_timeout(Duration::from_millis(10)) {
+                Ok(envelope) => {
+                    reader.extend(&envelope.message);
+                    while let Ok(Some(message)) = reader.next_message() {
+                        self.handle(&mut rt, &clock, envelope.from, message);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return,
-            };
-            reader.extend(&envelope.message);
-            while let Ok(Some(message)) = reader.next_message() {
-                self.handle(&mut state, &mut live, &clock, envelope.from, message);
+            }
+            if self.recovery.enabled {
+                self.tick(&mut rt);
             }
         }
     }
 
-    fn handle(
-        &self,
-        state: &mut NodeStateTable,
-        live: &mut HashMap<TransactionId, LiveTxn>,
-        clock: &SystemClock,
-        from: NodeId,
-        message: Message,
-    ) {
+    fn handle(&self, rt: &mut PeerRt, clock: &SystemClock, from: NodeId, message: Message) {
         use wsda_registry::clock::Clock as _;
         match message {
             Message::Query { transaction, query, scope, .. } => {
                 let now = clock.now();
-                state.sweep(now);
-                match state.begin(transaction, Some(format!("n{}", from.0)), now, scope.loop_timeout_ms)
-                {
+                rt.state.sweep(now);
+                match rt.state.begin(
+                    transaction,
+                    Some(format!("n{}", from.0)),
+                    now,
+                    scope.loop_timeout_ms,
+                ) {
                     BeginOutcome::Duplicate => {
-                        // Prune ack: never leave the sender waiting.
-                        self.reply(from, transaction, Vec::new(), true);
+                        // A replay from the recorded parent is the network
+                        // duplicating the frame — the real stream is already
+                        // flowing, so drop it. A duplicate from any *other*
+                        // sender is a cross-path arrival: prune-ack so that
+                        // forwarder stops waiting on us.
+                        let sender = format!("n{}", from.0);
+                        let from_parent = rt
+                            .state
+                            .get(&transaction)
+                            .is_some_and(|s| s.parent.as_deref() == Some(sender.as_str()));
+                        if !from_parent {
+                            self.reply(rt, from, transaction, Vec::new(), true);
+                        }
                     }
                     BeginOutcome::Fresh => {
                         let items = self.evaluate(&query);
-                        let forwarded = scope.forwarded(0);
-                        let mut pending = 0;
-                        if let Some(fscope) = forwarded {
+                        let fscope = scope.forwarded(0);
+                        let mut pending = HashSet::new();
+                        if let Some(fscope) = &fscope {
                             for &nb in &self.neighbors {
-                                if nb == from {
+                                if nb == from || rt.suspected.contains(&nb) {
                                     continue;
                                 }
                                 let msg = Message::Query {
@@ -246,39 +418,72 @@ impl PeerThread {
                                     response_mode: ResponseMode::Routed,
                                 };
                                 send(&self.transport, self.id, nb, &msg);
-                                pending += 1;
+                                pending.insert(nb);
                             }
                         }
-                        let complete = pending == 0;
-                        live.insert(
+                        let complete = pending.is_empty();
+                        rt.live.insert(
                             transaction,
-                            LiveTxn { parent: Some(from), pending_children: pending, local_done: true },
+                            LiveTxn {
+                                parent: Some(from),
+                                pending_children: pending,
+                                local_done: true,
+                                next_seq: 0,
+                                query,
+                                fscope,
+                                watchdog_at: Instant::now()
+                                    + Duration::from_millis(self.recovery.watchdog_timeout_ms),
+                                requeried: false,
+                            },
                         );
                         // Pipelined: local items leave immediately; `last`
                         // only when no children are outstanding.
-                        self.reply(from, transaction, items, complete);
-                    }
-                }
-            }
-            Message::Results { transaction, items, last, .. } => {
-                let Some(entry) = live.get_mut(&transaction) else { return };
-                let parent = entry.parent;
-                if let Some(p) = parent {
-                    if !items.is_empty() {
-                        self.reply(p, transaction, items, false);
-                    }
-                    if last {
-                        entry.pending_children = entry.pending_children.saturating_sub(1);
-                        if entry.pending_children == 0 && entry.local_done {
-                            self.reply(p, transaction, Vec::new(), true);
-                            live.remove(&transaction);
+                        self.reply(rt, from, transaction, items, complete);
+                        if complete {
+                            rt.live.remove(&transaction);
                         }
                     }
                 }
             }
+            Message::Results { transaction, seq, items, last, .. } => {
+                if self.recovery.enabled {
+                    // Ack every arrival, then suppress replays.
+                    let ack = Message::Ack { transaction, seq };
+                    send(&self.transport, self.id, from, &ack);
+                    if !rt.ledger.record(transaction, &format!("n{}", from.0), seq) {
+                        return;
+                    }
+                }
+                let Some(entry) = rt.live.get_mut(&transaction) else { return };
+                let parent = entry.parent;
+                if let Some(p) = parent {
+                    let mut finalize = false;
+                    if last {
+                        entry.pending_children.remove(&from);
+                        finalize = entry.pending_children.is_empty() && entry.local_done;
+                    }
+                    if !items.is_empty() {
+                        self.reply(rt, p, transaction, items, false);
+                    }
+                    if finalize {
+                        self.reply(rt, p, transaction, Vec::new(), true);
+                        rt.live.remove(&transaction);
+                    }
+                }
+            }
+            Message::Ack { transaction, seq } => {
+                rt.pending.remove(&(transaction, from, seq));
+            }
+            Message::Error { transaction, origin, reason } => {
+                // Relay the lost-subtree notice toward the originator.
+                if let Some(p) = rt.live.get(&transaction).and_then(|e| e.parent) {
+                    let msg = Message::Error { transaction, origin, reason };
+                    send(&self.transport, self.id, p, &msg);
+                }
+            }
             Message::Close { transaction } => {
-                live.remove(&transaction);
-                state.close(&transaction);
+                rt.live.remove(&transaction);
+                rt.state.close(&transaction);
             }
             Message::Ping => {
                 let msg = Message::Pong;
@@ -286,6 +491,84 @@ impl PeerThread {
             }
             _ => {}
         }
+    }
+
+    /// Retransmit overdue unacked frames and run the child watchdog.
+    fn tick(&self, rt: &mut PeerRt) {
+        let now = Instant::now();
+        // Bounded retransmission with exponential backoff.
+        let due: Vec<(TransactionId, NodeId, u64)> =
+            rt.pending.iter().filter(|(_, p)| p.due <= now).map(|(k, _)| *k).collect();
+        for key in due {
+            let Some(p) = rt.pending.get_mut(&key) else { continue };
+            if p.retries_left == 0 {
+                let to = p.to;
+                rt.pending.remove(&key);
+                rt.suspected.insert(to);
+                continue;
+            }
+            p.retries_left -= 1;
+            p.due = now + p.backoff + self.jitter();
+            p.backoff *= u32::try_from(self.recovery.backoff_factor.max(1)).unwrap_or(2);
+            self.transport.send(self.id, p.to, p.frame.clone());
+        }
+        // Child-liveness watchdog: re-query silent subtrees once, then
+        // abandon them (Error upward + final reply) so parents unwind.
+        let mut abandoned: Vec<(TransactionId, Option<NodeId>, bool)> = Vec::new();
+        for (txn, entry) in rt.live.iter_mut() {
+            if entry.pending_children.is_empty() || now < entry.watchdog_at {
+                continue;
+            }
+            if !entry.requeried {
+                if let Some(fscope) = &entry.fscope {
+                    for &child in &entry.pending_children {
+                        let msg = Message::Query {
+                            transaction: *txn,
+                            query: entry.query.clone(),
+                            language: QueryLanguage::XQuery,
+                            scope: fscope.clone(),
+                            response_mode: ResponseMode::Routed,
+                        };
+                        send(&self.transport, self.id, child, &msg);
+                    }
+                }
+                entry.requeried = true;
+                entry.watchdog_at = now + Duration::from_millis(self.recovery.watchdog_timeout_ms);
+                continue;
+            }
+            // Second strike: give the subtrees up.
+            let lost: Vec<NodeId> = entry.pending_children.drain().collect();
+            rt.suspected.extend(lost.iter().copied());
+            if let Some(p) = entry.parent {
+                for _ in &lost {
+                    let msg = Message::Error {
+                        transaction: *txn,
+                        origin: format!("n{}", self.id.0),
+                        reason: "watchdog: subtree lost".to_owned(),
+                    };
+                    send(&self.transport, self.id, p, &msg);
+                }
+            }
+            abandoned.push((*txn, entry.parent, entry.local_done));
+        }
+        for (txn, parent, local_done) in abandoned {
+            if let Some(p) = parent {
+                if local_done {
+                    self.reply(rt, p, txn, Vec::new(), true);
+                }
+            }
+            rt.live.remove(&txn);
+        }
+    }
+
+    fn jitter(&self) -> Duration {
+        if self.recovery.jitter_ms == 0 {
+            return Duration::ZERO;
+        }
+        // Cheap decorrelation: derive from the clock's sub-ms bits.
+        let nanos = Instant::now().elapsed().subsec_nanos() as u64
+            ^ (self.id.0 as u64).wrapping_mul(0x9e3779b9);
+        Duration::from_millis(nanos % (self.recovery.jitter_ms + 1))
     }
 
     fn evaluate(&self, query_src: &str) -> Vec<String> {
@@ -306,14 +589,44 @@ impl PeerThread {
         }
     }
 
-    fn reply(&self, to: NodeId, transaction: TransactionId, items: Vec<String>, last: bool) {
-        let msg = Message::Results {
-            transaction,
-            items,
-            last,
-            origin: format!("n{}", self.id.0),
+    /// Send a `Results` frame; with recovery on it is tracked for
+    /// retransmission until acked.
+    fn reply(
+        &self,
+        rt: &mut PeerRt,
+        to: NodeId,
+        transaction: TransactionId,
+        items: Vec<String>,
+        last: bool,
+    ) {
+        let seq = match rt.live.get_mut(&transaction) {
+            Some(e) => {
+                let s = e.next_seq;
+                e.next_seq += 1;
+                s
+            }
+            // Transaction already unwound (late prune ack): the stream to
+            // this receiver never carried a frame, so 0 is fresh.
+            None => 0,
         };
-        send(&self.transport, self.id, to, &msg);
+        let msg =
+            Message::Results { transaction, seq, items, last, origin: format!("n{}", self.id.0) };
+        let frame = encode_frame(&msg);
+        if self.recovery.enabled {
+            rt.pending.insert(
+                (transaction, to, seq),
+                PendingLive {
+                    frame: frame.clone(),
+                    to,
+                    due: Instant::now()
+                        + Duration::from_millis(self.recovery.ack_timeout_ms)
+                        + self.jitter(),
+                    retries_left: self.recovery.max_retries,
+                    backoff: Duration::from_millis(self.recovery.backoff_ms(1)),
+                },
+            );
+        }
+        self.transport.send(self.id, to, frame);
     }
 }
 
@@ -393,5 +706,57 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b, "same corpus from any entry point");
+    }
+
+    #[test]
+    fn killed_interior_peer_yields_partial_within_watchdog_budget() {
+        let recovery = RecoveryConfig {
+            enabled: true,
+            ack_timeout_ms: 80,
+            max_retries: 2,
+            backoff_factor: 2,
+            jitter_ms: 10,
+            watchdog_timeout_ms: 300,
+        };
+        let mut net = LiveNetwork::start_with(Topology::tree(15, 2), 2, 21, recovery);
+        let expected = ground_truth(&net, QUERY);
+        // Node 1 roots the subtree {1,3,4,7,8,9,10}: hang it.
+        net.kill(NodeId(1));
+        let t0 = Instant::now();
+        let report = net.query_full(NodeId(0), QUERY, None, Duration::from_secs(20));
+        let elapsed = t0.elapsed();
+        assert!(
+            !report.completeness.is_complete(),
+            "a hung subtree must be reported, got {:?}",
+            report.completeness
+        );
+        assert!(report.errors_received >= 1, "the watchdog reports the lost subtree");
+        assert!(!report.results.is_empty(), "the surviving subtree still answers");
+        assert!(report.results.len() < expected.len(), "the dead subtree's items are missing");
+        // Two watchdog rounds (re-query, then abandon) plus slack — far
+        // below the 20 s client budget, so this was recovery, not timeout.
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "partial answer must arrive within the watchdog budget, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn chaos_duplication_is_suppressed_by_sequence_numbers() {
+        let plan = ChaosPlan::none().with_duplication(1.0);
+        let mut net = LiveNetwork::start_chaos(
+            Topology::tree(7, 2),
+            2,
+            33,
+            RecoveryConfig::live_default(),
+            plan,
+        );
+        let expected = ground_truth(&net, QUERY);
+        let report = net.query_full(NodeId(0), QUERY, None, Duration::from_secs(10));
+        let mut got = report.results;
+        got.sort();
+        assert_eq!(got, expected, "duplicated frames must not duplicate results");
+        assert!(report.completeness.is_complete());
+        assert!(report.replays_suppressed > 0, "duplication must actually have happened");
     }
 }

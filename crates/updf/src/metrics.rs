@@ -39,6 +39,18 @@ pub struct QueryMetrics {
     pub node_aborts: u64,
     /// Whether the originator's deadline fired before completion.
     pub deadline_hit: bool,
+    /// `Results` retransmissions plus watchdog re-queries sent (recovery).
+    pub retries_sent: u64,
+    /// Frames whose retry budget ran out without an ack; the neighbor is
+    /// suspected dead afterwards.
+    pub acks_timed_out: u64,
+    /// Forwarded subtrees abandoned by the child-liveness watchdog.
+    pub subtrees_abandoned: u64,
+    /// Lost-subtree `Error` notifications that reached the originator.
+    pub errors_received: u64,
+    /// Replayed `Results` frames suppressed by sequence-number dedup
+    /// (retransmissions and network duplicates).
+    pub replays_suppressed: u64,
 }
 
 impl QueryMetrics {

@@ -87,11 +87,9 @@ impl NeighborPolicy {
                 picked
             }
             NeighborPolicy::Hint(kind) => match index {
-                Some(idx) => candidates
-                    .iter()
-                    .copied()
-                    .filter(|&c| idx.leads_to(node, c, kind))
-                    .collect(),
+                Some(idx) => {
+                    candidates.iter().copied().filter(|&c| idx.leads_to(node, c, kind)).collect()
+                }
                 None => candidates.to_vec(),
             },
         }
@@ -140,9 +138,7 @@ impl RoutingIndex {
 
     /// Does the edge `node → neighbor` lead to `kind` within the horizon?
     pub fn leads_to(&self, node: NodeId, neighbor: NodeId, kind: &str) -> bool {
-        self.kinds
-            .get(&(node, neighbor))
-            .is_some_and(|s| s.contains(kind))
+        self.kinds.get(&(node, neighbor)).is_some_and(|s| s.contains(kind))
     }
 
     /// The index's BFS horizon.
@@ -205,11 +201,7 @@ mod tests {
     fn routing_index_directs_hints() {
         // line: 0 - 1 - 2, kind "x" only at node 2
         let topo = Topology::line(3);
-        let kinds = vec![
-            HashSet::new(),
-            HashSet::new(),
-            ["x".to_owned()].into_iter().collect(),
-        ];
+        let kinds = vec![HashSet::new(), HashSet::new(), ["x".to_owned()].into_iter().collect()];
         let idx = RoutingIndex::build(&topo, &kinds, 4);
         assert!(idx.leads_to(NodeId(0), NodeId(1), "x"));
         assert!(idx.leads_to(NodeId(1), NodeId(2), "x"));

@@ -130,10 +130,7 @@ impl Topology {
     /// A complete `fanout`-ary tree rooted at node 0.
     pub fn tree(n: usize, fanout: usize) -> Topology {
         assert!(n >= 1 && fanout >= 1);
-        Topology::from_edges(
-            n,
-            (1..n as u32).map(move |i| (((i - 1) / fanout as u32), i)),
-        )
+        Topology::from_edges(n, (1..n as u32).map(move |i| (((i - 1) / fanout as u32), i)))
     }
 
     /// A `dim`-dimensional hypercube (2^dim nodes).
@@ -329,10 +326,7 @@ mod tests {
 
     #[test]
     fn generators_deterministic() {
-        assert_eq!(
-            Topology::random_connected(50, 3.0, 9),
-            Topology::random_connected(50, 3.0, 9)
-        );
+        assert_eq!(Topology::random_connected(50, 3.0, 9), Topology::random_connected(50, 3.0, 9));
         assert_eq!(Topology::power_law(50, 2, 9), Topology::power_law(50, 2, 9));
     }
 }

@@ -96,11 +96,7 @@ fn radius_scoping_limits_reach() {
         let mut net = network(Topology::line(12));
         let scope = Scope { radius: Some(radius), ..Scope::default() };
         let run = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
-        assert_eq!(
-            run.metrics.nodes_evaluated,
-            (radius + 1).min(12) as u64,
-            "radius {radius}"
-        );
+        assert_eq!(run.metrics.nodes_evaluated, (radius + 1).min(12) as u64, "radius {radius}");
         assert_eq!(run.metrics.messages("query"), radius.min(11) as u64);
     }
 }
@@ -132,10 +128,7 @@ fn pipelining_improves_time_to_first_result() {
     assert_eq!(sorted(piped.results.clone()), sorted(buffered.results.clone()));
     let p_first = piped.metrics.time_first_result.unwrap();
     let b_first = buffered.metrics.time_first_result.unwrap();
-    assert!(
-        p_first < b_first,
-        "pipelined first result at {p_first}, buffered at {b_first}"
-    );
+    assert!(p_first < b_first, "pipelined first result at {p_first}, buffered at {b_first}");
 }
 
 #[test]
@@ -188,8 +181,7 @@ fn abort_timeout_bounds_waiting() {
         slow_factor: 100_000, // effectively never finishes
         ..P2pConfig::default()
     };
-    let mut net =
-        SimNetwork::build(Topology::line(12), NetworkModel::constant(10), config);
+    let mut net = SimNetwork::build(Topology::line(12), NetworkModel::constant(10), config);
     let scope = Scope { abort_timeout_ms: 2_000, ..Scope::default() };
     let run = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
     // Nodes before the slow one still answered.
@@ -214,8 +206,7 @@ fn dynamic_timeouts_deliver_more_than_aggressive_static() {
             slow_factor: 40,
             ..P2pConfig::default()
         };
-        let mut net =
-            SimNetwork::build(Topology::tree(40, 2), NetworkModel::constant(30), config);
+        let mut net = SimNetwork::build(Topology::tree(40, 2), NetworkModel::constant(30), config);
         let scope = Scope { abort_timeout_ms: deadline, ..Scope::default() };
         net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed)
     };

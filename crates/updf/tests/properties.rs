@@ -1,10 +1,10 @@
 //! Property tests for topology generators and P2P engine invariants.
 
 use proptest::prelude::*;
-use wsda_net::model::NetworkModel;
+use wsda_net::model::{ChaosPlan, NetworkModel};
 use wsda_net::NodeId;
 use wsda_pdp::{ResponseMode, Scope};
-use wsda_updf::{P2pConfig, SimNetwork, Topology};
+use wsda_updf::{P2pConfig, RecoveryConfig, SimNetwork, Topology};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -114,5 +114,35 @@ proptest! {
         prop_assert_eq!(&routed, &direct);
         prop_assert_eq!(&routed, &referral);
         prop_assert_eq!(&routed, &agent);
+    }
+
+    /// Retransmission idempotency: with every frame duplicated by the
+    /// network and recovery on, sequence-number dedup must yield exactly
+    /// the clean-network result set, and the run must report Complete.
+    #[test]
+    fn recovery_is_idempotent_under_duplication(n in 4usize..24, seed in 0u64..30) {
+        let topo = Topology::random_connected(n, 3.0, seed);
+        let config = || P2pConfig {
+            tuples_per_node: 1,
+            eval_delay_ms: 1,
+            hop_cost_ms: 0,
+            ..Default::default()
+        };
+        let scope = || Scope { abort_timeout_ms: 1 << 40, loop_timeout_ms: 1 << 41, ..Scope::default() };
+        let sorted = |mut v: Vec<String>| { v.sort(); v };
+        let mut clean = SimNetwork::build(topo.clone(), NetworkModel::constant(5), config());
+        let baseline = sorted(clean.run_query(NodeId(0), "//service", scope(), ResponseMode::Routed).results);
+        let mut cfg = config();
+        cfg.recovery = RecoveryConfig::on();
+        let mut chaotic = SimNetwork::build_with_faults(
+            topo,
+            NetworkModel::constant(5),
+            ChaosPlan::none().with_duplication(1.0),
+            cfg,
+        );
+        let run = chaotic.run_query(NodeId(0), "//service", scope(), ResponseMode::Routed);
+        prop_assert!(run.completeness.is_complete(), "completeness: {}", run.completeness);
+        prop_assert!(run.metrics.replays_suppressed > 0, "duplication must have happened");
+        prop_assert_eq!(sorted(run.results), baseline);
     }
 }

@@ -102,12 +102,8 @@ mod tests {
 
     #[test]
     fn display_includes_position() {
-        let e = XmlError::new(
-            XmlErrorKind::UnexpectedChar { expected: "'<'", found: 'x' },
-            10,
-            2,
-            5,
-        );
+        let e =
+            XmlError::new(XmlErrorKind::UnexpectedChar { expected: "'<'", found: 'x' }, 10, 2, 5);
         let s = e.to_string();
         assert!(s.contains("line 2"), "{s}");
         assert!(s.contains("column 5"), "{s}");

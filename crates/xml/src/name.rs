@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut v = vec![QName::parse("b"), QName::parse("a:z"), QName::parse("a")];
+        let mut v = [QName::parse("b"), QName::parse("a:z"), QName::parse("a")];
         v.sort();
         assert_eq!(v[0], QName::local("a"));
     }

@@ -207,7 +207,10 @@ impl Element {
     }
 
     /// Descendant elements (excluding `self`) matching a name test.
-    pub fn descendants_named<'a>(&'a self, pattern: &str) -> impl Iterator<Item = &'a Element> + 'a {
+    pub fn descendants_named<'a>(
+        &'a self,
+        pattern: &str,
+    ) -> impl Iterator<Item = &'a Element> + 'a {
         let pattern = pattern.to_owned();
         self.descendants().filter(move |e| e.qname().matches(&pattern))
     }

@@ -371,8 +371,9 @@ impl<'a> Parser<'a> {
                 }
                 Some(']') if self.starts_with("]]>") => {
                     // "]]>" must not appear literally in character data.
-                    return Err(self
-                        .error(XmlErrorKind::UnexpectedChar { expected: "text", found: ']' }));
+                    return Err(
+                        self.error(XmlErrorKind::UnexpectedChar { expected: "text", found: ']' })
+                    );
                 }
                 Some(c) => {
                     if !is_valid_xml_char(c) {
@@ -454,14 +455,14 @@ fn resolve_entity(body: &str) -> Option<String> {
         "apos" => '\'',
         "quot" => '"',
         _ => {
-            let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X"))
-            {
-                u32::from_str_radix(hex, 16).ok()?
-            } else if let Some(dec) = body.strip_prefix('#') {
-                dec.parse::<u32>().ok()?
-            } else {
-                return None;
-            };
+            let code =
+                if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else if let Some(dec) = body.strip_prefix('#') {
+                    dec.parse::<u32>().ok()?
+                } else {
+                    return None;
+                };
             let ch = char::from_u32(code)?;
             if !is_valid_xml_char(ch) {
                 return None;

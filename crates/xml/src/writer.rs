@@ -215,8 +215,7 @@ mod tests {
 
     #[test]
     fn cdata_with_embedded_terminator() {
-        let e = crate::Element::new("a")
-            .with_node(XmlNode::CData("x]]>y".into()));
+        let e = crate::Element::new("a").with_node(XmlNode::CData("x]]>y".into()));
         let s = e.to_compact_string();
         let back = parse(&s).unwrap();
         assert_eq!(back.root().text(), "x]]>y");

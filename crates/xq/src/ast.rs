@@ -283,11 +283,7 @@ impl Expr {
         free
     }
 
-    fn collect_free(
-        &self,
-        bound: &mut Vec<String>,
-        free: &mut std::collections::HashSet<String>,
-    ) {
+    fn collect_free(&self, bound: &mut Vec<String>, free: &mut std::collections::HashSet<String>) {
         match self {
             Expr::VarRef(v) => {
                 if !bound.iter().any(|b| b == v) {

@@ -56,7 +56,9 @@ pub fn classify(expr: &Expr) -> QueryProfile {
     // A query is separable when it has no multi-variable joins and at most
     // one `for` iterating the whole input: every thesis medium query and
     // most complex ones are of this shape.
-    let separable = !stats.joins_variables && stats.for_count <= 1 && !stats.has_aggregate
+    let separable = !stats.joins_variables
+        && stats.for_count <= 1
+        && !stats.has_aggregate
         && !stats.has_order_by;
 
     QueryProfile { class, pipelinable, separable, index_key: None }
@@ -77,8 +79,7 @@ const AGGREGATES: &[&str] = &["count", "sum", "avg", "min", "max"];
 fn collect(expr: &Expr, stats: &mut Stats) {
     expr.walk(&mut |e| match e {
         Expr::Flwor { clauses, order_by, .. } => {
-            let fors =
-                clauses.iter().filter(|c| matches!(c, FlworClause::For { .. })).count();
+            let fors = clauses.iter().filter(|c| matches!(c, FlworClause::For { .. })).count();
             stats.for_count += fors;
             if !order_by.is_empty() {
                 stats.has_order_by = true;
@@ -97,9 +98,18 @@ fn collect(expr: &Expr, stats: &mut Stats) {
         }
         Expr::Binary {
             op:
-                BinOp::GenEq | BinOp::GenNe | BinOp::GenLt | BinOp::GenLe | BinOp::GenGt
-                | BinOp::GenGe | BinOp::ValEq | BinOp::ValNe | BinOp::ValLt | BinOp::ValLe
-                | BinOp::ValGt | BinOp::ValGe,
+                BinOp::GenEq
+                | BinOp::GenNe
+                | BinOp::GenLt
+                | BinOp::GenLe
+                | BinOp::GenGt
+                | BinOp::GenGe
+                | BinOp::ValEq
+                | BinOp::ValNe
+                | BinOp::ValLt
+                | BinOp::ValLe
+                | BinOp::ValGt
+                | BinOp::ValGe,
             lhs,
             rhs,
         } => {
@@ -137,8 +147,7 @@ fn simple_index_key(expr: &Expr) -> Option<(String, String)> {
         return None;
     };
     let (first, rest) = steps.split_first()?;
-    let all_plain_children =
-        rest.iter().all(|s| s.axis == Axis::Child && s.predicates.is_empty());
+    let all_plain_children = rest.iter().all(|s| s.axis == Axis::Child && s.predicates.is_empty());
     let single_attr_step =
         rest.len() == 1 && rest[0].axis == Axis::Attribute && rest[0].predicates.is_empty();
     if !all_plain_children && !single_attr_step {
@@ -232,9 +241,7 @@ mod tests {
 
     #[test]
     fn join_is_complex_not_separable() {
-        let p = profile(
-            "for $a in //service, $b in //replica where $a/host = $b/host return $a",
-        );
+        let p = profile("for $a in //service, $b in //replica where $a/host = $b/host return $a");
         assert_eq!(p.class, QueryClass::Complex);
         assert!(!p.separable);
         assert!(p.pipelinable); // joins can still pipe results out

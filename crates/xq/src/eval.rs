@@ -176,10 +176,9 @@ fn eval_inner(expr: &Expr, ctx: &mut DynamicContext) -> XqResult<Sequence> {
         Expr::StrLit(s) => Ok(vec![Item::Str(s.clone())]),
         Expr::NumLit(n) => Ok(vec![Item::Number(*n)]),
         Expr::Empty => Ok(Vec::new()),
-        Expr::VarRef(name) => ctx
-            .lookup(name)
-            .cloned()
-            .ok_or_else(|| XqError::UnboundVariable(name.clone())),
+        Expr::VarRef(name) => {
+            ctx.lookup(name).cloned().ok_or_else(|| XqError::UnboundVariable(name.clone()))
+        }
         Expr::ContextItem => {
             ctx.context_item.clone().map(|i| vec![i]).ok_or(XqError::MissingContextItem)
         }
@@ -311,9 +310,10 @@ fn eval_path(start: &PathStart, steps: &[Step], ctx: &mut DynamicContext) -> XqR
     for step in steps {
         current = apply_step(&current, step, ctx)?;
     }
-    if steps.iter().any(|s| {
-        matches!(s.axis, Axis::DescendantOrSelf | Axis::Descendant | Axis::Parent)
-    }) || matches!(start, PathStart::RootDescendant)
+    if steps
+        .iter()
+        .any(|s| matches!(s.axis, Axis::DescendantOrSelf | Axis::Descendant | Axis::Parent))
+        || matches!(start, PathStart::RootDescendant)
     {
         document_order_dedup(&mut current);
     }
@@ -321,8 +321,7 @@ fn eval_path(start: &PathStart, steps: &[Step], ctx: &mut DynamicContext) -> XqR
 }
 
 fn expect_node(item: &Item) -> XqResult<&NodeRef> {
-    item.as_node()
-        .ok_or_else(|| XqError::TypeError("path step applied to an atomic value".into()))
+    item.as_node().ok_or_else(|| XqError::TypeError("path step applied to an atomic value".into()))
 }
 
 fn apply_step(input: &[Item], step: &Step, ctx: &mut DynamicContext) -> XqResult<Sequence> {
@@ -350,9 +349,7 @@ fn apply_step(input: &[Item], step: &Step, ctx: &mut DynamicContext) -> XqResult
                 }
                 v.extend(node.descendant_elements());
                 match &step.test {
-                    NodeTest::Name(pattern) => {
-                        v.retain(|c| c.element().qname().matches(pattern))
-                    }
+                    NodeTest::Name(pattern) => v.retain(|c| c.element().qname().matches(pattern)),
                     NodeTest::AnyNode => {}
                     NodeTest::Text => {
                         // descendant text nodes
@@ -388,9 +385,7 @@ fn apply_step(input: &[Item], step: &Step, ctx: &mut DynamicContext) -> XqResult
                 NodeTest::Name(pattern) if pattern.ends_with(":*") => node
                     .attributes()
                     .into_iter()
-                    .filter(|a| {
-                        wsda_xml::QName::parse(&a.name()).matches(pattern)
-                    })
+                    .filter(|a| wsda_xml::QName::parse(&a.name()).matches(pattern))
                     .collect(),
                 NodeTest::Name(pattern) => node.attribute(pattern).into_iter().collect(),
                 _ => Vec::new(),
@@ -488,11 +483,8 @@ fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, ctx: &mut DynamicContext) -> X
             if l.iter().chain(r.iter()).any(|i| !i.is_node()) {
                 return Err(XqError::TypeError("set operation on non-node items".into()));
             }
-            let right_keys: std::collections::HashSet<_> = r
-                .iter()
-                .filter_map(|i| i.as_node())
-                .map(|n| n.order_key())
-                .collect();
+            let right_keys: std::collections::HashSet<_> =
+                r.iter().filter_map(|i| i.as_node()).map(|n| n.order_key()).collect();
             let keep_present = matches!(op, BinOp::Intersect);
             let mut out: Sequence = l
                 .into_iter()
@@ -654,9 +646,7 @@ fn eval_flwor(
                 FlworClause::For { var, position, source } => {
                     let invariant = ctx.hoist_invariants
                         && !bound_so_far.is_empty()
-                        && source.free_vars().iter().all(|v| {
-                            !bound_so_far.contains(&v.as_str())
-                        });
+                        && source.free_vars().iter().all(|v| !bound_so_far.contains(&v.as_str()));
                     let src = if invariant {
                         PreparedSource::Materialized(eval(source, ctx)?)
                     } else {

@@ -12,17 +12,57 @@ use crate::Expr;
 /// Names of every builtin this engine provides (used by docs and by the
 /// registry's capability advertisement).
 pub const BUILTIN_NAMES: &[&str] = &[
-    "boolean", "not", "true", "false",
-    "string", "number", "concat", "contains", "starts-with", "ends-with",
-    "substring", "substring-before", "substring-after", "string-length",
-    "normalize-space", "lower-case", "upper-case", "string-join", "translate",
-    "tokenize", "matches", "replace", "compare",
-    "count", "sum", "avg", "min", "max",
-    "empty", "exists", "distinct-values", "reverse", "subsequence",
-    "head", "tail", "zero-or-one", "exactly-one",
-    "insert-before", "remove", "index-of", "last", "position",
-    "name", "local-name", "data", "root",
-    "round", "floor", "ceiling", "abs", "number",
+    "boolean",
+    "not",
+    "true",
+    "false",
+    "string",
+    "number",
+    "concat",
+    "contains",
+    "starts-with",
+    "ends-with",
+    "substring",
+    "substring-before",
+    "substring-after",
+    "string-length",
+    "normalize-space",
+    "lower-case",
+    "upper-case",
+    "string-join",
+    "translate",
+    "tokenize",
+    "matches",
+    "replace",
+    "compare",
+    "count",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "empty",
+    "exists",
+    "distinct-values",
+    "reverse",
+    "subsequence",
+    "head",
+    "tail",
+    "zero-or-one",
+    "exactly-one",
+    "insert-before",
+    "remove",
+    "index-of",
+    "last",
+    "position",
+    "name",
+    "local-name",
+    "data",
+    "root",
+    "round",
+    "floor",
+    "ceiling",
+    "abs",
+    "number",
 ];
 
 macro_rules! bad_arg {
@@ -110,11 +150,8 @@ pub fn call(name: &str, args: &[Expr], ctx: &mut DynamicContext) -> XqResult<Seq
             check_arity(name, args, 2..=3)?;
             let s = string_arg(name, &args[0], ctx)?;
             let start = number_arg(name, &args[1], ctx)?;
-            let len = if args.len() == 3 {
-                number_arg(name, &args[2], ctx)?
-            } else {
-                f64::INFINITY
-            };
+            let len =
+                if args.len() == 3 { number_arg(name, &args[2], ctx)? } else { f64::INFINITY };
             Ok(vec![Item::Str(xpath_substring(&s, start, len))])
         }
         "string-length" => {
@@ -148,7 +185,8 @@ pub fn call(name: &str, args: &[Expr], ctx: &mut DynamicContext) -> XqResult<Seq
         "string-join" => {
             check_arity(name, args, 1..=2)?;
             let seq = eval(&args[0], ctx)?;
-            let sep = if args.len() == 2 { string_arg(name, &args[1], ctx)? } else { String::new() };
+            let sep =
+                if args.len() == 2 { string_arg(name, &args[1], ctx)? } else { String::new() };
             let parts: Vec<String> = seq.iter().map(|i| i.string_value()).collect();
             Ok(vec![Item::Str(parts.join(&sep))])
         }
@@ -324,7 +362,9 @@ pub fn call(name: &str, args: &[Expr], ctx: &mut DynamicContext) -> XqResult<Seq
             let needle = eval(&args[1], ctx)?;
             let needle = match needle.as_slice() {
                 [single] => single.string_value(),
-                other => bad_arg!("index-of", "search term must be a single item, got {}", other.len()),
+                other => {
+                    bad_arg!("index-of", "search term must be a single item, got {}", other.len())
+                }
             };
             Ok(v.iter()
                 .enumerate()
@@ -385,11 +425,7 @@ pub fn call(name: &str, args: &[Expr], ctx: &mut DynamicContext) -> XqResult<Seq
 
 // ==== helpers ==============================================================
 
-fn check_arity(
-    name: &str,
-    args: &[Expr],
-    range: std::ops::RangeInclusive<usize>,
-) -> XqResult<()> {
+fn check_arity(name: &str, args: &[Expr], range: std::ops::RangeInclusive<usize>) -> XqResult<()> {
     if range.contains(&args.len()) {
         Ok(())
     } else {
@@ -463,12 +499,7 @@ fn num1(
     }
 }
 
-fn extremum(
-    name: &str,
-    args: &[Expr],
-    ctx: &mut DynamicContext,
-    min: bool,
-) -> XqResult<Sequence> {
+fn extremum(name: &str, args: &[Expr], ctx: &mut DynamicContext, min: bool) -> XqResult<Sequence> {
     let v = one_arg(name, args, ctx)?;
     if v.is_empty() {
         return Ok(Vec::new());
@@ -476,10 +507,8 @@ fn extremum(
     // Numeric when every member parses as a number, else string comparison.
     let nums: Vec<f64> = v.iter().map(|i| i.number_value()).collect();
     if nums.iter().all(|n| !n.is_nan()) {
-        let best = nums
-            .into_iter()
-            .reduce(|a, b| if (b < a) == min { b } else { a })
-            .expect("nonempty");
+        let best =
+            nums.into_iter().reduce(|a, b| if (b < a) == min { b } else { a }).expect("nonempty");
         return Ok(vec![Item::Number(best)]);
     }
     let best = v

@@ -109,8 +109,7 @@ impl<'a> P<'a> {
     fn eat_kw(&mut self, kw: &str) -> bool {
         if self.starts(kw) {
             let after = self.input[self.pos + kw.len()..].chars().next();
-            let is_boundary =
-                !matches!(after, Some(c) if is_name_char(c) || c == ':');
+            let is_boundary = !matches!(after, Some(c) if is_name_char(c) || c == ':');
             if is_boundary {
                 self.pos += kw.len();
                 self.skip_ws();
@@ -269,11 +268,8 @@ impl<'a> P<'a> {
             return Err(self.err("FLWOR without for/let clause"));
         }
         self.skip_ws();
-        let where_ = if self.eat_kw("where") {
-            Some(Box::new(self.parse_expr_single()?))
-        } else {
-            None
-        };
+        let where_ =
+            if self.eat_kw("where") { Some(Box::new(self.parse_expr_single()?)) } else { None };
         self.skip_ws();
         let mut order_by = Vec::new();
         if self.peek_kw("order") {
@@ -561,9 +557,7 @@ impl<'a> P<'a> {
             Ok(Expr::Path { start, steps })
         } else {
             Ok(match first {
-                StepOrExpr::Step(s) => {
-                    Expr::Path { start: PathStart::Relative, steps: vec![s] }
-                }
+                StepOrExpr::Step(s) => Expr::Path { start: PathStart::Relative, steps: vec![s] },
                 StepOrExpr::Expr(e) => e,
             })
         }
@@ -682,15 +676,13 @@ impl<'a> P<'a> {
             Some(c) if is_name_start(c) => {
                 let name = self.read_name()?;
                 // `text()` / `node()` kind tests
-                if (name == "text" || name == "node") && self.rest().trim_start().starts_with("(")
-                {
+                if (name == "text" || name == "node") && self.rest().trim_start().starts_with("(") {
                     let save = self.pos;
                     self.skip_ws();
                     self.expect("(")?;
                     self.skip_ws();
                     if self.eat(")") {
-                        let test =
-                            if name == "text" { NodeTest::Text } else { NodeTest::AnyNode };
+                        let test = if name == "text" { NodeTest::Text } else { NodeTest::AnyNode };
                         let predicates = self.parse_predicates()?;
                         return Ok(StepOrExpr::Step(Step { axis: Axis::Child, test, predicates }));
                     }
@@ -804,8 +796,7 @@ impl<'a> P<'a> {
                 self.skip_ws();
                 self.expect("{")?;
                 self.skip_ws();
-                let content =
-                    if self.starts("}") { Expr::Empty } else { self.parse_expr()? };
+                let content = if self.starts("}") { Expr::Empty } else { self.parse_expr()? };
                 self.skip_ws();
                 self.expect("}")?;
                 Ok(Some(Expr::ComputedElement { name: Box::new(name), content: Box::new(content) }))
@@ -974,9 +965,9 @@ impl<'a> P<'a> {
                         self.pos += 2;
                         let close = self.read_name()?;
                         if close != name {
-                            return Err(self.err(format!(
-                                "constructor <{name}> closed by </{close}>"
-                            )));
+                            return Err(
+                                self.err(format!("constructor <{name}> closed by </{close}>"))
+                            );
                         }
                         self.skip_ws();
                         self.expect(">")?;
@@ -1280,7 +1271,9 @@ mod tests {
         match e {
             Expr::Flwor { clauses, where_, order_by, .. } => {
                 assert_eq!(clauses.len(), 2);
-                assert!(matches!(&clauses[0], FlworClause::For { position: Some(p), .. } if p == "i"));
+                assert!(
+                    matches!(&clauses[0], FlworClause::For { position: Some(p), .. } if p == "i")
+                );
                 assert!(where_.is_some());
                 assert_eq!(order_by.len(), 2);
                 assert!(order_by[0].descending);

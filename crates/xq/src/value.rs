@@ -235,10 +235,9 @@ impl NodeRef {
         match &self.kind {
             NodeKind::Element | NodeKind::Document => self.element().text(),
             NodeKind::Attribute(a) => self.element().attr(a).unwrap_or_default().to_owned(),
-            NodeKind::Text(i) => self.element().children()[*i]
-                .as_text()
-                .unwrap_or_default()
-                .to_owned(),
+            NodeKind::Text(i) => {
+                self.element().children()[*i].as_text().unwrap_or_default().to_owned()
+            }
         }
     }
 
@@ -267,9 +266,7 @@ impl fmt::Debug for NodeRef {
 
 impl PartialEq for NodeRef {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.root, &other.root)
-            && self.path == other.path
-            && self.kind == other.kind
+        Arc::ptr_eq(&self.root, &other.root) && self.path == other.path && self.kind == other.kind
     }
 }
 
@@ -360,7 +357,11 @@ pub fn format_number(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_owned()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".to_owned() } else { "-Infinity".to_owned() }
+        if n > 0.0 {
+            "Infinity".to_owned()
+        } else {
+            "-Infinity".to_owned()
+        }
     } else if n == n.trunc() && n.abs() < 1e15 {
         format!("{}", n as i64)
     } else {
@@ -398,9 +399,7 @@ pub fn document_order_dedup(seq: &mut Sequence) {
             other => rest.push(other),
         }
     }
-    nodes.sort_by(|a, b| {
-        a.order_key().cmp(&b.order_key()).then(Ordering::Equal)
-    });
+    nodes.sort_by(|a, b| a.order_key().cmp(&b.order_key()).then(Ordering::Equal));
     nodes.dedup_by(|a, b| a.order_key() == b.order_key());
     seq.extend(nodes.into_iter().map(Item::Node));
     seq.extend(rest);
@@ -493,7 +492,7 @@ mod tests {
         assert_eq!(Item::from(true).string_value(), "true");
         assert_eq!(Item::from(2.0).string_value(), "2");
         assert_eq!(Item::from(2.5).string_value(), "2.5");
-        assert_eq!(Item::str("x").number_value().is_nan(), true);
+        assert!(Item::str("x").number_value().is_nan());
         assert_eq!(Item::str("3.5").number_value(), 3.5);
         assert_eq!(Item::Bool(true).number_value(), 1.0);
     }

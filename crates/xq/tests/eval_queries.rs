@@ -105,9 +105,15 @@ fn parent_axis() {
 
 #[test]
 fn positional_predicates() {
-    assert_eq!(strings("//operation[1]/name"), ["submitJob", "getServiceDescription", "lookup", "put"]);
+    assert_eq!(
+        strings("//operation[1]/name"),
+        ["submitJob", "getServiceDescription", "lookup", "put"]
+    );
     assert_eq!(strings("//operation[2]/name"), ["get"]);
-    assert_eq!(strings("//operation[last()]/name"), ["submitJob", "getServiceDescription", "lookup", "get"]);
+    assert_eq!(
+        strings("//operation[last()]/name"),
+        ["submitJob", "getServiceDescription", "lookup", "get"]
+    );
     assert_eq!(count("//interface[position() = 1]"), 3);
 }
 
@@ -258,8 +264,14 @@ fn flwor_multi_key_ordering() {
 
 #[test]
 fn quantifiers() {
-    assert_eq!(count(r#"//service[every $o in interface/operation satisfies string-length($o/name) > 2]"#), 3);
-    assert_eq!(count(r#"//service[some $o in interface/operation satisfies $o/name = "lookup"]"#), 1);
+    assert_eq!(
+        count(r#"//service[every $o in interface/operation satisfies string-length($o/name) > 2]"#),
+        3
+    );
+    assert_eq!(
+        count(r#"//service[some $o in interface/operation satisfies $o/name = "lookup"]"#),
+        1
+    );
 }
 
 #[test]
@@ -293,8 +305,7 @@ fn division_by_zero_errors() {
 fn union_dedups_in_document_order() {
     let q = "//owner | //load | //owner";
     assert_eq!(count(q), 6);
-    let names: Vec<String> =
-        run(q).iter().map(|i| i.as_node().unwrap().name()).collect();
+    let names: Vec<String> = run(q).iter().map(|i| i.as_node().unwrap().name()).collect();
     assert_eq!(names, ["owner", "load", "owner", "load", "owner", "load"]);
 }
 
@@ -439,11 +450,9 @@ fn work_counter_reports() {
 fn deep_recursion_guarded() {
     // 300 nested parens exceed MAX_DEPTH at eval time.
     let src = format!("{}1{}", "(".repeat(300), ")".repeat(300));
-    match Query::parse(&src) {
-        Ok(q) => {
-            assert!(q.eval(&mut DynamicContext::new()).is_err());
-        }
-        Err(_) => {} // rejecting at parse time is equally acceptable
+    // Rejecting at parse time is equally acceptable.
+    if let Ok(q) = Query::parse(&src) {
+        assert!(q.eval(&mut DynamicContext::new()).is_err());
     }
 }
 
@@ -459,9 +468,7 @@ fn separable_query_unions_per_tuple_results() {
         q.eval_over(corpus()).unwrap().iter().map(|i| i.string_value()).collect();
     let mut per_tuple: Vec<String> = Vec::new();
     for doc in corpus() {
-        per_tuple.extend(
-            q.eval_over(vec![doc]).unwrap().iter().map(|i| i.string_value()),
-        );
+        per_tuple.extend(q.eval_over(vec![doc]).unwrap().iter().map(|i| i.string_value()));
     }
     assert_eq!(whole, per_tuple);
 }
@@ -471,9 +478,7 @@ fn separable_query_unions_per_tuple_results() {
 #[test]
 fn free_vars_analysis() {
     use std::collections::HashSet;
-    let fv = |src: &str| -> HashSet<String> {
-        Query::parse(src).unwrap().expr().free_vars()
-    };
+    let fv = |src: &str| -> HashSet<String> { Query::parse(src).unwrap().expr().free_vars() };
     assert!(fv("1 + 2").is_empty());
     assert_eq!(fv("$a + $b").len(), 2);
     assert!(fv("for $x in //a return $x").is_empty());
@@ -482,10 +487,7 @@ fn free_vars_analysis() {
     assert_eq!(fv("some $x in $src satisfies $x = 2"), ["src".to_owned()].into_iter().collect());
     assert!(fv("let $x := 1 return $x").is_empty());
     // a var bound by an inner scope is free in an outer sibling
-    assert_eq!(
-        fv("(for $x in //a return $x), $x"),
-        ["x".to_owned()].into_iter().collect()
-    );
+    assert_eq!(fv("(for $x in //a return $x), $x"), ["x".to_owned()].into_iter().collect());
     assert_eq!(fv("<e a=\"{$v}\">{$w}</e>").len(), 2);
 }
 
@@ -529,10 +531,7 @@ fn correlated_inner_source_not_hoisted_incorrectly() {
 
 #[test]
 fn hoisting_reduces_work() {
-    let q = Query::parse(
-        r#"for $a in //service, $b in //service return 1"#,
-    )
-    .unwrap();
+    let q = Query::parse(r#"for $a in //service, $b in //service return 1"#).unwrap();
     let work = |hoist: bool| {
         let mut ctx = DynamicContext::with_roots(corpus()).with_hoisting(hoist);
         q.eval(&mut ctx).unwrap();
@@ -581,7 +580,10 @@ fn head_tail_cardinality_builtins() {
 #[test]
 fn replace_and_compare() {
     assert_eq!(run("replace('a.b.c', '.', '/')")[0].string_value(), "a/b/c");
-    assert!(Query::parse("replace('x', '', 'y')").unwrap().eval(&mut DynamicContext::new()).is_err());
+    assert!(Query::parse("replace('x', '', 'y')")
+        .unwrap()
+        .eval(&mut DynamicContext::new())
+        .is_err());
     assert_eq!(run("compare('a', 'b')")[0].number_value(), -1.0);
     assert_eq!(run("compare('b', 'b')")[0].number_value(), 0.0);
     assert_eq!(run("compare('c', 'b')")[0].number_value(), 1.0);

@@ -7,12 +7,8 @@ use wsda_xq::{DynamicContext, Item, Query};
 
 /// A random small service corpus.
 fn arb_corpus() -> impl Strategy<Value = Vec<Arc<Element>>> {
-    let owner = prop_oneof![
-        Just("cms.cern.ch"),
-        Just("atlas.cern.ch"),
-        Just("fnal.gov"),
-        Just("in2p3.fr")
-    ];
+    let owner =
+        prop_oneof![Just("cms.cern.ch"), Just("atlas.cern.ch"), Just("fnal.gov"), Just("in2p3.fr")];
     let svc = (owner, 0.0f64..1.0, 1usize..4).prop_map(|(owner, load, n_ifaces)| {
         let mut s = Element::new("service")
             .with_field("owner", owner)

@@ -72,12 +72,8 @@ fn main() {
     ];
     for (swsdl, owner, load) in fleet {
         let (link, content) = service_content(swsdl, owner, load);
-        rs.publish(
-            PublishRequest::new(&link, "service")
-                .with_context(owner)
-                .with_content(content),
-        )
-        .unwrap();
+        rs.publish(PublishRequest::new(&link, "service").with_context(owner).with_content(content))
+            .unwrap();
     }
 
     // --- The request: lookup replica -> stage input -> run job -----------
@@ -120,9 +116,7 @@ fn main() {
 
     // Execution, with simulated services.
     let mut invoker = SimInvoker::new();
-    invoker.handle("http://cern.ch/rc", "lookup", |lfn| {
-        Ok(format!("srb://cern.ch/data/{lfn}"))
-    });
+    invoker.handle("http://cern.ch/rc", "lookup", |lfn| Ok(format!("srb://cern.ch/data/{lfn}")));
     invoker.handle("http://cms.cern.ch/ft", "stage", |url| Ok(format!("/scratch/{}", url.len())));
     invoker.handle("http://fnal.gov/ft", "stage", |url| Ok(format!("/scratch/{}", url.len())));
     invoker.handle("http://cms.cern.ch/exec", "submitJob", |input| {

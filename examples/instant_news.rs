@@ -25,13 +25,18 @@ fn main() {
     // A wire service that publishes a new headline every pull.
     let tick = Arc::new(AtomicU64::new(0));
     let t2 = tick.clone();
-    registry.register_provider(Arc::new(DynamicProvider::new("http://wire.example/feed", move |_| {
-        let n = t2.load(Ordering::SeqCst);
-        Element::new("news")
-            .with_field("headline", format!("LHC beam energy record #{n}"))
-            .with_field("minute", n.to_string())
-    })));
-    registry.publish(PublishRequest::new("http://wire.example/feed", "news").with_ttl_ms(3_600_000)).unwrap();
+    registry.register_provider(Arc::new(DynamicProvider::new(
+        "http://wire.example/feed",
+        move |_| {
+            let n = t2.load(Ordering::SeqCst);
+            Element::new("news")
+                .with_field("headline", format!("LHC beam energy record #{n}"))
+                .with_field("minute", n.to_string())
+        },
+    )));
+    registry
+        .publish(PublishRequest::new("http://wire.example/feed", "news").with_ttl_ms(3_600_000))
+        .unwrap();
 
     // A flaky community blog: two of every three pulls fail.
     let blog = Arc::new(StaticProvider::new(
@@ -39,7 +44,9 @@ fn main() {
         Element::new("news").with_field("headline", "Why the Higgs matters"),
     ));
     registry.register_provider(Arc::new(FlakyProvider::new(blog, 2, 3)));
-    registry.publish(PublishRequest::new("http://blog.example/physics", "news").with_ttl_ms(3_600_000)).unwrap();
+    registry
+        .publish(PublishRequest::new("http://blog.example/physics", "news").with_ttl_ms(3_600_000))
+        .unwrap();
 
     // A source that pushes once and then disappears (short lease).
     registry

@@ -24,20 +24,12 @@ fn main() {
     // Full flood from node 0.
     let start = Instant::now();
     let all = net.query(NodeId(0), QUERY, None, Duration::from_secs(10));
-    println!(
-        "flood        : {} storage owners in {:?}",
-        all.len(),
-        start.elapsed()
-    );
+    println!("flood        : {} storage owners in {:?}", all.len(), start.elapsed());
 
     // Same query, neighborhood only.
     let start = Instant::now();
     let near = net.query(NodeId(0), QUERY, Some(1), Duration::from_secs(10));
-    println!(
-        "radius-1     : {} storage owners in {:?}",
-        near.len(),
-        start.elapsed()
-    );
+    println!("radius-1     : {} storage owners in {:?}", near.len(), start.elapsed());
     assert!(near.len() <= all.len());
 
     // A different entry point sees the same universe.

@@ -1,0 +1,204 @@
+//! Minimal stand-in for `criterion` (see shims/README.md): the group /
+//! bench_function / iter authoring surface over a plain wall-clock
+//! runner. Timings are honest medians-of-samples but there is no
+//! statistical analysis, outlier rejection, or HTML report; total
+//! runtime per benchmark is capped at one second regardless of the
+//! requested measurement time.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark context; hands out groups.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{id}"), Duration::from_secs(1), 10, f);
+    }
+}
+
+/// A named set of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Requested measurement budget (capped at 1 s by this shim).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), self.measurement_time, self.sample_size, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &format!("{}/{id}", self.name),
+            self.measurement_time,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (reports were already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Function-plus-parameter benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Measures the closure handed to it; one per benchmark run.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, repeated enough times for a stable wall-clock
+    /// sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.calibrating {
+            // Find an iteration count taking roughly 5 ms.
+            let mut iters: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                    self.iters_per_sample = iters;
+                    return;
+                }
+                iters *= 2;
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_benchmark<F>(name: &str, measurement_time: Duration, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { iters_per_sample: 1, samples: Vec::new(), calibrating: true };
+    f(&mut bencher); // calibration pass
+    bencher.calibrating = false;
+
+    let budget = measurement_time.min(Duration::from_secs(1));
+    let started = Instant::now();
+    for _ in 0..sample_size.max(1) {
+        f(&mut bencher);
+        if started.elapsed() > budget {
+            break;
+        }
+    }
+
+    bencher.samples.sort();
+    let median = bencher.samples.get(bencher.samples.len() / 2).copied().unwrap_or_default();
+    println!(
+        "{name:<40} {:>12.3} µs/iter ({} samples x {} iters)",
+        median.as_secs_f64() * 1e6,
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_completes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.measurement_time(Duration::from_millis(30)).sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scale", 4), &4u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

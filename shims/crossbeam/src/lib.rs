@@ -1,0 +1,5 @@
+//! Minimal stand-in for `crossbeam` (see shims/README.md): the
+//! `channel` module with clonable MPMC unbounded channels and
+//! timeout-aware receives, built on `Mutex` + `Condvar`.
+
+pub mod channel;

@@ -1,0 +1,41 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Some(inner)` three times out of four, else
+/// `None` (matching the real crate's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let strat = of(0u32..100);
+        let mut rng = TestRng::deterministic("option");
+        let values: Vec<_> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().flatten().all(|&v| v < 100));
+    }
+}

@@ -1,0 +1,253 @@
+//! Generator for the regex subset the workspace's patterns use:
+//!
+//! - character classes `[a-z0-9_.-]` with ranges, literals, and the
+//!   escapes `\n` `\r` `\t` `\\` `\]` `\-`
+//! - `\PC` — "any printable character" (ASCII printable plus a small
+//!   multibyte palette, to exercise UTF-8 handling)
+//! - escaped literals outside classes (`\n`, `\.`, …)
+//! - quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (star/plus capped at 8)
+//! - plain literal characters
+//!
+//! Anything else (alternation, groups, anchors) is an error.
+
+use crate::TestRng;
+
+/// Multibyte characters mixed into `\PC` output so codecs meet real
+/// UTF-8, not just ASCII.
+const PRINTABLE_WIDE: &[char] = &['ä', 'ö', 'ü', 'é', '✓', '€', 'λ', '中', '🦀'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// One char uniformly from this set.
+    Class(Vec<(char, char)>),
+    /// Any printable char (`\PC`).
+    Printable,
+    /// Exactly this char.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Validate a pattern without generating.
+pub fn check(pattern: &str) -> Result<(), String> {
+    parse(pattern).map(|_| ())
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> Result<String, String> {
+    let pieces = parse(pattern)?;
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+        for _ in 0..count {
+            out.push(emit(&piece.atom, rng));
+        }
+    }
+    Ok(out)
+}
+
+fn emit(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Printable => {
+            // Mostly ASCII printable, sometimes wider characters.
+            if rng.below(10) == 0 {
+                PRINTABLE_WIDE[rng.below(PRINTABLE_WIDE.len() as u64) as usize]
+            } else {
+                char::from(b' ' + rng.below(95) as u8)
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| span(*lo, *hi)).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let n = span(*lo, *hi);
+                if pick < n {
+                    return char::from_u32(*lo as u32 + pick as u32)
+                        .expect("class range produced invalid char");
+                }
+                pick -= n;
+            }
+            unreachable!("class ranges were exhausted")
+        }
+    }
+}
+
+fn span(lo: char, hi: char) -> u64 {
+    u64::from(hi as u32) - u64::from(lo as u32) + 1
+}
+
+fn parse(pattern: &str) -> Result<Vec<Piece>, String> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)?),
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => Atom::Printable,
+                    other => return Err(format!("unsupported escape \\P{other:?}")),
+                },
+                Some('n') => Atom::Literal('\n'),
+                Some('r') => Atom::Literal('\r'),
+                Some('t') => Atom::Literal('\t'),
+                Some(lit) => Atom::Literal(lit),
+                None => return Err("dangling backslash".into()),
+            },
+            '(' | ')' | '|' | '^' | '$' => {
+                return Err(format!("unsupported regex construct {c:?}"))
+            }
+            lit => Atom::Literal(lit),
+        };
+        let (min, max) = parse_quantifier(&mut chars)?;
+        pieces.push(Piece { atom, min, max });
+    }
+    Ok(pieces)
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<Vec<(char, char)>, String> {
+    let mut items: Vec<char> = Vec::new();
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = chars.next().ok_or("unterminated character class")?;
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars.next().ok_or("dangling backslash in class")?;
+                items.push(match esc {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    lit => lit,
+                });
+            }
+            '-' if !items.is_empty() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = items.pop().expect("checked non-empty");
+                let hi = match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some('n') => '\n',
+                        Some('r') => '\r',
+                        Some('t') => '\t',
+                        Some(lit) => lit,
+                        None => return Err("dangling backslash in class".into()),
+                    },
+                    Some(hi) => hi,
+                    None => return Err("unterminated character class".into()),
+                };
+                if hi < lo {
+                    return Err(format!("inverted class range {lo:?}-{hi:?}"));
+                }
+                ranges.push((lo, hi));
+            }
+            lit => items.push(lit),
+        }
+    }
+    ranges.extend(items.into_iter().map(|c| (c, c)));
+    if ranges.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(ranges)
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(u32, u32), String> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => return Err("unterminated quantifier".into()),
+                }
+            }
+            let parse_num =
+                |s: &str| s.trim().parse::<u32>().map_err(|_| format!("bad quantifier {{{spec}}}"));
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    let (lo, hi) = (parse_num(lo)?, parse_num(hi)?);
+                    if hi < lo {
+                        return Err(format!("inverted quantifier {{{spec}}}"));
+                    }
+                    Ok((lo, hi))
+                }
+                None => {
+                    let n = parse_num(&spec)?;
+                    Ok((n, n))
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 8))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed_name: &str) -> Vec<String> {
+        let mut rng = TestRng::deterministic(seed_name);
+        (0..200).map(|_| generate(pattern, &mut rng).unwrap()).collect()
+    }
+
+    #[test]
+    fn xml_name_pattern() {
+        for s in gen("[a-zA-Z_][a-zA-Z0-9_.-]{0,8}", "name") {
+            let mut it = s.chars();
+            let first = it.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+            assert!(s.chars().count() <= 9);
+            for c in it {
+                assert!(c.is_ascii_alphanumeric() || "_.-".contains(c), "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn printable_pattern_lengths() {
+        let all = gen("\\PC{0,64}", "printable");
+        assert!(all.iter().any(String::is_empty));
+        assert!(all.iter().all(|s| s.chars().count() <= 64));
+        assert!(all.iter().any(|s| !s.is_ascii()), "expected some non-ASCII output");
+    }
+
+    #[test]
+    fn fixed_literal_sequence() {
+        assert_eq!(gen("abc", "lit")[0], "abc");
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        for s in gen("[01]{4}", "exact") {
+            assert_eq!(s.len(), 4);
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(generate("(a|b)", &mut TestRng::deterministic("x")).is_err());
+        assert!(generate("[", &mut TestRng::deterministic("x")).is_err());
+        assert!(generate("a{2,1}", &mut TestRng::deterministic("x")).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimal stand-in for `rayon` (see shims/README.md): genuinely
+//! parallel `par_chunks(..).map(..).collect()` over `std::thread::scope`,
+//! preserving input order in the collected output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Threads the pool would use; here, the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The traits callers `use rayon::prelude::*` for.
+pub mod prelude {
+    pub use crate::ParallelSlice;
+}
+
+/// Slice extension providing [`ParallelSlice::par_chunks`].
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized sub-slices (last one may
+    /// be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks { chunks: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// Parallel chunk iterator; only supports `map(..).collect()`.
+pub struct ParChunks<'a, T> {
+    chunks: Vec<&'a [T]>,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Apply `f` to every chunk in parallel.
+    pub fn map<F, R>(self, f: F) -> MappedChunks<'a, T, F>
+    where
+        F: Fn(&'a [T]) -> R + Sync,
+        R: Send,
+    {
+        MappedChunks { chunks: self.chunks, f }
+    }
+}
+
+/// Mapped parallel chunks, ready to collect.
+pub struct MappedChunks<'a, T, F> {
+    chunks: Vec<&'a [T]>,
+    f: F,
+}
+
+impl<'a, T: Sync, F> MappedChunks<'a, T, F> {
+    /// Run the map across worker threads and collect results in input
+    /// order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a [T]) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.chunks.len();
+        let workers = current_num_threads().min(n).max(1);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        if n > 0 {
+            let next = AtomicUsize::new(0);
+            let f = &self.f;
+            let chunks = &self.chunks;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut produced = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                produced.push((i, f(chunks[i])));
+                            }
+                            produced
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, r) in handle.join().expect("rayon shim worker panicked") {
+                        slots[i] = Some(r);
+                    }
+                }
+            });
+        }
+        slots.into_iter().map(|slot| slot.expect("chunk result missing")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let data: Vec<u64> = (0..1000).collect();
+        let sums: Vec<u64> = data.par_chunks(7).map(|c| c.iter().sum()).collect();
+        let serial: Vec<u64> = data.chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, serial);
+    }
+
+    #[test]
+    fn empty_input() {
+        let data: Vec<u8> = Vec::new();
+        let out: Vec<usize> = data.par_chunks(4).map(|c| c.len()).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let data: Vec<u32> = (0..64).collect();
+        let _sums: Vec<u32> = data
+            .par_chunks(1)
+            .map(|c| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                c[0]
+            })
+            .collect();
+        if current_num_threads() > 1 {
+            assert!(seen.lock().unwrap().len() > 1, "expected parallel execution");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Minimal stand-in for `serde` (see shims/README.md).
+//!
+//! Nothing in this workspace actually serializes through serde — the
+//! derives on protocol types exist for downstream API compatibility, and
+//! report JSON flows through `serde_json::json!` values directly. So the
+//! traits are markers with blanket impls, and the derives expand to
+//! nothing.
+
+/// Marker: type can be serialized. Blanket-implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: type can be deserialized. Blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's helper alias trait.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives (see shims/README.md).
+//!
+//! The shimmed `serde` traits are blanket-implemented for all types, so
+//! the derives have nothing to generate — they only need to exist so
+//! `#[derive(Serialize, Deserialize)]` attributes keep compiling.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,502 @@
+//! Minimal stand-in for `serde_json` (see shims/README.md): a JSON
+//! [`Value`] tree built by the [`json!`] macro, with indexing, literal
+//! comparisons, and compact / pretty printers. There is no parser — the
+//! workspace only produces JSON, it never consumes it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integer or float, printed accordingly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer (covers every count in the reports).
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. BTreeMap keeps key order deterministic.
+    Object(BTreeMap<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as u64, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::Int(i)) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Array content, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+macro_rules! impl_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Number(Number::Int(i)) if *i == *other as i64)
+            }
+        }
+    )*};
+}
+impl_eq_int!(i32, i64, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(Number::Float(f)) if f == other)
+    }
+}
+
+/// Conversion into [`Value`]; what the [`json!`] macro calls on each
+/// field expression. Takes `&self` so both owned values and references
+/// work at the call site.
+pub trait ToJson {
+    /// The JSON form of this value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+impl_tojson_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+/// Build a [`Value`] from a JSON-shaped literal: objects (string-literal
+/// keys), arrays, `null`, and Rust expressions as scalar values, nested
+/// to any depth. A token-tree muncher in the style of the real crate.
+#[macro_export]
+macro_rules! json {
+    // -- object muncher: json!(@object map (key-so-far) (unparsed) (copy))
+
+    // Done.
+    (@object $map:ident () () ()) => {};
+    // Insert entry, comma follows — continue with the rest.
+    (@object $map:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($($key)+), $value);
+        $crate::json!(@object $map () ($($rest)*) ($($rest)*));
+    };
+    // Insert final entry (no trailing comma).
+    (@object $map:ident [$($key:tt)+] ($value:expr)) => {
+        $map.insert(::std::string::String::from($($key)+), $value);
+    };
+    // Value is null.
+    (@object $map:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json!(@object $map [$($key)+] ($crate::Value::Null) $($rest)*);
+    };
+    // Value is a nested array.
+    (@object $map:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json!(@object $map [$($key)+] ($crate::json!([$($array)*])) $($rest)*);
+    };
+    // Value is a nested object.
+    (@object $map:ident ($($key:tt)+) (: {$($inner:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json!(@object $map [$($key)+] ($crate::json!({$($inner)*})) $($rest)*);
+    };
+    // Value is an expression followed by a comma.
+    (@object $map:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json!(@object $map [$($key)+] ($crate::ToJson::to_json(&$value)) , $($rest)*);
+    };
+    // Value is the last expression (no trailing comma).
+    (@object $map:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json!(@object $map [$($key)+] ($crate::ToJson::to_json(&$value)));
+    };
+    // Trailing comma after the last entry.
+    (@object $map:ident () (,) ($comma:tt)) => {};
+    // Accumulate one key token.
+    (@object $map:ident ($($key:tt)*) ($head:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json!(@object $map ($($key)* $head) ($($rest)*) ($($rest)*));
+    };
+
+    // -- array muncher: json!(@array [elems,] unparsed)
+
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    (@array [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json!(@array [$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json!(@array [$($elems,)* $crate::json!([$($array)*]),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json!(@array [$($elems,)* $crate::json!({$($inner)*}),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] $next:expr , $($rest:tt)*) => {
+        $crate::json!(@array [$($elems,)* $crate::ToJson::to_json(&$next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json!(@array [$($elems,)* $crate::ToJson::to_json(&$last),])
+    };
+
+    // -- entry points
+
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object(::std::collections::BTreeMap::new())
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = ::std::collections::BTreeMap::<::std::string::String, $crate::Value>::new();
+        $crate::json!(@object map () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Error type kept for signature compatibility; the shim printers never
+/// fail.
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any [`ToJson`] value into a [`Value`].
+pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Compact one-line JSON.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_string())
+}
+
+/// Pretty JSON with two-space indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_json(), 0, &mut out);
+    Ok(out)
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match n {
+        Number::Int(i) => out.push_str(&i.to_string()),
+        Number::Float(f) if f.is_finite() => {
+            let s = format!("{f}");
+            out.push_str(&s);
+            // JSON floats must carry a decimal point or exponent.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                out.push_str(".0");
+            }
+        }
+        // JSON has no NaN/Infinity; mirror serde_json's null fallback.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_and_indexing() {
+        let name = String::from("tree");
+        let v = json!({"n": 63, "frac": 0.5, "topo": name, "ok": true});
+        assert_eq!(v["n"], 63);
+        assert_eq!(v["frac"], 0.5);
+        assert_eq!(v["topo"], "tree");
+        assert_eq!(v["ok"], true);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn nested_arrays_index() {
+        let rows = vec![json!({"a": 1}), json!({"a": 2})];
+        let v = json!({"rows": rows});
+        assert_eq!(v["rows"][0]["a"], 1);
+        assert_eq!(v["rows"][1]["a"], 2);
+        assert!(v["rows"][5].is_null());
+    }
+
+    #[test]
+    fn nested_object_values() {
+        let (hyper_ms, hyper_n) = (12.5f64, 3u64);
+        let v = json!({
+            "hyper": {"supported": true, "ms": hyper_ms, "results": hyper_n},
+            "list": [1, {"two": 2}, null],
+            "nothing": null,
+        });
+        assert_eq!(v["hyper"]["supported"], true);
+        assert_eq!(v["hyper"]["ms"], 12.5);
+        assert_eq!(v["hyper"]["results"], 3);
+        assert_eq!(v["list"][0], 1);
+        assert_eq!(v["list"][1]["two"], 2);
+        assert!(v["list"][2].is_null());
+        assert!(v["nothing"].is_null());
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(json!({}), Value::Object(Default::default()));
+    }
+
+    #[test]
+    fn compact_and_pretty_print() {
+        let v = json!({"b": [1, 2], "a": "x\"y\n"});
+        assert_eq!(v.to_string(), r#"{"a":"x\"y\n","b":[1,2]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": \"x\\\"y\\n\",\n"));
+        assert!(pretty.contains("\"b\": [\n"));
+    }
+
+    #[test]
+    fn float_formatting_keeps_decimal() {
+        let mut s = String::new();
+        write_number(&Number::Float(3.0), &mut s);
+        assert_eq!(s, "3.0");
+        s.clear();
+        write_number(&Number::Float(2.5), &mut s);
+        assert_eq!(s, "2.5");
+    }
+}

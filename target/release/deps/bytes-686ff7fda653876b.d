@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-686ff7fda653876b.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-686ff7fda653876b.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-686ff7fda653876b.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

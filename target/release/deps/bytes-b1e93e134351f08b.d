@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-b1e93e134351f08b.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-b1e93e134351f08b: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-d513b8e4526e5a80.d: shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-d513b8e4526e5a80.rmeta: shims/bytes/src/lib.rs Cargo.toml
+
+shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/churn-114c75b4fe84aba7.d: crates/registry/tests/churn.rs Cargo.toml
+
+/root/repo/target/release/deps/libchurn-114c75b4fe84aba7.rmeta: crates/registry/tests/churn.rs Cargo.toml
+
+crates/registry/tests/churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

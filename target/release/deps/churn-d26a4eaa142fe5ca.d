@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/churn-d26a4eaa142fe5ca.d: crates/registry/tests/churn.rs
+
+/root/repo/target/release/deps/churn-d26a4eaa142fe5ca: crates/registry/tests/churn.rs
+
+crates/registry/tests/churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_properties-5329690e456c6c2f.d: crates/pdp/tests/codec_properties.rs
+
+/root/repo/target/release/deps/codec_properties-5329690e456c6c2f: crates/pdp/tests/codec_properties.rs
+
+crates/pdp/tests/codec_properties.rs:

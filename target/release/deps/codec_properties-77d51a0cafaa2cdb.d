@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/codec_properties-77d51a0cafaa2cdb.d: crates/pdp/tests/codec_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libcodec_properties-77d51a0cafaa2cdb.rmeta: crates/pdp/tests/codec_properties.rs Cargo.toml
+
+crates/pdp/tests/codec_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

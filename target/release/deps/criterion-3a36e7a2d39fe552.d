@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-3a36e7a2d39fe552.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-3a36e7a2d39fe552.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

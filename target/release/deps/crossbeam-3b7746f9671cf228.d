@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/crossbeam-3b7746f9671cf228.d: shims/crossbeam/src/lib.rs shims/crossbeam/src/channel.rs
+
+/root/repo/target/release/deps/crossbeam-3b7746f9671cf228: shims/crossbeam/src/lib.rs shims/crossbeam/src/channel.rs
+
+shims/crossbeam/src/lib.rs:
+shims/crossbeam/src/channel.rs:

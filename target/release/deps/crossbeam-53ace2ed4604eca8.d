@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/crossbeam-53ace2ed4604eca8.d: shims/crossbeam/src/lib.rs shims/crossbeam/src/channel.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-53ace2ed4604eca8.rmeta: shims/crossbeam/src/lib.rs shims/crossbeam/src/channel.rs Cargo.toml
+
+shims/crossbeam/src/lib.rs:
+shims/crossbeam/src/channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

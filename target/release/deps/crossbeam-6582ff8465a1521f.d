@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/crossbeam-6582ff8465a1521f.d: shims/crossbeam/src/lib.rs shims/crossbeam/src/channel.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-6582ff8465a1521f.rmeta: shims/crossbeam/src/lib.rs shims/crossbeam/src/channel.rs Cargo.toml
+
+shims/crossbeam/src/lib.rs:
+shims/crossbeam/src/channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

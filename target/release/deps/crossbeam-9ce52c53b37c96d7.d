@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/crossbeam-9ce52c53b37c96d7.d: shims/crossbeam/src/lib.rs shims/crossbeam/src/channel.rs
+
+/root/repo/target/release/deps/libcrossbeam-9ce52c53b37c96d7.rlib: shims/crossbeam/src/lib.rs shims/crossbeam/src/channel.rs
+
+/root/repo/target/release/deps/libcrossbeam-9ce52c53b37c96d7.rmeta: shims/crossbeam/src/lib.rs shims/crossbeam/src/channel.rs
+
+shims/crossbeam/src/lib.rs:
+shims/crossbeam/src/channel.rs:

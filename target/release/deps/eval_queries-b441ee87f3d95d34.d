@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eval_queries-b441ee87f3d95d34.d: crates/xq/tests/eval_queries.rs Cargo.toml
+
+/root/repo/target/release/deps/libeval_queries-b441ee87f3d95d34.rmeta: crates/xq/tests/eval_queries.rs Cargo.toml
+
+crates/xq/tests/eval_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eval_queries-cd7032bec9d4c2fd.d: crates/xq/tests/eval_queries.rs
+
+/root/repo/target/release/deps/eval_queries-cd7032bec9d4c2fd: crates/xq/tests/eval_queries.rs
+
+crates/xq/tests/eval_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-2f9ee03edf628b13.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-2f9ee03edf628b13: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

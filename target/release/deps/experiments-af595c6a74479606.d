@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-af595c6a74479606.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-af595c6a74479606: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_stack-a173e89b37ac3d51.d: tests/full_stack.rs
+
+/root/repo/target/release/deps/full_stack-a173e89b37ac3d51: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/full_stack-b8edbac32243dc16.d: tests/full_stack.rs Cargo.toml
+
+/root/repo/target/release/deps/libfull_stack-b8edbac32243dc16.rmeta: tests/full_stack.rs Cargo.toml
+
+tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/p2p_queries-6062486595ed5f0c.d: crates/updf/tests/p2p_queries.rs
+
+/root/repo/target/release/deps/p2p_queries-6062486595ed5f0c: crates/updf/tests/p2p_queries.rs
+
+crates/updf/tests/p2p_queries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/p2p_queries-ba963554638462ee.d: crates/updf/tests/p2p_queries.rs Cargo.toml
+
+/root/repo/target/release/deps/libp2p_queries-ba963554638462ee.rmeta: crates/updf/tests/p2p_queries.rs Cargo.toml
+
+crates/updf/tests/p2p_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/p2p_query-8c73cbd28edbe87b.d: crates/bench/benches/p2p_query.rs Cargo.toml
+
+/root/repo/target/release/deps/libp2p_query-8c73cbd28edbe87b.rmeta: crates/bench/benches/p2p_query.rs Cargo.toml
+
+crates/bench/benches/p2p_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

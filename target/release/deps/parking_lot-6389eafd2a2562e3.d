@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-6389eafd2a2562e3.d: shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-6389eafd2a2562e3.rmeta: shims/parking_lot/src/lib.rs Cargo.toml
+
+shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

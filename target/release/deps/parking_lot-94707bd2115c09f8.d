@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-94707bd2115c09f8.d: shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-94707bd2115c09f8.rmeta: shims/parking_lot/src/lib.rs Cargo.toml
+
+shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-bd897b6b8014eda9.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-bd897b6b8014eda9.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-bd897b6b8014eda9.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-ff6f27e63f6cdc6a.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-ff6f27e63f6cdc6a: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pdp_codec-732586ce03667ec4.d: crates/bench/benches/pdp_codec.rs Cargo.toml
+
+/root/repo/target/release/deps/libpdp_codec-732586ce03667ec4.rmeta: crates/bench/benches/pdp_codec.rs Cargo.toml
+
+crates/bench/benches/pdp_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline-63b0dc51decd6928.d: crates/core/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline-63b0dc51decd6928.rmeta: crates/core/tests/pipeline.rs Cargo.toml
+
+crates/core/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

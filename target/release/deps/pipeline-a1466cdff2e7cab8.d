@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-a1466cdff2e7cab8.d: crates/core/tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-a1466cdff2e7cab8: crates/core/tests/pipeline.rs
+
+crates/core/tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-28bd64d445cca81e.d: crates/updf/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-28bd64d445cca81e.rmeta: crates/updf/tests/properties.rs Cargo.toml
+
+crates/updf/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-414d186e81e54ca9.d: crates/updf/tests/properties.rs
+
+/root/repo/target/release/deps/properties-414d186e81e54ca9: crates/updf/tests/properties.rs
+
+crates/updf/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-4eed85f087c81b41.d: crates/xq/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-4eed85f087c81b41.rmeta: crates/xq/tests/properties.rs Cargo.toml
+
+crates/xq/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

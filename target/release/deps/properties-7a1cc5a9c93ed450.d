@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7a1cc5a9c93ed450.d: crates/xq/tests/properties.rs
+
+/root/repo/target/release/deps/properties-7a1cc5a9c93ed450: crates/xq/tests/properties.rs
+
+crates/xq/tests/properties.rs:

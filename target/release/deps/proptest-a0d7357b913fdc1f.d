@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/proptest-a0d7357b913fdc1f.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-a0d7357b913fdc1f.rmeta: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/string.rs:
+shims/proptest/src/regex_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-f808de6ea68b829f.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs
+
+/root/repo/target/release/deps/proptest-f808de6ea68b829f: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/string.rs:
+shims/proptest/src/regex_gen.rs:

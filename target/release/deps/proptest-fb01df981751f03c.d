@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-fb01df981751f03c.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs
+
+/root/repo/target/release/deps/libproptest-fb01df981751f03c.rlib: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs
+
+/root/repo/target/release/deps/libproptest-fb01df981751f03c.rmeta: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/string.rs:
+shims/proptest/src/regex_gen.rs:

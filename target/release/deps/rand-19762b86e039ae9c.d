@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rand-19762b86e039ae9c.d: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-19762b86e039ae9c.rmeta: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+shims/rand/src/rngs.rs:
+shims/rand/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-24c2adaec1de883a.d: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-24c2adaec1de883a.rlib: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-24c2adaec1de883a.rmeta: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs
+
+shims/rand/src/lib.rs:
+shims/rand/src/rngs.rs:
+shims/rand/src/seq.rs:

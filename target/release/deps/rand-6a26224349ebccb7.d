@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6a26224349ebccb7.d: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs
+
+/root/repo/target/release/deps/rand-6a26224349ebccb7: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs
+
+shims/rand/src/lib.rs:
+shims/rand/src/rngs.rs:
+shims/rand/src/seq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-0aea6715905e158e.d: shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-0aea6715905e158e.rmeta: shims/rayon/src/lib.rs Cargo.toml
+
+shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

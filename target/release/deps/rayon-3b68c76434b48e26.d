@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-3b68c76434b48e26.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-3b68c76434b48e26.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-3b68c76434b48e26.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

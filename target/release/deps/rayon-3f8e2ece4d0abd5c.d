@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-3f8e2ece4d0abd5c.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-3f8e2ece4d0abd5c: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/registry_of_experiments-03ef6d6b15b53e81.d: crates/bench/tests/registry_of_experiments.rs
+
+/root/repo/target/release/deps/registry_of_experiments-03ef6d6b15b53e81: crates/bench/tests/registry_of_experiments.rs
+
+crates/bench/tests/registry_of_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/registry_of_experiments-7d1bd00c7538a03e.d: crates/bench/tests/registry_of_experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/libregistry_of_experiments-7d1bd00c7538a03e.rmeta: crates/bench/tests/registry_of_experiments.rs Cargo.toml
+
+crates/bench/tests/registry_of_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

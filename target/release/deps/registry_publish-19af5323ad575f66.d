@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/registry_publish-19af5323ad575f66.d: crates/bench/benches/registry_publish.rs Cargo.toml
+
+/root/repo/target/release/deps/libregistry_publish-19af5323ad575f66.rmeta: crates/bench/benches/registry_publish.rs Cargo.toml
+
+crates/bench/benches/registry_publish.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/registry_query-d67ac267d5faaa01.d: crates/bench/benches/registry_query.rs Cargo.toml
+
+/root/repo/target/release/deps/libregistry_query-d67ac267d5faaa01.rmeta: crates/bench/benches/registry_query.rs Cargo.toml
+
+crates/bench/benches/registry_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

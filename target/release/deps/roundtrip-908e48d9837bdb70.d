@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-908e48d9837bdb70.d: crates/xml/tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-908e48d9837bdb70: crates/xml/tests/roundtrip.rs
+
+crates/xml/tests/roundtrip.rs:

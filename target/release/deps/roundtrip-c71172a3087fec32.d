@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/roundtrip-c71172a3087fec32.d: crates/xml/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/release/deps/libroundtrip-c71172a3087fec32.rmeta: crates/xml/tests/roundtrip.rs Cargo.toml
+
+crates/xml/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

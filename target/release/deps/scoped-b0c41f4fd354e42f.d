@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scoped-b0c41f4fd354e42f.d: crates/registry/tests/scoped.rs
+
+/root/repo/target/release/deps/scoped-b0c41f4fd354e42f: crates/registry/tests/scoped.rs
+
+crates/registry/tests/scoped.rs:

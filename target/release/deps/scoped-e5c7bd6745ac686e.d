@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scoped-e5c7bd6745ac686e.d: crates/registry/tests/scoped.rs Cargo.toml
+
+/root/repo/target/release/deps/libscoped-e5c7bd6745ac686e.rmeta: crates/registry/tests/scoped.rs Cargo.toml
+
+crates/registry/tests/scoped.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

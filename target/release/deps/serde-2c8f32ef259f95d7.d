@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-2c8f32ef259f95d7.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-2c8f32ef259f95d7.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-2c8f32ef259f95d7.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

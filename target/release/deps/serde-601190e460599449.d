@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-601190e460599449.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-601190e460599449.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

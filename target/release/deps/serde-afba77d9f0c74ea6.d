@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-afba77d9f0c74ea6.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-afba77d9f0c74ea6.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

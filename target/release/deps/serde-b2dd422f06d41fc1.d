@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-b2dd422f06d41fc1.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-b2dd422f06d41fc1: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-7faaa871f2f35fae.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-7faaa871f2f35fae.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

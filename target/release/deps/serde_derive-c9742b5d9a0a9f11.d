@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-c9742b5d9a0a9f11.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-c9742b5d9a0a9f11: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

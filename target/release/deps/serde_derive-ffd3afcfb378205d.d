@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-ffd3afcfb378205d.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-ffd3afcfb378205d.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

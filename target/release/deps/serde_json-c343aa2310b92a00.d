@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-c343aa2310b92a00.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c343aa2310b92a00.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c343aa2310b92a00.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

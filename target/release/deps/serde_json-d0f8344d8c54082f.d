@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-d0f8344d8c54082f.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-d0f8344d8c54082f: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

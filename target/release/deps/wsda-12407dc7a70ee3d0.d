@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wsda-12407dc7a70ee3d0.d: src/lib.rs
+
+/root/repo/target/release/deps/libwsda-12407dc7a70ee3d0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwsda-12407dc7a70ee3d0.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

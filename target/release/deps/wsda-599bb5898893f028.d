@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wsda-599bb5898893f028.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda-599bb5898893f028.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wsda-db232afa5f810c26.d: src/lib.rs
+
+/root/repo/target/release/deps/wsda-db232afa5f810c26: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

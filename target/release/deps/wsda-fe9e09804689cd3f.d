@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wsda-fe9e09804689cd3f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda-fe9e09804689cd3f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/wsda_bench-d0cb1e5e48442d38.d: crates/bench/src/lib.rs crates/bench/src/a1_ablations.rs crates/bench/src/f01_registry_query.rs crates/bench/src/f02_softstate.rs crates/bench/src/f03_freshness.rs crates/bench/src/f04_publication.rs crates/bench/src/f05_topology_scaling.rs crates/bench/src/f06_response_modes.rs crates/bench/src/f07_pipelining.rs crates/bench/src/f08_timeouts.rs crates/bench/src/f09_radius.rs crates/bench/src/f10_loop_detection.rs crates/bench/src/f11_neighbor_selection.rs crates/bench/src/f12_containers.rs crates/bench/src/f13_agent_vs_servent.rs crates/bench/src/f14_wire.rs crates/bench/src/f15_loss.rs crates/bench/src/harness.rs crates/bench/src/t1.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda_bench-d0cb1e5e48442d38.rmeta: crates/bench/src/lib.rs crates/bench/src/a1_ablations.rs crates/bench/src/f01_registry_query.rs crates/bench/src/f02_softstate.rs crates/bench/src/f03_freshness.rs crates/bench/src/f04_publication.rs crates/bench/src/f05_topology_scaling.rs crates/bench/src/f06_response_modes.rs crates/bench/src/f07_pipelining.rs crates/bench/src/f08_timeouts.rs crates/bench/src/f09_radius.rs crates/bench/src/f10_loop_detection.rs crates/bench/src/f11_neighbor_selection.rs crates/bench/src/f12_containers.rs crates/bench/src/f13_agent_vs_servent.rs crates/bench/src/f14_wire.rs crates/bench/src/f15_loss.rs crates/bench/src/harness.rs crates/bench/src/t1.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/a1_ablations.rs:
+crates/bench/src/f01_registry_query.rs:
+crates/bench/src/f02_softstate.rs:
+crates/bench/src/f03_freshness.rs:
+crates/bench/src/f04_publication.rs:
+crates/bench/src/f05_topology_scaling.rs:
+crates/bench/src/f06_response_modes.rs:
+crates/bench/src/f07_pipelining.rs:
+crates/bench/src/f08_timeouts.rs:
+crates/bench/src/f09_radius.rs:
+crates/bench/src/f10_loop_detection.rs:
+crates/bench/src/f11_neighbor_selection.rs:
+crates/bench/src/f12_containers.rs:
+crates/bench/src/f13_agent_vs_servent.rs:
+crates/bench/src/f14_wire.rs:
+crates/bench/src/f15_loss.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/t1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

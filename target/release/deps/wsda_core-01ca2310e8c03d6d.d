@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wsda_core-01ca2310e8c03d6d.d: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda_core-01ca2310e8c03d6d.rmeta: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/interfaces.rs:
+crates/core/src/link.rs:
+crates/core/src/steps.rs:
+crates/core/src/swsdl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsda_core-387dbbe73410667c.d: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs
+
+/root/repo/target/release/deps/libwsda_core-387dbbe73410667c.rlib: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs
+
+/root/repo/target/release/deps/libwsda_core-387dbbe73410667c.rmeta: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/interfaces.rs:
+crates/core/src/link.rs:
+crates/core/src/steps.rs:
+crates/core/src/swsdl.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wsda_core-3bc20e1829f4ac7b.d: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda_core-3bc20e1829f4ac7b.rmeta: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/interfaces.rs:
+crates/core/src/link.rs:
+crates/core/src/steps.rs:
+crates/core/src/swsdl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

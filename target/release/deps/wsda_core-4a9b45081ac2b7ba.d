@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wsda_core-4a9b45081ac2b7ba.d: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs
+
+/root/repo/target/release/deps/wsda_core-4a9b45081ac2b7ba: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/interfaces.rs:
+crates/core/src/link.rs:
+crates/core/src/steps.rs:
+crates/core/src/swsdl.rs:

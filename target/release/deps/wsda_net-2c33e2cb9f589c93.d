@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wsda_net-2c33e2cb9f589c93.d: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libwsda_net-2c33e2cb9f589c93.rlib: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libwsda_net-2c33e2cb9f589c93.rmeta: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/model.rs:
+crates/net/src/sim.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/wsda_net-aab2e4756c5dcd8f.d: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/wsda_net-aab2e4756c5dcd8f: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/model.rs:
+crates/net/src/sim.rs:
+crates/net/src/transport.rs:

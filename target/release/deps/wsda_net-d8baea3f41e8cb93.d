@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wsda_net-d8baea3f41e8cb93.d: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda_net-d8baea3f41e8cb93.rmeta: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/model.rs:
+crates/net/src/sim.rs:
+crates/net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

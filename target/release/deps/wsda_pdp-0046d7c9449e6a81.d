@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wsda_pdp-0046d7c9449e6a81.d: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda_pdp-0046d7c9449e6a81.rmeta: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs Cargo.toml
+
+crates/pdp/src/lib.rs:
+crates/pdp/src/framing.rs:
+crates/pdp/src/message.rs:
+crates/pdp/src/state.rs:
+crates/pdp/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsda_pdp-09d20021b982a31d.d: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs
+
+/root/repo/target/release/deps/libwsda_pdp-09d20021b982a31d.rlib: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs
+
+/root/repo/target/release/deps/libwsda_pdp-09d20021b982a31d.rmeta: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs
+
+crates/pdp/src/lib.rs:
+crates/pdp/src/framing.rs:
+crates/pdp/src/message.rs:
+crates/pdp/src/state.rs:
+crates/pdp/src/wire.rs:

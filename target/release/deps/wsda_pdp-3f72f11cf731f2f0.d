@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wsda_pdp-3f72f11cf731f2f0.d: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs
+
+/root/repo/target/release/deps/wsda_pdp-3f72f11cf731f2f0: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs
+
+crates/pdp/src/lib.rs:
+crates/pdp/src/framing.rs:
+crates/pdp/src/message.rs:
+crates/pdp/src/state.rs:
+crates/pdp/src/wire.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/wsda_registry-3518867721d60e45.d: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda_registry-3518867721d60e45.rmeta: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs Cargo.toml
+
+crates/registry/src/lib.rs:
+crates/registry/src/baseline.rs:
+crates/registry/src/clock.rs:
+crates/registry/src/error.rs:
+crates/registry/src/freshness.rs:
+crates/registry/src/provider.rs:
+crates/registry/src/registry.rs:
+crates/registry/src/sql.rs:
+crates/registry/src/store.rs:
+crates/registry/src/throttle.rs:
+crates/registry/src/tuple.rs:
+crates/registry/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/wsda_registry-6e66bfc9e78d783c.d: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs
+
+/root/repo/target/release/deps/libwsda_registry-6e66bfc9e78d783c.rlib: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs
+
+/root/repo/target/release/deps/libwsda_registry-6e66bfc9e78d783c.rmeta: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs
+
+crates/registry/src/lib.rs:
+crates/registry/src/baseline.rs:
+crates/registry/src/clock.rs:
+crates/registry/src/error.rs:
+crates/registry/src/freshness.rs:
+crates/registry/src/provider.rs:
+crates/registry/src/registry.rs:
+crates/registry/src/sql.rs:
+crates/registry/src/store.rs:
+crates/registry/src/throttle.rs:
+crates/registry/src/tuple.rs:
+crates/registry/src/workload.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/wsda_registry-a4e3c8a091336ad5.d: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs
+
+/root/repo/target/release/deps/wsda_registry-a4e3c8a091336ad5: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs
+
+crates/registry/src/lib.rs:
+crates/registry/src/baseline.rs:
+crates/registry/src/clock.rs:
+crates/registry/src/error.rs:
+crates/registry/src/freshness.rs:
+crates/registry/src/provider.rs:
+crates/registry/src/registry.rs:
+crates/registry/src/sql.rs:
+crates/registry/src/store.rs:
+crates/registry/src/throttle.rs:
+crates/registry/src/tuple.rs:
+crates/registry/src/workload.rs:

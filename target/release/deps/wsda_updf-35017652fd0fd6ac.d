@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/wsda_updf-35017652fd0fd6ac.d: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs
+
+/root/repo/target/release/deps/libwsda_updf-35017652fd0fd6ac.rlib: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs
+
+/root/repo/target/release/deps/libwsda_updf-35017652fd0fd6ac.rmeta: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs
+
+crates/updf/src/lib.rs:
+crates/updf/src/container.rs:
+crates/updf/src/engine.rs:
+crates/updf/src/live.rs:
+crates/updf/src/metrics.rs:
+crates/updf/src/recovery.rs:
+crates/updf/src/selection.rs:
+crates/updf/src/topology.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/wsda_updf-b651594a9bb0d053.d: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda_updf-b651594a9bb0d053.rmeta: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs Cargo.toml
+
+crates/updf/src/lib.rs:
+crates/updf/src/container.rs:
+crates/updf/src/engine.rs:
+crates/updf/src/live.rs:
+crates/updf/src/metrics.rs:
+crates/updf/src/recovery.rs:
+crates/updf/src/selection.rs:
+crates/updf/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

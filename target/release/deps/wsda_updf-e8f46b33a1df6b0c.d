@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wsda_updf-e8f46b33a1df6b0c.d: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs
+
+/root/repo/target/release/deps/wsda_updf-e8f46b33a1df6b0c: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs
+
+crates/updf/src/lib.rs:
+crates/updf/src/container.rs:
+crates/updf/src/engine.rs:
+crates/updf/src/live.rs:
+crates/updf/src/metrics.rs:
+crates/updf/src/recovery.rs:
+crates/updf/src/selection.rs:
+crates/updf/src/topology.rs:

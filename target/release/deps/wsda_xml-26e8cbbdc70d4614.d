@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wsda_xml-26e8cbbdc70d4614.d: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda_xml-26e8cbbdc70d4614.rmeta: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/error.rs:
+crates/xml/src/name.rs:
+crates/xml/src/node.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/path.rs:
+crates/xml/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsda_xml-30a61fa222895ce4.d: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/wsda_xml-30a61fa222895ce4: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/error.rs:
+crates/xml/src/name.rs:
+crates/xml/src/node.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/path.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wsda_xml-f2010fd7e78f3ff8.d: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libwsda_xml-f2010fd7e78f3ff8.rlib: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libwsda_xml-f2010fd7e78f3ff8.rmeta: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/error.rs:
+crates/xml/src/name.rs:
+crates/xml/src/node.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/path.rs:
+crates/xml/src/writer.rs:

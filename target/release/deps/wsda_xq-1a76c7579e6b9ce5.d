@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wsda_xq-1a76c7579e6b9ce5.d: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs
+
+/root/repo/target/release/deps/wsda_xq-1a76c7579e6b9ce5: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs
+
+crates/xq/src/lib.rs:
+crates/xq/src/ast.rs:
+crates/xq/src/classify.rs:
+crates/xq/src/error.rs:
+crates/xq/src/eval.rs:
+crates/xq/src/functions.rs:
+crates/xq/src/parser.rs:
+crates/xq/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/wsda_xq-b1a1ec17079836ea.d: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs Cargo.toml
+
+/root/repo/target/release/deps/libwsda_xq-b1a1ec17079836ea.rmeta: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs Cargo.toml
+
+crates/xq/src/lib.rs:
+crates/xq/src/ast.rs:
+crates/xq/src/classify.rs:
+crates/xq/src/error.rs:
+crates/xq/src/eval.rs:
+crates/xq/src/functions.rs:
+crates/xq/src/parser.rs:
+crates/xq/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/wsda_xq-d845ad399f86e26a.d: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs
+
+/root/repo/target/release/deps/libwsda_xq-d845ad399f86e26a.rlib: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs
+
+/root/repo/target/release/deps/libwsda_xq-d845ad399f86e26a.rmeta: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs
+
+crates/xq/src/lib.rs:
+crates/xq/src/ast.rs:
+crates/xq/src/classify.rs:
+crates/xq/src/error.rs:
+crates/xq/src/eval.rs:
+crates/xq/src/functions.rs:
+crates/xq/src/parser.rs:
+crates/xq/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xq_eval-56e8fed9a09705f5.d: crates/bench/benches/xq_eval.rs Cargo.toml
+
+/root/repo/target/release/deps/libxq_eval-56e8fed9a09705f5.rmeta: crates/bench/benches/xq_eval.rs Cargo.toml
+
+crates/bench/benches/xq_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

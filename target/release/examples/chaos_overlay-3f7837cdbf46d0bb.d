@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/chaos_overlay-3f7837cdbf46d0bb.d: examples/chaos_overlay.rs Cargo.toml
+
+/root/repo/target/release/examples/libchaos_overlay-3f7837cdbf46d0bb.rmeta: examples/chaos_overlay.rs Cargo.toml
+
+examples/chaos_overlay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_overlay-c96b3d638bc96e5d.d: examples/chaos_overlay.rs
+
+/root/repo/target/release/examples/chaos_overlay-c96b3d638bc96e5d: examples/chaos_overlay.rs
+
+examples/chaos_overlay.rs:

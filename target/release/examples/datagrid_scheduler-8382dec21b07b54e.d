@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/datagrid_scheduler-8382dec21b07b54e.d: examples/datagrid_scheduler.rs Cargo.toml
+
+/root/repo/target/release/examples/libdatagrid_scheduler-8382dec21b07b54e.rmeta: examples/datagrid_scheduler.rs Cargo.toml
+
+examples/datagrid_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/datagrid_scheduler-f55e5ea5e6d1795d.d: examples/datagrid_scheduler.rs
+
+/root/repo/target/release/examples/datagrid_scheduler-f55e5ea5e6d1795d: examples/datagrid_scheduler.rs
+
+examples/datagrid_scheduler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/instant_news-0fadbad7a4386cd6.d: examples/instant_news.rs Cargo.toml
+
+/root/repo/target/release/examples/libinstant_news-0fadbad7a4386cd6.rmeta: examples/instant_news.rs Cargo.toml
+
+examples/instant_news.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

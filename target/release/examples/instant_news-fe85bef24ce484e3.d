@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/instant_news-fe85bef24ce484e3.d: examples/instant_news.rs
+
+/root/repo/target/release/examples/instant_news-fe85bef24ce484e3: examples/instant_news.rs
+
+examples/instant_news.rs:

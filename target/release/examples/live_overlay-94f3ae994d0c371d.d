@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/live_overlay-94f3ae994d0c371d.d: examples/live_overlay.rs Cargo.toml
+
+/root/repo/target/release/examples/liblive_overlay-94f3ae994d0c371d.rmeta: examples/live_overlay.rs Cargo.toml
+
+examples/live_overlay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_overlay-e868ccd9d8164708.d: examples/live_overlay.rs
+
+/root/repo/target/release/examples/live_overlay-e868ccd9d8164708: examples/live_overlay.rs
+
+examples/live_overlay.rs:

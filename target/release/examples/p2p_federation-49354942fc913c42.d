@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/p2p_federation-49354942fc913c42.d: examples/p2p_federation.rs
+
+/root/repo/target/release/examples/p2p_federation-49354942fc913c42: examples/p2p_federation.rs
+
+examples/p2p_federation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/p2p_federation-5a573c389a68252d.d: examples/p2p_federation.rs Cargo.toml
+
+/root/repo/target/release/examples/libp2p_federation-5a573c389a68252d.rmeta: examples/p2p_federation.rs Cargo.toml
+
+examples/p2p_federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-1451ce5b08f1d4ce.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-1451ce5b08f1d4ce.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b98c4f3272b2069b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b98c4f3272b2069b: examples/quickstart.rs
+
+examples/quickstart.rs:

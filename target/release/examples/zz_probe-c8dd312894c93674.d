@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/zz_probe-c8dd312894c93674.d: examples/zz_probe.rs
+
+/root/repo/target/release/examples/zz_probe-c8dd312894c93674: examples/zz_probe.rs
+
+examples/zz_probe.rs:

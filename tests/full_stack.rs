@@ -71,14 +71,13 @@ fn p2p_results_survive_the_wire() {
     assert!(!run.results.is_empty());
     let msg = Message::Results {
         transaction: TransactionId::derive(9, 9),
+        seq: 0,
         items: run.results.clone(),
         last: true,
         origin: "n0".into(),
     };
     let frame = encode(&msg);
-    let Message::Results { items, .. } = decode(&frame).unwrap() else {
-        panic!("kind preserved")
-    };
+    let Message::Results { items, .. } = decode(&frame).unwrap() else { panic!("kind preserved") };
     assert_eq!(items, run.results);
     for item in &items {
         parse_fragment(item).expect("result items are well-formed XML");
@@ -118,8 +117,7 @@ fn discovery_over_federated_view_matches_local() {
     let q = Query::parse(r#"count(//service[interface/@type = "Executor-1.0"])"#).unwrap();
     let direct: f64 = (0..12u32)
         .map(|i| {
-            net.registry(NodeId(i)).query(&q, &Freshness::any()).unwrap().results[0]
-                .number_value()
+            net.registry(NodeId(i)).query(&q, &Freshness::any()).unwrap().results[0].number_value()
         })
         .sum();
     assert_eq!(via_view.len() as f64, direct);
@@ -174,17 +172,15 @@ fn presenter_description_roundtrip_through_every_layer() {
     let registry = Arc::new(HyperRegistry::new(RegistryConfig::default(), clock.clone()));
     let rs = RegistryService::new("http://registry/", registry);
     let original = rs.get_service_description();
-    rs.publish(
-        PublishRequest::new(&original.link, "service")
-            .with_content(original.to_xml()),
-    )
-    .unwrap();
-    let q = Query::parse("//service").unwrap();
-    let found = wsda::core::interfaces::XQueryInterface::xquery(&rs, &q, &Freshness::any())
+    rs.publish(PublishRequest::new(&original.link, "service").with_content(original.to_xml()))
         .unwrap();
+    let q = Query::parse("//service").unwrap();
+    let found =
+        wsda::core::interfaces::XQueryInterface::xquery(&rs, &q, &Freshness::any()).unwrap();
     let xml_text = found[0].as_node().unwrap().materialize_element().unwrap().to_compact_string();
     let msg = Message::Results {
         transaction: TransactionId::derive(1, 1),
+        seq: 0,
         items: vec![xml_text],
         last: true,
         origin: "n0".into(),
