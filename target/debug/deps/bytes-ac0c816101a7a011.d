@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-ac0c816101a7a011.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-ac0c816101a7a011.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-ac0c816101a7a011.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

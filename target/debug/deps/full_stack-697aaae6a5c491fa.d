@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-697aaae6a5c491fa.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-697aaae6a5c491fa: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-5d2d5fe81f379193.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs
+
+/root/repo/target/debug/deps/libproptest-5d2d5fe81f379193.rlib: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs
+
+/root/repo/target/debug/deps/libproptest-5d2d5fe81f379193.rmeta: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/option.rs shims/proptest/src/string.rs shims/proptest/src/regex_gen.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/string.rs:
+shims/proptest/src/regex_gen.rs:

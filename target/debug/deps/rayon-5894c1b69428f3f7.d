@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-5894c1b69428f3f7.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-5894c1b69428f3f7.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-5894c1b69428f3f7.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-40ef18c2773b8656.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-40ef18c2773b8656.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-40ef18c2773b8656.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-f669b43cbf63ee55.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-f669b43cbf63ee55.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsda-63ddfb450ee42790.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwsda-63ddfb450ee42790.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwsda-63ddfb450ee42790.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wsda-fd04c95860b39429.d: src/lib.rs
+
+/root/repo/target/debug/deps/wsda-fd04c95860b39429: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsda_core-17c1ab8e8ae23f0e.d: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs
+
+/root/repo/target/debug/deps/libwsda_core-17c1ab8e8ae23f0e.rlib: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs
+
+/root/repo/target/debug/deps/libwsda_core-17c1ab8e8ae23f0e.rmeta: crates/core/src/lib.rs crates/core/src/interfaces.rs crates/core/src/link.rs crates/core/src/steps.rs crates/core/src/swsdl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/interfaces.rs:
+crates/core/src/link.rs:
+crates/core/src/steps.rs:
+crates/core/src/swsdl.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wsda_net-44c8adcc4991a29f.d: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libwsda_net-44c8adcc4991a29f.rlib: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libwsda_net-44c8adcc4991a29f.rmeta: crates/net/src/lib.rs crates/net/src/model.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/model.rs:
+crates/net/src/sim.rs:
+crates/net/src/transport.rs:

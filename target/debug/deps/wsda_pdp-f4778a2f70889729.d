@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsda_pdp-f4778a2f70889729.d: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs
+
+/root/repo/target/debug/deps/libwsda_pdp-f4778a2f70889729.rlib: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs
+
+/root/repo/target/debug/deps/libwsda_pdp-f4778a2f70889729.rmeta: crates/pdp/src/lib.rs crates/pdp/src/framing.rs crates/pdp/src/message.rs crates/pdp/src/state.rs crates/pdp/src/wire.rs
+
+crates/pdp/src/lib.rs:
+crates/pdp/src/framing.rs:
+crates/pdp/src/message.rs:
+crates/pdp/src/state.rs:
+crates/pdp/src/wire.rs:

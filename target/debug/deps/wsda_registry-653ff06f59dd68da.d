@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/wsda_registry-653ff06f59dd68da.d: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs
+
+/root/repo/target/debug/deps/libwsda_registry-653ff06f59dd68da.rlib: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs
+
+/root/repo/target/debug/deps/libwsda_registry-653ff06f59dd68da.rmeta: crates/registry/src/lib.rs crates/registry/src/baseline.rs crates/registry/src/clock.rs crates/registry/src/error.rs crates/registry/src/freshness.rs crates/registry/src/provider.rs crates/registry/src/registry.rs crates/registry/src/sql.rs crates/registry/src/store.rs crates/registry/src/throttle.rs crates/registry/src/tuple.rs crates/registry/src/workload.rs
+
+crates/registry/src/lib.rs:
+crates/registry/src/baseline.rs:
+crates/registry/src/clock.rs:
+crates/registry/src/error.rs:
+crates/registry/src/freshness.rs:
+crates/registry/src/provider.rs:
+crates/registry/src/registry.rs:
+crates/registry/src/sql.rs:
+crates/registry/src/store.rs:
+crates/registry/src/throttle.rs:
+crates/registry/src/tuple.rs:
+crates/registry/src/workload.rs:

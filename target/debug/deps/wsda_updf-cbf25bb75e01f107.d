@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wsda_updf-cbf25bb75e01f107.d: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs
+
+/root/repo/target/debug/deps/libwsda_updf-cbf25bb75e01f107.rlib: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs
+
+/root/repo/target/debug/deps/libwsda_updf-cbf25bb75e01f107.rmeta: crates/updf/src/lib.rs crates/updf/src/container.rs crates/updf/src/engine.rs crates/updf/src/live.rs crates/updf/src/metrics.rs crates/updf/src/recovery.rs crates/updf/src/selection.rs crates/updf/src/topology.rs
+
+crates/updf/src/lib.rs:
+crates/updf/src/container.rs:
+crates/updf/src/engine.rs:
+crates/updf/src/live.rs:
+crates/updf/src/metrics.rs:
+crates/updf/src/recovery.rs:
+crates/updf/src/selection.rs:
+crates/updf/src/topology.rs:

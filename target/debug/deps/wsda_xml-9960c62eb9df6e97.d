@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wsda_xml-9960c62eb9df6e97.d: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libwsda_xml-9960c62eb9df6e97.rlib: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libwsda_xml-9960c62eb9df6e97.rmeta: crates/xml/src/lib.rs crates/xml/src/error.rs crates/xml/src/name.rs crates/xml/src/node.rs crates/xml/src/parser.rs crates/xml/src/path.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/error.rs:
+crates/xml/src/name.rs:
+crates/xml/src/node.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/path.rs:
+crates/xml/src/writer.rs:

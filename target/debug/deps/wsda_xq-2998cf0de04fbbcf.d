@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wsda_xq-2998cf0de04fbbcf.d: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs
+
+/root/repo/target/debug/deps/libwsda_xq-2998cf0de04fbbcf.rlib: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs
+
+/root/repo/target/debug/deps/libwsda_xq-2998cf0de04fbbcf.rmeta: crates/xq/src/lib.rs crates/xq/src/ast.rs crates/xq/src/classify.rs crates/xq/src/error.rs crates/xq/src/eval.rs crates/xq/src/functions.rs crates/xq/src/parser.rs crates/xq/src/value.rs
+
+crates/xq/src/lib.rs:
+crates/xq/src/ast.rs:
+crates/xq/src/classify.rs:
+crates/xq/src/error.rs:
+crates/xq/src/eval.rs:
+crates/xq/src/functions.rs:
+crates/xq/src/parser.rs:
+crates/xq/src/value.rs:

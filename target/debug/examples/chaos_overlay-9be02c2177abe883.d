@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_overlay-9be02c2177abe883.d: examples/chaos_overlay.rs
+
+/root/repo/target/debug/examples/chaos_overlay-9be02c2177abe883: examples/chaos_overlay.rs
+
+examples/chaos_overlay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datagrid_scheduler-bfea7824e6760070.d: examples/datagrid_scheduler.rs
+
+/root/repo/target/debug/examples/datagrid_scheduler-bfea7824e6760070: examples/datagrid_scheduler.rs
+
+examples/datagrid_scheduler.rs:

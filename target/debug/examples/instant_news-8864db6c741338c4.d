@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/instant_news-8864db6c741338c4.d: examples/instant_news.rs
+
+/root/repo/target/debug/examples/instant_news-8864db6c741338c4: examples/instant_news.rs
+
+examples/instant_news.rs:

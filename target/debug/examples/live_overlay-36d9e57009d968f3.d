@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_overlay-36d9e57009d968f3.d: examples/live_overlay.rs
+
+/root/repo/target/debug/examples/live_overlay-36d9e57009d968f3: examples/live_overlay.rs
+
+examples/live_overlay.rs:

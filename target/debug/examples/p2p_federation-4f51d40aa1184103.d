@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/p2p_federation-4f51d40aa1184103.d: examples/p2p_federation.rs
+
+/root/repo/target/debug/examples/p2p_federation-4f51d40aa1184103: examples/p2p_federation.rs
+
+examples/p2p_federation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-88cb95b344a687bd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-88cb95b344a687bd: examples/quickstart.rs
+
+examples/quickstart.rs:
