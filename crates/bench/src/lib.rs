@@ -25,6 +25,7 @@ pub mod f12_containers;
 pub mod f13_agent_vs_servent;
 pub mod f14_wire;
 pub mod f15_loss;
+pub mod f16_concurrency;
 pub mod harness;
 pub mod t1;
 
@@ -52,6 +53,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
         ("f13", "Agent vs servent model: latency & originator load", f13_agent_vs_servent::run),
         ("f14", "PDP wire efficiency: message sizes & codec throughput", f14_wire::run),
         ("f15", "Recovery vs bare protocol under message loss and dead nodes", f15_loss::run),
+        (
+            "f16",
+            "Concurrent cache-hit query throughput: sharded RwLock vs global mutex",
+            f16_concurrency::run,
+        ),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]
 }

@@ -12,14 +12,19 @@
 //!   giving every experiment an honest bytes-on-the-wire measure,
 //! * [`state`] — the per-node **node state table**: transaction state with
 //!   parent/children bookkeeping, duplicate (loop) detection and static
-//!   loop timeout expiry.
+//!   loop timeout expiry,
+//! * [`querycache`] — the per-node compiled-query LRU cache: a query
+//!   string travelling hop-by-hop (and any retransmission of it) is parsed
+//!   at most once per node.
 
 pub mod framing;
 pub mod message;
+pub mod querycache;
 pub mod state;
 pub mod wire;
 
 pub use framing::{write_frame, FrameReader};
 pub use message::{Endpoint, Message, QueryLanguage, ResponseMode, Scope, TransactionId};
+pub use querycache::{CompiledQuery, QueryCache};
 pub use state::{BeginOutcome, NodeStateTable, ResultLedger, TransactionState};
 pub use wire::{decode, encode, encoded_len, WireError};

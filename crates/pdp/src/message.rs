@@ -48,7 +48,9 @@ impl std::fmt::Display for TransactionId {
 }
 
 /// The query language of a forwarded query (UPDF is language-agnostic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// `Hash` so `(source, language)` can key the per-node compiled-query
+/// cache ([`crate::QueryCache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum QueryLanguage {
     /// XQuery source text.
     XQuery,

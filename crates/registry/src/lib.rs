@@ -52,6 +52,7 @@ pub mod error;
 pub mod freshness;
 pub mod provider;
 pub mod registry;
+pub mod shard;
 pub mod sql;
 pub mod store;
 pub mod throttle;
@@ -65,6 +66,7 @@ pub use provider::ContentProvider;
 pub use registry::{
     HyperRegistry, PublishRequest, QueryOutcome, QueryScope, RegistryConfig, RegistryStats,
 };
+pub use shard::ShardedStore;
 pub use sql::{SqlQuery, SqlRow};
 pub use store::TupleStore;
 pub use tuple::{Tuple, TupleKey};

@@ -5,11 +5,11 @@
 //! Every operation lazily sweeps expired tuples first, so expired content is
 //! never served regardless of when maintenance last ran.
 
-use crate::clock::{SharedClock, Time};
+use crate::clock::SharedClock;
 use crate::error::{RegistryError, RegistryResult};
 use crate::freshness::{decide, CacheDecision, Freshness, RefreshPolicy};
 use crate::provider::ContentProvider;
-use crate::store::TupleStore;
+use crate::shard::ShardedStore;
 use crate::throttle::{PullThrottle, ThrottleConfig};
 use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
@@ -39,6 +39,10 @@ pub struct RegistryConfig {
     /// Separable queries over at least this many tuples are evaluated with
     /// a rayon-parallel scan.
     pub parallel_scan_threshold: usize,
+    /// Number of hash shards for the tuple store (rounded up to a power of
+    /// two, minimum 1). More shards mean less reader/writer contention;
+    /// whole-store operations touch every shard, so keep it modest.
+    pub shards: usize,
 }
 
 impl Default for RegistryConfig {
@@ -52,6 +56,7 @@ impl Default for RegistryConfig {
             per_provider_throttle: ThrottleConfig::unlimited(),
             global_throttle: ThrottleConfig::unlimited(),
             parallel_scan_threshold: 1024,
+            shards: crate::shard::DEFAULT_SHARDS,
         }
     }
 }
@@ -208,16 +213,21 @@ pub struct QueryOutcome {
     pub stats: QueryStats,
 }
 
-struct Inner {
-    store: TupleStore,
-    throttle: PullThrottle,
-}
-
 /// The hyper registry node.
+///
+/// Concurrency design (the "query fast path"): the tuple set lives in a
+/// [`ShardedStore`] — N hash-sharded [`crate::TupleStore`]s behind
+/// reader-writer locks — so cache-hit queries only ever take *shared* shard
+/// locks. The pull throttle sits behind its own small mutex, provider
+/// `fetch()` calls run with **no** store lock held, and tuple rendering is
+/// interior-mutable (see [`crate::Tuple::to_xml`]). Lock order, where more
+/// than one lock is held: shard lock → providers map → (none); the throttle
+/// mutex is only ever taken alone.
 pub struct HyperRegistry {
     config: RegistryConfig,
     clock: SharedClock,
-    inner: Mutex<Inner>,
+    store: ShardedStore,
+    throttle: Mutex<PullThrottle>,
     providers: RwLock<HashMap<String, Arc<dyn ContentProvider>>>,
     stats: RegistryStats,
 }
@@ -227,14 +237,12 @@ impl HyperRegistry {
     pub fn new(config: RegistryConfig, clock: SharedClock) -> Self {
         let now = clock.now();
         HyperRegistry {
-            inner: Mutex::new(Inner {
-                store: TupleStore::new(),
-                throttle: PullThrottle::new(
-                    config.per_provider_throttle,
-                    config.global_throttle,
-                    now,
-                ),
-            }),
+            store: ShardedStore::new(config.shards),
+            throttle: Mutex::new(PullThrottle::new(
+                config.per_provider_throttle,
+                config.global_throttle,
+                now,
+            )),
             providers: RwLock::new(HashMap::new()),
             stats: RegistryStats::default(),
             config,
@@ -264,6 +272,11 @@ impl HyperRegistry {
 
     /// Publish or re-publish a tuple. Content pushed with the request is
     /// installed in the cache; otherwise content arrives later by pull.
+    ///
+    /// Only the shard owning `request.link` is write-locked; the capacity
+    /// check counts the other shards without their locks held, so under
+    /// concurrent publishes the cap is advisory (it can overshoot by at
+    /// most the number of racing writers).
     pub fn publish(&self, request: PublishRequest) -> RegistryResult<()> {
         let now = self.clock.now();
         let ttl = request.ttl_ms.unwrap_or(self.config.default_ttl_ms);
@@ -274,19 +287,32 @@ impl HyperRegistry {
                 max: self.config.max_ttl_ms,
             });
         }
-        let mut inner = self.inner.lock();
-        self.sweep_locked(&mut inner, now);
-        let is_new = inner.store.get(&request.link).is_none();
-        if is_new && inner.store.len() >= self.config.max_tuples {
-            return Err(RegistryError::CapacityExceeded(self.config.max_tuples));
+        self.count_evictions(self.store.sweep_shard_of(&request.link, now));
+        if !self.store.contains(&request.link) && self.store.len() >= self.config.max_tuples {
+            // Other shards may hold expired-but-unswept tuples; sweep them
+            // once before rejecting for capacity.
+            self.count_evictions(self.store.sweep(now));
+            if self.store.len() >= self.config.max_tuples {
+                return Err(RegistryError::CapacityExceeded(self.config.max_tuples));
+            }
         }
+        let mut shard = self.store.write_shard(self.store.shard_of(&request.link));
+        let is_new = shard.get(&request.link).is_none();
         if is_new && request.content.is_none() && !self.providers.read().contains_key(&request.link)
         {
             return Err(RegistryError::NoProvider(request.link));
         }
-        let was_new = inner.store.upsert(&request.link, &request.type_, &request.context, now, ttl);
+        let ordinal = if is_new { self.store.alloc_ordinal() } else { 0 };
+        let was_new = shard.upsert_with_ordinal(
+            &request.link,
+            &request.type_,
+            &request.context,
+            now,
+            ttl,
+            ordinal,
+        );
         if let Some(content) = request.content {
-            if let Some(t) = inner.store.get_mut(&request.link) {
+            if let Some(t) = shard.get_mut(&request.link) {
                 t.set_content(Arc::new(content), now);
             }
         }
@@ -301,9 +327,9 @@ impl HyperRegistry {
     /// Refresh an existing publication's lease (soft-state keep-alive).
     pub fn refresh(&self, link: &str, ttl_ms: Option<u64>) -> RegistryResult<()> {
         let now = self.clock.now();
-        let mut inner = self.inner.lock();
-        self.sweep_locked(&mut inner, now);
-        let Some(current) = inner.store.get(link) else {
+        let mut shard = self.store.write_shard(self.store.shard_of(link));
+        self.count_evictions(shard.sweep(now));
+        let Some(current) = shard.get(link) else {
             return Err(RegistryError::NotPublished(link.to_owned()));
         };
         let (type_, context) = (current.type_.clone(), current.context.clone());
@@ -315,7 +341,7 @@ impl HyperRegistry {
                 max: self.config.max_ttl_ms,
             });
         }
-        inner.store.upsert(link, &type_, &context, now, ttl);
+        shard.upsert_with_ordinal(link, &type_, &context, now, ttl, 0);
         RegistryStats::add(&self.stats.refreshes, 1);
         Ok(())
     }
@@ -323,32 +349,25 @@ impl HyperRegistry {
     /// Explicitly remove a publication.
     pub fn unpublish(&self, link: &str) -> RegistryResult<()> {
         let now = self.clock.now();
-        let mut inner = self.inner.lock();
-        self.sweep_locked(&mut inner, now);
-        inner
-            .store
-            .remove(link)
-            .map(|_| ())
-            .ok_or_else(|| RegistryError::NotPublished(link.to_owned()))
+        let mut shard = self.store.write_shard(self.store.shard_of(link));
+        self.count_evictions(shard.sweep(now));
+        shard.remove(link).map(|_| ()).ok_or_else(|| RegistryError::NotPublished(link.to_owned()))
     }
 
     /// Number of live tuples right now.
     pub fn live_tuples(&self) -> usize {
         let now = self.clock.now();
-        let mut inner = self.inner.lock();
-        self.sweep_locked(&mut inner, now);
-        inner.store.len()
+        self.count_evictions(self.store.sweep(now));
+        self.store.len()
     }
 
     /// Run soft-state maintenance immediately; returns evicted count.
     pub fn sweep(&self) -> usize {
         let now = self.clock.now();
-        let mut inner = self.inner.lock();
-        self.sweep_locked(&mut inner, now)
+        self.count_evictions(self.store.sweep(now))
     }
 
-    fn sweep_locked(&self, inner: &mut Inner, now: Time) -> usize {
-        let evicted = inner.store.sweep(now);
+    fn count_evictions(&self, evicted: usize) -> usize {
         if evicted > 0 {
             RegistryStats::add(&self.stats.expirations, evicted as u64);
         }
@@ -356,11 +375,13 @@ impl HyperRegistry {
     }
 
     /// MinQuery-style lookup: the tuple XML for one content link, if live.
+    /// Runs entirely under one shard *read* lock — expired tuples are
+    /// filtered rather than swept, preserving "never serve expired".
     pub fn lookup(&self, link: &str) -> Option<Arc<Element>> {
         let now = self.clock.now();
-        let mut inner = self.inner.lock();
-        self.sweep_locked(&mut inner, now);
-        inner.store.get_mut(link).map(|t| t.to_xml())
+        self.store
+            .with_tuple(link, |t| if t.is_expired(now) { None } else { Some(t.to_xml()) })
+            .flatten()
     }
 
     /// Execute an XQuery over the live tuple set under a freshness demand
@@ -371,6 +392,20 @@ impl HyperRegistry {
 
     /// Execute an XQuery over the tuples selected by a physical
     /// [`QueryScope`], under a freshness demand.
+    ///
+    /// The fast path runs in three phases:
+    ///
+    /// 1. **candidate selection** under shard read locks — the query's own
+    ///    simple-key shape, then the scope's type restriction, then the
+    ///    context index for domain-only scopes (one domain test per
+    ///    *distinct* context instead of a per-candidate retain scan);
+    /// 2. **doc collection** shard by shard under read locks — cached
+    ///    tuples render immediately ([`crate::Tuple::to_xml`] is
+    ///    interior-mutable), tuples needing a pull are deferred;
+    /// 3. **pulls** with *no* store lock held — throttle, fetch, then
+    ///    write-lock only the owning shard to install content.
+    ///
+    /// Evaluation happens after every lock is released.
     pub fn query_scoped(
         &self,
         query: &Query,
@@ -381,98 +416,130 @@ impl HyperRegistry {
         let now = self.clock.now();
         let mut stats = QueryStats::default();
 
-        let docs: Vec<(u64, Arc<Element>)> = {
-            let mut inner = self.inner.lock();
-            self.sweep_locked(&mut inner, now);
-
-            // Index narrowing: the query's own simple-key shape, then the
-            // physical scope's type restriction.
-            let mut candidate_links: Vec<String> = match &query.profile().index_key {
-                Some((attr, value)) if attr == "link" => {
-                    stats.used_index = true;
-                    if inner.store.get(value).is_some() {
-                        vec![value.clone()]
-                    } else {
-                        Vec::new()
-                    }
+        // Phase 1: candidate selection.
+        let mut domain_checked = false;
+        let candidate_links: Vec<String> = match &query.profile().index_key {
+            Some((attr, value)) if attr == "link" => {
+                stats.used_index = true;
+                if self.store.contains(value) {
+                    vec![value.clone()]
+                } else {
+                    Vec::new()
                 }
-                Some((attr, value)) if attr == "type" => {
+            }
+            Some((attr, value)) if attr == "type" => {
+                stats.used_index = true;
+                self.store.links_of_type(value)
+            }
+            _ => match (&scope.types, &scope.domain) {
+                (Some(types), _) => {
                     stats.used_index = true;
-                    inner.store.links_of_type(value)
+                    let mut v: Vec<String> =
+                        types.iter().flat_map(|t| self.store.links_of_type(t)).collect();
+                    v.sort();
+                    v.dedup();
+                    v
                 }
-                _ => match &scope.types {
-                    Some(types) => {
-                        stats.used_index = true;
-                        let mut v: Vec<String> =
-                            types.iter().flat_map(|t| inner.store.links_of_type(t)).collect();
-                        v.sort();
-                        v.dedup();
-                        v
-                    }
-                    None => inner.store.links(),
-                },
-            };
-            if scope.domain.is_some() {
-                candidate_links.retain(|link| {
-                    inner.store.get(link).is_some_and(|t| scope.domain_matches(&t.context))
-                });
-            }
-            if stats.used_index {
-                RegistryStats::add(&self.stats.index_queries, 1);
-            }
-            stats.candidates = candidate_links.len();
+                (None, Some(_)) => {
+                    stats.used_index = true;
+                    domain_checked = true;
+                    self.store.links_matching_context(|ctx| scope.domain_matches(ctx))
+                }
+                (None, None) => self.store.links(),
+            },
+        };
+        if stats.used_index {
+            RegistryStats::add(&self.stats.index_queries, 1);
+        }
+        let need_domain_check = scope.domain.is_some() && !domain_checked;
 
-            // Freshness resolution and doc collection.
-            let providers = self.providers.read();
-            let mut docs = Vec::with_capacity(candidate_links.len());
-            for link in candidate_links {
+        // Phase 2: doc collection, grouped by shard so each shard's read
+        // lock is taken once. Expired tuples are filtered, not swept — the
+        // read path never takes a write lock.
+        let mut by_shard: Vec<Vec<String>> = vec![Vec::new(); self.store.shard_count()];
+        for link in candidate_links {
+            let idx = self.store.shard_of(&link);
+            by_shard[idx].push(link);
+        }
+        let providers = self.providers.read();
+        let mut docs: Vec<(u64, Arc<Element>)> = Vec::new();
+        let mut pulls_wanted: Vec<(String, Arc<dyn ContentProvider>)> = Vec::new();
+        for (idx, links) in by_shard.into_iter().enumerate() {
+            if links.is_empty() {
+                continue;
+            }
+            let shard = self.store.read_shard(idx);
+            for link in links {
+                let Some(tuple) = shard.get(&link) else { continue };
+                if tuple.is_expired(now) {
+                    continue;
+                }
+                if need_domain_check && !scope.domain_matches(&tuple.context) {
+                    continue;
+                }
+                stats.candidates += 1;
                 let provider = providers.get(&link);
-                let decision = {
-                    let tuple = inner.store.get(&link).expect("candidate link is live");
-                    decide(tuple, now, self.config.refresh_policy, demand, provider.is_some())
-                };
-                match decision {
+                match decide(tuple, now, self.config.refresh_policy, demand, provider.is_some()) {
                     CacheDecision::ServeCached | CacheDecision::ServeEmpty => {
                         stats.cache_hits += 1;
                         RegistryStats::add(&self.stats.cache_hits, 1);
+                        docs.push((tuple.ordinal, tuple.to_xml()));
                     }
                     CacheDecision::Pull => {
-                        let allowed = inner.throttle.allow(&link, now);
-                        if !allowed {
-                            RegistryStats::add(&self.stats.pulls_throttled, 1);
-                        }
-                        let pulled = if allowed {
-                            stats.pulls += 1;
-                            match provider.expect("Pull implies provider").fetch() {
-                                Ok(content) => {
-                                    RegistryStats::add(&self.stats.pulls_ok, 1);
-                                    let t = inner.store.get_mut(&link).expect("candidate is live");
-                                    t.set_content(Arc::new(content), now);
-                                    true
-                                }
-                                Err(_) => {
-                                    RegistryStats::add(&self.stats.pulls_failed, 1);
-                                    false
-                                }
-                            }
-                        } else {
-                            false
-                        };
-                        if !pulled && !demand.serve_stale_on_failure {
-                            stats.skipped += 1;
-                            continue;
-                        }
+                        let p = provider.expect("Pull implies provider").clone();
+                        pulls_wanted.push((link, p));
                     }
                 }
-                let t = inner.store.get_mut(&link).expect("candidate is live");
-                docs.push((t.ordinal, t.to_xml()));
             }
-            docs
-        }; // registry lock released before evaluation
+        }
+        drop(providers);
 
-        let mut docs = docs;
+        // Phase 3: pulls, with no store lock held during fetch. One slow
+        // provider no longer blocks publishes or other queries.
+        for (link, provider) in pulls_wanted {
+            let allowed = self.throttle.lock().allow(&link, now);
+            if !allowed {
+                RegistryStats::add(&self.stats.pulls_throttled, 1);
+            }
+            let pulled = if allowed {
+                stats.pulls += 1;
+                match provider.fetch() {
+                    Ok(content) => {
+                        RegistryStats::add(&self.stats.pulls_ok, 1);
+                        // Install under the shard write lock; the tuple may
+                        // have expired or vanished while the provider ran.
+                        self.store
+                            .with_tuple_mut(&link, |t| t.set_content(Arc::new(content), now))
+                            .is_some()
+                    }
+                    Err(_) => {
+                        RegistryStats::add(&self.stats.pulls_failed, 1);
+                        false
+                    }
+                }
+            } else {
+                false
+            };
+            if !pulled && !demand.serve_stale_on_failure {
+                stats.skipped += 1;
+                continue;
+            }
+            let doc = self
+                .store
+                .with_tuple(&link, |t| {
+                    if t.is_expired(now) {
+                        None
+                    } else {
+                        Some((t.ordinal, t.to_xml()))
+                    }
+                })
+                .flatten();
+            if let Some(doc) = doc {
+                docs.push(doc);
+            }
+        }
+
         docs.sort_by_key(|(ord, _)| *ord);
-
         let results = self.evaluate(query, &docs, &mut stats)?;
         Ok(QueryOutcome { results, stats })
     }
@@ -480,21 +547,39 @@ impl HyperRegistry {
     /// Execute a SQL query ([`crate::sql`]) over the live tuple set. The
     /// `FROM` clause names the tuple type (index-narrowed); content is
     /// served from cache (`Freshness::any()` semantics — SQL clients are
-    /// the thesis's "simpler" consumers).
+    /// the thesis's "simpler" consumers). Tuples render under shard read
+    /// locks; row evaluation happens with no lock held.
     pub fn query_sql(&self, query: &crate::sql::SqlQuery) -> Vec<crate::sql::SqlRow> {
         RegistryStats::add(&self.stats.queries, 1);
+        RegistryStats::add(&self.stats.index_queries, 1);
         let now = self.clock.now();
-        let records: Vec<crate::baseline::ServiceRecord> = {
-            let mut inner = self.inner.lock();
-            self.sweep_locked(&mut inner, now);
-            RegistryStats::add(&self.stats.index_queries, 1);
-            let links = inner.store.links_of_type(&query.from_type);
-            links
-                .iter()
-                .filter_map(|link| inner.store.get_mut(link).map(|t| t.to_xml()))
-                .map(crate::baseline::ServiceRecord::from_tuple_xml)
-                .collect()
-        };
+        let links = self.store.links_of_type(&query.from_type);
+        let mut by_shard: Vec<Vec<String>> = vec![Vec::new(); self.store.shard_count()];
+        for link in links {
+            let idx = self.store.shard_of(&link);
+            by_shard[idx].push(link);
+        }
+        let mut xmls: Vec<(String, Arc<Element>)> = Vec::new();
+        for (idx, links) in by_shard.into_iter().enumerate() {
+            if links.is_empty() {
+                continue;
+            }
+            let shard = self.store.read_shard(idx);
+            for link in links {
+                if let Some(t) = shard.get(&link) {
+                    if !t.is_expired(now) {
+                        let xml = t.to_xml();
+                        xmls.push((link, xml));
+                    }
+                }
+            }
+        }
+        // Keep the seed's deterministic link-sorted row order.
+        xmls.sort_by(|a, b| a.0.cmp(&b.0));
+        let records: Vec<crate::baseline::ServiceRecord> = xmls
+            .into_iter()
+            .map(|(_, xml)| crate::baseline::ServiceRecord::from_tuple_xml(xml))
+            .collect();
         query.evaluate(records.iter())
     }
 

@@ -11,11 +11,15 @@ use crate::clock::Time;
 use crate::tuple::{Tuple, TupleKey};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// In-memory tuple storage with link and type indices.
+/// In-memory tuple storage with link, type and context indices.
 #[derive(Debug, Default)]
 pub struct TupleStore {
     by_link: HashMap<TupleKey, Tuple>,
     by_type: HashMap<String, HashSet<TupleKey>>,
+    /// Context → links. Domain scoping matches *suffixes* of contexts, so
+    /// scoped queries test each distinct context once instead of scanning
+    /// every candidate tuple (see [`TupleStore::links_matching_context`]).
+    by_context: HashMap<String, HashSet<TupleKey>>,
     /// Expiry queue: expiry time → links (BTreeMap gives cheap "expired
     /// prefix" sweeps without scanning live tuples).
     expiry: BTreeMap<Time, HashSet<TupleKey>>,
@@ -49,6 +53,27 @@ impl TupleStore {
         now: Time,
         ttl_ms: u64,
     ) -> bool {
+        let ordinal = self.next_ordinal;
+        let was_new = self.upsert_with_ordinal(link, type_, context, now, ttl_ms, ordinal);
+        if was_new {
+            self.next_ordinal += 1;
+        }
+        was_new
+    }
+
+    /// Like [`TupleStore::upsert`], but a brand-new tuple takes the given
+    /// ordinal instead of the store's internal counter. The sharded store
+    /// uses this to allocate ordinals from one registry-wide counter so
+    /// result ordering stays globally deterministic across shards.
+    pub fn upsert_with_ordinal(
+        &mut self,
+        link: &str,
+        type_: &str,
+        context: &str,
+        now: Time,
+        ttl_ms: u64,
+        ordinal: u64,
+    ) -> bool {
         if let Some(t) = self.by_link.get_mut(link) {
             let old_expiry = t.expires();
             t.refresh(now, ttl_ms);
@@ -59,17 +84,18 @@ impl TupleStore {
                 self.by_type.entry(type_.to_owned()).or_default().insert(link.to_owned());
             }
             if t.context != context {
+                remove_index(&mut self.by_context, &t.context, link);
                 t.context = context.to_owned();
+                self.by_context.entry(context.to_owned()).or_default().insert(link.to_owned());
             }
             let new_expiry = t.expires();
             move_expiry(&mut self.expiry, old_expiry, new_expiry, link);
             false
         } else {
-            let ordinal = self.next_ordinal;
-            self.next_ordinal += 1;
             let t = Tuple::new(link, type_, context, now, ttl_ms, ordinal);
             self.expiry.entry(t.expires()).or_default().insert(link.to_owned());
             self.by_type.entry(type_.to_owned()).or_default().insert(link.to_owned());
+            self.by_context.entry(context.to_owned()).or_default().insert(link.to_owned());
             self.by_link.insert(link.to_owned(), t);
             true
         }
@@ -91,6 +117,7 @@ impl TupleStore {
     pub fn remove(&mut self, link: &str) -> Option<Tuple> {
         let t = self.by_link.remove(link)?;
         remove_index(&mut self.by_type, &t.type_, link);
+        remove_index(&mut self.by_context, &t.context, link);
         if let Some(set) = self.expiry.get_mut(&t.expires()) {
             set.remove(link);
             if set.is_empty() {
@@ -111,12 +138,15 @@ impl TupleStore {
             let (_, links) = self.expiry.pop_first().expect("checked nonempty");
             for link in links {
                 // Guard against stale queue entries left behind by refresh.
-                let expired_type = match self.by_link.get(&link) {
-                    Some(tuple) if tuple.is_expired(now) => tuple.type_.clone(),
+                let (expired_type, expired_ctx) = match self.by_link.get(&link) {
+                    Some(tuple) if tuple.is_expired(now) => {
+                        (tuple.type_.clone(), tuple.context.clone())
+                    }
                     _ => continue,
                 };
                 self.by_link.remove(&link);
                 remove_index(&mut self.by_type, &expired_type, &link);
+                remove_index(&mut self.by_context, &expired_ctx, &link);
                 evicted += 1;
             }
         }
@@ -135,6 +165,25 @@ impl TupleStore {
             self.by_type.get(type_).map(|s| s.iter().cloned().collect()).unwrap_or_default();
         v.sort();
         v
+    }
+
+    /// Links of all tuples whose context satisfies `pred`. Scoped queries
+    /// pay one predicate test per *distinct* context instead of one scan
+    /// over every candidate tuple.
+    pub fn links_matching_context(&self, pred: impl Fn(&str) -> bool) -> Vec<TupleKey> {
+        let mut v: Vec<TupleKey> = self
+            .by_context
+            .iter()
+            .filter(|(ctx, _)| pred(ctx))
+            .flat_map(|(_, links)| links.iter().cloned())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The distinct contexts currently present.
+    pub fn context_count(&self) -> usize {
+        self.by_context.len()
     }
 
     /// Iterate over all tuples (mutable, for rendering).
@@ -283,5 +332,35 @@ mod tests {
         let s = store_with(3, 1000);
         let l = s.links();
         assert_eq!(l, ["http://svc0", "http://svc1", "http://svc2"]);
+    }
+
+    #[test]
+    fn context_index_tracks_upsert_remove_and_sweep() {
+        let mut s = TupleStore::new();
+        s.upsert("a", "t", "cms.cern.ch", Time(0), 1000);
+        s.upsert("b", "t", "fnal.gov", Time(0), 1000);
+        s.upsert("c", "t", "cms.cern.ch", Time(0), 500);
+        assert_eq!(s.context_count(), 2);
+        assert_eq!(s.links_matching_context(|c| c.ends_with("cern.ch")), ["a", "c"]);
+        // Context change on refresh moves the link between buckets.
+        s.upsert("b", "t", "atlas.cern.ch", Time(0), 1000);
+        assert_eq!(s.links_matching_context(|c| c.ends_with("cern.ch")), ["a", "b", "c"]);
+        assert!(s.links_matching_context(|c| c == "fnal.gov").is_empty());
+        // Sweep and remove clean the index.
+        s.sweep(Time(500));
+        assert_eq!(s.links_matching_context(|_| true), ["a", "b"]);
+        s.remove("a");
+        assert_eq!(s.links_matching_context(|_| true), ["b"]);
+        assert_eq!(s.context_count(), 1);
+    }
+
+    #[test]
+    fn upsert_with_ordinal_uses_caller_ordinal() {
+        let mut s = TupleStore::new();
+        assert!(s.upsert_with_ordinal("a", "t", "c", Time(0), 1000, 7));
+        assert_eq!(s.get("a").unwrap().ordinal, 7);
+        // Refresh through the same path keeps the original ordinal.
+        assert!(!s.upsert_with_ordinal("a", "t", "c", Time(10), 1000, 99));
+        assert_eq!(s.get("a").unwrap().ordinal, 7);
     }
 }

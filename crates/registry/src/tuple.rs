@@ -12,7 +12,7 @@
 //! * `TTL` — how long past `TS2` the tuple stays alive without refresh.
 
 use crate::clock::Time;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use wsda_xml::Element;
 
 /// The primary key of a tuple: its content link.
@@ -42,8 +42,11 @@ pub struct Tuple {
     /// Stable ordinal assigned at first insertion — doubles as the XQuery
     /// document ordinal so query results order deterministically.
     pub ordinal: u64,
-    /// Cached XML rendering (invalidated on any mutation).
-    rendered: Option<Arc<Element>>,
+    /// Cached XML rendering (invalidated on any mutation). Interior-mutable
+    /// so rendering works through a shared borrow: concurrent readers under
+    /// a shard read lock race to initialize it, one wins, the rest reuse
+    /// the winner's rendering. Every mutating method replaces the cell.
+    rendered: OnceLock<Arc<Element>>,
 }
 
 impl Tuple {
@@ -66,7 +69,7 @@ impl Tuple {
             content_cached: None,
             ttl_ms,
             ordinal,
-            rendered: None,
+            rendered: OnceLock::new(),
         }
     }
 
@@ -90,21 +93,21 @@ impl Tuple {
     pub fn refresh(&mut self, now: Time, ttl_ms: u64) {
         self.refreshed = now;
         self.ttl_ms = ttl_ms;
-        self.rendered = None;
+        self.rendered = OnceLock::new();
     }
 
     /// Install new content obtained at `now`.
     pub fn set_content(&mut self, content: Arc<Element>, now: Time) {
         self.content = Some(content);
         self.content_cached = Some(now);
-        self.rendered = None;
+        self.rendered = OnceLock::new();
     }
 
     /// Drop cached content (e.g. after repeated pull failures).
     pub fn clear_content(&mut self) {
         self.content = None;
         self.content_cached = None;
-        self.rendered = None;
+        self.rendered = OnceLock::new();
     }
 
     /// Render (and cache) the tuple as the XML document queries navigate:
@@ -114,28 +117,27 @@ impl Tuple {
     ///   <content>…provider content…</content>
     /// </tuple>
     /// ```
-    pub fn to_xml(&mut self) -> Arc<Element> {
-        if let Some(r) = &self.rendered {
-            return r.clone();
-        }
-        let mut e = Element::new("tuple")
-            .with_attr("link", self.link.clone())
-            .with_attr("type", self.type_.clone())
-            .with_attr("ctx", self.context.clone())
-            .with_attr("ts1", self.inserted.millis().to_string())
-            .with_attr("ts2", self.refreshed.millis().to_string())
-            .with_attr("ttl", self.ttl_ms.to_string());
-        if let Some(tc) = self.content_cached {
-            e.set_attr("tc", tc.millis().to_string());
-        }
-        let mut content_elem = Element::new("content");
-        if let Some(c) = &self.content {
-            content_elem.push(Element::clone(c));
-        }
-        e.push(content_elem);
-        let arc = Arc::new(e);
-        self.rendered = Some(arc.clone());
-        arc
+    pub fn to_xml(&self) -> Arc<Element> {
+        self.rendered
+            .get_or_init(|| {
+                let mut e = Element::new("tuple")
+                    .with_attr("link", self.link.clone())
+                    .with_attr("type", self.type_.clone())
+                    .with_attr("ctx", self.context.clone())
+                    .with_attr("ts1", self.inserted.millis().to_string())
+                    .with_attr("ts2", self.refreshed.millis().to_string())
+                    .with_attr("ttl", self.ttl_ms.to_string());
+                if let Some(tc) = self.content_cached {
+                    e.set_attr("tc", tc.millis().to_string());
+                }
+                let mut content_elem = Element::new("content");
+                if let Some(c) = &self.content {
+                    content_elem.push(Element::clone(c));
+                }
+                e.push(content_elem);
+                Arc::new(e)
+            })
+            .clone()
     }
 }
 
@@ -207,7 +209,7 @@ mod tests {
 
     #[test]
     fn empty_content_renders_empty_element() {
-        let mut t = tuple();
+        let t = tuple();
         let xml = t.to_xml();
         assert!(xml.first_child_named("content").unwrap().children().is_empty());
         assert_eq!(xml.attr("tc"), None);

@@ -1,0 +1,172 @@
+//! The sharded store is observably equivalent to the seed's single-map
+//! store — and a 16-shard registry to a 1-shard registry — under arbitrary
+//! publish/refresh/unpublish/sweep/query interleavings.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wsda_registry::clock::{ManualClock, Time};
+use wsda_registry::{
+    Freshness, HyperRegistry, PublishRequest, QueryScope, RegistryConfig, ShardedStore, TupleStore,
+};
+use wsda_xml::Element;
+use wsda_xq::Query;
+
+const TYPES: [&str; 3] = ["service", "monitor", "replica"];
+const DOMAINS: [&str; 4] = ["cms.cern.ch", "atlas.cern.ch", "fnal.gov", "cern.ch"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert { id: u8, ty: u8, dom: u8, ttl: u64 },
+    Remove { id: u8 },
+    Sweep,
+    Advance { ms: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16, 0u8..3, 0u8..4, 1_000u64..60_000).prop_map(|(id, ty, dom, ttl)| Op::Upsert {
+            id,
+            ty,
+            dom,
+            ttl
+        }),
+        (0u8..16).prop_map(|id| Op::Remove { id }),
+        Just(Op::Sweep),
+        (1u64..30_000).prop_map(|ms| Op::Advance { ms }),
+    ]
+}
+
+fn link(id: u8) -> String {
+    format!("http://svc/{id}")
+}
+
+fn content(dom: &str) -> Element {
+    Element::new("service").with_field("owner", dom)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every observable of the sharded store — length, sorted link sets,
+    /// index answers, next expiry, per-tuple ordinal/context/expiry —
+    /// matches a seed-style single `TupleStore` after every operation.
+    #[test]
+    fn sharded_store_matches_single_map_store(
+        ops in proptest::collection::vec(arb_op(), 1..100),
+    ) {
+        let sharded = ShardedStore::new(8);
+        let mut single = TupleStore::new();
+        let mut now = Time(0);
+
+        for op in ops {
+            match op {
+                Op::Upsert { id, ty, dom, ttl } => {
+                    let l = link(id);
+                    let ty = TYPES[ty as usize % TYPES.len()];
+                    let dom = DOMAINS[dom as usize % DOMAINS.len()];
+                    prop_assert_eq!(
+                        sharded.upsert(&l, ty, dom, now, ttl),
+                        single.upsert(&l, ty, dom, now, ttl)
+                    );
+                }
+                Op::Remove { id } => {
+                    prop_assert_eq!(
+                        sharded.remove(&link(id)).is_some(),
+                        single.remove(&link(id)).is_some()
+                    );
+                }
+                Op::Sweep => {
+                    prop_assert_eq!(sharded.sweep(now), single.sweep(now));
+                }
+                Op::Advance { ms } => now = now.plus(ms),
+            }
+
+            prop_assert_eq!(sharded.len(), single.len());
+            prop_assert_eq!(sharded.links(), single.links());
+            prop_assert_eq!(sharded.next_expiry(), single.next_expiry());
+            for ty in TYPES {
+                prop_assert_eq!(sharded.links_of_type(ty), single.links_of_type(ty));
+            }
+            prop_assert_eq!(
+                sharded.links_matching_context(|c| c.ends_with("cern.ch")),
+                single.links_matching_context(|c| c.ends_with("cern.ch"))
+            );
+            for id in 0..16u8 {
+                let l = link(id);
+                prop_assert_eq!(
+                    sharded.with_tuple(&l, |t| (t.ordinal, t.context.clone(), t.expires())),
+                    single.get(&l).map(|t| (t.ordinal, t.context.clone(), t.expires()))
+                );
+            }
+        }
+    }
+
+    /// A 16-shard registry answers exactly like a 1-shard registry (which
+    /// degenerates to the seed's single-map layout) for the same operation
+    /// sequence: same live set, same counts, same scoped query answers.
+    #[test]
+    fn sixteen_shard_registry_equals_one_shard(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let clock1 = Arc::new(ManualClock::new());
+        let clock16 = Arc::new(ManualClock::new());
+        let r1 = HyperRegistry::new(
+            RegistryConfig { shards: 1, min_ttl_ms: 1, ..RegistryConfig::default() },
+            clock1.clone(),
+        );
+        let r16 = HyperRegistry::new(
+            RegistryConfig { shards: 16, min_ttl_ms: 1, ..RegistryConfig::default() },
+            clock16.clone(),
+        );
+
+        for op in ops {
+            match op {
+                Op::Upsert { id, ty, dom, ttl } => {
+                    let ty = TYPES[ty as usize % TYPES.len()];
+                    let dom = DOMAINS[dom as usize % DOMAINS.len()];
+                    let request = || {
+                        PublishRequest::new(link(id), ty)
+                            .with_context(dom)
+                            .with_ttl_ms(ttl)
+                            .with_content(content(dom))
+                    };
+                    prop_assert_eq!(r1.publish(request()).is_ok(), r16.publish(request()).is_ok());
+                }
+                Op::Remove { id } => {
+                    prop_assert_eq!(
+                        r1.unpublish(&link(id)).is_ok(),
+                        r16.unpublish(&link(id)).is_ok()
+                    );
+                }
+                Op::Sweep => {
+                    prop_assert_eq!(r1.live_tuples(), r16.live_tuples());
+                }
+                Op::Advance { ms } => {
+                    clock1.advance(ms);
+                    clock16.advance(ms);
+                }
+            }
+            prop_assert_eq!(r1.live_tuples(), r16.live_tuples());
+        }
+
+        let count = Query::parse("count(/tuple)").unwrap();
+        let o1 = r1.query(&count, &Freshness::any()).unwrap();
+        let o16 = r16.query(&count, &Freshness::any()).unwrap();
+        prop_assert_eq!(o1.results[0].number_value(), o16.results[0].number_value());
+
+        let owners = Query::parse("//service/owner").unwrap();
+        for dom in DOMAINS {
+            let scope = QueryScope::in_domain(dom);
+            let s1 = r1.query_scoped(&owners, &Freshness::any(), &scope).unwrap();
+            let s16 = r16.query_scoped(&owners, &Freshness::any(), &scope).unwrap();
+            prop_assert_eq!(s1.results.len(), s16.results.len());
+            prop_assert_eq!(s1.stats.candidates, s16.stats.candidates);
+        }
+        for ty in TYPES {
+            let scope = QueryScope::of_type(ty);
+            let s1 = r1.query_scoped(&owners, &Freshness::any(), &scope).unwrap();
+            let s16 = r16.query_scoped(&owners, &Freshness::any(), &scope).unwrap();
+            prop_assert_eq!(s1.results.len(), s16.results.len());
+        }
+    }
+}

@@ -30,13 +30,12 @@ use std::sync::Arc;
 use wsda_net::model::{ChaosPlan, FaultPlan, NetworkModel};
 use wsda_net::{Delivery, NodeId, Simulator};
 use wsda_pdp::{
-    encoded_len, BeginOutcome, Message, NodeStateTable, QueryLanguage, ResponseMode, ResultLedger,
-    Scope, TransactionId,
+    encoded_len, BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage,
+    ResponseMode, ResultLedger, Scope, TransactionId,
 };
 use wsda_registry::clock::Time;
 use wsda_registry::workload::CorpusGenerator;
 use wsda_registry::{Freshness, HyperRegistry, RegistryConfig};
-use wsda_xq::Query;
 
 /// How nodes bound their waiting (experiment F8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +100,9 @@ struct PeerNode {
     pending_acks: HashMap<(TransactionId, NodeId, u64), PendingFrame>,
     /// Neighbors that exhausted a retry budget; skipped by later forwards.
     suspected: HashSet<NodeId>,
+    /// Per-node compiled-query cache: one parse per distinct query string,
+    /// shared by every hop and retransmission that reaches this node.
+    qcache: QueryCache,
 }
 
 /// A reliable `Results` frame awaiting its ack.
@@ -110,34 +112,8 @@ struct PendingFrame {
     backoff_ms: u64,
 }
 
-/// A parsed query in whichever language the transaction carries.
-#[derive(Clone)]
-enum ParsedQuery {
-    XQuery(Arc<Query>),
-    Sql(Arc<wsda_registry::sql::SqlQuery>),
-}
-
-impl ParsedQuery {
-    fn parse(src: &str, language: QueryLanguage) -> ParsedQuery {
-        match language {
-            QueryLanguage::Sql => match wsda_registry::sql::SqlQuery::parse(src) {
-                Ok(q) => ParsedQuery::Sql(Arc::new(q)),
-                Err(_) => {
-                    ParsedQuery::XQuery(Arc::new(Query::parse("()").expect("empty query parses")))
-                }
-            },
-            // KeyLookup is carried but evaluated as an XQuery key form.
-            QueryLanguage::XQuery | QueryLanguage::KeyLookup => {
-                let q = Query::parse(src)
-                    .unwrap_or_else(|_| Query::parse("()").expect("empty query parses"));
-                ParsedQuery::XQuery(Arc::new(q))
-            }
-        }
-    }
-}
-
 struct TxnInfo {
-    query: ParsedQuery,
+    query: CompiledQuery,
     source: String,
     language: QueryLanguage,
     scope: Scope,
@@ -265,6 +241,7 @@ impl SimNetwork {
                 ledger: ResultLedger::new(),
                 pending_acks: HashMap::new(),
                 suspected: HashSet::new(),
+                qcache: QueryCache::default(),
             });
         }
         let routing_index = RoutingIndex::build(&topology, &node_kinds, config.routing_horizon);
@@ -317,6 +294,18 @@ impl SimNetwork {
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.sim.now()
+    }
+
+    /// Total query compilations across all nodes' caches. The parse-once
+    /// tests assert this stays flat across repeated runs, extra hops and
+    /// retransmissions of the same query string.
+    pub fn query_parses(&self) -> u64 {
+        self.nodes.iter().map(|n| n.qcache.parses()).sum()
+    }
+
+    /// Total compiled-query cache hits across all nodes.
+    pub fn query_cache_hits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.qcache.hits()).sum()
     }
 
     fn schedule_timer(&mut self, node: NodeId, delay_ms: u64, ev: TimerEvent) {
@@ -558,15 +547,10 @@ impl SimNetwork {
             return;
         }
 
-        // Fresh transaction at this node.
-        let parsed = match run.parsed_query.clone() {
-            Some(q) => q,
-            None => {
-                let q = ParsedQuery::parse(query_src, language);
-                run.parsed_query = Some(q.clone());
-                q
-            }
-        };
+        // Fresh transaction at this node: compile through the node's own
+        // query cache, so repeats of the same query string (later runs,
+        // retransmitted frames, watchdog re-queries) never re-parse.
+        let parsed = self.nodes[node_idx].qcache.get_or_compile(query_src, language);
         self.nodes[node_idx].txns.insert(
             txn,
             TxnInfo {
@@ -675,7 +659,7 @@ impl SimNetwork {
 
         run.metrics.nodes_evaluated += 1;
         let items: Vec<String> = match &query {
-            ParsedQuery::XQuery(q) => self.nodes[node_idx]
+            CompiledQuery::XQuery(q) => self.nodes[node_idx]
                 .registry
                 .query(q, &Freshness::any())
                 .map(|o| {
@@ -691,7 +675,7 @@ impl SimNetwork {
                         .collect()
                 })
                 .unwrap_or_default(),
-            ParsedQuery::Sql(q) => {
+            CompiledQuery::Sql(q) => {
                 let rows = self.nodes[node_idx].registry.query_sql(q);
                 wsda_registry::sql::SqlQuery::rows_to_xml(&rows)
                     .iter()
@@ -1200,7 +1184,6 @@ struct RunState {
     txn: TransactionId,
     results: Vec<String>,
     metrics: QueryMetrics,
-    parsed_query: Option<ParsedQuery>,
     closed: bool,
     deadline_hit: bool,
     max_results: Option<u64>,
@@ -1213,7 +1196,6 @@ impl RunState {
             txn,
             results: Vec::new(),
             metrics: QueryMetrics::default(),
-            parsed_query: None,
             closed: false,
             deadline_hit: false,
             max_results,

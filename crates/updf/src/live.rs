@@ -34,13 +34,12 @@ use wsda_net::transport::ThreadedNetwork;
 use wsda_net::NodeId;
 use wsda_pdp::framing::{write_frame, FrameReader};
 use wsda_pdp::{
-    BeginOutcome, Message, NodeStateTable, QueryLanguage, ResponseMode, ResultLedger, Scope,
-    TransactionId,
+    BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage, ResponseMode,
+    ResultLedger, Scope, TransactionId,
 };
 use wsda_registry::clock::SystemClock;
 use wsda_registry::workload::CorpusGenerator;
 use wsda_registry::{Freshness, HyperRegistry, PublishRequest, RegistryConfig};
-use wsda_xq::Query;
 
 type Frame = Vec<u8>;
 
@@ -341,6 +340,10 @@ struct PeerRt {
     ledger: ResultLedger,
     pending: HashMap<(TransactionId, NodeId, u64), PendingLive>,
     suspected: HashSet<NodeId>,
+    /// Per-peer compiled-query cache: handling the same query string again
+    /// (another hop's forward, a watchdog re-query, a retransmitted frame)
+    /// reuses the compiled form instead of re-parsing.
+    qcache: QueryCache,
 }
 
 impl PeerThread {
@@ -402,7 +405,7 @@ impl PeerThread {
                         }
                     }
                     BeginOutcome::Fresh => {
-                        let items = self.evaluate(&query);
+                        let items = self.evaluate(rt, &query);
                         let fscope = scope.forwarded(0);
                         let mut pending = HashSet::new();
                         if let Some(fscope) = &fscope {
@@ -571,21 +574,31 @@ impl PeerThread {
         Duration::from_millis(nanos % (self.recovery.jitter_ms + 1))
     }
 
-    fn evaluate(&self, query_src: &str) -> Vec<String> {
-        let Ok(q) = Query::parse(query_src) else { return Vec::new() };
-        match self.registry.query(&q, &Freshness::any()) {
-            Ok(out) => out
-                .results
-                .iter()
-                .map(|item| match item.as_node() {
-                    Some(n) => match n.materialize_element() {
-                        Some(e) => e.to_compact_string(),
-                        None => n.string_value(),
-                    },
-                    None => item.string_value(),
-                })
-                .collect(),
-            Err(_) => Vec::new(),
+    fn evaluate(&self, rt: &mut PeerRt, query_src: &str) -> Vec<String> {
+        // Compile through the peer's cache: one parse per distinct query
+        // string per peer, regardless of hops and retransmissions.
+        match rt.qcache.get_or_compile(query_src, QueryLanguage::XQuery) {
+            CompiledQuery::XQuery(q) => match self.registry.query(&q, &Freshness::any()) {
+                Ok(out) => out
+                    .results
+                    .iter()
+                    .map(|item| match item.as_node() {
+                        Some(n) => match n.materialize_element() {
+                            Some(e) => e.to_compact_string(),
+                            None => n.string_value(),
+                        },
+                        None => item.string_value(),
+                    })
+                    .collect(),
+                Err(_) => Vec::new(),
+            },
+            CompiledQuery::Sql(q) => {
+                let rows = self.registry.query_sql(&q);
+                wsda_registry::sql::SqlQuery::rows_to_xml(&rows)
+                    .iter()
+                    .map(|e| e.to_compact_string())
+                    .collect()
+            }
         }
     }
 
@@ -633,6 +646,7 @@ impl PeerThread {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wsda_xq::Query;
 
     const QUERY: &str = r#"//service[load < 0.5]/owner"#;
 

@@ -3,10 +3,11 @@
 //! A panicked holder does not poison the lock — the data is handed to the
 //! next acquirer, matching parking_lot semantics.
 
-use std::sync::{
-    Mutex as StdMutex, MutexGuard, PoisonError, RwLock as StdRwLock, RwLockReadGuard,
-    RwLockWriteGuard,
-};
+use std::sync::{Mutex as StdMutex, PoisonError, RwLock as StdRwLock};
+
+// Guard types are std's own (the real crate has its own guard structs with
+// the same names and Deref behaviour).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Non-poisoning mutual exclusion lock.
 #[derive(Debug, Default)]
