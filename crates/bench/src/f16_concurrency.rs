@@ -86,7 +86,10 @@ impl GlobalMutexRegistry {
     fn new() -> Self {
         GlobalMutexRegistry {
             clock: Arc::new(ManualClock::new()),
-            inner: Mutex::new(TupleStore::new()),
+            // The seed design had no content index; disable it so the
+            // baseline pays neither its maintenance nor its consistency
+            // checks (content is installed via `get_mut`, as the seed did).
+            inner: Mutex::new(TupleStore::without_content_index()),
         }
     }
 

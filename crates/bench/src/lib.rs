@@ -26,6 +26,7 @@ pub mod f13_agent_vs_servent;
 pub mod f14_wire;
 pub mod f15_loss;
 pub mod f16_concurrency;
+pub mod f17_index;
 pub mod harness;
 pub mod t1;
 
@@ -57,6 +58,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
             "f16",
             "Concurrent cache-hit query throughput: sharded RwLock vs global mutex",
             f16_concurrency::run,
+        ),
+        (
+            "f17",
+            "Predicate pushdown: content-index lookups vs full scan by selectivity",
+            f17_index::run,
         ),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]

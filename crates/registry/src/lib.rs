@@ -48,6 +48,7 @@
 
 pub mod baseline;
 pub mod clock;
+pub mod content_index;
 pub mod error;
 pub mod freshness;
 pub mod provider;
@@ -60,11 +61,13 @@ pub mod tuple;
 pub mod workload;
 
 pub use clock::{Clock, ManualClock, SystemClock, Time};
+pub use content_index::{ContentIndex, IndexCaps};
 pub use error::{RegistryError, RegistryResult};
 pub use freshness::{Freshness, RefreshPolicy};
 pub use provider::ContentProvider;
 pub use registry::{
-    HyperRegistry, PublishRequest, QueryOutcome, QueryScope, RegistryConfig, RegistryStats,
+    HyperRegistry, PublishRequest, QueryOutcome, QueryPlan, QueryScope, RegistryConfig,
+    RegistryStats,
 };
 pub use shard::ShardedStore;
 pub use sql::{SqlQuery, SqlRow};

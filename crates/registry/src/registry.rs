@@ -43,6 +43,10 @@ pub struct RegistryConfig {
     /// two, minimum 1). More shards mean less reader/writer contention;
     /// whole-store operations touch every shard, so keep it modest.
     pub shards: usize,
+    /// Maintain per-shard inverted path/value content indexes and let the
+    /// query planner answer sargable queries from them instead of scanning
+    /// every tuple. Disable to force the scan path (baseline comparisons).
+    pub content_index: bool,
 }
 
 impl Default for RegistryConfig {
@@ -57,6 +61,7 @@ impl Default for RegistryConfig {
             global_throttle: ThrottleConfig::unlimited(),
             parallel_scan_threshold: 1024,
             shards: crate::shard::DEFAULT_SHARDS,
+            content_index: true,
         }
     }
 }
@@ -128,6 +133,12 @@ pub struct RegistryStats {
     pub cache_hits: AtomicU64,
     /// Queries answered through the link/type index.
     pub index_queries: AtomicU64,
+    /// Queries planned fully from the content index.
+    pub plans_index: AtomicU64,
+    /// Queries planned from the content index with a residual re-check.
+    pub plans_hybrid: AtomicU64,
+    /// Queries that fell back to the full scan.
+    pub plans_scan: AtomicU64,
 }
 
 impl RegistryStats {
@@ -147,6 +158,9 @@ impl RegistryStats {
             ("pulls_throttled", self.pulls_throttled.load(Ordering::Relaxed)),
             ("cache_hits", self.cache_hits.load(Ordering::Relaxed)),
             ("index_queries", self.index_queries.load(Ordering::Relaxed)),
+            ("plans_index", self.plans_index.load(Ordering::Relaxed)),
+            ("plans_hybrid", self.plans_hybrid.load(Ordering::Relaxed)),
+            ("plans_scan", self.plans_scan.load(Ordering::Relaxed)),
         ]
     }
 }
@@ -187,6 +201,30 @@ impl QueryScope {
     }
 }
 
+/// The candidate-selection strategy a query executed with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueryPlan {
+    /// Full scan of the (scope-restricted) tuple set.
+    #[default]
+    Scan,
+    /// Content-index candidates, predicates captured the query exactly.
+    Index,
+    /// Content-index candidates plus a residual re-check (the compiled
+    /// query always re-runs over candidates; `Hybrid` records that the
+    /// index alone was not equivalent to the query).
+    Hybrid,
+}
+
+impl std::fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QueryPlan::Scan => "scan",
+            QueryPlan::Index => "index",
+            QueryPlan::Hybrid => "hybrid",
+        })
+    }
+}
+
 /// Per-query execution statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryStats {
@@ -202,6 +240,10 @@ pub struct QueryStats {
     pub used_index: bool,
     /// Whether the scan ran rayon-parallel.
     pub parallel: bool,
+    /// The plan the content-index planner chose.
+    pub plan: QueryPlan,
+    /// Content-index posting lists consulted by the planner.
+    pub postings_consulted: usize,
 }
 
 /// A query result with its statistics.
@@ -237,7 +279,7 @@ impl HyperRegistry {
     pub fn new(config: RegistryConfig, clock: SharedClock) -> Self {
         let now = clock.now();
         HyperRegistry {
-            store: ShardedStore::new(config.shards),
+            store: ShardedStore::with_content_index(config.shards, config.content_index),
             throttle: Mutex::new(PullThrottle::new(
                 config.per_provider_throttle,
                 config.global_throttle,
@@ -253,6 +295,12 @@ impl HyperRegistry {
     /// The registry's configuration.
     pub fn config(&self) -> &RegistryConfig {
         &self.config
+    }
+
+    /// Exhaustive store/secondary-index consistency check (test helper).
+    #[doc(hidden)]
+    pub fn check_consistent(&self) {
+        self.store.check_consistent();
     }
 
     /// Operation counters.
@@ -312,9 +360,9 @@ impl HyperRegistry {
             ordinal,
         );
         if let Some(content) = request.content {
-            if let Some(t) = shard.get_mut(&request.link) {
-                t.set_content(Arc::new(content), now);
-            }
+            // Through the index-maintaining path, so pushed content lands
+            // in the shard's content postings.
+            shard.set_content(&request.link, Arc::new(content), now);
         }
         if was_new {
             RegistryStats::add(&self.stats.publishes, 1);
@@ -445,12 +493,25 @@ impl HyperRegistry {
                     domain_checked = true;
                     self.store.links_matching_context(|ctx| scope.domain_matches(ctx))
                 }
-                (None, None) => self.store.links(),
+                // The unrestricted scope is where the O(N) scan lived:
+                // let the content-index planner narrow it when it can.
+                (None, None) => match self.plan_candidates(query, demand, &mut stats) {
+                    Some(links) => links,
+                    None => self.store.links(),
+                },
             },
         };
         if stats.used_index {
             RegistryStats::add(&self.stats.index_queries, 1);
         }
+        RegistryStats::add(
+            match stats.plan {
+                QueryPlan::Index => &self.stats.plans_index,
+                QueryPlan::Hybrid => &self.stats.plans_hybrid,
+                QueryPlan::Scan => &self.stats.plans_scan,
+            },
+            1,
+        );
         let need_domain_check = scope.domain.is_some() && !domain_checked;
 
         // Phase 2: doc collection, grouped by shard so each shard's read
@@ -506,11 +567,10 @@ impl HyperRegistry {
                 match provider.fetch() {
                     Ok(content) => {
                         RegistryStats::add(&self.stats.pulls_ok, 1);
-                        // Install under the shard write lock; the tuple may
-                        // have expired or vanished while the provider ran.
-                        self.store
-                            .with_tuple_mut(&link, |t| t.set_content(Arc::new(content), now))
-                            .is_some()
+                        // Install under the shard write lock (through the
+                        // index-maintaining path); the tuple may have
+                        // expired or vanished while the provider ran.
+                        self.store.install_content(&link, Arc::new(content), now)
                     }
                     Err(_) => {
                         RegistryStats::add(&self.stats.pulls_failed, 1);
@@ -559,7 +619,7 @@ impl HyperRegistry {
             let idx = self.store.shard_of(&link);
             by_shard[idx].push(link);
         }
-        let mut xmls: Vec<(String, Arc<Element>)> = Vec::new();
+        let mut records: Vec<(String, Arc<crate::baseline::ServiceRecord>)> = Vec::new();
         for (idx, links) in by_shard.into_iter().enumerate() {
             if links.is_empty() {
                 continue;
@@ -568,19 +628,59 @@ impl HyperRegistry {
             for link in links {
                 if let Some(t) = shard.get(&link) {
                     if !t.is_expired(now) {
-                        let xml = t.to_xml();
-                        xmls.push((link, xml));
+                        // Memoized per tuple (see [`crate::Tuple::to_record`]):
+                        // repeated SQL queries stop re-flattening the XML.
+                        records.push((link, t.to_record()));
                     }
                 }
             }
         }
         // Keep the seed's deterministic link-sorted row order.
-        xmls.sort_by(|a, b| a.0.cmp(&b.0));
-        let records: Vec<crate::baseline::ServiceRecord> = xmls
-            .into_iter()
-            .map(|(_, xml)| crate::baseline::ServiceRecord::from_tuple_xml(xml))
-            .collect();
-        query.evaluate(records.iter())
+        records.sort_by(|a, b| a.0.cmp(&b.0));
+        query.evaluate(records.iter().map(|(_, r)| r.as_ref()))
+    }
+
+    /// The predicate-pushdown planner: candidate links from the content
+    /// index, or `None` when the query must scan.
+    ///
+    /// The index answers from *cached* content, so it may only plan
+    /// queries whose execution serves exactly that cache: any freshness
+    /// demand with a maximum age, or a periodic-refresh policy, can
+    /// re-pull stale tuples mid-query and make fresh content match where
+    /// cached content did not. Tuples with no cached content at all are
+    /// always in the candidate set (see
+    /// [`crate::content_index::ContentIndex::candidates`]), so
+    /// first-time on-demand pulls still happen under an index plan.
+    fn plan_candidates(
+        &self,
+        query: &Query,
+        demand: &Freshness,
+        stats: &mut QueryStats,
+    ) -> Option<Vec<String>> {
+        if demand.max_age_ms.is_some()
+            || matches!(self.config.refresh_policy, RefreshPolicy::PullPeriodic { .. })
+        {
+            return None;
+        }
+        let plan = query.profile().sargable.as_ref()?;
+        // Width bailout: a candidate set covering (nearly) the whole store
+        // buys no selectivity, and per-link fetches cost more than the
+        // straight shard scan — fall back, before materializing candidates
+        // (the store pre-checks a cheap postings-size bound). Only above a
+        // minimum store size: below it either path is cheap and index
+        // plans stay observable. The 1/16 slack tolerates
+        // expired-but-unswept postings.
+        const WIDE_PLAN_MIN_TUPLES: usize = 256;
+        let total = self.store.len();
+        let width_cap = if total >= WIDE_PLAN_MIN_TUPLES {
+            total.saturating_sub(total / 16)
+        } else {
+            usize::MAX
+        };
+        let (links, consulted) = self.store.sargable_candidates(&plan.predicates, width_cap)?;
+        stats.postings_consulted = consulted;
+        stats.plan = if plan.residual { QueryPlan::Hybrid } else { QueryPlan::Index };
+        Some(links)
     }
 
     fn evaluate(
@@ -601,7 +701,11 @@ impl HyperRegistry {
             let chunks: Vec<RegistryResult<Sequence>> = docs
                 .par_chunks(chunk)
                 .map(|slice| {
-                    let mut out = Sequence::new();
+                    // One preallocated buffer per chunk (selective queries
+                    // yield ≤1 item per doc far more often than >1), moved
+                    // — not re-copied — into the final concatenation, so
+                    // allocator pressure stays flat as corpora grow.
+                    let mut out = Sequence::with_capacity(slice.len());
                     for (ord, doc) in slice {
                         let root = NodeRef::document_node(doc.clone(), *ord);
                         let mut ctx = DynamicContext::with_root_refs(vec![root]);
@@ -610,9 +714,10 @@ impl HyperRegistry {
                     Ok(out)
                 })
                 .collect();
-            let mut out = Sequence::new();
+            let total = chunks.iter().map(|c| c.as_ref().map_or(0, |s| s.len())).sum();
+            let mut out = Sequence::with_capacity(total);
             for c in chunks {
-                out.extend(c?);
+                out.append(&mut c?);
             }
             Ok(out)
         } else {
@@ -885,5 +990,163 @@ mod tests {
         let names: Vec<&str> = r.stats().snapshot().iter().map(|(n, _)| *n).collect();
         assert!(names.contains(&"publishes"));
         assert!(names.contains(&"pulls_throttled"));
+        assert!(names.contains(&"plans_index"));
+        assert!(names.contains(&"plans_scan"));
+    }
+
+    fn planner_corpus(r: &HyperRegistry) {
+        for i in 0..20 {
+            let owner = if i % 4 == 0 { "cms.cern.ch" } else { "fnal.gov" };
+            r.publish(
+                PublishRequest::new(format!("http://x{i:02}"), "service").with_content(svc(owner)),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn planner_chooses_index_for_exact_sargable_query() {
+        let (_, r) = setup();
+        planner_corpus(&r);
+        let q = Query::parse(r#"//service[owner = "cms.cern.ch"]"#).unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out.stats.plan, QueryPlan::Index);
+        assert_eq!(out.stats.candidates, 5, "index narrowed 20 tuples to 5");
+        assert!(out.stats.postings_consulted > 0);
+        assert_eq!(out.results.len(), 5);
+        assert_eq!(r.stats().plans_index.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn planner_chooses_hybrid_when_predicates_are_partial() {
+        let (_, r) = setup();
+        planner_corpus(&r);
+        // `not(...)` is not extractable, so the plan carries a residual:
+        // candidates come from Exists(//service), the query re-checks.
+        let q = Query::parse(r#"//service[not(owner = "cms.cern.ch")]"#).unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out.stats.plan, QueryPlan::Hybrid);
+        assert_eq!(out.results.len(), 15);
+        assert_eq!(r.stats().plans_hybrid.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wide_candidate_sets_bail_out_to_scan_above_min_size() {
+        let (_, r) = setup();
+        for i in 0..300 {
+            let owner = if i == 0 { "cms.cern.ch" } else { "fnal.gov" };
+            r.publish(
+                PublishRequest::new(format!("http://w{i:03}"), "service").with_content(svc(owner)),
+            )
+            .unwrap();
+        }
+        // Every tuple matches the existence probe: no selectivity, so the
+        // planner declines and scans (per-link fetches would cost more).
+        let wide = Query::parse("//service/owner").unwrap();
+        let out = r.query(&wide, &Freshness::any()).unwrap();
+        assert_eq!(out.stats.plan, QueryPlan::Scan);
+        assert_eq!(out.results.len(), 300);
+        // A selective predicate over the same store still plans an index.
+        let narrow = Query::parse(r#"//service[owner = "cms.cern.ch"]"#).unwrap();
+        let out = r.query(&narrow, &Freshness::any()).unwrap();
+        assert_eq!(out.stats.plan, QueryPlan::Index);
+        assert_eq!(out.stats.candidates, 1);
+    }
+
+    #[test]
+    fn planner_falls_back_to_scan_for_non_sargable_queries() {
+        let (_, r) = setup();
+        planner_corpus(&r);
+        // A relative path cannot anchor an absolute pattern.
+        let q = Query::parse("count(/tuple) + count(/tuple)").unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out.stats.plan, QueryPlan::Scan);
+        assert_eq!(out.stats.candidates, 20);
+        assert_eq!(r.stats().plans_scan.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn freshness_demand_disables_the_planner() {
+        let (_, r) = setup();
+        planner_corpus(&r);
+        // A max-age demand may re-pull stale tuples whose *fresh* content
+        // matches; the index (which reflects the cache) must not prejudge.
+        let q = Query::parse(r#"//service[owner = "cms.cern.ch"]"#).unwrap();
+        let out = r.query(&q, &Freshness::max_age(60_000)).unwrap();
+        assert_eq!(out.stats.plan, QueryPlan::Scan);
+        assert_eq!(out.results.len(), 5, "same answer, scan plan");
+    }
+
+    #[test]
+    fn disabled_content_index_forces_scan_with_identical_results() {
+        let clock = Arc::new(ManualClock::new());
+        let r = HyperRegistry::new(
+            RegistryConfig { content_index: false, min_ttl_ms: 10, ..RegistryConfig::default() },
+            clock,
+        );
+        planner_corpus(&r);
+        let q = Query::parse(r#"//service[owner = "cms.cern.ch"]/owner"#).unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out.stats.plan, QueryPlan::Scan);
+        assert_eq!(out.stats.candidates, 20);
+        assert_eq!(out.results.len(), 5);
+    }
+
+    #[test]
+    fn planner_still_pulls_contentless_tuples() {
+        let (_, r) = setup();
+        planner_corpus(&r);
+        // A tuple published without content: the index knows nothing about
+        // it, so it must stay a candidate and be pulled on demand.
+        let p = Arc::new(StaticProvider::new("http://pending", svc("cms.cern.ch")));
+        r.register_provider(p.clone());
+        r.publish(PublishRequest::new("http://pending", "service")).unwrap();
+        let q = Query::parse(r#"//service[owner = "cms.cern.ch"]/owner"#).unwrap();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert_ne!(out.stats.plan, QueryPlan::Scan);
+        assert_eq!(out.stats.pulls, 1, "pull-pending tuple was fetched under an index plan");
+        assert_eq!(out.results.len(), 6);
+        assert_eq!(p.pulls(), 1);
+        // Once cached, the next query answers from postings: the pulled
+        // content was indexed on install.
+        let out2 = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out2.stats.pulls, 0);
+        assert_eq!(out2.stats.candidates, 6, "pulled tuple now matched via postings");
+    }
+
+    #[test]
+    fn index_plan_reflects_unpublish_refresh_and_expiry() {
+        let (clock, r) = setup();
+        let q = Query::parse(r#"//service[owner = "cms.cern.ch"]"#).unwrap();
+        r.publish(
+            PublishRequest::new("http://a", "service")
+                .with_content(svc("cms.cern.ch"))
+                .with_ttl_ms(1_000),
+        )
+        .unwrap();
+        r.publish(
+            PublishRequest::new("http://b", "service")
+                .with_content(svc("cms.cern.ch"))
+                .with_ttl_ms(10_000),
+        )
+        .unwrap();
+        assert_eq!(r.query(&q, &Freshness::any()).unwrap().results.len(), 2);
+        // Re-publish with different content: postings move.
+        r.publish(
+            PublishRequest::new("http://b", "service")
+                .with_content(svc("fnal.gov"))
+                .with_ttl_ms(10_000),
+        )
+        .unwrap();
+        assert_eq!(r.query(&q, &Freshness::any()).unwrap().results.len(), 1);
+        // Expiry sweeps postings.
+        clock.advance(1_000);
+        r.sweep();
+        let out = r.query(&q, &Freshness::any()).unwrap();
+        assert_eq!(out.results.len(), 0);
+        assert_eq!(out.stats.candidates, 0);
+        // Unpublish cleans up too.
+        r.unpublish("http://b").unwrap();
+        assert_eq!(r.live_tuples(), 0);
     }
 }

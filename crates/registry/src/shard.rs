@@ -23,11 +23,15 @@
 //! collects its pull work-list first, drops the shard lock, then fetches).
 
 use crate::clock::Time;
+use crate::content_index::pattern_is_content_only;
 use crate::store::TupleStore;
 use crate::tuple::{Tuple, TupleKey};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wsda_xml::Element;
+use wsda_xq::SargablePredicate;
 
 /// Default shard count: enough to make writer/reader collisions rare at
 /// tens of threads while keeping whole-store scans cheap.
@@ -49,11 +53,18 @@ impl Default for ShardedStore {
 
 impl ShardedStore {
     /// Create a store with `shards` shards (rounded up to a power of two,
-    /// minimum 1, so shard routing is a mask).
+    /// minimum 1, so shard routing is a mask), content index enabled.
     pub fn new(shards: usize) -> Self {
+        Self::with_content_index(shards, true)
+    }
+
+    /// Like [`ShardedStore::new`], with the per-shard content index
+    /// enabled or disabled.
+    pub fn with_content_index(shards: usize, content_index: bool) -> Self {
         let n = shards.max(1).next_power_of_two();
+        let make = if content_index { TupleStore::new } else { TupleStore::without_content_index };
         ShardedStore {
-            shards: (0..n).map(|_| RwLock::new(TupleStore::new())).collect(),
+            shards: (0..n).map(|_| RwLock::new(make())).collect(),
             next_ordinal: AtomicU64::new(0),
         }
     }
@@ -163,6 +174,63 @@ impl ShardedStore {
     /// True when a tuple for `link` is stored (expired or not).
     pub fn contains(&self, link: &str) -> bool {
         self.read_shard(self.shard_of(link)).get(link).is_some()
+    }
+
+    /// Install content for `link` through the index-maintaining path
+    /// (write-locks only the owning shard).
+    pub fn install_content(&self, link: &str, content: Arc<Element>, now: Time) -> bool {
+        self.write_shard(self.shard_of(link)).set_content(link, content, now)
+    }
+
+    /// Drop cached content for `link` through the index-maintaining path.
+    pub fn drop_content(&self, link: &str) -> bool {
+        self.write_shard(self.shard_of(link)).clear_content(link)
+    }
+
+    /// Probe every shard's content index for links that may satisfy all
+    /// `preds`: `Some((sorted candidate links, postings consulted))`, or
+    /// `None` when the index is disabled or no predicate constrains
+    /// content (wrapper-only patterns cannot be answered from postings).
+    /// Shards are read-locked one at a time, per the lock order above.
+    pub fn sargable_candidates(
+        &self,
+        preds: &[SargablePredicate],
+        width_cap: usize,
+    ) -> Option<(Vec<TupleKey>, usize)> {
+        let content_preds: Vec<&SargablePredicate> =
+            preds.iter().filter(|p| pattern_is_content_only(p.path())).collect();
+        if content_preds.is_empty() {
+            return None;
+        }
+        // Width pre-check: sum each shard's cheap candidate bound and give
+        // up before materializing anything when the plan cannot possibly
+        // come in under the cap. The bound never undershoots the real
+        // candidate count, so a passing pre-check guarantees a set within
+        // the cap (modulo overshoot, which only makes us scan more often).
+        if width_cap != usize::MAX {
+            let mut bound = 0usize;
+            for shard in self.shards.iter() {
+                bound += shard.read().content_candidate_bound(&content_preds)?;
+                if bound >= width_cap {
+                    return None;
+                }
+            }
+        }
+        let mut consulted = 0;
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.read().content_candidates(&content_preds, &mut consulted)?);
+        }
+        out.sort();
+        Some((out, consulted))
+    }
+
+    /// Run the exhaustive per-shard consistency check (test helper).
+    #[doc(hidden)]
+    pub fn check_consistent(&self) {
+        for shard in self.shards.iter() {
+            shard.read().check_consistent();
+        }
     }
 }
 

@@ -8,11 +8,15 @@
 //! tuples.
 
 use crate::clock::Time;
+use crate::content_index::ContentIndex;
 use crate::tuple::{Tuple, TupleKey};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use wsda_xml::Element;
+use wsda_xq::SargablePredicate;
 
-/// In-memory tuple storage with link, type and context indices.
-#[derive(Debug, Default)]
+/// In-memory tuple storage with link, type, context and content indices.
+#[derive(Debug)]
 pub struct TupleStore {
     by_link: HashMap<TupleKey, Tuple>,
     by_type: HashMap<String, HashSet<TupleKey>>,
@@ -23,13 +27,39 @@ pub struct TupleStore {
     /// Expiry queue: expiry time → links (BTreeMap gives cheap "expired
     /// prefix" sweeps without scanning live tuples).
     expiry: BTreeMap<Time, HashSet<TupleKey>>,
+    /// Inverted path/value postings over cached content, answering
+    /// sargable predicates without a scan. `None` when disabled; content
+    /// must then be installed through [`TupleStore::get_mut`]-style direct
+    /// mutation only. Maintained by every content-changing operation so it
+    /// never diverges from `by_link`.
+    content_index: Option<ContentIndex>,
     next_ordinal: u64,
 }
 
+impl Default for TupleStore {
+    fn default() -> Self {
+        TupleStore {
+            by_link: HashMap::new(),
+            by_type: HashMap::new(),
+            by_context: HashMap::new(),
+            expiry: BTreeMap::new(),
+            content_index: Some(ContentIndex::default()),
+            next_ordinal: 0,
+        }
+    }
+}
+
 impl TupleStore {
-    /// An empty store.
+    /// An empty store (content index enabled).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty store with the content index disabled: content changes
+    /// cost nothing extra and [`TupleStore::content_candidates`] returns
+    /// `None`, forcing callers onto the scan path.
+    pub fn without_content_index() -> Self {
+        TupleStore { content_index: None, ..Self::default() }
     }
 
     /// Number of live tuples (including any not yet swept but expired —
@@ -90,6 +120,9 @@ impl TupleStore {
             }
             let new_expiry = t.expires();
             move_expiry(&mut self.expiry, old_expiry, new_expiry, link);
+            // A refresh never touches content, so the content index (which
+            // covers only `/tuple/content`) needs no update.
+            self.debug_assert_link(link);
             false
         } else {
             let t = Tuple::new(link, type_, context, now, ttl_ms, ordinal);
@@ -97,7 +130,135 @@ impl TupleStore {
             self.by_type.entry(type_.to_owned()).or_default().insert(link.to_owned());
             self.by_context.entry(context.to_owned()).or_default().insert(link.to_owned());
             self.by_link.insert(link.to_owned(), t);
+            if let Some(idx) = self.content_index.as_mut() {
+                idx.index(link, None);
+            }
+            self.debug_assert_link(link);
             true
+        }
+    }
+
+    /// Install content for `link` at `now`, keeping the content index
+    /// consistent. Returns `false` when the link is unknown. Content must
+    /// be installed through this method (not [`TupleStore::get_mut`])
+    /// whenever the content index is enabled.
+    pub fn set_content(&mut self, link: &str, content: Arc<Element>, now: Time) -> bool {
+        let Some(t) = self.by_link.get_mut(link) else {
+            return false;
+        };
+        t.set_content(content, now);
+        self.reindex(link);
+        true
+    }
+
+    /// Drop cached content for `link`, keeping the content index
+    /// consistent. Returns `false` when the link is unknown.
+    pub fn clear_content(&mut self, link: &str) -> bool {
+        let Some(t) = self.by_link.get_mut(link) else {
+            return false;
+        };
+        t.clear_content();
+        self.reindex(link);
+        true
+    }
+
+    fn reindex(&mut self, link: &str) {
+        if let Some(idx) = self.content_index.as_mut() {
+            let content = self.by_link.get(link).and_then(|t| t.content.clone());
+            idx.index(link, content.as_deref());
+        }
+        self.debug_assert_link(link);
+    }
+
+    /// Links that may satisfy every predicate, per the content index;
+    /// `None` when the index is disabled (callers must scan).
+    pub fn content_candidates(
+        &self,
+        preds: &[&SargablePredicate],
+        consulted: &mut usize,
+    ) -> Option<Vec<TupleKey>> {
+        self.content_index.as_ref().map(|idx| idx.candidates(preds, consulted))
+    }
+
+    /// Cheap upper bound on [`TupleStore::content_candidates`] (postings
+    /// sizes only; nothing materialized). `None` when indexing is off.
+    pub fn content_candidate_bound(&self, preds: &[&SargablePredicate]) -> Option<usize> {
+        self.content_index.as_ref().map(|idx| idx.candidate_bound(preds))
+    }
+
+    /// Per-link consistency of all secondary indices with `by_link`
+    /// (debug builds only — O(1) per call).
+    fn debug_assert_link(&self, link: &str) {
+        #[cfg(debug_assertions)]
+        {
+            match self.by_link.get(link) {
+                Some(t) => {
+                    debug_assert!(
+                        self.by_type.get(&t.type_).is_some_and(|s| s.contains(link)),
+                        "by_type misses live link {link}"
+                    );
+                    debug_assert!(
+                        self.by_context.get(&t.context).is_some_and(|s| s.contains(link)),
+                        "by_context misses live link {link}"
+                    );
+                    if let Some(idx) = &self.content_index {
+                        let (indexed, overflow, contentless) = idx.membership(link);
+                        debug_assert_eq!(
+                            usize::from(indexed) + usize::from(overflow) + usize::from(contentless),
+                            1,
+                            "content index misses live link {link}"
+                        );
+                        debug_assert_eq!(
+                            t.content.is_none(),
+                            contentless,
+                            "content index contentless state diverges for {link}"
+                        );
+                    }
+                }
+                None => {
+                    if let Some(idx) = &self.content_index {
+                        let (indexed, overflow, contentless) = idx.membership(link);
+                        debug_assert!(
+                            !indexed && !overflow && !contentless,
+                            "content index retains removed link {link}"
+                        );
+                    }
+                }
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = link;
+    }
+
+    /// Exhaustive consistency check of every secondary index against
+    /// `by_link` (test helper; O(store size)).
+    #[doc(hidden)]
+    pub fn check_consistent(&self) {
+        let live: HashSet<TupleKey> = self.by_link.keys().cloned().collect();
+        let mut typed = 0;
+        for (ty, set) in &self.by_type {
+            for link in set {
+                assert!(
+                    self.by_link.get(link).is_some_and(|t| &t.type_ == ty),
+                    "by_type has stale entry {link} under {ty}"
+                );
+                typed += 1;
+            }
+        }
+        assert_eq!(typed, live.len(), "by_type cardinality diverges from by_link");
+        let mut ctxed = 0;
+        for (ctx, set) in &self.by_context {
+            for link in set {
+                assert!(
+                    self.by_link.get(link).is_some_and(|t| &t.context == ctx),
+                    "by_context has stale entry {link} under {ctx}"
+                );
+                ctxed += 1;
+            }
+        }
+        assert_eq!(ctxed, live.len(), "by_context cardinality diverges from by_link");
+        if let Some(idx) = &self.content_index {
+            idx.check_consistent(&live);
         }
     }
 
@@ -118,12 +279,16 @@ impl TupleStore {
         let t = self.by_link.remove(link)?;
         remove_index(&mut self.by_type, &t.type_, link);
         remove_index(&mut self.by_context, &t.context, link);
+        if let Some(idx) = self.content_index.as_mut() {
+            idx.unindex(link);
+        }
         if let Some(set) = self.expiry.get_mut(&t.expires()) {
             set.remove(link);
             if set.is_empty() {
                 self.expiry.remove(&t.expires());
             }
         }
+        self.debug_assert_link(link);
         Some(t)
     }
 
@@ -147,6 +312,10 @@ impl TupleStore {
                 self.by_link.remove(&link);
                 remove_index(&mut self.by_type, &expired_type, &link);
                 remove_index(&mut self.by_context, &expired_ctx, &link);
+                if let Some(idx) = self.content_index.as_mut() {
+                    idx.unindex(&link);
+                }
+                self.debug_assert_link(&link);
                 evicted += 1;
             }
         }
@@ -204,11 +373,11 @@ impl TupleStore {
     }
 }
 
-fn remove_index(index: &mut HashMap<String, HashSet<TupleKey>>, type_: &str, link: &str) {
-    if let Some(set) = index.get_mut(type_) {
+fn remove_index(index: &mut HashMap<String, HashSet<TupleKey>>, key: &str, link: &str) {
+    if let Some(set) = index.get_mut(key) {
         set.remove(link);
         if set.is_empty() {
-            index.remove(type_);
+            index.remove(key);
         }
     }
 }

@@ -11,6 +11,7 @@
 //! * `TC`  — when the cached content was last obtained,
 //! * `TTL` — how long past `TS2` the tuple stays alive without refresh.
 
+use crate::baseline::ServiceRecord;
 use crate::clock::Time;
 use std::sync::{Arc, OnceLock};
 use wsda_xml::Element;
@@ -47,6 +48,9 @@ pub struct Tuple {
     /// a shard read lock race to initialize it, one wins, the rest reuse
     /// the winner's rendering. Every mutating method replaces the cell.
     rendered: OnceLock<Arc<Element>>,
+    /// Cached flat record derived from the rendering (the SQL baseline's
+    /// row shape); same caching discipline as `rendered`.
+    record: OnceLock<Arc<ServiceRecord>>,
 }
 
 impl Tuple {
@@ -70,6 +74,7 @@ impl Tuple {
             ttl_ms,
             ordinal,
             rendered: OnceLock::new(),
+            record: OnceLock::new(),
         }
     }
 
@@ -94,6 +99,7 @@ impl Tuple {
         self.refreshed = now;
         self.ttl_ms = ttl_ms;
         self.rendered = OnceLock::new();
+        self.record = OnceLock::new();
     }
 
     /// Install new content obtained at `now`.
@@ -101,6 +107,7 @@ impl Tuple {
         self.content = Some(content);
         self.content_cached = Some(now);
         self.rendered = OnceLock::new();
+        self.record = OnceLock::new();
     }
 
     /// Drop cached content (e.g. after repeated pull failures).
@@ -108,6 +115,7 @@ impl Tuple {
         self.content = None;
         self.content_cached = None;
         self.rendered = OnceLock::new();
+        self.record = OnceLock::new();
     }
 
     /// Render (and cache) the tuple as the XML document queries navigate:
@@ -138,6 +146,13 @@ impl Tuple {
                 Arc::new(e)
             })
             .clone()
+    }
+
+    /// The flat [`ServiceRecord`] view of this tuple (cached; same
+    /// invalidation as [`Tuple::to_xml`]). The SQL baseline queries rows
+    /// of this shape, so repeated queries stop re-flattening every tuple.
+    pub fn to_record(&self) -> Arc<ServiceRecord> {
+        self.record.get_or_init(|| Arc::new(ServiceRecord::from_tuple_xml(self.to_xml()))).clone()
     }
 }
 

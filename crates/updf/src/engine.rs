@@ -659,22 +659,24 @@ impl SimNetwork {
 
         run.metrics.nodes_evaluated += 1;
         let items: Vec<String> = match &query {
-            CompiledQuery::XQuery(q) => self.nodes[node_idx]
-                .registry
-                .query(q, &Freshness::any())
-                .map(|o| {
-                    o.results
-                        .iter()
-                        .map(|item| match item.as_node() {
-                            Some(n) => match n.materialize_element() {
-                                Some(e) => e.to_compact_string(),
-                                None => n.string_value(),
-                            },
-                            None => item.string_value(),
-                        })
-                        .collect()
-                })
-                .unwrap_or_default(),
+            CompiledQuery::XQuery(q) => {
+                match self.nodes[node_idx].registry.query(q, &Freshness::any()) {
+                    Ok(o) => {
+                        run.metrics.record_plan(o.stats.plan);
+                        o.results
+                            .iter()
+                            .map(|item| match item.as_node() {
+                                Some(n) => match n.materialize_element() {
+                                    Some(e) => e.to_compact_string(),
+                                    None => n.string_value(),
+                                },
+                                None => item.string_value(),
+                            })
+                            .collect()
+                    }
+                    Err(_) => Vec::new(),
+                }
+            }
             CompiledQuery::Sql(q) => {
                 let rows = self.nodes[node_idx].registry.query_sql(q);
                 wsda_registry::sql::SqlQuery::rows_to_xml(&rows)

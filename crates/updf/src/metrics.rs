@@ -51,6 +51,13 @@ pub struct QueryMetrics {
     /// Replayed `Results` frames suppressed by sequence-number dedup
     /// (retransmissions and network duplicates).
     pub replays_suppressed: u64,
+    /// Local evaluations answered from the content index alone.
+    pub plans_index: u64,
+    /// Local evaluations answered from index candidates plus a residual
+    /// filter (partial pushdown).
+    pub plans_hybrid: u64,
+    /// Local evaluations that fell back to a full registry scan.
+    pub plans_scan: u64,
 }
 
 impl QueryMetrics {
@@ -68,6 +75,16 @@ impl QueryMetrics {
     /// Messages of one kind.
     pub fn messages(&self, kind: &str) -> u64 {
         self.messages_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Record which plan one node's local registry evaluation used.
+    pub fn record_plan(&mut self, plan: wsda_registry::QueryPlan) {
+        use wsda_registry::QueryPlan;
+        match plan {
+            QueryPlan::Index => self.plans_index += 1,
+            QueryPlan::Hybrid => self.plans_hybrid += 1,
+            QueryPlan::Scan => self.plans_scan += 1,
+        }
     }
 
     /// Record a delivery of `n` items to the originator at `now`.

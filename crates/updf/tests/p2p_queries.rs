@@ -329,3 +329,31 @@ fn sql_count_aggregates_per_node() {
         .sum();
     assert_eq!(total, (8 * P2pConfig::default().tuples_per_node) as u64);
 }
+
+#[test]
+fn plan_metrics_classify_local_evaluations() {
+    // `//service/owner` is fully sargable (a pure existence probe), so
+    // every node answers from its content index.
+    let mut net = network(Topology::tree(12, 3));
+    let run = net.run_query(NodeId(0), "//service/owner", Scope::default(), ResponseMode::Routed);
+    assert_eq!(run.metrics.plans_index, 12);
+    assert_eq!(run.metrics.plans_hybrid + run.metrics.plans_scan, 0);
+
+    // The default query's `load < 0.5` weakens to an existence probe plus
+    // a residual filter: a hybrid plan on every node.
+    let mut net = network(Topology::tree(12, 3));
+    let run = net.run_query(NodeId(0), QUERY, Scope::default(), ResponseMode::Routed);
+    assert_eq!(run.metrics.plans_hybrid, 12);
+    assert_eq!(run.metrics.plans_index + run.metrics.plans_scan, 0);
+
+    // Top-level arithmetic is not sargable: full scan everywhere.
+    let mut net = network(Topology::tree(12, 3));
+    let run = net.run_query(
+        NodeId(0),
+        "count(/tuple) + count(/tuple)",
+        Scope::default(),
+        ResponseMode::Routed,
+    );
+    assert_eq!(run.metrics.plans_scan, 12);
+    assert_eq!(run.metrics.plans_index + run.metrics.plans_hybrid, 0);
+}

@@ -331,7 +331,7 @@ impl Expr {
     }
 
     /// Call `f` on each direct sub-expression (no recursion).
-    fn each_child(&self, f: &mut impl FnMut(&Expr)) {
+    pub(crate) fn each_child(&self, f: &mut impl FnMut(&Expr)) {
         match self {
             Expr::StrLit(_)
             | Expr::NumLit(_)

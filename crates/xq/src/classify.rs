@@ -13,7 +13,7 @@
 //!   tuple independently and the results unioned (no cross-tuple joins),
 //!   which is what lets UPDF nodes merge neighbor results by concatenation.
 
-use crate::ast::{Axis, BinOp, Expr, FlworClause, PathStart, QueryClass, Step};
+use crate::ast::{Axis, BinOp, Expr, FlworClause, NodeTest, PathStart, QueryClass, Step};
 
 /// The static profile of a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +27,9 @@ pub struct QueryProfile {
     /// For `Simple` queries: the indexed key the registry can use,
     /// e.g. `("type", "executor")` from `/tuple[@type = "executor"]`.
     pub index_key: Option<(String, String)>,
+    /// Conjunctive path/value predicates a content index can answer, when
+    /// the query is sargable (see [`extract_sargable`]).
+    pub sargable: Option<SargablePlan>,
 }
 
 /// Classify a parsed expression.
@@ -40,6 +43,7 @@ pub fn classify(expr: &Expr) -> QueryProfile {
             pipelinable: true,
             separable: true,
             index_key: Some(key),
+            sargable: None,
         };
     } else if stats.for_count >= 2
         || stats.has_aggregate
@@ -61,7 +65,13 @@ pub fn classify(expr: &Expr) -> QueryProfile {
         && !stats.has_aggregate
         && !stats.has_order_by;
 
-    QueryProfile { class, pipelinable, separable, index_key: None }
+    QueryProfile {
+        class,
+        pipelinable,
+        separable,
+        index_key: None,
+        sargable: extract_sargable(expr),
+    }
 }
 
 #[derive(Default)]
@@ -178,6 +188,514 @@ fn extract_attr_eq(pred: &Expr) -> Option<(String, String)> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sargable-predicate extraction (predicate pushdown).
+//
+// A registry that maintains an inverted `path → value → tuples` index over
+// its tuple documents can answer *sargable* predicates — conjunctive
+// equality/existence tests over absolute step paths — without evaluating the
+// query against every document. The extractor below walks the compiled AST
+// and pulls out predicates that are **necessary conditions** for a document
+// to contribute anything to the result: if a document contributes at least
+// one item, every extracted predicate holds for it. The registry may then
+// restrict evaluation to documents satisfying all extracted predicates and
+// still obtain the exact result sequence.
+//
+// Soundness hinges on per-document decomposability. Restricting the
+// document set is only safe when no part of the query observes *other*
+// documents than the one a spine node lives in, so extraction bails out
+// (returns `None`) whenever it sees, anywhere off the extraction spine:
+//
+// * an absolute path (`/x`, `//x`) — absolute paths always navigate from
+//   *all* context roots, regardless of the current context item;
+// * a context-dependent expression (`.`/relative path/`position()`/`last()`)
+//   in a position where the context item is still the outer root sequence
+//   (FLWOR `let`/`where`/`order by`/`return`) rather than rebound per-node;
+// * a second `for` clause (joins) or a positional `for … at $i` variable
+//   whose numbering spans documents (the `where` clause then goes
+//   unextracted, since narrowing would renumber bindings).
+//
+// Trailing extraction stops at sequence-level operators: a top-level filter
+// (`(...)[2]`) or FLWOR may select by cross-document position, so patterns
+// do not extend *through* them — only predicates extracted *upstream*
+// (which preserve the upstream sequence exactly) survive.
+
+/// One step of a sargable path pattern: a name test, optionally reached
+/// through a descendant gap (`//`), optionally an attribute test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternStep {
+    /// Any number of intermediate elements may precede this step (`//`).
+    pub gap: bool,
+    /// The XPath name test: an exact lexical name, `p:*`, or `*`.
+    pub name: String,
+    /// True when this step selects an attribute (`@name`).
+    pub attribute: bool,
+}
+
+/// An absolute path pattern rooted at the tuple document, e.g.
+/// `/tuple/content/service/interface/@type` or `//service/owner`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathPattern {
+    /// Steps from the document root downward.
+    pub steps: Vec<PatternStep>,
+}
+
+impl std::fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.steps {
+            write!(
+                f,
+                "{}{}{}",
+                if s.gap { "//" } else { "/" },
+                if s.attribute { "@" } else { "" },
+                s.name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One pushed-down predicate over a [`PathPattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SargablePredicate {
+    /// Some node on `path` has exactly this string value.
+    Eq {
+        /// The path pattern the node must lie on.
+        path: PathPattern,
+        /// The required string value.
+        value: String,
+    },
+    /// Some node on `path` exists.
+    Exists {
+        /// The path pattern the node must lie on.
+        path: PathPattern,
+    },
+}
+
+impl SargablePredicate {
+    /// The path pattern this predicate constrains.
+    pub fn path(&self) -> &PathPattern {
+        match self {
+            SargablePredicate::Eq { path, .. } | SargablePredicate::Exists { path } => path,
+        }
+    }
+}
+
+/// The pushdown plan extracted from a query: predicates every contributing
+/// document must satisfy, plus whether they capture the query exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SargablePlan {
+    /// Conjunctive predicates; a document failing any of them cannot
+    /// contribute to the result.
+    pub predicates: Vec<SargablePredicate>,
+    /// True when the predicates do *not* capture the whole query: the
+    /// candidate set may be a proper superset of contributing documents.
+    /// (The compiled query is always re-evaluated over the candidates
+    /// either way; this flag only distinguishes an `index` plan from a
+    /// `hybrid` one in execution statistics.)
+    pub residual: bool,
+}
+
+#[derive(Default)]
+struct Acc {
+    predicates: Vec<SargablePredicate>,
+    residual: bool,
+}
+
+/// How much of one conjunct a pushed predicate captured.
+enum Captured {
+    /// The pushed predicate is equivalent to the conjunct.
+    Full,
+    /// Something was pushed, but weaker than the conjunct.
+    Partial,
+    /// Nothing was pushed.
+    No,
+}
+
+/// Extract the sargable pushdown plan of `expr`, if it has one.
+///
+/// Returns `None` when the query has no extractable predicate or when
+/// document-set narrowing cannot be proven safe (see the module notes
+/// above); callers must then fall back to a full scan.
+pub fn extract_sargable(expr: &Expr) -> Option<SargablePlan> {
+    let mut acc = Acc::default();
+    spine(expr, &mut acc)?;
+    if acc.predicates.is_empty() {
+        return None;
+    }
+    Some(SargablePlan { predicates: acc.predicates, residual: acc.residual })
+}
+
+/// Walk the extraction spine. `None` means extraction must be abandoned
+/// (narrowing unsound); `Some(end)` carries the path pattern of the nodes
+/// the expression evaluates to, when still representable.
+fn spine(expr: &Expr, acc: &mut Acc) -> Option<Option<PathPattern>> {
+    match expr {
+        Expr::Path { start, steps } => {
+            let (pattern, gap) = match start {
+                PathStart::Root => (Some(PathPattern::default()), false),
+                PathStart::RootDescendant => (Some(PathPattern::default()), true),
+                PathStart::Expr(inner) => (spine(inner, acc)?, false),
+                // A top-level relative path navigates from an unknown
+                // context; nothing to anchor a pattern to.
+                PathStart::Relative => return None,
+            };
+            walk_steps(steps, pattern, gap, acc)
+        }
+        Expr::Filter { base, predicates } => {
+            spine(base, acc)?;
+            // A filter may select by position over the *cross-document*
+            // base sequence, so its own predicates are never extracted
+            // (extraction here would change which item is "[2]"), and the
+            // pattern does not extend through it.
+            acc.residual = true;
+            for p in predicates {
+                if !doc_independent(p, true) {
+                    return None;
+                }
+            }
+            Some(None)
+        }
+        Expr::Flwor { clauses, where_, order_by, ret } => {
+            acc.residual = true;
+            let mut for_clause: Option<(&str, bool)> = None;
+            let mut source_end: Option<PathPattern> = None;
+            for c in clauses {
+                match c {
+                    FlworClause::For { var, position, source } => {
+                        if for_clause.is_some() {
+                            return None; // joins: narrowing is unsound
+                        }
+                        source_end = spine(source, acc)?;
+                        for_clause = Some((var, position.is_some()));
+                    }
+                    FlworClause::Let { value, .. } => {
+                        if !doc_independent(value, false) {
+                            return None;
+                        }
+                    }
+                }
+            }
+            let (for_var, positional) = for_clause?;
+            if let Some(w) = where_ {
+                if !doc_independent(w, false) {
+                    return None;
+                }
+                // A positional variable numbers bindings across documents;
+                // narrowing would renumber them, so leave `where` alone.
+                if !positional {
+                    if let Some(src) = &source_end {
+                        extract_where(w, for_var, src, acc);
+                    }
+                }
+            }
+            for k in order_by {
+                if !doc_independent(&k.expr, false) {
+                    return None;
+                }
+            }
+            if !doc_independent(ret, false) {
+                return None;
+            }
+            Some(None)
+        }
+        // Whole-input aggregates distribute over document removal as long
+        // as excluded documents contribute nothing to the argument
+        // sequence, which is exactly what spine extraction guarantees.
+        Expr::FunctionCall { name, args }
+            if AGGREGATES.contains(&name.as_str()) && args.len() == 1 =>
+        {
+            acc.residual = true;
+            spine(&args[0], acc)?;
+            Some(None)
+        }
+        _ => None,
+    }
+}
+
+/// Extend a pattern through the steps of a spine path, extracting sargable
+/// conjuncts from each step's predicates along the way.
+fn walk_steps(
+    steps: &[Step],
+    start: Option<PathPattern>,
+    start_gap: bool,
+    acc: &mut Acc,
+) -> Option<Option<PathPattern>> {
+    let mut pattern = start;
+    let mut gap = start_gap;
+    let mut gained = false;
+    for step in steps {
+        // Spine step predicates rebind the context item per candidate node
+        // (per document), but absolute paths inside them still navigate
+        // from all roots — check before extracting anything.
+        for p in &step.predicates {
+            if !doc_independent(p, true) {
+                return None;
+            }
+        }
+        let push = match (&step.axis, &step.test) {
+            (Axis::Child, NodeTest::Name(n)) => {
+                Some(PatternStep { gap, name: n.clone(), attribute: false })
+            }
+            (Axis::Descendant, NodeTest::Name(n)) => {
+                Some(PatternStep { gap: true, name: n.clone(), attribute: false })
+            }
+            (Axis::Attribute, NodeTest::Name(n)) => {
+                Some(PatternStep { gap, name: n.clone(), attribute: true })
+            }
+            (Axis::DescendantOrSelf, NodeTest::AnyNode) => {
+                // The interleaved step `//` compiles to; a gap, not a name.
+                gap = true;
+                if !step.predicates.is_empty() {
+                    acc.residual = true;
+                }
+                continue;
+            }
+            (Axis::SelfAxis, NodeTest::AnyNode) => {
+                if !step.predicates.is_empty() {
+                    acc.residual = true;
+                }
+                continue;
+            }
+            // parent::, text(), named node() forms: the pattern cannot
+            // follow, and any predicates are left to the evaluator.
+            _ => None,
+        };
+        match (push, &mut pattern) {
+            (Some(ps), Some(pat)) => {
+                pat.steps.push(ps);
+                gap = false;
+                let ctx = pat.clone();
+                for p in &step.predicates {
+                    extract_conjuncts(p, &ctx, acc, &mut gained);
+                }
+            }
+            _ => {
+                pattern = None;
+                if !step.predicates.is_empty() {
+                    acc.residual = true;
+                }
+            }
+        }
+    }
+    // A path that yielded no predicate still narrows: its results (if any)
+    // are nodes on the final pattern, so documents without such a path
+    // contribute nothing.
+    if !gained {
+        if let Some(pat) = &pattern {
+            if !pat.steps.is_empty() {
+                acc.predicates.push(SargablePredicate::Exists { path: pat.clone() });
+            }
+        }
+    }
+    Some(pattern)
+}
+
+/// Split a predicate into `and`-conjuncts and extract each against the
+/// pattern of the step it hangs off.
+fn extract_conjuncts(pred: &Expr, ctx: &PathPattern, acc: &mut Acc, gained: &mut bool) {
+    if let Expr::And(a, b) = pred {
+        extract_conjuncts(a, ctx, acc, gained);
+        extract_conjuncts(b, ctx, acc, gained);
+        return;
+    }
+    let resolve = |e: &Expr| relative_pattern(e, ctx);
+    match extract_conjunct(pred, &resolve, acc) {
+        Captured::Full => *gained = true,
+        Captured::Partial => {
+            *gained = true;
+            acc.residual = true;
+        }
+        Captured::No => acc.residual = true,
+    }
+}
+
+/// Extract conjuncts of a FLWOR `where` clause against the `for` source
+/// pattern (`$v/rel/path op literal` forms).
+fn extract_where(where_: &Expr, for_var: &str, source: &PathPattern, acc: &mut Acc) {
+    if let Expr::And(a, b) = where_ {
+        extract_where(a, for_var, source, acc);
+        extract_where(b, for_var, source, acc);
+        return;
+    }
+    let resolve = |e: &Expr| match e {
+        Expr::VarRef(v) if v == for_var => Some((source.clone(), true)),
+        Expr::Path { start: PathStart::Expr(inner), steps } if matches!(&**inner, Expr::VarRef(v) if v == for_var) => {
+            extend_pattern(source, steps)
+        }
+        _ => None,
+    };
+    // Residual tracking only; the FLWOR spine already set `residual`.
+    extract_conjunct(where_, &resolve, acc);
+}
+
+/// Extract one conjunct. `resolve` maps a sub-expression to the pattern of
+/// the nodes it selects (plus whether the mapping is exact), relative to
+/// the conjunct's context.
+fn extract_conjunct(
+    conj: &Expr,
+    resolve: &dyn Fn(&Expr) -> Option<(PathPattern, bool)>,
+    acc: &mut Acc,
+) -> Captured {
+    match conj {
+        Expr::Binary { op: op @ (BinOp::GenEq | BinOp::ValEq), lhs, rhs } => {
+            for (path_side, lit_side) in [(lhs, rhs), (rhs, lhs)] {
+                if let Expr::StrLit(v) = &**lit_side {
+                    if let Some((path, exact)) = resolve(path_side) {
+                        acc.predicates.push(SargablePredicate::Eq { path, value: v.clone() });
+                        // `eq` raises a type error on multi-item operands
+                        // where the index silently tests set membership, so
+                        // only general `=` captures the conjunct exactly.
+                        return if exact && *op == BinOp::GenEq {
+                            Captured::Full
+                        } else {
+                            Captured::Partial
+                        };
+                    }
+                }
+            }
+            // Equality against a non-string operand (e.g. a number, which
+            // compares under numeric coercion): existence is still
+            // necessary for the comparison to succeed.
+            exists_sides(lhs, rhs, resolve, acc)
+        }
+        Expr::Binary {
+            op:
+                BinOp::GenNe
+                | BinOp::GenLt
+                | BinOp::GenLe
+                | BinOp::GenGt
+                | BinOp::GenGe
+                | BinOp::ValNe
+                | BinOp::ValLt
+                | BinOp::ValLe
+                | BinOp::ValGt
+                | BinOp::ValGe,
+            lhs,
+            rhs,
+        } => exists_sides(lhs, rhs, resolve, acc),
+        // A bare path conjunct: effective boolean value = non-empty.
+        other => {
+            if let Some((path, exact)) = resolve(other) {
+                acc.predicates.push(SargablePredicate::Exists { path });
+                if exact {
+                    Captured::Full
+                } else {
+                    Captured::Partial
+                }
+            } else {
+                Captured::No
+            }
+        }
+    }
+}
+
+/// Push existence predicates for whichever comparison operands resolve to
+/// patterns (a comparison over an empty sequence is never satisfied).
+fn exists_sides(
+    lhs: &Expr,
+    rhs: &Expr,
+    resolve: &dyn Fn(&Expr) -> Option<(PathPattern, bool)>,
+    acc: &mut Acc,
+) -> Captured {
+    let mut pushed = false;
+    for side in [lhs, rhs] {
+        if let Some((path, _)) = resolve(side) {
+            acc.predicates.push(SargablePredicate::Exists { path });
+            pushed = true;
+        }
+    }
+    if pushed {
+        Captured::Partial
+    } else {
+        Captured::No
+    }
+}
+
+/// The pattern selected by a context-relative expression within a step
+/// predicate (`owner`, `interface/@type`, `.`), if representable.
+fn relative_pattern(e: &Expr, ctx: &PathPattern) -> Option<(PathPattern, bool)> {
+    match e {
+        Expr::ContextItem => Some((ctx.clone(), true)),
+        Expr::Path { start: PathStart::Relative, steps } => extend_pattern(ctx, steps),
+        _ => None,
+    }
+}
+
+/// Extend `ctx` through relative steps. Inner predicates are *ignored* —
+/// they only narrow, so the extended pattern remains a necessary condition
+/// — but make the mapping inexact.
+fn extend_pattern(ctx: &PathPattern, steps: &[Step]) -> Option<(PathPattern, bool)> {
+    let mut pat = ctx.clone();
+    let mut exact = true;
+    let mut gap = false;
+    for step in steps {
+        exact &= step.predicates.is_empty();
+        match (&step.axis, &step.test) {
+            (Axis::Child, NodeTest::Name(n)) => {
+                pat.steps.push(PatternStep { gap, name: n.clone(), attribute: false });
+                gap = false;
+            }
+            (Axis::Descendant, NodeTest::Name(n)) => {
+                pat.steps.push(PatternStep { gap: true, name: n.clone(), attribute: false });
+                gap = false;
+            }
+            (Axis::Attribute, NodeTest::Name(n)) => {
+                pat.steps.push(PatternStep { gap, name: n.clone(), attribute: true });
+                gap = false;
+            }
+            (Axis::DescendantOrSelf, NodeTest::AnyNode) => gap = true,
+            (Axis::SelfAxis, NodeTest::AnyNode) => {}
+            _ => return None,
+        }
+    }
+    if pat.steps.len() == ctx.steps.len() {
+        return None; // no extension (e.g. a lone `self::node()` step)
+    }
+    Some((pat, exact))
+}
+
+/// Can `expr` be evaluated without observing which *other* documents are in
+/// the context root set? `rebound` is true when the context item has been
+/// rebound to a single spine node (step/filter predicates); absolute paths
+/// are unsafe regardless, since they navigate from all roots.
+fn doc_independent(expr: &Expr, rebound: bool) -> bool {
+    match expr {
+        Expr::Path { start, steps } => {
+            let start_ok = match start {
+                PathStart::Root | PathStart::RootDescendant => false,
+                PathStart::Relative => rebound,
+                PathStart::Expr(inner) => doc_independent(inner, rebound),
+            };
+            start_ok && steps.iter().all(|s| s.predicates.iter().all(|p| doc_independent(p, true)))
+        }
+        Expr::ContextItem => rebound,
+        Expr::Filter { base, predicates } => {
+            doc_independent(base, rebound) && predicates.iter().all(|p| doc_independent(p, true))
+        }
+        Expr::FunctionCall { name, args } => {
+            (rebound || !matches!(name.as_str(), "position" | "last"))
+                && args.iter().all(|a| doc_independent(a, rebound))
+        }
+        Expr::Flwor { clauses, where_, order_by, ret } => {
+            clauses.iter().all(|c| match c {
+                FlworClause::For { source, .. } => doc_independent(source, rebound),
+                FlworClause::Let { value, .. } => doc_independent(value, rebound),
+            }) && where_.as_deref().is_none_or(|w| doc_independent(w, rebound))
+                && order_by.iter().all(|k| doc_independent(&k.expr, rebound))
+                && doc_independent(ret, rebound)
+        }
+        Expr::Quantified { source, satisfies, .. } => {
+            doc_independent(source, rebound) && doc_independent(satisfies, rebound)
+        }
+        other => {
+            let mut ok = true;
+            other.each_child(&mut |c| ok &= doc_independent(c, rebound));
+            ok
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +783,220 @@ mod tests {
     fn non_root_predicate_not_simple() {
         let p = profile(r#"//service[@type = "executor"]"#);
         assert_eq!(p.class, QueryClass::Medium); // `//` scan, not indexable
+    }
+
+    // --- sargable extraction -------------------------------------------
+
+    fn plan(q: &str) -> Option<SargablePlan> {
+        extract_sargable(&parse(q).unwrap())
+    }
+
+    fn pat(spec: &[(&str, bool, bool)]) -> PathPattern {
+        PathPattern {
+            steps: spec
+                .iter()
+                .map(|&(name, gap, attribute)| PatternStep {
+                    gap,
+                    name: name.to_owned(),
+                    attribute,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn equality_predicate_is_extracted_exactly() {
+        let p = plan(r#"//service[interface/@type = "Executor-1.0"]"#).unwrap();
+        assert!(!p.residual);
+        assert_eq!(
+            p.predicates,
+            vec![SargablePredicate::Eq {
+                path: pat(&[
+                    ("service", true, false),
+                    ("interface", false, false),
+                    ("type", false, true)
+                ]),
+                value: "Executor-1.0".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn numeric_comparison_weakens_to_exists_with_residual() {
+        let p = plan(r#"//service[owner = "cms" and load < 0.3]"#).unwrap();
+        assert!(p.residual);
+        assert_eq!(
+            p.predicates,
+            vec![
+                SargablePredicate::Eq {
+                    path: pat(&[("service", true, false), ("owner", false, false)]),
+                    value: "cms".into(),
+                },
+                SargablePredicate::Exists {
+                    path: pat(&[("service", true, false), ("load", false, false)]),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_projection_keeps_upstream_predicate() {
+        let p = plan(r#"//service[owner = "cms"]/interface"#).unwrap();
+        assert!(!p.residual);
+        assert_eq!(p.predicates.len(), 1);
+        assert!(matches!(&p.predicates[0], SargablePredicate::Eq { value, .. } if value == "cms"));
+    }
+
+    #[test]
+    fn explicit_absolute_path_is_extracted() {
+        let p = plan(r#"/tuple/content/service[owner = "cms"]"#).unwrap();
+        assert!(!p.residual);
+        assert_eq!(
+            p.predicates,
+            vec![SargablePredicate::Eq {
+                path: pat(&[
+                    ("tuple", false, false),
+                    ("content", false, false),
+                    ("service", false, false),
+                    ("owner", false, false),
+                ]),
+                value: "cms".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn flwor_where_is_extracted() {
+        let p = plan(r#"for $s in //service where $s/owner = "cms" return $s/interface"#).unwrap();
+        assert!(p.residual);
+        assert!(p.predicates.contains(&SargablePredicate::Eq {
+            path: pat(&[("service", true, false), ("owner", false, false)]),
+            value: "cms".into(),
+        }));
+    }
+
+    #[test]
+    fn absolute_path_inside_predicate_bails_out() {
+        // `//monitor/load` navigates from *all* document roots; narrowing
+        // the document set would change its value.
+        assert_eq!(plan(r#"//service[//monitor/load = "0"]"#), None);
+    }
+
+    #[test]
+    fn unextractable_predicate_still_yields_exists() {
+        let p = plan(r#"//service[not(disabled)]"#).unwrap();
+        assert!(p.residual);
+        assert_eq!(
+            p.predicates,
+            vec![SargablePredicate::Exists { path: pat(&[("service", true, false)]) }]
+        );
+    }
+
+    #[test]
+    fn pure_projection_yields_exists_without_residual() {
+        let p = plan("//service/owner").unwrap();
+        assert!(!p.residual);
+        assert_eq!(
+            p.predicates,
+            vec![SargablePredicate::Exists {
+                path: pat(&[("service", true, false), ("owner", false, false)]),
+            }]
+        );
+    }
+
+    #[test]
+    fn aggregate_over_sargable_path_is_residual() {
+        let p = plan(r#"count(//service[owner = "cms"])"#).unwrap();
+        assert!(p.residual);
+        assert_eq!(p.predicates.len(), 1);
+    }
+
+    #[test]
+    fn positional_filter_keeps_base_exists_only() {
+        // `(//service)[2]` picks by cross-document position: the base
+        // pattern survives as Exists, but the filter itself is untouched.
+        let p = plan("(//service)[2]").unwrap();
+        assert!(p.residual);
+        assert_eq!(
+            p.predicates,
+            vec![SargablePredicate::Exists { path: pat(&[("service", true, false)]) }]
+        );
+    }
+
+    #[test]
+    fn positional_filter_does_not_extend_through_trailing_steps() {
+        // The trailing `/interface` must not become a predicate: the one
+        // selected `[1]` service may lack an interface while others have
+        // one, so Exists(…/interface) would wrongly drop documents.
+        let p = plan(r#"(//service[owner = "cms"])[1]/interface"#).unwrap();
+        assert!(p.residual);
+        assert_eq!(
+            p.predicates,
+            vec![SargablePredicate::Eq {
+                path: pat(&[("service", true, false), ("owner", false, false)]),
+                value: "cms".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn positional_for_variable_disables_where_extraction() {
+        let p = plan(r#"for $s at $i in //service where $s/owner = "cms" return $s"#).unwrap();
+        assert!(p.residual);
+        // Only the source Exists survives; the where-clause Eq must not.
+        assert_eq!(
+            p.predicates,
+            vec![SargablePredicate::Exists { path: pat(&[("service", true, false)]) }]
+        );
+    }
+
+    #[test]
+    fn order_by_flwor_still_extracts_where() {
+        let p =
+            plan(r#"for $s in //service where $s/owner = "cms" order by $s/load return $s/owner"#)
+                .unwrap();
+        assert!(p.residual);
+        assert!(p.predicates.contains(&SargablePredicate::Eq {
+            path: pat(&[("service", true, false), ("owner", false, false)]),
+            value: "cms".into(),
+        }));
+    }
+
+    #[test]
+    fn value_eq_is_partial_so_residual() {
+        let p = plan(r#"//service[owner eq "cms"]"#).unwrap();
+        assert!(p.residual);
+        assert!(matches!(&p.predicates[0], SargablePredicate::Eq { value, .. } if value == "cms"));
+    }
+
+    #[test]
+    fn wildcard_step_stops_pattern_extension() {
+        // `*` is a Name("*") test in this AST, so it extends the pattern;
+        // a `text()` step does not.
+        let p = plan("//service/owner/text()");
+        // Pattern dies at text(); upstream gained nothing → no auto
+        // Exists for the partial pattern, and nothing else was pushed.
+        assert_eq!(p, None);
+    }
+
+    #[test]
+    fn relative_query_is_not_sargable() {
+        assert_eq!(plan("service/owner"), None);
+    }
+
+    #[test]
+    fn simple_class_query_has_no_sargable_plan() {
+        // Simple-class queries already have a dedicated key index; the
+        // planner never needs a content-index plan for them.
+        let p = profile(r#"/tuple[@type = "executor"]"#);
+        assert_eq!(p.class, QueryClass::Simple);
+        assert!(p.sargable.is_none());
+    }
+
+    #[test]
+    fn classify_populates_sargable_field() {
+        let p = profile(r#"//service[interface/@type = "Storage-1.1"]"#);
+        assert!(p.sargable.is_some());
+        assert!(!p.sargable.unwrap().residual);
     }
 }

@@ -49,7 +49,10 @@ pub mod parser;
 pub mod value;
 
 pub use ast::{Expr, QueryClass};
-pub use classify::{classify, QueryProfile};
+pub use classify::{
+    classify, extract_sargable, PathPattern, PatternStep, QueryProfile, SargablePlan,
+    SargablePredicate,
+};
 pub use error::{XqError, XqResult};
 pub use eval::DynamicContext;
 pub use value::{Item, NodeRef, Sequence};
