@@ -27,6 +27,7 @@ pub mod f14_wire;
 pub mod f15_loss;
 pub mod f16_concurrency;
 pub mod f17_index;
+pub mod f18_overload;
 pub mod harness;
 pub mod t1;
 
@@ -64,6 +65,7 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
             "Predicate pushdown: content-index lookups vs full scan by selectivity",
             f17_index::run,
         ),
+        ("f18", "Overload: goodput vs offered load, admission gate on/off", f18_overload::run),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]
 }

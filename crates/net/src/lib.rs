@@ -10,9 +10,10 @@
 //!   shapes for networks up to 10⁴ nodes,
 //! * [`model`] — latency/bandwidth models (constant, uniform, heterogeneous
 //!   per-node slowness) and drop/crash fault plans,
-//! * [`transport`] — a crossbeam-channel threaded transport for *live*
-//!   multi-threaded runs of the same node code (examples and stress tests),
-//!   with an optional delay line.
+//! * [`transport`] — a threaded transport for *live* multi-threaded runs
+//!   of the same node code (examples and stress tests), with an optional
+//!   delay line and bounded two-lane inboxes that shed query frames —
+//!   counted — when a receiver falls behind.
 //!
 //! Virtual time is [`wsda_registry::clock::Time`], shared with the
 //! registry's soft-state machinery, so one clock drives leases, caches and
@@ -24,4 +25,4 @@ pub mod transport;
 
 pub use model::{ChaosPlan, CrashWindow, FaultPlan, LatencyModel, NetworkModel};
 pub use sim::{Delivery, NodeId, SimStats, Simulator};
-pub use transport::{Envelope, ThreadedNetwork};
+pub use transport::{Envelope, Inbox, InboxDrops, ThreadedNetwork};

@@ -12,7 +12,7 @@ use crate::model::{ChaosPlan, NetworkModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use wsda_registry::clock::{Clock, ManualClock, Time};
 
@@ -83,6 +83,9 @@ pub struct SimStats {
     pub messages_dropped: u64,
     /// Extra copies injected by chaos duplication.
     pub messages_duplicated: u64,
+    /// Sheddable messages refused because the destination's bounded inbox
+    /// was full (see [`Simulator::set_inbox_capacity`]).
+    pub messages_overflowed: u64,
     /// Total payload bytes accepted.
     pub bytes_sent: u64,
     /// Events delivered (messages + timers).
@@ -98,6 +101,13 @@ pub struct Simulator<M> {
     rng: StdRng,
     seq: u64,
     stats: SimStats,
+    /// Bounded-inbox knob: max undelivered messages per destination, plus
+    /// the classifier deciding which messages may be shed at a full inbox.
+    inbox_capacity: Option<usize>,
+    #[allow(clippy::type_complexity)]
+    sheddable: Option<Box<dyn Fn(&M) -> bool>>,
+    /// Undelivered (in-flight) message count per destination.
+    inflight_to: HashMap<NodeId, usize>,
 }
 
 impl<M> Simulator<M> {
@@ -112,7 +122,25 @@ impl<M> Simulator<M> {
             rng: StdRng::seed_from_u64(seed),
             seq: 0,
             stats: SimStats::default(),
+            inbox_capacity: None,
+            sheddable: None,
+            inflight_to: HashMap::new(),
         }
+    }
+
+    /// Bound every node's inbox to `capacity` undelivered messages.
+    /// Messages the `sheddable` classifier accepts (typically query
+    /// frames) are refused — counted in
+    /// [`SimStats::messages_overflowed`] — when the destination is full;
+    /// everything else (results, acks, control) still queues, mirroring
+    /// the live transport's priority classes.
+    pub fn set_inbox_capacity(
+        &mut self,
+        capacity: usize,
+        sheddable: impl Fn(&M) -> bool + 'static,
+    ) {
+        self.inbox_capacity = Some(capacity);
+        self.sheddable = Some(Box::new(sheddable));
     }
 
     /// The virtual clock (share it with registries and nodes).
@@ -153,6 +181,14 @@ impl<M> Simulator<M> {
             self.stats.messages_dropped += 1;
             return None;
         }
+        // Bounded inbox: a sheddable message bound for a full destination
+        // is refused at the (virtual) wire, counted — backpressure, not OOM.
+        if let (Some(cap), Some(sheddable)) = (self.inbox_capacity, self.sheddable.as_deref()) {
+            if sheddable(&message) && self.inflight_to.get(&to).copied().unwrap_or(0) >= cap {
+                self.stats.messages_overflowed += 1;
+                return None;
+            }
+        }
         let delay = self.model.transfer_ms(from, to, bytes, &mut self.rng)
             + self.chaos.extra_delay_ms(&mut self.rng);
         let at = self.now().plus(delay.max(1)); // delivery strictly after send
@@ -162,8 +198,10 @@ impl<M> Simulator<M> {
             let extra = self.chaos.extra_delay_ms(&mut self.rng);
             let dup_at = at.plus(extra.max(1));
             self.stats.messages_duplicated += 1;
+            *self.inflight_to.entry(to).or_insert(0) += 1;
             self.push(dup_at, Delivery::Message { from, to, message: message.clone() });
         }
+        *self.inflight_to.entry(to).or_insert(0) += 1;
         self.push(at, Delivery::Message { from, to, message });
         Some(at)
     }
@@ -192,6 +230,11 @@ impl<M> Simulator<M> {
         let Reverse(ev) = self.queue.pop()?;
         self.clock.set(ev.at);
         self.stats.events_delivered += 1;
+        if let Delivery::Message { to, .. } = &ev.delivery {
+            if let Some(n) = self.inflight_to.get_mut(to) {
+                *n = n.saturating_sub(1);
+            }
+        }
         Some(ev.delivery)
     }
 
@@ -368,6 +411,23 @@ mod tests {
         }
         assert!(spread.len() > 1, "jitter should vary arrival times");
         assert!(spread.iter().all(|&t| (10..=110).contains(&t)));
+    }
+
+    #[test]
+    fn bounded_inbox_sheds_queries_counts_overflow() {
+        let mut s = sim();
+        s.set_inbox_capacity(2, |m| *m == "query");
+        assert!(s.send(NodeId(0), NodeId(1), "query", 0).is_some());
+        assert!(s.send(NodeId(0), NodeId(1), "query", 0).is_some());
+        assert!(s.send(NodeId(0), NodeId(1), "query", 0).is_none(), "third query shed");
+        assert!(s.send(NodeId(0), NodeId(1), "results", 0).is_some(), "results always queue");
+        assert!(s.send(NodeId(0), NodeId(2), "query", 0).is_some(), "other nodes unaffected");
+        assert_eq!(s.stats().messages_overflowed, 1);
+        // Draining the inbox frees capacity again.
+        s.next().unwrap();
+        s.next().unwrap();
+        assert!(s.send(NodeId(0), NodeId(1), "query", 0).is_some());
+        assert_eq!(s.stats().messages_overflowed, 1);
     }
 
     #[test]

@@ -1,16 +1,27 @@
 //! A threaded in-process transport for live multi-node runs.
 //!
 //! Where the simulator runs node logic single-threaded under virtual time,
-//! `ThreadedNetwork` delivers over crossbeam channels between real threads
-//! — the examples use it to run a small federation "for real". An optional
-//! delay line injects fixed per-message latency without blocking senders.
+//! `ThreadedNetwork` delivers between real threads — the examples use it to
+//! run a small federation "for real". An optional delay line injects fixed
+//! per-message latency without blocking senders.
+//!
+//! Every receive path is **bounded**: each registered node gets a two-lane
+//! [`Inbox`] instead of an unbounded channel. A classifier installed with
+//! [`ThreadedNetwork::set_sheddable`] routes load-bearing frames (queries)
+//! into a small low-priority lane that sheds its newest arrivals on
+//! overflow, while everything else (acks, results, control traffic) rides a
+//! larger high-priority lane that the receiver drains first. Overflow is
+//! never silent: every dropped frame is counted in [`InboxDrops`]. A slow
+//! or stalled receiver therefore costs bounded memory and loses retryable
+//! query frames first — acks and results keep flowing past the backlog.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::model::ChaosPlan;
@@ -25,10 +36,180 @@ pub struct Envelope<M> {
     pub message: M,
 }
 
+/// Inboxes registered without an explicit capacity hold this many sheddable
+/// frames (and [`PRIORITY_FACTOR`] times as many priority frames).
+pub const DEFAULT_INBOX_CAPACITY: usize = 1024;
+
+/// The high-priority lane holds this multiple of the sheddable capacity:
+/// acks and results are small and must survive a query flood.
+pub const PRIORITY_FACTOR: usize = 4;
+
+/// Frames dropped on inbox overflow, by lane. Retrieve a snapshot with
+/// [`ThreadedNetwork::inbox_drops`]; nothing is dropped uncounted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InboxDrops {
+    /// Sheddable (query) frames dropped because a low lane was full.
+    pub sheddable: u64,
+    /// Priority (ack/result/control) frames dropped because a high lane
+    /// was full — only under extreme overload.
+    pub priority: u64,
+}
+
+struct InboxState<M> {
+    high: VecDeque<Envelope<M>>,
+    low: VecDeque<Envelope<M>>,
+    /// Cleared when the receiver drops its [`Inbox`] or the node is
+    /// deregistered; queued frames still drain, new sends fail.
+    open: bool,
+}
+
+struct InboxShared<M> {
+    capacity: usize,
+    state: StdMutex<InboxState<M>>,
+    ready: Condvar,
+}
+
+fn lock<M>(shared: &InboxShared<M>) -> MutexGuard<'_, InboxState<M>> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+enum PushOutcome {
+    Queued,
+    ShedLow,
+    ShedHigh,
+    Closed,
+}
+
+impl<M> InboxShared<M> {
+    fn new(capacity: usize) -> Self {
+        InboxShared {
+            capacity: capacity.max(1),
+            state: StdMutex::new(InboxState {
+                high: VecDeque::new(),
+                low: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Drop-newest admission: the frame in hand is the one discarded when
+    /// its lane is full, so older work (closer to completion) is preserved.
+    fn push(&self, envelope: Envelope<M>, sheddable: bool) -> PushOutcome {
+        let mut st = lock(self);
+        if !st.open {
+            return PushOutcome::Closed;
+        }
+        if sheddable {
+            if st.low.len() >= self.capacity {
+                return PushOutcome::ShedLow;
+            }
+            st.low.push_back(envelope);
+        } else {
+            if st.high.len() >= self.capacity * PRIORITY_FACTOR {
+                return PushOutcome::ShedHigh;
+            }
+            st.high.push_back(envelope);
+        }
+        drop(st);
+        self.ready.notify_one();
+        PushOutcome::Queued
+    }
+
+    fn low_full(&self) -> bool {
+        lock(self).low.len() >= self.capacity
+    }
+
+    fn close(&self) {
+        lock(self).open = false;
+        self.ready.notify_all();
+    }
+}
+
+/// The receiving half of a registered node: a bounded two-lane queue.
+/// Priority frames (the high lane) are always popped before sheddable
+/// frames, so a query backlog cannot starve acks and results.
+pub struct Inbox<M> {
+    shared: Arc<InboxShared<M>>,
+}
+
+impl<M> Inbox<M> {
+    fn pop(st: &mut InboxState<M>) -> Option<Envelope<M>> {
+        st.high.pop_front().or_else(|| st.low.pop_front())
+    }
+
+    /// Block until a frame arrives. Errors once the node is deregistered
+    /// and both lanes have drained.
+    pub fn recv(&self) -> Result<Envelope<M>, RecvError> {
+        let mut st = lock(&self.shared);
+        loop {
+            if let Some(env) = Self::pop(&mut st) {
+                return Ok(env);
+            }
+            if !st.open {
+                return Err(RecvError);
+            }
+            st = self.shared.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block up to `timeout` for a frame.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.shared);
+        loop {
+            if let Some(env) = Self::pop(&mut st) {
+                return Ok(env);
+            }
+            if !st.open {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .shared
+                .ready
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Envelope<M>, TryRecvError> {
+        let mut st = lock(&self.shared);
+        match Self::pop(&mut st) {
+            Some(env) => Ok(env),
+            None if !st.open => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Currently queued frames across both lanes.
+    pub fn len(&self) -> usize {
+        let st = lock(&self.shared);
+        st.high.len() + st.low.len()
+    }
+
+    /// Whether both lanes are currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<M> Drop for Inbox<M> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
 struct Delayed<M> {
     due: Instant,
     seq: u64,
     to: NodeId,
+    sheddable: bool,
     envelope: Envelope<M>,
 }
 
@@ -50,8 +231,32 @@ impl<M> Ord for Delayed<M> {
     }
 }
 
+type Classifier<M> = Arc<dyn Fn(&M) -> bool + Send + Sync>;
+
 struct Shared<M> {
-    inboxes: HashMap<NodeId, Sender<Envelope<M>>>,
+    inboxes: HashMap<NodeId, Arc<InboxShared<M>>>,
+    /// Capacity applied to inboxes registered after the change.
+    capacity: usize,
+    /// Returns true for frames that may be shed under overload (queries).
+    /// `None` routes everything through the (larger, still bounded)
+    /// priority lane.
+    sheddable: Option<Classifier<M>>,
+    drops_sheddable: AtomicU64,
+    drops_priority: AtomicU64,
+}
+
+impl<M> Shared<M> {
+    fn record(&self, outcome: &PushOutcome) {
+        match outcome {
+            PushOutcome::ShedLow => {
+                self.drops_sheddable.fetch_add(1, Ordering::Relaxed);
+            }
+            PushOutcome::ShedHigh => {
+                self.drops_priority.fetch_add(1, Ordering::Relaxed);
+            }
+            PushOutcome::Queued | PushOutcome::Closed => {}
+        }
+    }
 }
 
 /// Chaos-injection state for a live network: the plan plus the RNG and
@@ -74,7 +279,13 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
     /// A network with instant delivery.
     pub fn new() -> Self {
         ThreadedNetwork {
-            shared: Arc::new(Mutex::new(Shared { inboxes: HashMap::new() })),
+            shared: Arc::new(Mutex::new(Shared {
+                inboxes: HashMap::new(),
+                capacity: DEFAULT_INBOX_CAPACITY,
+                sheddable: None,
+                drops_sheddable: AtomicU64::new(0),
+                drops_priority: AtomicU64::new(0),
+            })),
             delay: None,
             delay_tx: None,
             chaos: None,
@@ -84,12 +295,13 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
     /// A network where every message is delayed by `delay` (a background
     /// thread runs the delay line).
     pub fn with_delay(delay: Duration) -> Self {
-        let shared: Arc<Mutex<Shared<M>>> =
-            Arc::new(Mutex::new(Shared { inboxes: HashMap::new() }));
+        let mut net = Self::new();
         let (tx, rx): (Sender<Delayed<M>>, Receiver<Delayed<M>>) = unbounded();
-        let worker_shared = shared.clone();
+        let worker_shared = net.shared.clone();
         std::thread::spawn(move || delay_line(rx, worker_shared));
-        ThreadedNetwork { shared, delay: Some(delay), delay_tx: Some(tx), chaos: None }
+        net.delay = Some(delay);
+        net.delay_tx = Some(tx);
+        net
     }
 
     /// A delayed network with chaos injection: drops, duplication, jitter,
@@ -118,21 +330,50 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
         self.chaos.as_ref().map_or(0, |c| c.start.elapsed().as_millis() as u64)
     }
 
-    /// Register a node, returning its inbox receiver.
-    pub fn register(&self, node: NodeId) -> Receiver<Envelope<M>> {
-        let (tx, rx) = unbounded();
-        self.shared.lock().inboxes.insert(node, tx);
-        rx
+    /// Set the sheddable-lane capacity for inboxes registered from now on
+    /// (the priority lane gets [`PRIORITY_FACTOR`] times as much).
+    pub fn set_inbox_capacity(&self, capacity: usize) {
+        self.shared.lock().capacity = capacity.max(1);
     }
 
-    /// Remove a node (its inbox closes).
+    /// Install the overload classifier: frames for which `f` returns true
+    /// (query frames) ride the small sheddable lane and are dropped —
+    /// counted — when a receiver falls behind; everything else rides the
+    /// priority lane.
+    pub fn set_sheddable(&self, f: impl Fn(&M) -> bool + Send + Sync + 'static) {
+        self.shared.lock().sheddable = Some(Arc::new(f));
+    }
+
+    /// Frames dropped on inbox overflow so far, by lane.
+    pub fn inbox_drops(&self) -> InboxDrops {
+        let shared = self.shared.lock();
+        InboxDrops {
+            sheddable: shared.drops_sheddable.load(Ordering::Relaxed),
+            priority: shared.drops_priority.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Register a node, returning its bounded inbox.
+    pub fn register(&self, node: NodeId) -> Inbox<M> {
+        let mut shared = self.shared.lock();
+        let inbox = Arc::new(InboxShared::new(shared.capacity));
+        if let Some(old) = shared.inboxes.insert(node, inbox.clone()) {
+            old.close();
+        }
+        Inbox { shared: inbox }
+    }
+
+    /// Remove a node (its inbox closes; queued frames still drain).
     pub fn deregister(&self, node: NodeId) {
-        self.shared.lock().inboxes.remove(&node);
+        if let Some(inbox) = self.shared.lock().inboxes.remove(&node) {
+            inbox.close();
+        }
     }
 
     /// Send `message` to `to`. Returns `false` when the target is unknown
-    /// or its inbox has closed. Chaos drops return `true`: a lossy
-    /// network looks exactly like a successful send to the sender.
+    /// or its inbox has closed. Chaos drops and overload sheds return
+    /// `true`: to the sender, a lossy or congested network looks exactly
+    /// like a successful send.
     pub fn send(&self, from: NodeId, to: NodeId, message: M) -> bool
     where
         M: Clone,
@@ -154,9 +395,22 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
         match (&self.delay, &self.delay_tx) {
             (Some(d), Some(tx)) => {
                 static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-                if !self.shared.lock().inboxes.contains_key(&to) {
-                    return false;
-                }
+                let sheddable = {
+                    let shared = self.shared.lock();
+                    let Some(inbox) = shared.inboxes.get(&to) else {
+                        return false;
+                    };
+                    let sheddable = shared.sheddable.as_ref().is_some_and(|f| f(&message));
+                    // Early shed at the sender's edge: a sheddable frame
+                    // bound for an already-saturated inbox never enters the
+                    // delay line (which models the wire, not a buffer the
+                    // receiver owns).
+                    if sheddable && inbox.low_full() {
+                        shared.record(&PushOutcome::ShedLow);
+                        return true;
+                    }
+                    sheddable
+                };
                 let now = Instant::now();
                 let mut ok = true;
                 for extra in extras {
@@ -165,6 +419,7 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
                             due: now + *d + Duration::from_millis(extra),
                             seq: SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
                             to,
+                            sheddable,
                             envelope: Envelope { from, message: message.clone() },
                         })
                         .is_ok();
@@ -174,10 +429,14 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
             _ => {
                 let shared = self.shared.lock();
                 match shared.inboxes.get(&to) {
-                    Some(tx) => {
+                    Some(inbox) => {
+                        let sheddable = shared.sheddable.as_ref().is_some_and(|f| f(&message));
                         let mut ok = true;
                         for _ in &extras {
-                            ok &= tx.send(Envelope { from, message: message.clone() }).is_ok();
+                            let outcome =
+                                inbox.push(Envelope { from, message: message.clone() }, sheddable);
+                            shared.record(&outcome);
+                            ok &= !matches!(outcome, PushOutcome::Closed);
                         }
                         ok
                     }
@@ -209,8 +468,8 @@ fn delay_line<M: Send>(rx: Receiver<Delayed<M>>, shared: Arc<Mutex<Shared<M>>>) 
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
             Ok(d) => heap.push(d),
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
                 if heap.is_empty() {
                     return;
                 }
@@ -230,8 +489,9 @@ fn delay_line<M: Send>(rx: Receiver<Delayed<M>>, shared: Arc<Mutex<Shared<M>>>) 
         while heap.peek().is_some_and(|d| d.due <= now) {
             let d = heap.pop().expect("peeked");
             let shared = shared.lock();
-            if let Some(tx) = shared.inboxes.get(&d.to) {
-                let _ = tx.send(d.envelope);
+            if let Some(inbox) = shared.inboxes.get(&d.to) {
+                let outcome = inbox.push(d.envelope, d.sheddable);
+                shared.record(&outcome);
             }
         }
     }
@@ -350,5 +610,84 @@ mod tests {
         let _r = net.register(NodeId(0));
         let _r2 = net.register(NodeId(1));
         assert_eq!(net.node_count(), 2);
+    }
+
+    #[test]
+    fn stalled_receiver_sheds_queries_but_delivers_priority() {
+        let net: ThreadedNetwork<&'static str> = ThreadedNetwork::new();
+        net.set_inbox_capacity(4);
+        net.set_sheddable(|m| *m == "query");
+        let rx = net.register(NodeId(1));
+        // The receiver stalls while a query flood arrives: only `capacity`
+        // frames buffer, the rest are dropped newest-first and counted —
+        // memory stays bounded no matter how long the stall lasts.
+        for _ in 0..100 {
+            assert!(net.send(NodeId(0), NodeId(1), "query"));
+        }
+        assert_eq!(net.inbox_drops(), InboxDrops { sheddable: 96, priority: 0 });
+        assert_eq!(rx.len(), 4);
+        // Acks ride the priority lane past the backlog and are popped
+        // first even though the queries arrived earlier.
+        assert!(net.send(NodeId(0), NodeId(1), "ack"));
+        assert!(net.send(NodeId(0), NodeId(1), "results"));
+        assert_eq!(rx.recv().unwrap().message, "ack");
+        assert_eq!(rx.recv().unwrap().message, "results");
+        let mut queries = 0;
+        while let Ok(env) = rx.try_recv() {
+            assert_eq!(env.message, "query");
+            queries += 1;
+        }
+        assert_eq!(queries, 4);
+        // Draining freed the lane: new queries are admitted again.
+        assert!(net.send(NodeId(0), NodeId(1), "query"));
+        assert_eq!(rx.recv().unwrap().message, "query");
+        assert_eq!(net.inbox_drops(), InboxDrops { sheddable: 96, priority: 0 });
+    }
+
+    #[test]
+    fn priority_lane_is_bounded_too() {
+        let net: ThreadedNetwork<u32> = ThreadedNetwork::new();
+        net.set_inbox_capacity(2);
+        net.set_sheddable(|m| *m == 0);
+        let rx = net.register(NodeId(1));
+        // Nothing matches the classifier: everything is priority; the high
+        // lane still caps at capacity * PRIORITY_FACTOR = 8.
+        for i in 1..=10u32 {
+            assert!(net.send(NodeId(0), NodeId(1), i));
+        }
+        assert_eq!(net.inbox_drops(), InboxDrops { sheddable: 0, priority: 2 });
+        let mut got = Vec::new();
+        while let Ok(env) = rx.try_recv() {
+            got.push(env.message);
+        }
+        assert_eq!(got, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delayed_path_sheds_at_sender_edge_when_inbox_full() {
+        let net: ThreadedNetwork<&'static str> =
+            ThreadedNetwork::with_delay(Duration::from_millis(5));
+        net.set_inbox_capacity(2);
+        net.set_sheddable(|m| *m == "query");
+        let rx = net.register(NodeId(1));
+        // Fill the low lane through the delay line.
+        assert!(net.send(NodeId(0), NodeId(1), "query"));
+        assert!(net.send(NodeId(0), NodeId(1), "query"));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while rx.len() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(rx.len(), 2);
+        // A third query is shed before it even enters the delay line; an
+        // ack still goes through on the priority lane.
+        assert!(net.send(NodeId(0), NodeId(1), "query"));
+        assert_eq!(net.inbox_drops().sheddable, 1);
+        assert!(net.send(NodeId(0), NodeId(1), "ack"));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while rx.len() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Once landed, the ack is popped before the earlier-queued queries.
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().message, "ack");
     }
 }

@@ -20,6 +20,17 @@ pub fn write_frame(out: &mut BytesMut, message: &Message) {
     out.put_slice(&body);
 }
 
+/// Whether a framed buffer carries a `Query` message, without decoding it.
+///
+/// The wire codec writes the message kind as the first body byte, so in a
+/// framed buffer it sits right after the 4-byte length prefix. Transports
+/// use this to classify query frames as sheddable under overload while
+/// acks and results keep priority — a peek, not a parse, so it stays O(1)
+/// regardless of frame size.
+pub fn frame_is_query(frame: &[u8]) -> bool {
+    frame.len() > 4 && frame[4] == crate::wire::KIND_QUERY
+}
+
 /// Incrementally splits a byte stream into messages.
 ///
 /// Feed arbitrary chunks with [`FrameReader::extend`]; drain complete
@@ -161,6 +172,22 @@ mod tests {
         assert_eq!(reader.next_message().unwrap(), None);
         reader.extend(&stream[stream.len() - 1..]);
         assert_eq!(reader.next_message().unwrap(), Some(Message::Ping));
+    }
+
+    #[test]
+    fn frame_is_query_peeks_kind_byte() {
+        for m in samples() {
+            let mut buf = BytesMut::new();
+            write_frame(&mut buf, &m);
+            assert_eq!(
+                frame_is_query(&buf),
+                matches!(m, Message::Query { .. }),
+                "classification of {m:?}"
+            );
+        }
+        // Too short to carry a kind byte: never a query.
+        assert!(!frame_is_query(&[]));
+        assert!(!frame_is_query(&[0, 0, 0, 1]));
     }
 
     #[test]

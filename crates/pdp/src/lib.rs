@@ -23,7 +23,7 @@ pub mod querycache;
 pub mod state;
 pub mod wire;
 
-pub use framing::{write_frame, FrameReader};
+pub use framing::{frame_is_query, write_frame, FrameReader};
 pub use message::{Endpoint, Message, QueryLanguage, ResponseMode, Scope, TransactionId};
 pub use querycache::{CompiledQuery, QueryCache};
 pub use state::{BeginOutcome, NodeStateTable, ResultLedger, TransactionState};

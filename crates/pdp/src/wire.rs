@@ -44,7 +44,7 @@ impl std::error::Error for WireError {}
 /// Upper bound on any single declared length (strings, item counts).
 const MAX_LEN: u64 = 256 * 1024 * 1024;
 
-const KIND_QUERY: u8 = 1;
+pub(crate) const KIND_QUERY: u8 = 1;
 const KIND_RESULTS: u8 = 2;
 const KIND_INVITE: u8 = 3;
 const KIND_CLOSE: u8 = 4;

@@ -46,6 +46,7 @@
 //! assert_eq!(out.results.len(), 1);
 //! ```
 
+pub mod admission;
 pub mod baseline;
 pub mod clock;
 pub mod content_index;
@@ -60,6 +61,7 @@ pub mod throttle;
 pub mod tuple;
 pub mod workload;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionContext, Completeness, ShedReason};
 pub use clock::{Clock, ManualClock, SystemClock, Time};
 pub use content_index::{ContentIndex, IndexCaps};
 pub use error::{RegistryError, RegistryResult};

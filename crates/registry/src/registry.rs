@@ -5,6 +5,10 @@
 //! Every operation lazily sweeps expired tuples first, so expired content is
 //! never served regardless of when maintenance last ran.
 
+use crate::admission::{
+    Admission, AdmissionConfig, AdmissionContext, AdmissionGate, Completeness, CostClass,
+    ShedReason, SlotDenied, SlotGrant,
+};
 use crate::clock::SharedClock;
 use crate::error::{RegistryError, RegistryResult};
 use crate::freshness::{decide, CacheDecision, Freshness, RefreshPolicy};
@@ -47,6 +51,10 @@ pub struct RegistryConfig {
     /// query planner answer sargable queries from them instead of scanning
     /// every tuple. Disable to force the scan path (baseline comparisons).
     pub content_index: bool,
+    /// Overload protection for the query path (see [`crate::admission`]):
+    /// bounded evaluation slots, deadline-aware shedding/degradation and
+    /// per-client budgets. Disabled by default.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for RegistryConfig {
@@ -62,6 +70,7 @@ impl Default for RegistryConfig {
             parallel_scan_threshold: 1024,
             shards: crate::shard::DEFAULT_SHARDS,
             content_index: true,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -139,6 +148,20 @@ pub struct RegistryStats {
     pub plans_hybrid: AtomicU64,
     /// Queries that fell back to the full scan.
     pub plans_scan: AtomicU64,
+    /// Queries admitted through the overload gate.
+    pub admitted: AtomicU64,
+    /// Admitted queries that first waited in the slot queue.
+    pub deferred: AtomicU64,
+    /// Admitted scans degraded to a bounded partial evaluation.
+    pub degraded: AtomicU64,
+    /// Sheds: the client's admission budget was exhausted.
+    pub shed_client: AtomicU64,
+    /// Sheds: remaining deadline budget below even the degraded cost.
+    pub shed_deadline: AtomicU64,
+    /// Sheds: the slot queue was already full.
+    pub shed_queue_full: AtomicU64,
+    /// Sheds: no evaluation slot freed up within the wait budget.
+    pub shed_slot_timeout: AtomicU64,
 }
 
 impl RegistryStats {
@@ -161,7 +184,22 @@ impl RegistryStats {
             ("plans_index", self.plans_index.load(Ordering::Relaxed)),
             ("plans_hybrid", self.plans_hybrid.load(Ordering::Relaxed)),
             ("plans_scan", self.plans_scan.load(Ordering::Relaxed)),
+            ("admitted", self.admitted.load(Ordering::Relaxed)),
+            ("deferred", self.deferred.load(Ordering::Relaxed)),
+            ("degraded", self.degraded.load(Ordering::Relaxed)),
+            ("shed_client", self.shed_client.load(Ordering::Relaxed)),
+            ("shed_deadline", self.shed_deadline.load(Ordering::Relaxed)),
+            ("shed_queue_full", self.shed_queue_full.load(Ordering::Relaxed)),
+            ("shed_slot_timeout", self.shed_slot_timeout.load(Ordering::Relaxed)),
         ]
+    }
+
+    /// Total queries shed by the admission gate, over every reason.
+    pub fn total_shed(&self) -> u64 {
+        self.shed_client.load(Ordering::Relaxed)
+            + self.shed_deadline.load(Ordering::Relaxed)
+            + self.shed_queue_full.load(Ordering::Relaxed)
+            + self.shed_slot_timeout.load(Ordering::Relaxed)
     }
 }
 
@@ -253,6 +291,10 @@ pub struct QueryOutcome {
     pub results: Sequence,
     /// Execution statistics.
     pub stats: QueryStats,
+    /// Whether the evaluation examined every candidate tuple, or was
+    /// degraded to a bounded partial scan by the admission gate (the
+    /// lost-unit count is the number of unexamined candidates).
+    pub completeness: Completeness,
 }
 
 /// The hyper registry node.
@@ -270,6 +312,7 @@ pub struct HyperRegistry {
     clock: SharedClock,
     store: ShardedStore,
     throttle: Mutex<PullThrottle>,
+    gate: AdmissionGate,
     providers: RwLock<HashMap<String, Arc<dyn ContentProvider>>>,
     stats: RegistryStats,
 }
@@ -285,6 +328,7 @@ impl HyperRegistry {
                 config.global_throttle,
                 now,
             )),
+            gate: AdmissionGate::new(config.admission.clone(), now),
             providers: RwLock::new(HashMap::new()),
             stats: RegistryStats::default(),
             config,
@@ -460,6 +504,20 @@ impl HyperRegistry {
         demand: &Freshness,
         scope: &QueryScope,
     ) -> RegistryResult<QueryOutcome> {
+        self.query_scoped_limited(query, demand, scope, None)
+    }
+
+    /// [`HyperRegistry::query_scoped`], optionally degraded: with
+    /// `candidate_cap` set, at most that many candidate links (sorted for
+    /// determinism) are examined and the outcome reports
+    /// [`Completeness::Partial`] with the unexamined count.
+    fn query_scoped_limited(
+        &self,
+        query: &Query,
+        demand: &Freshness,
+        scope: &QueryScope,
+        candidate_cap: Option<usize>,
+    ) -> RegistryResult<QueryOutcome> {
         RegistryStats::add(&self.stats.queries, 1);
         let now = self.clock.now();
         let mut stats = QueryStats::default();
@@ -513,6 +571,22 @@ impl HyperRegistry {
             1,
         );
         let need_domain_check = scope.domain.is_some() && !domain_checked;
+
+        // Degradation (admission gate): examine only the first
+        // `candidate_cap` links, sorted so the surviving subset is
+        // deterministic regardless of shard iteration order, and report
+        // the unexamined remainder as lost units.
+        let mut completeness = Completeness::Complete;
+        let candidate_links = match candidate_cap {
+            Some(cap) if candidate_links.len() > cap => {
+                let mut links = candidate_links;
+                links.sort();
+                completeness = Completeness::Partial { subtrees_lost: (links.len() - cap) as u64 };
+                links.truncate(cap);
+                links
+            }
+            _ => candidate_links,
+        };
 
         // Phase 2: doc collection, grouped by shard so each shard's read
         // lock is taken once. Expired tuples are filtered, not swept — the
@@ -601,7 +675,134 @@ impl HyperRegistry {
 
         docs.sort_by_key(|(ord, _)| *ord);
         let results = self.evaluate(query, &docs, &mut stats)?;
-        Ok(QueryOutcome { results, stats })
+        Ok(QueryOutcome { results, stats, completeness })
+    }
+
+    /// Execute a query through the overload-admission gate (see
+    /// [`crate::admission`]). With admission disabled (the default) this
+    /// is exactly [`HyperRegistry::query_scoped`] wrapped in
+    /// [`Admission::Answered`]; enabled, the query is metered against the
+    /// client's budget, its estimated cost (planner index/scan class ×
+    /// store size) is checked against the remaining deadline budget —
+    /// degrading full scans to a bounded partial evaluation before
+    /// shedding — and evaluation occupies one bounded in-flight slot.
+    /// Every shed is explicit (reason + retry-after) and counted.
+    pub fn query_admitted(
+        &self,
+        query: &Query,
+        demand: &Freshness,
+        scope: &QueryScope,
+        ctx: &AdmissionContext,
+    ) -> RegistryResult<Admission> {
+        let cfg = &self.config.admission;
+        if !cfg.enabled {
+            return Ok(Admission::Answered(self.query_scoped(query, demand, scope)?));
+        }
+        let now = self.clock.now();
+        if !self.gate.client_allowed(ctx.client.as_deref(), now) {
+            return Ok(self.shed(ShedReason::ClientThrottled));
+        }
+
+        // Deadline-aware cost check: degrade scans before shedding.
+        let class = self.cost_class(query, demand, scope);
+        let estimate_ms = cfg.estimate_ms(class, self.store.len());
+        let mut candidate_cap = None;
+        if let Some(deadline) = ctx.deadline {
+            let budget_ms = deadline.since(now);
+            if budget_ms < estimate_ms {
+                match class {
+                    CostClass::Scan => {
+                        let affordable = cfg.affordable_tuples(budget_ms);
+                        if affordable >= cfg.degraded_scan_min {
+                            candidate_cap = Some(affordable);
+                        } else {
+                            return Ok(self.shed(ShedReason::DeadlineLapsed));
+                        }
+                    }
+                    // Index-class work is already minimal: nothing left to
+                    // degrade to, so shed (it is cheap to retry later).
+                    CostClass::Index => return Ok(self.shed(ShedReason::DeadlineLapsed)),
+                }
+            }
+        }
+
+        // Bounded in-flight slots: wait no longer than the smaller of the
+        // queue-wait knob and the remaining deadline budget.
+        let wait_ms = match ctx.deadline {
+            Some(deadline) => cfg.max_queue_wait_ms.min(deadline.since(now)),
+            None => cfg.max_queue_wait_ms,
+        };
+        match self.gate.acquire(std::time::Duration::from_millis(wait_ms)) {
+            Err(SlotDenied::QueueFull) => Ok(self.shed(ShedReason::QueueFull)),
+            Err(SlotDenied::Timeout) => Ok(self.shed(ShedReason::SlotTimeout)),
+            Ok(grant) => {
+                if grant == SlotGrant::Deferred {
+                    RegistryStats::add(&self.stats.deferred, 1);
+                    // Waiting consumed budget: a lapsed deadline sheds at
+                    // dequeue instead of evaluating into a dead answer.
+                    if let Some(deadline) = ctx.deadline {
+                        if self.clock.now() >= deadline {
+                            self.gate.release();
+                            return Ok(self.shed(ShedReason::DeadlineLapsed));
+                        }
+                    }
+                }
+                let result = self.query_scoped_limited(query, demand, scope, candidate_cap);
+                self.gate.release();
+                let outcome = result?;
+                RegistryStats::add(&self.stats.admitted, 1);
+                if !outcome.completeness.is_complete() {
+                    RegistryStats::add(&self.stats.degraded, 1);
+                }
+                Ok(Admission::Answered(outcome))
+            }
+        }
+    }
+
+    /// Queries currently waiting for an evaluation slot.
+    pub fn admission_queue_depth(&self) -> usize {
+        self.gate.queued()
+    }
+
+    /// Queries currently holding an evaluation slot.
+    pub fn admission_inflight(&self) -> usize {
+        self.gate.inflight()
+    }
+
+    /// Providers with live pull-throttle bucket state (observability; the
+    /// churn tests assert this stays bounded).
+    pub fn throttle_tracked_providers(&self) -> usize {
+        self.throttle.lock().tracked_providers()
+    }
+
+    fn shed(&self, reason: ShedReason) -> Admission {
+        let counter = match reason {
+            ShedReason::ClientThrottled => &self.stats.shed_client,
+            ShedReason::DeadlineLapsed => &self.stats.shed_deadline,
+            ShedReason::QueueFull => &self.stats.shed_queue_full,
+            ShedReason::SlotTimeout => &self.stats.shed_slot_timeout,
+        };
+        RegistryStats::add(counter, 1);
+        Admission::Shed { reason, retry_after_ms: self.config.admission.retry_after_ms }
+    }
+
+    /// The admission cost class: everything candidate selection can
+    /// narrow (simple keys, scoped queries, sargable predicates with the
+    /// planner eligible) admits as cheap index work; the rest is a scan
+    /// priced by the store size.
+    fn cost_class(&self, query: &Query, demand: &Freshness, scope: &QueryScope) -> CostClass {
+        let profile = query.profile();
+        if profile.index_key.is_some() || scope.types.is_some() || scope.domain.is_some() {
+            return CostClass::Index;
+        }
+        let planner_eligible = demand.max_age_ms.is_none()
+            && !matches!(self.config.refresh_policy, RefreshPolicy::PullPeriodic { .. })
+            && self.config.content_index;
+        if planner_eligible && profile.sargable.is_some() {
+            CostClass::Index
+        } else {
+            CostClass::Scan
+        }
     }
 
     /// Execute a SQL query ([`crate::sql`]) over the live tuple set. The

@@ -4,6 +4,11 @@
 //! pulls are rate-limited per provider and globally. Token buckets give
 //! bursts up to `burst` with a sustained `rate_per_sec` refill, evaluated in
 //! virtual time so experiments can sweep throttle parameters quickly.
+//!
+//! The same keyed-bucket machinery meters *clients* in the admission gate
+//! (see [`crate::admission`]): [`KeyedBuckets`] is one bucket per string
+//! key with idle-state eviction on a coarse cadence, so the map stays
+//! bounded under provider/client churn without a maintenance thread.
 
 use crate::clock::Time;
 use std::collections::HashMap;
@@ -55,12 +60,98 @@ impl Bucket {
     }
 }
 
+/// How often idle buckets are swept, and how long a key may stay idle.
+/// Eviction runs inline on the `allow` path (no maintenance thread); a
+/// coarse cadence keeps its amortized cost near zero.
+const EVICT_EVERY_MS: u64 = 60_000;
+const IDLE_FOR_MS: u64 = 600_000;
+
+/// A family of token buckets, one per string key (provider link, client
+/// id), with idle keys evicted on a coarse cadence so churn cannot grow
+/// the map without bound.
+#[derive(Debug)]
+pub struct KeyedBuckets {
+    config: ThrottleConfig,
+    buckets: HashMap<String, Bucket>,
+    evict_every_ms: u64,
+    idle_for_ms: u64,
+    last_evict: Time,
+}
+
+impl KeyedBuckets {
+    /// A bucket family with the default eviction cadence.
+    pub fn new(config: ThrottleConfig, now: Time) -> Self {
+        Self::with_eviction(config, now, EVICT_EVERY_MS, IDLE_FOR_MS)
+    }
+
+    /// A bucket family with an explicit eviction cadence (tests sweep it).
+    pub fn with_eviction(
+        config: ThrottleConfig,
+        now: Time,
+        evict_every_ms: u64,
+        idle_for_ms: u64,
+    ) -> Self {
+        KeyedBuckets {
+            config,
+            buckets: HashMap::new(),
+            evict_every_ms,
+            idle_for_ms,
+            last_evict: now,
+        }
+    }
+
+    /// Take one token from `key`'s bucket at `now`. Also sweeps idle
+    /// buckets when the cadence is due, so every caller of the hot path
+    /// keeps the map bounded for free.
+    pub fn allow(&mut self, key: &str, now: Time) -> bool {
+        self.maybe_evict(now);
+        let config = self.config;
+        self.buckets
+            .entry(key.to_owned())
+            .or_insert_with(|| Bucket { tokens: config.burst.min(1e18), last: now })
+            .try_take(now, config)
+    }
+
+    /// Return one token to `key`'s bucket (a downstream denial undid the
+    /// take).
+    pub fn refund(&mut self, key: &str) {
+        if self.config.rate_per_sec.is_infinite() {
+            return;
+        }
+        if let Some(b) = self.buckets.get_mut(key) {
+            b.tokens = (b.tokens + 1.0).min(self.config.burst);
+        }
+    }
+
+    /// Drop state for keys not seen since `cutoff`.
+    pub fn evict_idle(&mut self, cutoff: Time) {
+        self.buckets.retain(|_, b| b.last >= cutoff);
+    }
+
+    /// Number of keys currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn maybe_evict(&mut self, now: Time) {
+        if now.since(self.last_evict) < self.evict_every_ms {
+            return;
+        }
+        self.last_evict = now;
+        self.evict_idle(Time(now.millis().saturating_sub(self.idle_for_ms)));
+    }
+
+    #[cfg(test)]
+    fn tokens(&self, key: &str) -> Option<f64> {
+        self.buckets.get(key).map(|b| b.tokens)
+    }
+}
+
 /// Per-provider plus global pull throttle.
 #[derive(Debug)]
 pub struct PullThrottle {
-    per_provider: ThrottleConfig,
     global: ThrottleConfig,
-    buckets: HashMap<String, Bucket>,
+    per_provider: KeyedBuckets,
     global_bucket: Bucket,
     /// Pulls denied so far (for the F4 experiment).
     pub denied: u64,
@@ -72,9 +163,8 @@ impl PullThrottle {
     /// Create a throttle with the given per-provider and global budgets.
     pub fn new(per_provider: ThrottleConfig, global: ThrottleConfig, now: Time) -> Self {
         PullThrottle {
-            per_provider,
             global,
-            buckets: HashMap::new(),
+            per_provider: KeyedBuckets::new(per_provider, now),
             global_bucket: Bucket { tokens: global.burst.min(1e18), last: now },
             denied: 0,
             granted: 0,
@@ -87,28 +177,18 @@ impl PullThrottle {
     }
 
     /// May a pull from `link` proceed at `now`? Consumes tokens when
-    /// granted.
+    /// granted. Idle provider buckets are evicted on a coarse cadence as a
+    /// side effect, so the registry's pull path bounds the map under churn.
     pub fn allow(&mut self, link: &str, now: Time) -> bool {
-        let per = self.per_provider;
-        let bucket = self
-            .buckets
-            .entry(link.to_owned())
-            .or_insert_with(|| Bucket { tokens: per.burst.min(1e18), last: now });
         // Check provider bucket first, then global; only commit when both
-        // grant (peek provider, then global, then take provider).
-        let provider_ok = bucket.try_take(now, per);
-        if !provider_ok {
+        // grant (take provider, refund it on a global denial).
+        if !self.per_provider.allow(link, now) {
             self.denied += 1;
             return false;
         }
-        let global_ok = self.global_bucket.try_take(now, self.global);
-        if !global_ok {
+        if !self.global_bucket.try_take(now, self.global) {
             // Return the provider token (no pull happened).
-            if !per.rate_per_sec.is_infinite() {
-                if let Some(b) = self.buckets.get_mut(link) {
-                    b.tokens = (b.tokens + 1.0).min(per.burst);
-                }
-            }
+            self.per_provider.refund(link);
             self.denied += 1;
             return false;
         }
@@ -119,7 +199,12 @@ impl PullThrottle {
     /// Drop state for providers not seen since `cutoff` (bound memory under
     /// churn).
     pub fn evict_idle(&mut self, cutoff: Time) {
-        self.buckets.retain(|_, b| b.last >= cutoff);
+        self.per_provider.evict_idle(cutoff);
+    }
+
+    /// Number of providers with live bucket state (observability/tests).
+    pub fn tracked_providers(&self) -> usize {
+        self.per_provider.tracked()
     }
 }
 
@@ -178,18 +263,19 @@ mod tests {
 
     #[test]
     fn global_denial_refunds_provider_token() {
+        // Provider buckets never refill (rate 0, burst 1): the only way
+        // b's pull at t=1500 can be granted is with b's *refunded* token
+        // from the earlier global denial.
         let per = ThrottleConfig { rate_per_sec: 0.0, burst: 1.0 };
-        let global = ThrottleConfig { rate_per_sec: 0.0, burst: 1.0 };
+        let global = ThrottleConfig { rate_per_sec: 1.0, burst: 1.0 };
         let mut t = PullThrottle::new(per, global, Time(0));
         assert!(t.allow("a", Time(0)));
         // Global is now empty. b's provider token must be refunded so a
         // later global refill can use it.
         assert!(!t.allow("b", Time(0)));
-        let cfg_global_refilled =
-            PullThrottle::new(per, ThrottleConfig { rate_per_sec: 1000.0, burst: 1.0 }, Time(0));
-        drop(cfg_global_refilled);
-        // direct check: bucket for b still holds its token
-        assert_eq!(t.buckets.get("b").unwrap().tokens, 1.0);
+        assert_eq!(t.per_provider.tokens("b"), Some(1.0), "token refunded");
+        assert!(t.allow("b", Time(1500)), "refunded token spent once global refills");
+        assert!(!t.allow("b", Time(3000)), "b's bucket never refills: the refund was spent");
     }
 
     #[test]
@@ -199,7 +285,29 @@ mod tests {
         t.allow("a", Time(0));
         t.allow("b", Time(5000));
         t.evict_idle(Time(1000));
-        assert!(!t.buckets.contains_key("a"));
-        assert!(t.buckets.contains_key("b"));
+        assert_eq!(t.tracked_providers(), 1);
+        assert!(t.per_provider.tokens("a").is_none());
+        assert!(t.per_provider.tokens("b").is_some());
+    }
+
+    #[test]
+    fn allow_path_evicts_on_cadence_under_churn() {
+        // 10k distinct providers, one pull each, clock marching forward:
+        // the inline cadence keeps the map bounded by the idle window
+        // (1s idle / 100ms per key = ~10 live keys, plus slack for the
+        // 500ms sweep period).
+        let mut buckets = KeyedBuckets::with_eviction(
+            ThrottleConfig { rate_per_sec: 1.0, burst: 1.0 },
+            Time(0),
+            500,
+            1_000,
+        );
+        let mut max_tracked = 0;
+        for i in 0..10_000u64 {
+            buckets.allow(&format!("http://svc/{i}"), Time(i * 100));
+            max_tracked = max_tracked.max(buckets.tracked());
+        }
+        assert!(max_tracked <= 32, "map must stay bounded under churn, peaked at {max_tracked}");
+        assert!(buckets.tracked() <= 32);
     }
 }

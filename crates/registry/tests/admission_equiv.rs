@@ -1,0 +1,159 @@
+//! The admission gate is observably transparent below saturation: with
+//! protection enabled but offered load within capacity (one query at a
+//! time, generous deadlines, unmetered clients), a protected registry and
+//! an unprotected registry return identical result sequences for a mixed
+//! query pool over arbitrary mutation/advance interleavings — and the
+//! protected one sheds and degrades nothing.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wsda_registry::clock::{Clock, ManualClock};
+use wsda_registry::{
+    Admission, AdmissionConfig, AdmissionContext, Freshness, HyperRegistry, PublishRequest,
+    QueryScope, RegistryConfig,
+};
+use wsda_xml::Element;
+use wsda_xq::Query;
+
+const OWNERS: [&str; 3] = ["cms.cern.ch", "fnal.gov", "atlas.cern.ch"];
+const IFACES: [&str; 2] = ["Executor-1.0", "Storage-1.1"];
+
+/// Index-class and scan-class alike; every query must be admitted and
+/// agree with the unprotected answer.
+const QUERY_POOL: [&str; 6] = [
+    r#"//service[owner = "cms.cern.ch"]"#,
+    r#"//service[interface/@type = "Executor-1.0"]/owner"#,
+    "//service/owner",
+    r#"count(//service[owner = "cms.cern.ch"])"#,
+    "(//service)[2]",
+    // Not sargable: admits as a full scan.
+    "count(/tuple) + count(/tuple)",
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Publish { id: u8, owner: u8, iface: u8, ttl: u64 },
+    Remove { id: u8 },
+    Sweep,
+    Advance { ms: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..12, 0u8..3, 0u8..2, 1_000u64..30_000).prop_map(|(id, owner, iface, ttl)| {
+            Op::Publish { id, owner, iface, ttl }
+        }),
+        1 => (0u8..12).prop_map(|id| Op::Remove { id }),
+        1 => Just(Op::Sweep),
+        2 => (500u64..20_000).prop_map(|ms| Op::Advance { ms }),
+    ]
+}
+
+fn link(id: u8) -> String {
+    format!("http://svc/{id}")
+}
+
+fn content(owner: u8, iface: u8) -> Element {
+    Element::new("service")
+        .with_child(Element::new("owner").with_text(OWNERS[owner as usize % OWNERS.len()]))
+        .with_child(
+            Element::new("interface").with_attr("type", IFACES[iface as usize % IFACES.len()]),
+        )
+}
+
+fn registry(admission: AdmissionConfig, clock: Arc<ManualClock>) -> HyperRegistry {
+    HyperRegistry::new(
+        RegistryConfig { admission, min_ttl_ms: 1, ..RegistryConfig::default() },
+        clock,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Protection on + load within capacity ⇒ every query is admitted,
+    /// answered completely, and equal to the unprotected answer; shed,
+    /// degraded and deferred counters all stay zero.
+    #[test]
+    fn gate_is_transparent_below_saturation(
+        ops in proptest::collection::vec(arb_op(), 1..50),
+    ) {
+        let clock_p = Arc::new(ManualClock::new());
+        let clock_u = Arc::new(ManualClock::new());
+        let protected = registry(AdmissionConfig::protective(), clock_p.clone());
+        let unprotected = registry(AdmissionConfig::default(), clock_u.clone());
+        let queries: Vec<Query> =
+            QUERY_POOL.iter().map(|q| Query::parse(q).expect("pool query parses")).collect();
+        let mut issued: u64 = 0;
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Publish { id, owner, iface, ttl } => {
+                    let request = || {
+                        PublishRequest::new(link(*id), "service")
+                            .with_ttl_ms(*ttl)
+                            .with_content(content(*owner, *iface))
+                    };
+                    prop_assert_eq!(
+                        protected.publish(request()).is_ok(),
+                        unprotected.publish(request()).is_ok()
+                    );
+                }
+                Op::Remove { id } => {
+                    prop_assert_eq!(
+                        protected.unpublish(&link(*id)).is_ok(),
+                        unprotected.unpublish(&link(*id)).is_ok()
+                    );
+                }
+                Op::Sweep => {
+                    prop_assert_eq!(protected.sweep(), unprotected.sweep());
+                }
+                Op::Advance { ms } => {
+                    clock_p.advance(*ms);
+                    clock_u.advance(*ms);
+                }
+            }
+            // One rotating query per op, a different client identity each
+            // time, always with a generous (coverable) deadline.
+            check_query(&protected, &unprotected, &queries[i % queries.len()], i, clock_p.now());
+            issued += 1;
+        }
+        for (i, q) in queries.iter().enumerate() {
+            check_query(&protected, &unprotected, q, i, clock_p.now());
+            issued += 1;
+        }
+
+        let stats = protected.stats();
+        prop_assert_eq!(stats.total_shed(), 0, "below capacity nothing is shed");
+        prop_assert_eq!(stats.degraded.load(std::sync::atomic::Ordering::Relaxed), 0);
+        prop_assert_eq!(stats.deferred.load(std::sync::atomic::Ordering::Relaxed), 0);
+        prop_assert_eq!(stats.admitted.load(std::sync::atomic::Ordering::Relaxed), issued);
+        prop_assert_eq!(protected.admission_queue_depth(), 0);
+        prop_assert_eq!(protected.admission_inflight(), 0);
+    }
+}
+
+fn check_query(
+    protected: &HyperRegistry,
+    unprotected: &HyperRegistry,
+    q: &Query,
+    i: usize,
+    now: wsda_registry::clock::Time,
+) {
+    let ctx =
+        AdmissionContext::for_client(format!("client-{}", i % 3)).with_deadline(now.plus(60_000));
+    let admission = protected
+        .query_admitted(q, &Freshness::any(), &QueryScope::all(), &ctx)
+        .expect("protected query");
+    let p = match admission {
+        Admission::Answered(out) => out,
+        Admission::Shed { reason, .. } => {
+            panic!("query shed ({reason}) below saturation: {}", q.source())
+        }
+    };
+    assert!(p.completeness.is_complete(), "no degradation below saturation");
+    let u = unprotected.query(q, &Freshness::any()).expect("unprotected query");
+    let p_items: Vec<String> = p.results.iter().map(|i| i.string_value()).collect();
+    let u_items: Vec<String> = u.results.iter().map(|i| i.string_value()).collect();
+    assert_eq!(p_items, u_items, "gate changed the answer for {}", q.source());
+}

@@ -1,0 +1,220 @@
+//! Admission-gate behaviour at the registry surface: disabled passthrough,
+//! per-client budgets, the deadline degradation ladder (full scan →
+//! bounded partial → explicit shed) and queue-capacity sheds — every
+//! decision visible in counters.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use wsda_registry::clock::{Clock, ManualClock};
+use wsda_registry::throttle::ThrottleConfig;
+use wsda_registry::{
+    Admission, AdmissionConfig, AdmissionContext, Completeness, Freshness, HyperRegistry,
+    PublishRequest, QueryScope, RegistryConfig, ShedReason,
+};
+use wsda_xml::Element;
+use wsda_xq::Query;
+
+fn content(id: usize) -> Element {
+    Element::new("service").with_field("owner", format!("site{id}.cern.ch"))
+}
+
+fn populated(config: RegistryConfig, clock: Arc<ManualClock>, tuples: usize) -> HyperRegistry {
+    let registry = HyperRegistry::new(config, clock);
+    for i in 0..tuples {
+        registry
+            .publish(
+                PublishRequest::new(format!("http://svc/{i}"), "service")
+                    .with_ttl_ms(600_000)
+                    .with_content(content(i)),
+            )
+            .unwrap();
+    }
+    registry
+}
+
+fn answered(a: Admission) -> wsda_registry::QueryOutcome {
+    match a {
+        Admission::Answered(out) => out,
+        Admission::Shed { reason, .. } => panic!("unexpected shed: {reason}"),
+    }
+}
+
+fn shed_reason(a: Admission) -> (ShedReason, u64) {
+    match a {
+        Admission::Shed { reason, retry_after_ms } => (reason, retry_after_ms),
+        Admission::Answered(_) => panic!("expected a shed"),
+    }
+}
+
+#[test]
+fn disabled_gate_is_exact_passthrough() {
+    let clock = Arc::new(ManualClock::new());
+    let registry =
+        populated(RegistryConfig { min_ttl_ms: 1, ..RegistryConfig::default() }, clock.clone(), 8);
+    let q = Query::parse("//service/owner").unwrap();
+    let direct = registry.query_scoped(&q, &Freshness::any(), &QueryScope::all()).unwrap();
+    let gated = answered(
+        registry
+            .query_admitted(
+                &q,
+                &Freshness::any(),
+                &QueryScope::all(),
+                &AdmissionContext::anonymous(),
+            )
+            .unwrap(),
+    );
+    let direct_items: Vec<String> = direct.results.iter().map(|i| i.string_value()).collect();
+    let gated_items: Vec<String> = gated.results.iter().map(|i| i.string_value()).collect();
+    assert_eq!(direct_items, gated_items);
+    assert_eq!(gated.completeness, Completeness::Complete);
+    // The disabled fast path bypasses the gate entirely: no admission
+    // bookkeeping, no sheds.
+    let stats = registry.stats();
+    assert_eq!(stats.admitted.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.total_shed(), 0);
+}
+
+#[test]
+fn flooding_client_is_throttled_without_starving_others() {
+    let clock = Arc::new(ManualClock::new());
+    let admission = AdmissionConfig {
+        per_client: ThrottleConfig { rate_per_sec: 0.0, burst: 2.0 },
+        retry_after_ms: 250,
+        ..AdmissionConfig::protective()
+    };
+    let registry = populated(
+        RegistryConfig { admission, min_ttl_ms: 1, ..RegistryConfig::default() },
+        clock.clone(),
+        4,
+    );
+    let q = Query::parse("count(//service)").unwrap();
+    let run = |ctx: &AdmissionContext| {
+        registry.query_admitted(&q, &Freshness::any(), &QueryScope::all(), ctx).unwrap()
+    };
+
+    let noisy = AdmissionContext::for_client("noisy");
+    answered(run(&noisy));
+    answered(run(&noisy));
+    let (reason, retry_after_ms) = shed_reason(run(&noisy));
+    assert_eq!(reason, ShedReason::ClientThrottled, "burst of 2 exhausted");
+    assert_eq!(retry_after_ms, 250, "shed carries the configured retry hint");
+
+    // A different client, and the unmetered anonymous path, still get in.
+    answered(run(&AdmissionContext::for_client("quiet")));
+    answered(run(&AdmissionContext::anonymous()));
+
+    let stats = registry.stats();
+    assert_eq!(stats.shed_client.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.admitted.load(Ordering::Relaxed), 4);
+    assert_eq!(stats.total_shed(), 1);
+}
+
+/// The degradation ladder: a scan whose estimate overruns the deadline is
+/// first degraded to a bounded partial evaluation (reported as
+/// `Completeness::Partial`, counting the skipped tuples), and only shed —
+/// explicitly — when even the degraded form cannot fit.
+#[test]
+fn lapsed_deadline_degrades_scan_then_sheds() {
+    let clock = Arc::new(ManualClock::new());
+    let admission = AdmissionConfig {
+        // 1ms per tuple: a 50-tuple scan estimates at 50ms.
+        scan_ns_per_tuple: 1_000_000,
+        degraded_scan_min: 4,
+        ..AdmissionConfig::protective()
+    };
+    let registry = populated(
+        RegistryConfig {
+            admission,
+            // No content index ⇒ an unscoped, non-keyed query classifies
+            // as a full scan for the cost model.
+            content_index: false,
+            min_ttl_ms: 1,
+            ..RegistryConfig::default()
+        },
+        clock.clone(),
+        50,
+    );
+    let q = Query::parse("count(/tuple)").unwrap();
+
+    // 10ms of budget affords 10 of the 50 tuples: degrade, don't shed.
+    let ctx = AdmissionContext::anonymous().with_deadline(clock.now().plus(10));
+    let out =
+        answered(registry.query_admitted(&q, &Freshness::any(), &QueryScope::all(), &ctx).unwrap());
+    assert_eq!(
+        out.completeness,
+        Completeness::Partial { subtrees_lost: 40 },
+        "40 of 50 tuples skipped by the bounded partial scan"
+    );
+    assert_eq!(out.results[0].number_value(), 10.0, "the partial answer is a lower bound");
+
+    // 1ms affords a single tuple — below degraded_scan_min: explicit shed.
+    let ctx = AdmissionContext::anonymous().with_deadline(clock.now().plus(1));
+    let (reason, _) = shed_reason(
+        registry.query_admitted(&q, &Freshness::any(), &QueryScope::all(), &ctx).unwrap(),
+    );
+    assert_eq!(reason, ShedReason::DeadlineLapsed);
+
+    let stats = registry.stats();
+    assert_eq!(stats.degraded.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.shed_deadline.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.admitted.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn index_class_work_sheds_when_budget_is_gone() {
+    let clock = Arc::new(ManualClock::new());
+    let admission = AdmissionConfig { index_cost_ms: 5, ..AdmissionConfig::protective() };
+    let registry = populated(
+        RegistryConfig { admission, min_ttl_ms: 1, ..RegistryConfig::default() },
+        clock.clone(),
+        8,
+    );
+    // Sargable with the content index on: classifies as index work, which
+    // has nothing to degrade to — an uncoverable budget sheds outright.
+    let q = Query::parse(r#"//service[owner = "site1.cern.ch"]"#).unwrap();
+    let ctx = AdmissionContext::anonymous().with_deadline(clock.now().plus(1));
+    let (reason, _) = shed_reason(
+        registry.query_admitted(&q, &Freshness::any(), &QueryScope::all(), &ctx).unwrap(),
+    );
+    assert_eq!(reason, ShedReason::DeadlineLapsed);
+    assert_eq!(registry.stats().shed_deadline.load(Ordering::Relaxed), 1);
+
+    // With budget, the same query is admitted and complete.
+    let ctx = AdmissionContext::anonymous().with_deadline(clock.now().plus(1_000));
+    let out =
+        answered(registry.query_admitted(&q, &Freshness::any(), &QueryScope::all(), &ctx).unwrap());
+    assert_eq!(out.completeness, Completeness::Complete);
+    assert_eq!(out.results.len(), 1);
+}
+
+#[test]
+fn exhausted_slots_shed_queue_full_with_depth_visible() {
+    let clock = Arc::new(ManualClock::new());
+    let admission =
+        AdmissionConfig { max_inflight: 0, max_queued: 0, ..AdmissionConfig::protective() };
+    let registry = populated(
+        RegistryConfig { admission, min_ttl_ms: 1, ..RegistryConfig::default() },
+        clock.clone(),
+        4,
+    );
+    let q = Query::parse("count(/tuple)").unwrap();
+    for _ in 0..3 {
+        let (reason, retry_after_ms) = shed_reason(
+            registry
+                .query_admitted(
+                    &q,
+                    &Freshness::any(),
+                    &QueryScope::all(),
+                    &AdmissionContext::anonymous(),
+                )
+                .unwrap(),
+        );
+        assert_eq!(reason, ShedReason::QueueFull);
+        assert!(retry_after_ms > 0, "every shed carries a retry hint");
+    }
+    let stats = registry.stats();
+    assert_eq!(stats.shed_queue_full.load(Ordering::Relaxed), 3);
+    assert_eq!(stats.admitted.load(Ordering::Relaxed), 0);
+    assert_eq!(registry.admission_queue_depth(), 0, "nothing left queued after sheds");
+    assert_eq!(registry.admission_inflight(), 0);
+}

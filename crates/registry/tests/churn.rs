@@ -5,6 +5,8 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 use wsda_registry::clock::{Clock, ManualClock, Time};
+use wsda_registry::provider::StaticProvider;
+use wsda_registry::throttle::ThrottleConfig;
 use wsda_registry::{Freshness, HyperRegistry, PublishRequest, RegistryConfig};
 use wsda_xml::Element;
 use wsda_xq::Query;
@@ -105,4 +107,56 @@ proptest! {
         let out = registry.query(&q, &Freshness::any()).unwrap();
         prop_assert_eq!(out.results[0].number_value(), expected as f64);
     }
+}
+
+/// A churny workload — waves of short-lived providers, each pulled while
+/// live — must not grow the pull-throttle bucket map without bound: idle
+/// eviction rides the query path on its coarse cadence, so tracked state
+/// follows the *live* provider population, not the total ever seen.
+#[test]
+fn provider_churn_keeps_throttle_bucket_map_bounded() {
+    const ROUNDS: usize = 50;
+    const PER_ROUND: usize = 20;
+    let clock = Arc::new(ManualClock::new());
+    let registry = HyperRegistry::new(
+        RegistryConfig {
+            min_ttl_ms: 1,
+            // Finite but generous: real bucket state per provider.
+            per_provider_throttle: ThrottleConfig { rate_per_sec: 1_000.0, burst: 1_000.0 },
+            ..RegistryConfig::default()
+        },
+        clock.clone(),
+    );
+    let q = Query::parse("count(/tuple)").unwrap();
+    let mut max_tracked = 0usize;
+
+    for round in 0..ROUNDS {
+        for j in 0..PER_ROUND {
+            let id = round * PER_ROUND + j;
+            let link = format!("http://svc/{id}");
+            registry.register_provider(Arc::new(StaticProvider::new(&link, content(id as u8))));
+            registry
+                .publish(
+                    PublishRequest::new(&link, "service")
+                        .with_ttl_ms(200_000)
+                        .with_content(content(id as u8)),
+                )
+                .unwrap();
+        }
+        // A fresh-content demand pulls every live provider whose cache is
+        // older than this query — touching its throttle bucket.
+        registry.query(&q, &Freshness::max_age(0)).unwrap();
+        max_tracked = max_tracked.max(registry.throttle_tracked_providers());
+        clock.advance(120_000);
+        registry.sweep();
+    }
+
+    let total = ROUNDS * PER_ROUND;
+    assert!(
+        max_tracked <= 200,
+        "bucket map must track ~the live window, not all {total} providers ever seen \
+         (peak tracked: {max_tracked})"
+    );
+    assert!(max_tracked > 0, "pulls did exercise the throttle");
+    assert!(registry.throttle_tracked_providers() <= 200);
 }

@@ -21,6 +21,7 @@
 //! * **loop detection** — duplicate transactions answered with an
 //!   immediate empty-final ("prune ack") so parents never wait on them.
 
+use crate::breaker::{CircuitBreaker, ForwardDecision};
 use crate::metrics::QueryMetrics;
 use crate::recovery::{Completeness, RecoveryConfig};
 use crate::selection::{NeighborPolicy, RoutingIndex};
@@ -33,9 +34,10 @@ use wsda_pdp::{
     encoded_len, BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage,
     ResponseMode, ResultLedger, Scope, TransactionId,
 };
+use wsda_registry::admission::{Admission, AdmissionConfig, AdmissionContext};
 use wsda_registry::clock::Time;
 use wsda_registry::workload::CorpusGenerator;
-use wsda_registry::{Freshness, HyperRegistry, RegistryConfig};
+use wsda_registry::{Freshness, HyperRegistry, QueryScope, RegistryConfig};
 
 /// How nodes bound their waiting (experiment F8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +72,15 @@ pub struct P2pConfig {
     /// Ack/retransmission/watchdog recovery; disabled by default so the
     /// bare-protocol message accounting stays the experiments' baseline.
     pub recovery: RecoveryConfig,
+    /// Admission-gate configuration applied to every node's registry
+    /// (overload protection for local evaluation; see
+    /// [`wsda_registry::admission`]). Disabled by default.
+    pub registry_admission: AdmissionConfig,
+    /// Bounded per-node inbox on the simulated transport: with `Some(n)`,
+    /// query frames arriving at a node already holding `n` undelivered
+    /// messages are shed (counted in the simulator's overflow stat)
+    /// instead of queueing without bound.
+    pub inbox_capacity: Option<usize>,
 }
 
 impl Default for P2pConfig {
@@ -84,6 +95,8 @@ impl Default for P2pConfig {
             seed: 42,
             routing_horizon: 4,
             recovery: RecoveryConfig::default(),
+            registry_admission: AdmissionConfig::default(),
+            inbox_capacity: None,
         }
     }
 }
@@ -100,6 +113,10 @@ struct PeerNode {
     pending_acks: HashMap<(TransactionId, NodeId, u64), PendingFrame>,
     /// Neighbors that exhausted a retry budget; skipped by later forwards.
     suspected: HashSet<NodeId>,
+    /// Per-neighbor circuit breakers (when enabled these subsume the
+    /// permanent `suspected` filter: open breakers shed forwards, and a
+    /// half-open probe answered with `Pong` rehabilitates the neighbor).
+    breakers: HashMap<NodeId, CircuitBreaker>,
     /// Per-node compiled-query cache: one parse per distinct query string,
     /// shared by every hop and retransmission that reaches this node.
     qcache: QueryCache,
@@ -129,6 +146,9 @@ struct TxnInfo {
     /// Whether `buffer` contains items that arrived from children (the
     /// relayed-bytes accounting for store-and-forward mode).
     buffer_has_child_items: bool,
+    /// Accept-time deadline (arrival + abort budget): the admission gate
+    /// sheds or degrades local evaluation against this.
+    deadline: Time,
 }
 
 /// The outcome of one query execution.
@@ -210,13 +230,22 @@ impl SimNetwork {
         faults: impl Into<ChaosPlan>,
         config: P2pConfig,
     ) -> SimNetwork {
-        let sim: Simulator<Message> = Simulator::new(model, faults, config.seed);
+        let mut sim: Simulator<Message> = Simulator::new(model, faults, config.seed);
+        if let Some(cap) = config.inbox_capacity {
+            // Query frames are sheddable at a full inbox; results, acks and
+            // control frames always queue (they finish work already paid for).
+            sim.set_inbox_capacity(cap, |m| matches!(m, Message::Query { .. }));
+        }
         let clock = sim.clock();
         let mut nodes = Vec::with_capacity(topology.len());
         let mut node_kinds: Vec<HashSet<String>> = Vec::with_capacity(topology.len());
         for i in 0..topology.len() {
             let registry = Arc::new(HyperRegistry::new(
-                RegistryConfig { max_ttl_ms: u64::MAX / 4, ..RegistryConfig::default() },
+                RegistryConfig {
+                    max_ttl_ms: u64::MAX / 4,
+                    admission: config.registry_admission.clone(),
+                    ..RegistryConfig::default()
+                },
                 clock.clone(),
             ));
             let mut generator = CorpusGenerator::new(config.seed ^ (i as u64).wrapping_mul(0x9e37));
@@ -241,6 +270,7 @@ impl SimNetwork {
                 ledger: ResultLedger::new(),
                 pending_acks: HashMap::new(),
                 suspected: HashSet::new(),
+                breakers: HashMap::new(),
                 qcache: QueryCache::default(),
             });
         }
@@ -294,6 +324,12 @@ impl SimNetwork {
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.sim.now()
+    }
+
+    /// Messages shed by bounded per-node inboxes since the network was
+    /// built (see [`P2pConfig::inbox_capacity`]); 0 with unbounded inboxes.
+    pub fn network_overflows(&self) -> u64 {
+        self.sim.stats().messages_overflowed
     }
 
     /// Total query compilations across all nodes' caches. The parse-once
@@ -460,6 +496,7 @@ impl SimNetwork {
             }
             Message::Ack { transaction, seq } => {
                 self.nodes[to.0 as usize].pending_acks.remove(&(transaction, from, seq));
+                self.breaker_success(to, from);
             }
             Message::Error { transaction, origin, reason } => {
                 self.on_error(run, to, transaction, origin, reason);
@@ -475,7 +512,38 @@ impl SimNetwork {
                 self.send(&mut m, to, from, Message::Pong);
                 run.metrics = m;
             }
-            Message::Pong => {}
+            Message::Pong => {
+                // The half-open probe answered: the neighbor is back.
+                self.breaker_success(to, from);
+                self.nodes[to.0 as usize].suspected.remove(&from);
+            }
+        }
+    }
+
+    /// Consult (creating on demand) `node`'s breaker for `neighbor`.
+    fn breaker_decide(&mut self, node: NodeId, neighbor: NodeId, now_ms: u64) -> ForwardDecision {
+        let cfg = self.config.recovery.breaker;
+        self.nodes[node.0 as usize]
+            .breakers
+            .entry(neighbor)
+            .or_insert_with(|| CircuitBreaker::new(cfg))
+            .decide(now_ms)
+    }
+
+    /// Record a send/ack failure toward `neighbor`; true when it tripped.
+    fn breaker_failure(&mut self, node: NodeId, neighbor: NodeId, now_ms: u64) -> bool {
+        let cfg = self.config.recovery.breaker;
+        self.nodes[node.0 as usize]
+            .breakers
+            .entry(neighbor)
+            .or_insert_with(|| CircuitBreaker::new(cfg))
+            .record_failure(now_ms)
+    }
+
+    /// Record proof of life from `neighbor` (ack or pong).
+    fn breaker_success(&mut self, node: NodeId, neighbor: NodeId) {
+        if let Some(b) = self.nodes[node.0 as usize].breakers.get_mut(&neighbor) {
+            b.record_success();
         }
     }
 
@@ -551,6 +619,10 @@ impl SimNetwork {
         // query cache, so repeats of the same query string (later runs,
         // retransmitted frames, watchdog re-queries) never re-parse.
         let parsed = self.nodes[node_idx].qcache.get_or_compile(query_src, language);
+        let deadline = match self.config.timeout_mode {
+            TimeoutMode::DynamicAbort => now.plus(scope.abort_timeout_ms),
+            TimeoutMode::StaticPerNode(t) => now.plus(t),
+        };
         self.nodes[node_idx].txns.insert(
             txn,
             TxnInfo {
@@ -564,6 +636,7 @@ impl SimNetwork {
                 aborted: false,
                 finalized: false,
                 buffer_has_child_items: false,
+                deadline,
             },
         );
 
@@ -594,17 +667,38 @@ impl SimNetwork {
             return;
         };
         let policy = NeighborPolicy::parse(&scope.neighbor_policy);
+        // With breakers enabled they subsume the permanent `suspected`
+        // filter: an open breaker sheds, and a later probe can rehabilitate
+        // the neighbor; suspicion alone never forgives.
+        let breaker_on = self.config.recovery.breaker.enabled;
         let candidates: Vec<NodeId> = self
             .topology
             .neighbors(node)
             .iter()
             .copied()
             .filter(|&n| Some(n) != parent)
-            .filter(|n| !self.nodes[node_idx].suspected.contains(n))
+            .filter(|n| breaker_on || !self.nodes[node_idx].suspected.contains(n))
             .collect();
         let targets = policy.select(&candidates, node, txn, Some(&self.routing_index));
         let mut forwarded_any = false;
         for target in targets {
+            if breaker_on {
+                match self.breaker_decide(node, target, now.millis()) {
+                    ForwardDecision::Forward => {}
+                    ForwardDecision::Shed => {
+                        run.metrics.breaker_sheds += 1;
+                        continue;
+                    }
+                    ForwardDecision::ShedAndProbe => {
+                        run.metrics.breaker_sheds += 1;
+                        run.metrics.breaker_probes += 1;
+                        let mut m = std::mem::take(&mut run.metrics);
+                        self.send(&mut m, node, target, Message::Ping);
+                        run.metrics = m;
+                        continue;
+                    }
+                }
+            }
             forwarded_any = true;
             self.nodes[node_idx].state.add_child(&txn, endpoint(target));
             let msg = Message::Query {
@@ -656,13 +750,36 @@ impl SimNetwork {
         let mode = info.mode.clone();
         let pipeline = info.scope.pipeline;
         let parent = info.parent;
+        let deadline = info.deadline;
 
         run.metrics.nodes_evaluated += 1;
         let items: Vec<String> = match &query {
             CompiledQuery::XQuery(q) => {
-                match self.nodes[node_idx].registry.query(q, &Freshness::any()) {
-                    Ok(o) => {
+                // With the node registry's admission gate enabled, local
+                // evaluation is metered against the transaction's remaining
+                // abort budget: a lapsed hop degrades or sheds (counted)
+                // instead of scanning into a dead answer.
+                let registry = self.nodes[node_idx].registry.clone();
+                let outcome = if registry.config().admission.enabled {
+                    let ctx =
+                        AdmissionContext::for_client(endpoint(run.origin)).with_deadline(deadline);
+                    match registry.query_admitted(q, &Freshness::any(), &QueryScope::all(), &ctx) {
+                        Ok(Admission::Answered(o)) => Some(o),
+                        Ok(Admission::Shed { .. }) => {
+                            run.metrics.local_evals_shed += 1;
+                            None
+                        }
+                        Err(_) => None,
+                    }
+                } else {
+                    registry.query(q, &Freshness::any()).ok()
+                };
+                match outcome {
+                    Some(o) => {
                         run.metrics.record_plan(o.stats.plan);
+                        if !o.completeness.is_complete() {
+                            run.metrics.local_evals_degraded += 1;
+                        }
                         o.results
                             .iter()
                             .map(|item| match item.as_node() {
@@ -674,7 +791,7 @@ impl SimNetwork {
                             })
                             .collect()
                     }
-                    Err(_) => Vec::new(),
+                    None => Vec::new(),
                 }
             }
             CompiledQuery::Sql(q) => {
@@ -1007,20 +1124,29 @@ impl SimNetwork {
         seq: u64,
     ) {
         let node_idx = node.0 as usize;
-        let (message, backoff) = {
+        let now_ms = self.sim.now().millis();
+        let step = {
             let Some(p) = self.nodes[node_idx].pending_acks.get_mut(&(txn, to, seq)) else {
                 return; // acked in time
             };
             if p.retries_left == 0 {
-                self.nodes[node_idx].pending_acks.remove(&(txn, to, seq));
-                self.nodes[node_idx].suspected.insert(to);
-                run.metrics.acks_timed_out += 1;
-                return;
+                None
+            } else {
+                p.retries_left -= 1;
+                let backoff = p.backoff_ms;
+                p.backoff_ms = backoff.saturating_mul(self.config.recovery.backoff_factor.max(1));
+                Some((p.message.clone(), backoff))
             }
-            p.retries_left -= 1;
-            let backoff = p.backoff_ms;
-            p.backoff_ms = backoff.saturating_mul(self.config.recovery.backoff_factor.max(1));
-            (p.message.clone(), backoff)
+        };
+        // Every fired retry timer is one send/ack failure toward `to`.
+        if self.breaker_failure(node, to, now_ms) {
+            run.metrics.breaker_opens += 1;
+        }
+        let Some((message, backoff)) = step else {
+            self.nodes[node_idx].pending_acks.remove(&(txn, to, seq));
+            self.nodes[node_idx].suspected.insert(to);
+            run.metrics.acks_timed_out += 1;
+            return;
         };
         run.metrics.retries_sent += 1;
         let mut m = std::mem::take(&mut run.metrics);

@@ -29,6 +29,7 @@
 //! executes queries while collecting the metrics every evaluation figure
 //! needs.
 
+pub mod breaker;
 pub mod container;
 pub mod engine;
 pub mod live;
@@ -37,9 +38,10 @@ pub mod recovery;
 pub mod selection;
 pub mod topology;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, ForwardDecision};
 pub use container::ContainerAssignment;
 pub use engine::{P2pConfig, QueryRun, SimNetwork, TimeoutMode};
-pub use live::{LiveNetwork, LiveQueryReport};
+pub use live::{LiveNetwork, LiveQueryReport, LiveStats};
 pub use metrics::QueryMetrics;
 pub use recovery::{Completeness, RecoveryConfig};
 pub use selection::NeighborPolicy;

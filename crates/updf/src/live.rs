@@ -21,18 +21,19 @@
 //! protocol works under real concurrency, which the deterministic
 //! simulator cannot show.
 
+use crate::breaker::{CircuitBreaker, ForwardDecision};
 use crate::recovery::{Completeness, RecoveryConfig};
 use crate::topology::Topology;
 use bytes::BytesMut;
 use crossbeam::channel::RecvTimeoutError;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wsda_net::model::ChaosPlan;
-use wsda_net::transport::ThreadedNetwork;
+use wsda_net::transport::{Inbox, InboxDrops, ThreadedNetwork};
 use wsda_net::NodeId;
-use wsda_pdp::framing::{write_frame, FrameReader};
+use wsda_pdp::framing::{frame_is_query, write_frame, FrameReader};
 use wsda_pdp::{
     BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage, ResponseMode,
     ResultLedger, Scope, TransactionId,
@@ -57,6 +58,27 @@ pub struct LiveQueryReport {
     pub replays_suppressed: u64,
 }
 
+/// Overload-protection counters aggregated across every live peer.
+/// Snapshot via [`LiveNetwork::stats`]; every shed is counted, never
+/// silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Query forwards shed because the neighbor's circuit breaker was
+    /// open.
+    pub breaker_sheds: u64,
+    /// Breaker open transitions (consecutive send/ack failures).
+    pub breaker_opens: u64,
+    /// Half-open probe `Ping`s sent.
+    pub breaker_probes: u64,
+}
+
+#[derive(Default)]
+struct LiveStatsInner {
+    breaker_sheds: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_probes: AtomicU64,
+}
+
 /// A running live network. Dropping it shuts every peer down.
 pub struct LiveNetwork {
     transport: Arc<ThreadedNetwork<Frame>>,
@@ -69,6 +91,7 @@ pub struct LiveNetwork {
     txn_counter: u64,
     seed: u64,
     recovery: RecoveryConfig,
+    stats: Arc<LiveStatsInner>,
 }
 
 impl LiveNetwork {
@@ -111,8 +134,15 @@ impl LiveNetwork {
         seed: u64,
         recovery: RecoveryConfig,
     ) -> LiveNetwork {
+        // Query frames ride the transport's sheddable lane: a peer that
+        // falls behind loses (counted) queries first while acks and
+        // results keep flowing. The kind byte sits at a fixed offset, so
+        // classification never parses the frame.
+        transport.set_sheddable(|f: &Frame| frame_is_query(f));
         let shutdown = Arc::new(AtomicBool::new(false));
         let clock = Arc::new(SystemClock::new());
+        let stats = Arc::new(LiveStatsInner::default());
+        let epoch = Instant::now();
         let mut registries = Vec::with_capacity(topology.len());
         let mut handles = Vec::with_capacity(topology.len());
         let mut peer_dead = Vec::with_capacity(topology.len());
@@ -146,6 +176,8 @@ impl LiveNetwork {
                 shutdown: shutdown.clone(),
                 dead,
                 recovery,
+                stats: stats.clone(),
+                epoch,
             };
             handles.push(std::thread::spawn(move || peer.run(inbox)));
         }
@@ -161,7 +193,22 @@ impl LiveNetwork {
             txn_counter: 0,
             seed,
             recovery,
+            stats,
         }
+    }
+
+    /// Overload-protection counters aggregated across every peer.
+    pub fn stats(&self) -> LiveStats {
+        LiveStats {
+            breaker_sheds: self.stats.breaker_sheds.load(Ordering::Relaxed),
+            breaker_opens: self.stats.breaker_opens.load(Ordering::Relaxed),
+            breaker_probes: self.stats.breaker_probes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Frames the transport dropped on inbox overflow, by lane.
+    pub fn inbox_drops(&self) -> InboxDrops {
+        self.transport.inbox_drops()
     }
 
     /// A node's registry (e.g. to publish extra content).
@@ -306,6 +353,9 @@ struct PeerThread {
     /// open), simulating a hung process.
     dead: Arc<AtomicBool>,
     recovery: RecoveryConfig,
+    stats: Arc<LiveStatsInner>,
+    /// Process epoch: circuit breakers count milliseconds from here.
+    epoch: Instant,
 }
 
 struct LiveTxn {
@@ -340,6 +390,9 @@ struct PeerRt {
     ledger: ResultLedger,
     pending: HashMap<(TransactionId, NodeId, u64), PendingLive>,
     suspected: HashSet<NodeId>,
+    /// Per-neighbor circuit breakers: repeated send/ack failures open the
+    /// circuit and forwards to that neighbor are shed at source.
+    breakers: HashMap<NodeId, CircuitBreaker>,
     /// Per-peer compiled-query cache: handling the same query string again
     /// (another hop's forward, a watchdog re-query, a retransmitted frame)
     /// reuses the compiled form instead of re-parsing.
@@ -347,7 +400,7 @@ struct PeerRt {
 }
 
 impl PeerThread {
-    fn run(self, inbox: crossbeam::channel::Receiver<wsda_net::transport::Envelope<Frame>>) {
+    fn run(self, inbox: Inbox<Frame>) {
         let mut rt = PeerRt { state: NodeStateTable::new(), ..Default::default() };
         let mut reader = FrameReader::new();
         let clock = SystemClock::new();
@@ -408,10 +461,36 @@ impl PeerThread {
                         let items = self.evaluate(rt, &query);
                         let fscope = scope.forwarded(0);
                         let mut pending = HashSet::new();
+                        let breaker_on = self.recovery.breaker.enabled;
                         if let Some(fscope) = &fscope {
                             for &nb in &self.neighbors {
-                                if nb == from || rt.suspected.contains(&nb) {
+                                // The breaker subsumes plain suspicion when
+                                // on: it can also rehabilitate via probes.
+                                if nb == from || (!breaker_on && rt.suspected.contains(&nb)) {
                                     continue;
+                                }
+                                match self.breaker_decide(rt, nb) {
+                                    ForwardDecision::Forward => {}
+                                    decision => {
+                                        // Shed at source — counted, and the
+                                        // lost subtree is reported upward so
+                                        // the originator sees a Partial
+                                        // answer, never a silent gap.
+                                        self.stats.breaker_sheds.fetch_add(1, Ordering::Relaxed);
+                                        if matches!(decision, ForwardDecision::ShedAndProbe) {
+                                            self.stats
+                                                .breaker_probes
+                                                .fetch_add(1, Ordering::Relaxed);
+                                            send(&self.transport, self.id, nb, &Message::Ping);
+                                        }
+                                        let msg = Message::Error {
+                                            transaction,
+                                            origin: format!("n{}", self.id.0),
+                                            reason: "breaker open: subtree shed".to_owned(),
+                                        };
+                                        send(&self.transport, self.id, from, &msg);
+                                        continue;
+                                    }
                                 }
                                 let msg = Message::Query {
                                     transaction,
@@ -476,6 +555,7 @@ impl PeerThread {
             }
             Message::Ack { transaction, seq } => {
                 rt.pending.remove(&(transaction, from, seq));
+                self.breaker_success(rt, from);
             }
             Message::Error { transaction, origin, reason } => {
                 // Relay the lost-subtree notice toward the originator.
@@ -491,6 +571,11 @@ impl PeerThread {
             Message::Ping => {
                 let msg = Message::Pong;
                 send(&self.transport, self.id, from, &msg);
+            }
+            Message::Pong => {
+                // A probe came back: the peer is alive again.
+                self.breaker_success(rt, from);
+                rt.suspected.remove(&from);
             }
             _ => {}
         }
@@ -508,16 +593,23 @@ impl PeerThread {
                 let to = p.to;
                 rt.pending.remove(&key);
                 rt.suspected.insert(to);
+                self.breaker_failure(rt, to);
                 continue;
             }
             p.retries_left -= 1;
             p.due = now + p.backoff + self.jitter();
             p.backoff *= u32::try_from(self.recovery.backoff_factor.max(1)).unwrap_or(2);
-            self.transport.send(self.id, p.to, p.frame.clone());
+            let to = p.to;
+            let frame = p.frame.clone();
+            self.transport.send(self.id, to, frame);
+            // Each ack timeout is one failure signal toward opening the
+            // neighbor's breaker.
+            self.breaker_failure(rt, to);
         }
         // Child-liveness watchdog: re-query silent subtrees once, then
         // abandon them (Error upward + final reply) so parents unwind.
         let mut abandoned: Vec<(TransactionId, Option<NodeId>, bool)> = Vec::new();
+        let mut lost_children: Vec<NodeId> = Vec::new();
         for (txn, entry) in rt.live.iter_mut() {
             if entry.pending_children.is_empty() || now < entry.watchdog_at {
                 continue;
@@ -542,6 +634,7 @@ impl PeerThread {
             // Second strike: give the subtrees up.
             let lost: Vec<NodeId> = entry.pending_children.drain().collect();
             rt.suspected.extend(lost.iter().copied());
+            lost_children.extend(lost.iter().copied());
             if let Some(p) = entry.parent {
                 for _ in &lost {
                     let msg = Message::Error {
@@ -561,6 +654,49 @@ impl PeerThread {
                 }
             }
             rt.live.remove(&txn);
+        }
+        // A child the watchdog gave up on is a hard failure signal.
+        for child in lost_children {
+            self.breaker_failure(rt, child);
+        }
+    }
+
+    /// Whether a forward to `target` may proceed, per its breaker.
+    fn breaker_decide(&self, rt: &mut PeerRt, target: NodeId) -> ForwardDecision {
+        if !self.recovery.breaker.enabled {
+            return ForwardDecision::Forward;
+        }
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        rt.breakers
+            .entry(target)
+            .or_insert_with(|| CircuitBreaker::new(self.recovery.breaker))
+            .decide(now_ms)
+    }
+
+    /// Record a send/ack failure toward `target`; counts open transitions.
+    fn breaker_failure(&self, rt: &mut PeerRt, target: NodeId) {
+        if !self.recovery.breaker.enabled {
+            return;
+        }
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        let opened = rt
+            .breakers
+            .entry(target)
+            .or_insert_with(|| CircuitBreaker::new(self.recovery.breaker))
+            .record_failure(now_ms);
+        if opened {
+            self.stats.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record proof of life from `target` (ack or pong): closes its
+    /// breaker.
+    fn breaker_success(&self, rt: &mut PeerRt, target: NodeId) {
+        if !self.recovery.breaker.enabled {
+            return;
+        }
+        if let Some(b) = rt.breakers.get_mut(&target) {
+            b.record_success();
         }
     }
 
@@ -731,6 +867,7 @@ mod tests {
             backoff_factor: 2,
             jitter_ms: 10,
             watchdog_timeout_ms: 300,
+            ..RecoveryConfig::live_default()
         };
         let mut net = LiveNetwork::start_with(Topology::tree(15, 2), 2, 21, recovery);
         let expected = ground_truth(&net, QUERY);
@@ -752,6 +889,50 @@ mod tests {
         assert!(
             elapsed < Duration::from_secs(5),
             "partial answer must arrive within the watchdog budget, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn breaker_sheds_forwards_to_hung_peer_at_source() {
+        let recovery = RecoveryConfig {
+            enabled: true,
+            ack_timeout_ms: 40,
+            max_retries: 1,
+            backoff_factor: 2,
+            jitter_ms: 0,
+            watchdog_timeout_ms: 150,
+            breaker: crate::breaker::BreakerConfig {
+                enabled: true,
+                failure_threshold: 1,
+                // Long open window: the second query must land inside it.
+                open_ms: 60_000,
+                probe_timeout_ms: 300,
+            },
+        };
+        let mut net = LiveNetwork::start_with(Topology::tree(7, 2), 2, 55, recovery);
+        net.kill(NodeId(1));
+        // First query: the watchdog burns its full budget discovering the
+        // hung subtree, which opens node 0's breaker for neighbor 1.
+        let first = net.query_full(NodeId(0), QUERY, None, Duration::from_secs(20));
+        assert!(!first.completeness.is_complete(), "hung subtree must surface as partial");
+        assert!(net.stats().breaker_opens >= 1, "repeated failures must open a breaker");
+        let sheds_before = net.stats().breaker_sheds;
+        // Second query: the forward to the hung peer is shed at source —
+        // no watchdog wait, and the shed subtree is still reported.
+        let t0 = Instant::now();
+        let second = net.query_full(NodeId(0), QUERY, None, Duration::from_secs(20));
+        let elapsed = t0.elapsed();
+        assert!(
+            net.stats().breaker_sheds > sheds_before,
+            "open breaker must shed the forward at source"
+        );
+        assert!(
+            !second.completeness.is_complete() && second.errors_received >= 1,
+            "a shed subtree is reported upward, never silently dropped"
+        );
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "shedding at source skips the watchdog wait, took {elapsed:?}"
         );
     }
 

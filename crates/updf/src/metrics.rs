@@ -58,6 +58,17 @@ pub struct QueryMetrics {
     pub plans_hybrid: u64,
     /// Local evaluations that fell back to a full registry scan.
     pub plans_scan: u64,
+    /// Forwards shed because the neighbor's circuit breaker was open.
+    pub breaker_sheds: u64,
+    /// Breaker open transitions (K consecutive send/ack failures).
+    pub breaker_opens: u64,
+    /// Half-open probe `Ping`s sent.
+    pub breaker_probes: u64,
+    /// Local evaluations shed by the registry admission gate (deadline or
+    /// budget exhausted); counted, never silent.
+    pub local_evals_shed: u64,
+    /// Local evaluations degraded to a bounded partial scan.
+    pub local_evals_degraded: u64,
 }
 
 impl QueryMetrics {

@@ -37,6 +37,10 @@ pub struct RecoveryConfig {
     /// How long a node waits on silent forwarded subtrees before
     /// re-querying them (once) and then abandoning them.
     pub watchdog_timeout_ms: u64,
+    /// Per-neighbor circuit breaker (see [`crate::breaker`]): sheds
+    /// forwards to neighbors with K consecutive send/ack failures and
+    /// rehabilitates them through half-open probe frames.
+    pub breaker: crate::breaker::BreakerConfig,
 }
 
 impl Default for RecoveryConfig {
@@ -50,6 +54,7 @@ impl Default for RecoveryConfig {
             backoff_factor: 2,
             jitter_ms: 20,
             watchdog_timeout_ms: 1_000,
+            breaker: crate::breaker::BreakerConfig::default(),
         }
     }
 }
@@ -70,6 +75,10 @@ impl RecoveryConfig {
             backoff_factor: 2,
             jitter_ms: 30,
             watchdog_timeout_ms: 1_500,
+            // Live threads talk to real (killable) peers: breakers on, so
+            // forwards to a dead peer are shed after one query's worth of
+            // failed retransmissions instead of burning budget each time.
+            breaker: crate::breaker::BreakerConfig::on(),
         }
     }
 
@@ -84,43 +93,12 @@ impl RecoveryConfig {
 }
 
 /// Did the whole query tree answer, or were subtrees given up on?
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Completeness {
-    /// Every forwarded subtree delivered its final results.
-    Complete,
-    /// Some subtrees were abandoned (watchdog, retry exhaustion or
-    /// abort timers); the result set is a lower bound.
-    Partial {
-        /// Number of abandonment points (lost subtrees observed).
-        subtrees_lost: u64,
-    },
-}
-
-impl Completeness {
-    /// True for [`Completeness::Complete`].
-    pub fn is_complete(&self) -> bool {
-        matches!(self, Completeness::Complete)
-    }
-
-    /// Lost-subtree count (0 when complete).
-    pub fn subtrees_lost(&self) -> u64 {
-        match self {
-            Completeness::Complete => 0,
-            Completeness::Partial { subtrees_lost } => *subtrees_lost,
-        }
-    }
-}
-
-impl std::fmt::Display for Completeness {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Completeness::Complete => write!(f, "complete"),
-            Completeness::Partial { subtrees_lost } => {
-                write!(f, "partial({subtrees_lost} subtrees lost)")
-            }
-        }
-    }
-}
+///
+/// The enum now lives in `wsda-registry` ([`wsda_registry::Completeness`])
+/// so the admission gate's degraded scans and the P2P plane's abandoned
+/// subtrees share one lower-bound vocabulary; re-exported here for the
+/// original callers.
+pub use wsda_registry::Completeness;
 
 #[cfg(test)]
 mod tests {

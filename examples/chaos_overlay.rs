@@ -53,12 +53,12 @@ fn main() {
     // Act 3: hang an interior peer mid-overlay; the watchdog gives its
     // subtree up and the query degrades instead of hanging.
     let recovery = RecoveryConfig {
-        enabled: true,
         ack_timeout_ms: 80,
         max_retries: 2,
         backoff_factor: 2,
         jitter_ms: 10,
         watchdog_timeout_ms: 300,
+        ..RecoveryConfig::live_default()
     };
     let mut net = LiveNetwork::start_with(Topology::tree(15, 2), 3, 42, recovery);
     net.kill(NodeId(1));
