@@ -82,7 +82,7 @@ pub fn run(quick: bool) -> Report {
         let out = registry.query(&q, &Freshness::max_age(0)).unwrap();
         granted += out.stats.pulls as u64;
     }
-    let denied = registry.stats().pulls_throttled.load(std::sync::atomic::Ordering::Relaxed);
+    let denied = registry.stats().pulls_throttled.get();
     report.note(format!(
         "throttle storm: {storm} live-freshness queries in 10s against a 2/s+burst-5 budget -> {granted} pulls granted, {denied} suppressed (expected ≈ 25 granted)"
     ));

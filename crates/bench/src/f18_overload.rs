@@ -21,7 +21,6 @@
 
 use crate::harness::{f1 as fmt1, Report};
 use serde_json::json;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use wsda_registry::clock::{Clock, ManualClock, Time};
 use wsda_registry::{
@@ -157,12 +156,8 @@ pub fn simulate(protect: bool, n: usize, m: usize, load: f64) -> ArmOutcome {
         // overload counters — every decision is visible.
         let stats = registry.stats();
         assert_eq!(stats.total_shed(), out.shed, "shed counters must agree");
-        assert_eq!(
-            stats.degraded.load(Ordering::Relaxed),
-            out.degraded,
-            "degraded counters must agree"
-        );
-        assert_eq!(stats.admitted.load(Ordering::Relaxed), out.answered);
+        assert_eq!(stats.degraded.get(), out.degraded, "degraded counters must agree");
+        assert_eq!(stats.admitted.get(), out.answered);
     }
     out.mean_latency_ms =
         if out.answered > 0 { latency_sum as f64 / out.answered as f64 } else { 0.0 };

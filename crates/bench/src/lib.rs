@@ -28,6 +28,7 @@ pub mod f15_loss;
 pub mod f16_concurrency;
 pub mod f17_index;
 pub mod f18_overload;
+pub mod f19_trace;
 pub mod harness;
 pub mod t1;
 
@@ -66,6 +67,7 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
             f17_index::run,
         ),
         ("f18", "Overload: goodput vs offered load, admission gate on/off", f18_overload::run),
+        ("f19", "Query-tree trace: per-hop phase timings", f19_trace::run),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]
 }

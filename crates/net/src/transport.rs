@@ -20,9 +20,9 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+use wsda_obs::{Counter, MetricsRegistry};
 
 use crate::model::ChaosPlan;
 use crate::sim::NodeId;
@@ -241,19 +241,15 @@ struct Shared<M> {
     /// `None` routes everything through the (larger, still bounded)
     /// priority lane.
     sheddable: Option<Classifier<M>>,
-    drops_sheddable: AtomicU64,
-    drops_priority: AtomicU64,
+    drops_sheddable: Counter,
+    drops_priority: Counter,
 }
 
 impl<M> Shared<M> {
     fn record(&self, outcome: &PushOutcome) {
         match outcome {
-            PushOutcome::ShedLow => {
-                self.drops_sheddable.fetch_add(1, Ordering::Relaxed);
-            }
-            PushOutcome::ShedHigh => {
-                self.drops_priority.fetch_add(1, Ordering::Relaxed);
-            }
+            PushOutcome::ShedLow => self.drops_sheddable.inc(),
+            PushOutcome::ShedHigh => self.drops_priority.inc(),
             PushOutcome::Queued | PushOutcome::Closed => {}
         }
     }
@@ -283,8 +279,8 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
                 inboxes: HashMap::new(),
                 capacity: DEFAULT_INBOX_CAPACITY,
                 sheddable: None,
-                drops_sheddable: AtomicU64::new(0),
-                drops_priority: AtomicU64::new(0),
+                drops_sheddable: Counter::new(),
+                drops_priority: Counter::new(),
             })),
             delay: None,
             delay_tx: None,
@@ -348,9 +344,20 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
     pub fn inbox_drops(&self) -> InboxDrops {
         let shared = self.shared.lock();
         InboxDrops {
-            sheddable: shared.drops_sheddable.load(Ordering::Relaxed),
-            priority: shared.drops_priority.load(Ordering::Relaxed),
+            sheddable: shared.drops_sheddable.get(),
+            priority: shared.drops_priority.get(),
         }
+    }
+
+    /// Adopt the per-lane drop counters into a [`MetricsRegistry`] as
+    /// `inbox_dropped_total{lane="sheddable"|"priority"}`. The handles share
+    /// state with the transport, so drops recorded after the call are
+    /// visible in the export.
+    pub fn export_metrics(&self, metrics: &MetricsRegistry) {
+        let shared = self.shared.lock();
+        metrics
+            .register_counter("inbox_dropped_total{lane=\"sheddable\"}", &shared.drops_sheddable);
+        metrics.register_counter("inbox_dropped_total{lane=\"priority\"}", &shared.drops_priority);
     }
 
     /// Register a node, returning its bounded inbox.

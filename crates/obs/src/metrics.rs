@@ -1,0 +1,439 @@
+//! A registry of named counters, gauges and histograms.
+//!
+//! Recording is a relaxed atomic op on a pre-registered handle — no lock,
+//! no name lookup on the hot path. Handles are cheap `Arc` clones, so a
+//! counter can live inside a component struct (e.g. the hyper registry's
+//! `RegistryStats`) *and* be registered here for export: both sides share
+//! the same atomic, which is how the pre-existing ad-hoc counters migrate
+//! onto the unified registry without changing their semantics.
+//!
+//! Export comes in two forms:
+//! * [`MetricsRegistry::render_prometheus`] — Prometheus-style text
+//!   exposition (`# TYPE` headers, `name{labels} value` samples),
+//! * [`MetricsRegistry::to_json`] — a JSON snapshot for artifacts.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    inner: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depths, table sizes).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    inner: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .inner
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bucket bounds (milliseconds-flavoured log scale).
+pub const DEFAULT_BUCKETS: &[u64] = &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 5_000, 30_000];
+
+#[derive(Debug)]
+struct HistogramInner {
+    bounds: Vec<u64>,
+    /// One count per bound, plus a final `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+/// A histogram over fixed bucket bounds. Cloning shares the buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// A histogram with the given upper bounds (ascending). An empty slice
+    /// falls back to [`DEFAULT_BUCKETS`].
+    pub fn with_bounds(bounds: &[u64]) -> Histogram {
+        let bounds: Vec<u64> =
+            if bounds.is_empty() { DEFAULT_BUCKETS.to_vec() } else { bounds.to_vec() };
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                counts,
+                sum: AtomicU64::new(0),
+                total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.inner.bounds.iter().position(|&b| v <= b).unwrap_or(self.inner.bounds.len());
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs; the final entry is the
+    /// `+Inf` bucket (bound `u64::MAX`).
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(self.inner.bounds.len() + 1);
+        for (i, c) in self.inner.counts.iter().enumerate() {
+            acc += c.load(Ordering::Relaxed);
+            out.push((self.inner.bounds.get(i).copied().unwrap_or(u64::MAX), acc));
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::with_bounds(DEFAULT_BUCKETS)
+    }
+}
+
+/// A registered metric of any kind.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotone counter.
+    Counter(Counter),
+    /// Up/down gauge.
+    Gauge(Gauge),
+    /// Bucketed histogram.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics; the single scrape/snapshot point for a
+/// whole deployment (registry + engine + transport).
+///
+/// Metric names follow Prometheus conventions and may carry a label block:
+/// `updf_ledger_streams{node="n3"}`. The part before `{` is the metric
+/// family; `# TYPE` headers are emitted once per family.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.lock();
+        match m.entry(name.to_owned()).or_insert_with(|| Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.lock();
+        match m.entry(name.to_owned()).or_insert_with(|| Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Get or create the histogram `name` (bounds apply on first creation;
+    /// empty = defaults).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Register an *existing* counter handle under `name` — how components
+    /// that already own their atomics (e.g. `RegistryStats`) join the
+    /// unified export without changing their recording paths. Re-registering
+    /// the same name replaces the handle.
+    pub fn register_counter(&self, name: &str, counter: &Counter) {
+        self.lock().insert(name.to_owned(), Metric::Counter(counter.clone()));
+    }
+
+    /// Register an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, gauge: &Gauge) {
+        self.lock().insert(name.to_owned(), Metric::Gauge(gauge.clone()));
+    }
+
+    /// Current value of a counter or gauge (histograms report their count).
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.lock().get(name).map(|m| match m {
+            Metric::Counter(c) => c.get(),
+            Metric::Gauge(g) => g.get(),
+            Metric::Histogram(h) => h.count(),
+        })
+    }
+
+    /// Sum of all counters/gauges whose *family* (name before `{`) equals
+    /// `fam` — aggregates per-node labelled series.
+    pub fn family_sum(&self, fam: &str) -> u64 {
+        self.lock()
+            .iter()
+            .filter(|(name, _)| family(name) == fam)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => c.get(),
+                Metric::Gauge(g) => g.get(),
+                Metric::Histogram(h) => h.count(),
+            })
+            .sum()
+    }
+
+    /// Registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Prometheus-style text exposition: one `# TYPE` header per metric
+    /// family, then `name value` samples; histograms expand into
+    /// `_bucket`/`_sum`/`_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.lock();
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, metric) in metrics.iter() {
+            let fam = family(name);
+            if fam != last_family {
+                out.push_str(&format!("# TYPE {fam} {}\n", metric.type_name()));
+                last_family = fam.to_owned();
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let (base, labels) = match name.split_once('{') {
+                        Some((b, l)) => (b, format!(",{}", l.trim_end_matches('}'))),
+                        None => (name.as_str(), String::new()),
+                    };
+                    for (bound, cum) in h.cumulative() {
+                        let le =
+                            if bound == u64::MAX { "+Inf".to_owned() } else { bound.to_string() };
+                        out.push_str(&format!("{base}_bucket{{le=\"{le}\"{labels}}} {cum}\n"));
+                    }
+                    out.push_str(&format!(
+                        "{base}_sum{{{}}} {}\n",
+                        labels.trim_start_matches(','),
+                        h.sum()
+                    ));
+                    out.push_str(&format!(
+                        "{base}_count{{{}}} {}\n",
+                        labels.trim_start_matches(','),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON snapshot: `{name: value}` for counters/gauges, histograms as
+    /// `{count, sum, buckets: [[le, cumulative], ...]}`.
+    pub fn to_json(&self) -> Value {
+        let metrics = self.lock();
+        let mut map = BTreeMap::new();
+        for (name, metric) in metrics.iter() {
+            let v = match metric {
+                Metric::Counter(c) => Value::Number(serde_json::Number::Int(c.get() as i64)),
+                Metric::Gauge(g) => Value::Number(serde_json::Number::Int(g.get() as i64)),
+                Metric::Histogram(h) => {
+                    let buckets: Vec<Value> = h
+                        .cumulative()
+                        .into_iter()
+                        .map(|(b, c)| {
+                            Value::Array(vec![
+                                Value::Number(serde_json::Number::Int(
+                                    b.min(i64::MAX as u64) as i64
+                                )),
+                                Value::Number(serde_json::Number::Int(c as i64)),
+                            ])
+                        })
+                        .collect();
+                    let mut o = BTreeMap::new();
+                    o.insert(
+                        "count".to_owned(),
+                        Value::Number(serde_json::Number::Int(h.count() as i64)),
+                    );
+                    o.insert(
+                        "sum".to_owned(),
+                        Value::Number(serde_json::Number::Int(h.sum() as i64)),
+                    );
+                    o.insert("buckets".to_owned(), Value::Array(buckets));
+                    Value::Object(o)
+                }
+            };
+            map.insert(name.clone(), v);
+        }
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let m = MetricsRegistry::new();
+        let c = m.counter("demo_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(m.value("demo_total"), Some(5));
+        // A second handle to the same name shares the atomic.
+        m.counter("demo_total").inc();
+        assert_eq!(c.get(), 6);
+        let g = m.gauge("depth");
+        g.set(10);
+        g.sub(3);
+        g.add(1);
+        assert_eq!(m.value("depth"), Some(8));
+        g.sub(100);
+        assert_eq!(g.get(), 0, "gauges saturate at zero");
+    }
+
+    #[test]
+    fn adopted_handles_share_state() {
+        let m = MetricsRegistry::new();
+        let own = Counter::new();
+        own.add(7);
+        m.register_counter("adopted_total", &own);
+        own.inc();
+        assert_eq!(m.value("adopted_total"), Some(8));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        for v in [1, 5, 50, 500] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 556);
+        assert_eq!(h.cumulative(), vec![(10, 2), (100, 3), (u64::MAX, 4)]);
+    }
+
+    #[test]
+    fn prometheus_text_has_types_and_samples() {
+        let m = MetricsRegistry::new();
+        m.counter("a_total").add(3);
+        m.gauge("b{node=\"n0\"}").set(2);
+        m.gauge("b{node=\"n1\"}").set(5);
+        m.histogram("lat_ms", &[10]).observe(4);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total 3"));
+        assert!(text.contains("# TYPE b gauge"));
+        assert!(text.contains("b{node=\"n0\"} 2"));
+        assert!(text.contains("lat_ms_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_ms_count{} 1"));
+        // One TYPE header per family even with two labelled series.
+        assert_eq!(text.matches("# TYPE b gauge").count(), 1);
+        assert_eq!(m.family_sum("b"), 7);
+    }
+
+    #[test]
+    fn json_snapshot_covers_all_kinds() {
+        let m = MetricsRegistry::new();
+        m.counter("c").add(2);
+        m.gauge("g").set(9);
+        m.histogram("h", &[1]).observe(1);
+        let v = m.to_json();
+        assert_eq!(v["c"], 2);
+        assert_eq!(v["g"], 9);
+        assert_eq!(v["h"]["count"], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let m = MetricsRegistry::new();
+        m.counter("x");
+        m.gauge("x");
+    }
+}

@@ -68,9 +68,14 @@ impl TransactionState {
 /// itself duplicated it. The ledger remembers every `(transaction,
 /// sender, seq)` triple already applied so replays are acked but not
 /// re-merged.
+///
+/// Entries are keyed by transaction first so that [`ResultLedger::forget`]
+/// — which MUST be called when a transaction closes or its static loop
+/// timeout lapses, or the ledger grows without bound — is a single map
+/// removal rather than a full retain over every stream.
 #[derive(Debug, Default)]
 pub struct ResultLedger {
-    seen: HashMap<(TransactionId, Endpoint), HashSet<u64>>,
+    seen: HashMap<TransactionId, HashMap<Endpoint, HashSet<u64>>>,
 }
 
 impl ResultLedger {
@@ -82,21 +87,29 @@ impl ResultLedger {
     /// Record a received frame. Returns `true` when this is the first
     /// sighting (apply it), `false` for a replay (ack but ignore).
     pub fn record(&mut self, transaction: TransactionId, sender: &str, seq: u64) -> bool {
-        self.seen.entry((transaction, sender.to_owned())).or_default().insert(seq)
+        self.seen.entry(transaction).or_default().entry(sender.to_owned()).or_default().insert(seq)
     }
 
     /// True when the frame has been seen before (without recording).
     pub fn seen(&self, transaction: TransactionId, sender: &str, seq: u64) -> bool {
-        self.seen.get(&(transaction, sender.to_owned())).is_some_and(|s| s.contains(&seq))
+        self.seen
+            .get(&transaction)
+            .and_then(|by_sender| by_sender.get(sender))
+            .is_some_and(|s| s.contains(&seq))
     }
 
-    /// Drop all memory of a finished transaction.
+    /// Drop all memory of a finished transaction — O(one transaction).
     pub fn forget(&mut self, transaction: TransactionId) {
-        self.seen.retain(|(t, _), _| *t != transaction);
+        self.seen.remove(&transaction);
     }
 
     /// Number of (transaction, sender) streams tracked.
     pub fn streams(&self) -> usize {
+        self.seen.values().map(HashMap::len).sum()
+    }
+
+    /// Number of transactions tracked.
+    pub fn transactions(&self) -> usize {
         self.seen.len()
     }
 }
@@ -194,9 +207,24 @@ impl NodeStateTable {
     /// Drop state whose static loop timeout has passed; returns how many
     /// entries were expired.
     pub fn sweep(&mut self, now: Time) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|_, s| s.expires > now);
-        before - self.entries.len()
+        self.sweep_expired(now).len()
+    }
+
+    /// Drop state whose static loop timeout has passed and return the
+    /// expired transaction ids, so callers can retire the matching
+    /// per-transaction state elsewhere (result ledger, run bookkeeping,
+    /// pending retransmissions) in the same breath.
+    pub fn sweep_expired(&mut self, now: Time) -> Vec<TransactionId> {
+        let mut expired = Vec::new();
+        self.entries.retain(|t, s| {
+            if s.expires > now {
+                true
+            } else {
+                expired.push(*t);
+                false
+            }
+        });
+        expired
     }
 
     /// Number of live transactions.

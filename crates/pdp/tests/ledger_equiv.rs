@@ -1,0 +1,121 @@
+//! The nested result ledger must behave exactly like the old flat
+//! `(transaction, sender, seq)` map for `record`/`seen` — the
+//! restructure only changes `forget` from a full-map retain (which the
+//! old key shape made so expensive it was never called) to a single map
+//! removal. A reference model built on the flat key checks equivalence
+//! over arbitrary interleavings of records and forgets.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use wsda_pdp::{ResultLedger, TransactionId};
+
+/// The old semantics, kept as an executable specification.
+#[derive(Default)]
+struct FlatLedger {
+    seen: HashSet<(TransactionId, String, u64)>,
+}
+
+impl FlatLedger {
+    fn record(&mut self, txn: TransactionId, sender: &str, seq: u64) -> bool {
+        self.seen.insert((txn, sender.to_owned(), seq))
+    }
+
+    fn seen(&self, txn: TransactionId, sender: &str, seq: u64) -> bool {
+        self.seen.contains(&(txn, sender.to_owned(), seq))
+    }
+
+    fn forget(&mut self, txn: TransactionId) {
+        self.seen.retain(|(t, _, _)| *t != txn);
+    }
+
+    fn streams(&self) -> usize {
+        let mut streams: HashSet<(TransactionId, &str)> = HashSet::new();
+        for (t, s, _) in &self.seen {
+            streams.insert((*t, s.as_str()));
+        }
+        streams.len()
+    }
+
+    fn transactions(&self) -> usize {
+        self.seen.iter().map(|(t, _, _)| *t).collect::<HashSet<_>>().len()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Record { txn: u64, sender: u8, seq: u64 },
+    Seen { txn: u64, sender: u8, seq: u64 },
+    Forget { txn: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Small domains so collisions (replays, cross-sender, re-records
+    // after forget) actually happen.
+    prop_oneof![
+        4 => (0u64..4, 0u8..4, 0u64..6).prop_map(|(txn, sender, seq)| Op::Record { txn, sender, seq }),
+        2 => (0u64..4, 0u8..4, 0u64..6).prop_map(|(txn, sender, seq)| Op::Seen { txn, sender, seq }),
+        1 => (0u64..4).prop_map(|txn| Op::Forget { txn }),
+    ]
+}
+
+fn txn(n: u64) -> TransactionId {
+    TransactionId::derive(0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nested_ledger_matches_flat_reference(ops in proptest::collection::vec(arb_op(), 0..64)) {
+        let mut nested = ResultLedger::new();
+        let mut flat = FlatLedger::default();
+        for op in &ops {
+            match *op {
+                Op::Record { txn: t, sender, seq } => {
+                    let sender = format!("n{sender}");
+                    prop_assert_eq!(
+                        nested.record(txn(t), &sender, seq),
+                        flat.record(txn(t), &sender, seq),
+                        "record({t}, {}, {seq}) diverged", sender
+                    );
+                }
+                Op::Seen { txn: t, sender, seq } => {
+                    let sender = format!("n{sender}");
+                    prop_assert_eq!(
+                        nested.seen(txn(t), &sender, seq),
+                        flat.seen(txn(t), &sender, seq),
+                        "seen({t}, {}, {seq}) diverged", sender
+                    );
+                }
+                Op::Forget { txn: t } => {
+                    nested.forget(txn(t));
+                    flat.forget(txn(t));
+                }
+            }
+            prop_assert_eq!(nested.streams(), flat.streams());
+            prop_assert_eq!(nested.transactions(), flat.transactions());
+        }
+    }
+
+    #[test]
+    fn forget_erases_exactly_one_transaction(
+        records in proptest::collection::vec((0u64..4, 0u8..3, 0u64..4), 1..48),
+        victim in 0u64..4,
+    ) {
+        let mut ledger = ResultLedger::new();
+        for &(t, sender, seq) in &records {
+            ledger.record(txn(t), &format!("n{sender}"), seq);
+        }
+        ledger.forget(txn(victim));
+        for &(t, sender, seq) in &records {
+            let expect = t != victim;
+            prop_assert_eq!(
+                ledger.seen(txn(t), &format!("n{sender}"), seq),
+                expect,
+                "txn {t} after forgetting {victim}"
+            );
+        }
+        // A forgotten transaction starts over from scratch.
+        prop_assert!(ledger.record(txn(victim), "n0", 0));
+    }
+}

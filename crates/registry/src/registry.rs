@@ -18,8 +18,8 @@ use crate::throttle::{PullThrottle, ThrottleConfig};
 use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use wsda_obs::{Counter, MetricsRegistry};
 use wsda_xml::Element;
 use wsda_xq::{DynamicContext, NodeRef, Query, Sequence};
 
@@ -122,84 +122,107 @@ impl PublishRequest {
 }
 
 /// Counters exposed by the registry.
+///
+/// Each field is a shared [`Counter`] handle, so the same atomics can be
+/// adopted by a [`wsda_obs::MetricsRegistry`] (via [`RegistryStats::export_into`])
+/// for unified Prometheus/JSON export without changing any recording path.
 #[derive(Debug, Default)]
 pub struct RegistryStats {
     /// First-time publications.
-    pub publishes: AtomicU64,
+    pub publishes: Counter,
     /// Re-publications of live tuples.
-    pub refreshes: AtomicU64,
+    pub refreshes: Counter,
     /// Tuples evicted by soft-state expiry.
-    pub expirations: AtomicU64,
+    pub expirations: Counter,
     /// Queries answered.
-    pub queries: AtomicU64,
+    pub queries: Counter,
     /// Successful content pulls.
-    pub pulls_ok: AtomicU64,
+    pub pulls_ok: Counter,
     /// Failed content pulls.
-    pub pulls_failed: AtomicU64,
+    pub pulls_failed: Counter,
     /// Pulls suppressed by the throttle.
-    pub pulls_throttled: AtomicU64,
+    pub pulls_throttled: Counter,
     /// Tuples served from cache without a pull.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
     /// Queries answered through the link/type index.
-    pub index_queries: AtomicU64,
+    pub index_queries: Counter,
     /// Queries planned fully from the content index.
-    pub plans_index: AtomicU64,
+    pub plans_index: Counter,
     /// Queries planned from the content index with a residual re-check.
-    pub plans_hybrid: AtomicU64,
+    pub plans_hybrid: Counter,
     /// Queries that fell back to the full scan.
-    pub plans_scan: AtomicU64,
+    pub plans_scan: Counter,
     /// Queries admitted through the overload gate.
-    pub admitted: AtomicU64,
+    pub admitted: Counter,
     /// Admitted queries that first waited in the slot queue.
-    pub deferred: AtomicU64,
+    pub deferred: Counter,
     /// Admitted scans degraded to a bounded partial evaluation.
-    pub degraded: AtomicU64,
+    pub degraded: Counter,
     /// Sheds: the client's admission budget was exhausted.
-    pub shed_client: AtomicU64,
+    pub shed_client: Counter,
     /// Sheds: remaining deadline budget below even the degraded cost.
-    pub shed_deadline: AtomicU64,
+    pub shed_deadline: Counter,
     /// Sheds: the slot queue was already full.
-    pub shed_queue_full: AtomicU64,
+    pub shed_queue_full: Counter,
     /// Sheds: no evaluation slot freed up within the wait budget.
-    pub shed_slot_timeout: AtomicU64,
+    pub shed_slot_timeout: Counter,
 }
 
 impl RegistryStats {
-    fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    fn add(counter: &Counter, n: u64) {
+        counter.add(n);
+    }
+
+    fn fields(&self) -> [(&'static str, &Counter); 19] {
+        [
+            ("publishes", &self.publishes),
+            ("refreshes", &self.refreshes),
+            ("expirations", &self.expirations),
+            ("queries", &self.queries),
+            ("pulls_ok", &self.pulls_ok),
+            ("pulls_failed", &self.pulls_failed),
+            ("pulls_throttled", &self.pulls_throttled),
+            ("cache_hits", &self.cache_hits),
+            ("index_queries", &self.index_queries),
+            ("plans_index", &self.plans_index),
+            ("plans_hybrid", &self.plans_hybrid),
+            ("plans_scan", &self.plans_scan),
+            ("admitted", &self.admitted),
+            ("deferred", &self.deferred),
+            ("degraded", &self.degraded),
+            ("shed_client", &self.shed_client),
+            ("shed_deadline", &self.shed_deadline),
+            ("shed_queue_full", &self.shed_queue_full),
+            ("shed_slot_timeout", &self.shed_slot_timeout),
+        ]
     }
 
     /// Snapshot all counters as (name, value) pairs.
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
-        vec![
-            ("publishes", self.publishes.load(Ordering::Relaxed)),
-            ("refreshes", self.refreshes.load(Ordering::Relaxed)),
-            ("expirations", self.expirations.load(Ordering::Relaxed)),
-            ("queries", self.queries.load(Ordering::Relaxed)),
-            ("pulls_ok", self.pulls_ok.load(Ordering::Relaxed)),
-            ("pulls_failed", self.pulls_failed.load(Ordering::Relaxed)),
-            ("pulls_throttled", self.pulls_throttled.load(Ordering::Relaxed)),
-            ("cache_hits", self.cache_hits.load(Ordering::Relaxed)),
-            ("index_queries", self.index_queries.load(Ordering::Relaxed)),
-            ("plans_index", self.plans_index.load(Ordering::Relaxed)),
-            ("plans_hybrid", self.plans_hybrid.load(Ordering::Relaxed)),
-            ("plans_scan", self.plans_scan.load(Ordering::Relaxed)),
-            ("admitted", self.admitted.load(Ordering::Relaxed)),
-            ("deferred", self.deferred.load(Ordering::Relaxed)),
-            ("degraded", self.degraded.load(Ordering::Relaxed)),
-            ("shed_client", self.shed_client.load(Ordering::Relaxed)),
-            ("shed_deadline", self.shed_deadline.load(Ordering::Relaxed)),
-            ("shed_queue_full", self.shed_queue_full.load(Ordering::Relaxed)),
-            ("shed_slot_timeout", self.shed_slot_timeout.load(Ordering::Relaxed)),
-        ]
+        self.fields().iter().map(|(n, c)| (*n, c.get())).collect()
+    }
+
+    /// Register every counter with a [`MetricsRegistry`] as
+    /// `registry_<name>_total{node="<node>"}` (or unlabelled when `node` is
+    /// empty). The handles share state, so subsequent recording through
+    /// `RegistryStats` is immediately visible in the export.
+    pub fn export_into(&self, metrics: &MetricsRegistry, node: &str) {
+        for (name, counter) in self.fields() {
+            let full = if node.is_empty() {
+                format!("registry_{name}_total")
+            } else {
+                format!("registry_{name}_total{{node=\"{node}\"}}")
+            };
+            metrics.register_counter(&full, counter);
+        }
     }
 
     /// Total queries shed by the admission gate, over every reason.
     pub fn total_shed(&self) -> u64 {
-        self.shed_client.load(Ordering::Relaxed)
-            + self.shed_deadline.load(Ordering::Relaxed)
-            + self.shed_queue_full.load(Ordering::Relaxed)
-            + self.shed_slot_timeout.load(Ordering::Relaxed)
+        self.shed_client.get()
+            + self.shed_deadline.get()
+            + self.shed_queue_full.get()
+            + self.shed_slot_timeout.get()
     }
 }
 
@@ -1000,7 +1023,7 @@ mod tests {
         clock.advance(200);
         assert_eq!(r.live_tuples(), 0, "lease ran out");
         assert!(matches!(r.refresh("http://a", None), Err(RegistryError::NotPublished(_))));
-        assert_eq!(r.stats().expirations.load(Ordering::Relaxed), 1);
+        assert_eq!(r.stats().expirations.get(), 1);
     }
 
     #[test]
@@ -1182,7 +1205,7 @@ mod tests {
         let out = r.query(&q, &Freshness::live()).unwrap();
         assert_eq!(p.pulls(), 1);
         assert_eq!(out.results.len(), 0);
-        assert_eq!(r.stats().pulls_throttled.load(Ordering::Relaxed), 1);
+        assert_eq!(r.stats().pulls_throttled.get(), 1);
     }
 
     #[test]
@@ -1215,7 +1238,7 @@ mod tests {
         assert_eq!(out.stats.candidates, 5, "index narrowed 20 tuples to 5");
         assert!(out.stats.postings_consulted > 0);
         assert_eq!(out.results.len(), 5);
-        assert_eq!(r.stats().plans_index.load(Ordering::Relaxed), 1);
+        assert_eq!(r.stats().plans_index.get(), 1);
     }
 
     #[test]
@@ -1228,7 +1251,7 @@ mod tests {
         let out = r.query(&q, &Freshness::any()).unwrap();
         assert_eq!(out.stats.plan, QueryPlan::Hybrid);
         assert_eq!(out.results.len(), 15);
-        assert_eq!(r.stats().plans_hybrid.load(Ordering::Relaxed), 1);
+        assert_eq!(r.stats().plans_hybrid.get(), 1);
     }
 
     #[test]
@@ -1263,7 +1286,7 @@ mod tests {
         let out = r.query(&q, &Freshness::any()).unwrap();
         assert_eq!(out.stats.plan, QueryPlan::Scan);
         assert_eq!(out.stats.candidates, 20);
-        assert_eq!(r.stats().plans_scan.load(Ordering::Relaxed), 1);
+        assert_eq!(r.stats().plans_scan.get(), 1);
     }
 
     #[test]

@@ -125,9 +125,9 @@ proptest! {
 
         let stats = protected.stats();
         prop_assert_eq!(stats.total_shed(), 0, "below capacity nothing is shed");
-        prop_assert_eq!(stats.degraded.load(std::sync::atomic::Ordering::Relaxed), 0);
-        prop_assert_eq!(stats.deferred.load(std::sync::atomic::Ordering::Relaxed), 0);
-        prop_assert_eq!(stats.admitted.load(std::sync::atomic::Ordering::Relaxed), issued);
+        prop_assert_eq!(stats.degraded.get(), 0);
+        prop_assert_eq!(stats.deferred.get(), 0);
+        prop_assert_eq!(stats.admitted.get(), issued);
         prop_assert_eq!(protected.admission_queue_depth(), 0);
         prop_assert_eq!(protected.admission_inflight(), 0);
     }

@@ -3,7 +3,6 @@
 //! bounded partial → explicit shed) and queue-capacity sheds — every
 //! decision visible in counters.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use wsda_registry::clock::{Clock, ManualClock};
 use wsda_registry::throttle::ThrottleConfig;
@@ -70,7 +69,7 @@ fn disabled_gate_is_exact_passthrough() {
     // The disabled fast path bypasses the gate entirely: no admission
     // bookkeeping, no sheds.
     let stats = registry.stats();
-    assert_eq!(stats.admitted.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.admitted.get(), 0);
     assert_eq!(stats.total_shed(), 0);
 }
 
@@ -104,8 +103,8 @@ fn flooding_client_is_throttled_without_starving_others() {
     answered(run(&AdmissionContext::anonymous()));
 
     let stats = registry.stats();
-    assert_eq!(stats.shed_client.load(Ordering::Relaxed), 1);
-    assert_eq!(stats.admitted.load(Ordering::Relaxed), 4);
+    assert_eq!(stats.shed_client.get(), 1);
+    assert_eq!(stats.admitted.get(), 4);
     assert_eq!(stats.total_shed(), 1);
 }
 
@@ -155,9 +154,9 @@ fn lapsed_deadline_degrades_scan_then_sheds() {
     assert_eq!(reason, ShedReason::DeadlineLapsed);
 
     let stats = registry.stats();
-    assert_eq!(stats.degraded.load(Ordering::Relaxed), 1);
-    assert_eq!(stats.shed_deadline.load(Ordering::Relaxed), 1);
-    assert_eq!(stats.admitted.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.degraded.get(), 1);
+    assert_eq!(stats.shed_deadline.get(), 1);
+    assert_eq!(stats.admitted.get(), 1);
 }
 
 #[test]
@@ -177,7 +176,7 @@ fn index_class_work_sheds_when_budget_is_gone() {
         registry.query_admitted(&q, &Freshness::any(), &QueryScope::all(), &ctx).unwrap(),
     );
     assert_eq!(reason, ShedReason::DeadlineLapsed);
-    assert_eq!(registry.stats().shed_deadline.load(Ordering::Relaxed), 1);
+    assert_eq!(registry.stats().shed_deadline.get(), 1);
 
     // With budget, the same query is admitted and complete.
     let ctx = AdmissionContext::anonymous().with_deadline(clock.now().plus(1_000));
@@ -213,8 +212,8 @@ fn exhausted_slots_shed_queue_full_with_depth_visible() {
         assert!(retry_after_ms > 0, "every shed carries a retry hint");
     }
     let stats = registry.stats();
-    assert_eq!(stats.shed_queue_full.load(Ordering::Relaxed), 3);
-    assert_eq!(stats.admitted.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.shed_queue_full.get(), 3);
+    assert_eq!(stats.admitted.get(), 0);
     assert_eq!(registry.admission_queue_depth(), 0, "nothing left queued after sheds");
     assert_eq!(registry.admission_inflight(), 0);
 }

@@ -30,6 +30,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use wsda_net::model::{ChaosPlan, FaultPlan, NetworkModel};
 use wsda_net::{Delivery, NodeId, Simulator};
+use wsda_obs::{MetricsRegistry, QueryTrace, TraceBuffer, TraceEvent, TraceKind};
 use wsda_pdp::{
     encoded_len, BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage,
     ResponseMode, ResultLedger, Scope, TransactionId,
@@ -81,6 +82,9 @@ pub struct P2pConfig {
     /// messages are shed (counted in the simulator's overflow stat)
     /// instead of queueing without bound.
     pub inbox_capacity: Option<usize>,
+    /// Capacity of each node's trace ring (hop-level query tracing);
+    /// 0 disables recording.
+    pub trace_capacity: usize,
 }
 
 impl Default for P2pConfig {
@@ -97,6 +101,7 @@ impl Default for P2pConfig {
             recovery: RecoveryConfig::default(),
             registry_admission: AdmissionConfig::default(),
             inbox_capacity: None,
+            trace_capacity: 4096,
         }
     }
 }
@@ -120,6 +125,8 @@ struct PeerNode {
     /// Per-node compiled-query cache: one parse per distinct query string,
     /// shared by every hop and retransmission that reaches this node.
     qcache: QueryCache,
+    /// Bounded ring of hop-level trace events recorded at this node.
+    trace: TraceBuffer,
 }
 
 /// A reliable `Results` frame awaiting its ack.
@@ -163,6 +170,8 @@ pub struct QueryRun {
     pub finished_at: Time,
     /// Did every subtree answer, or were some given up on?
     pub completeness: Completeness,
+    /// The run's transaction id (feed to [`SimNetwork::assemble_trace`]).
+    pub transaction: TransactionId,
 }
 
 /// A P2P network of hyper-registry nodes on the discrete-event simulator.
@@ -176,6 +185,7 @@ pub struct SimNetwork {
     timer_tags: HashMap<u64, TimerEvent>,
     next_timer: u64,
     txn_counter: u64,
+    metrics: MetricsRegistry,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -272,7 +282,12 @@ impl SimNetwork {
                 suspected: HashSet::new(),
                 breakers: HashMap::new(),
                 qcache: QueryCache::default(),
+                trace: TraceBuffer::new(config.trace_capacity),
             });
+        }
+        let metrics = MetricsRegistry::new();
+        for (i, node) in nodes.iter().enumerate() {
+            node.registry.stats().export_into(&metrics, &format!("n{i}"));
         }
         let routing_index = RoutingIndex::build(&topology, &node_kinds, config.routing_horizon);
         SimNetwork {
@@ -285,6 +300,7 @@ impl SimNetwork {
             timer_tags: HashMap::new(),
             next_timer: 0,
             txn_counter: 0,
+            metrics,
         }
     }
 
@@ -342,6 +358,59 @@ impl SimNetwork {
     /// Total compiled-query cache hits across all nodes.
     pub fn query_cache_hits(&self) -> u64 {
         self.nodes.iter().map(|n| n.qcache.hits()).sum()
+    }
+
+    /// The unified metrics registry: per-node hyper-registry counters
+    /// (adopted at build time) plus per-node state-size gauges and
+    /// transport-overflow/breaker counters refreshed on each call. Render
+    /// with [`MetricsRegistry::render_prometheus`] or snapshot with
+    /// [`MetricsRegistry::to_json`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        for (i, node) in self.nodes.iter().enumerate() {
+            self.metrics
+                .gauge(&format!("updf_ledger_streams{{node=\"n{i}\"}}"))
+                .set(node.ledger.streams() as u64);
+            self.metrics
+                .gauge(&format!("updf_state_entries{{node=\"n{i}\"}}"))
+                .set(node.state.len() as u64);
+            self.metrics
+                .gauge(&format!("updf_txn_info{{node=\"n{i}\"}}"))
+                .set(node.txns.len() as u64);
+            self.metrics
+                .gauge(&format!("updf_pending_acks{{node=\"n{i}\"}}"))
+                .set(node.pending_acks.len() as u64);
+            self.metrics
+                .gauge(&format!("updf_trace_dropped{{node=\"n{i}\"}}"))
+                .set(node.trace.dropped());
+        }
+        self.metrics.gauge("sim_messages_overflowed").set(self.network_overflows());
+        &self.metrics
+    }
+
+    /// Reassemble the query tree for `txn` from every node's trace ring.
+    /// Complete when each participating node's recv→eval→results span
+    /// survived in its ring (see [`QueryTrace::is_complete`]).
+    pub fn assemble_trace(&self, txn: TransactionId) -> QueryTrace {
+        let events =
+            self.nodes.iter().flat_map(|n| n.trace.for_txn(txn.0)).collect::<Vec<TraceEvent>>();
+        let mut trace = QueryTrace::assemble(txn.0, events);
+        trace.dropped = self.nodes.iter().map(|n| n.trace.dropped()).sum();
+        trace
+    }
+
+    fn trace(
+        &mut self,
+        node: NodeId,
+        kind: TraceKind,
+        txn: TransactionId,
+        f: impl FnOnce(TraceEvent) -> TraceEvent,
+    ) {
+        if self.config.trace_capacity == 0 {
+            return;
+        }
+        let at = self.sim.now().millis();
+        let ev = f(TraceEvent::new(txn.0, endpoint(node), kind, at));
+        self.nodes[node.0 as usize].trace.record(ev);
     }
 
     fn schedule_timer(&mut self, node: NodeId, delay_ms: u64, ev: TimerEvent) {
@@ -448,7 +517,13 @@ impl SimNetwork {
         } else {
             Completeness::Complete
         };
-        QueryRun { results: run.results, metrics, finished_at: self.sim.now(), completeness }
+        QueryRun {
+            results: run.results,
+            metrics,
+            finished_at: self.sim.now(),
+            completeness,
+            transaction: run.txn,
+        }
     }
 
     /// Deterministic timer jitter (decorrelates retransmission storms
@@ -496,6 +571,7 @@ impl SimNetwork {
             }
             Message::Ack { transaction, seq } => {
                 self.nodes[to.0 as usize].pending_acks.remove(&(transaction, from, seq));
+                self.trace(to, TraceKind::Ack, transaction, |e| e.with_peer(endpoint(from)));
                 self.breaker_success(to, from);
             }
             Message::Error { transaction, origin, reason } => {
@@ -562,7 +638,16 @@ impl SimNetwork {
         let txn = run.txn;
         let now = self.sim.now();
         let node_idx = node.0 as usize;
-        self.nodes[node_idx].state.sweep(now);
+        // Retire state whose static loop timeout lapsed — the state-table
+        // entry AND the per-transaction satellites (result ledger, txn
+        // info, pending retransmissions), which previously outlived it and
+        // leaked across transactions.
+        for expired in self.nodes[node_idx].state.sweep_expired(now) {
+            let n = &mut self.nodes[node_idx];
+            n.ledger.forget(expired);
+            n.txns.remove(&expired);
+            n.pending_acks.retain(|(t, _, _), _| *t != expired);
+        }
         let outcome =
             self.nodes[node_idx].state.begin(txn, parent.map(endpoint), now, scope.loop_timeout_ms);
         if outcome == BeginOutcome::Duplicate {
@@ -614,6 +699,11 @@ impl SimNetwork {
             }
             return;
         }
+
+        self.trace(node, TraceKind::Recv, txn, |e| match parent {
+            Some(p) => e.with_peer(endpoint(p)),
+            None => e,
+        });
 
         // Fresh transaction at this node: compile through the node's own
         // query cache, so repeats of the same query string (later runs,
@@ -701,6 +791,7 @@ impl SimNetwork {
             }
             forwarded_any = true;
             self.nodes[node_idx].state.add_child(&txn, endpoint(target));
+            self.trace(node, TraceKind::Forward, txn, |e| e.with_peer(endpoint(target)));
             let msg = Message::Query {
                 transaction: txn,
                 query: query_src.to_owned(),
@@ -803,6 +894,7 @@ impl SimNetwork {
             }
         };
 
+        self.trace(node, TraceKind::Eval, txn, |e| e.with_items(items.len() as u64));
         let complete = self.nodes[node_idx].state.local_done(&txn);
 
         if node == run.origin && parent.is_none() {
@@ -920,6 +1012,9 @@ impl SimNetwork {
     ) {
         let from_idx = from.0 as usize;
         let seq = self.nodes[from_idx].state.get_mut(&txn).map(|s| s.alloc_seq()).unwrap_or(0);
+        self.trace(from, TraceKind::Results, txn, |e| {
+            e.with_peer(endpoint(to)).with_items(items.len() as u64)
+        });
         let msg = Message::Results { transaction: txn, seq, items, last, origin: origin_ep };
         if relayed {
             run.metrics.bytes_relayed += encoded_len(&msg);
@@ -963,6 +1058,14 @@ impl SimNetwork {
             let mut m = std::mem::take(&mut run.metrics);
             self.send(&mut m, to, from, Message::Ack { transaction: txn, seq });
             run.metrics = m;
+            // Only record streams for transactions this node still tracks:
+            // once the static loop timeout retires a transaction (and the
+            // ledger forgets it), a late retransmission must not re-create
+            // ledger state — ack it and drop.
+            if self.nodes[node_idx].state.get(&txn).is_none() {
+                run.metrics.late_results_dropped += items.len() as u64;
+                return;
+            }
             if !self.nodes[node_idx].ledger.record(txn, &endpoint(from), seq) {
                 run.metrics.replays_suppressed += 1;
                 return;
@@ -1081,6 +1184,7 @@ impl SimNetwork {
             .map(|s| s.pending_children.iter().filter_map(|e| parse_endpoint(e)).collect())
             .unwrap_or_default();
         self.nodes[node.0 as usize].state.close(&txn);
+        self.trace(node, TraceKind::Close, txn, |e| e);
         for child in children {
             let msg = Message::Close { transaction: txn };
             let mut m = std::mem::take(&mut run.metrics);
@@ -1149,6 +1253,7 @@ impl SimNetwork {
             return;
         };
         run.metrics.retries_sent += 1;
+        self.trace(node, TraceKind::Retry, txn, |e| e.with_peer(endpoint(to)));
         let mut m = std::mem::take(&mut run.metrics);
         self.send(&mut m, node, to, message);
         run.metrics = m;
@@ -1219,6 +1324,8 @@ impl SimNetwork {
         // Abandon: the silent subtrees are lost; degrade instead of hang.
         run.metrics.subtrees_abandoned += pending.len() as u64;
         for child_ep in &pending {
+            let ep = child_ep.clone();
+            self.trace(node, TraceKind::Abandon, txn, |e| e.with_peer(ep));
             if let Some(child) = parse_endpoint(child_ep) {
                 self.nodes[node_idx].suspected.insert(child);
             }
@@ -1280,6 +1387,8 @@ impl SimNetwork {
             run.metrics.late_results_dropped += items.len() as u64;
             return;
         }
+        let origin = run.origin;
+        self.trace(origin, TraceKind::Deliver, run.txn, |e| e.with_items(items.len() as u64));
         let now = self.sim.now();
         run.metrics.record_delivery(items.len() as u64, now);
         run.results.extend(items);

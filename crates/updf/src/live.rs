@@ -26,13 +26,18 @@ use crate::recovery::{Completeness, RecoveryConfig};
 use crate::topology::Topology;
 use bytes::BytesMut;
 use crossbeam::channel::RecvTimeoutError;
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wsda_net::model::ChaosPlan;
 use wsda_net::transport::{Inbox, InboxDrops, ThreadedNetwork};
 use wsda_net::NodeId;
+use wsda_obs::{
+    trace::shared_buffer, Counter, Gauge, MetricsRegistry, QueryTrace, SharedTraceBuffer,
+    TraceEvent, TraceKind,
+};
 use wsda_pdp::framing::{frame_is_query, write_frame, FrameReader};
 use wsda_pdp::{
     BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage, ResponseMode,
@@ -56,6 +61,8 @@ pub struct LiveQueryReport {
     pub errors_received: u64,
     /// Replayed `Results` frames the client suppressed.
     pub replays_suppressed: u64,
+    /// The query's transaction id (feed to [`LiveNetwork::assemble_trace`]).
+    pub transaction: TransactionId,
 }
 
 /// Overload-protection counters aggregated across every live peer.
@@ -72,12 +79,27 @@ pub struct LiveStats {
     pub breaker_probes: u64,
 }
 
+/// Shared counter handles behind [`LiveStats`]; the same atomics are
+/// registered with the network's [`MetricsRegistry`] for unified export.
 #[derive(Default)]
 struct LiveStatsInner {
-    breaker_sheds: AtomicU64,
-    breaker_opens: AtomicU64,
-    breaker_probes: AtomicU64,
+    breaker_sheds: Counter,
+    breaker_opens: Counter,
+    breaker_probes: Counter,
 }
+
+/// Per-peer state-size gauge handles, updated by the peer thread and read
+/// through the network's [`MetricsRegistry`] — live visibility into the
+/// state the leak fixes keep bounded.
+struct PeerGauges {
+    ledger_streams: Gauge,
+    state_entries: Gauge,
+    live_txns: Gauge,
+    pending_acks: Gauge,
+}
+
+/// Capacity of each live peer's trace ring.
+const TRACE_CAPACITY: usize = 4096;
 
 /// A running live network. Dropping it shuts every peer down.
 pub struct LiveNetwork {
@@ -92,6 +114,8 @@ pub struct LiveNetwork {
     seed: u64,
     recovery: RecoveryConfig,
     stats: Arc<LiveStatsInner>,
+    metrics: Arc<MetricsRegistry>,
+    traces: Vec<SharedTraceBuffer>,
 }
 
 impl LiveNetwork {
@@ -142,10 +166,16 @@ impl LiveNetwork {
         let shutdown = Arc::new(AtomicBool::new(false));
         let clock = Arc::new(SystemClock::new());
         let stats = Arc::new(LiveStatsInner::default());
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.register_counter("updf_breaker_sheds_total", &stats.breaker_sheds);
+        metrics.register_counter("updf_breaker_opens_total", &stats.breaker_opens);
+        metrics.register_counter("updf_breaker_probes_total", &stats.breaker_probes);
+        transport.export_metrics(&metrics);
         let epoch = Instant::now();
         let mut registries = Vec::with_capacity(topology.len());
         let mut handles = Vec::with_capacity(topology.len());
         let mut peer_dead = Vec::with_capacity(topology.len());
+        let mut traces = Vec::with_capacity(topology.len());
         for i in 0..topology.len() as u32 {
             let id = NodeId(i);
             let registry = Arc::new(HyperRegistry::new(
@@ -164,10 +194,19 @@ impl LiveNetwork {
                     )
                     .expect("synthetic publish");
             }
+            registry.stats().export_into(&metrics, &format!("n{i}"));
             registries.push(registry.clone());
             let dead = Arc::new(AtomicBool::new(false));
             peer_dead.push(dead.clone());
             let inbox = transport.register(id);
+            let trace = shared_buffer(TRACE_CAPACITY);
+            traces.push(trace.clone());
+            let gauges = PeerGauges {
+                ledger_streams: metrics.gauge(&format!("updf_ledger_streams{{node=\"n{i}\"}}")),
+                state_entries: metrics.gauge(&format!("updf_state_entries{{node=\"n{i}\"}}")),
+                live_txns: metrics.gauge(&format!("updf_live_txns{{node=\"n{i}\"}}")),
+                pending_acks: metrics.gauge(&format!("updf_pending_acks{{node=\"n{i}\"}}")),
+            };
             let peer = PeerThread {
                 id,
                 neighbors: topology.neighbors(id).to_vec(),
@@ -178,6 +217,9 @@ impl LiveNetwork {
                 recovery,
                 stats: stats.clone(),
                 epoch,
+                jitter_state: Cell::new((seed ^ u64::from(i).wrapping_mul(0x9e3779b97f4a7c15)) | 1),
+                trace,
+                gauges,
             };
             handles.push(std::thread::spawn(move || peer.run(inbox)));
         }
@@ -194,16 +236,41 @@ impl LiveNetwork {
             seed,
             recovery,
             stats,
+            metrics,
+            traces,
         }
     }
 
     /// Overload-protection counters aggregated across every peer.
     pub fn stats(&self) -> LiveStats {
         LiveStats {
-            breaker_sheds: self.stats.breaker_sheds.load(Ordering::Relaxed),
-            breaker_opens: self.stats.breaker_opens.load(Ordering::Relaxed),
-            breaker_probes: self.stats.breaker_probes.load(Ordering::Relaxed),
+            breaker_sheds: self.stats.breaker_sheds.get(),
+            breaker_opens: self.stats.breaker_opens.get(),
+            breaker_probes: self.stats.breaker_probes.get(),
         }
+    }
+
+    /// The unified metrics registry: every peer's hyper-registry counters
+    /// (admission, planner, pulls), breaker counters, transport inbox-drop
+    /// counters and per-peer state-size gauges. Render with
+    /// [`MetricsRegistry::render_prometheus`], snapshot with
+    /// [`MetricsRegistry::to_json`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Reassemble the query tree for `txn` from every peer's trace ring.
+    pub fn assemble_trace(&self, txn: TransactionId) -> QueryTrace {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for buf in &self.traces {
+            let buf = buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            events.extend(buf.for_txn(txn.0));
+            dropped += buf.dropped();
+        }
+        let mut trace = QueryTrace::assemble(txn.0, events);
+        trace.dropped = dropped;
+        trace
     }
 
     /// Frames the transport dropped on inbox overflow, by lane.
@@ -252,6 +319,20 @@ impl LiveNetwork {
         radius: Option<u32>,
         timeout: Duration,
     ) -> LiveQueryReport {
+        self.query_with_scope(entry, query_src, Scope { radius, ..Scope::default() }, timeout)
+    }
+
+    /// Like [`LiveNetwork::query_full`], with full control over the scope —
+    /// notably `loop_timeout_ms`, which bounds how long peers retain
+    /// per-transaction state (state table, result ledger, pending
+    /// retransmissions) after a query finishes.
+    pub fn query_with_scope(
+        &mut self,
+        entry: NodeId,
+        query_src: &str,
+        scope: Scope,
+        timeout: Duration,
+    ) -> LiveQueryReport {
         self.txn_counter += 1;
         let txn = TransactionId::derive(self.seed ^ 0xC11E47, self.txn_counter);
         let inbox = self.transport.register(self.client_id);
@@ -259,7 +340,7 @@ impl LiveNetwork {
             transaction: txn,
             query: query_src.to_owned(),
             language: QueryLanguage::XQuery,
-            scope: Scope { radius, ..Scope::default() },
+            scope,
             response_mode: ResponseMode::Routed,
         };
         send(&self.transport, self.client_id, entry, &msg);
@@ -320,6 +401,7 @@ impl LiveNetwork {
             completeness,
             errors_received: errors,
             replays_suppressed: replays,
+            transaction: txn,
         }
     }
 }
@@ -335,6 +417,26 @@ impl Drop for LiveNetwork {
 
 fn send(transport: &ThreadedNetwork<Frame>, from: NodeId, to: NodeId, message: &Message) {
     transport.send(from, to, encode_frame(message));
+}
+
+/// One seeded xorshift64 draw in `[0, max_ms]` (0 when `max_ms == 0`).
+///
+/// The previous implementation derived jitter from
+/// `Instant::now().elapsed().subsec_nanos()` — elapsed-since-*now* is
+/// always ~0 ns, so every draw collapsed to the same per-peer constant and
+/// retransmission storms stayed correlated. A per-peer PRNG state actually
+/// decorrelates successive draws.
+fn draw_jitter_ms(state: &Cell<u64>, max_ms: u64) -> u64 {
+    if max_ms == 0 {
+        return 0;
+    }
+    let mut x = state.get().max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state.set(x);
+    // xorshift64* output scrambling for well-mixed low bits.
+    x.wrapping_mul(0x2545f4914f6cdd1d) % (max_ms + 1)
 }
 
 fn encode_frame(message: &Message) -> Frame {
@@ -356,6 +458,12 @@ struct PeerThread {
     stats: Arc<LiveStatsInner>,
     /// Process epoch: circuit breakers count milliseconds from here.
     epoch: Instant,
+    /// Per-peer xorshift state for retry jitter (thread-confined).
+    jitter_state: Cell<u64>,
+    /// This peer's bounded trace ring (read by the network handle).
+    trace: SharedTraceBuffer,
+    /// State-size gauges published through the network's metrics registry.
+    gauges: PeerGauges,
 }
 
 struct LiveTxn {
@@ -427,7 +535,25 @@ impl PeerThread {
             if self.recovery.enabled {
                 self.tick(&mut rt);
             }
+            // Publish state sizes: the leak regression tests (and any
+            // scrape) read these through the network's metrics registry.
+            self.gauges.ledger_streams.set(rt.ledger.streams() as u64);
+            self.gauges.state_entries.set(rt.state.len() as u64);
+            self.gauges.live_txns.set(rt.live.len() as u64);
+            self.gauges.pending_acks.set(rt.pending.len() as u64);
         }
+    }
+
+    /// Record a hop-level trace event in this peer's ring.
+    fn trace_event(
+        &self,
+        kind: TraceKind,
+        txn: TransactionId,
+        f: impl FnOnce(TraceEvent) -> TraceEvent,
+    ) {
+        let at = self.epoch.elapsed().as_millis() as u64;
+        let ev = f(TraceEvent::new(txn.0, format!("n{}", self.id.0), kind, at));
+        self.trace.lock().unwrap_or_else(std::sync::PoisonError::into_inner).record(ev);
     }
 
     fn handle(&self, rt: &mut PeerRt, clock: &SystemClock, from: NodeId, message: Message) {
@@ -435,7 +561,14 @@ impl PeerThread {
         match message {
             Message::Query { transaction, query, scope, .. } => {
                 let now = clock.now();
-                rt.state.sweep(now);
+                // Retire everything keyed by an expired transaction in the
+                // same breath as the state-table sweep; sweeping only the
+                // table leaks ledger streams and pending retransmissions.
+                for expired in rt.state.sweep_expired(now) {
+                    rt.ledger.forget(expired);
+                    rt.live.remove(&expired);
+                    rt.pending.retain(|(t, _, _), _| *t != expired);
+                }
                 match rt.state.begin(
                     transaction,
                     Some(format!("n{}", from.0)),
@@ -458,7 +591,20 @@ impl PeerThread {
                         }
                     }
                     BeginOutcome::Fresh => {
+                        // A frame from outside the overlay is the client's
+                        // injected query: the entry node is the trace root.
+                        let injected = !self.neighbors.contains(&from);
+                        self.trace_event(TraceKind::Recv, transaction, |ev| {
+                            if injected {
+                                ev
+                            } else {
+                                ev.with_peer(format!("n{}", from.0))
+                            }
+                        });
                         let items = self.evaluate(rt, &query);
+                        self.trace_event(TraceKind::Eval, transaction, |ev| {
+                            ev.with_items(items.len() as u64)
+                        });
                         let fscope = scope.forwarded(0);
                         let mut pending = HashSet::new();
                         let breaker_on = self.recovery.breaker.enabled;
@@ -476,11 +622,9 @@ impl PeerThread {
                                         // lost subtree is reported upward so
                                         // the originator sees a Partial
                                         // answer, never a silent gap.
-                                        self.stats.breaker_sheds.fetch_add(1, Ordering::Relaxed);
+                                        self.stats.breaker_sheds.inc();
                                         if matches!(decision, ForwardDecision::ShedAndProbe) {
-                                            self.stats
-                                                .breaker_probes
-                                                .fetch_add(1, Ordering::Relaxed);
+                                            self.stats.breaker_probes.inc();
                                             send(&self.transport, self.id, nb, &Message::Ping);
                                         }
                                         let msg = Message::Error {
@@ -500,6 +644,9 @@ impl PeerThread {
                                     response_mode: ResponseMode::Routed,
                                 };
                                 send(&self.transport, self.id, nb, &msg);
+                                self.trace_event(TraceKind::Forward, transaction, |ev| {
+                                    ev.with_peer(format!("n{}", nb.0))
+                                });
                                 pending.insert(nb);
                             }
                         }
@@ -532,6 +679,12 @@ impl PeerThread {
                     // Ack every arrival, then suppress replays.
                     let ack = Message::Ack { transaction, seq };
                     send(&self.transport, self.id, from, &ack);
+                    // A frame for a transaction the state table no longer
+                    // tracks (swept after its loop timeout) must not
+                    // recreate a ledger entry nobody will ever forget.
+                    if rt.state.get(&transaction).is_none() {
+                        return;
+                    }
                     if !rt.ledger.record(transaction, &format!("n{}", from.0), seq) {
                         return;
                     }
@@ -554,7 +707,11 @@ impl PeerThread {
                 }
             }
             Message::Ack { transaction, seq } => {
-                rt.pending.remove(&(transaction, from, seq));
+                if rt.pending.remove(&(transaction, from, seq)).is_some() {
+                    self.trace_event(TraceKind::Ack, transaction, |ev| {
+                        ev.with_peer(format!("n{}", from.0))
+                    });
+                }
                 self.breaker_success(rt, from);
             }
             Message::Error { transaction, origin, reason } => {
@@ -565,6 +722,7 @@ impl PeerThread {
                 }
             }
             Message::Close { transaction } => {
+                self.trace_event(TraceKind::Close, transaction, |ev| ev);
                 rt.live.remove(&transaction);
                 rt.state.close(&transaction);
             }
@@ -602,6 +760,7 @@ impl PeerThread {
             let to = p.to;
             let frame = p.frame.clone();
             self.transport.send(self.id, to, frame);
+            self.trace_event(TraceKind::Retry, key.0, |ev| ev.with_peer(format!("n{}", to.0)));
             // Each ack timeout is one failure signal toward opening the
             // neighbor's breaker.
             self.breaker_failure(rt, to);
@@ -633,6 +792,11 @@ impl PeerThread {
             }
             // Second strike: give the subtrees up.
             let lost: Vec<NodeId> = entry.pending_children.drain().collect();
+            for &child in &lost {
+                self.trace_event(TraceKind::Abandon, *txn, |ev| {
+                    ev.with_peer(format!("n{}", child.0))
+                });
+            }
             rt.suspected.extend(lost.iter().copied());
             lost_children.extend(lost.iter().copied());
             if let Some(p) = entry.parent {
@@ -685,7 +849,7 @@ impl PeerThread {
             .or_insert_with(|| CircuitBreaker::new(self.recovery.breaker))
             .record_failure(now_ms);
         if opened {
-            self.stats.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            self.stats.breaker_opens.inc();
         }
     }
 
@@ -701,13 +865,7 @@ impl PeerThread {
     }
 
     fn jitter(&self) -> Duration {
-        if self.recovery.jitter_ms == 0 {
-            return Duration::ZERO;
-        }
-        // Cheap decorrelation: derive from the clock's sub-ms bits.
-        let nanos = Instant::now().elapsed().subsec_nanos() as u64
-            ^ (self.id.0 as u64).wrapping_mul(0x9e3779b9);
-        Duration::from_millis(nanos % (self.recovery.jitter_ms + 1))
+        Duration::from_millis(draw_jitter_ms(&self.jitter_state, self.recovery.jitter_ms))
     }
 
     fn evaluate(&self, rt: &mut PeerRt, query_src: &str) -> Vec<String> {
@@ -758,6 +916,9 @@ impl PeerThread {
             // this receiver never carried a frame, so 0 is fresh.
             None => 0,
         };
+        self.trace_event(TraceKind::Results, transaction, |ev| {
+            ev.with_peer(format!("n{}", to.0)).with_items(items.len() as u64)
+        });
         let msg =
             Message::Results { transaction, seq, items, last, origin: format!("n{}", self.id.0) };
         let frame = encode_frame(&msg);
@@ -953,5 +1114,78 @@ mod tests {
         assert_eq!(got, expected, "duplicated frames must not duplicate results");
         assert!(report.completeness.is_complete());
         assert!(report.replays_suppressed > 0, "duplication must actually have happened");
+    }
+
+    #[test]
+    fn jitter_draws_are_nonconstant_and_in_range() {
+        let state = Cell::new(0x1234_5678_9abc_def0_u64);
+        let max = 10_u64;
+        let draws: Vec<u64> = (0..64).map(|_| draw_jitter_ms(&state, max)).collect();
+        assert!(draws.iter().all(|&d| d <= max), "every draw within [0, jitter_ms]: {draws:?}");
+        assert!(
+            draws.windows(2).any(|w| w[0] != w[1]),
+            "successive draws must differ — the old subsec_nanos jitter was a constant"
+        );
+        let distinct: HashSet<u64> = draws.iter().copied().collect();
+        assert!(distinct.len() >= 5, "64 draws over 11 values should spread: {distinct:?}");
+        // Zero budget degrades to zero jitter.
+        assert_eq!(draw_jitter_ms(&state, 0), 0);
+    }
+
+    #[test]
+    fn jitter_streams_decorrelate_across_peers() {
+        // Same base seed, different peer index — the per-peer mix must
+        // give different sequences or retry storms stay synchronized.
+        let mk =
+            |i: u32| Cell::new((77_u64 ^ u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1);
+        let (a, b) = (mk(0), mk(1));
+        let sa: Vec<u64> = (0..32).map(|_| draw_jitter_ms(&a, 100)).collect();
+        let sb: Vec<u64> = (0..32).map(|_| draw_jitter_ms(&b, 100)).collect();
+        assert_ne!(sa, sb, "peer streams must not be identical");
+    }
+
+    #[test]
+    fn live_radius_two_trace_is_complete() {
+        let mut net = LiveNetwork::start(Topology::random_connected(8, 3.0, 41), 2, 41);
+        let report = net.query_full(NodeId(0), QUERY, Some(2), Duration::from_secs(10));
+        assert!(report.completeness.is_complete());
+        // Let in-flight acks/closes land before reading the rings.
+        std::thread::sleep(Duration::from_millis(200));
+        let trace = net.assemble_trace(report.transaction);
+        assert!(!trace.spans.is_empty(), "the query must leave spans behind");
+        assert!(
+            trace.is_complete(),
+            "every reached node shows recv→eval→results: {}",
+            trace.to_json()
+        );
+        let roots = trace.roots();
+        assert_eq!(roots.len(), 1, "the entry node is the only root");
+        assert_eq!(roots[0].node, "n0");
+        assert!(trace.spans.iter().all(|s| s.hop <= 2), "radius 2 bounds the tree depth");
+        assert!(
+            trace.spans.iter().any(|s| s.hop == 2),
+            "an 8-peer overlay at radius 2 reaches second-hop peers"
+        );
+    }
+
+    #[test]
+    fn live_metrics_expose_migrated_counters() {
+        let mut net = LiveNetwork::start(Topology::tree(3, 2), 2, 9);
+        let _ = net.query(NodeId(0), QUERY, None, Duration::from_secs(10));
+        let text = net.metrics().render_prometheus();
+        for family in [
+            "registry_admitted_total",
+            "updf_breaker_sheds_total",
+            "updf_breaker_opens_total",
+            "inbox_dropped_total",
+            "updf_ledger_streams",
+            "updf_state_entries",
+        ] {
+            assert!(text.contains(family), "{family} missing from exposition:\n{text}");
+        }
+        assert!(
+            net.metrics().family_sum("registry_queries_total") >= 3,
+            "each peer's local evaluation is counted in its registry"
+        );
     }
 }

@@ -1,0 +1,88 @@
+//! Regression tests for the P2P state leaks: per-transaction state
+//! (result-ledger streams, state-table entries, run bookkeeping, pending
+//! retransmissions) must be retired once a transaction's static loop
+//! timeout lapses. Before the fix the ledger was never forgotten — its
+//! `forget` path was keyed so coarsely it was effectively dead code — so
+//! every transaction left `(txn, sender)` streams behind forever and
+//! these bounds grew linearly with the number of queries.
+
+use std::time::Duration;
+
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::{LiveNetwork, P2pConfig, SimNetwork, Topology};
+
+const QUERY: &str = r#"//service[load < 0.5]/owner"#;
+const TXNS: usize = 100;
+
+/// Short timeouts so state expires between sequential runs: each sim run
+/// advances virtual time by the abort timeout, which is past the loop
+/// timeout, so the next run's sweep retires everything the previous one
+/// created.
+fn short_scope() -> Scope {
+    Scope { abort_timeout_ms: 200, loop_timeout_ms: 100, ..Scope::default() }
+}
+
+#[test]
+fn sim_ledger_and_state_stay_bounded_across_transactions() {
+    let mut net =
+        SimNetwork::build(Topology::line(3), NetworkModel::constant(10), P2pConfig::default());
+    for _ in 0..TXNS {
+        let run = net.run_query(NodeId(0), QUERY, short_scope(), ResponseMode::Routed);
+        assert!(!run.results.is_empty());
+    }
+    // One more run so every node sweeps with all prior state expired.
+    let _ = net.run_query(NodeId(0), QUERY, short_scope(), ResponseMode::Routed);
+    let metrics = net.metrics();
+    let streams = metrics.family_sum("updf_ledger_streams");
+    let entries = metrics.family_sum("updf_state_entries");
+    let txns = metrics.family_sum("updf_txn_info");
+    let acks = metrics.family_sum("updf_pending_acks");
+    // Only the most recent transaction may still be tracked. Pre-fix the
+    // ledger alone held ~TXNS × neighbors streams here.
+    let nodes = 3;
+    assert!(streams <= 2 * nodes, "ledger streams leak: {streams} after {TXNS} txns");
+    assert!(entries <= nodes, "state entries leak: {entries} after {TXNS} txns");
+    assert!(txns <= nodes, "run bookkeeping leak: {txns} after {TXNS} txns");
+    assert!(acks <= 2 * nodes, "pending-ack leak: {acks} after {TXNS} txns");
+}
+
+#[test]
+fn sim_state_is_proportional_to_live_transactions_not_history() {
+    // Same workload, default (long) loop timeout: state legitimately
+    // accumulates, proving the bounded numbers above come from the sweep
+    // and not from state never being created.
+    let mut net =
+        SimNetwork::build(Topology::line(3), NetworkModel::constant(10), P2pConfig::default());
+    for _ in 0..10 {
+        let scope = Scope { abort_timeout_ms: 200, ..Scope::default() };
+        let _ = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
+    }
+    let entries = net.metrics().family_sum("updf_state_entries");
+    assert!(entries >= 10, "long loop timeout retains state: {entries}");
+}
+
+#[test]
+fn live_ledger_and_state_stay_bounded_across_transactions() {
+    let mut net = LiveNetwork::start(Topology::line(3), 2, 17);
+    let scope = Scope { loop_timeout_ms: 10, ..Scope::default() };
+    for _ in 0..TXNS {
+        let report = net.query_with_scope(NodeId(0), QUERY, scope.clone(), Duration::from_secs(10));
+        assert!(report.completeness.is_complete());
+        // Let the loop timeout lapse so the next query's sweep retires
+        // this transaction's state on every peer.
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    // A final query triggers the sweep; give the gauge loop a beat.
+    let _ = net.query_with_scope(NodeId(0), QUERY, scope, Duration::from_secs(10));
+    std::thread::sleep(Duration::from_millis(50));
+    let metrics = net.metrics();
+    let streams = metrics.family_sum("updf_ledger_streams");
+    let entries = metrics.family_sum("updf_state_entries");
+    let live = metrics.family_sum("updf_live_txns");
+    let nodes = 3;
+    assert!(streams <= 2 * nodes, "live ledger streams leak: {streams} after {TXNS} txns");
+    assert!(entries <= 2 * nodes, "live state entries leak: {entries} after {TXNS} txns");
+    assert!(live <= nodes, "live txn bookkeeping leak: {live} after {TXNS} txns");
+}

@@ -4,7 +4,6 @@
 //! simulated inboxes — all observable through `QueryMetrics` and the
 //! simulator's counters.
 
-use std::sync::atomic::Ordering;
 use wsda_net::model::{ChaosPlan, NetworkModel};
 use wsda_net::NodeId;
 use wsda_pdp::{ResponseMode, Scope};
@@ -82,7 +81,7 @@ fn admission_gate_degrades_scans_to_lower_bounds() {
     assert!(run.metrics.local_evals_degraded > 0, "degradation must be counted");
     assert_eq!(run.metrics.local_evals_shed, 0, "affordable prefixes degrade, not shed");
     let registry_degraded: u64 =
-        (0..3).map(|i| net.registry(NodeId(i)).stats().degraded.load(Ordering::Relaxed)).sum();
+        (0..3).map(|i| net.registry(NodeId(i)).stats().degraded.get()).sum();
     assert_eq!(registry_degraded, run.metrics.local_evals_degraded);
 }
 

@@ -1,0 +1,92 @@
+//! Query-tree tracing over the simulated P2P plane: every hop records
+//! node-local events into a bounded ring, and the network handle
+//! reassembles them into a span forest after the fact.
+
+use wsda_net::model::NetworkModel;
+use wsda_net::NodeId;
+use wsda_pdp::{ResponseMode, Scope};
+use wsda_updf::{P2pConfig, SimNetwork, Topology};
+
+const QUERY: &str = r#"//service[load < 0.5]/owner"#;
+
+#[test]
+fn sim_radius_two_trace_reconstructs_the_query_tree() {
+    let mut net =
+        SimNetwork::build(Topology::ring(8), NetworkModel::constant(10), P2pConfig::default());
+    let scope = Scope { radius: Some(2), ..Scope::default() };
+    let run = net.run_query(NodeId(0), QUERY, scope, ResponseMode::Routed);
+    let trace = net.assemble_trace(run.transaction);
+    assert!(trace.is_complete(), "every span has recv→eval→results: {}", trace.to_json());
+    // Ring of 8, radius 2 from n0: n0 plus {n1, n7} plus {n2, n6}.
+    assert_eq!(trace.spans.len(), 5, "radius 2 on a ring reaches 5 nodes");
+    let roots = trace.roots();
+    assert_eq!(roots.len(), 1, "one query, one tree");
+    assert_eq!(roots[0].node, "n0", "the origin is the root span");
+    assert!(trace.spans.iter().all(|s| s.hop <= 2), "hop depth bounded by the radius");
+    assert_eq!(trace.spans.iter().filter(|s| s.hop == 2).count(), 2);
+    // The origin delivered the merged result set.
+    let origin = trace.span("n0").unwrap();
+    assert!(origin.items_sent > 0, "delivery recorded at the origin");
+    assert_eq!(trace.dropped, 0, "default ring capacity holds a whole query");
+}
+
+#[test]
+fn sim_trace_phase_timings_are_ordered() {
+    let mut net =
+        SimNetwork::build(Topology::tree(7, 2), NetworkModel::constant(10), P2pConfig::default());
+    let run = net.run_query(NodeId(0), QUERY, Scope::default(), ResponseMode::Routed);
+    let trace = net.assemble_trace(run.transaction);
+    assert!(trace.is_complete());
+    for span in &trace.spans {
+        let recv = span.recv_ms.unwrap();
+        let eval = span.eval_ms.unwrap();
+        let first = span.first_results_ms.unwrap();
+        assert!(recv <= eval && eval <= first, "phases in order for {}", span.node);
+        assert!(span.last_results_ms.unwrap() >= first);
+    }
+    let phases = trace.hop_phases();
+    assert!(!phases.is_empty());
+    // Deeper hops receive the query strictly later under constant latency.
+    for pair in phases.windows(2) {
+        assert!(
+            pair[1].first_recv_ms >= pair[0].first_recv_ms,
+            "hop {} before {}",
+            pair[1].hop,
+            pair[0].hop
+        );
+    }
+}
+
+#[test]
+fn sim_trace_capacity_zero_disables_recording() {
+    let config = P2pConfig { trace_capacity: 0, ..P2pConfig::default() };
+    let mut net = SimNetwork::build(Topology::line(3), NetworkModel::constant(10), config);
+    let run = net.run_query(NodeId(0), QUERY, Scope::default(), ResponseMode::Routed);
+    assert!(!run.results.is_empty(), "tracing off must not change query semantics");
+    let trace = net.assemble_trace(run.transaction);
+    assert!(trace.spans.is_empty(), "no events recorded with tracing disabled");
+}
+
+#[test]
+fn sim_tiny_rings_report_evictions() {
+    let config = P2pConfig { trace_capacity: 2, ..P2pConfig::default() };
+    let mut net = SimNetwork::build(Topology::tree(7, 2), NetworkModel::constant(10), config);
+    let run = net.run_query(NodeId(0), QUERY, Scope::default(), ResponseMode::Routed);
+    let trace = net.assemble_trace(run.transaction);
+    assert!(trace.dropped > 0, "a 2-event ring cannot hold a whole query");
+    assert!(!trace.is_complete(), "evictions mark the trace incomplete");
+}
+
+#[test]
+fn traces_are_separable_per_transaction() {
+    let mut net =
+        SimNetwork::build(Topology::line(3), NetworkModel::constant(10), P2pConfig::default());
+    let a = net.run_query(NodeId(0), QUERY, Scope::default(), ResponseMode::Routed);
+    let b = net.run_query(NodeId(2), QUERY, Scope::default(), ResponseMode::Routed);
+    assert_ne!(a.transaction, b.transaction);
+    let ta = net.assemble_trace(a.transaction);
+    let tb = net.assemble_trace(b.transaction);
+    assert!(ta.is_complete() && tb.is_complete());
+    assert_eq!(ta.roots()[0].node, "n0");
+    assert_eq!(tb.roots()[0].node, "n2", "each transaction keeps its own tree");
+}
