@@ -29,6 +29,7 @@ pub mod f16_concurrency;
 pub mod f17_index;
 pub mod f18_overload;
 pub mod f19_trace;
+pub mod f20_recovery;
 pub mod harness;
 pub mod t1;
 
@@ -68,6 +69,7 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
         ),
         ("f18", "Overload: goodput vs offered load, admission gate on/off", f18_overload::run),
         ("f19", "Query-tree trace: per-hop phase timings", f19_trace::run),
+        ("f20", "Crash recovery: replay cost vs snapshot cadence", f20_recovery::run),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]
 }

@@ -313,8 +313,22 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
         net
     }
 
-    /// Replace the chaos plan mid-run (heal a partition, stop dropping).
-    /// No-op on networks built without chaos.
+    /// Replace the chaos plan mid-run (heal a partition, stop dropping,
+    /// re-arm a crash). No-op on networks built without chaos.
+    ///
+    /// **Crash-window semantics.** The chaos clock's epoch is fixed when
+    /// the network is built ([`ThreadedNetwork::with_chaos`]) and is
+    /// deliberately *not* reset by this call — every plan, original or
+    /// replacement, is evaluated against the same milliseconds-since-start
+    /// clock, so swapping plans cannot time-shift windows that are already
+    /// in progress. Two consequences:
+    ///
+    /// * a replacement plan's [`ChaosPlan::crash`] offsets are absolute on
+    ///   that shared clock — to re-arm a crash "starting now", build the
+    ///   window from [`ThreadedNetwork::chaos_now_ms`]
+    ///   (`plan.crash(node, net.chaos_now_ms(), …)`), not from zero;
+    /// * windows wholly in the past (`up_at_ms <= chaos_now_ms()`) are
+    ///   inert when installed — they do not replay.
     pub fn set_chaos(&self, plan: ChaosPlan) {
         if let Some(state) = &self.chaos {
             *state.plan.lock() = plan;
@@ -595,6 +609,37 @@ mod tests {
         let a = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         let b = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!((a.message, b.message), (9, 9));
+    }
+
+    #[test]
+    fn set_chaos_rearms_crash_window_on_shared_clock() {
+        // Regression: replacing the plan mid-run keeps the original chaos
+        // epoch, so a re-armed crash window built from `chaos_now_ms()`
+        // takes effect immediately, and a window wholly in the past stays
+        // inert instead of replaying.
+        let net: ThreadedNetwork<u32> =
+            ThreadedNetwork::with_chaos(Duration::from_millis(1), ChaosPlan::none(), 11);
+        let rx = net.register(NodeId(1));
+        assert!(net.send(NodeId(0), NodeId(1), 1));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().message, 1);
+
+        // Re-arm a crash "starting now" on the shared clock: node 1 is
+        // down for the next minute; its traffic is silently dropped.
+        let now = net.chaos_now_ms();
+        net.set_chaos(ChaosPlan::none().crash(NodeId(1), now, Some(now + 60_000)));
+        assert!(net.send(NodeId(0), NodeId(1), 2));
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err(), "crashed node unreachable");
+
+        // A replacement plan whose window is wholly in the past must not
+        // replay: `up_at_ms <= now` means the node is already back up.
+        net.set_chaos(ChaosPlan::none().crash(NodeId(1), 0, Some(net.chaos_now_ms())));
+        assert!(net.send(NodeId(0), NodeId(1), 3));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().message, 3);
+
+        // Healing entirely restores delivery too.
+        net.set_chaos(ChaosPlan::none());
+        assert!(net.send(NodeId(0), NodeId(1), 4));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().message, 4);
     }
 
     #[test]

@@ -79,16 +79,28 @@ impl Clock for ManualClock {
     }
 }
 
-/// Wall-clock time (milliseconds since process start).
+/// Wall-clock time (milliseconds since process start, plus an optional
+/// offset for resuming a persisted soft-state clock).
 #[derive(Debug)]
 pub struct SystemClock {
     start: std::time::Instant,
+    /// Added to the elapsed time; restarts use this to resume the clock at
+    /// the recovered [`Time`] so leases never appear younger than they are.
+    offset_ms: u64,
 }
 
 impl SystemClock {
-    /// A clock anchored at construction time.
+    /// A clock anchored at construction time, reading [`Time::ZERO`] now.
     pub fn new() -> Self {
-        SystemClock { start: std::time::Instant::now() }
+        Self::starting_at(Time::ZERO)
+    }
+
+    /// A clock reading `t` now and advancing in real time from there. A
+    /// process restarting with durable state resumes from the recovery
+    /// report's `resume_now` (see [`crate::persist::RecoveryReport`]) so
+    /// virtual time continues across the restart instead of rewinding.
+    pub fn starting_at(t: Time) -> Self {
+        SystemClock { start: std::time::Instant::now(), offset_ms: t.0 }
     }
 }
 
@@ -100,7 +112,7 @@ impl Default for SystemClock {
 
 impl Clock for SystemClock {
     fn now(&self) -> Time {
-        Time(self.start.elapsed().as_millis() as u64)
+        Time(self.offset_ms.saturating_add(self.start.elapsed().as_millis() as u64))
     }
 }
 
@@ -145,6 +157,14 @@ mod tests {
         let a = c.now();
         let b = c.now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn system_clock_resumes_from_offset() {
+        let c = SystemClock::starting_at(Time(10_000));
+        let a = c.now();
+        assert!(a >= Time(10_000), "resumed clock must not rewind, got {a}");
+        assert!(a < Time(20_000), "offset applies once, got {a}");
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum RegistryError {
         /// Highest accepted TTL.
         max: u64,
     },
+    /// Durable storage failed (WAL/snapshot I/O during open or snapshot).
+    Storage(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -53,7 +55,14 @@ impl fmt::Display for RegistryError {
             RegistryError::BadTtl { requested, min, max } => {
                 write!(f, "TTL {requested}ms outside accepted range [{min}, {max}]ms")
             }
+            RegistryError::Storage(e) => write!(f, "durable storage failed: {e}"),
         }
+    }
+}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Storage(e.to_string())
     }
 }
 

@@ -52,6 +52,7 @@ pub mod clock;
 pub mod content_index;
 pub mod error;
 pub mod freshness;
+pub mod persist;
 pub mod provider;
 pub mod registry;
 pub mod shard;
@@ -66,6 +67,10 @@ pub use clock::{Clock, ManualClock, SystemClock, Time};
 pub use content_index::{ContentIndex, IndexCaps};
 pub use error::{RegistryError, RegistryResult};
 pub use freshness::{Freshness, RefreshPolicy};
+pub use persist::{
+    DurableBackend, FsyncPolicy, PersistenceConfig, RecoverNow, RecoveryReport, WalBackend,
+    WalMetrics, WalOp,
+};
 pub use provider::ContentProvider;
 pub use registry::{
     HyperRegistry, PublishRequest, QueryOutcome, QueryPlan, QueryScope, RegistryConfig,

@@ -9,9 +9,10 @@ use crate::admission::{
     Admission, AdmissionConfig, AdmissionContext, AdmissionGate, Completeness, CostClass,
     ShedReason, SlotDenied, SlotGrant,
 };
-use crate::clock::SharedClock;
+use crate::clock::{SharedClock, SystemClock};
 use crate::error::{RegistryError, RegistryResult};
 use crate::freshness::{decide, CacheDecision, Freshness, RefreshPolicy};
+use crate::persist::{PersistenceConfig, RecoverNow, RecoveryReport, WalBackend};
 use crate::provider::ContentProvider;
 use crate::shard::ShardedStore;
 use crate::throttle::{PullThrottle, ThrottleConfig};
@@ -338,14 +339,68 @@ pub struct HyperRegistry {
     gate: AdmissionGate,
     providers: RwLock<HashMap<String, Arc<dyn ContentProvider>>>,
     stats: RegistryStats,
+    /// WAL + snapshot backend when the registry is durable (see
+    /// [`crate::persist`]); `None` keeps the seed's pure in-memory
+    /// behaviour.
+    durable: Option<Arc<WalBackend>>,
 }
 
 impl HyperRegistry {
     /// Create a registry.
     pub fn new(config: RegistryConfig, clock: SharedClock) -> Self {
+        let store = ShardedStore::with_content_index(config.shards, config.content_index);
+        Self::from_parts(config, clock, store, None)
+    }
+
+    /// Open a *durable* registry rooted at `persist.dir`, recovering any
+    /// existing WAL + snapshot state. Recovery sweeps at `clock.now()`, so
+    /// pass a clock that has not rewound across the restart — a shared
+    /// still-running clock, the simulator's virtual clock, or
+    /// [`crate::clock::SystemClock::starting_at`] seeded from a previous
+    /// run (see [`HyperRegistry::open_durable_wallclock`] for the
+    /// standalone-process variant that restores the clock itself).
+    pub fn open_durable(
+        config: RegistryConfig,
+        clock: SharedClock,
+        persist: &PersistenceConfig,
+    ) -> RegistryResult<(Self, RecoveryReport)> {
+        let now = clock.now();
+        let (store, backend, report) = crate::persist::open_store_at(
+            persist,
+            config.shards,
+            config.content_index,
+            RecoverNow::At(now),
+        )?;
+        Ok((Self::from_parts(config, clock, store, Some(backend)), report))
+    }
+
+    /// [`HyperRegistry::open_durable`] for a standalone process restart:
+    /// the soft-state clock is restored from the WAL's wall-clock stamps
+    /// (downtime elapses on it, so leases that expired while down are
+    /// swept) and the registry runs on a [`SystemClock`] resuming there.
+    pub fn open_durable_wallclock(
+        config: RegistryConfig,
+        persist: &PersistenceConfig,
+    ) -> RegistryResult<(Self, RecoveryReport)> {
+        let (store, backend, report) = crate::persist::open_store_at(
+            persist,
+            config.shards,
+            config.content_index,
+            RecoverNow::WallClock,
+        )?;
+        let clock: SharedClock = Arc::new(SystemClock::starting_at(report.resume_now));
+        Ok((Self::from_parts(config, clock, store, Some(backend)), report))
+    }
+
+    fn from_parts(
+        config: RegistryConfig,
+        clock: SharedClock,
+        store: ShardedStore,
+        durable: Option<Arc<WalBackend>>,
+    ) -> Self {
         let now = clock.now();
         HyperRegistry {
-            store: ShardedStore::with_content_index(config.shards, config.content_index),
+            store,
             throttle: Mutex::new(PullThrottle::new(
                 config.per_provider_throttle,
                 config.global_throttle,
@@ -356,6 +411,32 @@ impl HyperRegistry {
             stats: RegistryStats::default(),
             config,
             clock,
+            durable,
+        }
+    }
+
+    /// The durable backend, when this registry persists.
+    pub fn wal_backend(&self) -> Option<&Arc<WalBackend>> {
+        self.durable.as_ref()
+    }
+
+    /// Force a snapshot + WAL truncation now (durable registries only).
+    pub fn snapshot_now(&self) -> RegistryResult<usize> {
+        match &self.durable {
+            Some(b) => Ok(b.snapshot_sharded(&self.store)?),
+            None => Ok(0),
+        }
+    }
+
+    /// Snapshot if the automatic cadence is due. Called from mutation paths
+    /// *after* their shard lock is dropped (the snapshot takes all shard
+    /// locks). Snapshot I/O errors are recorded on the backend's metrics
+    /// rather than failing the triggering operation.
+    fn maybe_snapshot(&self) {
+        if let Some(b) = &self.durable {
+            if b.wants_snapshot() {
+                let _ = b.snapshot_sharded(&self.store);
+            }
         }
     }
 
@@ -436,6 +517,8 @@ impl HyperRegistry {
         } else {
             RegistryStats::add(&self.stats.refreshes, 1);
         }
+        drop(shard);
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -458,6 +541,8 @@ impl HyperRegistry {
         }
         shard.upsert_with_ordinal(link, &type_, &context, now, ttl, 0);
         RegistryStats::add(&self.stats.refreshes, 1);
+        drop(shard);
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -466,7 +551,14 @@ impl HyperRegistry {
         let now = self.clock.now();
         let mut shard = self.store.write_shard(self.store.shard_of(link));
         self.count_evictions(shard.sweep(now));
-        shard.remove(link).map(|_| ()).ok_or_else(|| RegistryError::NotPublished(link.to_owned()))
+        let removed = shard.remove(link).is_some();
+        drop(shard);
+        if removed {
+            self.maybe_snapshot();
+            Ok(())
+        } else {
+            Err(RegistryError::NotPublished(link.to_owned()))
+        }
     }
 
     /// Number of live tuples right now.
@@ -479,7 +571,9 @@ impl HyperRegistry {
     /// Run soft-state maintenance immediately; returns evicted count.
     pub fn sweep(&self) -> usize {
         let now = self.clock.now();
-        self.count_evictions(self.store.sweep(now))
+        let evicted = self.count_evictions(self.store.sweep(now));
+        self.maybe_snapshot();
+        evicted
     }
 
     fn count_evictions(&self, evicted: usize) -> usize {

@@ -24,6 +24,7 @@
 
 use crate::clock::Time;
 use crate::content_index::pattern_is_content_only;
+use crate::persist::DurableBackend;
 use crate::store::TupleStore;
 use crate::tuple::{Tuple, TupleKey};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -96,6 +97,34 @@ impl ShardedStore {
     /// stay unique and monotonic, gaps are fine).
     pub fn alloc_ordinal(&self) -> u64 {
         self.next_ordinal.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Attach a durable backend to every shard (see [`crate::persist`]);
+    /// all subsequent mutations on any shard are logged through it.
+    pub fn attach_backend(&self, backend: Arc<dyn DurableBackend>) {
+        for shard in self.shards.iter() {
+            shard.write().attach_backend(backend.clone());
+        }
+    }
+
+    /// Read-lock every shard in ascending order (whole-store lock order);
+    /// snapshots use this to get a point-in-time image while appends (which
+    /// need a shard *write* lock) are excluded.
+    pub(crate) fn read_all_shards(&self) -> Vec<RwLockReadGuard<'_, TupleStore>> {
+        self.shards.iter().map(|s| s.read()).collect()
+    }
+
+    /// The next ordinal the allocator would issue (recovery/snapshot use).
+    #[doc(hidden)]
+    pub fn load_next_ordinal(&self) -> u64 {
+        self.next_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Restore the ordinal allocator (recovery only: must be past every
+    /// ordinal present in the recovered store).
+    #[doc(hidden)]
+    pub fn store_next_ordinal(&self, v: u64) {
+        self.next_ordinal.store(v, Ordering::Relaxed);
     }
 
     /// Insert or refresh a tuple. Returns `true` when the tuple was new.

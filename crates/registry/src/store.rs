@@ -9,7 +9,9 @@
 
 use crate::clock::Time;
 use crate::content_index::ContentIndex;
+use crate::persist::{DurableBackend, WalOp};
 use crate::tuple::{Tuple, TupleKey};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use wsda_xml::Element;
@@ -34,6 +36,11 @@ pub struct TupleStore {
     /// never diverges from `by_link`.
     content_index: Option<ContentIndex>,
     next_ordinal: u64,
+    /// Durable sink for mutations ([`crate::persist`]); `None` (the
+    /// default) keeps the store purely in-memory with zero overhead.
+    /// Recovery builds stores with no backend attached, so replay never
+    /// re-logs.
+    backend: Option<Arc<dyn DurableBackend>>,
 }
 
 impl Default for TupleStore {
@@ -45,6 +52,7 @@ impl Default for TupleStore {
             expiry: BTreeMap::new(),
             content_index: Some(ContentIndex::default()),
             next_ordinal: 0,
+            backend: None,
         }
     }
 }
@@ -71,6 +79,34 @@ impl TupleStore {
     /// True when no tuples are stored.
     pub fn is_empty(&self) -> bool {
         self.by_link.is_empty()
+    }
+
+    /// Attach a durable backend: every subsequent mutation is logged
+    /// through it. The in-memory behaviour is otherwise unchanged.
+    pub fn attach_backend(&mut self, backend: Arc<dyn DurableBackend>) {
+        self.backend = Some(backend);
+    }
+
+    /// Detach the durable backend (mutations stop being logged).
+    pub fn detach_backend(&mut self) -> Option<Arc<dyn DurableBackend>> {
+        self.backend.take()
+    }
+
+    /// Insert a fully-formed tuple as-is, preserving its timestamps and
+    /// ordinal — the recovery path ([`crate::persist`]) uses this to load
+    /// snapshot images. Not logged. Replaces any tuple under the same link.
+    #[doc(hidden)]
+    pub fn insert_recovered(&mut self, t: Tuple) {
+        let link = t.link.clone();
+        self.remove_silent(&link);
+        self.expiry.entry(t.expires()).or_default().insert(link.clone());
+        self.by_type.entry(t.type_.clone()).or_default().insert(link.clone());
+        self.by_context.entry(t.context.clone()).or_default().insert(link.clone());
+        if let Some(idx) = self.content_index.as_mut() {
+            idx.index(&link, t.content.as_deref());
+        }
+        self.by_link.insert(link.clone(), t);
+        self.debug_assert_link(&link);
     }
 
     /// Insert a brand-new tuple or refresh an existing one, keeping the
@@ -104,6 +140,16 @@ impl TupleStore {
         ttl_ms: u64,
         ordinal: u64,
     ) -> bool {
+        if let Some(b) = &self.backend {
+            b.record(&WalOp::Upsert {
+                link: Cow::Borrowed(link),
+                type_: Cow::Borrowed(type_),
+                context: Cow::Borrowed(context),
+                now,
+                ttl_ms,
+                ordinal,
+            });
+        }
         if let Some(t) = self.by_link.get_mut(link) {
             let old_expiry = t.expires();
             t.refresh(now, ttl_ms);
@@ -146,6 +192,13 @@ impl TupleStore {
         let Some(t) = self.by_link.get_mut(link) else {
             return false;
         };
+        if let Some(b) = &self.backend {
+            b.record(&WalOp::SetContent {
+                link: Cow::Borrowed(link),
+                now,
+                xml: Cow::Owned(content.to_compact_string()),
+            });
+        }
         t.set_content(content, now);
         self.reindex(link);
         true
@@ -157,6 +210,9 @@ impl TupleStore {
         let Some(t) = self.by_link.get_mut(link) else {
             return false;
         };
+        if let Some(b) = &self.backend {
+            b.record(&WalOp::ClearContent { link: Cow::Borrowed(link) });
+        }
         t.clear_content();
         self.reindex(link);
         true
@@ -276,6 +332,16 @@ impl TupleStore {
 
     /// Remove a tuple outright (explicit unpublish).
     pub fn remove(&mut self, link: &str) -> Option<Tuple> {
+        if self.by_link.contains_key(link) {
+            if let Some(b) = &self.backend {
+                b.record(&WalOp::Remove { link: Cow::Borrowed(link) });
+            }
+        }
+        self.remove_silent(link)
+    }
+
+    /// [`TupleStore::remove`] without logging (recovery + internal reuse).
+    fn remove_silent(&mut self, link: &str) -> Option<Tuple> {
         let t = self.by_link.remove(link)?;
         remove_index(&mut self.by_type, &t.type_, link);
         remove_index(&mut self.by_context, &t.context, link);
@@ -317,6 +383,15 @@ impl TupleStore {
                 }
                 self.debug_assert_link(&link);
                 evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            // Logged once per effective sweep (no-op sweeps cost nothing).
+            // Replaying `Sweep { now }` is idempotent: expired tuples are
+            // never served, so sweeping them "early" during replay is
+            // observationally equivalent.
+            if let Some(b) = &self.backend {
+                b.record(&WalOp::Sweep { now });
             }
         }
         evicted

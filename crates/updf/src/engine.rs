@@ -27,6 +27,7 @@ use crate::recovery::{Completeness, RecoveryConfig};
 use crate::selection::{NeighborPolicy, RoutingIndex};
 use crate::topology::Topology;
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 use wsda_net::model::{ChaosPlan, FaultPlan, NetworkModel};
 use wsda_net::{Delivery, NodeId, Simulator};
@@ -38,7 +39,10 @@ use wsda_pdp::{
 use wsda_registry::admission::{Admission, AdmissionConfig, AdmissionContext};
 use wsda_registry::clock::Time;
 use wsda_registry::workload::CorpusGenerator;
-use wsda_registry::{Freshness, HyperRegistry, QueryScope, RegistryConfig};
+use wsda_registry::{
+    Freshness, HyperRegistry, PersistenceConfig, QueryScope, RecoveryReport, RegistryConfig,
+    RegistryError,
+};
 
 /// How nodes bound their waiting (experiment F8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +89,12 @@ pub struct P2pConfig {
     /// Capacity of each node's trace ring (hop-level query tracing);
     /// 0 disables recording.
     pub trace_capacity: usize,
+    /// Durable registries: with `Some(root)` every node's registry runs on
+    /// the WAL + snapshot backend under `root/n<i>`, and
+    /// [`SimNetwork::restart_node_from_disk`] can rebuild a node from its
+    /// on-disk state at the current virtual time. `None` (the default)
+    /// keeps registries purely in memory.
+    pub persist_root: Option<PathBuf>,
 }
 
 impl Default for P2pConfig {
@@ -102,6 +112,7 @@ impl Default for P2pConfig {
             registry_admission: AdmissionConfig::default(),
             inbox_capacity: None,
             trace_capacity: 4096,
+            persist_root: None,
         }
     }
 }
@@ -250,26 +261,38 @@ impl SimNetwork {
         let mut nodes = Vec::with_capacity(topology.len());
         let mut node_kinds: Vec<HashSet<String>> = Vec::with_capacity(topology.len());
         for i in 0..topology.len() {
-            let registry = Arc::new(HyperRegistry::new(
-                RegistryConfig {
-                    max_ttl_ms: u64::MAX / 4,
-                    admission: config.registry_admission.clone(),
-                    ..RegistryConfig::default()
-                },
-                clock.clone(),
-            ));
+            let registry_config = RegistryConfig {
+                max_ttl_ms: u64::MAX / 4,
+                admission: config.registry_admission.clone(),
+                ..RegistryConfig::default()
+            };
+            let (registry, recovered) = match &config.persist_root {
+                Some(root) => {
+                    let persist = PersistenceConfig::new(root.join(format!("n{i}")));
+                    let (registry, report) =
+                        HyperRegistry::open_durable(registry_config, clock.clone(), &persist)
+                            .expect("open durable sim registry");
+                    (Arc::new(registry), report.recovered_tuples > 0)
+                }
+                None => (Arc::new(HyperRegistry::new(registry_config, clock.clone())), false),
+            };
+            // The generator always runs so `node_kinds` (routing hints) is
+            // identical whether the corpus is published fresh or came back
+            // from disk — it is deterministic in the seed.
             let mut generator = CorpusGenerator::new(config.seed ^ (i as u64).wrapping_mul(0x9e37));
             let mut kinds = HashSet::new();
             for _ in 0..config.tuples_per_node {
                 let (link, kind, domain, content) = generator.next_service();
-                registry
-                    .publish(
-                        wsda_registry::PublishRequest::new(&link, "service")
-                            .with_context(domain)
-                            .with_ttl_ms(u64::MAX / 8)
-                            .with_content(content),
-                    )
-                    .expect("synthetic publish");
+                if !recovered {
+                    registry
+                        .publish(
+                            wsda_registry::PublishRequest::new(&link, "service")
+                                .with_context(domain)
+                                .with_ttl_ms(u64::MAX / 8)
+                                .with_content(content),
+                        )
+                        .expect("synthetic publish");
+                }
                 kinds.insert(kind);
             }
             node_kinds.push(kinds);
@@ -288,6 +311,9 @@ impl SimNetwork {
         let metrics = MetricsRegistry::new();
         for (i, node) in nodes.iter().enumerate() {
             node.registry.stats().export_into(&metrics, &format!("n{i}"));
+            if let Some(backend) = node.registry.wal_backend() {
+                backend.metrics.export_into(&metrics, &format!("n{i}"));
+            }
         }
         let routing_index = RoutingIndex::build(&topology, &node_kinds, config.routing_horizon);
         SimNetwork {
@@ -335,6 +361,63 @@ impl SimNetwork {
     /// A node's registry (to publish extra content before a run).
     pub fn registry(&self, node: NodeId) -> &Arc<HyperRegistry> {
         &self.nodes[node.0 as usize].registry
+    }
+
+    /// Advance virtual time by `ms` with the network idle — e.g. to model
+    /// the downtime between a [`ChaosPlan`] crash window and a
+    /// [`SimNetwork::restart_node_from_disk`]. Only meaningful between
+    /// runs: each run drives the simulator to quiescence, so there are no
+    /// pending events to leapfrog.
+    pub fn advance_time(&mut self, ms: u64) -> Time {
+        self.sim.clock().advance(ms)
+    }
+
+    /// Rebuild a node from its durable state at the current virtual time —
+    /// the simulator analogue of a process restart after a [`ChaosPlan`]
+    /// crash window. The registry is recovered from `root/n<i>` (leases
+    /// that lapsed while the node was down are swept, not resurrected);
+    /// every piece of P2P runtime state — state table, result ledger,
+    /// pending acks, breakers, compiled-query cache, trace ring — is
+    /// reset, exactly what a real restart would lose.
+    ///
+    /// Errors unless the network was built with
+    /// [`P2pConfig::persist_root`] set.
+    pub fn restart_node_from_disk(
+        &mut self,
+        node: NodeId,
+    ) -> Result<RecoveryReport, RegistryError> {
+        let root = self.config.persist_root.clone().ok_or_else(|| {
+            RegistryError::Storage("restart_node_from_disk requires persist_root".to_owned())
+        })?;
+        let i = node.0 as usize;
+        // Drop the old incarnation first so its WAL handle is released
+        // before recovery reopens (and snapshots into) the directory.
+        self.nodes[i] = PeerNode {
+            registry: Arc::new(HyperRegistry::new(RegistryConfig::default(), self.sim.clock())),
+            state: NodeStateTable::new(),
+            txns: HashMap::new(),
+            ledger: ResultLedger::new(),
+            pending_acks: HashMap::new(),
+            suspected: HashSet::new(),
+            breakers: HashMap::new(),
+            qcache: QueryCache::default(),
+            trace: TraceBuffer::new(self.config.trace_capacity),
+        };
+        let registry_config = RegistryConfig {
+            max_ttl_ms: u64::MAX / 4,
+            admission: self.config.registry_admission.clone(),
+            ..RegistryConfig::default()
+        };
+        let persist = PersistenceConfig::new(root.join(format!("n{i}")));
+        let (registry, report) =
+            HyperRegistry::open_durable(registry_config, self.sim.clock(), &persist)?;
+        let registry = Arc::new(registry);
+        registry.stats().export_into(&self.metrics, &format!("n{i}"));
+        if let Some(backend) = registry.wal_backend() {
+            backend.metrics.export_into(&self.metrics, &format!("n{i}"));
+        }
+        self.nodes[i].registry = registry;
+        Ok(report)
     }
 
     /// Current virtual time.

@@ -16,6 +16,15 @@
 //! subtrees — is ON by default ([`RecoveryConfig::live_default`]), so a
 //! lost subtree yields a `Partial` answer instead of a hang.
 //!
+//! With [`LiveNetwork::start_durable`] every peer's registry runs on the
+//! WAL + snapshot backend (`wsda_registry::persist`), and a killed peer
+//! can be brought back with [`LiveNetwork::restart_from_disk`]: the old
+//! thread is joined, the registry is rebuilt from its on-disk state (with
+//! leases that lapsed during the downtime swept, not resurrected), and a
+//! fresh thread rejoins the overlay. P2P runtime state (state table,
+//! ledger, pending acks, breakers) is deliberately lost — exactly what a
+//! real process restart would lose.
+//!
 //! The implementation is intentionally a *subset* of the simulator engine
 //! (routed + pipelined responses only); its purpose is to prove the
 //! protocol works under real concurrency, which the deterministic
@@ -28,6 +37,7 @@ use bytes::BytesMut;
 use crossbeam::channel::RecvTimeoutError;
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -45,7 +55,10 @@ use wsda_pdp::{
 };
 use wsda_registry::clock::SystemClock;
 use wsda_registry::workload::CorpusGenerator;
-use wsda_registry::{Freshness, HyperRegistry, PublishRequest, RegistryConfig};
+use wsda_registry::{
+    Freshness, HyperRegistry, PersistenceConfig, PublishRequest, RecoveryReport, RegistryConfig,
+    RegistryError,
+};
 
 type Frame = Vec<u8>;
 
@@ -107,7 +120,11 @@ pub struct LiveNetwork {
     registries: Vec<Arc<HyperRegistry>>,
     shutdown: Arc<AtomicBool>,
     peer_dead: Vec<Arc<AtomicBool>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Per-peer exit switch: unlike `peer_dead` (hung but joinable only at
+    /// network shutdown), setting this makes the one thread return so
+    /// [`LiveNetwork::restart_from_disk`] can join and replace it.
+    peer_exit: Vec<Arc<AtomicBool>>,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
     topology: Topology,
     client_id: NodeId,
     txn_counter: u64,
@@ -116,6 +133,13 @@ pub struct LiveNetwork {
     stats: Arc<LiveStatsInner>,
     metrics: Arc<MetricsRegistry>,
     traces: Vec<SharedTraceBuffer>,
+    /// Wall clock shared by every peer's registry; restarts reuse it so the
+    /// recovery time includes the downtime gap.
+    clock: Arc<SystemClock>,
+    /// Process epoch shared by every peer (breakers, traces).
+    epoch: Instant,
+    /// Durable mode: the root directory holding one `n<i>` subdir per peer.
+    persist_root: Option<PathBuf>,
 }
 
 impl LiveNetwork {
@@ -134,7 +158,8 @@ impl LiveNetwork {
         recovery: RecoveryConfig,
     ) -> LiveNetwork {
         let transport: Arc<ThreadedNetwork<Frame>> = Arc::new(ThreadedNetwork::new());
-        Self::start_on(transport, topology, tuples_per_node, seed, recovery)
+        Self::start_on(transport, topology, tuples_per_node, seed, recovery, None)
+            .expect("in-memory live start cannot fail")
     }
 
     /// Start on a chaos-injecting transport: every frame is subject to
@@ -148,7 +173,32 @@ impl LiveNetwork {
     ) -> LiveNetwork {
         let transport: Arc<ThreadedNetwork<Frame>> =
             Arc::new(ThreadedNetwork::with_chaos(Duration::from_millis(1), plan, seed));
-        Self::start_on(transport, topology, tuples_per_node, seed, recovery)
+        Self::start_on(transport, topology, tuples_per_node, seed, recovery, None)
+            .expect("in-memory live start cannot fail")
+    }
+
+    /// Start with every peer's registry on the WAL + snapshot backend,
+    /// persisting under `persist_root/n<i>`. An empty root gets the
+    /// synthetic corpus published (and logged); a root left behind by an
+    /// earlier run is *recovered* instead — tuples come back from disk and
+    /// the corpus is not re-published. Killed peers can then rejoin via
+    /// [`LiveNetwork::restart_from_disk`].
+    pub fn start_durable(
+        topology: Topology,
+        tuples_per_node: usize,
+        seed: u64,
+        recovery: RecoveryConfig,
+        persist_root: impl Into<PathBuf>,
+    ) -> Result<LiveNetwork, RegistryError> {
+        let transport: Arc<ThreadedNetwork<Frame>> = Arc::new(ThreadedNetwork::new());
+        Self::start_on(
+            transport,
+            topology,
+            tuples_per_node,
+            seed,
+            recovery,
+            Some(persist_root.into()),
+        )
     }
 
     fn start_on(
@@ -157,7 +207,8 @@ impl LiveNetwork {
         tuples_per_node: usize,
         seed: u64,
         recovery: RecoveryConfig,
-    ) -> LiveNetwork {
+        persist_root: Option<PathBuf>,
+    ) -> Result<LiveNetwork, RegistryError> {
         // Query frames ride the transport's sheddable lane: a peer that
         // falls behind loses (counted) queries first while acks and
         // results keep flowing. The kind byte sits at a fixed offset, so
@@ -173,62 +224,52 @@ impl LiveNetwork {
         transport.export_metrics(&metrics);
         let epoch = Instant::now();
         let mut registries = Vec::with_capacity(topology.len());
-        let mut handles = Vec::with_capacity(topology.len());
         let mut peer_dead = Vec::with_capacity(topology.len());
+        let mut peer_exit = Vec::with_capacity(topology.len());
+        let mut handles = Vec::with_capacity(topology.len());
         let mut traces = Vec::with_capacity(topology.len());
         for i in 0..topology.len() as u32 {
-            let id = NodeId(i);
-            let registry = Arc::new(HyperRegistry::new(
-                RegistryConfig { max_ttl_ms: u64::MAX / 4, ..Default::default() },
-                clock.clone(),
-            ));
-            let mut generator = CorpusGenerator::new(seed ^ (i as u64).wrapping_mul(0x9e37));
-            for _ in 0..tuples_per_node {
-                let (link, _, domain, content) = generator.next_service();
-                registry
-                    .publish(
-                        PublishRequest::new(&link, "service")
-                            .with_context(domain)
-                            .with_ttl_ms(u64::MAX / 8)
-                            .with_content(content),
-                    )
-                    .expect("synthetic publish");
+            let config = RegistryConfig { max_ttl_ms: u64::MAX / 4, ..Default::default() };
+            let (registry, recovered) = match &persist_root {
+                Some(root) => {
+                    let persist = PersistenceConfig::new(root.join(format!("n{i}")));
+                    let (registry, report) =
+                        HyperRegistry::open_durable(config, clock.clone(), &persist)?;
+                    if let Some(backend) = registry.wal_backend() {
+                        backend.metrics.export_into(&metrics, &format!("n{i}"));
+                    }
+                    (Arc::new(registry), report.recovered_tuples > 0)
+                }
+                None => (Arc::new(HyperRegistry::new(config, clock.clone())), false),
+            };
+            if !recovered {
+                let mut generator = CorpusGenerator::new(seed ^ (i as u64).wrapping_mul(0x9e37));
+                for _ in 0..tuples_per_node {
+                    let (link, _, domain, content) = generator.next_service();
+                    registry
+                        .publish(
+                            PublishRequest::new(&link, "service")
+                                .with_context(domain)
+                                .with_ttl_ms(u64::MAX / 8)
+                                .with_content(content),
+                        )
+                        .expect("synthetic publish");
+                }
             }
             registry.stats().export_into(&metrics, &format!("n{i}"));
-            registries.push(registry.clone());
-            let dead = Arc::new(AtomicBool::new(false));
-            peer_dead.push(dead.clone());
-            let inbox = transport.register(id);
-            let trace = shared_buffer(TRACE_CAPACITY);
-            traces.push(trace.clone());
-            let gauges = PeerGauges {
-                ledger_streams: metrics.gauge(&format!("updf_ledger_streams{{node=\"n{i}\"}}")),
-                state_entries: metrics.gauge(&format!("updf_state_entries{{node=\"n{i}\"}}")),
-                live_txns: metrics.gauge(&format!("updf_live_txns{{node=\"n{i}\"}}")),
-                pending_acks: metrics.gauge(&format!("updf_pending_acks{{node=\"n{i}\"}}")),
-            };
-            let peer = PeerThread {
-                id,
-                neighbors: topology.neighbors(id).to_vec(),
-                registry,
-                transport: transport.clone(),
-                shutdown: shutdown.clone(),
-                dead,
-                recovery,
-                stats: stats.clone(),
-                epoch,
-                jitter_state: Cell::new((seed ^ u64::from(i).wrapping_mul(0x9e3779b97f4a7c15)) | 1),
-                trace,
-                gauges,
-            };
-            handles.push(std::thread::spawn(move || peer.run(inbox)));
+            registries.push(registry);
+            peer_dead.push(Arc::new(AtomicBool::new(false)));
+            peer_exit.push(Arc::new(AtomicBool::new(false)));
+            handles.push(None);
+            traces.push(shared_buffer(TRACE_CAPACITY));
         }
         let client_id = NodeId(topology.len() as u32);
-        LiveNetwork {
+        let mut net = LiveNetwork {
             transport,
             registries,
             shutdown,
             peer_dead,
+            peer_exit,
             handles,
             topology,
             client_id,
@@ -238,7 +279,87 @@ impl LiveNetwork {
             stats,
             metrics,
             traces,
+            clock,
+            epoch,
+            persist_root,
+        };
+        for i in 0..net.topology.len() {
+            net.spawn_peer(i);
         }
+        Ok(net)
+    }
+
+    /// Register the peer's inbox and spawn its thread from the network's
+    /// stored per-peer state. Used at start and by
+    /// [`LiveNetwork::restart_from_disk`] (re-registering replaces — and
+    /// closes — any previous inbox for the id).
+    fn spawn_peer(&mut self, i: usize) {
+        let id = NodeId(i as u32);
+        let inbox = self.transport.register(id);
+        let gauges = PeerGauges {
+            ledger_streams: self.metrics.gauge(&format!("updf_ledger_streams{{node=\"n{i}\"}}")),
+            state_entries: self.metrics.gauge(&format!("updf_state_entries{{node=\"n{i}\"}}")),
+            live_txns: self.metrics.gauge(&format!("updf_live_txns{{node=\"n{i}\"}}")),
+            pending_acks: self.metrics.gauge(&format!("updf_pending_acks{{node=\"n{i}\"}}")),
+        };
+        let peer = PeerThread {
+            id,
+            neighbors: self.topology.neighbors(id).to_vec(),
+            registry: self.registries[i].clone(),
+            transport: self.transport.clone(),
+            shutdown: self.shutdown.clone(),
+            dead: self.peer_dead[i].clone(),
+            exit: self.peer_exit[i].clone(),
+            recovery: self.recovery,
+            stats: self.stats.clone(),
+            epoch: self.epoch,
+            jitter_state: Cell::new(
+                (self.seed ^ u64::from(id.0).wrapping_mul(0x9e3779b97f4a7c15)) | 1,
+            ),
+            trace: self.traces[i].clone(),
+            gauges,
+        };
+        self.handles[i] = Some(std::thread::spawn(move || peer.run(inbox)));
+    }
+
+    /// Restart a (typically [`LiveNetwork::kill`]ed) peer from its durable
+    /// state: join the old thread, rebuild the registry from its WAL +
+    /// snapshot directory, and rejoin the overlay with a fresh thread.
+    ///
+    /// The shared wall clock keeps running while the peer is down, so the
+    /// recovery replay sweeps (rather than resurrects) every lease that
+    /// lapsed during the gap. All P2P runtime state — state table, result
+    /// ledger, pending retransmissions, breakers — is lost, exactly as a
+    /// real process restart would lose it; only the registry survives.
+    ///
+    /// Errors unless the network was built with
+    /// [`LiveNetwork::start_durable`].
+    pub fn restart_from_disk(&mut self, node: NodeId) -> Result<RecoveryReport, RegistryError> {
+        let i = node.0 as usize;
+        let root = self.persist_root.clone().ok_or_else(|| {
+            RegistryError::Storage("restart_from_disk requires start_durable".to_owned())
+        })?;
+        // Stop the old thread (works on both live and killed peers) and
+        // join it so the old registry's WAL handle is fully released.
+        self.peer_exit[i].store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handles[i].take() {
+            let _ = handle.join();
+        }
+        let config = RegistryConfig { max_ttl_ms: u64::MAX / 4, ..Default::default() };
+        let persist = PersistenceConfig::new(root.join(format!("n{i}")));
+        let (registry, report) = HyperRegistry::open_durable(config, self.clock.clone(), &persist)?;
+        let registry = Arc::new(registry);
+        // Re-adopt the fresh backend's metric handles (same family names:
+        // registration replaces the dead registry's handles).
+        if let Some(backend) = registry.wal_backend() {
+            backend.metrics.export_into(&self.metrics, &format!("n{i}"));
+        }
+        registry.stats().export_into(&self.metrics, &format!("n{i}"));
+        self.registries[i] = registry;
+        self.peer_dead[i] = Arc::new(AtomicBool::new(false));
+        self.peer_exit[i] = Arc::new(AtomicBool::new(false));
+        self.spawn_peer(i);
+        Ok(report)
     }
 
     /// Overload-protection counters aggregated across every peer.
@@ -290,7 +411,8 @@ impl LiveNetwork {
 
     /// Crash a peer: it stops processing messages but its inbox stays
     /// open, so senders cannot tell — the live analogue of a hung
-    /// process. Only the watchdog machinery can detect it.
+    /// process. Only the watchdog machinery can detect it. On a durable
+    /// network, [`LiveNetwork::restart_from_disk`] brings it back.
     pub fn kill(&self, node: NodeId) {
         if let Some(flag) = self.peer_dead.get(node.0 as usize) {
             flag.store(true, Ordering::SeqCst);
@@ -409,7 +531,7 @@ impl LiveNetwork {
 impl Drop for LiveNetwork {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        for h in self.handles.drain(..) {
+        for h in self.handles.drain(..).flatten() {
             let _ = h.join();
         }
     }
@@ -454,6 +576,9 @@ struct PeerThread {
     /// Crash switch: when set the peer stops processing (inbox stays
     /// open), simulating a hung process.
     dead: Arc<AtomicBool>,
+    /// Exit switch for this one thread (set by `restart_from_disk` so the
+    /// old incarnation can be joined without shutting the network down).
+    exit: Arc<AtomicBool>,
     recovery: RecoveryConfig,
     stats: Arc<LiveStatsInner>,
     /// Process epoch: circuit breakers count milliseconds from here.
@@ -513,7 +638,7 @@ impl PeerThread {
         let mut reader = FrameReader::new();
         let clock = SystemClock::new();
         loop {
-            if self.shutdown.load(Ordering::SeqCst) {
+            if self.shutdown.load(Ordering::SeqCst) || self.exit.load(Ordering::SeqCst) {
                 return;
             }
             if self.dead.load(Ordering::SeqCst) {
@@ -811,6 +936,13 @@ impl PeerThread {
             }
             abandoned.push((*txn, entry.parent, entry.local_done));
         }
+        // A child the watchdog gave up on is a hard failure signal. Record
+        // it *before* the final replies below: the moment the originator
+        // sees the partial answer, anything reading the breaker counters
+        // must already find the open accounted for.
+        for child in lost_children {
+            self.breaker_failure(rt, child);
+        }
         for (txn, parent, local_done) in abandoned {
             if let Some(p) = parent {
                 if local_done {
@@ -818,10 +950,6 @@ impl PeerThread {
                 }
             }
             rt.live.remove(&txn);
-        }
-        // A child the watchdog gave up on is a hard failure signal.
-        for child in lost_children {
-            self.breaker_failure(rt, child);
         }
     }
 
