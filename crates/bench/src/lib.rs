@@ -30,6 +30,7 @@ pub mod f17_index;
 pub mod f18_overload;
 pub mod f19_trace;
 pub mod f20_recovery;
+pub mod f21_scale;
 pub mod harness;
 pub mod t1;
 
@@ -70,6 +71,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
         ("f18", "Overload: goodput vs offered load, admission gate on/off", f18_overload::run),
         ("f19", "Query-tree trace: per-hop phase timings", f19_trace::run),
         ("f20", "Crash recovery: replay cost vs snapshot cadence", f20_recovery::run),
+        (
+            "f21",
+            "Simulator scale: build, idle memory, radius-scoped flood at 10^4-10^5 nodes",
+            f21_scale::run,
+        ),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]
 }

@@ -47,11 +47,21 @@ pub enum Delivery<M> {
     },
 }
 
+/// Queue-internal event payload. Messages are boxed so a heap slot stays
+/// a few words wide: `BinaryHeap` sift operations memmove whole slots, and
+/// at 10^5-node floods the queue holds 10^5+ in-flight messages whose
+/// inline payloads would otherwise dominate pump time.
+#[derive(Debug)]
+enum Payload<M> {
+    Message { from: NodeId, to: NodeId, message: Box<M> },
+    Timer { node: NodeId, tag: u64 },
+}
+
 #[derive(Debug)]
 struct Scheduled<M> {
     at: Time,
     seq: u64,
-    delivery: Delivery<M>,
+    payload: Payload<M>,
 }
 
 impl<M> PartialEq for Scheduled<M> {
@@ -199,24 +209,24 @@ impl<M> Simulator<M> {
             let dup_at = at.plus(extra.max(1));
             self.stats.messages_duplicated += 1;
             *self.inflight_to.entry(to).or_insert(0) += 1;
-            self.push(dup_at, Delivery::Message { from, to, message: message.clone() });
+            self.push(dup_at, Payload::Message { from, to, message: Box::new(message.clone()) });
         }
         *self.inflight_to.entry(to).or_insert(0) += 1;
-        self.push(at, Delivery::Message { from, to, message });
+        self.push(at, Payload::Message { from, to, message: Box::new(message) });
         Some(at)
     }
 
     /// Schedule a timer at `node` after `delay_ms`.
     pub fn schedule(&mut self, node: NodeId, delay_ms: u64, tag: u64) -> Time {
         let at = self.now().plus(delay_ms);
-        self.push(at, Delivery::Timer { node, tag });
+        self.push(at, Payload::Timer { node, tag });
         at
     }
 
-    fn push(&mut self, at: Time, delivery: Delivery<M>) {
+    fn push(&mut self, at: Time, payload: Payload<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, delivery }));
+        self.queue.push(Reverse(Scheduled { at, seq, payload }));
     }
 
     /// Pop the next event, advancing the virtual clock to its time.
@@ -230,18 +240,37 @@ impl<M> Simulator<M> {
         let Reverse(ev) = self.queue.pop()?;
         self.clock.set(ev.at);
         self.stats.events_delivered += 1;
-        if let Delivery::Message { to, .. } = &ev.delivery {
-            if let Some(n) = self.inflight_to.get_mut(to) {
-                *n = n.saturating_sub(1);
+        Some(match ev.payload {
+            Payload::Message { from, to, message } => {
+                if let Some(n) = self.inflight_to.get_mut(&to) {
+                    *n = n.saturating_sub(1);
+                }
+                Delivery::Message { from, to, message: *message }
             }
-        }
-        Some(ev.delivery)
+            Payload::Timer { node, tag } => Delivery::Timer { node, tag },
+        })
     }
 
     /// Pop the next event only if it occurs at or before `deadline`.
     pub fn next_before(&mut self, deadline: Time) -> Option<Delivery<M>> {
         match self.queue.peek() {
             Some(Reverse(ev)) if ev.at <= deadline => self.next(),
+            _ => None,
+        }
+    }
+
+    /// Peek at the head of the queue *if it is a timer*, without popping
+    /// or advancing the clock. Returns `(fire_time, node, tag)`.
+    ///
+    /// This is the hook the batched-parallel event loop uses to gather a
+    /// run of same-timestamp timers: peeking consumes no RNG and
+    /// allocates no sequence numbers, so interleaving peeks with pops is
+    /// invisible to determinism.
+    pub fn peek_timer(&self) -> Option<(Time, NodeId, u64)> {
+        match self.queue.peek() {
+            Some(Reverse(Scheduled { at, payload: Payload::Timer { node, tag }, .. })) => {
+                Some((*at, *node, *tag))
+            }
             _ => None,
         }
     }
@@ -428,6 +457,19 @@ mod tests {
         s.next().unwrap();
         assert!(s.send(NodeId(0), NodeId(1), "query", 0).is_some());
         assert_eq!(s.stats().messages_overflowed, 1);
+    }
+
+    #[test]
+    fn peek_timer_sees_only_timers_and_does_not_pop() {
+        let mut s = sim();
+        s.send(NodeId(0), NodeId(1), "m", 0); // arrives at 10
+        s.schedule(NodeId(2), 5, 7); // fires at 5, ahead of the message
+        assert_eq!(s.peek_timer(), Some((Time(5), NodeId(2), 7)));
+        assert_eq!(s.peek_timer(), Some((Time(5), NodeId(2), 7)), "peek is non-destructive");
+        assert_eq!(s.now(), Time(0), "peek does not advance the clock");
+        assert_eq!(s.next(), Some(Delivery::Timer { node: NodeId(2), tag: 7 }));
+        assert_eq!(s.peek_timer(), None, "head is now a message");
+        assert!(s.next().is_some());
     }
 
     #[test]

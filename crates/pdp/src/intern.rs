@@ -1,0 +1,140 @@
+//! String interning for hot-path identifiers.
+//!
+//! At 10^5–10^6 simulated nodes the protocol state tables cannot afford
+//! owned `String` keys: endpoints, service kinds and domains repeat
+//! endlessly and every `format!`/`to_owned` on the hot path is an
+//! allocation plus a hash of the full byte string. A [`Sym`] is a dense
+//! `u32` handle into a shared [`Interner`]; equality and hashing are one
+//! integer compare, and the table keys shrink from 24+ heap bytes to 4
+//! inline bytes.
+//!
+//! The simulator exploits one extra invariant: node endpoints are the
+//! bijection `"n{i}" ↔ NodeId(i)`, so engines may use `Sym(node.0)`
+//! directly as the endpoint symbol without consulting any table at all.
+//! The [`Interner`] is for the *open* vocabularies (service kinds, live
+//! URLs, domains) where the mapping is not structural.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// A dense `u32` handle for an interned string.
+///
+/// `Sym` is meaningful only relative to the table (or structural
+/// convention) that produced it; two syms from different interners must
+/// not be compared. Ordering is by id, which for the endpoint bijection
+/// means ordering by node id — exactly the deterministic iteration order
+/// the engines need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Arc<str>, Sym>,
+    strings: Vec<Arc<str>>,
+}
+
+/// A thread-safe append-only symbol table.
+///
+/// `intern` is idempotent: the same string always yields the same [`Sym`],
+/// and symbols are allocated densely in first-sighting order (so a table
+/// populated in a deterministic order is itself deterministic). Lookups
+/// after warm-up take only the read lock.
+#[derive(Debug, Default)]
+pub struct Interner {
+    inner: RwLock<Inner>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, allocating a new symbol on first sighting.
+    pub fn intern(&self, s: &str) -> Sym {
+        if let Some(sym) = self.get(s) {
+            return sym;
+        }
+        let mut inner = self.inner.write().expect("interner lock poisoned");
+        if let Some(&sym) = inner.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(inner.strings.len()).expect("interner overflow"));
+        let owned: Arc<str> = Arc::from(s);
+        inner.strings.push(Arc::clone(&owned));
+        inner.map.insert(owned, sym);
+        sym
+    }
+
+    /// Look up `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.inner.read().expect("interner lock poisoned").map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// Panics if `sym` did not come from this table.
+    pub fn resolve(&self, sym: Sym) -> Arc<str> {
+        Arc::clone(&self.inner.read().expect("interner lock poisoned").strings[sym.0 as usize])
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner lock poisoned").strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let t = Interner::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_eq!(t.intern("alpha"), a);
+        assert_eq!((a, b), (Sym(0), Sym(1)), "first-sighting order allocates densely");
+        assert_eq!(&*t.resolve(b), "beta");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_allocate_symbols() {
+        let t = Interner::new();
+        assert_eq!(t.get("missing"), None);
+        assert!(t.is_empty());
+        let s = t.intern("present");
+        assert_eq!(t.get("present"), Some(s));
+    }
+
+    #[test]
+    fn concurrent_intern_agrees() {
+        let t = Arc::new(Interner::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    (0..64).map(|i| t.intern(&format!("k{i}"))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "every thread sees the same symbol for the same string");
+        }
+        assert_eq!(t.len(), 64);
+    }
+}

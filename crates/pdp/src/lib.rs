@@ -12,18 +12,22 @@
 //!   giving every experiment an honest bytes-on-the-wire measure,
 //! * [`state`] — the per-node **node state table**: transaction state with
 //!   parent/children bookkeeping, duplicate (loop) detection and static
-//!   loop timeout expiry,
+//!   loop timeout expiry, keyed by interned endpoint symbols,
+//! * [`intern`] — the `u32` symbol table ([`Sym`]/[`Interner`]) those
+//!   tables key on, shared across nodes at simulator scale,
 //! * [`querycache`] — the per-node compiled-query LRU cache: a query
 //!   string travelling hop-by-hop (and any retransmission of it) is parsed
 //!   at most once per node.
 
 pub mod framing;
+pub mod intern;
 pub mod message;
 pub mod querycache;
 pub mod state;
 pub mod wire;
 
 pub use framing::{frame_is_query, write_frame, FrameReader};
+pub use intern::{Interner, Sym};
 pub use message::{Endpoint, Message, QueryLanguage, ResponseMode, Scope, TransactionId};
 pub use querycache::{CompiledQuery, QueryCache};
 pub use state::{BeginOutcome, NodeStateTable, ResultLedger, TransactionState};

@@ -7,8 +7,16 @@
 //! transaction already present is a duplicate and must not be processed
 //! again. State is retained for the *static loop timeout* so that slow
 //! duplicate deliveries are still recognized after a transaction finishes.
+//!
+//! Endpoints are stored as interned [`Sym`]s (see [`crate::intern`]), not
+//! owned strings: at simulator scale the table is the dominant per-node
+//! allocation and a `u32` child set beats a `HashSet<String>` by more than
+//! an order of magnitude. Children live in a *sorted* `Vec<Sym>` so every
+//! iteration over them (close broadcasts, watchdog sweeps) is
+//! deterministic regardless of hasher seeding.
 
-use crate::message::{Endpoint, TransactionId};
+use crate::intern::Sym;
+use crate::message::TransactionId;
 use std::collections::{HashMap, HashSet};
 use wsda_registry::clock::Time;
 
@@ -27,10 +35,10 @@ pub struct TransactionState {
     /// The transaction id.
     pub transaction: TransactionId,
     /// Neighbor to route results toward (`None` at the originator).
-    pub parent: Option<Endpoint>,
+    pub parent: Option<Sym>,
     /// Neighbors this node forwarded the query to and has not yet seen a
-    /// final `Results` from.
-    pub pending_children: HashSet<Endpoint>,
+    /// final `Results` from. Kept sorted for deterministic iteration.
+    pub pending_children: Vec<Sym>,
     /// Whether this node finished its own local evaluation.
     pub local_done: bool,
     /// Result items already sent toward the originator.
@@ -75,7 +83,7 @@ impl TransactionState {
 /// removal rather than a full retain over every stream.
 #[derive(Debug, Default)]
 pub struct ResultLedger {
-    seen: HashMap<TransactionId, HashMap<Endpoint, HashSet<u64>>>,
+    seen: HashMap<TransactionId, HashMap<Sym, HashSet<u64>>>,
 }
 
 impl ResultLedger {
@@ -86,15 +94,15 @@ impl ResultLedger {
 
     /// Record a received frame. Returns `true` when this is the first
     /// sighting (apply it), `false` for a replay (ack but ignore).
-    pub fn record(&mut self, transaction: TransactionId, sender: &str, seq: u64) -> bool {
-        self.seen.entry(transaction).or_default().entry(sender.to_owned()).or_default().insert(seq)
+    pub fn record(&mut self, transaction: TransactionId, sender: Sym, seq: u64) -> bool {
+        self.seen.entry(transaction).or_default().entry(sender).or_default().insert(seq)
     }
 
     /// True when the frame has been seen before (without recording).
-    pub fn seen(&self, transaction: TransactionId, sender: &str, seq: u64) -> bool {
+    pub fn seen(&self, transaction: TransactionId, sender: Sym, seq: u64) -> bool {
         self.seen
             .get(&transaction)
-            .and_then(|by_sender| by_sender.get(sender))
+            .and_then(|by_sender| by_sender.get(&sender))
             .is_some_and(|s| s.contains(&seq))
     }
 
@@ -131,7 +139,7 @@ impl NodeStateTable {
     pub fn begin(
         &mut self,
         transaction: TransactionId,
-        parent: Option<Endpoint>,
+        parent: Option<Sym>,
         now: Time,
         loop_timeout_ms: u64,
     ) -> BeginOutcome {
@@ -143,7 +151,7 @@ impl NodeStateTable {
             TransactionState {
                 transaction,
                 parent,
-                pending_children: HashSet::new(),
+                pending_children: Vec::new(),
                 local_done: false,
                 results_sent: 0,
                 closed: false,
@@ -165,19 +173,24 @@ impl NodeStateTable {
         self.entries.get_mut(transaction)
     }
 
-    /// Record that the query was forwarded to `child`.
-    pub fn add_child(&mut self, transaction: &TransactionId, child: Endpoint) {
+    /// Record that the query was forwarded to `child`. The child set stays
+    /// sorted and duplicate-free.
+    pub fn add_child(&mut self, transaction: &TransactionId, child: Sym) {
         if let Some(s) = self.entries.get_mut(transaction) {
-            s.pending_children.insert(child);
+            if let Err(at) = s.pending_children.binary_search(&child) {
+                s.pending_children.insert(at, child);
+            }
         }
     }
 
     /// Record a final `Results` from `child`; returns `true` when the whole
     /// subtree is now complete.
-    pub fn child_done(&mut self, transaction: &TransactionId, child: &str) -> bool {
+    pub fn child_done(&mut self, transaction: &TransactionId, child: Sym) -> bool {
         match self.entries.get_mut(transaction) {
             Some(s) => {
-                s.pending_children.remove(child);
+                if let Ok(at) = s.pending_children.binary_search(&child) {
+                    s.pending_children.remove(at);
+                }
                 s.complete()
             }
             None => false,
@@ -249,10 +262,10 @@ mod tests {
     #[test]
     fn begin_then_duplicate() {
         let mut t = NodeStateTable::new();
-        assert_eq!(t.begin(txn(1), Some("n0".into()), Time(0), 1000), BeginOutcome::Fresh);
-        assert_eq!(t.begin(txn(1), Some("n5".into()), Time(10), 1000), BeginOutcome::Duplicate);
+        assert_eq!(t.begin(txn(1), Some(Sym(0)), Time(0), 1000), BeginOutcome::Fresh);
+        assert_eq!(t.begin(txn(1), Some(Sym(5)), Time(10), 1000), BeginOutcome::Duplicate);
         // the original parent is preserved
-        assert_eq!(t.get(&txn(1)).unwrap().parent.as_deref(), Some("n0"));
+        assert_eq!(t.get(&txn(1)).unwrap().parent, Some(Sym(0)));
         assert_eq!(t.len(), 1);
     }
 
@@ -260,18 +273,18 @@ mod tests {
     fn completion_requires_local_and_children() {
         let mut t = NodeStateTable::new();
         t.begin(txn(1), None, Time(0), 1000);
-        t.add_child(&txn(1), "n1".into());
-        t.add_child(&txn(1), "n2".into());
+        t.add_child(&txn(1), Sym(1));
+        t.add_child(&txn(1), Sym(2));
         assert!(!t.local_done(&txn(1)));
-        assert!(!t.child_done(&txn(1), "n1"));
-        assert!(t.child_done(&txn(1), "n2"), "last child completes the subtree");
+        assert!(!t.child_done(&txn(1), Sym(1)));
+        assert!(t.child_done(&txn(1), Sym(2)), "last child completes the subtree");
         assert!(t.get(&txn(1)).unwrap().complete());
     }
 
     #[test]
     fn leaf_completes_on_local_done() {
         let mut t = NodeStateTable::new();
-        t.begin(txn(2), Some("n0".into()), Time(0), 1000);
+        t.begin(txn(2), Some(Sym(0)), Time(0), 1000);
         assert!(t.local_done(&txn(2)));
     }
 
@@ -280,15 +293,25 @@ mod tests {
         let mut t = NodeStateTable::new();
         t.begin(txn(1), None, Time(0), 1000);
         t.local_done(&txn(1));
-        assert!(t.child_done(&txn(1), "never-added"), "complete state stays complete");
-        assert!(!t.child_done(&txn(9), "x"), "unknown transaction is not complete");
+        assert!(t.child_done(&txn(1), Sym(99)), "complete state stays complete");
+        assert!(!t.child_done(&txn(9), Sym(0)), "unknown transaction is not complete");
+    }
+
+    #[test]
+    fn children_stay_sorted_and_deduplicated() {
+        let mut t = NodeStateTable::new();
+        t.begin(txn(1), None, Time(0), 1000);
+        for child in [Sym(7), Sym(2), Sym(9), Sym(2), Sym(7)] {
+            t.add_child(&txn(1), child);
+        }
+        assert_eq!(t.get(&txn(1)).unwrap().pending_children, vec![Sym(2), Sym(7), Sym(9)]);
     }
 
     #[test]
     fn close_clears_pending() {
         let mut t = NodeStateTable::new();
         t.begin(txn(1), None, Time(0), 1000);
-        t.add_child(&txn(1), "n1".into());
+        t.add_child(&txn(1), Sym(1));
         t.close(&txn(1));
         let s = t.get(&txn(1)).unwrap();
         assert!(s.closed);
@@ -323,15 +346,15 @@ mod tests {
     #[test]
     fn ledger_suppresses_replays() {
         let mut l = ResultLedger::new();
-        assert!(l.record(txn(1), "n1", 0), "first sighting is fresh");
-        assert!(!l.record(txn(1), "n1", 0), "replay suppressed");
-        assert!(l.record(txn(1), "n1", 1), "next seq is fresh");
-        assert!(l.record(txn(1), "n2", 0), "per-sender sequence spaces");
-        assert!(l.record(txn(2), "n1", 0), "per-transaction sequence spaces");
-        assert!(l.seen(txn(1), "n1", 0));
-        assert!(!l.seen(txn(1), "n1", 9));
+        assert!(l.record(txn(1), Sym(1), 0), "first sighting is fresh");
+        assert!(!l.record(txn(1), Sym(1), 0), "replay suppressed");
+        assert!(l.record(txn(1), Sym(1), 1), "next seq is fresh");
+        assert!(l.record(txn(1), Sym(2), 0), "per-sender sequence spaces");
+        assert!(l.record(txn(2), Sym(1), 0), "per-transaction sequence spaces");
+        assert!(l.seen(txn(1), Sym(1), 0));
+        assert!(!l.seen(txn(1), Sym(1), 9));
         l.forget(txn(1));
-        assert!(l.record(txn(1), "n1", 0), "forgotten transactions start over");
+        assert!(l.record(txn(1), Sym(1), 0), "forgotten transactions start over");
         assert_eq!(l.streams(), 2, "txn1/n1 recreated, txn1/n2 gone, txn2/n1 kept");
     }
 

@@ -3,25 +3,27 @@
 //! restructure only changes `forget` from a full-map retain (which the
 //! old key shape made so expensive it was never called) to a single map
 //! removal. A reference model built on the flat key checks equivalence
-//! over arbitrary interleavings of records and forgets.
+//! over arbitrary interleavings of records and forgets. Senders are
+//! interned [`Sym`]s; the reference keeps the raw `u32` to prove the
+//! symbol indirection changes nothing.
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use wsda_pdp::{ResultLedger, TransactionId};
+use wsda_pdp::{ResultLedger, Sym, TransactionId};
 
 /// The old semantics, kept as an executable specification.
 #[derive(Default)]
 struct FlatLedger {
-    seen: HashSet<(TransactionId, String, u64)>,
+    seen: HashSet<(TransactionId, u32, u64)>,
 }
 
 impl FlatLedger {
-    fn record(&mut self, txn: TransactionId, sender: &str, seq: u64) -> bool {
-        self.seen.insert((txn, sender.to_owned(), seq))
+    fn record(&mut self, txn: TransactionId, sender: Sym, seq: u64) -> bool {
+        self.seen.insert((txn, sender.0, seq))
     }
 
-    fn seen(&self, txn: TransactionId, sender: &str, seq: u64) -> bool {
-        self.seen.contains(&(txn, sender.to_owned(), seq))
+    fn seen(&self, txn: TransactionId, sender: Sym, seq: u64) -> bool {
+        self.seen.contains(&(txn, sender.0, seq))
     }
 
     fn forget(&mut self, txn: TransactionId) {
@@ -29,9 +31,9 @@ impl FlatLedger {
     }
 
     fn streams(&self) -> usize {
-        let mut streams: HashSet<(TransactionId, &str)> = HashSet::new();
+        let mut streams: HashSet<(TransactionId, u32)> = HashSet::new();
         for (t, s, _) in &self.seen {
-            streams.insert((*t, s.as_str()));
+            streams.insert((*t, *s));
         }
         streams.len()
     }
@@ -72,18 +74,18 @@ proptest! {
         for op in &ops {
             match *op {
                 Op::Record { txn: t, sender, seq } => {
-                    let sender = format!("n{sender}");
+                    let sender = Sym(u32::from(sender));
                     prop_assert_eq!(
-                        nested.record(txn(t), &sender, seq),
-                        flat.record(txn(t), &sender, seq),
+                        nested.record(txn(t), sender, seq),
+                        flat.record(txn(t), sender, seq),
                         "record({t}, {}, {seq}) diverged", sender
                     );
                 }
                 Op::Seen { txn: t, sender, seq } => {
-                    let sender = format!("n{sender}");
+                    let sender = Sym(u32::from(sender));
                     prop_assert_eq!(
-                        nested.seen(txn(t), &sender, seq),
-                        flat.seen(txn(t), &sender, seq),
+                        nested.seen(txn(t), sender, seq),
+                        flat.seen(txn(t), sender, seq),
                         "seen({t}, {}, {seq}) diverged", sender
                     );
                 }
@@ -104,18 +106,18 @@ proptest! {
     ) {
         let mut ledger = ResultLedger::new();
         for &(t, sender, seq) in &records {
-            ledger.record(txn(t), &format!("n{sender}"), seq);
+            ledger.record(txn(t), Sym(u32::from(sender)), seq);
         }
         ledger.forget(txn(victim));
         for &(t, sender, seq) in &records {
             let expect = t != victim;
             prop_assert_eq!(
-                ledger.seen(txn(t), &format!("n{sender}"), seq),
+                ledger.seen(txn(t), Sym(u32::from(sender)), seq),
                 expect,
                 "txn {t} after forgetting {victim}"
             );
         }
         // A forgotten transaction starts over from scratch.
-        prop_assert!(ledger.record(txn(victim), "n0", 0));
+        prop_assert!(ledger.record(txn(victim), Sym(0), 0));
     }
 }

@@ -641,6 +641,7 @@ impl HyperRegistry {
 
         // Phase 1: candidate selection.
         let mut domain_checked = false;
+        let mut scan_everything = false;
         let candidate_links: Vec<String> = match &query.profile().index_key {
             Some((attr, value)) if attr == "link" => {
                 stats.used_index = true;
@@ -672,7 +673,10 @@ impl HyperRegistry {
                 // let the content-index planner narrow it when it can.
                 (None, None) => match self.plan_candidates(query, demand, &mut stats) {
                     Some(links) => links,
-                    None => self.store.links(),
+                    None => {
+                        scan_everything = true;
+                        Vec::new()
+                    }
                 },
             },
         };
@@ -688,6 +692,18 @@ impl HyperRegistry {
             1,
         );
         let need_domain_check = scope.domain.is_some() && !domain_checked;
+
+        // Whole-store scans normally skip link materialization entirely
+        // (see phase 2); degradation capping and pull scheduling both need
+        // the sorted link list, so those cases fall back to it.
+        let providers = self.providers.read();
+        let candidate_links =
+            if scan_everything && (candidate_cap.is_some() || !providers.is_empty()) {
+                scan_everything = false;
+                self.store.links()
+            } else {
+                candidate_links
+            };
 
         // Degradation (admission gate): examine only the first
         // `candidate_cap` links, sorted so the surviving subset is
@@ -708,14 +724,42 @@ impl HyperRegistry {
         // Phase 2: doc collection, grouped by shard so each shard's read
         // lock is taken once. Expired tuples are filtered, not swept — the
         // read path never takes a write lock.
+        let mut docs: Vec<(u64, Arc<Element>)> = Vec::new();
+        let mut pulls_wanted: Vec<(String, Arc<dyn ContentProvider>)> = Vec::new();
+        if scan_everything {
+            // Whole-store sweep with no providers registered: every
+            // candidate serves from cache, so the link list, its sort, and
+            // the per-link hash lookups are pure overhead — iterate tuples
+            // in place instead. `docs` is ordinal-sorted below, so shard
+            // iteration order is unobservable. This is the hot shape at
+            // simulator scale (10^5 lean registries, ~4 tuples each, one
+            // scan per flooded query).
+            for idx in 0..self.store.shard_count() {
+                let shard = self.store.read_shard(idx);
+                for tuple in shard.iter() {
+                    if tuple.is_expired(now) {
+                        continue;
+                    }
+                    if need_domain_check && !scope.domain_matches(&tuple.context) {
+                        continue;
+                    }
+                    stats.candidates += 1;
+                    match decide(tuple, now, self.config.refresh_policy, demand, false) {
+                        CacheDecision::ServeCached | CacheDecision::ServeEmpty => {
+                            stats.cache_hits += 1;
+                            RegistryStats::add(&self.stats.cache_hits, 1);
+                            docs.push((tuple.ordinal, tuple.to_xml()));
+                        }
+                        CacheDecision::Pull => unreachable!("Pull implies a provider"),
+                    }
+                }
+            }
+        }
         let mut by_shard: Vec<Vec<String>> = vec![Vec::new(); self.store.shard_count()];
         for link in candidate_links {
             let idx = self.store.shard_of(&link);
             by_shard[idx].push(link);
         }
-        let providers = self.providers.read();
-        let mut docs: Vec<(u64, Arc<Element>)> = Vec::new();
-        let mut pulls_wanted: Vec<(String, Arc<dyn ContentProvider>)> = Vec::new();
         for (idx, links) in by_shard.into_iter().enumerate() {
             if links.is_empty() {
                 continue;

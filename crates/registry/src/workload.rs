@@ -93,6 +93,38 @@ impl CorpusGenerator {
         (link, (*kind).to_owned(), domain.to_owned(), svc)
     }
 
+    /// The kind of the *next* service, consuming exactly the RNG draws
+    /// [`CorpusGenerator::next_service`] would — without building the XML.
+    ///
+    /// The scale engine materializes node registries lazily: at build
+    /// time it only needs each node's service *kinds* (for routing
+    /// indexes), while the full corpus is generated on first query.
+    /// Replaying the identical draw sequence here guarantees the lazy
+    /// corpus equals the one this meta pass described.
+    pub fn next_service_kind(&mut self) -> &'static str {
+        self.counter += 1;
+        let total: u32 = KINDS.iter().map(|(_, _, w)| w).sum();
+        let mut pick = self.rng.gen_range(0..total);
+        let (kind, _, _) = KINDS
+            .iter()
+            .find(|(_, _, w)| {
+                if pick < *w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .expect("weights cover range");
+        let _domain = self.rng.gen_range(0..DOMAINS.len());
+        let _load: f64 = self.rng.gen_range(0.0..1.0);
+        let _disk_gb: u32 = self.rng.gen_range(10..10_000);
+        if kind == &"executor" {
+            let _queue: u32 = self.rng.gen_range(0..100);
+        }
+        kind
+    }
+
     /// Publish `n` generated services into a registry with the given TTL.
     pub fn populate(&mut self, registry: &HyperRegistry, n: usize, ttl_ms: u64) -> Vec<String> {
         let mut links = Vec::with_capacity(n);
@@ -182,6 +214,28 @@ mod tests {
             assert_eq!(da, db);
             assert_eq!(ca.to_compact_string(), cb.to_compact_string());
         }
+    }
+
+    #[test]
+    fn kind_meta_pass_tracks_full_generation() {
+        // Same seed: the cheap kind pass must consume the RNG exactly as
+        // full generation does, kind by kind, so a later full replay
+        // reproduces the corpus the meta pass described.
+        let mut full = CorpusGenerator::new(42);
+        let mut meta = CorpusGenerator::new(42);
+        for _ in 0..64 {
+            let (_, kind, _, _) = full.next_service();
+            assert_eq!(meta.next_service_kind(), kind);
+        }
+        // And after interleaving, both generators stay in lockstep.
+        let (la, ka, da, ca) = full.next_service();
+        let mut replay = CorpusGenerator::new(42);
+        for _ in 0..64 {
+            replay.next_service_kind();
+        }
+        let (lb, kb, db, cb) = replay.next_service();
+        assert_eq!((la, ka, da), (lb, kb, db));
+        assert_eq!(ca.to_compact_string(), cb.to_compact_string());
     }
 
     #[test]

@@ -20,29 +20,55 @@
 //!   timeouts, plus the state table's static loop timeout,
 //! * **loop detection** — duplicate transactions answered with an
 //!   immediate empty-final ("prune ack") so parents never wait on them.
+//!
+//! # Scale architecture
+//!
+//! The engine is built for 10^5–10^6 nodes (see `DESIGN.md`, "Simulator at
+//! scale"):
+//!
+//! * per-node runtime state lives in a struct-of-arrays [`NodeArena`]
+//!   indexed by dense `NodeId` — no per-node `String` keys anywhere on the
+//!   hot path ([`wsda_pdp::Sym`] stands in for peer endpoints),
+//! * endpoint strings are materialized once in an [`EndpointTable`] (one
+//!   shared buffer, ~11 bytes/node) and handed out as `&str`,
+//! * node registries materialize lazily on first evaluation (the build
+//!   pass only runs the cheap corpus *kind* meta pass for routing hints),
+//! * timers live in a [`TimerSlab`] that recycles slots as they fire, so
+//!   timer bookkeeping stays bounded by in-flight timers, not history,
+//! * same-instant local evaluations batch through
+//!   `local_eval_batch` and fan out over threads while preserving
+//!   bit-for-bit determinism with the sequential loop
+//!   ([`P2pConfig::parallel_eval`]).
 
+use crate::arena::{EndpointTable, TimerSlab};
 use crate::breaker::{CircuitBreaker, ForwardDecision};
 use crate::metrics::QueryMetrics;
 use crate::recovery::{Completeness, RecoveryConfig};
-use crate::selection::{NeighborPolicy, RoutingIndex};
+use crate::selection::{NeighborPolicy, NodeKinds, RoutingIndex};
 use crate::topology::Topology;
+use rayon::prelude::*;
+
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use wsda_net::model::{ChaosPlan, FaultPlan, NetworkModel};
 use wsda_net::{Delivery, NodeId, Simulator};
-use wsda_obs::{MetricsRegistry, QueryTrace, TraceBuffer, TraceEvent, TraceKind};
+use wsda_obs::{Gauge, MetricsRegistry, QueryTrace, TraceBuffer, TraceEvent, TraceKind};
 use wsda_pdp::{
     encoded_len, BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage,
-    ResponseMode, ResultLedger, Scope, TransactionId,
+    ResponseMode, ResultLedger, Scope, Sym, TransactionId,
 };
 use wsda_registry::admission::{Admission, AdmissionConfig, AdmissionContext};
-use wsda_registry::clock::Time;
+use wsda_registry::clock::{ManualClock, Time};
 use wsda_registry::workload::CorpusGenerator;
 use wsda_registry::{
-    Freshness, HyperRegistry, PersistenceConfig, QueryScope, RecoveryReport, RegistryConfig,
-    RegistryError,
+    Freshness, HyperRegistry, PersistenceConfig, QueryPlan, QueryScope, RecoveryReport,
+    RegistryConfig, RegistryError,
 };
+
+/// Node count at or below which per-node gauges and eager registries
+/// default on (the legacy behavior every existing experiment sees).
+const PER_NODE_METRICS_AUTO_LIMIT: usize = 512;
 
 /// How nodes bound their waiting (experiment F8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,8 +119,30 @@ pub struct P2pConfig {
     /// the WAL + snapshot backend under `root/n<i>`, and
     /// [`SimNetwork::restart_node_from_disk`] can rebuild a node from its
     /// on-disk state at the current virtual time. `None` (the default)
-    /// keeps registries purely in memory.
+    /// keeps registries purely in memory. Implies eager registry
+    /// materialization.
     pub persist_root: Option<PathBuf>,
+    /// Evaluate same-instant local evaluations in parallel across nodes.
+    /// Bit-for-bit deterministic: outcomes are identical to the
+    /// sequential loop (the scheduler-equivalence proptests enforce it).
+    pub parallel_eval: bool,
+    /// Smallest same-instant evaluation batch worth fanning out over
+    /// threads; smaller batches evaluate inline (spawn cost dominates).
+    pub parallel_min_batch: usize,
+    /// Per-node gauges and per-node registry stat export: `Some(b)`
+    /// forces, `None` enables them automatically for networks of at most
+    /// [`PER_NODE_METRICS_AUTO_LIMIT`] nodes. Per-node metric names
+    /// allocate per node, which 10^5-node networks cannot afford;
+    /// aggregate `*_total` gauges are always maintained.
+    pub per_node_metrics: Option<bool>,
+    /// Lean registries for huge networks: one shard and no content index
+    /// per node (4-tuple registries don't repay 16 shard maps each).
+    pub scale_registries: bool,
+    /// Build the `hint:` routing index at construction. Costs one bounded
+    /// BFS per edge and per-edge kind sets — fine at experiment scale,
+    /// prohibitive at 10^5+ nodes. Without it, `hint:` policies degrade
+    /// to flooding (their documented no-index behavior).
+    pub build_routing_index: bool,
 }
 
 impl Default for P2pConfig {
@@ -113,31 +161,127 @@ impl Default for P2pConfig {
             inbox_capacity: None,
             trace_capacity: 4096,
             persist_root: None,
+            parallel_eval: true,
+            parallel_min_batch: 128,
+            per_node_metrics: None,
+            scale_registries: false,
+            build_routing_index: true,
         }
     }
 }
 
-/// One peer node's runtime state.
-struct PeerNode {
-    registry: Arc<HyperRegistry>,
-    state: NodeStateTable,
+impl P2pConfig {
+    /// The preset for 10^5–10^6-node networks: lazy lean registries, no
+    /// routing index, no tracing, aggregate-only metrics. Everything else
+    /// (protocol, timeouts, seeds) matches the default so results remain
+    /// comparable with small-network runs.
+    pub fn for_scale() -> P2pConfig {
+        P2pConfig {
+            trace_capacity: 0,
+            per_node_metrics: Some(false),
+            scale_registries: true,
+            build_routing_index: false,
+            ..P2pConfig::default()
+        }
+    }
+}
+
+/// Builds node registries on demand: holds everything needed to
+/// materialize node `i`'s registry identically whether it happens at
+/// build time (eager) or on first local evaluation (lazy).
+struct RegistryFactory {
+    config: RegistryConfig,
+    clock: Arc<ManualClock>,
+    seed: u64,
+    tuples_per_node: usize,
+}
+
+impl RegistryFactory {
+    fn corpus_seed(&self, node: u32) -> u64 {
+        self.seed ^ (node as u64).wrapping_mul(0x9e37)
+    }
+
+    /// Publish node `i`'s synthetic corpus (deterministic in the seed).
+    fn populate(&self, registry: &HyperRegistry, node: u32) {
+        let mut generator = CorpusGenerator::new(self.corpus_seed(node));
+        for _ in 0..self.tuples_per_node {
+            let (link, _kind, domain, content) = generator.next_service();
+            registry
+                .publish(
+                    wsda_registry::PublishRequest::new(&link, "service")
+                        .with_context(domain)
+                        .with_ttl_ms(u64::MAX / 8)
+                        .with_content(content),
+                )
+                .expect("synthetic publish");
+        }
+    }
+
+    fn materialize(&self, node: u32) -> Arc<HyperRegistry> {
+        let registry = Arc::new(HyperRegistry::new(self.config.clone(), self.clock.clone()));
+        self.populate(&registry, node);
+        registry
+    }
+}
+
+/// A node's registry slot: either materialized (eager/durable networks,
+/// or any node that has evaluated a query) or still pending. The
+/// `OnceLock` makes first-use materialization safe from the parallel
+/// evaluation phase.
+struct NodeRegistry {
+    cell: OnceLock<Arc<HyperRegistry>>,
+}
+
+impl NodeRegistry {
+    fn lazy() -> NodeRegistry {
+        NodeRegistry { cell: OnceLock::new() }
+    }
+
+    fn eager(registry: Arc<HyperRegistry>) -> NodeRegistry {
+        let cell = OnceLock::new();
+        let _ = cell.set(registry);
+        NodeRegistry { cell }
+    }
+
+    fn get<'a>(&'a self, factory: &RegistryFactory, node: u32) -> &'a Arc<HyperRegistry> {
+        self.cell.get_or_init(|| factory.materialize(node))
+    }
+
+    fn peek(&self) -> Option<&Arc<HyperRegistry>> {
+        self.cell.get()
+    }
+}
+
+/// All per-node runtime state, struct-of-arrays and indexed by dense
+/// `NodeId`. An idle node holds empty collections only — no heap blocks —
+/// keeping idle footprint well under 1 KB/node.
+struct NodeArena {
+    factory: RegistryFactory,
+    registries: Vec<NodeRegistry>,
+    state: Vec<NodeStateTable>,
     /// Per-transaction runtime info.
-    txns: HashMap<TransactionId, TxnInfo>,
+    txns: Vec<HashMap<TransactionId, TxnInfo>>,
     /// Received-frame dedup (recovery): replays are acked but not merged.
-    ledger: ResultLedger,
+    ledgers: Vec<ResultLedger>,
     /// Sent-but-unacked `Results` frames keyed by (txn, receiver, seq).
-    pending_acks: HashMap<(TransactionId, NodeId, u64), PendingFrame>,
+    pending_acks: Vec<HashMap<(TransactionId, NodeId, u64), PendingFrame>>,
     /// Neighbors that exhausted a retry budget; skipped by later forwards.
-    suspected: HashSet<NodeId>,
+    suspected: Vec<HashSet<NodeId>>,
     /// Per-neighbor circuit breakers (when enabled these subsume the
     /// permanent `suspected` filter: open breakers shed forwards, and a
     /// half-open probe answered with `Pong` rehabilitates the neighbor).
-    breakers: HashMap<NodeId, CircuitBreaker>,
+    breakers: Vec<HashMap<NodeId, CircuitBreaker>>,
     /// Per-node compiled-query cache: one parse per distinct query string,
     /// shared by every hop and retransmission that reaches this node.
-    qcache: QueryCache,
-    /// Bounded ring of hop-level trace events recorded at this node.
-    trace: TraceBuffer,
+    qcaches: Vec<QueryCache>,
+    /// Bounded rings of hop-level trace events recorded at each node.
+    traces: Vec<TraceBuffer>,
+}
+
+impl NodeArena {
+    fn registry(&self, node: NodeId) -> &Arc<HyperRegistry> {
+        self.registries[node.0 as usize].get(&self.factory, node.0)
+    }
 }
 
 /// A reliable `Results` frame awaiting its ack.
@@ -149,7 +293,8 @@ struct PendingFrame {
 
 struct TxnInfo {
     query: CompiledQuery,
-    source: String,
+    /// Shared, not cloned, into watchdog re-queries and referral fetches.
+    source: Arc<str>,
     language: QueryLanguage,
     scope: Scope,
     mode: ResponseMode,
@@ -185,18 +330,68 @@ pub struct QueryRun {
     pub transaction: TransactionId,
 }
 
+/// Cached per-node gauge handles — registering names allocates, so it
+/// happens once at build time, never inside [`SimNetwork::metrics`].
+struct NodeGauges {
+    ledger_streams: Gauge,
+    state_entries: Gauge,
+    txn_info: Gauge,
+    pending_acks: Gauge,
+    trace_dropped: Gauge,
+}
+
+impl NodeGauges {
+    fn register(metrics: &MetricsRegistry, i: usize) -> NodeGauges {
+        NodeGauges {
+            ledger_streams: metrics.gauge(&format!("updf_ledger_streams{{node=\"n{i}\"}}")),
+            state_entries: metrics.gauge(&format!("updf_state_entries{{node=\"n{i}\"}}")),
+            txn_info: metrics.gauge(&format!("updf_txn_info{{node=\"n{i}\"}}")),
+            pending_acks: metrics.gauge(&format!("updf_pending_acks{{node=\"n{i}\"}}")),
+            trace_dropped: metrics.gauge(&format!("updf_trace_dropped{{node=\"n{i}\"}}")),
+        }
+    }
+}
+
+/// Network-wide gauges, maintained at every scale.
+struct TotalGauges {
+    ledger_streams: Gauge,
+    state_entries: Gauge,
+    txn_info: Gauge,
+    pending_acks: Gauge,
+    overflowed: Gauge,
+}
+
+impl TotalGauges {
+    fn register(metrics: &MetricsRegistry) -> TotalGauges {
+        TotalGauges {
+            ledger_streams: metrics.gauge("updf_ledger_streams_total"),
+            state_entries: metrics.gauge("updf_state_entries_total"),
+            txn_info: metrics.gauge("updf_txn_info_total"),
+            pending_acks: metrics.gauge("updf_pending_acks_total"),
+            overflowed: metrics.gauge("sim_messages_overflowed"),
+        }
+    }
+}
+
 /// A P2P network of hyper-registry nodes on the discrete-event simulator.
 pub struct SimNetwork {
     topology: Topology,
     sim: Simulator<Message>,
-    nodes: Vec<PeerNode>,
-    node_kinds: Vec<HashSet<String>>,
+    arena: NodeArena,
+    node_kinds: NodeKinds,
     config: P2pConfig,
-    routing_index: RoutingIndex,
-    timer_tags: HashMap<u64, TimerEvent>,
-    next_timer: u64,
+    /// `None` when disabled ([`P2pConfig::build_routing_index`]);
+    /// `hint:` policies then flood.
+    routing_index: Option<RoutingIndex>,
+    /// All node endpoint strings in one shared buffer.
+    endpoints: EndpointTable,
+    /// In-flight timers; slots recycle as timers fire.
+    timers: TimerSlab<TimerEvent>,
     txn_counter: u64,
     metrics: MetricsRegistry,
+    /// Empty unless per-node metrics are enabled.
+    node_gauges: Vec<NodeGauges>,
+    totals: TotalGauges,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -228,12 +423,28 @@ enum TimerEvent {
     },
 }
 
-fn endpoint(node: NodeId) -> String {
-    format!("n{}", node.0)
-}
-
 fn parse_endpoint(e: &str) -> Option<NodeId> {
     e.strip_prefix('n').and_then(|s| s.parse().ok()).map(NodeId)
+}
+
+/// A snapshot of one pending local evaluation (collect phase of
+/// `local_eval_batch`).
+struct EvalJob {
+    node: NodeId,
+    txn: TransactionId,
+    query: CompiledQuery,
+    mode: ResponseMode,
+    pipeline: bool,
+    parent: Option<NodeId>,
+    deadline: Time,
+}
+
+/// The pure outcome of one local evaluation (compute phase).
+struct EvalOut {
+    items: Vec<String>,
+    plan: Option<QueryPlan>,
+    degraded: bool,
+    shed: bool,
 }
 
 impl SimNetwork {
@@ -258,81 +469,105 @@ impl SimNetwork {
             sim.set_inbox_capacity(cap, |m| matches!(m, Message::Query { .. }));
         }
         let clock = sim.clock();
-        let mut nodes = Vec::with_capacity(topology.len());
-        let mut node_kinds: Vec<HashSet<String>> = Vec::with_capacity(topology.len());
-        for i in 0..topology.len() {
-            let registry_config = RegistryConfig {
-                max_ttl_ms: u64::MAX / 4,
-                admission: config.registry_admission.clone(),
-                ..RegistryConfig::default()
-            };
-            let (registry, recovered) = match &config.persist_root {
-                Some(root) => {
-                    let persist = PersistenceConfig::new(root.join(format!("n{i}")));
-                    let (registry, report) =
-                        HyperRegistry::open_durable(registry_config, clock.clone(), &persist)
-                            .expect("open durable sim registry");
-                    (Arc::new(registry), report.recovered_tuples > 0)
-                }
-                None => (Arc::new(HyperRegistry::new(registry_config, clock.clone())), false),
-            };
-            // The generator always runs so `node_kinds` (routing hints) is
-            // identical whether the corpus is published fresh or came back
-            // from disk — it is deterministic in the seed.
-            let mut generator = CorpusGenerator::new(config.seed ^ (i as u64).wrapping_mul(0x9e37));
-            let mut kinds = HashSet::new();
+        let n = topology.len();
+        let per_node_metrics = config.per_node_metrics.unwrap_or(n <= PER_NODE_METRICS_AUTO_LIMIT);
+        // Registries materialize lazily at scale: building only needs each
+        // node's content *kinds*. Durable and per-node-metrics networks
+        // materialize eagerly (recovery and stat export need live
+        // registries), which preserves the legacy small-network behavior.
+        let eager = config.persist_root.is_some() || per_node_metrics;
+        let mut registry_config = RegistryConfig {
+            max_ttl_ms: u64::MAX / 4,
+            admission: config.registry_admission.clone(),
+            ..RegistryConfig::default()
+        };
+        if config.scale_registries {
+            registry_config.shards = 1;
+            registry_config.content_index = false;
+        }
+        let factory = RegistryFactory {
+            config: registry_config,
+            clock: clock.clone(),
+            seed: config.seed,
+            tuples_per_node: config.tuples_per_node,
+        };
+        let mut registries = Vec::with_capacity(n);
+        let mut node_kinds = NodeKinds::new(n);
+        for i in 0..n {
+            let node_u32 = i as u32;
+            // The kind meta pass always runs so `node_kinds` (routing
+            // hints) is identical whether the corpus is published fresh,
+            // lazily, or came back from disk — it is deterministic in the
+            // seed and consumes the exact draw sequence full generation
+            // does.
+            let mut generator = CorpusGenerator::new(factory.corpus_seed(node_u32));
             for _ in 0..config.tuples_per_node {
-                let (link, kind, domain, content) = generator.next_service();
-                if !recovered {
-                    registry
-                        .publish(
-                            wsda_registry::PublishRequest::new(&link, "service")
-                                .with_context(domain)
-                                .with_ttl_ms(u64::MAX / 8)
-                                .with_content(content),
-                        )
-                        .expect("synthetic publish");
-                }
-                kinds.insert(kind);
+                node_kinds.insert(NodeId(node_u32), generator.next_service_kind());
             }
-            node_kinds.push(kinds);
-            nodes.push(PeerNode {
-                registry,
-                state: NodeStateTable::new(),
-                txns: HashMap::new(),
-                ledger: ResultLedger::new(),
-                pending_acks: HashMap::new(),
-                suspected: HashSet::new(),
-                breakers: HashMap::new(),
-                qcache: QueryCache::default(),
-                trace: TraceBuffer::new(config.trace_capacity),
-            });
+            if let Some(root) = &config.persist_root {
+                let persist = PersistenceConfig::new(root.join(format!("n{i}")));
+                let (registry, report) =
+                    HyperRegistry::open_durable(factory.config.clone(), clock.clone(), &persist)
+                        .expect("open durable sim registry");
+                let registry = Arc::new(registry);
+                if report.recovered_tuples == 0 {
+                    factory.populate(&registry, node_u32);
+                }
+                registries.push(NodeRegistry::eager(registry));
+            } else if eager {
+                registries.push(NodeRegistry::eager(factory.materialize(node_u32)));
+            } else {
+                registries.push(NodeRegistry::lazy());
+            }
         }
         let metrics = MetricsRegistry::new();
-        for (i, node) in nodes.iter().enumerate() {
-            node.registry.stats().export_into(&metrics, &format!("n{i}"));
-            if let Some(backend) = node.registry.wal_backend() {
-                backend.metrics.export_into(&metrics, &format!("n{i}"));
+        let mut node_gauges = Vec::new();
+        if per_node_metrics {
+            for (i, slot) in registries.iter().enumerate() {
+                if let Some(registry) = slot.peek() {
+                    registry.stats().export_into(&metrics, &format!("n{i}"));
+                    if let Some(backend) = registry.wal_backend() {
+                        backend.metrics.export_into(&metrics, &format!("n{i}"));
+                    }
+                }
+                node_gauges.push(NodeGauges::register(&metrics, i));
             }
         }
-        let routing_index = RoutingIndex::build(&topology, &node_kinds, config.routing_horizon);
+        let totals = TotalGauges::register(&metrics);
+        let routing_index = config
+            .build_routing_index
+            .then(|| RoutingIndex::build(&topology, &node_kinds, config.routing_horizon));
+        let arena = NodeArena {
+            factory,
+            registries,
+            state: (0..n).map(|_| NodeStateTable::new()).collect(),
+            txns: (0..n).map(|_| HashMap::new()).collect(),
+            ledgers: (0..n).map(|_| ResultLedger::new()).collect(),
+            pending_acks: (0..n).map(|_| HashMap::new()).collect(),
+            suspected: (0..n).map(|_| HashSet::new()).collect(),
+            breakers: (0..n).map(|_| HashMap::new()).collect(),
+            qcaches: (0..n).map(|_| QueryCache::default()).collect(),
+            traces: (0..n).map(|_| TraceBuffer::new(config.trace_capacity)).collect(),
+        };
         SimNetwork {
+            endpoints: EndpointTable::new(n),
             topology,
             sim,
-            nodes,
+            arena,
             node_kinds,
             config,
             routing_index,
-            timer_tags: HashMap::new(),
-            next_timer: 0,
+            timers: TimerSlab::new(),
             txn_counter: 0,
             metrics,
+            node_gauges,
+            totals,
         }
     }
 
     /// Publish an extra service of a given `kind` at `node` and refresh the
-    /// routing index so `hint:<kind>` policies can steer toward it. Used by
-    /// experiments that plant rare content.
+    /// routing index (when one is built) so `hint:<kind>` policies can
+    /// steer toward it. Used by experiments that plant rare content.
     pub fn plant_service(
         &mut self,
         node: NodeId,
@@ -340,17 +575,22 @@ impl SimNetwork {
         link: &str,
         content: wsda_xml::Element,
     ) {
-        self.nodes[node.0 as usize]
-            .registry
+        self.arena
+            .registry(node)
             .publish(
                 wsda_registry::PublishRequest::new(link, "service")
                     .with_ttl_ms(u64::MAX / 8)
                     .with_content(content),
             )
             .expect("plant publish");
-        self.node_kinds[node.0 as usize].insert(kind.to_owned());
-        self.routing_index =
-            RoutingIndex::build(&self.topology, &self.node_kinds, self.config.routing_horizon);
+        self.node_kinds.insert(node, kind);
+        if self.routing_index.is_some() {
+            self.routing_index = Some(RoutingIndex::build(
+                &self.topology,
+                &self.node_kinds,
+                self.config.routing_horizon,
+            ));
+        }
     }
 
     /// The topology.
@@ -359,8 +599,9 @@ impl SimNetwork {
     }
 
     /// A node's registry (to publish extra content before a run).
+    /// Materializes a lazy registry on first access.
     pub fn registry(&self, node: NodeId) -> &Arc<HyperRegistry> {
-        &self.nodes[node.0 as usize].registry
+        self.arena.registry(node)
     }
 
     /// Advance virtual time by `ms` with the network idle — e.g. to model
@@ -392,31 +633,29 @@ impl SimNetwork {
         let i = node.0 as usize;
         // Drop the old incarnation first so its WAL handle is released
         // before recovery reopens (and snapshots into) the directory.
-        self.nodes[i] = PeerNode {
-            registry: Arc::new(HyperRegistry::new(RegistryConfig::default(), self.sim.clock())),
-            state: NodeStateTable::new(),
-            txns: HashMap::new(),
-            ledger: ResultLedger::new(),
-            pending_acks: HashMap::new(),
-            suspected: HashSet::new(),
-            breakers: HashMap::new(),
-            qcache: QueryCache::default(),
-            trace: TraceBuffer::new(self.config.trace_capacity),
-        };
-        let registry_config = RegistryConfig {
-            max_ttl_ms: u64::MAX / 4,
-            admission: self.config.registry_admission.clone(),
-            ..RegistryConfig::default()
-        };
+        self.arena.registries[i] = NodeRegistry::lazy();
+        self.arena.state[i] = NodeStateTable::new();
+        self.arena.txns[i] = HashMap::new();
+        self.arena.ledgers[i] = ResultLedger::new();
+        self.arena.pending_acks[i] = HashMap::new();
+        self.arena.suspected[i] = HashSet::new();
+        self.arena.breakers[i] = HashMap::new();
+        self.arena.qcaches[i] = QueryCache::default();
+        self.arena.traces[i] = TraceBuffer::new(self.config.trace_capacity);
         let persist = PersistenceConfig::new(root.join(format!("n{i}")));
-        let (registry, report) =
-            HyperRegistry::open_durable(registry_config, self.sim.clock(), &persist)?;
+        let (registry, report) = HyperRegistry::open_durable(
+            self.arena.factory.config.clone(),
+            self.sim.clock(),
+            &persist,
+        )?;
         let registry = Arc::new(registry);
-        registry.stats().export_into(&self.metrics, &format!("n{i}"));
-        if let Some(backend) = registry.wal_backend() {
-            backend.metrics.export_into(&self.metrics, &format!("n{i}"));
+        if !self.node_gauges.is_empty() {
+            registry.stats().export_into(&self.metrics, &format!("n{i}"));
+            if let Some(backend) = registry.wal_backend() {
+                backend.metrics.export_into(&self.metrics, &format!("n{i}"));
+            }
         }
-        self.nodes[i].registry = registry;
+        self.arena.registries[i] = NodeRegistry::eager(registry);
         Ok(report)
     }
 
@@ -435,38 +674,51 @@ impl SimNetwork {
     /// tests assert this stays flat across repeated runs, extra hops and
     /// retransmissions of the same query string.
     pub fn query_parses(&self) -> u64 {
-        self.nodes.iter().map(|n| n.qcache.parses()).sum()
+        self.arena.qcaches.iter().map(|c| c.parses()).sum()
     }
 
     /// Total compiled-query cache hits across all nodes.
     pub fn query_cache_hits(&self) -> u64 {
-        self.nodes.iter().map(|n| n.qcache.hits()).sum()
+        self.arena.qcaches.iter().map(|c| c.hits()).sum()
+    }
+
+    /// In-flight timers (leak regression surface: fired and superseded
+    /// timers must not accumulate).
+    pub fn timers_live(&self) -> usize {
+        self.timers.live()
+    }
+
+    /// High-water mark of concurrently in-flight timers — the slab never
+    /// holds more slots than this, however many timers ever fired.
+    pub fn timers_high_water(&self) -> usize {
+        self.timers.capacity()
+    }
+
+    /// Timers ever scheduled since the network was built.
+    pub fn timers_scheduled(&self) -> u64 {
+        self.timers.scheduled()
     }
 
     /// The unified metrics registry: per-node hyper-registry counters
-    /// (adopted at build time) plus per-node state-size gauges and
-    /// transport-overflow/breaker counters refreshed on each call. Render
-    /// with [`MetricsRegistry::render_prometheus`] or snapshot with
+    /// (adopted at build time) plus state-size gauges and transport-
+    /// overflow/breaker counters refreshed on each call. Per-node gauges
+    /// exist only when [`P2pConfig::per_node_metrics`] resolves on;
+    /// network-wide `*_total` gauges are always maintained. Render with
+    /// [`MetricsRegistry::render_prometheus`] or snapshot with
     /// [`MetricsRegistry::to_json`].
     pub fn metrics(&self) -> &MetricsRegistry {
-        for (i, node) in self.nodes.iter().enumerate() {
-            self.metrics
-                .gauge(&format!("updf_ledger_streams{{node=\"n{i}\"}}"))
-                .set(node.ledger.streams() as u64);
-            self.metrics
-                .gauge(&format!("updf_state_entries{{node=\"n{i}\"}}"))
-                .set(node.state.len() as u64);
-            self.metrics
-                .gauge(&format!("updf_txn_info{{node=\"n{i}\"}}"))
-                .set(node.txns.len() as u64);
-            self.metrics
-                .gauge(&format!("updf_pending_acks{{node=\"n{i}\"}}"))
-                .set(node.pending_acks.len() as u64);
-            self.metrics
-                .gauge(&format!("updf_trace_dropped{{node=\"n{i}\"}}"))
-                .set(node.trace.dropped());
+        for (i, g) in self.node_gauges.iter().enumerate() {
+            g.ledger_streams.set(self.arena.ledgers[i].streams() as u64);
+            g.state_entries.set(self.arena.state[i].len() as u64);
+            g.txn_info.set(self.arena.txns[i].len() as u64);
+            g.pending_acks.set(self.arena.pending_acks[i].len() as u64);
+            g.trace_dropped.set(self.arena.traces[i].dropped());
         }
-        self.metrics.gauge("sim_messages_overflowed").set(self.network_overflows());
+        self.totals.ledger_streams.set(self.arena.ledgers.iter().map(|l| l.streams() as u64).sum());
+        self.totals.state_entries.set(self.arena.state.iter().map(|s| s.len() as u64).sum());
+        self.totals.txn_info.set(self.arena.txns.iter().map(|t| t.len() as u64).sum());
+        self.totals.pending_acks.set(self.arena.pending_acks.iter().map(|p| p.len() as u64).sum());
+        self.totals.overflowed.set(self.network_overflows());
         &self.metrics
     }
 
@@ -475,31 +727,38 @@ impl SimNetwork {
     /// survived in its ring (see [`QueryTrace::is_complete`]).
     pub fn assemble_trace(&self, txn: TransactionId) -> QueryTrace {
         let events =
-            self.nodes.iter().flat_map(|n| n.trace.for_txn(txn.0)).collect::<Vec<TraceEvent>>();
+            self.arena.traces.iter().flat_map(|t| t.for_txn(txn.0)).collect::<Vec<TraceEvent>>();
         let mut trace = QueryTrace::assemble(txn.0, events);
-        trace.dropped = self.nodes.iter().map(|n| n.trace.dropped()).sum();
+        trace.dropped = self.arena.traces.iter().map(|t| t.dropped()).sum();
         trace
     }
 
+    /// Record a hop-level trace event at `node`. Endpoint strings (and the
+    /// event itself) are only allocated when tracing is enabled.
     fn trace(
         &mut self,
         node: NodeId,
         kind: TraceKind,
         txn: TransactionId,
-        f: impl FnOnce(TraceEvent) -> TraceEvent,
+        peer: Option<NodeId>,
+        items: Option<u64>,
     ) {
         if self.config.trace_capacity == 0 {
             return;
         }
         let at = self.sim.now().millis();
-        let ev = f(TraceEvent::new(txn.0, endpoint(node), kind, at));
-        self.nodes[node.0 as usize].trace.record(ev);
+        let mut ev = TraceEvent::new(txn.0, self.endpoints.str(node).to_owned(), kind, at);
+        if let Some(p) = peer {
+            ev = ev.with_peer(self.endpoints.str(p).to_owned());
+        }
+        if let Some(count) = items {
+            ev = ev.with_items(count);
+        }
+        self.arena.traces[node.0 as usize].record(ev);
     }
 
     fn schedule_timer(&mut self, node: NodeId, delay_ms: u64, ev: TimerEvent) {
-        let tag = self.next_timer;
-        self.next_timer += 1;
-        self.timer_tags.insert(tag, ev);
+        let tag = self.timers.insert(ev);
         self.sim.schedule(node, delay_ms, tag);
     }
 
@@ -545,7 +804,7 @@ impl SimNetwork {
         let txn = self.fresh_txn();
         let mut run = RunState::new(origin, txn, scope.max_results);
         self.schedule_timer(origin, scope.abort_timeout_ms, TimerEvent::OriginDeadline { txn });
-        let mode = ResponseMode::Direct { originator: endpoint(origin) };
+        let mode = ResponseMode::Direct { originator: self.endpoints.str(origin).to_owned() };
         // The agent's own registry participates too.
         let local_scope = Scope { radius: Some(0), ..scope.clone() };
         self.accept_query(
@@ -569,7 +828,7 @@ impl SimNetwork {
                 scope: local_scope.clone(),
                 response_mode: mode.clone(),
             };
-            self.nodes[origin.0 as usize].state.add_child(&txn, endpoint(target));
+            self.arena.state[origin.0 as usize].add_child(&txn, Sym(target.0));
             let mut m = std::mem::take(&mut run.metrics);
             self.send(&mut m, origin, target, msg);
             run.metrics = m;
@@ -610,13 +869,15 @@ impl SimNetwork {
     }
 
     /// Deterministic timer jitter (decorrelates retransmission storms
-    /// without threading an RNG through the engine).
+    /// without threading an RNG through the engine). Keyed by the count
+    /// of timers ever scheduled, which the slab tracks independently of
+    /// slot reuse — the same sequence the pre-slab engine produced.
     fn jitter_ms(&mut self) -> u64 {
         let j = self.config.recovery.jitter_ms;
         if j == 0 {
             return 0;
         }
-        (self.next_timer.wrapping_mul(0x9e3779b97f4a7c15) >> 33) % (j + 1)
+        (self.timers.scheduled().wrapping_mul(0x9e3779b97f4a7c15) >> 33) % (j + 1)
     }
 
     // ==== the event loop ==================================================
@@ -631,9 +892,44 @@ impl SimNetwork {
                 Delivery::Message { from, to, message } => {
                     self.on_message(run, from, to, message);
                 }
-                Delivery::Timer { node, tag } => {
-                    let Some(ev) = self.timer_tags.remove(&tag) else { continue };
-                    self.on_timer(run, node, ev);
+                Delivery::Timer { node: _, tag } => {
+                    let Some(ev) = self.timers.take(tag) else { continue };
+                    match ev {
+                        TimerEvent::LocalEvalDone { node, txn } => {
+                            // Drain every LocalEvalDone scheduled for this
+                            // same instant into one batch. Pops consume no
+                            // randomness and allocate no sequence numbers,
+                            // and applies only schedule strictly-later (or
+                            // larger-seq same-instant) events, so batching
+                            // is bit-for-bit identical to popping one at a
+                            // time — while the pure compute step can fan
+                            // out over threads (local_eval_batch).
+                            let now = self.sim.now();
+                            let mut batch = vec![(node, txn)];
+                            while let Some((at, _, peek_tag)) = self.sim.peek_timer() {
+                                if at != now
+                                    || !matches!(
+                                        self.timers.get(peek_tag),
+                                        Some(TimerEvent::LocalEvalDone { .. })
+                                    )
+                                {
+                                    break;
+                                }
+                                let Some(Delivery::Timer { tag: next_tag, .. }) = self.sim.next()
+                                else {
+                                    unreachable!("peek_timer saw a timer at the queue head")
+                                };
+                                events += 1;
+                                if let Some(TimerEvent::LocalEvalDone { node, txn }) =
+                                    self.timers.take(next_tag)
+                                {
+                                    batch.push((node, txn));
+                                }
+                            }
+                            self.local_eval_batch(run, batch);
+                        }
+                        other => self.on_timer(run, other),
+                    }
                 }
             }
         }
@@ -653,8 +949,8 @@ impl SimNetwork {
                 self.on_results(run, from, to, transaction, seq, items, last, origin);
             }
             Message::Ack { transaction, seq } => {
-                self.nodes[to.0 as usize].pending_acks.remove(&(transaction, from, seq));
-                self.trace(to, TraceKind::Ack, transaction, |e| e.with_peer(endpoint(from)));
+                self.arena.pending_acks[to.0 as usize].remove(&(transaction, from, seq));
+                self.trace(to, TraceKind::Ack, transaction, Some(from), None);
                 self.breaker_success(to, from);
             }
             Message::Error { transaction, origin, reason } => {
@@ -674,7 +970,7 @@ impl SimNetwork {
             Message::Pong => {
                 // The half-open probe answered: the neighbor is back.
                 self.breaker_success(to, from);
-                self.nodes[to.0 as usize].suspected.remove(&from);
+                self.arena.suspected[to.0 as usize].remove(&from);
             }
         }
     }
@@ -682,8 +978,7 @@ impl SimNetwork {
     /// Consult (creating on demand) `node`'s breaker for `neighbor`.
     fn breaker_decide(&mut self, node: NodeId, neighbor: NodeId, now_ms: u64) -> ForwardDecision {
         let cfg = self.config.recovery.breaker;
-        self.nodes[node.0 as usize]
-            .breakers
+        self.arena.breakers[node.0 as usize]
             .entry(neighbor)
             .or_insert_with(|| CircuitBreaker::new(cfg))
             .decide(now_ms)
@@ -692,8 +987,7 @@ impl SimNetwork {
     /// Record a send/ack failure toward `neighbor`; true when it tripped.
     fn breaker_failure(&mut self, node: NodeId, neighbor: NodeId, now_ms: u64) -> bool {
         let cfg = self.config.recovery.breaker;
-        self.nodes[node.0 as usize]
-            .breakers
+        self.arena.breakers[node.0 as usize]
             .entry(neighbor)
             .or_insert_with(|| CircuitBreaker::new(cfg))
             .record_failure(now_ms)
@@ -701,7 +995,7 @@ impl SimNetwork {
 
     /// Record proof of life from `neighbor` (ack or pong).
     fn breaker_success(&mut self, node: NodeId, neighbor: NodeId) {
-        if let Some(b) = self.nodes[node.0 as usize].breakers.get_mut(&neighbor) {
+        if let Some(b) = self.arena.breakers[node.0 as usize].get_mut(&neighbor) {
             b.record_success();
         }
     }
@@ -725,34 +1019,25 @@ impl SimNetwork {
         // entry AND the per-transaction satellites (result ledger, txn
         // info, pending retransmissions), which previously outlived it and
         // leaked across transactions.
-        for expired in self.nodes[node_idx].state.sweep_expired(now) {
-            let n = &mut self.nodes[node_idx];
-            n.ledger.forget(expired);
-            n.txns.remove(&expired);
-            n.pending_acks.retain(|(t, _, _), _| *t != expired);
+        for expired in self.arena.state[node_idx].sweep_expired(now) {
+            self.arena.ledgers[node_idx].forget(expired);
+            self.arena.txns[node_idx].remove(&expired);
+            self.arena.pending_acks[node_idx].retain(|(t, _, _), _| *t != expired);
         }
-        let outcome =
-            self.nodes[node_idx].state.begin(txn, parent.map(endpoint), now, scope.loop_timeout_ms);
+        let parent_sym = parent.map(|p| Sym(p.0));
+        let outcome = self.arena.state[node_idx].begin(txn, parent_sym, now, scope.loop_timeout_ms);
         if outcome == BeginOutcome::Duplicate {
             run.metrics.duplicates_suppressed += 1;
             // Referral fetch: a radius-0 direct query for a transaction we
             // hold a referral buffer for means "send me your items".
             let is_fetch = scope.radius == Some(0) && matches!(mode, ResponseMode::Direct { .. });
             if is_fetch {
-                if let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) {
+                if let Some(info) = self.arena.txns[node_idx].get_mut(&txn) {
                     if !info.buffer.is_empty() {
                         let items = std::mem::take(&mut info.buffer);
                         let origin = run.origin;
-                        self.send_results_to(
-                            run,
-                            node,
-                            origin,
-                            txn,
-                            items,
-                            true,
-                            endpoint(node),
-                            false,
-                        );
+                        let node_ep = self.endpoints.str(node).to_owned();
+                        self.send_results_to(run, node, origin, txn, items, true, node_ep, false);
                         return;
                     }
                 }
@@ -762,45 +1047,33 @@ impl SimNetwork {
             // silently: a prune ack here would mark a live subtree as done.
             // A duplicate from any other sender is a cross-path arrival and
             // gets a prune ack so that forwarder never waits on us.
-            let from_recorded_parent = self.nodes[node_idx]
-                .state
+            let from_recorded_parent = self.arena.state[node_idx]
                 .get(&txn)
-                .is_some_and(|s| s.parent.is_some() && s.parent == parent.map(endpoint));
+                .is_some_and(|s| s.parent.is_some() && s.parent == parent_sym);
             if let Some(p) = parent {
                 if !from_recorded_parent {
-                    self.send_results_to(
-                        run,
-                        node,
-                        p,
-                        txn,
-                        Vec::new(),
-                        true,
-                        endpoint(node),
-                        false,
-                    );
+                    let node_ep = self.endpoints.str(node).to_owned();
+                    self.send_results_to(run, node, p, txn, Vec::new(), true, node_ep, false);
                 }
             }
             return;
         }
 
-        self.trace(node, TraceKind::Recv, txn, |e| match parent {
-            Some(p) => e.with_peer(endpoint(p)),
-            None => e,
-        });
+        self.trace(node, TraceKind::Recv, txn, parent, None);
 
         // Fresh transaction at this node: compile through the node's own
         // query cache, so repeats of the same query string (later runs,
         // retransmitted frames, watchdog re-queries) never re-parse.
-        let parsed = self.nodes[node_idx].qcache.get_or_compile(query_src, language);
+        let parsed = self.arena.qcaches[node_idx].get_or_compile(query_src, language);
         let deadline = match self.config.timeout_mode {
             TimeoutMode::DynamicAbort => now.plus(scope.abort_timeout_ms),
             TimeoutMode::StaticPerNode(t) => now.plus(t),
         };
-        self.nodes[node_idx].txns.insert(
+        self.arena.txns[node_idx].insert(
             txn,
             TxnInfo {
                 query: parsed,
-                source: query_src.to_owned(),
+                source: Arc::from(query_src),
                 language,
                 scope: scope.clone(),
                 mode: mode.clone(),
@@ -849,10 +1122,10 @@ impl SimNetwork {
             .neighbors(node)
             .iter()
             .copied()
-            .filter(|&n| Some(n) != parent)
-            .filter(|n| breaker_on || !self.nodes[node_idx].suspected.contains(n))
+            .filter(|&c| Some(c) != parent)
+            .filter(|c| breaker_on || !self.arena.suspected[node_idx].contains(c))
             .collect();
-        let targets = policy.select(&candidates, node, txn, Some(&self.routing_index));
+        let targets = policy.select(&candidates, node, txn, self.routing_index.as_ref());
         let mut forwarded_any = false;
         for target in targets {
             if breaker_on {
@@ -873,8 +1146,8 @@ impl SimNetwork {
                 }
             }
             forwarded_any = true;
-            self.nodes[node_idx].state.add_child(&txn, endpoint(target));
-            self.trace(node, TraceKind::Forward, txn, |e| e.with_peer(endpoint(target)));
+            self.arena.state[node_idx].add_child(&txn, Sym(target.0));
+            self.trace(node, TraceKind::Forward, txn, Some(target), None);
             let msg = Message::Query {
                 transaction: txn,
                 query: query_src.to_owned(),
@@ -892,9 +1165,14 @@ impl SimNetwork {
         }
     }
 
-    fn on_timer(&mut self, run: &mut RunState, _timer_node: NodeId, ev: TimerEvent) {
+    fn on_timer(&mut self, run: &mut RunState, ev: TimerEvent) {
         match ev {
-            TimerEvent::LocalEvalDone { node, txn } => self.local_eval(run, node, txn),
+            TimerEvent::LocalEvalDone { node, txn } => {
+                // Reached only when pump's batch drain is bypassed (it
+                // normally intercepts these); a batch of one is the
+                // sequential path.
+                self.local_eval_batch(run, vec![(node, txn)]);
+            }
             TimerEvent::NodeAbort { node, txn } => self.node_abort(run, node, txn),
             TimerEvent::OriginDeadline { txn } => {
                 // The timer always fires eventually (the queue drains);
@@ -914,34 +1192,103 @@ impl SimNetwork {
         }
     }
 
-    fn local_eval(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
-        let node_idx = node.0 as usize;
-        let Some(info) = self.nodes[node_idx].txns.get(&txn) else { return };
-        if info.aborted {
+    /// Run a batch of same-instant local evaluations in three phases that
+    /// together are bit-for-bit equivalent to evaluating the timers one at
+    /// a time in pop order:
+    ///
+    /// 1. **Collect** (sequential, pop order) — snapshot each live
+    ///    transaction's query/mode/deadline.
+    /// 2. **Compute** (parallel when the batch is large enough) — each
+    ///    node's registry evaluation. This phase is pure per node: it
+    ///    touches only that node's registry (materializing a lazy one
+    ///    through its `OnceLock`), consumes no RNG, allocates no sequence
+    ///    numbers and schedules nothing, so thread interleaving cannot
+    ///    leak into observable state.
+    /// 3. **Apply** (sequential, pop order) — the exact post-evaluation
+    ///    path of the sequential engine: traces, completion bookkeeping,
+    ///    result propagation, scheduling.
+    fn local_eval_batch(&mut self, run: &mut RunState, batch: Vec<(NodeId, TransactionId)>) {
+        let mut jobs: Vec<EvalJob> = Vec::with_capacity(batch.len());
+        for (node, txn) in batch {
+            let Some(info) = self.arena.txns[node.0 as usize].get(&txn) else { continue };
+            if info.aborted {
+                continue;
+            }
+            run.metrics.nodes_evaluated += 1;
+            jobs.push(EvalJob {
+                node,
+                txn,
+                query: info.query.clone(),
+                mode: info.mode.clone(),
+                pipeline: info.scope.pipeline,
+                parent: info.parent,
+                deadline: info.deadline,
+            });
+        }
+        if jobs.is_empty() {
             return;
         }
-        let query = info.query.clone();
-        let mode = info.mode.clone();
-        let pipeline = info.scope.pipeline;
-        let parent = info.parent;
-        let deadline = info.deadline;
+        let outs: Vec<EvalOut> = {
+            let factory = &self.arena.factory;
+            let registries = &self.arena.registries[..];
+            let origin_ep = self.endpoints.str(run.origin);
+            // On a single-core host the fan-out can only add spawn cost,
+            // never parallelism; fall through to the inline loop (same
+            // outputs by construction — compute_eval is pure and the
+            // chunked collect preserves pop order).
+            if self.config.parallel_eval
+                && rayon::current_num_threads() > 1
+                && jobs.len() >= self.config.parallel_min_batch.max(1)
+            {
+                let chunk = jobs.len().div_ceil(rayon::current_num_threads()).max(1);
+                jobs.par_chunks(chunk)
+                    .map(|part| {
+                        part.iter()
+                            .map(|job| Self::compute_eval(factory, registries, job, origin_ep))
+                            .collect::<Vec<EvalOut>>()
+                    })
+                    .collect::<Vec<EvalOut>, Vec<Vec<EvalOut>>>()
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            } else {
+                jobs.iter()
+                    .map(|job| Self::compute_eval(factory, registries, job, origin_ep))
+                    .collect()
+            }
+        };
+        for (job, out) in jobs.into_iter().zip(outs) {
+            self.apply_eval(run, job, out);
+        }
+    }
 
-        run.metrics.nodes_evaluated += 1;
-        let items: Vec<String> = match &query {
+    /// The pure compute half of a local evaluation. Takes the registry
+    /// slice rather than `&self` so the parallel phase shares nothing
+    /// mutable (and nothing `!Sync`, like the simulator's shed predicate).
+    fn compute_eval(
+        factory: &RegistryFactory,
+        registries: &[NodeRegistry],
+        job: &EvalJob,
+        origin_ep: &str,
+    ) -> EvalOut {
+        let registry = registries[job.node.0 as usize].get(factory, job.node.0);
+        match &job.query {
             CompiledQuery::XQuery(q) => {
                 // With the node registry's admission gate enabled, local
                 // evaluation is metered against the transaction's remaining
                 // abort budget: a lapsed hop degrades or sheds (counted)
                 // instead of scanning into a dead answer.
-                let registry = self.nodes[node_idx].registry.clone();
                 let outcome = if registry.config().admission.enabled {
-                    let ctx =
-                        AdmissionContext::for_client(endpoint(run.origin)).with_deadline(deadline);
+                    let ctx = AdmissionContext::for_client(origin_ep).with_deadline(job.deadline);
                     match registry.query_admitted(q, &Freshness::any(), &QueryScope::all(), &ctx) {
                         Ok(Admission::Answered(o)) => Some(o),
                         Ok(Admission::Shed { .. }) => {
-                            run.metrics.local_evals_shed += 1;
-                            None
+                            return EvalOut {
+                                items: Vec::new(),
+                                plan: None,
+                                degraded: false,
+                                shed: true,
+                            };
                         }
                         Err(_) => None,
                     }
@@ -949,12 +1296,12 @@ impl SimNetwork {
                     registry.query(q, &Freshness::any()).ok()
                 };
                 match outcome {
-                    Some(o) => {
-                        run.metrics.record_plan(o.stats.plan);
-                        if !o.completeness.is_complete() {
-                            run.metrics.local_evals_degraded += 1;
-                        }
-                        o.results
+                    Some(o) => EvalOut {
+                        plan: Some(o.stats.plan),
+                        degraded: !o.completeness.is_complete(),
+                        shed: false,
+                        items: o
+                            .results
                             .iter()
                             .map(|item| match item.as_node() {
                                 Some(n) => match n.materialize_element() {
@@ -963,22 +1310,43 @@ impl SimNetwork {
                                 },
                                 None => item.string_value(),
                             })
-                            .collect()
-                    }
-                    None => Vec::new(),
+                            .collect(),
+                    },
+                    None => EvalOut { items: Vec::new(), plan: None, degraded: false, shed: false },
                 }
             }
             CompiledQuery::Sql(q) => {
-                let rows = self.nodes[node_idx].registry.query_sql(q);
-                wsda_registry::sql::SqlQuery::rows_to_xml(&rows)
-                    .iter()
-                    .map(|e| e.to_compact_string())
-                    .collect()
+                let rows = registry.query_sql(q);
+                EvalOut {
+                    items: wsda_registry::sql::SqlQuery::rows_to_xml(&rows)
+                        .iter()
+                        .map(|e| e.to_compact_string())
+                        .collect(),
+                    plan: None,
+                    degraded: false,
+                    shed: false,
+                }
             }
-        };
+        }
+    }
 
-        self.trace(node, TraceKind::Eval, txn, |e| e.with_items(items.len() as u64));
-        let complete = self.nodes[node_idx].state.local_done(&txn);
+    /// The sequential apply half of a local evaluation.
+    fn apply_eval(&mut self, run: &mut RunState, job: EvalJob, out: EvalOut) {
+        let EvalJob { node, txn, mode, pipeline, parent, .. } = job;
+        let node_idx = node.0 as usize;
+        if out.shed {
+            run.metrics.local_evals_shed += 1;
+        }
+        if let Some(plan) = out.plan {
+            run.metrics.record_plan(plan);
+        }
+        if out.degraded {
+            run.metrics.local_evals_degraded += 1;
+        }
+        let items = out.items;
+
+        self.trace(node, TraceKind::Eval, txn, None, Some(items.len() as u64));
+        let complete = self.arena.state[node_idx].local_done(&txn);
 
         if node == run.origin && parent.is_none() {
             // Originator's own results are delivered immediately.
@@ -992,36 +1360,29 @@ impl SimNetwork {
         match mode {
             ResponseMode::Routed => {
                 if pipeline && !items.is_empty() && !complete {
-                    self.send_results(run, node, parent, txn, items, false, endpoint(node), false);
+                    let node_ep = self.endpoints.str(node).to_owned();
+                    self.send_results(run, node, parent, txn, items, false, node_ep, false);
                 } else {
-                    let info = self.nodes[node_idx].txns.get_mut(&txn).expect("live txn");
+                    let info = self.arena.txns[node_idx].get_mut(&txn).expect("live txn");
                     info.buffer.extend(items);
                 }
             }
             ResponseMode::Direct { ref originator } => {
                 if !items.is_empty() {
                     if let Some(target) = parse_endpoint(originator) {
-                        self.send_results_to(
-                            run,
-                            node,
-                            target,
-                            txn,
-                            items,
-                            true,
-                            endpoint(node),
-                            false,
-                        );
+                        let node_ep = self.endpoints.str(node).to_owned();
+                        self.send_results_to(run, node, target, txn, items, true, node_ep, false);
                     }
                 }
             }
             ResponseMode::Referral => {
                 if !items.is_empty() {
                     let expected = items.len() as u64;
-                    let info = self.nodes[node_idx].txns.get_mut(&txn).expect("live txn");
+                    let info = self.arena.txns[node_idx].get_mut(&txn).expect("live txn");
                     info.buffer = items;
                     if let Some(p) = parent {
-                        let msg =
-                            Message::Invite { transaction: txn, node: endpoint(node), expected };
+                        let node_ep = self.endpoints.str(node).to_owned();
+                        let msg = Message::Invite { transaction: txn, node: node_ep, expected };
                         let mut m = std::mem::take(&mut run.metrics);
                         self.send(&mut m, node, p, msg);
                         run.metrics = m;
@@ -1037,7 +1398,7 @@ impl SimNetwork {
     /// Send buffered + final results toward the parent.
     fn finalize_node(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
         let node_idx = node.0 as usize;
-        let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) else { return };
+        let Some(info) = self.arena.txns[node_idx].get_mut(&txn) else { return };
         if info.finalized {
             return;
         }
@@ -1052,7 +1413,8 @@ impl SimNetwork {
         };
         match parent {
             Some(p) => {
-                self.send_results(run, node, Some(p), txn, items, true, endpoint(node), relayed);
+                let node_ep = self.endpoints.str(node).to_owned();
+                self.send_results(run, node, Some(p), txn, items, true, node_ep, relayed);
             }
             None => {
                 // Originator finishing its subtree.
@@ -1094,16 +1456,14 @@ impl SimNetwork {
         relayed: bool,
     ) {
         let from_idx = from.0 as usize;
-        let seq = self.nodes[from_idx].state.get_mut(&txn).map(|s| s.alloc_seq()).unwrap_or(0);
-        self.trace(from, TraceKind::Results, txn, |e| {
-            e.with_peer(endpoint(to)).with_items(items.len() as u64)
-        });
+        let seq = self.arena.state[from_idx].get_mut(&txn).map(|s| s.alloc_seq()).unwrap_or(0);
+        self.trace(from, TraceKind::Results, txn, Some(to), Some(items.len() as u64));
         let msg = Message::Results { transaction: txn, seq, items, last, origin: origin_ep };
         if relayed {
             run.metrics.bytes_relayed += encoded_len(&msg);
         }
         if self.config.recovery.enabled {
-            self.nodes[from_idx].pending_acks.insert(
+            self.arena.pending_acks[from_idx].insert(
                 (txn, to, seq),
                 PendingFrame {
                     message: msg.clone(),
@@ -1135,6 +1495,7 @@ impl SimNetwork {
             return; // stale transaction from an earlier run
         }
         let node_idx = to.0 as usize;
+        let from_sym = Sym(from.0);
         if self.config.recovery.enabled {
             // Ack every arrival (fresh or replay — the sender may have
             // missed an earlier ack), then suppress replays.
@@ -1145,20 +1506,16 @@ impl SimNetwork {
             // once the static loop timeout retires a transaction (and the
             // ledger forgets it), a late retransmission must not re-create
             // ledger state — ack it and drop.
-            if self.nodes[node_idx].state.get(&txn).is_none() {
+            if self.arena.state[node_idx].get(&txn).is_none() {
                 run.metrics.late_results_dropped += items.len() as u64;
                 return;
             }
-            if !self.nodes[node_idx].ledger.record(txn, &endpoint(from), seq) {
+            if !self.arena.ledgers[node_idx].record(txn, from_sym, seq) {
                 run.metrics.replays_suppressed += 1;
                 return;
             }
         }
         let is_origin = to == run.origin;
-        let direct_data = {
-            let info = self.nodes[node_idx].txns.get(&txn);
-            matches!(info.map(|i| &i.mode), Some(ResponseMode::Direct { .. })) && is_origin
-        };
 
         if is_origin {
             // Deliver data reaching the originator.
@@ -1171,17 +1528,16 @@ impl SimNetwork {
             // last=true for the sender's local data but do not terminate a
             // tree edge unless the sender is a tracked child.
             if last {
-                let complete = self.nodes[node_idx].state.child_done(&txn, &endpoint(from));
+                let complete = self.arena.state[node_idx].child_done(&txn, from_sym);
                 if complete {
                     self.complete_at_origin(run);
                 }
             }
-            let _ = direct_data;
             return;
         }
 
         // Intermediate node: merge toward parent.
-        let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) else { return };
+        let Some(info) = self.arena.txns[node_idx].get_mut(&txn) else { return };
         let pipeline = info.scope.pipeline;
         let parent = info.parent;
         let aborted = info.aborted;
@@ -1192,13 +1548,13 @@ impl SimNetwork {
             if pipeline {
                 self.send_results(run, to, parent, txn, items, false, origin_ep, true);
             } else {
-                let info = self.nodes[node_idx].txns.get_mut(&txn).expect("live txn");
+                let info = self.arena.txns[node_idx].get_mut(&txn).expect("live txn");
                 info.buffer.extend(items);
                 info.buffer_has_child_items = true;
             }
         }
         if last {
-            let complete = self.nodes[node_idx].state.child_done(&txn, &endpoint(from));
+            let complete = self.arena.state[node_idx].child_done(&txn, from_sym);
             if complete && !aborted {
                 self.finalize_node(run, to, txn);
             }
@@ -1221,15 +1577,17 @@ impl SimNetwork {
             run.metrics.referrals_received += 1;
             let Some(target) = parse_endpoint(&node_ep) else { return };
             let (query_src, language, scope) = {
-                let Some(info) = self.nodes[to.0 as usize].txns.get(&txn) else { return };
-                (info.source.clone(), info.language, info.scope.clone())
+                let Some(info) = self.arena.txns[to.0 as usize].get(&txn) else { return };
+                (info.source.to_string(), info.language, info.scope.clone())
             };
             let msg = Message::Query {
                 transaction: txn,
                 query: query_src,
                 language,
                 scope: Scope { radius: Some(0), ..scope },
-                response_mode: ResponseMode::Direct { originator: endpoint(run.origin) },
+                response_mode: ResponseMode::Direct {
+                    originator: self.endpoints.str(run.origin).to_owned(),
+                },
             };
             let mut m = std::mem::take(&mut run.metrics);
             self.send(&mut m, to, target, msg);
@@ -1237,7 +1595,7 @@ impl SimNetwork {
             let _ = expected;
         } else {
             // Relay the invitation toward the originator.
-            let parent = self.nodes[to.0 as usize].txns.get(&txn).and_then(|i| i.parent);
+            let parent = self.arena.txns[to.0 as usize].get(&txn).and_then(|i| i.parent);
             if let Some(p) = parent {
                 let msg = Message::Invite { transaction: txn, node: node_ep, expected };
                 run.metrics.bytes_relayed += encoded_len(&msg);
@@ -1252,8 +1610,7 @@ impl SimNetwork {
         if txn != run.txn {
             return;
         }
-        let node_idx = node.0 as usize;
-        if let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) {
+        if let Some(info) = self.arena.txns[node.0 as usize].get_mut(&txn) {
             info.aborted = true;
             info.buffer.clear();
         }
@@ -1261,13 +1618,16 @@ impl SimNetwork {
     }
 
     fn broadcast_close(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
-        let children: Vec<NodeId> = self.nodes[node.0 as usize]
-            .state
+        // `pending_children` is a sorted `Vec<Sym>`, so close fan-out
+        // consumes the chaos RNG in a fixed order. (The pre-arena engine
+        // iterated a `HashSet<String>` here — process-random order, a
+        // latent reproducibility hazard.)
+        let children: Vec<NodeId> = self.arena.state[node.0 as usize]
             .get(&txn)
-            .map(|s| s.pending_children.iter().filter_map(|e| parse_endpoint(e)).collect())
+            .map(|s| s.pending_children.iter().map(|sym| NodeId(sym.0)).collect())
             .unwrap_or_default();
-        self.nodes[node.0 as usize].state.close(&txn);
-        self.trace(node, TraceKind::Close, txn, |e| e);
+        self.arena.state[node.0 as usize].close(&txn);
+        self.trace(node, TraceKind::Close, txn, None, None);
         for child in children {
             let msg = Message::Close { transaction: txn };
             let mut m = std::mem::take(&mut run.metrics);
@@ -1278,8 +1638,8 @@ impl SimNetwork {
 
     fn node_abort(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
         let node_idx = node.0 as usize;
-        let complete = self.nodes[node_idx].state.get(&txn).map(|s| s.complete()).unwrap_or(true);
-        let Some(info) = self.nodes[node_idx].txns.get_mut(&txn) else { return };
+        let complete = self.arena.state[node_idx].get(&txn).map(|s| s.complete()).unwrap_or(true);
+        let Some(info) = self.arena.txns[node_idx].get_mut(&txn) else { return };
         if complete || info.aborted || info.finalized {
             return;
         }
@@ -1288,10 +1648,11 @@ impl SimNetwork {
         let parent = info.parent;
         let items = std::mem::take(&mut info.buffer);
         info.finalized = true;
-        self.nodes[node_idx].state.close(&txn);
+        self.arena.state[node_idx].close(&txn);
         match parent {
             Some(_) => {
-                self.send_results(run, node, parent, txn, items, true, endpoint(node), false);
+                let node_ep = self.endpoints.str(node).to_owned();
+                self.send_results(run, node, parent, txn, items, true, node_ep, false);
             }
             None => {
                 self.deliver(run, items);
@@ -1313,7 +1674,7 @@ impl SimNetwork {
         let node_idx = node.0 as usize;
         let now_ms = self.sim.now().millis();
         let step = {
-            let Some(p) = self.nodes[node_idx].pending_acks.get_mut(&(txn, to, seq)) else {
+            let Some(p) = self.arena.pending_acks[node_idx].get_mut(&(txn, to, seq)) else {
                 return; // acked in time
             };
             if p.retries_left == 0 {
@@ -1330,13 +1691,13 @@ impl SimNetwork {
             run.metrics.breaker_opens += 1;
         }
         let Some((message, backoff)) = step else {
-            self.nodes[node_idx].pending_acks.remove(&(txn, to, seq));
-            self.nodes[node_idx].suspected.insert(to);
+            self.arena.pending_acks[node_idx].remove(&(txn, to, seq));
+            self.arena.suspected[node_idx].insert(to);
             run.metrics.acks_timed_out += 1;
             return;
         };
         run.metrics.retries_sent += 1;
-        self.trace(node, TraceKind::Retry, txn, |e| e.with_peer(endpoint(to)));
+        self.trace(node, TraceKind::Retry, txn, Some(to), None);
         let mut m = std::mem::take(&mut run.metrics);
         self.send(&mut m, node, to, message);
         run.metrics = m;
@@ -1359,25 +1720,23 @@ impl SimNetwork {
             return;
         }
         let node_idx = node.0 as usize;
-        let mut pending: Vec<String> = self.nodes[node_idx]
-            .state
+        // The state table keeps children sorted, so the chaos RNG is
+        // consumed in a fixed order and runs stay reproducible.
+        let pending: Vec<Sym> = self.arena.state[node_idx]
             .get(&txn)
-            .map(|s| s.pending_children.iter().cloned().collect())
+            .map(|s| s.pending_children.clone())
             .unwrap_or_default();
         if pending.is_empty() {
             return;
         }
-        // HashSet order is process-random; sort so the chaos RNG is
-        // consumed in a fixed order and runs stay reproducible.
-        pending.sort();
         let (parent, source, language, mode, fscope) = {
-            let Some(info) = self.nodes[node_idx].txns.get(&txn) else { return };
+            let Some(info) = self.arena.txns[node_idx].get(&txn) else { return };
             if info.aborted || info.finalized {
                 return;
             }
             (
                 info.parent,
-                info.source.clone(),
+                Arc::clone(&info.source),
                 info.language,
                 info.mode.clone(),
                 info.scope.forwarded(self.config.hop_cost_ms),
@@ -1385,12 +1744,12 @@ impl SimNetwork {
         };
         if attempt == 0 {
             if let Some(fscope) = fscope {
-                for child_ep in &pending {
-                    let Some(child) = parse_endpoint(child_ep) else { continue };
+                for &child_sym in &pending {
+                    let child = NodeId(child_sym.0);
                     run.metrics.retries_sent += 1;
                     let msg = Message::Query {
                         transaction: txn,
-                        query: source.clone(),
+                        query: source.as_ref().to_owned(),
                         language,
                         scope: fscope.clone(),
                         response_mode: mode.clone(),
@@ -1406,20 +1765,19 @@ impl SimNetwork {
         }
         // Abandon: the silent subtrees are lost; degrade instead of hang.
         run.metrics.subtrees_abandoned += pending.len() as u64;
-        for child_ep in &pending {
-            let ep = child_ep.clone();
-            self.trace(node, TraceKind::Abandon, txn, |e| e.with_peer(ep));
-            if let Some(child) = parse_endpoint(child_ep) {
-                self.nodes[node_idx].suspected.insert(child);
-            }
-            self.nodes[node_idx].state.child_done(&txn, child_ep);
+        for &child_sym in &pending {
+            let child = NodeId(child_sym.0);
+            self.trace(node, TraceKind::Abandon, txn, Some(child), None);
+            self.arena.suspected[node_idx].insert(child);
+            self.arena.state[node_idx].child_done(&txn, child_sym);
         }
         match parent {
             Some(p) => {
+                let node_ep = self.endpoints.str(node).to_owned();
                 for _ in &pending {
                     let msg = Message::Error {
                         transaction: txn,
-                        origin: endpoint(node),
+                        origin: node_ep.clone(),
                         reason: "watchdog: subtree lost".to_owned(),
                     };
                     let mut m = std::mem::take(&mut run.metrics);
@@ -1429,7 +1787,7 @@ impl SimNetwork {
             }
             None => run.metrics.errors_received += pending.len() as u64,
         }
-        let complete = self.nodes[node_idx].state.get(&txn).map(|s| s.complete()).unwrap_or(false);
+        let complete = self.arena.state[node_idx].get(&txn).map(|s| s.complete()).unwrap_or(false);
         if complete {
             if parent.is_none() {
                 self.complete_at_origin(run);
@@ -1456,7 +1814,7 @@ impl SimNetwork {
             run.metrics.errors_received += 1;
             return;
         }
-        let parent = self.nodes[to.0 as usize].txns.get(&txn).and_then(|i| i.parent);
+        let parent = self.arena.txns[to.0 as usize].get(&txn).and_then(|i| i.parent);
         if let Some(p) = parent {
             let msg = Message::Error { transaction: txn, origin: origin_ep, reason };
             let mut m = std::mem::take(&mut run.metrics);
@@ -1471,7 +1829,7 @@ impl SimNetwork {
             return;
         }
         let origin = run.origin;
-        self.trace(origin, TraceKind::Deliver, run.txn, |e| e.with_items(items.len() as u64));
+        self.trace(origin, TraceKind::Deliver, run.txn, None, Some(items.len() as u64));
         let now = self.sim.now();
         run.metrics.record_delivery(items.len() as u64, now);
         run.results.extend(items);
@@ -1487,8 +1845,7 @@ impl SimNetwork {
 
     fn complete_at_origin(&mut self, run: &mut RunState) {
         if run.metrics.time_completed.is_none() {
-            let origin_complete = self.nodes[run.origin.0 as usize]
-                .state
+            let origin_complete = self.arena.state[run.origin.0 as usize]
                 .get(&run.txn)
                 .map(|s| s.complete())
                 .unwrap_or(false);

@@ -29,6 +29,7 @@
 //! executes queries while collecting the metrics every evaluation figure
 //! needs.
 
+pub mod arena;
 pub mod breaker;
 pub mod container;
 pub mod engine;
@@ -38,11 +39,12 @@ pub mod recovery;
 pub mod selection;
 pub mod topology;
 
+pub use arena::{EndpointTable, TimerSlab};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, ForwardDecision};
 pub use container::ContainerAssignment;
 pub use engine::{P2pConfig, QueryRun, SimNetwork, TimeoutMode};
 pub use live::{LiveNetwork, LiveQueryReport, LiveStats};
 pub use metrics::QueryMetrics;
 pub use recovery::{Completeness, RecoveryConfig};
-pub use selection::NeighborPolicy;
+pub use selection::{NeighborPolicy, NodeKinds, RoutingIndex};
 pub use topology::Topology;

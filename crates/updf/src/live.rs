@@ -51,7 +51,7 @@ use wsda_obs::{
 use wsda_pdp::framing::{frame_is_query, write_frame, FrameReader};
 use wsda_pdp::{
     BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage, ResponseMode,
-    ResultLedger, Scope, TransactionId,
+    ResultLedger, Scope, Sym, TransactionId,
 };
 use wsda_registry::clock::SystemClock;
 use wsda_registry::workload::CorpusGenerator;
@@ -304,6 +304,7 @@ impl LiveNetwork {
         };
         let peer = PeerThread {
             id,
+            endpoint: Arc::from(format!("n{i}")),
             neighbors: self.topology.neighbors(id).to_vec(),
             registry: self.registries[i].clone(),
             transport: self.transport.clone(),
@@ -490,8 +491,7 @@ impl LiveNetwork {
                                 if self.recovery.enabled {
                                     let ack = Message::Ack { transaction, seq };
                                     send(&self.transport, self.client_id, envelope.from, &ack);
-                                    let sender = format!("n{}", envelope.from.0);
-                                    if !ledger.record(transaction, &sender, seq) {
+                                    if !ledger.record(transaction, Sym(envelope.from.0), seq) {
                                         replays += 1;
                                         continue;
                                     }
@@ -569,6 +569,10 @@ fn encode_frame(message: &Message) -> Frame {
 
 struct PeerThread {
     id: NodeId,
+    /// This peer's endpoint name, built once at spawn — the hot paths
+    /// (every trace event, every `Results`/`Error` origin field) used to
+    /// re-format it per message.
+    endpoint: Arc<str>,
     neighbors: Vec<NodeId>,
     registry: Arc<HyperRegistry>,
     transport: Arc<ThreadedNetwork<Frame>>,
@@ -677,7 +681,7 @@ impl PeerThread {
         f: impl FnOnce(TraceEvent) -> TraceEvent,
     ) {
         let at = self.epoch.elapsed().as_millis() as u64;
-        let ev = f(TraceEvent::new(txn.0, format!("n{}", self.id.0), kind, at));
+        let ev = f(TraceEvent::new(txn.0, self.endpoint.as_ref().to_owned(), kind, at));
         self.trace.lock().unwrap_or_else(std::sync::PoisonError::into_inner).record(ev);
     }
 
@@ -694,23 +698,17 @@ impl PeerThread {
                     rt.live.remove(&expired);
                     rt.pending.retain(|(t, _, _), _| *t != expired);
                 }
-                match rt.state.begin(
-                    transaction,
-                    Some(format!("n{}", from.0)),
-                    now,
-                    scope.loop_timeout_ms,
-                ) {
+                match rt.state.begin(transaction, Some(Sym(from.0)), now, scope.loop_timeout_ms) {
                     BeginOutcome::Duplicate => {
                         // A replay from the recorded parent is the network
                         // duplicating the frame — the real stream is already
                         // flowing, so drop it. A duplicate from any *other*
                         // sender is a cross-path arrival: prune-ack so that
                         // forwarder stops waiting on us.
-                        let sender = format!("n{}", from.0);
                         let from_parent = rt
                             .state
                             .get(&transaction)
-                            .is_some_and(|s| s.parent.as_deref() == Some(sender.as_str()));
+                            .is_some_and(|s| s.parent == Some(Sym(from.0)));
                         if !from_parent {
                             self.reply(rt, from, transaction, Vec::new(), true);
                         }
@@ -754,7 +752,7 @@ impl PeerThread {
                                         }
                                         let msg = Message::Error {
                                             transaction,
-                                            origin: format!("n{}", self.id.0),
+                                            origin: self.endpoint.as_ref().to_owned(),
                                             reason: "breaker open: subtree shed".to_owned(),
                                         };
                                         send(&self.transport, self.id, from, &msg);
@@ -810,7 +808,7 @@ impl PeerThread {
                     if rt.state.get(&transaction).is_none() {
                         return;
                     }
-                    if !rt.ledger.record(transaction, &format!("n{}", from.0), seq) {
+                    if !rt.ledger.record(transaction, Sym(from.0), seq) {
                         return;
                     }
                 }
@@ -928,7 +926,7 @@ impl PeerThread {
                 for _ in &lost {
                     let msg = Message::Error {
                         transaction: *txn,
-                        origin: format!("n{}", self.id.0),
+                        origin: self.endpoint.as_ref().to_owned(),
                         reason: "watchdog: subtree lost".to_owned(),
                     };
                     send(&self.transport, self.id, p, &msg);
@@ -1047,8 +1045,13 @@ impl PeerThread {
         self.trace_event(TraceKind::Results, transaction, |ev| {
             ev.with_peer(format!("n{}", to.0)).with_items(items.len() as u64)
         });
-        let msg =
-            Message::Results { transaction, seq, items, last, origin: format!("n{}", self.id.0) };
+        let msg = Message::Results {
+            transaction,
+            seq,
+            items,
+            last,
+            origin: self.endpoint.as_ref().to_owned(),
+        };
         let frame = encode_frame(&msg);
         if self.recovery.enabled {
             rt.pending.insert(

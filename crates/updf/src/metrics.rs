@@ -4,7 +4,11 @@ use std::collections::BTreeMap;
 use wsda_registry::clock::Time;
 
 /// Metrics collected while executing one query over the network.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq`/`Eq` exist for the scheduler-equivalence proptests: a
+/// parallel event loop must produce a *identical* metrics struct to the
+/// sequential one, field for field.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryMetrics {
     /// Messages sent, by PDP message kind.
     pub messages_by_kind: BTreeMap<&'static str, u64>,

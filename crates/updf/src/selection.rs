@@ -17,10 +17,70 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use wsda_net::NodeId;
-use wsda_pdp::TransactionId;
+use wsda_pdp::{Interner, Sym, TransactionId};
 
 use crate::topology::Topology;
+
+/// Per-node hosted content kinds, interned.
+///
+/// The engine used to carry `Vec<HashSet<String>>` — one hash set and one
+/// owned string per (node, kind) pair, which at 10^5+ nodes dominated
+/// build-time allocation. Kinds come from a tiny closed vocabulary (the
+/// workload generator has five), so each node now holds a small sorted
+/// `Vec<Sym>` and all nodes share one [`Interner`].
+#[derive(Debug, Clone, Default)]
+pub struct NodeKinds {
+    interner: Arc<Interner>,
+    per_node: Vec<Vec<Sym>>,
+}
+
+impl NodeKinds {
+    /// Empty kind sets for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        NodeKinds { interner: Arc::new(Interner::new()), per_node: vec![Vec::new(); n] }
+    }
+
+    /// Record that `node` hosts content of `kind`.
+    pub fn insert(&mut self, node: NodeId, kind: &str) {
+        let sym = self.interner.intern(kind);
+        let set = &mut self.per_node[node.0 as usize];
+        if let Err(at) = set.binary_search(&sym) {
+            set.insert(at, sym);
+        }
+    }
+
+    /// The sorted kind symbols hosted at `node`.
+    pub fn kinds(&self, node: NodeId) -> &[Sym] {
+        &self.per_node[node.0 as usize]
+    }
+
+    /// Does `node` host `kind`?
+    pub fn contains(&self, node: NodeId, kind: &str) -> bool {
+        self.interner.get(kind).is_some_and(|sym| self.kinds(node).binary_search(&sym).is_ok())
+    }
+
+    /// The symbol for `kind`, if any node ever hosted it.
+    pub fn sym(&self, kind: &str) -> Option<Sym> {
+        self.interner.get(kind)
+    }
+
+    /// The shared kind interner.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// True when no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+}
 
 /// A parsed neighbor selection policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,24 +164,26 @@ impl NeighborPolicy {
 #[derive(Debug, Clone)]
 pub struct RoutingIndex {
     horizon: u32,
-    /// (node, neighbor) → kinds.
-    kinds: HashMap<(NodeId, NodeId), HashSet<String>>,
+    interner: Arc<Interner>,
+    /// (node, neighbor) → sorted reachable kind symbols. Edges reaching
+    /// no kinds are simply absent.
+    kinds: HashMap<(NodeId, NodeId), Box<[Sym]>>,
 }
 
 impl RoutingIndex {
-    /// Build an index for `topology` where `node_kinds[i]` is the set of
-    /// content kinds node `i` hosts.
-    pub fn build(topology: &Topology, node_kinds: &[HashSet<String>], horizon: u32) -> Self {
+    /// Build an index for `topology` where `node_kinds` carries the set
+    /// of content kinds each node hosts.
+    pub fn build(topology: &Topology, node_kinds: &NodeKinds, horizon: u32) -> Self {
         let mut kinds = HashMap::new();
         for v in 0..topology.len() as u32 {
             let v = NodeId(v);
             for &nb in topology.neighbors(v) {
-                let mut reachable: HashSet<String> = HashSet::new();
+                let mut reachable: Vec<Sym> = Vec::new();
                 // BFS from nb, never stepping back into v.
                 let mut seen: HashSet<NodeId> = [v, nb].into_iter().collect();
                 let mut queue = VecDeque::from([(nb, 0u32)]);
                 while let Some((u, d)) = queue.pop_front() {
-                    reachable.extend(node_kinds[u.0 as usize].iter().cloned());
+                    reachable.extend_from_slice(node_kinds.kinds(u));
                     if d < horizon {
                         for &w in topology.neighbors(u) {
                             if seen.insert(w) {
@@ -130,15 +192,20 @@ impl RoutingIndex {
                         }
                     }
                 }
-                kinds.insert((v, nb), reachable);
+                reachable.sort_unstable();
+                reachable.dedup();
+                if !reachable.is_empty() {
+                    kinds.insert((v, nb), reachable.into_boxed_slice());
+                }
             }
         }
-        RoutingIndex { horizon, kinds }
+        RoutingIndex { horizon, interner: Arc::clone(node_kinds.interner()), kinds }
     }
 
     /// Does the edge `node → neighbor` lead to `kind` within the horizon?
     pub fn leads_to(&self, node: NodeId, neighbor: NodeId, kind: &str) -> bool {
-        self.kinds.get(&(node, neighbor)).is_some_and(|s| s.contains(kind))
+        let Some(sym) = self.interner.get(kind) else { return false };
+        self.kinds.get(&(node, neighbor)).is_some_and(|s| s.binary_search(&sym).is_ok())
     }
 
     /// The index's BFS horizon.
@@ -198,10 +265,25 @@ mod tests {
     }
 
     #[test]
+    fn node_kinds_interns_and_sorts() {
+        let mut k = NodeKinds::new(3);
+        k.insert(NodeId(1), "storage");
+        k.insert(NodeId(1), "executor");
+        k.insert(NodeId(1), "storage"); // duplicate, ignored
+        assert_eq!(k.kinds(NodeId(1)).len(), 2);
+        assert!(k.kinds(NodeId(1)).windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
+        assert!(k.contains(NodeId(1), "executor"));
+        assert!(!k.contains(NodeId(0), "executor"));
+        assert!(!k.contains(NodeId(2), "never-seen"));
+        assert_eq!(k.interner().len(), 2, "kinds shared across nodes intern once");
+    }
+
+    #[test]
     fn routing_index_directs_hints() {
         // line: 0 - 1 - 2, kind "x" only at node 2
         let topo = Topology::line(3);
-        let kinds = vec![HashSet::new(), HashSet::new(), ["x".to_owned()].into_iter().collect()];
+        let mut kinds = NodeKinds::new(3);
+        kinds.insert(NodeId(2), "x");
         let idx = RoutingIndex::build(&topo, &kinds, 4);
         assert!(idx.leads_to(NodeId(0), NodeId(1), "x"));
         assert!(idx.leads_to(NodeId(1), NodeId(2), "x"));
@@ -220,8 +302,8 @@ mod tests {
     fn routing_index_horizon_limits_visibility() {
         // line of 5, kind at far end
         let topo = Topology::line(5);
-        let mut kinds = vec![HashSet::new(); 5];
-        kinds[4].insert("x".to_owned());
+        let mut kinds = NodeKinds::new(5);
+        kinds.insert(NodeId(4), "x");
         let near = RoutingIndex::build(&topo, &kinds, 1);
         assert!(!near.leads_to(NodeId(0), NodeId(1), "x"), "horizon 1 cannot see node 4");
         let far = RoutingIndex::build(&topo, &kinds, 3);

@@ -10,55 +10,79 @@ use rand::{Rng, SeedableRng};
 use std::collections::{HashSet, VecDeque};
 use wsda_net::NodeId;
 
-/// An undirected topology as adjacency lists.
+/// An undirected topology in compressed sparse row (CSR) form.
+///
+/// The old representation — `Vec<Vec<NodeId>>` — cost one heap allocation
+/// per node plus 24 bytes of `Vec` header; at 10^5–10^6 nodes the
+/// adjacency structure alone blew the per-node memory budget. CSR packs
+/// every neighbor list into one `targets` array bracketed by `offsets`,
+/// so a topology is exactly two allocations of `4·(n+1) + 8·edges·2`
+/// bytes and `neighbors()` is still a borrowed slice in ascending id
+/// order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
-    adjacency: Vec<Vec<NodeId>>,
+    /// `offsets[i]..offsets[i+1]` brackets node `i`'s slice of `targets`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor lists, each sorted ascending.
+    targets: Vec<NodeId>,
 }
 
 impl Topology {
     /// Build from raw adjacency lists (deduplicated, self-loops removed,
     /// symmetrized).
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Topology {
-        let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+        // Double every edge, sort, dedup: one O(E log E) pass replaces
+        // n hash sets and gives sorted neighbor runs for free.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for (a, b) in edges {
             if a == b {
                 continue;
             }
-            let (a, b) = (a as usize, b as usize);
-            assert!(a < n && b < n, "edge endpoint out of range");
-            sets[a].insert(b as u32);
-            sets[b].insert(a as u32);
+            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            pairs.push((a, b));
+            pairs.push((b, a));
         }
-        let adjacency = sets
-            .into_iter()
-            .map(|s| {
-                let mut v: Vec<NodeId> = s.into_iter().map(NodeId).collect();
-                v.sort();
-                v
-            })
-            .collect();
-        Topology { adjacency }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(pairs.len());
+        offsets.push(0);
+        let mut next_src = 0u32;
+        for (a, b) in pairs {
+            while next_src <= a {
+                offsets.push(targets.len() as u32);
+                next_src += 1;
+            }
+            // offsets[a] is already closed for sources < a; patch the open
+            // entry for `a` after pushing its targets (below).
+            targets.push(NodeId(b));
+            offsets[a as usize + 1] = targets.len() as u32;
+        }
+        while offsets.len() < n + 1 {
+            offsets.push(targets.len() as u32);
+        }
+        Topology { offsets, targets }
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
     }
 
     /// True when the topology has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.adjacency.is_empty()
+        self.len() == 0
     }
 
     /// Neighbors of `node` in ascending id order.
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.adjacency[node.0 as usize]
+        let i = node.0 as usize;
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Total undirected edge count.
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+        self.targets.len() / 2
     }
 
     /// Mean node degree.
@@ -273,7 +297,7 @@ mod tests {
         assert_eq!(h.edge_count(), 32);
         assert!(h.is_connected());
         assert_eq!(h.diameter(), 4);
-        assert!(h.adjacency.iter().all(|a| a.len() == 4));
+        assert!((0..16).all(|i| h.neighbors(NodeId(i)).len() == 4));
     }
 
     #[test]

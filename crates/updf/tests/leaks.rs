@@ -64,6 +64,50 @@ fn sim_state_is_proportional_to_live_transactions_not_history() {
 }
 
 #[test]
+fn sim_timer_slots_recycle_across_100k_timer_events() {
+    // Every query over a star floods all leaves, scheduling one
+    // LocalEvalDone + one NodeAbort per node plus the origin deadline —
+    // ~800 timer events per run. 130 runs push the engine past 100k
+    // scheduled timers; the slab must (a) hold zero live timers once each
+    // run drains, and (b) never grow beyond the per-run high-water mark,
+    // proving fired tags are retired eagerly and slots recycle instead of
+    // accumulating with history (the old `timer_tags` map plus monotonic
+    // tag counter kept growing keys forever).
+    let nodes = 400;
+    let runs = 130;
+    let config = P2pConfig { tuples_per_node: 1, eval_delay_ms: 1, ..P2pConfig::default() };
+    let mut net = SimNetwork::build(Topology::star(nodes), NetworkModel::constant(5), config);
+    let mut high_water_after_first = 0;
+    for i in 0..runs {
+        let scope = Scope { abort_timeout_ms: 1 << 30, loop_timeout_ms: 100, ..Scope::default() };
+        let run = net.run_query(NodeId(0), "//service", scope, ResponseMode::Routed);
+        assert!(!run.results.is_empty());
+        assert_eq!(net.timers_live(), 0, "run {i}: all timers must fire and be retired");
+        if i == 0 {
+            high_water_after_first = net.timers_high_water();
+        }
+    }
+    assert!(
+        net.timers_scheduled() > 100_000,
+        "workload too small: {} timer events",
+        net.timers_scheduled()
+    );
+    assert_eq!(net.timers_live(), 0);
+    assert_eq!(
+        net.timers_high_water(),
+        high_water_after_first,
+        "slab grew across runs: slot recycling failed ({} scheduled total)",
+        net.timers_scheduled()
+    );
+    assert!(
+        (net.timers_high_water() as u64) < net.timers_scheduled() / 50,
+        "high water {} not far below {} scheduled",
+        net.timers_high_water(),
+        net.timers_scheduled()
+    );
+}
+
+#[test]
 fn live_ledger_and_state_stay_bounded_across_transactions() {
     let mut net = LiveNetwork::start(Topology::line(3), 2, 17);
     let scope = Scope { loop_timeout_ms: 10, ..Scope::default() };
