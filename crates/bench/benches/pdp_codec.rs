@@ -27,6 +27,7 @@ fn messages() -> Vec<(&'static str, Message)> {
                 items: vec![item.to_owned(); 10],
                 last: true,
                 origin: "n42".into(),
+                cached: false,
             },
         ),
         ("close", Message::Close { transaction: txn }),

@@ -36,6 +36,12 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "updf_state_entries",
     "updf_live_txns",
     "updf_pending_acks",
+    "updf_query_cache_parses",
+    "updf_query_cache_hits",
+    "updf_query_cache_evictions",
+    "updf_result_cache_hits_total",
+    "updf_result_cache_insertions_total",
+    "updf_result_cache_entries",
 ];
 
 fn main() -> ExitCode {

@@ -21,6 +21,7 @@ fn sample_messages() -> Vec<(&'static str, Message)> {
         items: vec![item.to_owned(); k],
         last: true,
         origin: "n42".into(),
+        cached: false,
     };
     vec![
         ("query", query),

@@ -109,6 +109,52 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1000.0)
 }
 
+/// A seeded Zipf(s) sampler over ranks `0..n`: rank `k` is drawn with
+/// probability proportional to `1/(k+1)^s`. Deterministic for a given
+/// `(n, s, seed)` — the workload generator behind the hot-query
+/// experiments (F22), reusable wherever skewed popularity is needed.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution over ranks; `cdf[k]` = P(rank <= k).
+    cdf: Vec<f64>,
+    /// xorshift64* state.
+    state: u64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; larger `s` concentrates mass on the low ranks).
+    pub fn new(n: usize, s: f64, seed: u64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf, state: seed | 1 }
+    }
+
+    /// Draw the next rank in `0..n`.
+    pub fn next_rank(&mut self) -> usize {
+        // xorshift64* for a uniform draw in [0, 1).
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        let u = (x.wrapping_mul(0x2545f4914f6cdd1d) >> 11) as f64 / (1u64 << 53) as f64;
+        // First rank whose cumulative mass covers the draw.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+            Ok(k) | Err(k) => k.min(self.cdf.len() - 1),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +193,55 @@ mod tests {
         assert_eq!(f1(1.25), "1.2");
         assert_eq!(f2(1.257), "1.26");
         assert_eq!(f3(0.12345), "0.123");
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_follow_the_power_law() {
+        let n = 50;
+        let s = 1.1;
+        let draws = 200_000;
+        let mut z = Zipf::new(n, s, 0xF22);
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[z.next_rank()] += 1;
+        }
+        // Every rank is reachable and low ranks dominate.
+        assert!(counts[0] > counts[10] && counts[10] > counts[40]);
+        // freq(rank 0) / freq(rank k) ~ (k+1)^s for the well-sampled head.
+        for k in [1usize, 3, 7] {
+            let expected = ((k + 1) as f64).powf(s);
+            let observed = counts[0] as f64 / counts[k].max(1) as f64;
+            assert!(
+                (observed / expected - 1.0).abs() < 0.15,
+                "rank {k}: observed ratio {observed:.2}, power law predicts {expected:.2}"
+            );
+        }
+        // Deterministic for a given seed; different for another.
+        let a: Vec<usize> = {
+            let mut z = Zipf::new(8, 1.0, 7);
+            (0..32).map(|_| z.next_rank()).collect()
+        };
+        let b: Vec<usize> = {
+            let mut z = Zipf::new(8, 1.0, 7);
+            (0..32).map(|_| z.next_rank()).collect()
+        };
+        let c: Vec<usize> = {
+            let mut z = Zipf::new(8, 1.0, 8);
+            (0..32).map(|_| z.next_rank()).collect()
+        };
+        assert_eq!(a, b, "same seed must replay the same workload");
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let mut z = Zipf::new(4, 0.0, 99);
+        let mut counts = [0u64; 4];
+        for _ in 0..40_000 {
+            counts[z.next_rank()] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "uniform within 10%: {counts:?}");
+        }
     }
 }

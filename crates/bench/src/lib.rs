@@ -31,6 +31,7 @@ pub mod f18_overload;
 pub mod f19_trace;
 pub mod f20_recovery;
 pub mod f21_scale;
+pub mod f22_cache;
 pub mod harness;
 pub mod t1;
 
@@ -75,6 +76,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
             "f21",
             "Simulator scale: build, idle memory, radius-scoped flood at 10^4-10^5 nodes",
             f21_scale::run,
+        ),
+        (
+            "f22",
+            "Edge result caching: origin-load reduction & hit-rate vs staleness bound",
+            f22_cache::run,
         ),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]

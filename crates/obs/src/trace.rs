@@ -26,6 +26,9 @@ pub enum TraceKind {
     Recv,
     /// Local evaluation finished (items = result items produced).
     Eval,
+    /// The query was answered from the node's result cache instead of
+    /// being evaluated and forwarded (items = cached items served).
+    CacheServed,
     /// The query was forwarded (peer = target neighbor).
     Forward,
     /// A `Results` frame was sent toward the parent/originator (peer =
@@ -49,6 +52,7 @@ impl TraceKind {
         match self {
             TraceKind::Recv => "recv",
             TraceKind::Eval => "eval",
+            TraceKind::CacheServed => "cache_served",
             TraceKind::Forward => "forward",
             TraceKind::Results => "results",
             TraceKind::Deliver => "deliver",
@@ -204,6 +208,8 @@ pub struct Span {
     pub abandoned: u64,
     /// Acks received here.
     pub acks: u64,
+    /// Arrivals this node answered from its result cache.
+    pub cache_served: u64,
 }
 
 impl Span {
@@ -222,6 +228,7 @@ impl Span {
             retries: 0,
             abandoned: 0,
             acks: 0,
+            cache_served: 0,
         }
     }
 
@@ -261,6 +268,7 @@ impl Span {
         o.insert("retries".to_owned(), Value::Number(Number::Int(self.retries as i64)));
         o.insert("abandoned".to_owned(), Value::Number(Number::Int(self.abandoned as i64)));
         o.insert("acks".to_owned(), Value::Number(Number::Int(self.acks as i64)));
+        o.insert("cache_served".to_owned(), Value::Number(Number::Int(self.cache_served as i64)));
         Value::Object(o)
     }
 }
@@ -324,6 +332,12 @@ impl QueryTrace {
                 TraceKind::Eval => {
                     span.eval_ms = Some(span.eval_ms.map_or(ev.at_ms, |t: u64| t.min(ev.at_ms)));
                     span.items_evaluated += ev.items;
+                }
+                // A cache-served answer *is* this node's evaluation step
+                // (zero-cost), so it completes the span the same way.
+                TraceKind::CacheServed => {
+                    span.eval_ms = Some(span.eval_ms.map_or(ev.at_ms, |t: u64| t.min(ev.at_ms)));
+                    span.cache_served += 1;
                 }
                 TraceKind::Forward => {
                     if let Some(p) = &ev.peer {

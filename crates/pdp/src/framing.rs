@@ -99,6 +99,7 @@ mod tests {
                 items: vec!["<a/>".into()],
                 last: true,
                 origin: "n1".into(),
+                cached: false,
             },
             Message::Close { transaction: TransactionId::derive(4, 6) },
         ]

@@ -17,12 +17,17 @@
 //!   tables key on, shared across nodes at simulator scale,
 //! * [`querycache`] — the per-node compiled-query LRU cache: a query
 //!   string travelling hop-by-hop (and any retransmission of it) is parsed
-//!   at most once per node.
+//!   at most once per node,
+//! * [`resultcache`] — the per-node TTL-bounded result-set cache: a node
+//!   that recently answered a query answers the next identical arrival at
+//!   hop 1 and suppresses the downstream flood, within the requesting
+//!   query's staleness bound.
 
 pub mod framing;
 pub mod intern;
 pub mod message;
 pub mod querycache;
+pub mod resultcache;
 pub mod state;
 pub mod wire;
 
@@ -30,5 +35,6 @@ pub use framing::{frame_is_query, write_frame, FrameReader};
 pub use intern::{Interner, Sym};
 pub use message::{Endpoint, Message, QueryLanguage, ResponseMode, Scope, TransactionId};
 pub use querycache::{CompiledQuery, QueryCache};
+pub use resultcache::{query_fingerprint, ResultCache};
 pub use state::{BeginOutcome, NodeStateTable, ResultLedger, TransactionState};
 pub use wire::{decode, encode, encoded_len, WireError};

@@ -95,6 +95,11 @@ pub struct Scope {
     pub neighbor_policy: String,
     /// May nodes stream partial results before their subtree completes?
     pub pipeline: bool,
+    /// Maximum acceptable age, in ms, of a cached result set a node may
+    /// serve instead of evaluating and forwarding (the F3 staleness
+    /// bound this query tolerates). `0` — the default — forbids cached
+    /// answers entirely.
+    pub result_staleness_ms: u64,
 }
 
 impl Default for Scope {
@@ -106,6 +111,7 @@ impl Default for Scope {
             max_results: None,
             neighbor_policy: "all".to_owned(),
             pipeline: true,
+            result_staleness_ms: 0,
         }
     }
 }
@@ -164,6 +170,10 @@ pub enum Message {
         last: bool,
         /// The node the items originate from (metadata response support).
         origin: Endpoint,
+        /// Provenance: true when the sender answered from its result
+        /// cache (within the query's staleness bound) rather than by
+        /// evaluating and flooding its subtree.
+        cached: bool,
     },
     /// Acknowledge receipt of a `Results` frame (`transaction`, `seq`)
     /// from the neighbor this ack is sent to. Unacked frames are

@@ -69,6 +69,7 @@ pub struct QueryCache {
     map: HashMap<(String, QueryLanguage), (u64, CompiledQuery)>,
     parses: u64,
     hits: u64,
+    evictions: u64,
 }
 
 impl QueryCache {
@@ -78,7 +79,14 @@ impl QueryCache {
 
     /// A cache holding at most `cap` compiled queries (minimum 1).
     pub fn new(cap: usize) -> QueryCache {
-        QueryCache { cap: cap.max(1), tick: 0, map: HashMap::new(), parses: 0, hits: 0 }
+        QueryCache {
+            cap: cap.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            parses: 0,
+            hits: 0,
+            evictions: 0,
+        }
     }
 
     /// The compiled form of `(src, language)` — parsed at most once while
@@ -99,6 +107,7 @@ impl QueryCache {
                 self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                self.evictions += 1;
             }
         }
         self.map.insert(key, (self.tick, compiled.clone()));
@@ -113,6 +122,11 @@ impl QueryCache {
     /// How many lookups were served without compiling.
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// How many entries LRU pressure displaced.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Resident entries.
@@ -182,6 +196,7 @@ mod tests {
         assert_eq!(c.parses(), 3, "q1 stayed resident");
         c.get_or_compile("q2", QueryLanguage::XQuery);
         assert_eq!(c.parses(), 4, "q2 was evicted and re-parsed");
+        assert_eq!(c.evictions(), 2, "q2 then q3 displaced");
     }
 
     #[test]

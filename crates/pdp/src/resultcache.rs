@@ -1,0 +1,433 @@
+//! Per-node result cache: serve hot queries at hop 1.
+//!
+//! The compiled-query cache ([`crate::querycache`]) removes the *parse*
+//! from a repeated query, but every arrival still evaluates against the
+//! local registry and re-floods the overlay. Discovery traffic is
+//! Zipf-shaped — a few hot queries asked by millions of clients, then a
+//! long tail — so a forwarding node that has recently answered a query
+//! can answer the next identical arrival immediately, suppressing the
+//! whole downstream flood. That turns the overlay into a CDN for
+//! discovery, exactly the aggregation-layer shielding move of the
+//! Multi Interface Grid Discovery System.
+//!
+//! [`ResultCache`] maps a query *fingerprint* (FNV-1a over source text
+//! and language — the same `(source, language)` identity the
+//! [`QueryCache`](crate::querycache::QueryCache) keys on) plus the query
+//! scope radius to the complete result set the node previously produced
+//! for that subtree. Reuse is governed by three clocks so it can never
+//! violate the thesis's F3 freshness semantics:
+//!
+//! 1. **The requesting query's staleness bound** (`result_staleness_ms`
+//!    on [`Scope`](crate::message::Scope)): results older than the bound
+//!    are never served to it. A bound of 0 — the default — disables
+//!    reuse entirely, so caching is strictly opt-in per query.
+//! 2. **The originating query's bound**, stamped into the entry when it
+//!    was populated: an entry is never served beyond the freshness
+//!    demand under which it was computed.
+//! 3. **The registry mutation epoch**: the entry records the local
+//!    registry's mutation counter at population time; any publish,
+//!    refresh, remove or TTL sweep since then invalidates it on the next
+//!    lookup — there is no window in which a mutated node serves its
+//!    pre-mutation answer.
+//!
+//! Scope subsumption: an entry cached for an unbounded radius answers
+//! any radius; an entry cached at radius `r` answers any query with
+//! radius `≤ r` (its result set covers a superset of the narrower
+//! subtree — reuse weakens nothing, it only adds results the narrower
+//! flood could also have reached through other hops' caches).
+//!
+//! The cache is capacity-bounded with LRU eviction and is as lazy as the
+//! arena requires: a fresh instance owns no heap until the first insert,
+//! so 10^5 idle simulated nodes pay ~0 bytes for it.
+
+use crate::message::QueryLanguage;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Stable identity of a query for cache keying: FNV-1a 64 over the
+/// source text plus the language discriminant. The same identity the
+/// compiled-query cache uses, folded to a `u64` so arena-scale nodes
+/// key on a word instead of an owned string.
+pub fn query_fingerprint(src: &str, language: QueryLanguage) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in src.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h ^= match language {
+        QueryLanguage::XQuery => 1,
+        QueryLanguage::Sql => 2,
+        QueryLanguage::KeyLookup => 3,
+    };
+    h.wrapping_mul(PRIME)
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Full source retained to disambiguate fingerprint collisions.
+    source: Arc<str>,
+    language: QueryLanguage,
+    /// Scope radius the results were computed under (`None` = unbounded).
+    radius: Option<u32>,
+    /// The complete result set for this node's subtree.
+    items: Arc<[String]>,
+    /// Node-local time the entry was populated.
+    cached_at_ms: u64,
+    /// Staleness bound of the query that populated the entry.
+    origin_bound_ms: u64,
+    /// Local registry mutation epoch at population time.
+    epoch: u64,
+    /// LRU clock.
+    tick: u64,
+}
+
+/// Why a lookup did not produce a hit — split out so observability can
+/// distinguish "never cached" from "cached but unusable".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reject {
+    Miss,
+    Stale,
+    Invalidated,
+}
+
+/// A bounded, TTL-aware LRU cache of complete per-subtree result sets,
+/// keyed by query fingerprint. One instance lives inside each node and
+/// is used through `&mut` (per-node state needs no lock of its own).
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    /// Hard lifetime cap on entries, independent of any query's bound.
+    ttl_ms: u64,
+    tick: u64,
+    map: HashMap<u64, Entry>,
+    hits: u64,
+    misses: u64,
+    stale_rejects: u64,
+    invalidations: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl ResultCache {
+    /// Default capacity: mirrors the compiled-query cache — hot-query
+    /// working sets are small.
+    pub const DEFAULT_CAPACITY: usize = 64;
+    /// Default hard TTL: one soft-state interval (30 s), matching the
+    /// registry's default lease horizon.
+    pub const DEFAULT_TTL_MS: u64 = 30_000;
+
+    /// A cache of at most `cap` entries (minimum 1), each living at most
+    /// `ttl_ms` regardless of how generous requesting bounds are.
+    pub fn new(cap: usize, ttl_ms: u64) -> ResultCache {
+        ResultCache {
+            cap: cap.max(1),
+            ttl_ms,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            stale_rejects: 0,
+            invalidations: 0,
+            evictions: 0,
+            insertions: 0,
+        }
+    }
+
+    /// Look up a reusable result set for `(src, language)` under the
+    /// requesting scope. `staleness_bound_ms` is the requesting query's
+    /// `result_staleness_ms` (0 = never reuse); `epoch` is the node's
+    /// current registry mutation epoch. A hit returns the cached items
+    /// and refreshes LRU recency.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lookup(
+        &mut self,
+        src: &str,
+        language: QueryLanguage,
+        radius: Option<u32>,
+        now_ms: u64,
+        staleness_bound_ms: u64,
+        epoch: u64,
+    ) -> Option<Arc<[String]>> {
+        if staleness_bound_ms == 0 {
+            self.misses += 1;
+            return None;
+        }
+        let fp = query_fingerprint(src, language);
+        let reject = match self.map.get_mut(&fp) {
+            None => Reject::Miss,
+            Some(e) if e.source.as_ref() != src || e.language != language => Reject::Miss,
+            Some(e) if e.epoch != epoch => Reject::Invalidated,
+            Some(e) => {
+                let age = now_ms.saturating_sub(e.cached_at_ms);
+                if age > self.ttl_ms || age > e.origin_bound_ms || age > staleness_bound_ms {
+                    Reject::Stale
+                } else if !radius_subsumes(e.radius, radius) {
+                    Reject::Miss
+                } else {
+                    self.tick += 1;
+                    e.tick = self.tick;
+                    self.hits += 1;
+                    return Some(Arc::clone(&e.items));
+                }
+            }
+        };
+        match reject {
+            Reject::Miss => self.misses += 1,
+            // An entry the registry has mutated past, or one too old for
+            // even its own origin bound, will never serve again: drop it
+            // now rather than waiting for LRU pressure.
+            Reject::Invalidated => {
+                self.map.remove(&fp);
+                self.invalidations += 1;
+                self.misses += 1;
+            }
+            Reject::Stale => {
+                self.stale_rejects += 1;
+                self.misses += 1;
+                if let Some(e) = self.map.get(&fp) {
+                    let age = now_ms.saturating_sub(e.cached_at_ms);
+                    if age > self.ttl_ms || age > e.origin_bound_ms {
+                        self.map.remove(&fp);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Install the complete result set this node produced for
+    /// `(src, language)` at `radius`, stamped with the populating
+    /// query's bound and the registry epoch it was computed against.
+    /// Evicts the LRU entry when at capacity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &mut self,
+        src: &str,
+        language: QueryLanguage,
+        radius: Option<u32>,
+        items: Vec<String>,
+        now_ms: u64,
+        origin_bound_ms: u64,
+        epoch: u64,
+    ) {
+        let fp = query_fingerprint(src, language);
+        if self.map.len() >= self.cap && !self.map.contains_key(&fp) {
+            // O(len) LRU scan; capacities are small by design.
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| *k) {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            fp,
+            Entry {
+                source: Arc::from(src),
+                language,
+                radius,
+                items: items.into(),
+                cached_at_ms: now_ms,
+                origin_bound_ms,
+                epoch,
+                tick: self.tick,
+            },
+        );
+        self.insertions += 1;
+    }
+
+    /// Drop every entry (e.g. on node restart from disk).
+    pub fn clear(&mut self) {
+        let n = self.map.len() as u64;
+        self.map.clear();
+        self.invalidations += n;
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing reusable (includes stale rejects and
+    /// epoch invalidations — every non-hit is a miss).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lookups rejected because the entry exceeded a staleness bound or
+    /// the cache TTL.
+    pub fn stale_rejects(&self) -> u64 {
+        self.stale_rejects
+    }
+
+    /// Entries dropped because the registry mutated after population
+    /// (plus explicit [`clear`](ResultCache::clear)s).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Entries displaced by LRU capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Result sets installed.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new(Self::DEFAULT_CAPACITY, Self::DEFAULT_TTL_MS)
+    }
+}
+
+/// Does a result set computed under `entry` radius cover a request at
+/// `query` radius? `None` (unbounded) covers everything; radius `r`
+/// covers any narrower-or-equal request.
+fn radius_subsumes(entry: Option<u32>, query: Option<u32>) -> bool {
+    match (entry, query) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(e), Some(q)) => q <= e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XQ: QueryLanguage = QueryLanguage::XQuery;
+    const BOUND: u64 = 10_000;
+
+    fn items(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("<owner>o{i}</owner>")).collect()
+    }
+
+    #[test]
+    fn fingerprint_separates_source_and_language() {
+        assert_ne!(query_fingerprint("//a", XQ), query_fingerprint("//b", XQ));
+        assert_ne!(
+            query_fingerprint("//a", QueryLanguage::XQuery),
+            query_fingerprint("//a", QueryLanguage::KeyLookup)
+        );
+        assert_eq!(query_fingerprint("//a", XQ), query_fingerprint("//a", XQ));
+    }
+
+    #[test]
+    fn hit_within_bounds() {
+        let mut c = ResultCache::default();
+        c.insert("//q", XQ, Some(2), items(3), 1_000, BOUND, 7);
+        let got = c.lookup("//q", XQ, Some(2), 2_000, BOUND, 7).expect("hit");
+        assert_eq!(got.len(), 3);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn zero_bound_never_serves() {
+        let mut c = ResultCache::default();
+        c.insert("//q", XQ, None, items(1), 0, BOUND, 0);
+        assert!(c.lookup("//q", XQ, None, 0, 0, 0).is_none());
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn requesting_bound_caps_age() {
+        let mut c = ResultCache::default();
+        c.insert("//q", XQ, None, items(1), 0, BOUND, 0);
+        assert!(c.lookup("//q", XQ, None, 501, 500, 0).is_none(), "older than bound");
+        assert_eq!(c.stale_rejects(), 1);
+        assert!(c.lookup("//q", XQ, None, 499, 500, 0).is_some(), "younger than bound");
+    }
+
+    #[test]
+    fn origin_bound_caps_age_even_for_lax_requesters() {
+        let mut c = ResultCache::default();
+        c.insert("//q", XQ, None, items(1), 0, 100, 0);
+        assert!(c.lookup("//q", XQ, None, 200, u64::MAX, 0).is_none());
+        assert_eq!(c.stale_rejects(), 1);
+        assert_eq!(c.len(), 0, "entry past its own bound is dropped");
+    }
+
+    #[test]
+    fn ttl_caps_age() {
+        let mut c = ResultCache::new(4, 1_000);
+        c.insert("//q", XQ, None, items(1), 0, u64::MAX, 0);
+        assert!(c.lookup("//q", XQ, None, 1_001, u64::MAX, 0).is_none());
+        assert_eq!(c.stale_rejects(), 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn epoch_mismatch_invalidates() {
+        let mut c = ResultCache::default();
+        c.insert("//q", XQ, None, items(1), 0, BOUND, 3);
+        assert!(c.lookup("//q", XQ, None, 1, BOUND, 4).is_none(), "registry mutated");
+        assert_eq!(c.invalidations(), 1);
+        assert_eq!(c.len(), 0, "invalidated entry is evicted immediately");
+        // Re-population under the new epoch serves again.
+        c.insert("//q", XQ, None, items(1), 1, BOUND, 4);
+        assert!(c.lookup("//q", XQ, None, 2, BOUND, 4).is_some());
+    }
+
+    #[test]
+    fn radius_subsumption() {
+        let mut c = ResultCache::default();
+        c.insert("//q", XQ, Some(3), items(1), 0, BOUND, 0);
+        assert!(c.lookup("//q", XQ, Some(3), 1, BOUND, 0).is_some(), "equal radius");
+        assert!(c.lookup("//q", XQ, Some(2), 1, BOUND, 0).is_some(), "narrower radius");
+        assert!(c.lookup("//q", XQ, Some(4), 1, BOUND, 0).is_none(), "wider radius");
+        assert!(c.lookup("//q", XQ, None, 1, BOUND, 0).is_none(), "unbounded request");
+        c.insert("//u", XQ, None, items(1), 0, BOUND, 0);
+        assert!(c.lookup("//u", XQ, None, 1, BOUND, 0).is_some());
+        assert!(c.lookup("//u", XQ, Some(9), 1, BOUND, 0).is_some(), "unbounded covers all");
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_counted() {
+        let mut c = ResultCache::new(2, BOUND);
+        c.insert("q1", XQ, None, items(1), 0, BOUND, 0);
+        c.insert("q2", XQ, None, items(1), 0, BOUND, 0);
+        assert!(c.lookup("q1", XQ, None, 1, BOUND, 0).is_some()); // q1 hotter
+        c.insert("q3", XQ, None, items(1), 2, BOUND, 0); // evicts q2
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.lookup("q1", XQ, None, 3, BOUND, 0).is_some());
+        assert!(c.lookup("q2", XQ, None, 3, BOUND, 0).is_none());
+        assert!(c.lookup("q3", XQ, None, 3, BOUND, 0).is_some());
+    }
+
+    #[test]
+    fn reinsert_overwrites_without_eviction() {
+        let mut c = ResultCache::new(1, BOUND);
+        c.insert("q1", XQ, None, items(1), 0, BOUND, 0);
+        c.insert("q1", XQ, None, items(2), 5, BOUND, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.lookup("q1", XQ, None, 6, BOUND, 0).expect("hit").len(), 2);
+    }
+
+    #[test]
+    fn clear_counts_invalidations() {
+        let mut c = ResultCache::default();
+        c.insert("q1", XQ, None, items(1), 0, BOUND, 0);
+        c.insert("q2", XQ, None, items(1), 0, BOUND, 0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.invalidations(), 2);
+    }
+}

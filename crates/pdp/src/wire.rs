@@ -85,6 +85,7 @@ pub fn encode(message: &Message) -> Bytes {
             }
             put_str(&mut buf, &scope.neighbor_policy);
             buf.put_u8(scope.pipeline as u8);
+            buf.put_u64(scope.result_staleness_ms);
             // response mode
             match response_mode {
                 ResponseMode::Routed => buf.put_u8(0),
@@ -95,7 +96,7 @@ pub fn encode(message: &Message) -> Bytes {
                 ResponseMode::Referral => buf.put_u8(2),
             }
         }
-        Message::Results { transaction, seq, items, last, origin } => {
+        Message::Results { transaction, seq, items, last, origin, cached } => {
             buf.put_u8(KIND_RESULTS);
             buf.put_u128(transaction.0);
             buf.put_u64(*seq);
@@ -105,6 +106,7 @@ pub fn encode(message: &Message) -> Bytes {
             }
             buf.put_u8(*last as u8);
             put_str(&mut buf, origin);
+            buf.put_u8(*cached as u8);
         }
         Message::Ack { transaction, seq } => {
             buf.put_u8(KIND_ACK);
@@ -142,7 +144,7 @@ pub fn encoded_len(message: &Message) -> u64 {
             n += 1 + if scope.radius.is_some() { 4 } else { 0 };
             n += 8 + 8;
             n += 1 + if scope.max_results.is_some() { 8 } else { 0 };
-            n += 4 + scope.neighbor_policy.len() as u64 + 1;
+            n += 4 + scope.neighbor_policy.len() as u64 + 1 + 8;
             n += 1 + match response_mode {
                 ResponseMode::Direct { originator } => 4 + originator.len() as u64,
                 _ => 0,
@@ -157,6 +159,7 @@ pub fn encoded_len(message: &Message) -> u64 {
                 + 1
                 + 4
                 + origin.len() as u64
+                + 1
         }
         Message::Ack { .. } => 1 + 16 + 8,
         Message::Error { origin, reason, .. } => {
@@ -196,6 +199,7 @@ pub fn decode(mut frame: &[u8]) -> Result<Message, WireError> {
             };
             let neighbor_policy = get_str(buf)?;
             let pipeline = get_u8(buf)? != 0;
+            let result_staleness_ms = get_u64(buf)?;
             let response_mode = match get_u8(buf)? {
                 0 => ResponseMode::Routed,
                 1 => ResponseMode::Direct { originator: get_str(buf)? },
@@ -213,6 +217,7 @@ pub fn decode(mut frame: &[u8]) -> Result<Message, WireError> {
                     max_results,
                     neighbor_policy,
                     pipeline,
+                    result_staleness_ms,
                 },
                 response_mode,
             })
@@ -230,7 +235,8 @@ pub fn decode(mut frame: &[u8]) -> Result<Message, WireError> {
             }
             let last = get_u8(buf)? != 0;
             let origin = get_str(buf)?;
-            Ok(Message::Results { transaction, seq, items, last, origin })
+            let cached = get_u8(buf)? != 0;
+            Ok(Message::Results { transaction, seq, items, last, origin, cached })
         }
         KIND_ACK => {
             let transaction = TransactionId(get_u128(buf)?);
@@ -318,6 +324,7 @@ mod tests {
                 max_results: Some(100),
                 neighbor_policy: "random:3".into(),
                 pipeline: true,
+                result_staleness_ms: 5_000,
             },
             response_mode: ResponseMode::Direct { originator: "n0".into() },
         }
@@ -333,6 +340,7 @@ mod tests {
                 items: vec!["<a/>".into(), "<b x=\"1\">t</b>".into()],
                 last: true,
                 origin: "n7".into(),
+                cached: true,
             },
             Message::Ack { transaction: TransactionId::derive(1, 4), seq: 3 },
             Message::Error {

@@ -14,14 +14,16 @@ fn arb_scope() -> impl Strategy<Value = Scope> {
         proptest::option::of(0u64..10_000),
         "[a-z:0-9]{0,12}",
         any::<bool>(),
+        0u64..1_000_000,
     )
-        .prop_map(|(radius, abort, loop_t, max, policy, pipeline)| Scope {
+        .prop_map(|(radius, abort, loop_t, max, policy, pipeline, staleness)| Scope {
             radius,
             abort_timeout_ms: abort,
             loop_timeout_ms: loop_t,
             max_results: max,
             neighbor_policy: policy,
             pipeline,
+            result_staleness_ms: staleness,
         })
 }
 
@@ -52,14 +54,16 @@ fn arb_message() -> impl Strategy<Value = Message> {
             any::<u64>(),
             proptest::collection::vec("\\PC{0,32}", 0..8),
             any::<bool>(),
-            "[a-z0-9]{1,8}"
+            "[a-z0-9]{1,8}",
+            any::<bool>()
         )
-            .prop_map(|(transaction, seq, items, last, origin)| Message::Results {
+            .prop_map(|(transaction, seq, items, last, origin, cached)| Message::Results {
                 transaction,
                 seq,
                 items,
                 last,
-                origin
+                origin,
+                cached
             }),
         (txn.clone(), any::<u64>())
             .prop_map(|(transaction, seq)| Message::Ack { transaction, seq }),

@@ -24,6 +24,7 @@ fn message(kind: u8, a: u64, s: &str) -> Message {
             items: vec![format!("<r>{s}</r>"), "<x/>".to_owned()],
             last: a.is_multiple_of(2),
             origin: format!("n{}", a % 5),
+            cached: a.is_multiple_of(3),
         },
         2 => Message::Ack { transaction: TransactionId(a as u128), seq: a },
         3 => Message::Error {

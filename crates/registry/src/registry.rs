@@ -167,6 +167,12 @@ pub struct RegistryStats {
     pub shed_queue_full: Counter,
     /// Sheds: no evaluation slot freed up within the wait budget.
     pub shed_slot_timeout: Counter,
+    /// Monotone mutation epoch: bumped by every publish, refresh,
+    /// unpublish, pull-installed content and soft-state expiry. Edge
+    /// result caches compare the epoch they captured at population time
+    /// against the current value, so any local change invalidates cached
+    /// answers before the next lookup can serve them.
+    pub mutations: Counter,
 }
 
 impl RegistryStats {
@@ -174,7 +180,7 @@ impl RegistryStats {
         counter.add(n);
     }
 
-    fn fields(&self) -> [(&'static str, &Counter); 19] {
+    fn fields(&self) -> [(&'static str, &Counter); 20] {
         [
             ("publishes", &self.publishes),
             ("refreshes", &self.refreshes),
@@ -195,6 +201,7 @@ impl RegistryStats {
             ("shed_deadline", &self.shed_deadline),
             ("shed_queue_full", &self.shed_queue_full),
             ("shed_slot_timeout", &self.shed_slot_timeout),
+            ("mutations", &self.mutations),
         ]
     }
 
@@ -517,6 +524,7 @@ impl HyperRegistry {
         } else {
             RegistryStats::add(&self.stats.refreshes, 1);
         }
+        RegistryStats::add(&self.stats.mutations, 1);
         drop(shard);
         self.maybe_snapshot();
         Ok(())
@@ -541,6 +549,7 @@ impl HyperRegistry {
         }
         shard.upsert_with_ordinal(link, &type_, &context, now, ttl, 0);
         RegistryStats::add(&self.stats.refreshes, 1);
+        RegistryStats::add(&self.stats.mutations, 1);
         drop(shard);
         self.maybe_snapshot();
         Ok(())
@@ -554,6 +563,7 @@ impl HyperRegistry {
         let removed = shard.remove(link).is_some();
         drop(shard);
         if removed {
+            RegistryStats::add(&self.stats.mutations, 1);
             self.maybe_snapshot();
             Ok(())
         } else {
@@ -579,8 +589,16 @@ impl HyperRegistry {
     fn count_evictions(&self, evicted: usize) -> usize {
         if evicted > 0 {
             RegistryStats::add(&self.stats.expirations, evicted as u64);
+            RegistryStats::add(&self.stats.mutations, evicted as u64);
         }
         evicted
+    }
+
+    /// The current mutation epoch (see [`RegistryStats::mutations`]).
+    /// Result caches stamp entries with this value and treat any change
+    /// as an invalidation signal.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.stats.mutations.get()
     }
 
     /// MinQuery-style lookup: the tuple XML for one content link, if live.
@@ -805,7 +823,11 @@ impl HyperRegistry {
                         // Install under the shard write lock (through the
                         // index-maintaining path); the tuple may have
                         // expired or vanished while the provider ran.
-                        self.store.install_content(&link, Arc::new(content), now)
+                        let installed = self.store.install_content(&link, Arc::new(content), now);
+                        if installed {
+                            RegistryStats::add(&self.stats.mutations, 1);
+                        }
+                        installed
                     }
                     Err(_) => {
                         RegistryStats::add(&self.stats.pulls_failed, 1);

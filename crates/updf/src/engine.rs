@@ -56,7 +56,7 @@ use wsda_net::{Delivery, NodeId, Simulator};
 use wsda_obs::{Gauge, MetricsRegistry, QueryTrace, TraceBuffer, TraceEvent, TraceKind};
 use wsda_pdp::{
     encoded_len, BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage,
-    ResponseMode, ResultLedger, Scope, Sym, TransactionId,
+    ResponseMode, ResultCache, ResultLedger, Scope, Sym, TransactionId,
 };
 use wsda_registry::admission::{Admission, AdmissionConfig, AdmissionContext};
 use wsda_registry::clock::{ManualClock, Time};
@@ -143,6 +143,17 @@ pub struct P2pConfig {
     /// prohibitive at 10^5+ nodes. Without it, `hint:` policies degrade
     /// to flooding (their documented no-index behavior).
     pub build_routing_index: bool,
+    /// Edge result caching: nodes consult (and populate) a per-node
+    /// [`ResultCache`] so a repeat of a hot query is answered at hop 1
+    /// from cache — suppressing the downstream flood — whenever the
+    /// query's `Scope::result_staleness_ms` bound permits. With the
+    /// default bound of 0 on every query, enabling this is inert, so the
+    /// flag exists for explicit cache-on/off comparisons (F22).
+    pub result_cache: bool,
+    /// Capacity of each node's result cache.
+    pub result_cache_capacity: usize,
+    /// Hard TTL on result-cache entries, independent of query bounds.
+    pub result_cache_ttl_ms: u64,
 }
 
 impl Default for P2pConfig {
@@ -166,6 +177,9 @@ impl Default for P2pConfig {
             per_node_metrics: None,
             scale_registries: false,
             build_routing_index: true,
+            result_cache: true,
+            result_cache_capacity: ResultCache::DEFAULT_CAPACITY,
+            result_cache_ttl_ms: ResultCache::DEFAULT_TTL_MS,
         }
     }
 }
@@ -274,6 +288,10 @@ struct NodeArena {
     /// Per-node compiled-query cache: one parse per distinct query string,
     /// shared by every hop and retransmission that reaches this node.
     qcaches: Vec<QueryCache>,
+    /// Per-node result cache (edge result caching): complete subtree
+    /// answers reusable within a query's staleness bound. An idle cache
+    /// owns no heap, so 10^5-node arenas pay nothing until queries opt in.
+    rcaches: Vec<ResultCache>,
     /// Bounded rings of hop-level trace events recorded at each node.
     traces: Vec<TraceBuffer>,
 }
@@ -312,6 +330,27 @@ struct TxnInfo {
     /// Accept-time deadline (arrival + abort budget): the admission gate
     /// sheds or degrades local evaluation against this.
     deadline: Time,
+    /// Accumulates this node's complete subtree answer (local + child
+    /// items, pipelined or buffered alike) for result-cache population.
+    /// Only fed while `cache_ok` holds.
+    cache_items: Vec<String>,
+    /// May the finished subtree answer be installed in the result cache?
+    /// Starts true only for routed queries carrying a nonzero staleness
+    /// bound (with caching enabled); falsified by anything that makes the
+    /// answer non-representative — aborts, closes, sheds, degraded or
+    /// partial evaluation, abandoned subtrees, or child results that were
+    /// themselves served from a cache (re-caching second-hand items would
+    /// compound staleness past the bound).
+    cache_ok: bool,
+    /// The local evaluation resolved to a pure index plan (PR 4's cost
+    /// signal): a leaf answering that cheaply is not worth caching.
+    cache_cheap_plan: bool,
+    /// The node forwarded to children, so its answer aggregates a whole
+    /// subtree — always worth caching, whatever the local plan cost.
+    cache_forwarded: bool,
+    /// A child's results arrived cache-served: this node's outgoing final
+    /// frame must carry the `cached` provenance flag upward.
+    cache_tainted: bool,
 }
 
 /// The outcome of one query execution.
@@ -359,6 +398,15 @@ struct TotalGauges {
     txn_info: Gauge,
     pending_acks: Gauge,
     overflowed: Gauge,
+    qcache_parses: Gauge,
+    qcache_hits: Gauge,
+    qcache_evictions: Gauge,
+    rcache_hits: Gauge,
+    rcache_misses: Gauge,
+    rcache_evictions: Gauge,
+    rcache_stale_rejects: Gauge,
+    rcache_invalidations: Gauge,
+    rcache_entries: Gauge,
 }
 
 impl TotalGauges {
@@ -369,6 +417,15 @@ impl TotalGauges {
             txn_info: metrics.gauge("updf_txn_info_total"),
             pending_acks: metrics.gauge("updf_pending_acks_total"),
             overflowed: metrics.gauge("sim_messages_overflowed"),
+            qcache_parses: metrics.gauge("updf_query_cache_parses_total"),
+            qcache_hits: metrics.gauge("updf_query_cache_hits_total"),
+            qcache_evictions: metrics.gauge("updf_query_cache_evictions_total"),
+            rcache_hits: metrics.gauge("updf_result_cache_hits_total"),
+            rcache_misses: metrics.gauge("updf_result_cache_misses_total"),
+            rcache_evictions: metrics.gauge("updf_result_cache_evictions_total"),
+            rcache_stale_rejects: metrics.gauge("updf_result_cache_stale_rejects_total"),
+            rcache_invalidations: metrics.gauge("updf_result_cache_invalidations_total"),
+            rcache_entries: metrics.gauge("updf_result_cache_entries_total"),
         }
     }
 }
@@ -547,6 +604,9 @@ impl SimNetwork {
             suspected: (0..n).map(|_| HashSet::new()).collect(),
             breakers: (0..n).map(|_| HashMap::new()).collect(),
             qcaches: (0..n).map(|_| QueryCache::default()).collect(),
+            rcaches: (0..n)
+                .map(|_| ResultCache::new(config.result_cache_capacity, config.result_cache_ttl_ms))
+                .collect(),
             traces: (0..n).map(|_| TraceBuffer::new(config.trace_capacity)).collect(),
         };
         SimNetwork {
@@ -641,6 +701,8 @@ impl SimNetwork {
         self.arena.suspected[i] = HashSet::new();
         self.arena.breakers[i] = HashMap::new();
         self.arena.qcaches[i] = QueryCache::default();
+        self.arena.rcaches[i] =
+            ResultCache::new(self.config.result_cache_capacity, self.config.result_cache_ttl_ms);
         self.arena.traces[i] = TraceBuffer::new(self.config.trace_capacity);
         let persist = PersistenceConfig::new(root.join(format!("n{i}")));
         let (registry, report) = HyperRegistry::open_durable(
@@ -682,6 +744,50 @@ impl SimNetwork {
         self.arena.qcaches.iter().map(|c| c.hits()).sum()
     }
 
+    /// Total compiled-query cache LRU evictions across all nodes.
+    pub fn query_cache_evictions(&self) -> u64 {
+        self.arena.qcaches.iter().map(|c| c.evictions()).sum()
+    }
+
+    /// Total result-cache hits (queries answered without evaluation or
+    /// forwarding) across all nodes.
+    pub fn result_cache_hits(&self) -> u64 {
+        self.arena.rcaches.iter().map(|c| c.hits()).sum()
+    }
+
+    /// Total result-cache misses across all nodes.
+    pub fn result_cache_misses(&self) -> u64 {
+        self.arena.rcaches.iter().map(|c| c.misses()).sum()
+    }
+
+    /// Total result-cache LRU evictions across all nodes.
+    pub fn result_cache_evictions(&self) -> u64 {
+        self.arena.rcaches.iter().map(|c| c.evictions()).sum()
+    }
+
+    /// Total result-cache entries rejected for exceeding a freshness
+    /// bound (TTL, origin bound, or the requester's staleness bound).
+    pub fn result_cache_stale_rejects(&self) -> u64 {
+        self.arena.rcaches.iter().map(|c| c.stale_rejects()).sum()
+    }
+
+    /// Total result-cache entries dropped because the local registry
+    /// mutated since they were installed.
+    pub fn result_cache_invalidations(&self) -> u64 {
+        self.arena.rcaches.iter().map(|c| c.invalidations()).sum()
+    }
+
+    /// Total result-cache insertions across all nodes.
+    pub fn result_cache_insertions(&self) -> u64 {
+        self.arena.rcaches.iter().map(|c| c.insertions()).sum()
+    }
+
+    /// Live result-cache entries across all nodes (leak regression
+    /// surface: bounded by `nodes × result_cache_capacity`).
+    pub fn result_cache_entries(&self) -> usize {
+        self.arena.rcaches.iter().map(|c| c.len()).sum()
+    }
+
     /// In-flight timers (leak regression surface: fired and superseded
     /// timers must not accumulate).
     pub fn timers_live(&self) -> usize {
@@ -719,6 +825,15 @@ impl SimNetwork {
         self.totals.txn_info.set(self.arena.txns.iter().map(|t| t.len() as u64).sum());
         self.totals.pending_acks.set(self.arena.pending_acks.iter().map(|p| p.len() as u64).sum());
         self.totals.overflowed.set(self.network_overflows());
+        self.totals.qcache_parses.set(self.query_parses());
+        self.totals.qcache_hits.set(self.query_cache_hits());
+        self.totals.qcache_evictions.set(self.query_cache_evictions());
+        self.totals.rcache_hits.set(self.result_cache_hits());
+        self.totals.rcache_misses.set(self.result_cache_misses());
+        self.totals.rcache_evictions.set(self.result_cache_evictions());
+        self.totals.rcache_stale_rejects.set(self.result_cache_stale_rejects());
+        self.totals.rcache_invalidations.set(self.result_cache_invalidations());
+        self.totals.rcache_entries.set(self.result_cache_entries() as u64);
         &self.metrics
     }
 
@@ -945,8 +1060,8 @@ impl SimNetwork {
                 self.accept_query(run, to, Some(from), &query, language, scope, response_mode);
                 let _ = transaction;
             }
-            Message::Results { transaction, seq, items, last, origin } => {
-                self.on_results(run, from, to, transaction, seq, items, last, origin);
+            Message::Results { transaction, seq, items, last, origin, cached } => {
+                self.on_results(run, from, to, transaction, seq, items, last, origin, cached);
             }
             Message::Ack { transaction, seq } => {
                 self.arena.pending_acks[to.0 as usize].remove(&(transaction, from, seq));
@@ -1037,7 +1152,9 @@ impl SimNetwork {
                         let items = std::mem::take(&mut info.buffer);
                         let origin = run.origin;
                         let node_ep = self.endpoints.str(node).to_owned();
-                        self.send_results_to(run, node, origin, txn, items, true, node_ep, false);
+                        self.send_results_to(
+                            run, node, origin, txn, items, true, node_ep, false, false,
+                        );
                         return;
                     }
                 }
@@ -1053,13 +1170,66 @@ impl SimNetwork {
             if let Some(p) = parent {
                 if !from_recorded_parent {
                     let node_ep = self.endpoints.str(node).to_owned();
-                    self.send_results_to(run, node, p, txn, Vec::new(), true, node_ep, false);
+                    self.send_results_to(
+                        run,
+                        node,
+                        p,
+                        txn,
+                        Vec::new(),
+                        true,
+                        node_ep,
+                        false,
+                        false,
+                    );
                 }
             }
             return;
         }
 
         self.trace(node, TraceKind::Recv, txn, parent, None);
+
+        // Edge result cache: a routed query carrying a nonzero staleness
+        // bound may be answered from this node's cache — the node replies
+        // with the complete subtree answer it produced for the same query
+        // at an equal-or-wider radius, and the downstream flood never
+        // happens. The lookup enforces the requester's bound, the
+        // populating query's bound, the cache TTL and the registry
+        // mutation epoch, so a served answer is always one the requester
+        // declared acceptable and the local registry has not moved past.
+        let cacheable = self.config.result_cache
+            && scope.result_staleness_ms > 0
+            && matches!(mode, ResponseMode::Routed);
+        if cacheable {
+            let epoch =
+                self.arena.registries[node_idx].peek().map(|r| r.mutation_epoch()).unwrap_or(0);
+            let hit = self.arena.rcaches[node_idx].lookup(
+                query_src,
+                language,
+                scope.radius,
+                now.millis(),
+                scope.result_staleness_ms,
+                epoch,
+            );
+            if let Some(items) = hit {
+                let items: Vec<String> = items.to_vec();
+                run.metrics.cache_served += 1;
+                self.trace(node, TraceKind::CacheServed, txn, None, Some(items.len() as u64));
+                // No evaluation, no forwards: the subtree is complete now.
+                self.arena.state[node_idx].local_done(&txn);
+                match parent {
+                    Some(p) => {
+                        let node_ep = self.endpoints.str(node).to_owned();
+                        self.send_results_to(run, node, p, txn, items, true, node_ep, false, true);
+                    }
+                    None => {
+                        run.saw_cached = true;
+                        self.deliver(run, items);
+                        self.complete_at_origin(run);
+                    }
+                }
+                return;
+            }
+        }
 
         // Fresh transaction at this node: compile through the node's own
         // query cache, so repeats of the same query string (later runs,
@@ -1083,6 +1253,11 @@ impl SimNetwork {
                 finalized: false,
                 buffer_has_child_items: false,
                 deadline,
+                cache_items: Vec::new(),
+                cache_ok: cacheable,
+                cache_cheap_plan: false,
+                cache_forwarded: false,
+                cache_tainted: false,
             },
         );
 
@@ -1158,6 +1333,11 @@ impl SimNetwork {
             let mut m = std::mem::take(&mut run.metrics);
             self.send(&mut m, node, target, msg);
             run.metrics = m;
+        }
+        if forwarded_any {
+            if let Some(info) = self.arena.txns[node_idx].get_mut(&txn) {
+                info.cache_forwarded = true;
+            }
         }
         if forwarded_any && self.config.recovery.enabled {
             let delay = self.config.recovery.watchdog_timeout_ms + self.jitter_ms();
@@ -1337,11 +1517,25 @@ impl SimNetwork {
         if out.shed {
             run.metrics.local_evals_shed += 1;
         }
+        let cheap_plan = matches!(out.plan, Some(QueryPlan::Index));
         if let Some(plan) = out.plan {
             run.metrics.record_plan(plan);
         }
         if out.degraded {
             run.metrics.local_evals_degraded += 1;
+        }
+        if let Some(info) = self.arena.txns[node_idx].get_mut(&txn) {
+            if out.shed || out.degraded {
+                // Shed or partial evaluations are not the query's answer;
+                // caching them would replay the degradation for the whole
+                // staleness window.
+                info.cache_ok = false;
+            } else {
+                info.cache_cheap_plan = cheap_plan;
+                if info.cache_ok {
+                    info.cache_items.extend(out.items.iter().cloned());
+                }
+            }
         }
         let items = out.items;
 
@@ -1361,7 +1555,7 @@ impl SimNetwork {
             ResponseMode::Routed => {
                 if pipeline && !items.is_empty() && !complete {
                     let node_ep = self.endpoints.str(node).to_owned();
-                    self.send_results(run, node, parent, txn, items, false, node_ep, false);
+                    self.send_results(run, node, parent, txn, items, false, node_ep, false, false);
                 } else {
                     let info = self.arena.txns[node_idx].get_mut(&txn).expect("live txn");
                     info.buffer.extend(items);
@@ -1371,7 +1565,9 @@ impl SimNetwork {
                 if !items.is_empty() {
                     if let Some(target) = parse_endpoint(originator) {
                         let node_ep = self.endpoints.str(node).to_owned();
-                        self.send_results_to(run, node, target, txn, items, true, node_ep, false);
+                        self.send_results_to(
+                            run, node, target, txn, items, true, node_ep, false, false,
+                        );
                     }
                 }
             }
@@ -1395,7 +1591,9 @@ impl SimNetwork {
         }
     }
 
-    /// Send buffered + final results toward the parent.
+    /// Send buffered + final results toward the parent; a cleanly
+    /// completed, cache-worthy subtree answer is installed in the node's
+    /// result cache on the way out.
     fn finalize_node(&mut self, run: &mut RunState, node: NodeId, txn: TransactionId) {
         let node_idx = node.0 as usize;
         let Some(info) = self.arena.txns[node_idx].get_mut(&txn) else { return };
@@ -1406,15 +1604,47 @@ impl SimNetwork {
         let parent = info.parent;
         let mode = info.mode.clone();
         let relayed = info.buffer_has_child_items;
+        let tainted = info.cache_tainted;
         let items = if matches!(mode, ResponseMode::Routed) {
             std::mem::take(&mut info.buffer)
         } else {
             Vec::new() // direct/referral finals are pure completion acks
         };
+        // Admission-aware population (the originator's copy is installed
+        // by `complete_at_origin` from the delivered set instead): a
+        // forwarding node's answer aggregates a whole subtree and is
+        // always worth keeping; a leaf that answered from a pure index
+        // plan re-evaluates cheaply and is not.
+        let populate =
+            parent.is_some() && info.cache_ok && (info.cache_forwarded || !info.cache_cheap_plan);
+        let pop = populate.then(|| {
+            (
+                Arc::clone(&info.source),
+                info.language,
+                info.scope.radius,
+                info.scope.result_staleness_ms,
+                std::mem::take(&mut info.cache_items),
+            )
+        });
+        if let Some((src, language, radius, bound, cache_items)) = pop {
+            let now_ms = self.sim.now().millis();
+            let epoch =
+                self.arena.registries[node_idx].peek().map(|r| r.mutation_epoch()).unwrap_or(0);
+            self.arena.rcaches[node_idx].insert(
+                &src,
+                language,
+                radius,
+                cache_items,
+                now_ms,
+                bound,
+                epoch,
+            );
+            run.metrics.cache_populated += 1;
+        }
         match parent {
             Some(p) => {
                 let node_ep = self.endpoints.str(node).to_owned();
-                self.send_results(run, node, Some(p), txn, items, true, node_ep, relayed);
+                self.send_results(run, node, Some(p), txn, items, true, node_ep, relayed, tainted);
             }
             None => {
                 // Originator finishing its subtree.
@@ -1435,9 +1665,10 @@ impl SimNetwork {
         last: bool,
         origin_ep: String,
         relayed: bool,
+        cached: bool,
     ) {
         let Some(p) = parent else { return };
-        self.send_results_to(run, node, p, txn, items, last, origin_ep, relayed);
+        self.send_results_to(run, node, p, txn, items, last, origin_ep, relayed, cached);
     }
 
     /// Send a `Results` frame from `from` to `to`, allocating the
@@ -1454,11 +1685,13 @@ impl SimNetwork {
         last: bool,
         origin_ep: String,
         relayed: bool,
+        cached: bool,
     ) {
         let from_idx = from.0 as usize;
         let seq = self.arena.state[from_idx].get_mut(&txn).map(|s| s.alloc_seq()).unwrap_or(0);
         self.trace(from, TraceKind::Results, txn, Some(to), Some(items.len() as u64));
-        let msg = Message::Results { transaction: txn, seq, items, last, origin: origin_ep };
+        let msg =
+            Message::Results { transaction: txn, seq, items, last, origin: origin_ep, cached };
         if relayed {
             run.metrics.bytes_relayed += encoded_len(&msg);
         }
@@ -1490,6 +1723,7 @@ impl SimNetwork {
         items: Vec<String>,
         last: bool,
         origin_ep: String,
+        cached: bool,
     ) {
         if txn != run.txn {
             return; // stale transaction from an earlier run
@@ -1518,6 +1752,12 @@ impl SimNetwork {
         let is_origin = to == run.origin;
 
         if is_origin {
+            // Cache-served data anywhere in the tree means the delivered
+            // set is second-hand — never re-install it at the origin (that
+            // would compound staleness past the F3 bound).
+            if cached {
+                run.saw_cached = true;
+            }
             // Deliver data reaching the originator.
             if run.closed {
                 run.metrics.late_results_dropped += items.len() as u64;
@@ -1542,11 +1782,23 @@ impl SimNetwork {
         let parent = info.parent;
         let aborted = info.aborted;
         let routed = matches!(info.mode, ResponseMode::Routed);
+        if !aborted {
+            if cached {
+                // A child answered from its cache: this node's aggregate is
+                // second-hand, so it must not be re-cached here, and the
+                // taint must travel upward with the relayed frames.
+                info.cache_ok = false;
+                info.cache_tainted = true;
+                info.cache_items.clear();
+            } else if info.cache_ok {
+                info.cache_items.extend(items.iter().cloned());
+            }
+        }
         if aborted {
             run.metrics.late_results_dropped += items.len() as u64;
         } else if routed && !items.is_empty() {
             if pipeline {
-                self.send_results(run, to, parent, txn, items, false, origin_ep, true);
+                self.send_results(run, to, parent, txn, items, false, origin_ep, true, cached);
             } else {
                 let info = self.arena.txns[node_idx].get_mut(&txn).expect("live txn");
                 info.buffer.extend(items);
@@ -1612,6 +1864,8 @@ impl SimNetwork {
         }
         if let Some(info) = self.arena.txns[node.0 as usize].get_mut(&txn) {
             info.aborted = true;
+            info.cache_ok = false;
+            info.cache_items.clear();
             info.buffer.clear();
         }
         self.broadcast_close(run, node, txn);
@@ -1644,15 +1898,17 @@ impl SimNetwork {
             return;
         }
         info.aborted = true;
+        info.cache_ok = false;
         run.metrics.node_aborts += 1;
         let parent = info.parent;
         let items = std::mem::take(&mut info.buffer);
+        let tainted = info.cache_tainted;
         info.finalized = true;
         self.arena.state[node_idx].close(&txn);
         match parent {
             Some(_) => {
                 let node_ep = self.endpoints.str(node).to_owned();
-                self.send_results(run, node, parent, txn, items, true, node_ep, false);
+                self.send_results(run, node, parent, txn, items, true, node_ep, false, tainted);
             }
             None => {
                 self.deliver(run, items);
@@ -1764,6 +2020,10 @@ impl SimNetwork {
             return;
         }
         // Abandon: the silent subtrees are lost; degrade instead of hang.
+        // The node's answer is now partial — never cache it.
+        if let Some(info) = self.arena.txns[node_idx].get_mut(&txn) {
+            info.cache_ok = false;
+        }
         run.metrics.subtrees_abandoned += pending.len() as u64;
         for &child_sym in &pending {
             let child = NodeId(child_sym.0);
@@ -1814,8 +2074,12 @@ impl SimNetwork {
             run.metrics.errors_received += 1;
             return;
         }
-        let parent = self.arena.txns[to.0 as usize].get(&txn).and_then(|i| i.parent);
-        if let Some(p) = parent {
+        let parent = self.arena.txns[to.0 as usize].get_mut(&txn).map(|i| {
+            // A lost subtree below us means our aggregate is partial.
+            i.cache_ok = false;
+            i.parent
+        });
+        if let Some(Some(p)) = parent {
             let msg = Message::Error { transaction: txn, origin: origin_ep, reason };
             let mut m = std::mem::take(&mut run.metrics);
             self.send(&mut m, to, p, msg);
@@ -1851,8 +2115,49 @@ impl SimNetwork {
                 .unwrap_or(false);
             if origin_complete {
                 run.metrics.time_completed = Some(self.sim.now());
+                self.populate_origin_cache(run);
             }
         }
+    }
+
+    /// Install the originator's freshly completed answer in its own
+    /// result cache. A routed run that completed cleanly delivered the
+    /// entire tree's answer to the origin, so `run.results` *is* the
+    /// complete result set for (query, radius) — the one thing worth
+    /// caching at hop 0.
+    fn populate_origin_cache(&mut self, run: &mut RunState) {
+        if run.closed || run.saw_cached {
+            return;
+        }
+        let m = &run.metrics;
+        if m.subtrees_abandoned + m.node_aborts + m.errors_received > 0 {
+            return;
+        }
+        let origin_idx = run.origin.0 as usize;
+        let Some(info) = self.arena.txns[origin_idx].get(&run.txn) else { return };
+        // Same admission gate as the intermediate-hop population: a pure
+        // index-plan answer that forwarded nowhere re-evaluates cheaply
+        // and is not worth an entry.
+        if !info.cache_ok || (!info.cache_forwarded && info.cache_cheap_plan) {
+            return;
+        }
+        let src = Arc::clone(&info.source);
+        let language = info.language;
+        let radius = info.scope.radius;
+        let bound = info.scope.result_staleness_ms;
+        let now_ms = self.sim.now().millis();
+        let epoch =
+            self.arena.registries[origin_idx].peek().map(|r| r.mutation_epoch()).unwrap_or(0);
+        self.arena.rcaches[origin_idx].insert(
+            &src,
+            language,
+            radius,
+            run.results.clone(),
+            now_ms,
+            bound,
+            epoch,
+        );
+        run.metrics.cache_populated += 1;
     }
 }
 
@@ -1864,6 +2169,10 @@ struct RunState {
     closed: bool,
     deadline_hit: bool,
     max_results: Option<u64>,
+    /// Any cache-served frame reached the origin (or the origin itself
+    /// answered from cache): the delivered set is second-hand and must
+    /// not be re-installed in the origin's result cache.
+    saw_cached: bool,
 }
 
 impl RunState {
@@ -1876,6 +2185,7 @@ impl RunState {
             closed: false,
             deadline_hit: false,
             max_results,
+            saw_cached: false,
         }
     }
 }

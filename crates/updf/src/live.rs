@@ -51,13 +51,13 @@ use wsda_obs::{
 use wsda_pdp::framing::{frame_is_query, write_frame, FrameReader};
 use wsda_pdp::{
     BeginOutcome, CompiledQuery, Message, NodeStateTable, QueryCache, QueryLanguage, ResponseMode,
-    ResultLedger, Scope, Sym, TransactionId,
+    ResultCache, ResultLedger, Scope, Sym, TransactionId,
 };
 use wsda_registry::clock::SystemClock;
 use wsda_registry::workload::CorpusGenerator;
 use wsda_registry::{
-    Freshness, HyperRegistry, PersistenceConfig, PublishRequest, RecoveryReport, RegistryConfig,
-    RegistryError,
+    Freshness, HyperRegistry, PersistenceConfig, PublishRequest, QueryPlan, RecoveryReport,
+    RegistryConfig, RegistryError,
 };
 
 type Frame = Vec<u8>;
@@ -90,6 +90,11 @@ pub struct LiveStats {
     pub breaker_opens: u64,
     /// Half-open probe `Ping`s sent.
     pub breaker_probes: u64,
+    /// Queries answered from a peer's edge result cache (no evaluation,
+    /// no downstream flood).
+    pub result_cache_hits: u64,
+    /// Complete subtree answers installed in a peer's result cache.
+    pub result_cache_insertions: u64,
 }
 
 /// Shared counter handles behind [`LiveStats`]; the same atomics are
@@ -99,6 +104,8 @@ struct LiveStatsInner {
     breaker_sheds: Counter,
     breaker_opens: Counter,
     breaker_probes: Counter,
+    result_cache_hits: Counter,
+    result_cache_insertions: Counter,
 }
 
 /// Per-peer state-size gauge handles, updated by the peer thread and read
@@ -109,6 +116,10 @@ struct PeerGauges {
     state_entries: Gauge,
     live_txns: Gauge,
     pending_acks: Gauge,
+    qcache_parses: Gauge,
+    qcache_hits: Gauge,
+    qcache_evictions: Gauge,
+    rcache_entries: Gauge,
 }
 
 /// Capacity of each live peer's trace ring.
@@ -221,6 +232,9 @@ impl LiveNetwork {
         metrics.register_counter("updf_breaker_sheds_total", &stats.breaker_sheds);
         metrics.register_counter("updf_breaker_opens_total", &stats.breaker_opens);
         metrics.register_counter("updf_breaker_probes_total", &stats.breaker_probes);
+        metrics.register_counter("updf_result_cache_hits_total", &stats.result_cache_hits);
+        metrics
+            .register_counter("updf_result_cache_insertions_total", &stats.result_cache_insertions);
         transport.export_metrics(&metrics);
         let epoch = Instant::now();
         let mut registries = Vec::with_capacity(topology.len());
@@ -301,6 +315,14 @@ impl LiveNetwork {
             state_entries: self.metrics.gauge(&format!("updf_state_entries{{node=\"n{i}\"}}")),
             live_txns: self.metrics.gauge(&format!("updf_live_txns{{node=\"n{i}\"}}")),
             pending_acks: self.metrics.gauge(&format!("updf_pending_acks{{node=\"n{i}\"}}")),
+            qcache_parses: self.metrics.gauge(&format!("updf_query_cache_parses{{node=\"n{i}\"}}")),
+            qcache_hits: self.metrics.gauge(&format!("updf_query_cache_hits{{node=\"n{i}\"}}")),
+            qcache_evictions: self
+                .metrics
+                .gauge(&format!("updf_query_cache_evictions{{node=\"n{i}\"}}")),
+            rcache_entries: self
+                .metrics
+                .gauge(&format!("updf_result_cache_entries{{node=\"n{i}\"}}")),
         };
         let peer = PeerThread {
             id,
@@ -369,6 +391,8 @@ impl LiveNetwork {
             breaker_sheds: self.stats.breaker_sheds.get(),
             breaker_opens: self.stats.breaker_opens.get(),
             breaker_probes: self.stats.breaker_probes.get(),
+            result_cache_hits: self.stats.result_cache_hits.get(),
+            result_cache_insertions: self.stats.result_cache_insertions.get(),
         }
     }
 
@@ -608,6 +632,24 @@ struct LiveTxn {
     watchdog_at: Instant,
     /// One re-query round already spent.
     requeried: bool,
+    /// Accumulates this peer's complete subtree answer (local + child
+    /// items) for result-cache population; only fed while `cache_ok`.
+    cache_items: Vec<String>,
+    /// May the finished answer be installed in the result cache? True
+    /// only for queries carrying a nonzero staleness bound whose local
+    /// evaluation was complete, no forward was shed, and the
+    /// admission rule holds (forwarded, or a non-trivial local plan);
+    /// falsified by anything that makes the answer partial or
+    /// second-hand (lost subtrees, relayed errors, cached child frames).
+    cache_ok: bool,
+    /// A child's results arrived cache-served: outgoing frames carry the
+    /// `cached` provenance flag upward.
+    cache_tainted: bool,
+    /// Radius the query arrived with (the cache entry's coverage).
+    cache_radius: Option<u32>,
+    /// The originating query's staleness bound — the entry's freshness
+    /// ceiling, however lenient later requesters are.
+    cache_bound: u64,
 }
 
 /// A sent-but-unacked `Results` frame.
@@ -634,6 +676,10 @@ struct PeerRt {
     /// (another hop's forward, a watchdog re-query, a retransmitted frame)
     /// reuses the compiled form instead of re-parsing.
     qcache: QueryCache,
+    /// Per-peer edge result cache: a repeated query carrying a nonzero
+    /// staleness bound is answered from here at hop 1 — no evaluation,
+    /// no downstream flood.
+    rcache: ResultCache,
 }
 
 impl PeerThread {
@@ -670,6 +716,10 @@ impl PeerThread {
             self.gauges.state_entries.set(rt.state.len() as u64);
             self.gauges.live_txns.set(rt.live.len() as u64);
             self.gauges.pending_acks.set(rt.pending.len() as u64);
+            self.gauges.qcache_parses.set(rt.qcache.parses());
+            self.gauges.qcache_hits.set(rt.qcache.hits());
+            self.gauges.qcache_evictions.set(rt.qcache.evictions());
+            self.gauges.rcache_entries.set(rt.rcache.len() as u64);
         }
     }
 
@@ -710,7 +760,7 @@ impl PeerThread {
                             .get(&transaction)
                             .is_some_and(|s| s.parent == Some(Sym(from.0)));
                         if !from_parent {
-                            self.reply(rt, from, transaction, Vec::new(), true);
+                            self.reply(rt, from, transaction, Vec::new(), true, false);
                         }
                     }
                     BeginOutcome::Fresh => {
@@ -724,12 +774,40 @@ impl PeerThread {
                                 ev.with_peer(format!("n{}", from.0))
                             }
                         });
-                        let items = self.evaluate(rt, &query);
+                        // Edge result cache: a query carrying a nonzero
+                        // staleness bound may be answered from this peer's
+                        // cache — complete subtree answer at hop 1, flood
+                        // suppressed. The lookup enforces the requester's
+                        // bound, the populating query's bound, the cache
+                        // TTL and the registry mutation epoch.
+                        let cacheable = scope.result_staleness_ms > 0;
+                        if cacheable {
+                            let now_ms = now.millis();
+                            let epoch = self.registry.mutation_epoch();
+                            let hit = rt.rcache.lookup(
+                                &query,
+                                QueryLanguage::XQuery,
+                                scope.radius,
+                                now_ms,
+                                scope.result_staleness_ms,
+                                epoch,
+                            );
+                            if let Some(items) = hit {
+                                self.stats.result_cache_hits.inc();
+                                self.trace_event(TraceKind::CacheServed, transaction, |ev| {
+                                    ev.with_items(items.len() as u64)
+                                });
+                                self.reply(rt, from, transaction, items.to_vec(), true, true);
+                                return;
+                            }
+                        }
+                        let (items, plan, eval_complete) = self.evaluate(rt, &query);
                         self.trace_event(TraceKind::Eval, transaction, |ev| {
                             ev.with_items(items.len() as u64)
                         });
                         let fscope = scope.forwarded(0);
                         let mut pending = HashSet::new();
+                        let mut shed_any = false;
                         let breaker_on = self.recovery.breaker.enabled;
                         if let Some(fscope) = &fscope {
                             for &nb in &self.neighbors {
@@ -745,6 +823,7 @@ impl PeerThread {
                                         // lost subtree is reported upward so
                                         // the originator sees a Partial
                                         // answer, never a silent gap.
+                                        shed_any = true;
                                         self.stats.breaker_sheds.inc();
                                         if matches!(decision, ForwardDecision::ShedAndProbe) {
                                             self.stats.breaker_probes.inc();
@@ -774,6 +853,14 @@ impl PeerThread {
                             }
                         }
                         let complete = pending.is_empty();
+                        // Admission-aware population gate: a complete, un-
+                        // shed evaluation, and either a forwarded subtree
+                        // (aggregates are always worth keeping) or a local
+                        // plan costlier than a pure index lookup.
+                        let cache_ok = cacheable
+                            && eval_complete
+                            && !shed_any
+                            && (!pending.is_empty() || !matches!(plan, QueryPlan::Index));
                         rt.live.insert(
                             transaction,
                             LiveTxn {
@@ -786,18 +873,23 @@ impl PeerThread {
                                 watchdog_at: Instant::now()
                                     + Duration::from_millis(self.recovery.watchdog_timeout_ms),
                                 requeried: false,
+                                cache_items: if cache_ok { items.clone() } else { Vec::new() },
+                                cache_ok,
+                                cache_tainted: false,
+                                cache_radius: scope.radius,
+                                cache_bound: scope.result_staleness_ms,
                             },
                         );
                         // Pipelined: local items leave immediately; `last`
                         // only when no children are outstanding.
-                        self.reply(rt, from, transaction, items, complete);
+                        self.reply(rt, from, transaction, items, complete, false);
                         if complete {
-                            rt.live.remove(&transaction);
+                            self.finish_txn(rt, clock, transaction);
                         }
                     }
                 }
             }
-            Message::Results { transaction, seq, items, last, .. } => {
+            Message::Results { transaction, seq, items, last, cached, .. } => {
                 if self.recovery.enabled {
                     // Ack every arrival, then suppress replays.
                     let ack = Message::Ack { transaction, seq };
@@ -814,18 +906,29 @@ impl PeerThread {
                 }
                 let Some(entry) = rt.live.get_mut(&transaction) else { return };
                 let parent = entry.parent;
+                if cached {
+                    // A child answered from its cache: this peer's
+                    // aggregate is second-hand — never re-cache it, and
+                    // relay the provenance flag upward.
+                    entry.cache_ok = false;
+                    entry.cache_tainted = true;
+                    entry.cache_items.clear();
+                } else if entry.cache_ok {
+                    entry.cache_items.extend(items.iter().cloned());
+                }
+                let mut finalize = false;
+                if last {
+                    entry.pending_children.remove(&from);
+                    finalize = entry.pending_children.is_empty() && entry.local_done;
+                }
+                let tainted = entry.cache_tainted;
                 if let Some(p) = parent {
-                    let mut finalize = false;
-                    if last {
-                        entry.pending_children.remove(&from);
-                        finalize = entry.pending_children.is_empty() && entry.local_done;
-                    }
                     if !items.is_empty() {
-                        self.reply(rt, p, transaction, items, false);
+                        self.reply(rt, p, transaction, items, false, cached);
                     }
                     if finalize {
-                        self.reply(rt, p, transaction, Vec::new(), true);
-                        rt.live.remove(&transaction);
+                        self.reply(rt, p, transaction, Vec::new(), true, tainted);
+                        self.finish_txn(rt, clock, transaction);
                     }
                 }
             }
@@ -838,8 +941,15 @@ impl PeerThread {
                 self.breaker_success(rt, from);
             }
             Message::Error { transaction, origin, reason } => {
-                // Relay the lost-subtree notice toward the originator.
-                if let Some(p) = rt.live.get(&transaction).and_then(|e| e.parent) {
+                // Relay the lost-subtree notice toward the originator; a
+                // lost subtree below makes this peer's aggregate partial,
+                // so it must never be cached.
+                let parent = rt.live.get_mut(&transaction).map(|e| {
+                    e.cache_ok = false;
+                    e.cache_items.clear();
+                    e.parent
+                });
+                if let Some(Some(p)) = parent {
                     let msg = Message::Error { transaction, origin, reason };
                     send(&self.transport, self.id, p, &msg);
                 }
@@ -890,7 +1000,7 @@ impl PeerThread {
         }
         // Child-liveness watchdog: re-query silent subtrees once, then
         // abandon them (Error upward + final reply) so parents unwind.
-        let mut abandoned: Vec<(TransactionId, Option<NodeId>, bool)> = Vec::new();
+        let mut abandoned: Vec<(TransactionId, Option<NodeId>, bool, bool)> = Vec::new();
         let mut lost_children: Vec<NodeId> = Vec::new();
         for (txn, entry) in rt.live.iter_mut() {
             if entry.pending_children.is_empty() || now < entry.watchdog_at {
@@ -932,7 +1042,7 @@ impl PeerThread {
                     send(&self.transport, self.id, p, &msg);
                 }
             }
-            abandoned.push((*txn, entry.parent, entry.local_done));
+            abandoned.push((*txn, entry.parent, entry.local_done, entry.cache_tainted));
         }
         // A child the watchdog gave up on is a hard failure signal. Record
         // it *before* the final replies below: the moment the originator
@@ -941,12 +1051,13 @@ impl PeerThread {
         for child in lost_children {
             self.breaker_failure(rt, child);
         }
-        for (txn, parent, local_done) in abandoned {
+        for (txn, parent, local_done, tainted) in abandoned {
             if let Some(p) = parent {
                 if local_done {
-                    self.reply(rt, p, txn, Vec::new(), true);
+                    self.reply(rt, p, txn, Vec::new(), true, tainted);
                 }
             }
+            // Abandoned answers are partial — dropped, never cached.
             rt.live.remove(&txn);
         }
     }
@@ -994,36 +1105,70 @@ impl PeerThread {
         Duration::from_millis(draw_jitter_ms(&self.jitter_state, self.recovery.jitter_ms))
     }
 
-    fn evaluate(&self, rt: &mut PeerRt, query_src: &str) -> Vec<String> {
+    /// Evaluate locally; also reports the planner's choice and whether the
+    /// evaluation was complete (both feed the result-cache admission gate).
+    fn evaluate(&self, rt: &mut PeerRt, query_src: &str) -> (Vec<String>, QueryPlan, bool) {
         // Compile through the peer's cache: one parse per distinct query
         // string per peer, regardless of hops and retransmissions.
         match rt.qcache.get_or_compile(query_src, QueryLanguage::XQuery) {
             CompiledQuery::XQuery(q) => match self.registry.query(&q, &Freshness::any()) {
-                Ok(out) => out
-                    .results
-                    .iter()
-                    .map(|item| match item.as_node() {
-                        Some(n) => match n.materialize_element() {
-                            Some(e) => e.to_compact_string(),
-                            None => n.string_value(),
-                        },
-                        None => item.string_value(),
-                    })
-                    .collect(),
-                Err(_) => Vec::new(),
+                Ok(out) => {
+                    let items = out
+                        .results
+                        .iter()
+                        .map(|item| match item.as_node() {
+                            Some(n) => match n.materialize_element() {
+                                Some(e) => e.to_compact_string(),
+                                None => n.string_value(),
+                            },
+                            None => item.string_value(),
+                        })
+                        .collect();
+                    let complete =
+                        matches!(out.completeness, wsda_registry::Completeness::Complete);
+                    (items, out.stats.plan, complete)
+                }
+                Err(_) => (Vec::new(), QueryPlan::Scan, false),
             },
             CompiledQuery::Sql(q) => {
                 let rows = self.registry.query_sql(&q);
-                wsda_registry::sql::SqlQuery::rows_to_xml(&rows)
+                let items = wsda_registry::sql::SqlQuery::rows_to_xml(&rows)
                     .iter()
                     .map(|e| e.to_compact_string())
-                    .collect()
+                    .collect();
+                (items, QueryPlan::Scan, true)
             }
         }
     }
 
+    /// Unwind a completed transaction: install its answer in the peer's
+    /// result cache when admissible, then drop the live entry. Everything
+    /// that makes the answer unfit — partial evaluation, shed or lost
+    /// subtrees, cache-served child frames, a zero staleness bound —
+    /// already falsified `cache_ok`.
+    fn finish_txn(&self, rt: &mut PeerRt, clock: &SystemClock, transaction: TransactionId) {
+        use wsda_registry::clock::Clock as _;
+        let Some(entry) = rt.live.remove(&transaction) else { return };
+        if !entry.cache_ok {
+            return;
+        }
+        let now_ms = clock.now().millis();
+        let epoch = self.registry.mutation_epoch();
+        rt.rcache.insert(
+            &entry.query,
+            QueryLanguage::XQuery,
+            entry.cache_radius,
+            entry.cache_items,
+            now_ms,
+            entry.cache_bound,
+            epoch,
+        );
+        self.stats.result_cache_insertions.inc();
+    }
+
     /// Send a `Results` frame; with recovery on it is tracked for
     /// retransmission until acked.
+    #[allow(clippy::too_many_arguments)]
     fn reply(
         &self,
         rt: &mut PeerRt,
@@ -1031,6 +1176,7 @@ impl PeerThread {
         transaction: TransactionId,
         items: Vec<String>,
         last: bool,
+        cached: bool,
     ) {
         let seq = match rt.live.get_mut(&transaction) {
             Some(e) => {
@@ -1051,6 +1197,7 @@ impl PeerThread {
             items,
             last,
             origin: self.endpoint.as_ref().to_owned(),
+            cached,
         };
         let frame = encode_frame(&msg);
         if self.recovery.enabled {

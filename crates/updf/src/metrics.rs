@@ -73,6 +73,11 @@ pub struct QueryMetrics {
     pub local_evals_shed: u64,
     /// Local evaluations degraded to a bounded partial scan.
     pub local_evals_degraded: u64,
+    /// Queries answered from a node's edge result cache (no evaluation,
+    /// no downstream flood).
+    pub cache_served: u64,
+    /// Complete subtree answers installed in a node's result cache.
+    pub cache_populated: u64,
 }
 
 impl QueryMetrics {

@@ -75,6 +75,7 @@ fn p2p_results_survive_the_wire() {
         items: run.results.clone(),
         last: true,
         origin: "n0".into(),
+        cached: false,
     };
     let frame = encode(&msg);
     let Message::Results { items, .. } = decode(&frame).unwrap() else { panic!("kind preserved") };
@@ -184,6 +185,7 @@ fn presenter_description_roundtrip_through_every_layer() {
         items: vec![xml_text],
         last: true,
         origin: "n0".into(),
+        cached: false,
     };
     let decoded = decode(&encode(&msg)).unwrap();
     let Message::Results { items, .. } = decoded else { panic!() };
