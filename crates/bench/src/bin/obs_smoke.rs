@@ -42,6 +42,12 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "updf_result_cache_hits_total",
     "updf_result_cache_insertions_total",
     "updf_result_cache_entries",
+    "updf_peers_identified",
+    "updf_peers_pending",
+    "updf_peers_connected",
+    "updf_peers_departed",
+    "updf_swaps_total",
+    "updf_rebootstraps_total",
 ];
 
 fn main() -> ExitCode {

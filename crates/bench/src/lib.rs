@@ -32,6 +32,7 @@ pub mod f19_trace;
 pub mod f20_recovery;
 pub mod f21_scale;
 pub mod f22_cache;
+pub mod f23_churn;
 pub mod harness;
 pub mod t1;
 
@@ -81,6 +82,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
             "f22",
             "Edge result caching: origin-load reduction & hit-rate vs staleness bound",
             f22_cache::run,
+        ),
+        (
+            "f23",
+            "Living topologies: completeness & time-to-last-result under churn",
+            f23_churn::run,
         ),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]

@@ -23,6 +23,6 @@ pub mod model;
 pub mod sim;
 pub mod transport;
 
-pub use model::{ChaosPlan, CrashWindow, FaultPlan, LatencyModel, NetworkModel};
+pub use model::{ChaosPlan, ChurnConfig, CrashWindow, FaultPlan, LatencyModel, NetworkModel};
 pub use sim::{Delivery, NodeId, SimStats, Simulator};
 pub use transport::{Envelope, Inbox, InboxDrops, ThreadedNetwork};

@@ -256,6 +256,84 @@ impl ChaosPlan {
     }
 }
 
+/// SplitMix64 — the one-shot mixer used for churn sampling. Good
+/// avalanche behavior from a single multiply-xor-shift chain, so one
+/// `(seed, tick, node)` triple yields an independent-looking draw
+/// without any RNG state to thread through the engines.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Churn driver: per-soft-state-interval join/leave/rejoin rates.
+///
+/// Composable with [`ChaosPlan`] crash windows — chaos models the
+/// *network* failing under the nodes, churn models the *membership*
+/// changing on purpose. Sampling is stateless and deterministic: each
+/// `(seed, tick, node)` triple is hashed independently, so a churn
+/// schedule replays identically regardless of how many nodes exist or
+/// in which order they are polled.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChurnConfig {
+    /// Virtual milliseconds per churn interval (the soft-state cadence).
+    pub interval_ms: u64,
+    /// Probability in `[0,1]` that an alive node leaves, per interval.
+    pub leave_rate: f64,
+    /// Probability in `[0,1]` that a departed node rejoins, per interval.
+    pub rejoin_rate: f64,
+    /// Seed for the stateless churn schedule.
+    pub seed: u64,
+    /// A node exempt from churn (typically the query originator, so
+    /// completeness measurements have a stable observation point).
+    pub exempt: Option<NodeId>,
+}
+
+impl ChurnConfig {
+    /// No churn (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Churn at the given per-interval rates.
+    pub fn rates(interval_ms: u64, leave_rate: f64, rejoin_rate: f64, seed: u64) -> Self {
+        ChurnConfig { interval_ms, leave_rate, rejoin_rate, seed, exempt: None }
+    }
+
+    /// Exempt one node from churn.
+    pub fn with_exempt(mut self, node: NodeId) -> Self {
+        self.exempt = Some(node);
+        self
+    }
+
+    /// Does this plan ever change membership?
+    pub fn is_active(&self) -> bool {
+        self.leave_rate > 0.0 || self.rejoin_rate > 0.0
+    }
+
+    /// A uniform draw in `[0,1)` for `(tick, node, salt)`.
+    fn draw(&self, tick: u64, node: NodeId, salt: u64) -> f64 {
+        let h = splitmix64(
+            self.seed ^ splitmix64(tick ^ salt.rotate_left(32)) ^ u64::from(node.0).rotate_left(17),
+        );
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Does `node` (alive) leave during interval `tick`?
+    pub fn leaves(&self, tick: u64, node: NodeId) -> bool {
+        if self.exempt == Some(node) {
+            return false;
+        }
+        self.leave_rate > 0.0 && self.draw(tick, node, 0xD1E) < self.leave_rate
+    }
+
+    /// Does `node` (departed) rejoin during interval `tick`?
+    pub fn rejoins(&self, tick: u64, node: NodeId) -> bool {
+        self.rejoin_rate > 0.0 && self.draw(tick, node, 0x107) < self.rejoin_rate
+    }
+}
+
 impl From<FaultPlan> for ChaosPlan {
     fn from(plan: FaultPlan) -> ChaosPlan {
         ChaosPlan {
@@ -366,6 +444,31 @@ mod tests {
         let calm = ChaosPlan::none();
         assert!(!calm.duplicates(&mut r));
         assert_eq!(calm.extra_delay_ms(&mut r), 0);
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic_and_rate_shaped() {
+        let plan = ChurnConfig::rates(500, 0.3, 0.5, 42).with_exempt(NodeId(0));
+        assert!(plan.is_active());
+        assert!(!ChurnConfig::off().is_active());
+        // Exempt node never leaves.
+        assert!((0..1000).all(|t| !plan.leaves(t, NodeId(0))));
+        // Same (tick, node) always answers the same.
+        for t in 0..50 {
+            for n in 1..20 {
+                assert_eq!(plan.leaves(t, NodeId(n)), plan.leaves(t, NodeId(n)));
+                assert_eq!(plan.rejoins(t, NodeId(n)), plan.rejoins(t, NodeId(n)));
+            }
+        }
+        // Empirical rates land near the configured probabilities.
+        let trials = 20_000;
+        let leaves = (0..trials).filter(|&t| plan.leaves(t, NodeId(7))).count() as f64;
+        let rejoins = (0..trials).filter(|&t| plan.rejoins(t, NodeId(7))).count() as f64;
+        let (l, r) = (leaves / trials as f64, rejoins / trials as f64);
+        assert!((l - 0.3).abs() < 0.02, "leave rate {l}");
+        assert!((r - 0.5).abs() < 0.02, "rejoin rate {r}");
+        // Leave and rejoin draws are decorrelated (different salts).
+        assert!((0..trials).any(|t| plan.leaves(t, NodeId(7)) != plan.rejoins(t, NodeId(7))));
     }
 
     #[test]

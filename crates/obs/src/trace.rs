@@ -44,6 +44,14 @@ pub enum TraceKind {
     Abandon,
     /// The transaction was closed at this node.
     Close,
+    /// A scored neighbor swap (peer = the admitted neighbor; items = the
+    /// evicted neighbor's id). Lifecycle events carry txn 0 — they
+    /// belong to the overlay, not to any query.
+    Swap,
+    /// A node joined (or rejoined) the overlay.
+    Join,
+    /// A node left the overlay (graceful leave or observed death).
+    Leave,
 }
 
 impl TraceKind {
@@ -60,6 +68,9 @@ impl TraceKind {
             TraceKind::Retry => "retry",
             TraceKind::Abandon => "abandon",
             TraceKind::Close => "close",
+            TraceKind::Swap => "swap",
+            TraceKind::Join => "join",
+            TraceKind::Leave => "leave",
         }
     }
 }
@@ -356,7 +367,9 @@ impl QueryTrace {
                 TraceKind::Ack => span.acks += 1,
                 TraceKind::Retry => span.retries += 1,
                 TraceKind::Abandon => span.abandoned += 1,
-                TraceKind::Close => {}
+                // Lifecycle events (swap/join/leave, recorded under txn 0)
+                // shape the overlay, not any one query tree.
+                TraceKind::Close | TraceKind::Swap | TraceKind::Join | TraceKind::Leave => {}
             }
         }
         // Recompute hop depths by walking parent chains (cycle-safe).

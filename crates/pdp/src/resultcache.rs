@@ -81,6 +81,10 @@ struct Entry {
     epoch: u64,
     /// LRU clock.
     tick: u64,
+    /// Peers whose results are folded into `items` (engine node ids).
+    /// When any of them departs the overlay, the entry is purged — a
+    /// dead peer's contribution must not outlive the peer.
+    sources: Box<[u32]>,
 }
 
 /// Why a lookup did not produce a hit — split out so observability can
@@ -199,7 +203,8 @@ impl ResultCache {
 
     /// Install the complete result set this node produced for
     /// `(src, language)` at `radius`, stamped with the populating
-    /// query's bound and the registry epoch it was computed against.
+    /// query's bound, the registry epoch it was computed against, and
+    /// the peers (`sources`) whose subtree results it folds in.
     /// Evicts the LRU entry when at capacity.
     #[allow(clippy::too_many_arguments)]
     pub fn insert(
@@ -211,6 +216,7 @@ impl ResultCache {
         now_ms: u64,
         origin_bound_ms: u64,
         epoch: u64,
+        sources: &[u32],
     ) {
         let fp = query_fingerprint(src, language);
         if self.map.len() >= self.cap && !self.map.contains_key(&fp) {
@@ -232,6 +238,7 @@ impl ResultCache {
                 origin_bound_ms,
                 epoch,
                 tick: self.tick,
+                sources: sources.into(),
             },
         );
         self.insertions += 1;
@@ -242,6 +249,17 @@ impl ResultCache {
         let n = self.map.len() as u64;
         self.map.clear();
         self.invalidations += n;
+    }
+
+    /// Departure sweep: drop every entry that folded in results from
+    /// `source` (an engine node id). Returns how many entries were
+    /// purged; each counts as an invalidation.
+    pub fn purge_source(&mut self, source: u32) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, e| !e.sources.contains(&source));
+        let purged = before - self.map.len();
+        self.invalidations += purged as u64;
+        purged
     }
 
     /// Lookups served from cache.
@@ -329,7 +347,7 @@ mod tests {
     #[test]
     fn hit_within_bounds() {
         let mut c = ResultCache::default();
-        c.insert("//q", XQ, Some(2), items(3), 1_000, BOUND, 7);
+        c.insert("//q", XQ, Some(2), items(3), 1_000, BOUND, 7, &[]);
         let got = c.lookup("//q", XQ, Some(2), 2_000, BOUND, 7).expect("hit");
         assert_eq!(got.len(), 3);
         assert_eq!(c.hits(), 1);
@@ -339,7 +357,7 @@ mod tests {
     #[test]
     fn zero_bound_never_serves() {
         let mut c = ResultCache::default();
-        c.insert("//q", XQ, None, items(1), 0, BOUND, 0);
+        c.insert("//q", XQ, None, items(1), 0, BOUND, 0, &[]);
         assert!(c.lookup("//q", XQ, None, 0, 0, 0).is_none());
         assert_eq!(c.hits(), 0);
         assert_eq!(c.misses(), 1);
@@ -348,7 +366,7 @@ mod tests {
     #[test]
     fn requesting_bound_caps_age() {
         let mut c = ResultCache::default();
-        c.insert("//q", XQ, None, items(1), 0, BOUND, 0);
+        c.insert("//q", XQ, None, items(1), 0, BOUND, 0, &[]);
         assert!(c.lookup("//q", XQ, None, 501, 500, 0).is_none(), "older than bound");
         assert_eq!(c.stale_rejects(), 1);
         assert!(c.lookup("//q", XQ, None, 499, 500, 0).is_some(), "younger than bound");
@@ -357,7 +375,7 @@ mod tests {
     #[test]
     fn origin_bound_caps_age_even_for_lax_requesters() {
         let mut c = ResultCache::default();
-        c.insert("//q", XQ, None, items(1), 0, 100, 0);
+        c.insert("//q", XQ, None, items(1), 0, 100, 0, &[]);
         assert!(c.lookup("//q", XQ, None, 200, u64::MAX, 0).is_none());
         assert_eq!(c.stale_rejects(), 1);
         assert_eq!(c.len(), 0, "entry past its own bound is dropped");
@@ -366,7 +384,7 @@ mod tests {
     #[test]
     fn ttl_caps_age() {
         let mut c = ResultCache::new(4, 1_000);
-        c.insert("//q", XQ, None, items(1), 0, u64::MAX, 0);
+        c.insert("//q", XQ, None, items(1), 0, u64::MAX, 0, &[]);
         assert!(c.lookup("//q", XQ, None, 1_001, u64::MAX, 0).is_none());
         assert_eq!(c.stale_rejects(), 1);
         assert_eq!(c.len(), 0);
@@ -375,24 +393,24 @@ mod tests {
     #[test]
     fn epoch_mismatch_invalidates() {
         let mut c = ResultCache::default();
-        c.insert("//q", XQ, None, items(1), 0, BOUND, 3);
+        c.insert("//q", XQ, None, items(1), 0, BOUND, 3, &[]);
         assert!(c.lookup("//q", XQ, None, 1, BOUND, 4).is_none(), "registry mutated");
         assert_eq!(c.invalidations(), 1);
         assert_eq!(c.len(), 0, "invalidated entry is evicted immediately");
         // Re-population under the new epoch serves again.
-        c.insert("//q", XQ, None, items(1), 1, BOUND, 4);
+        c.insert("//q", XQ, None, items(1), 1, BOUND, 4, &[]);
         assert!(c.lookup("//q", XQ, None, 2, BOUND, 4).is_some());
     }
 
     #[test]
     fn radius_subsumption() {
         let mut c = ResultCache::default();
-        c.insert("//q", XQ, Some(3), items(1), 0, BOUND, 0);
+        c.insert("//q", XQ, Some(3), items(1), 0, BOUND, 0, &[]);
         assert!(c.lookup("//q", XQ, Some(3), 1, BOUND, 0).is_some(), "equal radius");
         assert!(c.lookup("//q", XQ, Some(2), 1, BOUND, 0).is_some(), "narrower radius");
         assert!(c.lookup("//q", XQ, Some(4), 1, BOUND, 0).is_none(), "wider radius");
         assert!(c.lookup("//q", XQ, None, 1, BOUND, 0).is_none(), "unbounded request");
-        c.insert("//u", XQ, None, items(1), 0, BOUND, 0);
+        c.insert("//u", XQ, None, items(1), 0, BOUND, 0, &[]);
         assert!(c.lookup("//u", XQ, None, 1, BOUND, 0).is_some());
         assert!(c.lookup("//u", XQ, Some(9), 1, BOUND, 0).is_some(), "unbounded covers all");
     }
@@ -400,10 +418,10 @@ mod tests {
     #[test]
     fn lru_eviction_is_bounded_and_counted() {
         let mut c = ResultCache::new(2, BOUND);
-        c.insert("q1", XQ, None, items(1), 0, BOUND, 0);
-        c.insert("q2", XQ, None, items(1), 0, BOUND, 0);
+        c.insert("q1", XQ, None, items(1), 0, BOUND, 0, &[]);
+        c.insert("q2", XQ, None, items(1), 0, BOUND, 0, &[]);
         assert!(c.lookup("q1", XQ, None, 1, BOUND, 0).is_some()); // q1 hotter
-        c.insert("q3", XQ, None, items(1), 2, BOUND, 0); // evicts q2
+        c.insert("q3", XQ, None, items(1), 2, BOUND, 0, &[]); // evicts q2
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 1);
         assert!(c.lookup("q1", XQ, None, 3, BOUND, 0).is_some());
@@ -414,18 +432,32 @@ mod tests {
     #[test]
     fn reinsert_overwrites_without_eviction() {
         let mut c = ResultCache::new(1, BOUND);
-        c.insert("q1", XQ, None, items(1), 0, BOUND, 0);
-        c.insert("q1", XQ, None, items(2), 5, BOUND, 0);
+        c.insert("q1", XQ, None, items(1), 0, BOUND, 0, &[]);
+        c.insert("q1", XQ, None, items(2), 5, BOUND, 0, &[]);
         assert_eq!(c.len(), 1);
         assert_eq!(c.evictions(), 0);
         assert_eq!(c.lookup("q1", XQ, None, 6, BOUND, 0).expect("hit").len(), 2);
     }
 
     #[test]
+    fn purge_source_drops_only_tainted_entries() {
+        let mut c = ResultCache::default();
+        c.insert("q1", XQ, None, items(1), 0, BOUND, 0, &[2, 5]);
+        c.insert("q2", XQ, None, items(1), 0, BOUND, 0, &[5, 9]);
+        c.insert("q3", XQ, None, items(1), 0, BOUND, 0, &[]);
+        assert_eq!(c.purge_source(5), 2, "both entries folding peer 5 go");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.invalidations(), 2);
+        assert!(c.lookup("q3", XQ, None, 1, BOUND, 0).is_some(), "local-only entry survives");
+        assert_eq!(c.purge_source(5), 0, "idempotent");
+        assert_eq!(c.purge_source(2), 0, "peer 2's entry already went with peer 5");
+    }
+
+    #[test]
     fn clear_counts_invalidations() {
         let mut c = ResultCache::default();
-        c.insert("q1", XQ, None, items(1), 0, BOUND, 0);
-        c.insert("q2", XQ, None, items(1), 0, BOUND, 0);
+        c.insert("q1", XQ, None, items(1), 0, BOUND, 0, &[]);
+        c.insert("q2", XQ, None, items(1), 0, BOUND, 0, &[]);
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.invalidations(), 2);

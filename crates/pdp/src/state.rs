@@ -111,6 +111,17 @@ impl ResultLedger {
         self.seen.remove(&transaction);
     }
 
+    /// Drop every stream from one sender across all transactions — the
+    /// departure sweep: a peer that left the overlay will never
+    /// retransmit, so its dedup state is dead weight. O(live
+    /// transactions); churn is rare relative to frame receipt.
+    pub fn forget_sender(&mut self, sender: Sym) {
+        self.seen.retain(|_, by_sender| {
+            by_sender.remove(&sender);
+            !by_sender.is_empty()
+        });
+    }
+
     /// Number of (transaction, sender) streams tracked.
     pub fn streams(&self) -> usize {
         self.seen.values().map(HashMap::len).sum()
@@ -356,6 +367,21 @@ mod tests {
         l.forget(txn(1));
         assert!(l.record(txn(1), Sym(1), 0), "forgotten transactions start over");
         assert_eq!(l.streams(), 2, "txn1/n1 recreated, txn1/n2 gone, txn2/n1 kept");
+    }
+
+    #[test]
+    fn ledger_forgets_departed_senders() {
+        let mut l = ResultLedger::new();
+        l.record(txn(1), Sym(1), 0);
+        l.record(txn(1), Sym(2), 0);
+        l.record(txn(2), Sym(1), 0);
+        l.record(txn(3), Sym(1), 5);
+        l.forget_sender(Sym(1));
+        assert_eq!(l.streams(), 1, "only txn1/Sym(2) survives");
+        assert_eq!(l.transactions(), 1, "emptied transactions are dropped");
+        assert!(!l.seen(txn(2), Sym(1), 0));
+        assert!(l.seen(txn(1), Sym(2), 0));
+        assert!(l.record(txn(3), Sym(1), 5), "a rejoined sender starts a fresh stream");
     }
 
     #[test]

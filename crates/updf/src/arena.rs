@@ -151,6 +151,81 @@ impl<T> TimerSlab<T> {
     }
 }
 
+/// A flat membership bitset: one bit per node, so churn tracking at
+/// 10^6 nodes costs 125 KB instead of a `HashSet<NodeId>`'s hashing and
+/// per-entry overhead on every delivery-path check.
+#[derive(Debug, Clone)]
+pub struct AliveSet {
+    words: Vec<u64>,
+    len: usize,
+    alive: usize,
+}
+
+impl AliveSet {
+    /// All `n` nodes alive.
+    pub fn all_alive(n: usize) -> Self {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail = n % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        AliveSet { words, len: n, alive: n }
+    }
+
+    /// Is `node` alive?
+    pub fn get(&self, node: NodeId) -> bool {
+        let i = node.0 as usize;
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Mark `node` alive; returns true when its state changed.
+    pub fn set(&mut self, node: NodeId) -> bool {
+        let i = node.0 as usize;
+        let mask = 1u64 << (i % 64);
+        let changed = self.words[i / 64] & mask == 0;
+        if changed {
+            self.words[i / 64] |= mask;
+            self.alive += 1;
+        }
+        changed
+    }
+
+    /// Mark `node` dead; returns true when its state changed.
+    pub fn clear(&mut self, node: NodeId) -> bool {
+        let i = node.0 as usize;
+        let mask = 1u64 << (i % 64);
+        let changed = self.words[i / 64] & mask != 0;
+        if changed {
+            self.words[i / 64] &= !mask;
+            self.alive -= 1;
+        }
+        changed
+    }
+
+    /// Number of alive nodes.
+    pub fn alive(&self) -> usize {
+        self.alive
+    }
+
+    /// Total nodes tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate alive node ids in ascending order.
+    pub fn iter_alive(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len as u32).map(NodeId).filter(|&n| self.get(n))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +248,31 @@ mod tests {
         let t = EndpointTable::new(n);
         // ~6 bytes of text + 4 bytes of offset per node at this size.
         assert!(t.heap_bytes() < n * 12, "table should stay ~O(11 B/node): {}", t.heap_bytes());
+    }
+
+    #[test]
+    fn alive_set_tracks_membership() {
+        let mut s = AliveSet::all_alive(130);
+        assert_eq!((s.len(), s.alive()), (130, 130));
+        assert!((0..130).all(|i| s.get(NodeId(i))));
+        assert!(s.clear(NodeId(0)));
+        assert!(s.clear(NodeId(64)));
+        assert!(s.clear(NodeId(129)));
+        assert!(!s.clear(NodeId(129)), "double-clear is a no-op");
+        assert_eq!(s.alive(), 127);
+        assert!(!s.get(NodeId(64)));
+        assert!(s.set(NodeId(64)));
+        assert!(!s.set(NodeId(64)), "double-set is a no-op");
+        assert_eq!(s.alive(), 128);
+        let alive: Vec<u32> = s.iter_alive().map(|n| n.0).collect();
+        assert_eq!(alive.len(), 128);
+        assert!(!alive.contains(&0) && !alive.contains(&129) && alive.contains(&64));
+        assert!(alive.windows(2).all(|w| w[0] < w[1]), "ascending");
+        assert!(AliveSet::all_alive(0).is_empty());
+        // Exact-multiple-of-64 sizing has no phantom tail bits.
+        let t = AliveSet::all_alive(128);
+        assert_eq!(t.alive(), 128);
+        assert_eq!(t.iter_alive().count(), 128);
     }
 
     #[test]

@@ -143,6 +143,21 @@ impl CircuitBreaker {
         self.consecutive_failures = 0;
     }
 
+    /// A frame just arrived *from* this neighbor: it is demonstrably
+    /// alive again (restart, rejoin, partition heal). An open breaker
+    /// drops the rest of its open window and goes half-open with the
+    /// probe window starting now; the caller should send the probe
+    /// `Ping` when this returns `true`, so the recovered peer is
+    /// rehabilitated promptly instead of waiting out `open_ms`.
+    pub fn note_contact(&mut self, now_ms: u64) -> bool {
+        if !self.cfg.enabled || self.state != BreakerState::Open {
+            return false;
+        }
+        self.state = BreakerState::HalfOpen;
+        self.probe_sent_at_ms = now_ms;
+        true
+    }
+
     /// Should a forward to this neighbor proceed at `now_ms`? Advances
     /// the open → half-open transition lazily (no timers needed).
     pub fn decide(&mut self, now_ms: u64) -> ForwardDecision {
@@ -228,6 +243,27 @@ mod tests {
         // A fresh open window must elapse before the next probe.
         assert_eq!(b.decide(200), ForwardDecision::Shed);
         assert_eq!(b.decide(260), ForwardDecision::ShedAndProbe);
+    }
+
+    #[test]
+    fn contact_from_open_peer_goes_half_open_promptly() {
+        let cfg = BreakerConfig { open_ms: 10_000, probe_timeout_ms: 50, ..BreakerConfig::on() };
+        let mut b = CircuitBreaker::new(cfg);
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // A frame from the peer at t=100 short-circuits the 10 s window.
+        assert!(b.note_contact(100));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.note_contact(101), "only an open breaker reacts");
+        // The caller's probe gets answered: closed.
+        b.record_success();
+        assert_eq!(b.decide(110), ForwardDecision::Forward);
+        // Closed and disabled breakers ignore contact.
+        assert!(!b.note_contact(120));
+        let mut off = CircuitBreaker::new(BreakerConfig::default());
+        assert!(!off.note_contact(0));
     }
 
     #[test]

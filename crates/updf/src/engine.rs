@@ -40,8 +40,9 @@
 //!   bit-for-bit determinism with the sequential loop
 //!   ([`P2pConfig::parallel_eval`]).
 
-use crate::arena::{EndpointTable, TimerSlab};
+use crate::arena::{AliveSet, EndpointTable, TimerSlab};
 use crate::breaker::{CircuitBreaker, ForwardDecision};
+use crate::lifecycle::{LifecycleConfig, PeerEvent, PeerState, PeerTable};
 use crate::metrics::QueryMetrics;
 use crate::recovery::{Completeness, RecoveryConfig};
 use crate::selection::{NeighborPolicy, NodeKinds, RoutingIndex};
@@ -51,7 +52,7 @@ use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
-use wsda_net::model::{ChaosPlan, FaultPlan, NetworkModel};
+use wsda_net::model::{ChaosPlan, ChurnConfig, FaultPlan, NetworkModel};
 use wsda_net::{Delivery, NodeId, Simulator};
 use wsda_obs::{Gauge, MetricsRegistry, QueryTrace, TraceBuffer, TraceEvent, TraceKind};
 use wsda_pdp::{
@@ -154,6 +155,17 @@ pub struct P2pConfig {
     pub result_cache_capacity: usize,
     /// Hard TTL on result-cache entries, independent of query bounds.
     pub result_cache_ttl_ms: u64,
+    /// Peer lifecycle: with `enabled`, every node runs the
+    /// Identified→Pending→Connected→Departed state machine of
+    /// [`crate::lifecycle`] and forwards over its *Connected* set instead
+    /// of the static topology neighbor list. Disabled by default; a
+    /// zero-churn lifecycle-on run is bit-for-bit identical to the static
+    /// baseline (the churn-equivalence proptest enforces it).
+    pub lifecycle: LifecycleConfig,
+    /// Scheduled churn sampled by [`SimNetwork::churn_tick`]: per-interval
+    /// leave/rejoin probabilities on the soft-state cadence. Inert (all
+    /// rates zero) by default.
+    pub churn: ChurnConfig,
 }
 
 impl Default for P2pConfig {
@@ -180,6 +192,8 @@ impl Default for P2pConfig {
             result_cache: true,
             result_cache_capacity: ResultCache::DEFAULT_CAPACITY,
             result_cache_ttl_ms: ResultCache::DEFAULT_TTL_MS,
+            lifecycle: LifecycleConfig::default(),
+            churn: ChurnConfig::off(),
         }
     }
 }
@@ -294,6 +308,9 @@ struct NodeArena {
     rcaches: Vec<ResultCache>,
     /// Bounded rings of hop-level trace events recorded at each node.
     traces: Vec<TraceBuffer>,
+    /// Per-node peer lifecycle tables ([`P2pConfig::lifecycle`]); empty
+    /// tables (no heap) when the lifecycle is disabled.
+    peers: Vec<PeerTable>,
 }
 
 impl NodeArena {
@@ -351,6 +368,12 @@ struct TxnInfo {
     /// A child's results arrived cache-served: this node's outgoing final
     /// frame must carry the `cached` provenance flag upward.
     cache_tainted: bool,
+    /// Peers whose results are folded into `cache_items` — recorded so a
+    /// later departure can purge the entries their data reached.
+    cache_sources: Vec<u32>,
+    /// When the query arrived here (virtual ms) — the base for the
+    /// lifecycle's per-link result-latency observations.
+    accepted_at_ms: u64,
 }
 
 /// The outcome of one query execution.
@@ -407,6 +430,12 @@ struct TotalGauges {
     rcache_stale_rejects: Gauge,
     rcache_invalidations: Gauge,
     rcache_entries: Gauge,
+    peers_identified: Gauge,
+    peers_pending: Gauge,
+    peers_connected: Gauge,
+    peers_departed: Gauge,
+    swaps: Gauge,
+    rebootstraps: Gauge,
 }
 
 impl TotalGauges {
@@ -426,6 +455,12 @@ impl TotalGauges {
             rcache_stale_rejects: metrics.gauge("updf_result_cache_stale_rejects_total"),
             rcache_invalidations: metrics.gauge("updf_result_cache_invalidations_total"),
             rcache_entries: metrics.gauge("updf_result_cache_entries_total"),
+            peers_identified: metrics.gauge("updf_peers_identified_total"),
+            peers_pending: metrics.gauge("updf_peers_pending_total"),
+            peers_connected: metrics.gauge("updf_peers_connected_total"),
+            peers_departed: metrics.gauge("updf_peers_departed_total"),
+            swaps: metrics.gauge("updf_swaps_total"),
+            rebootstraps: metrics.gauge("updf_rebootstraps_total"),
         }
     }
 }
@@ -444,6 +479,10 @@ pub struct SimNetwork {
     endpoints: EndpointTable,
     /// In-flight timers; slots recycle as timers fire.
     timers: TimerSlab<TimerEvent>,
+    /// Churn membership: frames to (and timers at) dead nodes vanish.
+    alive: AliveSet,
+    /// Soft-state churn intervals elapsed (the churn schedule's tick).
+    churn_ticks: u64,
     txn_counter: u64,
     metrics: MetricsRegistry,
     /// Empty unless per-node metrics are enabled.
@@ -608,6 +647,19 @@ impl SimNetwork {
                 .map(|_| ResultCache::new(config.result_cache_capacity, config.result_cache_ttl_ms))
                 .collect(),
             traces: (0..n).map(|_| TraceBuffer::new(config.trace_capacity)).collect(),
+            peers: (0..n)
+                .map(|i| {
+                    if config.lifecycle.enabled {
+                        // Seed Connected exactly from the sorted underlay
+                        // neighbor list: a zero-churn lifecycle run then
+                        // forwards over the identical candidate sequence
+                        // the static path produces.
+                        PeerTable::seeded(topology.neighbors(NodeId(i as u32)), 0)
+                    } else {
+                        PeerTable::new()
+                    }
+                })
+                .collect(),
         };
         SimNetwork {
             endpoints: EndpointTable::new(n),
@@ -618,6 +670,8 @@ impl SimNetwork {
             config,
             routing_index,
             timers: TimerSlab::new(),
+            alive: AliveSet::all_alive(n),
+            churn_ticks: 0,
             txn_counter: 0,
             metrics,
             node_gauges,
@@ -704,6 +758,12 @@ impl SimNetwork {
         self.arena.rcaches[i] =
             ResultCache::new(self.config.result_cache_capacity, self.config.result_cache_ttl_ms);
         self.arena.traces[i] = TraceBuffer::new(self.config.trace_capacity);
+        self.arena.peers[i] = if self.config.lifecycle.enabled {
+            PeerTable::seeded(self.topology.neighbors(node), self.sim.now().millis())
+        } else {
+            PeerTable::new()
+        };
+        self.alive.set(node);
         let persist = PersistenceConfig::new(root.join(format!("n{i}")));
         let (registry, report) = HyperRegistry::open_durable(
             self.arena.factory.config.clone(),
@@ -788,6 +848,319 @@ impl SimNetwork {
         self.arena.rcaches.iter().map(|c| c.len()).sum()
     }
 
+    // ==== churn / peer lifecycle (P2pConfig::lifecycle) ===================
+
+    /// Is `node` currently a member of the network?
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(node)
+    }
+
+    /// Nodes currently alive.
+    pub fn alive_count(&self) -> usize {
+        self.alive.alive()
+    }
+
+    /// Total scored neighbor swaps performed across all nodes.
+    pub fn lifecycle_swaps(&self) -> u64 {
+        self.arena.peers.iter().map(|p| p.swaps).sum()
+    }
+
+    /// Total re-bootstraps (a node rebuilding an empty connected set)
+    /// across all nodes.
+    pub fn lifecycle_rebootstraps(&self) -> u64 {
+        self.arena.peers.iter().map(|p| p.rebootstraps).sum()
+    }
+
+    /// A node's current Connected set (empty when the lifecycle is off).
+    pub fn connected_peers(&self, node: NodeId) -> &[NodeId] {
+        self.arena.peers[node.0 as usize].connected()
+    }
+
+    /// Is the overlay one connected component over the alive membership?
+    /// With the lifecycle on this walks the *dynamic* Connected links;
+    /// otherwise it walks the static underlay restricted to alive nodes.
+    pub fn overlay_connected(&self) -> bool {
+        let n = self.topology.len();
+        if !self.config.lifecycle.enabled {
+            let members: Vec<bool> = (0..n).map(|i| self.alive.get(NodeId(i as u32))).collect();
+            return self.topology.connected_within(&members);
+        }
+        let alive: Vec<bool> = (0..n).map(|i| self.alive.get(NodeId(i as u32))).collect();
+        let total = alive.iter().filter(|&&a| a).count();
+        let Some(start) = alive.iter().position(|&a| a) else { return true };
+        let mut seen = vec![false; n];
+        seen[start] = true;
+        let mut reached = 1usize;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.arena.peers[u].connected() {
+                let vi = v.0 as usize;
+                if alive[vi] && !seen[vi] {
+                    seen[vi] = true;
+                    reached += 1;
+                    queue.push_back(vi);
+                }
+            }
+        }
+        reached == total
+    }
+
+    /// Graceful departure: `node` leaves the network, referring each of
+    /// its Connected peers to the others (referral-on-leave) so the hole
+    /// it opens stays bridged by Prospect links, then every peer marks it
+    /// Departed and sweeps its per-peer state. Returns false when the
+    /// node was already down.
+    pub fn depart_node(&mut self, node: NodeId) -> bool {
+        if !self.alive.clear(node) {
+            return false;
+        }
+        let now_ms = self.sim.now().millis();
+        if self.config.lifecycle.enabled {
+            let conns: Vec<NodeId> = self.arena.peers[node.0 as usize].connected().to_vec();
+            for &a in &conns {
+                if !self.alive.get(a) {
+                    continue;
+                }
+                for &b in &conns {
+                    if b != a && self.alive.get(b) {
+                        self.arena.peers[a.0 as usize].refer(b, now_ms);
+                    }
+                }
+            }
+            for &a in &conns {
+                if self.alive.get(a) {
+                    self.peer_departed(a, node, now_ms);
+                }
+            }
+        }
+        self.trace(node, TraceKind::Leave, TransactionId(0), None, None);
+        true
+    }
+
+    /// Crash-like churn burst: a `frac` fraction of the alive, non-exempt
+    /// nodes drop instantly with **no** referral-on-leave — the overlay is
+    /// left torn and must heal through subsequent [`SimNetwork::churn_tick`]s.
+    /// Victim selection is deterministic in the churn seed. Returns the
+    /// crashed nodes.
+    pub fn churn_burst(&mut self, frac: f64) -> Vec<NodeId> {
+        fn mix(mut x: u64) -> u64 {
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+        let seed = self.config.churn.seed ^ self.churn_ticks.rotate_left(32);
+        let mut ranked: Vec<(u64, NodeId)> = self
+            .alive
+            .iter_alive()
+            .filter(|&v| Some(v) != self.config.churn.exempt)
+            .map(|v| (mix(seed ^ u64::from(v.0)), v))
+            .collect();
+        ranked.sort_unstable();
+        let count = ((ranked.len() as f64) * frac.clamp(0.0, 1.0)).round() as usize;
+        let victims: Vec<NodeId> = ranked.into_iter().take(count).map(|(_, v)| v).collect();
+        for &v in &victims {
+            self.alive.clear(v);
+            self.trace(v, TraceKind::Leave, TransactionId(0), None, None);
+        }
+        victims
+    }
+
+    /// A departed node returns: its runtime state is gone (exactly what a
+    /// process restart loses), it remembers its underlay contacts as
+    /// Identified, and it re-bootstraps Connected links from whichever of
+    /// them are alive. The chosen peers accept the link back. Returns
+    /// false when the node was already up.
+    pub fn rejoin_node(&mut self, node: NodeId) -> bool {
+        if !self.alive.set(node) {
+            return false;
+        }
+        let i = node.0 as usize;
+        let now_ms = self.sim.now().millis();
+        self.arena.state[i] = NodeStateTable::new();
+        self.arena.txns[i] = HashMap::new();
+        self.arena.ledgers[i] = ResultLedger::new();
+        self.arena.pending_acks[i] = HashMap::new();
+        self.arena.suspected[i] = HashSet::new();
+        self.arena.breakers[i] = HashMap::new();
+        self.arena.qcaches[i] = QueryCache::default();
+        self.arena.rcaches[i] =
+            ResultCache::new(self.config.result_cache_capacity, self.config.result_cache_ttl_ms);
+        if self.config.lifecycle.enabled {
+            let mut table = PeerTable::new();
+            for &nb in self.topology.neighbors(node) {
+                table.identify(nb, now_ms);
+            }
+            let want = self.topology.neighbors(node).len().max(1);
+            let alive = self.alive.clone();
+            let picks = table.rebootstrap(want, now_ms, |p| p != node && alive.get(p));
+            self.arena.peers[i] = table;
+            for p in picks {
+                self.arena.peers[p.0 as usize].connect(node, now_ms);
+            }
+        }
+        self.trace(node, TraceKind::Join, TransactionId(0), None, None);
+        true
+    }
+
+    /// One soft-state churn interval: sample scheduled leaves and rejoins
+    /// from [`P2pConfig::churn`], run one self-healing round (each alive
+    /// node detects dead Connected peers, sweeps their state, and tops its
+    /// connected set back up — re-bootstrapping via the lowest-id alive
+    /// node when it knows no live peer at all), run one scored swap
+    /// round, and advance virtual time by the configured interval.
+    /// Returns `(left, rejoined)`.
+    pub fn churn_tick(&mut self) -> (usize, usize) {
+        let tick = self.churn_ticks;
+        self.churn_ticks += 1;
+        let (mut left, mut rejoined) = (0, 0);
+        if self.config.churn.is_active() {
+            let churn = self.config.churn;
+            for i in 0..self.topology.len() as u32 {
+                let node = NodeId(i);
+                if self.alive.get(node) {
+                    if churn.leaves(tick, node) && self.depart_node(node) {
+                        left += 1;
+                    }
+                } else if churn.rejoins(tick, node) && self.rejoin_node(node) {
+                    rejoined += 1;
+                }
+            }
+        }
+        if self.config.lifecycle.enabled {
+            self.heal_round();
+            self.swap_round();
+        }
+        self.advance_time(self.config.churn.interval_ms.max(1));
+        (left, rejoined)
+    }
+
+    /// Self-healing round: every alive node retires dead Connected peers
+    /// (Departed + per-peer state sweep) and promotes known alive peers —
+    /// or falls back to the lowest-id alive node as a bootstrap contact —
+    /// until its connected set is back at the underlay degree.
+    fn heal_round(&mut self) {
+        let now_ms = self.sim.now().millis();
+        let alive = self.alive.clone();
+        for i in 0..self.arena.peers.len() {
+            let node = NodeId(i as u32);
+            if !alive.get(node) {
+                continue;
+            }
+            let dead: Vec<NodeId> = self.arena.peers[i]
+                .connected()
+                .iter()
+                .copied()
+                .filter(|&p| !alive.get(p))
+                .collect();
+            for d in dead {
+                self.peer_departed(node, d, now_ms);
+            }
+            let want = self.topology.neighbors(node).len().max(1);
+            let have = self.arena.peers[i].connected().len();
+            if have == 0 {
+                let picks =
+                    self.arena.peers[i].rebootstrap(want, now_ms, |p| p != node && alive.get(p));
+                if picks.is_empty() {
+                    // The node knows no live peer: bootstrap-server model —
+                    // re-enter through the lowest-id alive node.
+                    if let Some(seed_peer) = alive.iter_alive().find(|&p| p != node) {
+                        self.arena.peers[i].identify(seed_peer, now_ms);
+                        self.arena.peers[i].connect(seed_peer, now_ms);
+                        self.arena.peers[seed_peer.0 as usize].connect(node, now_ms);
+                        self.arena.peers[i].rebootstraps += 1;
+                    }
+                } else {
+                    for p in picks {
+                        self.arena.peers[p.0 as usize].connect(node, now_ms);
+                    }
+                }
+            } else if have < want {
+                let gaps = want - have;
+                let cands: Vec<NodeId> = self.arena.peers[i]
+                    .entries()
+                    .iter()
+                    .filter(|e| {
+                        matches!(e.state, PeerState::Prospect | PeerState::Identified)
+                            && e.peer != node
+                            && alive.get(e.peer)
+                    })
+                    .map(|e| e.peer)
+                    .take(gaps)
+                    .collect();
+                let filled = !cands.is_empty();
+                for c in cands {
+                    self.arena.peers[i].connect(c, now_ms);
+                    self.arena.peers[c.0 as usize].connect(node, now_ms);
+                }
+                if !filled {
+                    // Underfilled with no known live candidate: a burst
+                    // tore the underlay into segments whose endpoints only
+                    // know dead peers. Same bootstrap-server fallback as
+                    // the isolated case, so segments re-join the overlay
+                    // instead of drifting as islands.
+                    let connected = self.arena.peers[i].connected().to_vec();
+                    if let Some(seed_peer) =
+                        alive.iter_alive().find(|&p| p != node && !connected.contains(&p))
+                    {
+                        self.arena.peers[i].identify(seed_peer, now_ms);
+                        self.arena.peers[i].connect(seed_peer, now_ms);
+                        self.arena.peers[seed_peer.0 as usize].connect(node, now_ms);
+                        self.arena.peers[i].rebootstraps += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One scored neighbor-swap round: each alive node may evict its
+    /// worst-scoring Connected link for its best alive Prospect when the
+    /// hysteresis margin clears ([`PeerTable::best_swap`]). Both sides of
+    /// each link are updated. Returns the number of swaps performed.
+    pub fn swap_round(&mut self) -> usize {
+        let now_ms = self.sim.now().millis();
+        let alive = self.alive.clone();
+        let cfg = self.config.lifecycle;
+        let mut swaps = 0;
+        for i in 0..self.arena.peers.len() {
+            let node = NodeId(i as u32);
+            if !alive.get(node) {
+                continue;
+            }
+            let Some((evict, admit)) =
+                self.arena.peers[i].best_swap(now_ms, &cfg, |p| p != node && alive.get(p))
+            else {
+                continue;
+            };
+            self.arena.peers[i].swap(evict, admit, now_ms);
+            self.arena.peers[evict.0 as usize].apply(node, PeerEvent::Demote, now_ms);
+            self.arena.peers[admit.0 as usize].connect(node, now_ms);
+            self.trace(
+                node,
+                TraceKind::Swap,
+                TransactionId(0),
+                Some(admit),
+                Some(u64::from(evict.0)),
+            );
+            swaps += 1;
+        }
+        swaps
+    }
+
+    /// `at` learns that `gone` departed: lifecycle transition plus the
+    /// per-peer state sweep — cached results folded from the peer, result
+    /// streams it sent, frames awaiting its ack, suspicion and breaker
+    /// history all go with it.
+    fn peer_departed(&mut self, at: NodeId, gone: NodeId, now_ms: u64) {
+        let i = at.0 as usize;
+        if self.arena.peers[i].depart(gone, now_ms) {
+            self.arena.rcaches[i].purge_source(gone.0);
+            self.arena.ledgers[i].forget_sender(Sym(gone.0));
+            self.arena.pending_acks[i].retain(|(_, to, _), _| *to != gone);
+            self.arena.suspected[i].remove(&gone);
+            self.arena.breakers[i].remove(&gone);
+        }
+    }
+
     /// In-flight timers (leak regression surface: fired and superseded
     /// timers must not accumulate).
     pub fn timers_live(&self) -> usize {
@@ -834,6 +1207,19 @@ impl SimNetwork {
         self.totals.rcache_stale_rejects.set(self.result_cache_stale_rejects());
         self.totals.rcache_invalidations.set(self.result_cache_invalidations());
         self.totals.rcache_entries.set(self.result_cache_entries() as u64);
+        let (mut idf, mut pnd, mut con, mut dep) = (0u64, 0u64, 0u64, 0u64);
+        for p in &self.arena.peers {
+            idf += p.identified() as u64;
+            pnd += p.count(PeerState::Pending) as u64;
+            con += p.count(PeerState::Connected) as u64;
+            dep += p.count(PeerState::Departed) as u64;
+        }
+        self.totals.peers_identified.set(idf);
+        self.totals.peers_pending.set(pnd);
+        self.totals.peers_connected.set(con);
+        self.totals.peers_departed.set(dep);
+        self.totals.swaps.set(self.lifecycle_swaps());
+        self.totals.rebootstraps.set(self.lifecycle_rebootstraps());
         &self.metrics
     }
 
@@ -1007,7 +1393,12 @@ impl SimNetwork {
                 Delivery::Message { from, to, message } => {
                     self.on_message(run, from, to, message);
                 }
-                Delivery::Timer { node: _, tag } => {
+                Delivery::Timer { node, tag } => {
+                    // A departed node's timers die with it.
+                    if !self.alive.get(node) {
+                        let _ = self.timers.take(tag);
+                        continue;
+                    }
                     let Some(ev) = self.timers.take(tag) else { continue };
                     match ev {
                         TimerEvent::LocalEvalDone { node, txn } => {
@@ -1051,9 +1442,28 @@ impl SimNetwork {
     }
 
     fn on_message(&mut self, run: &mut RunState, from: NodeId, to: NodeId, message: Message) {
+        // Frames addressed to a departed node vanish (crash model).
+        if !self.alive.get(to) {
+            return;
+        }
         let bytes = encoded_len(&message);
         if to == run.origin {
             run.metrics.bytes_at_originator += bytes;
+        }
+        // Any frame from a peer is proof of life: clear standing suspicion
+        // and move an open breaker to half-open, probing immediately, so a
+        // rejoined or restarted peer is re-probed promptly instead of
+        // waiting out the open window.
+        self.arena.suspected[to.0 as usize].remove(&from);
+        let now_ms = self.sim.now().millis();
+        let probe = self.arena.breakers[to.0 as usize]
+            .get_mut(&from)
+            .is_some_and(|b| b.note_contact(now_ms));
+        if probe {
+            run.metrics.breaker_probes += 1;
+            let mut m = std::mem::take(&mut run.metrics);
+            self.send(&mut m, to, from, Message::Ping);
+            run.metrics = m;
         }
         match message {
             Message::Query { transaction, query, language, scope, response_mode } => {
@@ -1258,6 +1668,8 @@ impl SimNetwork {
                 cache_cheap_plan: false,
                 cache_forwarded: false,
                 cache_tainted: false,
+                cache_sources: Vec::new(),
+                accepted_at_ms: now.millis(),
             },
         );
 
@@ -1292,9 +1704,16 @@ impl SimNetwork {
         // filter: an open breaker sheds, and a later probe can rehabilitate
         // the neighbor; suspicion alone never forgives.
         let breaker_on = self.config.recovery.breaker.enabled;
-        let candidates: Vec<NodeId> = self
-            .topology
-            .neighbors(node)
+        let lifecycle_on = self.config.lifecycle.enabled;
+        // With the lifecycle on, forwarding runs over the node's dynamic
+        // Connected set; at zero churn that set is exactly the sorted
+        // underlay neighbor list, so both paths emit identical forwards.
+        let neighbor_src: &[NodeId] = if lifecycle_on {
+            self.arena.peers[node_idx].connected()
+        } else {
+            self.topology.neighbors(node)
+        };
+        let candidates: Vec<NodeId> = neighbor_src
             .iter()
             .copied()
             .filter(|&c| Some(c) != parent)
@@ -1321,6 +1740,9 @@ impl SimNetwork {
                 }
             }
             forwarded_any = true;
+            if lifecycle_on {
+                self.arena.peers[node_idx].note_forward(target);
+            }
             self.arena.state[node_idx].add_child(&txn, Sym(target.0));
             self.trace(node, TraceKind::Forward, txn, Some(target), None);
             let msg = Message::Query {
@@ -1624,9 +2046,10 @@ impl SimNetwork {
                 info.scope.radius,
                 info.scope.result_staleness_ms,
                 std::mem::take(&mut info.cache_items),
+                std::mem::take(&mut info.cache_sources),
             )
         });
-        if let Some((src, language, radius, bound, cache_items)) = pop {
+        if let Some((src, language, radius, bound, cache_items, sources)) = pop {
             let now_ms = self.sim.now().millis();
             let epoch =
                 self.arena.registries[node_idx].peek().map(|r| r.mutation_epoch()).unwrap_or(0);
@@ -1638,6 +2061,7 @@ impl SimNetwork {
                 now_ms,
                 bound,
                 epoch,
+                &sources,
             );
             run.metrics.cache_populated += 1;
         }
@@ -1749,6 +2173,15 @@ impl SimNetwork {
                 return;
             }
         }
+        if self.config.lifecycle.enabled {
+            // Score the link: result yield and accept-to-result latency
+            // feed the swap scorer's EWMAs.
+            let accepted = self.arena.txns[node_idx].get(&txn).map(|i| i.accepted_at_ms);
+            if let Some(at) = accepted {
+                let latency = self.sim.now().millis().saturating_sub(at);
+                self.arena.peers[node_idx].note_results(from, latency, items.len() as u64);
+            }
+        }
         let is_origin = to == run.origin;
 
         if is_origin {
@@ -1757,6 +2190,8 @@ impl SimNetwork {
             // would compound staleness past the F3 bound).
             if cached {
                 run.saw_cached = true;
+            } else if !run.cache_sources.contains(&from.0) {
+                run.cache_sources.push(from.0);
             }
             // Deliver data reaching the originator.
             if run.closed {
@@ -1790,8 +2225,12 @@ impl SimNetwork {
                 info.cache_ok = false;
                 info.cache_tainted = true;
                 info.cache_items.clear();
+                info.cache_sources.clear();
             } else if info.cache_ok {
                 info.cache_items.extend(items.iter().cloned());
+                if !info.cache_sources.contains(&from.0) {
+                    info.cache_sources.push(from.0);
+                }
             }
         }
         if aborted {
@@ -1949,6 +2388,9 @@ impl SimNetwork {
         let Some((message, backoff)) = step else {
             self.arena.pending_acks[node_idx].remove(&(txn, to, seq));
             self.arena.suspected[node_idx].insert(to);
+            if self.config.lifecycle.enabled {
+                self.arena.peers[node_idx].note_failure(to);
+            }
             run.metrics.acks_timed_out += 1;
             return;
         };
@@ -2029,6 +2471,9 @@ impl SimNetwork {
             let child = NodeId(child_sym.0);
             self.trace(node, TraceKind::Abandon, txn, Some(child), None);
             self.arena.suspected[node_idx].insert(child);
+            if self.config.lifecycle.enabled {
+                self.arena.peers[node_idx].note_failure(child);
+            }
             self.arena.state[node_idx].child_done(&txn, child_sym);
         }
         match parent {
@@ -2156,6 +2601,7 @@ impl SimNetwork {
             now_ms,
             bound,
             epoch,
+            &run.cache_sources,
         );
         run.metrics.cache_populated += 1;
     }
@@ -2173,6 +2619,9 @@ struct RunState {
     /// answered from cache): the delivered set is second-hand and must
     /// not be re-installed in the origin's result cache.
     saw_cached: bool,
+    /// Peers whose results reached the origin — the source set attached
+    /// to the origin's cache entry so departures can purge it.
+    cache_sources: Vec<u32>,
 }
 
 impl RunState {
@@ -2186,6 +2635,7 @@ impl RunState {
             deadline_hit: false,
             max_results,
             saw_cached: false,
+            cache_sources: Vec::new(),
         }
     }
 }

@@ -33,18 +33,20 @@ pub mod arena;
 pub mod breaker;
 pub mod container;
 pub mod engine;
+pub mod lifecycle;
 pub mod live;
 pub mod metrics;
 pub mod recovery;
 pub mod selection;
 pub mod topology;
 
-pub use arena::{EndpointTable, TimerSlab};
+pub use arena::{AliveSet, EndpointTable, TimerSlab};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, ForwardDecision};
 pub use container::ContainerAssignment;
 pub use engine::{P2pConfig, QueryRun, SimNetwork, TimeoutMode};
+pub use lifecycle::{LifecycleConfig, PeerEvent, PeerState, PeerTable};
 pub use live::{LiveNetwork, LiveQueryReport, LiveStats};
 pub use metrics::QueryMetrics;
 pub use recovery::{Completeness, RecoveryConfig};
-pub use selection::{NeighborPolicy, NodeKinds, RoutingIndex};
+pub use selection::{LinkStats, NeighborPolicy, NodeKinds, RoutingIndex};
 pub use topology::Topology;

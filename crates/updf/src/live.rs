@@ -31,6 +31,7 @@
 //! simulator cannot show.
 
 use crate::breaker::{CircuitBreaker, ForwardDecision};
+use crate::lifecycle::{LifecycleConfig, PeerEvent, PeerState, PeerTable};
 use crate::recovery::{Completeness, RecoveryConfig};
 use crate::topology::Topology;
 use bytes::BytesMut;
@@ -39,7 +40,7 @@ use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wsda_net::model::ChaosPlan;
 use wsda_net::transport::{Inbox, InboxDrops, ThreadedNetwork};
@@ -61,6 +62,12 @@ use wsda_registry::{
 };
 
 type Frame = Vec<u8>;
+
+/// Lock a shared mutex, riding through poisoning: a panicked peer thread
+/// must not wedge the control plane or its neighbors.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// What a live query returned, and how much of the tree answered.
 #[derive(Debug)]
@@ -95,6 +102,11 @@ pub struct LiveStats {
     pub result_cache_hits: u64,
     /// Complete subtree answers installed in a peer's result cache.
     pub result_cache_insertions: u64,
+    /// Scored neighbor swaps applied by [`LiveNetwork::swap_round`].
+    pub swaps: u64,
+    /// Re-bootstraps: peers that rebuilt an empty Connected set when
+    /// (re)joining the overlay.
+    pub rebootstraps: u64,
 }
 
 /// Shared counter handles behind [`LiveStats`]; the same atomics are
@@ -106,6 +118,8 @@ struct LiveStatsInner {
     breaker_probes: Counter,
     result_cache_hits: Counter,
     result_cache_insertions: Counter,
+    swaps: Counter,
+    rebootstraps: Counter,
 }
 
 /// Per-peer state-size gauge handles, updated by the peer thread and read
@@ -120,6 +134,10 @@ struct PeerGauges {
     qcache_hits: Gauge,
     qcache_evictions: Gauge,
     rcache_entries: Gauge,
+    peers_identified: Gauge,
+    peers_pending: Gauge,
+    peers_connected: Gauge,
+    peers_departed: Gauge,
 }
 
 /// Capacity of each live peer's trace ring.
@@ -151,6 +169,18 @@ pub struct LiveNetwork {
     epoch: Instant,
     /// Durable mode: the root directory holding one `n<i>` subdir per peer.
     persist_root: Option<PathBuf>,
+    /// Per-peer lifecycle tables — the dynamic Connected set each peer
+    /// forwards over (always on in the live engine). Shared between the
+    /// owning thread and the control plane behind short-lived locks.
+    peer_tables: Vec<Arc<Mutex<PeerTable>>>,
+    /// Per-peer departure queues: [`LiveNetwork::leave`] enqueues the
+    /// departed id and the owning thread drains the queue, marking the
+    /// peer Departed and sweeping every per-peer runtime entry.
+    sweeps: Vec<Arc<Mutex<Vec<NodeId>>>>,
+    /// Peers that gracefully left (until they [`LiveNetwork::join`] back).
+    departed: Vec<bool>,
+    /// Swap scoring knobs (live defaults; always enabled here).
+    lifecycle: LifecycleConfig,
 }
 
 impl LiveNetwork {
@@ -235,6 +265,8 @@ impl LiveNetwork {
         metrics.register_counter("updf_result_cache_hits_total", &stats.result_cache_hits);
         metrics
             .register_counter("updf_result_cache_insertions_total", &stats.result_cache_insertions);
+        metrics.register_counter("updf_swaps_total", &stats.swaps);
+        metrics.register_counter("updf_rebootstraps_total", &stats.rebootstraps);
         transport.export_metrics(&metrics);
         let epoch = Instant::now();
         let mut registries = Vec::with_capacity(topology.len());
@@ -242,7 +274,12 @@ impl LiveNetwork {
         let mut peer_exit = Vec::with_capacity(topology.len());
         let mut handles = Vec::with_capacity(topology.len());
         let mut traces = Vec::with_capacity(topology.len());
+        let mut peer_tables = Vec::with_capacity(topology.len());
+        let mut sweeps = Vec::with_capacity(topology.len());
         for i in 0..topology.len() as u32 {
+            peer_tables
+                .push(Arc::new(Mutex::new(PeerTable::seeded(topology.neighbors(NodeId(i)), 0))));
+            sweeps.push(Arc::new(Mutex::new(Vec::new())));
             let config = RegistryConfig { max_ttl_ms: u64::MAX / 4, ..Default::default() };
             let (registry, recovered) = match &persist_root {
                 Some(root) => {
@@ -278,6 +315,7 @@ impl LiveNetwork {
             traces.push(shared_buffer(TRACE_CAPACITY));
         }
         let client_id = NodeId(topology.len() as u32);
+        let departed = vec![false; topology.len()];
         let mut net = LiveNetwork {
             transport,
             registries,
@@ -296,6 +334,10 @@ impl LiveNetwork {
             clock,
             epoch,
             persist_root,
+            peer_tables,
+            sweeps,
+            departed,
+            lifecycle: LifecycleConfig::on(),
         };
         for i in 0..net.topology.len() {
             net.spawn_peer(i);
@@ -323,11 +365,19 @@ impl LiveNetwork {
             rcache_entries: self
                 .metrics
                 .gauge(&format!("updf_result_cache_entries{{node=\"n{i}\"}}")),
+            peers_identified: self
+                .metrics
+                .gauge(&format!("updf_peers_identified{{node=\"n{i}\"}}")),
+            peers_pending: self.metrics.gauge(&format!("updf_peers_pending{{node=\"n{i}\"}}")),
+            peers_connected: self.metrics.gauge(&format!("updf_peers_connected{{node=\"n{i}\"}}")),
+            peers_departed: self.metrics.gauge(&format!("updf_peers_departed{{node=\"n{i}\"}}")),
         };
         let peer = PeerThread {
             id,
             endpoint: Arc::from(format!("n{i}")),
-            neighbors: self.topology.neighbors(id).to_vec(),
+            client_id: self.client_id,
+            peers: self.peer_tables[i].clone(),
+            sweeps: self.sweeps[i].clone(),
             registry: self.registries[i].clone(),
             transport: self.transport.clone(),
             shutdown: self.shutdown.clone(),
@@ -379,6 +429,12 @@ impl LiveNetwork {
         }
         registry.stats().export_into(&self.metrics, &format!("n{i}"));
         self.registries[i] = registry;
+        // A process restart loses the in-memory peer table with the rest
+        // of the P2P runtime state; the peer comes back with its underlay
+        // neighbors re-connected.
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        *lock(&self.peer_tables[i]) = PeerTable::seeded(self.topology.neighbors(node), now_ms);
+        lock(&self.sweeps[i]).clear();
         self.peer_dead[i] = Arc::new(AtomicBool::new(false));
         self.peer_exit[i] = Arc::new(AtomicBool::new(false));
         self.spawn_peer(i);
@@ -393,6 +449,8 @@ impl LiveNetwork {
             breaker_probes: self.stats.breaker_probes.get(),
             result_cache_hits: self.stats.result_cache_hits.get(),
             result_cache_insertions: self.stats.result_cache_insertions.get(),
+            swaps: self.stats.swaps.get(),
+            rebootstraps: self.stats.rebootstraps.get(),
         }
     }
 
@@ -442,6 +500,133 @@ impl LiveNetwork {
         if let Some(flag) = self.peer_dead.get(node.0 as usize) {
             flag.store(true, Ordering::SeqCst);
         }
+    }
+
+    /// A peer's current Connected set (sorted).
+    pub fn connected_peers(&self, node: NodeId) -> Vec<NodeId> {
+        lock(&self.peer_tables[node.0 as usize]).connected().to_vec()
+    }
+
+    /// Whether `node` is currently a member of the overlay (has not
+    /// gracefully [`LiveNetwork::leave`]d).
+    pub fn is_member(&self, node: NodeId) -> bool {
+        !self.departed[node.0 as usize]
+    }
+
+    /// Members currently in the overlay.
+    pub fn member_count(&self) -> usize {
+        self.departed.iter().filter(|&&d| !d).count()
+    }
+
+    /// Graceful leave: the peer refers each of its Connected neighbors to
+    /// the others (so the overlay does not thin with every departure),
+    /// stops its thread, detaches its inbox, and is queued for state
+    /// sweeps at every former neighbor. Returns false if already gone.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        let i = node.0 as usize;
+        if self.departed[i] {
+            return false;
+        }
+        self.departed[i] = true;
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        let conns = lock(&self.peer_tables[i]).connected().to_vec();
+        for &a in &conns {
+            if self.departed[a.0 as usize] {
+                continue;
+            }
+            let mut t = lock(&self.peer_tables[a.0 as usize]);
+            for &b in &conns {
+                if b != a && !self.departed[b.0 as usize] {
+                    t.refer(b, now_ms);
+                }
+            }
+        }
+        self.peer_exit[i].store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handles[i].take() {
+            let _ = handle.join();
+        }
+        self.transport.deregister(node);
+        // Former neighbors sweep the leaver's per-peer state (result-cache
+        // entries, pending acks, ledger streams) on their next loop turn.
+        for &a in &conns {
+            if !self.departed[a.0 as usize] {
+                lock(&self.sweeps[a.0 as usize]).push(node);
+            }
+        }
+        self.record_lifecycle(node, TraceKind::Leave, None, conns.len() as u64);
+        true
+    }
+
+    /// Rejoin after a [`LiveNetwork::leave`]: the peer re-identifies its
+    /// underlay contacts, re-bootstraps its Connected set from the ones
+    /// still alive (two-sided), and comes back with a fresh thread. The
+    /// registry is reused — content survives a graceful leave. Returns
+    /// false if the peer never left.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        let i = node.0 as usize;
+        if !self.departed[i] {
+            return false;
+        }
+        self.departed[i] = false;
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        let mut table = PeerTable::new();
+        for &nb in self.topology.neighbors(node) {
+            table.identify(nb, now_ms);
+        }
+        let want = self.topology.neighbors(node).len().max(1);
+        let picks = table.rebootstrap(want, now_ms, |p| !self.departed[p.0 as usize]);
+        if !picks.is_empty() {
+            self.stats.rebootstraps.inc();
+        }
+        for &p in &picks {
+            lock(&self.peer_tables[p.0 as usize]).connect(node, now_ms);
+        }
+        let admitted = picks.len() as u64;
+        *lock(&self.peer_tables[i]) = table;
+        lock(&self.sweeps[i]).clear();
+        self.peer_dead[i] = Arc::new(AtomicBool::new(false));
+        self.peer_exit[i] = Arc::new(AtomicBool::new(false));
+        self.spawn_peer(i);
+        self.record_lifecycle(node, TraceKind::Join, None, admitted);
+        true
+    }
+
+    /// One scored neighbor-swap round across every member: each peer may
+    /// evict its worst-scoring Connected neighbor for its best Prospect
+    /// (hysteresis via the configured swap margin and minimum dwell).
+    /// Peers keep serving queries; tables are locked one at a time.
+    pub fn swap_round(&mut self) -> usize {
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        let cfg = self.lifecycle;
+        let mut applied = 0;
+        for i in 0..self.topology.len() {
+            if self.departed[i] {
+                continue;
+            }
+            let node = NodeId(i as u32);
+            let decision = {
+                let t = lock(&self.peer_tables[i]);
+                t.best_swap(now_ms, &cfg, |p| p != node && !self.departed[p.0 as usize])
+            };
+            let Some((evict, admit)) = decision else { continue };
+            lock(&self.peer_tables[i]).swap(evict, admit, now_ms);
+            lock(&self.peer_tables[evict.0 as usize]).apply(node, PeerEvent::Demote, now_ms);
+            lock(&self.peer_tables[admit.0 as usize]).connect(node, now_ms);
+            self.stats.swaps.inc();
+            self.record_lifecycle(node, TraceKind::Swap, Some(admit), u64::from(evict.0));
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Record a control-plane lifecycle event (txn 0) into `node`'s ring.
+    fn record_lifecycle(&self, node: NodeId, kind: TraceKind, peer: Option<NodeId>, items: u64) {
+        let at = self.epoch.elapsed().as_millis() as u64;
+        let mut ev = TraceEvent::new(0, format!("n{}", node.0), kind, at).with_items(items);
+        if let Some(p) = peer {
+            ev = ev.with_peer(format!("n{}", p.0));
+        }
+        lock(&self.traces[node.0 as usize]).record(ev);
     }
 
     /// Flood `query_src` into the network at `entry` and collect routed
@@ -597,7 +782,15 @@ struct PeerThread {
     /// (every trace event, every `Results`/`Error` origin field) used to
     /// re-format it per message.
     endpoint: Arc<str>,
-    neighbors: Vec<NodeId>,
+    /// The query client's transport id (one past the last peer id) —
+    /// frames from it are injected queries, not overlay traffic.
+    client_id: NodeId,
+    /// This peer's lifecycle table: the Connected set it forwards over.
+    /// Shared with the control plane (swap rounds, leave referrals).
+    peers: Arc<Mutex<PeerTable>>,
+    /// Departure queue: overlay peers the control plane marked gone, to be
+    /// drained and swept by this thread.
+    sweeps: Arc<Mutex<Vec<NodeId>>>,
     registry: Arc<HyperRegistry>,
     transport: Arc<ThreadedNetwork<Frame>>,
     shutdown: Arc<AtomicBool>,
@@ -650,6 +843,12 @@ struct LiveTxn {
     /// The originating query's staleness bound — the entry's freshness
     /// ceiling, however lenient later requesters are.
     cache_bound: u64,
+    /// Distinct child peers whose (first-hand) results fed `cache_items` —
+    /// the cache entry's provenance, so a departed peer's contributions
+    /// can be purged.
+    cache_sources: Vec<u32>,
+    /// Epoch-ms when this peer accepted the query (link-latency scoring).
+    accepted_at_ms: u64,
 }
 
 /// A sent-but-unacked `Results` frame.
@@ -710,6 +909,24 @@ impl PeerThread {
             if self.recovery.enabled {
                 self.tick(&mut rt);
             }
+            // Drain the departure queue: mark each leaver Departed in the
+            // lifecycle table and sweep every per-peer runtime entry it
+            // still occupies (cache provenance, acks, ledger streams,
+            // suspicion, breaker) so departed state cannot accumulate.
+            let gone: Vec<NodeId> = std::mem::take(&mut *lock(&self.sweeps));
+            for peer in gone {
+                let now_ms = self.epoch.elapsed().as_millis() as u64;
+                if lock(&self.peers).depart(peer, now_ms) {
+                    rt.rcache.purge_source(peer.0);
+                    rt.ledger.forget_sender(Sym(peer.0));
+                    rt.pending.retain(|(_, to, _), _| *to != peer);
+                    rt.suspected.remove(&peer);
+                    rt.breakers.remove(&peer);
+                    self.trace_event(TraceKind::Leave, TransactionId(0), |ev| {
+                        ev.with_peer(format!("n{}", peer.0))
+                    });
+                }
+            }
             // Publish state sizes: the leak regression tests (and any
             // scrape) read these through the network's metrics registry.
             self.gauges.ledger_streams.set(rt.ledger.streams() as u64);
@@ -720,7 +937,19 @@ impl PeerThread {
             self.gauges.qcache_hits.set(rt.qcache.hits());
             self.gauges.qcache_evictions.set(rt.qcache.evictions());
             self.gauges.rcache_entries.set(rt.rcache.len() as u64);
+            {
+                let t = lock(&self.peers);
+                self.gauges.peers_identified.set(t.identified() as u64);
+                self.gauges.peers_pending.set(t.count(PeerState::Pending) as u64);
+                self.gauges.peers_connected.set(t.count(PeerState::Connected) as u64);
+                self.gauges.peers_departed.set(t.count(PeerState::Departed) as u64);
+            }
         }
+    }
+
+    /// Run `f` against this peer's lifecycle table under its lock.
+    fn with_peers<R>(&self, f: impl FnOnce(&mut PeerTable) -> R) -> R {
+        f(&mut lock(&self.peers))
     }
 
     /// Record a hop-level trace event in this peer's ring.
@@ -737,6 +966,18 @@ impl PeerThread {
 
     fn handle(&self, rt: &mut PeerRt, clock: &SystemClock, from: NodeId, message: Message) {
         use wsda_registry::clock::Clock as _;
+        // Any frame from an overlay peer is proof of life: standing
+        // suspicion is dropped, and an open breaker moves to half-open
+        // with an immediate probe — so a restarted or rejoined peer is
+        // rehabilitated as soon as it speaks, not only after the cooldown.
+        if from != self.client_id {
+            rt.suspected.remove(&from);
+            let now_ms = self.epoch.elapsed().as_millis() as u64;
+            if rt.breakers.get_mut(&from).is_some_and(|b| b.note_contact(now_ms)) {
+                self.stats.breaker_probes.inc();
+                send(&self.transport, self.id, from, &Message::Ping);
+            }
+        }
         match message {
             Message::Query { transaction, query, scope, .. } => {
                 let now = clock.now();
@@ -764,9 +1005,12 @@ impl PeerThread {
                         }
                     }
                     BeginOutcome::Fresh => {
-                        // A frame from outside the overlay is the client's
+                        // A frame from the client transport id is the
                         // injected query: the entry node is the trace root.
-                        let injected = !self.neighbors.contains(&from);
+                        // (Membership, not the static neighbor list — under
+                        // lifecycle swaps a query may legitimately arrive
+                        // from a non-underlay peer.)
+                        let injected = from == self.client_id;
                         self.trace_event(TraceKind::Recv, transaction, |ev| {
                             if injected {
                                 ev
@@ -809,8 +1053,12 @@ impl PeerThread {
                         let mut pending = HashSet::new();
                         let mut shed_any = false;
                         let breaker_on = self.recovery.breaker.enabled;
+                        // Forward over the *current* Connected set — the
+                        // living topology, not the underlay the peer was
+                        // born with.
+                        let connected = self.with_peers(|t| t.connected().to_vec());
                         if let Some(fscope) = &fscope {
-                            for &nb in &self.neighbors {
+                            for &nb in &connected {
                                 // The breaker subsumes plain suspicion when
                                 // on: it can also rehabilitate via probes.
                                 if nb == from || (!breaker_on && rt.suspected.contains(&nb)) {
@@ -849,6 +1097,7 @@ impl PeerThread {
                                 self.trace_event(TraceKind::Forward, transaction, |ev| {
                                     ev.with_peer(format!("n{}", nb.0))
                                 });
+                                self.with_peers(|t| t.note_forward(nb));
                                 pending.insert(nb);
                             }
                         }
@@ -878,6 +1127,8 @@ impl PeerThread {
                                 cache_tainted: false,
                                 cache_radius: scope.radius,
                                 cache_bound: scope.result_staleness_ms,
+                                cache_sources: Vec::new(),
+                                accepted_at_ms: self.epoch.elapsed().as_millis() as u64,
                             },
                         );
                         // Pipelined: local items leave immediately; `last`
@@ -906,6 +1157,11 @@ impl PeerThread {
                 }
                 let Some(entry) = rt.live.get_mut(&transaction) else { return };
                 let parent = entry.parent;
+                // Results flowing back score the child link: latency from
+                // query acceptance, yield from the item count.
+                let latency =
+                    (self.epoch.elapsed().as_millis() as u64).saturating_sub(entry.accepted_at_ms);
+                self.with_peers(|t| t.note_results(from, latency, items.len() as u64));
                 if cached {
                     // A child answered from its cache: this peer's
                     // aggregate is second-hand — never re-cache it, and
@@ -913,8 +1169,12 @@ impl PeerThread {
                     entry.cache_ok = false;
                     entry.cache_tainted = true;
                     entry.cache_items.clear();
+                    entry.cache_sources.clear();
                 } else if entry.cache_ok {
                     entry.cache_items.extend(items.iter().cloned());
+                    if !entry.cache_sources.contains(&from.0) {
+                        entry.cache_sources.push(from.0);
+                    }
                 }
                 let mut finalize = false;
                 if last {
@@ -985,6 +1245,7 @@ impl PeerThread {
                 rt.pending.remove(&key);
                 rt.suspected.insert(to);
                 self.breaker_failure(rt, to);
+                self.with_peers(|t| t.note_failure(to));
                 continue;
             }
             p.retries_left -= 1;
@@ -1050,6 +1311,7 @@ impl PeerThread {
         // must already find the open accounted for.
         for child in lost_children {
             self.breaker_failure(rt, child);
+            self.with_peers(|t| t.note_failure(child));
         }
         for (txn, parent, local_done, tainted) in abandoned {
             if let Some(p) = parent {
@@ -1162,6 +1424,7 @@ impl PeerThread {
             now_ms,
             entry.cache_bound,
             epoch,
+            &entry.cache_sources,
         );
         self.stats.result_cache_insertions.inc();
     }

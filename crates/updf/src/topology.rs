@@ -119,6 +119,33 @@ impl Topology {
         self.distances_from(NodeId(0)).iter().all(|&d| d != u32::MAX)
     }
 
+    /// Is the subgraph induced by `members` (indexed by node id, `true`
+    /// = included) connected? BFS from the first member, stepping only
+    /// through members — the churn invariant check: the overlay built
+    /// from Connected links must stay connected *among alive nodes*
+    /// while the membership moves. Zero or one member counts as
+    /// connected.
+    pub fn connected_within(&self, members: &[bool]) -> bool {
+        assert_eq!(members.len(), self.len(), "membership mask must cover every node");
+        let Some(start) = members.iter().position(|&m| m) else { return true };
+        let total = members.iter().filter(|&&m| m).count();
+        let mut seen = vec![false; self.len()];
+        seen[start] = true;
+        let mut reached = 1;
+        let mut queue = VecDeque::from([NodeId(start as u32)]);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                let i = v.0 as usize;
+                if members[i] && !seen[i] {
+                    seen[i] = true;
+                    reached += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        reached == total
+    }
+
     /// Graph diameter (longest shortest path). O(V·E); intended for
     /// experiment-sized graphs.
     pub fn diameter(&self) -> u32 {
@@ -346,6 +373,27 @@ mod tests {
         let d = g.distances_from(NodeId(0));
         assert_eq!(d[1], 1);
         assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn connected_within_respects_membership() {
+        // ring of 6: drop one node, still connected; drop two opposite
+        // nodes, the remainder splits in two arcs.
+        let g = Topology::ring(6);
+        let all = vec![true; 6];
+        assert!(g.connected_within(&all));
+        let mut one_down = all.clone();
+        one_down[2] = false;
+        assert!(g.connected_within(&one_down));
+        let mut split = all.clone();
+        split[0] = false;
+        split[3] = false;
+        assert!(!g.connected_within(&split));
+        // Degenerate memberships are trivially connected.
+        assert!(g.connected_within(&[false; 6]));
+        let mut lone = vec![false; 6];
+        lone[4] = true;
+        assert!(g.connected_within(&lone));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::time::Duration;
 use wsda_net::model::NetworkModel;
 use wsda_net::NodeId;
 use wsda_pdp::{ResponseMode, Scope};
-use wsda_updf::{LiveNetwork, P2pConfig, SimNetwork, Topology};
+use wsda_updf::{LifecycleConfig, LiveNetwork, P2pConfig, SimNetwork, Topology};
 
 const QUERY: &str = r#"//service[load < 0.5]/owner"#;
 const TXNS: usize = 100;
@@ -129,4 +129,81 @@ fn live_ledger_and_state_stay_bounded_across_transactions() {
     assert!(streams <= 2 * nodes, "live ledger streams leak: {streams} after {TXNS} txns");
     assert!(entries <= 2 * nodes, "live state entries leak: {entries} after {TXNS} txns");
     assert!(live <= nodes, "live txn bookkeeping leak: {live} after {TXNS} txns");
+}
+
+const CYCLES: usize = 200;
+
+#[test]
+fn sim_state_stays_bounded_across_200_churn_cycles() {
+    // A node that leaves and rejoins 200 times must not accumulate
+    // anything anywhere: not in its own slots (reset on rejoin), and not
+    // in its peers' slots (swept on departure — result-cache entries,
+    // ledger streams, pending acks, breaker history, peer-table entries).
+    let config = P2pConfig {
+        lifecycle: LifecycleConfig::on(),
+        result_cache_ttl_ms: 1 << 40,
+        ..P2pConfig::default()
+    };
+    let mut net = SimNetwork::build(Topology::ring(4), NetworkModel::constant(10), config);
+    let cache_scope =
+        Scope { result_staleness_ms: 1 << 30, abort_timeout_ms: 200, ..Scope::default() };
+    for cycle in 0..CYCLES {
+        assert!(net.depart_node(NodeId(1)));
+        net.churn_tick();
+        assert!(net.rejoin_node(NodeId(1)));
+        net.churn_tick();
+        if cycle % 50 == 0 {
+            let run = net.run_query(NodeId(0), QUERY, cache_scope.clone(), ResponseMode::Routed);
+            assert!(!run.results.is_empty());
+        }
+    }
+    assert!(net.overlay_connected());
+    let metrics = net.metrics();
+    let nodes = 4;
+    let streams = metrics.family_sum("updf_ledger_streams");
+    let acks = metrics.family_sum("updf_pending_acks");
+    let known = metrics.family_sum("updf_peers_identified")
+        + metrics.family_sum("updf_peers_connected")
+        + metrics.family_sum("updf_peers_pending")
+        + metrics.family_sum("updf_peers_departed");
+    assert!(streams <= 2 * nodes, "ledger streams grew with churn cycles: {streams}");
+    assert!(acks <= 2 * nodes, "pending acks grew with churn cycles: {acks}");
+    // Each node can know at most every other node, however many times
+    // membership flapped.
+    assert!(known <= nodes * (nodes - 1), "peer tables grew with churn cycles: {known}");
+    assert!(
+        net.result_cache_entries() as u64 <= nodes,
+        "result-cache entries grew with churn cycles: {}",
+        net.result_cache_entries()
+    );
+}
+
+#[test]
+fn live_state_stays_bounded_across_200_join_leave_cycles() {
+    let mut net = LiveNetwork::start(Topology::line(3), 2, 17);
+    let scope = Scope { loop_timeout_ms: 10, ..Scope::default() };
+    for cycle in 0..CYCLES {
+        assert!(net.leave(NodeId(2)), "leave cycle {cycle}");
+        assert!(net.join(NodeId(2)), "join cycle {cycle}");
+        if cycle % 50 == 0 {
+            let report =
+                net.query_with_scope(NodeId(0), QUERY, scope.clone(), Duration::from_secs(10));
+            assert!(!report.results.is_empty());
+        }
+    }
+    // Let every peer's gauge loop turn over after the last membership op.
+    let _ = net.query_with_scope(NodeId(0), QUERY, scope, Duration::from_secs(10));
+    std::thread::sleep(Duration::from_millis(50));
+    let nodes = 3;
+    let metrics = net.metrics();
+    let streams = metrics.family_sum("updf_ledger_streams");
+    let acks = metrics.family_sum("updf_pending_acks");
+    let known = metrics.family_sum("updf_peers_identified")
+        + metrics.family_sum("updf_peers_connected")
+        + metrics.family_sum("updf_peers_pending")
+        + metrics.family_sum("updf_peers_departed");
+    assert!(streams <= 2 * nodes, "live ledger streams grew with churn cycles: {streams}");
+    assert!(acks <= 2 * nodes, "live pending acks grew with churn cycles: {acks}");
+    assert!(known <= nodes * (nodes - 1), "live peer tables grew with churn cycles: {known}");
+    assert_eq!(net.member_count() as u64, nodes);
 }
