@@ -33,6 +33,7 @@ pub mod f20_recovery;
 pub mod f21_scale;
 pub mod f22_cache;
 pub mod f23_churn;
+pub mod f24_wire_tcp;
 pub mod harness;
 pub mod t1;
 
@@ -87,6 +88,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, Runner)> {
             "f23",
             "Living topologies: completeness & time-to-last-result under churn",
             f23_churn::run,
+        ),
+        (
+            "f24",
+            "Real wire: TCP socket-byte accounting & framed-stream throughput",
+            f24_wire_tcp::run,
         ),
         ("a1", "Ablations: hoisting, index narrowing, parallel scan", a1_ablations::run),
     ]

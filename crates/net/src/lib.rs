@@ -13,7 +13,12 @@
 //! * [`transport`] — a threaded transport for *live* multi-threaded runs
 //!   of the same node code (examples and stress tests), with an optional
 //!   delay line and bounded two-lane inboxes that shed query frames —
-//!   counted — when a receiver falls behind.
+//!   counted — when a receiver falls behind,
+//! * [`tcp`] — a real-socket TCP transport behind the same
+//!   [`FrameTransport`] trait: each node gets a loopback (or explicit)
+//!   listener, frames travel length-prefixed over actual sockets, and
+//!   chaos plans tear down real connections. One process per node, all
+//!   nodes in one process, or anything in between.
 //!
 //! Virtual time is [`wsda_registry::clock::Time`], shared with the
 //! registry's soft-state machinery, so one clock drives leases, caches and
@@ -21,8 +26,12 @@
 
 pub mod model;
 pub mod sim;
+pub mod tcp;
 pub mod transport;
 
 pub use model::{ChaosPlan, ChurnConfig, CrashWindow, FaultPlan, LatencyModel, NetworkModel};
 pub use sim::{Delivery, NodeId, SimStats, Simulator};
-pub use transport::{Envelope, Inbox, InboxDrops, ThreadedNetwork};
+pub use tcp::{TcpConfig, TcpStats, TcpTransport};
+pub use transport::{
+    Envelope, Frame, FrameClassifier, FrameTransport, Inbox, InboxDrops, ThreadedNetwork,
+};

@@ -55,7 +55,7 @@ pub struct InboxDrops {
     pub priority: u64,
 }
 
-struct InboxState<M> {
+pub(crate) struct InboxState<M> {
     high: VecDeque<Envelope<M>>,
     low: VecDeque<Envelope<M>>,
     /// Cleared when the receiver drops its [`Inbox`] or the node is
@@ -63,17 +63,17 @@ struct InboxState<M> {
     open: bool,
 }
 
-struct InboxShared<M> {
+pub(crate) struct InboxShared<M> {
     capacity: usize,
     state: StdMutex<InboxState<M>>,
     ready: Condvar,
 }
 
-fn lock<M>(shared: &InboxShared<M>) -> MutexGuard<'_, InboxState<M>> {
+pub(crate) fn lock<M>(shared: &InboxShared<M>) -> MutexGuard<'_, InboxState<M>> {
     shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-enum PushOutcome {
+pub(crate) enum PushOutcome {
     Queued,
     ShedLow,
     ShedHigh,
@@ -81,7 +81,7 @@ enum PushOutcome {
 }
 
 impl<M> InboxShared<M> {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         InboxShared {
             capacity: capacity.max(1),
             state: StdMutex::new(InboxState {
@@ -95,7 +95,7 @@ impl<M> InboxShared<M> {
 
     /// Drop-newest admission: the frame in hand is the one discarded when
     /// its lane is full, so older work (closer to completion) is preserved.
-    fn push(&self, envelope: Envelope<M>, sheddable: bool) -> PushOutcome {
+    pub(crate) fn push(&self, envelope: Envelope<M>, sheddable: bool) -> PushOutcome {
         let mut st = lock(self);
         if !st.open {
             return PushOutcome::Closed;
@@ -120,7 +120,7 @@ impl<M> InboxShared<M> {
         lock(self).low.len() >= self.capacity
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         lock(self).open = false;
         self.ready.notify_all();
     }
@@ -134,6 +134,12 @@ pub struct Inbox<M> {
 }
 
 impl<M> Inbox<M> {
+    /// Wrap a shared queue (the TCP transport reuses the same two-lane
+    /// queue as its per-connection outbound buffer).
+    pub(crate) fn from_shared(shared: Arc<InboxShared<M>>) -> Self {
+        Inbox { shared }
+    }
+
     fn pop(st: &mut InboxState<M>) -> Option<Envelope<M>> {
         st.high.pop_front().or_else(|| st.low.pop_front())
     }
@@ -476,6 +482,92 @@ impl<M: Send + 'static> ThreadedNetwork<M> {
 impl<M: Send + 'static> Default for ThreadedNetwork<M> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// A length-framed PDP frame as it travels between live nodes: the 4-byte
+/// big-endian length prefix plus the encoded message body, exactly the
+/// bytes a socket carries.
+pub type Frame = Vec<u8>;
+
+/// Classifier over raw framed bytes: `true` marks the frame sheddable
+/// (queries), `false` keeps it on the priority lane (acks, results,
+/// control). Must only ever be applied to exactly one frame at a time —
+/// never a coalesced read buffer.
+pub type FrameClassifier = Arc<dyn Fn(&[u8]) -> bool + Send + Sync>;
+
+/// The transport surface the live engine programs against: the same
+/// send/register/deregister contract whether frames move between threads
+/// in one process ([`ThreadedNetwork`]) or over real TCP sockets
+/// ([`crate::tcp::TcpTransport`]) — the simulator-vs-production split as a
+/// trait, so deployments pick their substrate without touching node logic.
+pub trait FrameTransport: Send + Sync {
+    /// Register a node, returning its bounded two-lane inbox. Re-registering
+    /// an id closes the previous inbox.
+    fn register(&self, node: NodeId) -> Inbox<Frame>;
+
+    /// Remove a node (its inbox closes; queued frames still drain).
+    fn deregister(&self, node: NodeId);
+
+    /// Send a framed message. Returns `false` when the target is unknown
+    /// or closed; chaos drops and overload sheds return `true` — to the
+    /// sender, a lossy or congested network looks like a successful send.
+    fn send_frame(&self, from: NodeId, to: NodeId, frame: Frame) -> bool;
+
+    /// Install the overload classifier applied per frame.
+    fn set_sheddable_frames(&self, classify: FrameClassifier);
+
+    /// Frames dropped on inbox overflow so far, by lane.
+    fn inbox_drops(&self) -> InboxDrops;
+
+    /// Adopt the transport's counters into a [`MetricsRegistry`].
+    fn export_metrics(&self, metrics: &MetricsRegistry);
+
+    /// Replace the chaos plan mid-run (no-op on chaos-free transports).
+    fn set_chaos(&self, plan: ChaosPlan);
+
+    /// Milliseconds since the chaos clock started (0 without chaos).
+    fn chaos_now_ms(&self) -> u64;
+
+    /// Number of registered nodes.
+    fn node_count(&self) -> usize;
+}
+
+impl FrameTransport for ThreadedNetwork<Frame> {
+    fn register(&self, node: NodeId) -> Inbox<Frame> {
+        ThreadedNetwork::register(self, node)
+    }
+
+    fn deregister(&self, node: NodeId) {
+        ThreadedNetwork::deregister(self, node);
+    }
+
+    fn send_frame(&self, from: NodeId, to: NodeId, frame: Frame) -> bool {
+        self.send(from, to, frame)
+    }
+
+    fn set_sheddable_frames(&self, classify: FrameClassifier) {
+        self.set_sheddable(move |frame: &Frame| classify(frame));
+    }
+
+    fn inbox_drops(&self) -> InboxDrops {
+        ThreadedNetwork::inbox_drops(self)
+    }
+
+    fn export_metrics(&self, metrics: &MetricsRegistry) {
+        ThreadedNetwork::export_metrics(self, metrics);
+    }
+
+    fn set_chaos(&self, plan: ChaosPlan) {
+        ThreadedNetwork::set_chaos(self, plan);
+    }
+
+    fn chaos_now_ms(&self) -> u64 {
+        ThreadedNetwork::chaos_now_ms(self)
+    }
+
+    fn node_count(&self) -> usize {
+        ThreadedNetwork::node_count(self)
     }
 }
 

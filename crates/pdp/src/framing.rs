@@ -7,17 +7,44 @@
 //! thesis's BEEP/HTTP bindings provided.
 
 use crate::message::Message;
-use crate::wire::{decode, encode, WireError};
+use crate::wire::{decode, encode, encoded_len, WireError};
 use bytes::{Buf, BufMut, BytesMut};
 
 /// Largest accepted frame (matches the codec's sanity bound).
 pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
 
+/// Reader buffers above this capacity are candidates for reclaiming once
+/// mostly drained, so a one-off huge frame does not pin its allocation for
+/// the life of the connection.
+const RECLAIM_CAPACITY: usize = 64 * 1024;
+
+/// Check a would-be frame body length against [`MAX_FRAME`].
+///
+/// This is the encode-side mirror of the decode-side bound in
+/// [`FrameReader`]: both sides reject the same sizes, so a frame we are
+/// willing to write is always a frame the peer is willing to read.
+pub fn checked_frame_len(body_len: u64) -> Result<u32, WireError> {
+    if body_len > MAX_FRAME as u64 {
+        return Err(WireError::LengthOverflow(body_len));
+    }
+    Ok(body_len as u32)
+}
+
 /// Append a framed message to `out`.
-pub fn write_frame(out: &mut BytesMut, message: &Message) {
+///
+/// Fails with [`WireError::LengthOverflow`] if the encoded body would
+/// exceed [`MAX_FRAME`]: the old unchecked `as u32` cast silently
+/// truncated the length prefix for oversize bodies, which desyncs the
+/// stream for every frame that follows. The length check runs against
+/// [`encoded_len`] *before* encoding, so a rejected message costs no
+/// allocation.
+pub fn write_frame(out: &mut BytesMut, message: &Message) -> Result<(), WireError> {
+    let declared = checked_frame_len(encoded_len(message))?;
     let body = encode(message);
-    out.put_u32(body.len() as u32);
+    debug_assert_eq!(body.len() as u64, declared as u64, "encoded_len mismatch");
+    out.put_u32(declared);
     out.put_slice(&body);
+    Ok(())
 }
 
 /// Whether a framed buffer carries a `Query` message, without decoding it.
@@ -27,6 +54,11 @@ pub fn write_frame(out: &mut BytesMut, message: &Message) {
 /// use this to classify query frames as sheddable under overload while
 /// acks and results keep priority — a peek, not a parse, so it stays O(1)
 /// regardless of frame size.
+///
+/// **The argument must be exactly one frame** (e.g. one element out of
+/// [`FrameReader::next_frame`]), never a raw read buffer: TCP coalesces
+/// writes, so a read chunk can hold several frames back to back and byte 4
+/// only classifies the first of them.
 pub fn frame_is_query(frame: &[u8]) -> bool {
     frame.len() > 4 && frame[4] == crate::wire::KIND_QUERY
 }
@@ -57,10 +89,46 @@ impl FrameReader {
         self.buffer.len()
     }
 
+    /// Allocated capacity of the internal buffer (for retention tests and
+    /// memory accounting).
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer.capacity()
+    }
+
     /// Try to decode the next complete message. `Ok(None)` means more
     /// bytes are needed.
     pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
+        match self.next_body()? {
+            None => Ok(None),
+            Some(body) => decode(&body).map(Some),
+        }
+    }
+
+    /// Try to split off the next complete frame as raw bytes — the 4-byte
+    /// length prefix *plus* body, exactly as it travelled — without
+    /// decoding it. `Ok(None)` means more bytes are needed.
+    ///
+    /// This is the socket-transport fast path: a receiver re-frames the
+    /// stream into individual frames (so [`frame_is_query`] classifies
+    /// each one correctly even when the kernel coalesced several writes
+    /// into one read) and forwards the bytes untouched, leaving the decode
+    /// to the consuming peer thread.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        match self.next_body()? {
+            None => Ok(None),
+            Some(body) => {
+                let mut frame = Vec::with_capacity(4 + body.len());
+                frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+                frame.extend_from_slice(&body);
+                Ok(Some(frame))
+            }
+        }
+    }
+
+    /// Split off the next complete frame body, enforcing [`MAX_FRAME`].
+    fn next_body(&mut self) -> Result<Option<BytesMut>, WireError> {
         if self.buffer.len() < 4 {
+            self.maybe_reclaim();
             return Ok(None);
         }
         let declared =
@@ -70,11 +138,28 @@ impl FrameReader {
         }
         let total = 4 + declared as usize;
         if self.buffer.len() < total {
+            self.maybe_reclaim();
             return Ok(None);
         }
         self.buffer.advance(4);
         let body = self.buffer.split_to(declared as usize);
-        decode(&body).map(Some)
+        self.maybe_reclaim();
+        Ok(Some(body))
+    }
+
+    /// Drop an oversized retained allocation once the buffer is mostly
+    /// drained: after a one-off large frame passes through, the buffer
+    /// must not pin that frame's worth of memory for the life of the
+    /// connection. Copies the (small) unread tail into a right-sized
+    /// buffer; a buffer that is still mostly full is left alone.
+    fn maybe_reclaim(&mut self) {
+        if self.buffer.capacity() > RECLAIM_CAPACITY
+            && self.buffer.len() * 4 < self.buffer.capacity()
+        {
+            let mut fresh = BytesMut::with_capacity(self.buffer.len());
+            fresh.extend_from_slice(&self.buffer);
+            self.buffer = fresh;
+        }
     }
 }
 
@@ -109,7 +194,7 @@ mod tests {
     fn roundtrip_stream() {
         let mut stream = BytesMut::new();
         for m in samples() {
-            write_frame(&mut stream, &m);
+            write_frame(&mut stream, &m).unwrap();
         }
         let mut reader = FrameReader::new();
         reader.extend(&stream);
@@ -125,7 +210,7 @@ mod tests {
     fn byte_at_a_time_delivery() {
         let mut stream = BytesMut::new();
         for m in samples() {
-            write_frame(&mut stream, &m);
+            write_frame(&mut stream, &m).unwrap();
         }
         let mut reader = FrameReader::new();
         let mut got = Vec::new();
@@ -142,7 +227,7 @@ mod tests {
     fn split_across_arbitrary_chunks() {
         let mut stream = BytesMut::new();
         for m in samples() {
-            write_frame(&mut stream, &m);
+            write_frame(&mut stream, &m).unwrap();
         }
         for chunk_size in [1usize, 3, 7, 16, 64, 1024] {
             let mut reader = FrameReader::new();
@@ -167,7 +252,7 @@ mod tests {
     #[test]
     fn incomplete_frame_waits() {
         let mut stream = BytesMut::new();
-        write_frame(&mut stream, &Message::Ping);
+        write_frame(&mut stream, &Message::Ping).unwrap();
         let mut reader = FrameReader::new();
         reader.extend(&stream[..stream.len() - 1]);
         assert_eq!(reader.next_message().unwrap(), None);
@@ -179,7 +264,7 @@ mod tests {
     fn frame_is_query_peeks_kind_byte() {
         for m in samples() {
             let mut buf = BytesMut::new();
-            write_frame(&mut buf, &m);
+            write_frame(&mut buf, &m).unwrap();
             assert_eq!(
                 frame_is_query(&buf),
                 matches!(m, Message::Query { .. }),
@@ -189,6 +274,131 @@ mod tests {
         // Too short to carry a kind byte: never a query.
         assert!(!frame_is_query(&[]));
         assert!(!frame_is_query(&[0, 0, 0, 1]));
+    }
+
+    #[test]
+    fn oversize_body_rejected_at_the_boundary() {
+        // The exact MAX_FRAME edge, via the shared length check: the last
+        // accepted body length and the first rejected one.
+        assert_eq!(checked_frame_len(MAX_FRAME as u64).unwrap(), MAX_FRAME);
+        assert!(matches!(
+            checked_frame_len(MAX_FRAME as u64 + 1),
+            Err(WireError::LengthOverflow(n)) if n == MAX_FRAME as u64 + 1
+        ));
+        // And u32 overflow territory, where the old unchecked `as u32`
+        // cast silently truncated the prefix and desynced the stream.
+        assert!(matches!(
+            checked_frame_len(u32::MAX as u64 + 5),
+            Err(WireError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn oversize_message_refused_without_desync() {
+        // A message whose body would exceed MAX_FRAME must be refused by
+        // write_frame — and refused *cleanly*: the output buffer is left
+        // untouched, so the stream stays in sync for subsequent frames.
+        let huge = Message::Results {
+            transaction: TransactionId::derive(9, 9),
+            seq: 0,
+            items: vec!["x".repeat(MAX_FRAME as usize + 1)],
+            last: true,
+            origin: "n1".into(),
+            cached: false,
+        };
+        let mut out = BytesMut::new();
+        write_frame(&mut out, &Message::Ping).unwrap();
+        let len_before = out.len();
+        assert!(matches!(write_frame(&mut out, &huge), Err(WireError::LengthOverflow(_))));
+        assert_eq!(out.len(), len_before, "rejected frame must not emit partial bytes");
+        write_frame(&mut out, &Message::Pong).unwrap();
+        let mut reader = FrameReader::new();
+        reader.extend(&out);
+        assert_eq!(reader.next_message().unwrap(), Some(Message::Ping));
+        assert_eq!(reader.next_message().unwrap(), Some(Message::Pong));
+        assert_eq!(reader.next_message().unwrap(), None);
+    }
+
+    #[test]
+    fn next_frame_splits_coalesced_chunks_for_classification() {
+        // Several frames delivered as ONE read chunk, the way TCP
+        // coalesces back-to-back writes. Classifying the raw buffer sees
+        // only the first frame's kind byte; classifying each split frame
+        // is correct.
+        let mut stream = BytesMut::new();
+        for m in samples() {
+            write_frame(&mut stream, &m).unwrap();
+        }
+        // The raw-buffer peek misclassifies: buffer starts with a Query,
+        // so everything behind it would ride the sheddable lane too.
+        assert!(frame_is_query(&stream));
+        let mut reader = FrameReader::new();
+        reader.extend(&stream);
+        let mut classes = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            classes.push(frame_is_query(&frame));
+        }
+        let expected: Vec<bool> =
+            samples().iter().map(|m| matches!(m, Message::Query { .. })).collect();
+        assert_eq!(classes, expected);
+    }
+
+    #[test]
+    fn next_frame_bytes_redecode_identically() {
+        let mut stream = BytesMut::new();
+        for m in samples() {
+            write_frame(&mut stream, &m).unwrap();
+        }
+        let mut reader = FrameReader::new();
+        reader.extend(&stream);
+        let mut rejoined = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            rejoined.extend_from_slice(&frame);
+        }
+        assert_eq!(rejoined, &stream[..], "re-framed bytes identical to the wire bytes");
+        let mut reader = FrameReader::new();
+        reader.extend(&rejoined);
+        let mut got = Vec::new();
+        while let Some(m) = reader.next_message().unwrap() {
+            got.push(m);
+        }
+        assert_eq!(got, samples());
+    }
+
+    #[test]
+    fn large_frame_does_not_pin_buffer_capacity() {
+        // A one-off multi-megabyte frame passes through; once drained, the
+        // reader must not keep that allocation for the connection's life.
+        let big = Message::Results {
+            transaction: TransactionId::derive(7, 7),
+            seq: 0,
+            items: vec!["y".repeat(8 * 1024 * 1024)],
+            last: true,
+            origin: "n1".into(),
+            cached: false,
+        };
+        let mut stream = BytesMut::new();
+        write_frame(&mut stream, &big).unwrap();
+        let mut reader = FrameReader::new();
+        // Feed in chunks so the buffer itself grows to frame size, then a
+        // partial drain check: a mostly-full buffer is NOT reclaimed.
+        let half = stream.len() / 2;
+        reader.extend(&stream[..half]);
+        assert_eq!(reader.next_message().unwrap(), None);
+        assert!(reader.buffered() >= half, "partial frame stays buffered");
+        reader.extend(&stream[half..]);
+        assert_eq!(reader.next_message().unwrap(), Some(big));
+        assert_eq!(reader.buffered(), 0);
+        assert!(
+            reader.buffer_capacity() <= RECLAIM_CAPACITY,
+            "drained reader retains {} bytes of capacity",
+            reader.buffer_capacity()
+        );
+        // And the reader still works after the reclaim.
+        let before = stream.len();
+        write_frame(&mut stream, &Message::Ping).unwrap();
+        reader.extend(&stream[before..]);
+        assert_eq!(reader.next_message().unwrap(), Some(Message::Ping));
     }
 
     #[test]

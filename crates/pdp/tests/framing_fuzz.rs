@@ -4,7 +4,7 @@
 //! loop, and never corrupt messages *before* the damage point.
 
 use proptest::prelude::*;
-use wsda_pdp::framing::{write_frame, FrameReader};
+use wsda_pdp::framing::{frame_is_query, write_frame, FrameReader};
 use wsda_pdp::message::{Message, QueryLanguage, ResponseMode, Scope, TransactionId};
 use wsda_pdp::wire::decode;
 
@@ -86,7 +86,7 @@ proptest! {
         let mut stream = bytes::BytesMut::new();
         let mut boundaries = Vec::new(); // end offset of each frame
         for (k, a, s) in &seeds {
-            write_frame(&mut stream, &message(*k, *a, s));
+            write_frame(&mut stream, &message(*k, *a, s)).unwrap();
             boundaries.push(stream.len());
         }
         let cut = (stream.len() as u64 * cut_permille as u64 / 1000) as usize;
@@ -120,7 +120,7 @@ proptest! {
     ) {
         let mut stream = bytes::BytesMut::new();
         for (k, a, s) in &seeds {
-            write_frame(&mut stream, &message(*k, *a, s));
+            write_frame(&mut stream, &message(*k, *a, s)).unwrap();
         }
         let total = seeds.len();
         let mut bytes = stream.to_vec();
@@ -138,5 +138,75 @@ proptest! {
         // A flipped length prefix can shift framing so later "frames" are
         // reinterpreted, but the byte budget bounds how many can appear.
         prop_assert!(decoded <= total + 1, "decoded {} from {} frames", decoded, total);
+    }
+
+    /// Torn reads: a socket can hand the stream back split at ANY byte
+    /// offset. For every prefix split of a multi-message stream, feeding
+    /// the two pieces must decode exactly the same message sequence as the
+    /// unsplit stream — no loss, no reorder, no phantom frames.
+    #[test]
+    fn every_prefix_split_decodes_identically(
+        seeds in proptest::collection::vec((0u8..6, 0u64..1000, "[a-z<>/]{0,24}"), 1..10),
+    ) {
+        let mut stream = bytes::BytesMut::new();
+        for (k, a, s) in &seeds {
+            write_frame(&mut stream, &message(*k, *a, s)).unwrap();
+        }
+        // Baseline: the unsplit stream.
+        let mut reader = FrameReader::new();
+        reader.extend(&stream);
+        let mut baseline = Vec::new();
+        while let Some(m) = reader.next_message().unwrap() {
+            baseline.push(m);
+        }
+        prop_assert_eq!(baseline.len(), seeds.len());
+
+        for cut in 0..=stream.len() {
+            let mut reader = FrameReader::new();
+            let mut got = Vec::new();
+            for piece in [&stream[..cut], &stream[cut..]] {
+                reader.extend(piece);
+                while let Some(m) = reader.next_message().unwrap() {
+                    got.push(m);
+                }
+            }
+            prop_assert_eq!(&got, &baseline, "split at byte {}", cut);
+        }
+    }
+
+    /// The stream layer itself (the socket read path): `next_frame` splits
+    /// torn/coalesced chunks into raw frames whose bytes re-decode to the
+    /// original messages, and per-frame classification matches the message
+    /// kinds regardless of how the stream was chunked.
+    #[test]
+    fn raw_frame_splitting_survives_arbitrary_chunking(
+        seeds in proptest::collection::vec((0u8..6, 0u64..1000, "[a-z<>/]{0,24}"), 1..10),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = bytes::BytesMut::new();
+        for (k, a, s) in &seeds {
+            write_frame(&mut stream, &message(*k, *a, s)).unwrap();
+        }
+        let originals: Vec<Message> =
+            seeds.iter().map(|(k, a, s)| message(*k, *a, s)).collect();
+
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        for c in stream.chunks(chunk) {
+            reader.extend(c);
+            while let Some(f) = reader.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        prop_assert_eq!(frames.len(), originals.len());
+        for (frame, original) in frames.iter().zip(&originals) {
+            // Classification per split frame matches the decoded kind.
+            prop_assert_eq!(
+                frame_is_query(frame),
+                matches!(original, Message::Query { .. })
+            );
+            // The raw bytes decode back to the original message.
+            prop_assert_eq!(&decode(&frame[4..]).unwrap(), original);
+        }
     }
 }

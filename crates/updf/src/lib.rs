@@ -45,7 +45,9 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, ForwardDecision};
 pub use container::ContainerAssignment;
 pub use engine::{P2pConfig, QueryRun, SimNetwork, TimeoutMode};
 pub use lifecycle::{LifecycleConfig, PeerEvent, PeerState, PeerTable};
-pub use live::{LiveNetwork, LiveQueryReport, LiveStats};
+pub use live::{
+    client_query, client_query_on, LiveNetwork, LiveQueryReport, LiveStats, StandalonePeer,
+};
 pub use metrics::QueryMetrics;
 pub use recovery::{Completeness, RecoveryConfig};
 pub use selection::{LinkStats, NeighborPolicy, NodeKinds, RoutingIndex};

@@ -43,7 +43,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wsda_net::model::ChaosPlan;
-use wsda_net::transport::{Inbox, InboxDrops, ThreadedNetwork};
+use wsda_net::tcp::{TcpConfig, TcpTransport};
+use wsda_net::transport::{FrameTransport, Inbox, InboxDrops, ThreadedNetwork};
 use wsda_net::NodeId;
 use wsda_obs::{
     trace::shared_buffer, Counter, Gauge, MetricsRegistry, QueryTrace, SharedTraceBuffer,
@@ -145,7 +146,7 @@ const TRACE_CAPACITY: usize = 4096;
 
 /// A running live network. Dropping it shuts every peer down.
 pub struct LiveNetwork {
-    transport: Arc<ThreadedNetwork<Frame>>,
+    transport: Arc<dyn FrameTransport>,
     registries: Vec<Arc<HyperRegistry>>,
     shutdown: Arc<AtomicBool>,
     peer_dead: Vec<Arc<AtomicBool>>,
@@ -242,8 +243,24 @@ impl LiveNetwork {
         )
     }
 
+    /// Start over real loopback TCP sockets: every peer binds its own
+    /// `127.0.0.1` listener and frames travel length-prefixed over actual
+    /// connections ([`TcpTransport`]) — same node logic, real wire. For a
+    /// one-process-per-node deployment, spawn [`StandalonePeer`]s on
+    /// explicitly configured transports instead.
+    pub fn start_tcp(
+        topology: Topology,
+        tuples_per_node: usize,
+        seed: u64,
+        recovery: RecoveryConfig,
+    ) -> LiveNetwork {
+        let transport = Arc::new(TcpTransport::with_config(TcpConfig::default(), seed));
+        Self::start_on(transport, topology, tuples_per_node, seed, recovery, None)
+            .expect("in-memory live start cannot fail")
+    }
+
     fn start_on(
-        transport: Arc<ThreadedNetwork<Frame>>,
+        transport: Arc<dyn FrameTransport>,
         topology: Topology,
         tuples_per_node: usize,
         seed: u64,
@@ -254,7 +271,7 @@ impl LiveNetwork {
         // falls behind loses (counted) queries first while acks and
         // results keep flowing. The kind byte sits at a fixed offset, so
         // classification never parses the frame.
-        transport.set_sheddable(|f: &Frame| frame_is_query(f));
+        transport.set_sheddable_frames(Arc::new(|f: &[u8]| frame_is_query(f)));
         let shutdown = Arc::new(AtomicBool::new(false));
         let clock = Arc::new(SystemClock::new());
         let stats = Arc::new(LiveStatsInner::default());
@@ -352,26 +369,7 @@ impl LiveNetwork {
     fn spawn_peer(&mut self, i: usize) {
         let id = NodeId(i as u32);
         let inbox = self.transport.register(id);
-        let gauges = PeerGauges {
-            ledger_streams: self.metrics.gauge(&format!("updf_ledger_streams{{node=\"n{i}\"}}")),
-            state_entries: self.metrics.gauge(&format!("updf_state_entries{{node=\"n{i}\"}}")),
-            live_txns: self.metrics.gauge(&format!("updf_live_txns{{node=\"n{i}\"}}")),
-            pending_acks: self.metrics.gauge(&format!("updf_pending_acks{{node=\"n{i}\"}}")),
-            qcache_parses: self.metrics.gauge(&format!("updf_query_cache_parses{{node=\"n{i}\"}}")),
-            qcache_hits: self.metrics.gauge(&format!("updf_query_cache_hits{{node=\"n{i}\"}}")),
-            qcache_evictions: self
-                .metrics
-                .gauge(&format!("updf_query_cache_evictions{{node=\"n{i}\"}}")),
-            rcache_entries: self
-                .metrics
-                .gauge(&format!("updf_result_cache_entries{{node=\"n{i}\"}}")),
-            peers_identified: self
-                .metrics
-                .gauge(&format!("updf_peers_identified{{node=\"n{i}\"}}")),
-            peers_pending: self.metrics.gauge(&format!("updf_peers_pending{{node=\"n{i}\"}}")),
-            peers_connected: self.metrics.gauge(&format!("updf_peers_connected{{node=\"n{i}\"}}")),
-            peers_departed: self.metrics.gauge(&format!("updf_peers_departed{{node=\"n{i}\"}}")),
-        };
+        let gauges = peer_gauges(&self.metrics, id);
         let peer = PeerThread {
             id,
             endpoint: Arc::from(format!("n{i}")),
@@ -667,72 +665,237 @@ impl LiveNetwork {
     ) -> LiveQueryReport {
         self.txn_counter += 1;
         let txn = TransactionId::derive(self.seed ^ 0xC11E47, self.txn_counter);
-        let inbox = self.transport.register(self.client_id);
-        let msg = Message::Query {
-            transaction: txn,
-            query: query_src.to_owned(),
-            language: QueryLanguage::XQuery,
+        client_query(
+            &*self.transport,
+            self.client_id,
+            entry,
+            query_src,
             scope,
-            response_mode: ResponseMode::Routed,
-        };
-        send(&self.transport, self.client_id, entry, &msg);
-        let mut results = Vec::new();
-        let mut reader = FrameReader::new();
-        let mut ledger = ResultLedger::new();
-        let mut errors: u64 = 0;
-        let mut replays: u64 = 0;
-        let mut done = false;
-        let deadline = Instant::now() + timeout;
-        'outer: loop {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match inbox.recv_timeout(deadline - now) {
-                Ok(envelope) => {
-                    reader.extend(&envelope.message);
-                    while let Ok(Some(message)) = reader.next_message() {
-                        match message {
-                            Message::Results { transaction, seq, items, last, .. } => {
-                                if transaction != txn {
+            self.recovery.enabled,
+            txn,
+            timeout,
+        )
+    }
+}
+
+/// Run one query as a detached client over any [`FrameTransport`]:
+/// register `client_id`, inject the query at `entry`, and collect routed
+/// results until the entry node's final frame arrives or `timeout`
+/// elapses. This is exactly the client half of
+/// [`LiveNetwork::query_with_scope`], exposed so multi-process
+/// deployments (peers in other processes, reached over
+/// [`TcpTransport`]) can drive the same protocol.
+///
+/// With `ack_results` on, every `Results` frame is acked and replays are
+/// suppressed by sequence number — it must match the peers' recovery
+/// setting, or retransmissions count as duplicates.
+#[allow(clippy::too_many_arguments)]
+pub fn client_query(
+    transport: &dyn FrameTransport,
+    client_id: NodeId,
+    entry: NodeId,
+    query_src: &str,
+    scope: Scope,
+    ack_results: bool,
+    txn: TransactionId,
+    timeout: Duration,
+) -> LiveQueryReport {
+    let inbox = transport.register(client_id);
+    let report = client_query_on(
+        transport,
+        &inbox,
+        client_id,
+        entry,
+        query_src,
+        scope,
+        ack_results,
+        txn,
+        timeout,
+    );
+    transport.deregister(client_id);
+    report
+}
+
+/// Like [`client_query`], but on an inbox the caller already registered —
+/// needed when the client's listening address must be known (and handed to
+/// remote processes) *before* the query runs, e.g. a TCP federation where
+/// peers route `Results` back to the client's listener. The client stays
+/// registered afterwards.
+#[allow(clippy::too_many_arguments)]
+pub fn client_query_on(
+    transport: &dyn FrameTransport,
+    inbox: &Inbox<Frame>,
+    client_id: NodeId,
+    entry: NodeId,
+    query_src: &str,
+    scope: Scope,
+    ack_results: bool,
+    txn: TransactionId,
+    timeout: Duration,
+) -> LiveQueryReport {
+    let msg = Message::Query {
+        transaction: txn,
+        query: query_src.to_owned(),
+        language: QueryLanguage::XQuery,
+        scope,
+        response_mode: ResponseMode::Routed,
+    };
+    send(transport, client_id, entry, &msg);
+    let mut results = Vec::new();
+    let mut reader = FrameReader::new();
+    let mut ledger = ResultLedger::new();
+    let mut errors: u64 = 0;
+    let mut replays: u64 = 0;
+    let mut done = false;
+    let deadline = Instant::now() + timeout;
+    'outer: loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match inbox.recv_timeout(deadline - now) {
+            Ok(envelope) => {
+                reader.extend(&envelope.message);
+                while let Ok(Some(message)) = reader.next_message() {
+                    match message {
+                        Message::Results { transaction, seq, items, last, .. } => {
+                            if transaction != txn {
+                                continue;
+                            }
+                            if ack_results {
+                                let ack = Message::Ack { transaction, seq };
+                                send(transport, client_id, envelope.from, &ack);
+                                if !ledger.record(transaction, Sym(envelope.from.0), seq) {
+                                    replays += 1;
                                     continue;
                                 }
-                                if self.recovery.enabled {
-                                    let ack = Message::Ack { transaction, seq };
-                                    send(&self.transport, self.client_id, envelope.from, &ack);
-                                    if !ledger.record(transaction, Sym(envelope.from.0), seq) {
-                                        replays += 1;
-                                        continue;
-                                    }
-                                }
-                                results.extend(items);
-                                if last {
-                                    done = true;
-                                    break 'outer;
-                                }
                             }
-                            Message::Error { transaction, .. } if transaction == txn => {
-                                errors += 1;
+                            results.extend(items);
+                            if last {
+                                done = true;
+                                break 'outer;
                             }
-                            _ => {}
                         }
+                        Message::Error { transaction, .. } if transaction == txn => {
+                            errors += 1;
+                        }
+                        _ => {}
                     }
                 }
-                Err(_) => break,
             }
+            Err(_) => break,
         }
-        self.transport.deregister(self.client_id);
-        let completeness = if done && errors == 0 {
-            Completeness::Complete
-        } else {
-            Completeness::Partial { subtrees_lost: errors.max(u64::from(!done)) }
+    }
+    let completeness = if done && errors == 0 {
+        Completeness::Complete
+    } else {
+        Completeness::Partial { subtrees_lost: errors.max(u64::from(!done)) }
+    };
+    LiveQueryReport {
+        results,
+        completeness,
+        errors_received: errors,
+        replays_suppressed: replays,
+        transaction: txn,
+    }
+}
+
+/// One peer of a federation running on an external [`FrameTransport`] —
+/// the building block for multi-process deployments, where each process
+/// hosts one (or a few) peers over [`TcpTransport`] and the client runs
+/// [`client_query`] from wherever it likes.
+///
+/// The peer publishes the same synthetic corpus slice [`LiveNetwork`]
+/// would give node `id` for the same `seed`, so a federation assembled
+/// from standalone peers answers queries identically to the in-process
+/// network. Dropping it stops the thread.
+pub struct StandalonePeer {
+    registry: Arc<HyperRegistry>,
+    metrics: Arc<MetricsRegistry>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StandalonePeer {
+    /// Spawn a peer thread on `transport`. `inbox` must be the result of
+    /// registering `id` on that transport — it is taken separately so a
+    /// TCP process can bind an explicit port (and learn its address for
+    /// the peer exchange) before the thread starts. `neighbors` seeds the
+    /// peer's Connected set; frames from `client_id` are injected
+    /// queries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn(
+        transport: Arc<dyn FrameTransport>,
+        inbox: Inbox<Frame>,
+        id: NodeId,
+        neighbors: &[NodeId],
+        client_id: NodeId,
+        tuples_per_node: usize,
+        seed: u64,
+        recovery: RecoveryConfig,
+    ) -> StandalonePeer {
+        let clock = Arc::new(SystemClock::new());
+        let config = RegistryConfig { max_ttl_ms: u64::MAX / 4, ..Default::default() };
+        let registry = Arc::new(HyperRegistry::new(config, clock));
+        let mut generator = CorpusGenerator::new(seed ^ u64::from(id.0).wrapping_mul(0x9e37));
+        for _ in 0..tuples_per_node {
+            let (link, _, domain, content) = generator.next_service();
+            registry
+                .publish(
+                    PublishRequest::new(&link, "service")
+                        .with_context(domain)
+                        .with_ttl_ms(u64::MAX / 8)
+                        .with_content(content),
+                )
+                .expect("synthetic publish");
+        }
+        let metrics = Arc::new(MetricsRegistry::new());
+        registry.stats().export_into(&metrics, &format!("n{}", id.0));
+        transport.export_metrics(&metrics);
+        // Same admission policy as the in-process network: query frames
+        // ride the sheddable lane.
+        transport.set_sheddable_frames(Arc::new(|f: &[u8]| frame_is_query(f)));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let gauges = peer_gauges(&metrics, id);
+        let peer = PeerThread {
+            id,
+            endpoint: Arc::from(format!("n{}", id.0)),
+            client_id,
+            peers: Arc::new(Mutex::new(PeerTable::seeded(neighbors, 0))),
+            sweeps: Arc::new(Mutex::new(Vec::new())),
+            registry: registry.clone(),
+            transport,
+            shutdown: shutdown.clone(),
+            dead: Arc::new(AtomicBool::new(false)),
+            exit: Arc::new(AtomicBool::new(false)),
+            recovery,
+            stats: Arc::new(LiveStatsInner::default()),
+            epoch: Instant::now(),
+            jitter_state: Cell::new((seed ^ u64::from(id.0).wrapping_mul(0x9e3779b97f4a7c15)) | 1),
+            trace: shared_buffer(TRACE_CAPACITY),
+            gauges,
         };
-        LiveQueryReport {
-            results,
-            completeness,
-            errors_received: errors,
-            replays_suppressed: replays,
-            transaction: txn,
+        let handle = std::thread::spawn(move || peer.run(inbox));
+        StandalonePeer { registry, metrics, shutdown, handle: Some(handle) }
+    }
+
+    /// This peer's registry (e.g. to publish extra content).
+    pub fn registry(&self) -> &Arc<HyperRegistry> {
+        &self.registry
+    }
+
+    /// This peer's metrics registry (registry counters, transport
+    /// counters, state-size gauges).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+impl Drop for StandalonePeer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -746,8 +909,27 @@ impl Drop for LiveNetwork {
     }
 }
 
-fn send(transport: &ThreadedNetwork<Frame>, from: NodeId, to: NodeId, message: &Message) {
-    transport.send(from, to, encode_frame(message));
+fn send(transport: &dyn FrameTransport, from: NodeId, to: NodeId, message: &Message) {
+    transport.send_frame(from, to, encode_frame(message));
+}
+
+/// Per-peer state-size gauge handles registered under `node="n<i>"`.
+fn peer_gauges(metrics: &MetricsRegistry, id: NodeId) -> PeerGauges {
+    let i = id.0;
+    PeerGauges {
+        ledger_streams: metrics.gauge(&format!("updf_ledger_streams{{node=\"n{i}\"}}")),
+        state_entries: metrics.gauge(&format!("updf_state_entries{{node=\"n{i}\"}}")),
+        live_txns: metrics.gauge(&format!("updf_live_txns{{node=\"n{i}\"}}")),
+        pending_acks: metrics.gauge(&format!("updf_pending_acks{{node=\"n{i}\"}}")),
+        qcache_parses: metrics.gauge(&format!("updf_query_cache_parses{{node=\"n{i}\"}}")),
+        qcache_hits: metrics.gauge(&format!("updf_query_cache_hits{{node=\"n{i}\"}}")),
+        qcache_evictions: metrics.gauge(&format!("updf_query_cache_evictions{{node=\"n{i}\"}}")),
+        rcache_entries: metrics.gauge(&format!("updf_result_cache_entries{{node=\"n{i}\"}}")),
+        peers_identified: metrics.gauge(&format!("updf_peers_identified{{node=\"n{i}\"}}")),
+        peers_pending: metrics.gauge(&format!("updf_peers_pending{{node=\"n{i}\"}}")),
+        peers_connected: metrics.gauge(&format!("updf_peers_connected{{node=\"n{i}\"}}")),
+        peers_departed: metrics.gauge(&format!("updf_peers_departed{{node=\"n{i}\"}}")),
+    }
 }
 
 /// One seeded xorshift64 draw in `[0, max_ms]` (0 when `max_ms == 0`).
@@ -772,7 +954,8 @@ fn draw_jitter_ms(state: &Cell<u64>, max_ms: u64) -> u64 {
 
 fn encode_frame(message: &Message) -> Frame {
     let mut buf = BytesMut::new();
-    write_frame(&mut buf, message);
+    // Every message here is internally generated and far below MAX_FRAME.
+    write_frame(&mut buf, message).expect("PDP frame within MAX_FRAME");
     buf.to_vec()
 }
 
@@ -792,7 +975,7 @@ struct PeerThread {
     /// drained and swept by this thread.
     sweeps: Arc<Mutex<Vec<NodeId>>>,
     registry: Arc<HyperRegistry>,
-    transport: Arc<ThreadedNetwork<Frame>>,
+    transport: Arc<dyn FrameTransport>,
     shutdown: Arc<AtomicBool>,
     /// Crash switch: when set the peer stops processing (inbox stays
     /// open), simulating a hung process.
@@ -975,7 +1158,7 @@ impl PeerThread {
             let now_ms = self.epoch.elapsed().as_millis() as u64;
             if rt.breakers.get_mut(&from).is_some_and(|b| b.note_contact(now_ms)) {
                 self.stats.breaker_probes.inc();
-                send(&self.transport, self.id, from, &Message::Ping);
+                send(&*self.transport, self.id, from, &Message::Ping);
             }
         }
         match message {
@@ -1075,14 +1258,14 @@ impl PeerThread {
                                         self.stats.breaker_sheds.inc();
                                         if matches!(decision, ForwardDecision::ShedAndProbe) {
                                             self.stats.breaker_probes.inc();
-                                            send(&self.transport, self.id, nb, &Message::Ping);
+                                            send(&*self.transport, self.id, nb, &Message::Ping);
                                         }
                                         let msg = Message::Error {
                                             transaction,
                                             origin: self.endpoint.as_ref().to_owned(),
                                             reason: "breaker open: subtree shed".to_owned(),
                                         };
-                                        send(&self.transport, self.id, from, &msg);
+                                        send(&*self.transport, self.id, from, &msg);
                                         continue;
                                     }
                                 }
@@ -1093,7 +1276,7 @@ impl PeerThread {
                                     scope: fscope.clone(),
                                     response_mode: ResponseMode::Routed,
                                 };
-                                send(&self.transport, self.id, nb, &msg);
+                                send(&*self.transport, self.id, nb, &msg);
                                 self.trace_event(TraceKind::Forward, transaction, |ev| {
                                     ev.with_peer(format!("n{}", nb.0))
                                 });
@@ -1144,7 +1327,7 @@ impl PeerThread {
                 if self.recovery.enabled {
                     // Ack every arrival, then suppress replays.
                     let ack = Message::Ack { transaction, seq };
-                    send(&self.transport, self.id, from, &ack);
+                    send(&*self.transport, self.id, from, &ack);
                     // A frame for a transaction the state table no longer
                     // tracks (swept after its loop timeout) must not
                     // recreate a ledger entry nobody will ever forget.
@@ -1211,7 +1394,7 @@ impl PeerThread {
                 });
                 if let Some(Some(p)) = parent {
                     let msg = Message::Error { transaction, origin, reason };
-                    send(&self.transport, self.id, p, &msg);
+                    send(&*self.transport, self.id, p, &msg);
                 }
             }
             Message::Close { transaction } => {
@@ -1221,7 +1404,7 @@ impl PeerThread {
             }
             Message::Ping => {
                 let msg = Message::Pong;
-                send(&self.transport, self.id, from, &msg);
+                send(&*self.transport, self.id, from, &msg);
             }
             Message::Pong => {
                 // A probe came back: the peer is alive again.
@@ -1253,7 +1436,7 @@ impl PeerThread {
             p.backoff *= u32::try_from(self.recovery.backoff_factor.max(1)).unwrap_or(2);
             let to = p.to;
             let frame = p.frame.clone();
-            self.transport.send(self.id, to, frame);
+            self.transport.send_frame(self.id, to, frame);
             self.trace_event(TraceKind::Retry, key.0, |ev| ev.with_peer(format!("n{}", to.0)));
             // Each ack timeout is one failure signal toward opening the
             // neighbor's breaker.
@@ -1277,7 +1460,7 @@ impl PeerThread {
                             scope: fscope.clone(),
                             response_mode: ResponseMode::Routed,
                         };
-                        send(&self.transport, self.id, child, &msg);
+                        send(&*self.transport, self.id, child, &msg);
                     }
                 }
                 entry.requeried = true;
@@ -1300,7 +1483,7 @@ impl PeerThread {
                         origin: self.endpoint.as_ref().to_owned(),
                         reason: "watchdog: subtree lost".to_owned(),
                     };
-                    send(&self.transport, self.id, p, &msg);
+                    send(&*self.transport, self.id, p, &msg);
                 }
             }
             abandoned.push((*txn, entry.parent, entry.local_done, entry.cache_tainted));
@@ -1477,7 +1660,7 @@ impl PeerThread {
                 },
             );
         }
-        self.transport.send(self.id, to, frame);
+        self.transport.send_frame(self.id, to, frame);
     }
 }
 

@@ -1,0 +1,177 @@
+//! A multi-process federation over real TCP sockets.
+//!
+//! The parent process spawns one child process per peer. Each child binds
+//! its own `127.0.0.1` listener, reports its port on stdout, learns the
+//! other processes' ports over stdin, and runs one WSDA peer on a
+//! [`wsda::net::TcpTransport`] — the same node logic the in-process
+//! examples run on channels, now talking length-framed PDP over actual
+//! sockets between OS processes. The parent then acts as the query
+//! client: it injects a radius-2 query at node 0 and collects the routed
+//! results, which must come back `Complete`.
+//!
+//! ```sh
+//! cargo run --example tcp_federation
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wsda::net::{NodeId, TcpTransport};
+use wsda::pdp::{Scope, TransactionId};
+use wsda::updf::{client_query_on, RecoveryConfig, StandalonePeer, Topology};
+
+const QUERY: &str = r#"//service[load < 0.5]/owner"#;
+const PEERS: usize = 3;
+const TUPLES_PER_NODE: usize = 3;
+const SEED: u64 = 31337;
+
+fn main() {
+    let mut args = std::env::args();
+    let _exe = args.next();
+    match (args.next().as_deref(), args.next()) {
+        (Some("--node"), Some(i)) => run_peer(i.parse().expect("--node <index>")),
+        _ => run_parent(),
+    }
+}
+
+/// Child process: one WSDA peer of the line overlay 0-1-2.
+fn run_peer(i: u32) {
+    let transport = Arc::new(TcpTransport::new());
+    let inbox = transport
+        .listen_on(NodeId(i), "127.0.0.1:0".parse().unwrap())
+        .expect("bind loopback listener");
+    let port = transport.local_addr(NodeId(i)).unwrap().port();
+    println!("PORT {port}");
+    std::io::stdout().flush().unwrap();
+
+    // The parent answers with every process's port: peers 0..PEERS, then
+    // the client's.
+    let mut line = String::new();
+    std::io::stdin().read_line(&mut line).expect("read PEERS line");
+    let ports: Vec<u16> = line
+        .trim()
+        .strip_prefix("PEERS")
+        .expect("PEERS line")
+        .split_whitespace()
+        .map(|p| p.parse().expect("port"))
+        .collect();
+    assert_eq!(ports.len(), PEERS + 1, "one port per peer plus the client");
+    for (j, &p) in ports.iter().enumerate() {
+        if j != i as usize {
+            transport.add_peer(NodeId(j as u32), loopback(p));
+        }
+    }
+
+    let topology = Topology::line(PEERS);
+    let neighbors = topology.neighbors(NodeId(i)).to_vec();
+    let client_id = NodeId(PEERS as u32);
+    let _peer = StandalonePeer::spawn(
+        transport.clone(),
+        inbox,
+        NodeId(i),
+        &neighbors,
+        client_id,
+        TUPLES_PER_NODE,
+        SEED,
+        RecoveryConfig::live_default(),
+    );
+    println!("READY");
+    std::io::stdout().flush().unwrap();
+
+    // Serve until the parent closes our stdin.
+    let mut eof = String::new();
+    while std::io::stdin().read_line(&mut eof).map(|n| n > 0).unwrap_or(false) {
+        eof.clear();
+    }
+}
+
+/// Parent process: spawn the peers, wire them up, run the query client.
+fn run_parent() {
+    let client_id = NodeId(PEERS as u32);
+    let transport = TcpTransport::new();
+    // Bind the client's own listener first so its port can be handed to
+    // the children before the query runs.
+    let client_inbox = transport
+        .listen_on(client_id, "127.0.0.1:0".parse().unwrap())
+        .expect("bind client listener");
+    let client_port = transport.local_addr(client_id).unwrap().port();
+
+    println!("spawning {PEERS} peer processes …");
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = Vec::new();
+    let mut ports = Vec::new();
+    for i in 0..PEERS {
+        let mut child = Command::new(&exe)
+            .arg("--node")
+            .arg(i.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn peer process");
+        let mut reader = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read PORT line");
+        let port: u16 =
+            line.trim().strip_prefix("PORT ").expect("PORT line").parse().expect("port");
+        println!("  n{i}: pid {} listening on 127.0.0.1:{port}", child.id());
+        transport.add_peer(NodeId(i as u32), loopback(port));
+        ports.push(port);
+        children.push((child, reader));
+    }
+
+    // Tell every child where everyone listens, then wait for readiness.
+    let roster = format!(
+        "PEERS {} {client_port}\n",
+        ports.iter().map(u16::to_string).collect::<Vec<_>>().join(" ")
+    );
+    for (child, reader) in &mut children {
+        child.stdin.as_mut().expect("child stdin").write_all(roster.as_bytes()).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read READY line");
+        assert_eq!(line.trim(), "READY");
+    }
+
+    // Radius 2 from node 0 covers the whole 0-1-2 line.
+    println!("querying n0 at radius 2: {QUERY}");
+    let start = Instant::now();
+    let report = client_query_on(
+        &transport,
+        &client_inbox,
+        client_id,
+        NodeId(0),
+        QUERY,
+        Scope { radius: Some(2), ..Scope::default() },
+        true,
+        TransactionId::derive(SEED, 1),
+        Duration::from_secs(20),
+    );
+    println!(
+        "{} results in {:?}, completeness {:?}",
+        report.results.len(),
+        start.elapsed(),
+        report.completeness
+    );
+    for item in &report.results {
+        println!("  {item}");
+    }
+    assert!(
+        report.completeness.is_complete(),
+        "all three processes must answer: {:?}",
+        report.completeness
+    );
+    assert!(!report.results.is_empty(), "the synthetic corpus must match the query");
+
+    // Closing stdin tells each child to exit; reap them all.
+    for (mut child, _) in children {
+        drop(child.stdin.take());
+        let status = child.wait().expect("wait for peer process");
+        assert!(status.success(), "peer process must exit cleanly");
+    }
+    println!("federation answered over real sockets across {PEERS} processes ✓");
+}
+
+fn loopback(port: u16) -> SocketAddr {
+    SocketAddr::from(([127, 0, 0, 1], port))
+}

@@ -79,6 +79,13 @@ impl BytesMut {
         self.data.len()
     }
 
+    /// Bytes the buffer can hold without reallocating (for retention
+    /// accounting: a reader that drained a huge frame should not pin the
+    /// huge allocation forever).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
